@@ -1,0 +1,98 @@
+#ifndef WEDGEBLOCK_BENCH_BENCH_UTIL_H_
+#define WEDGEBLOCK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "common/random.h"
+#include "core/wedgeblock.h"
+
+namespace wedge {
+namespace bench {
+
+/// Paper default append payload: 64-byte key + value (default 1024 B),
+/// ~1 KB per operation (§6.2).
+constexpr size_t kDefaultKeySize = 64;
+constexpr size_t kDefaultValueSize = 1024;
+
+/// Generates a key-value workload.
+inline std::vector<std::pair<Bytes, Bytes>> MakeWorkload(
+    size_t n, size_t value_size = kDefaultValueSize,
+    size_t key_size = kDefaultKeySize, uint64_t seed = 42) {
+  Rng rng(seed);
+  std::vector<std::pair<Bytes, Bytes>> kvs;
+  kvs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    kvs.emplace_back(rng.NextBytes(key_size), rng.NextBytes(value_size));
+  }
+  return kvs;
+}
+
+/// Builds append requests WITHOUT paying client-side ECDSA cost (dummy
+/// signatures). Pair with OffchainNodeConfig.verify_client_signatures =
+/// false: the benches measure the Offchain Node pipeline, and this keeps
+/// our single-core harness comparable to the paper's 96-thread client
+/// machine (see EXPERIMENTS.md, "calibration").
+inline std::vector<AppendRequest> MakeUnsignedRequests(
+    const Address& publisher,
+    const std::vector<std::pair<Bytes, Bytes>>& kvs) {
+  std::vector<AppendRequest> reqs;
+  reqs.reserve(kvs.size());
+  uint64_t seq = 0;
+  for (const auto& [k, v] : kvs) {
+    AppendRequest req;
+    req.publisher = publisher;
+    req.sequence = seq++;
+    req.key = k;
+    req.value = v;
+    req.signature.r = U256(1);
+    req.signature.s = U256(1);
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+/// A deployment pre-configured for benchmarking: signature verification
+/// off (see above), everything else per the paper's defaults.
+inline std::unique_ptr<Deployment> MakeBenchDeployment(
+    uint32_t batch_size, int replication_followers = 0,
+    bool sign_responses = true, bool auto_stage2 = true) {
+  DeploymentConfig config;
+  config.node.batch_size = batch_size;
+  config.node.worker_threads = 4;
+  config.node.verify_client_signatures = false;
+  config.node.sign_stage1_responses = sign_responses;
+  config.node.auto_stage2 = auto_stage2;
+  config.replication_followers = replication_followers;
+  config.offchain_funding = EthToWei(1'000'000);
+  config.client_funding = EthToWei(1'000'000);
+  auto d = Deployment::Create(config);
+  if (!d.ok()) {
+    std::fprintf(stderr, "deployment failed: %s\n",
+                 d.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(d).value();
+}
+
+/// Mines all pending stage-2 transactions and returns the on-chain cost
+/// per operation in ETH, excluding fees paid before `fees_before` (e.g.
+/// the deployment-phase gas).
+inline double Stage2EthPerOp(Deployment& d, const Wei& fees_before,
+                             uint64_t ops) {
+  d.AdvanceBlocks(4);
+  Wei fees = d.chain().TotalFeesPaid(d.node().address()) - fees_before;
+  return WeiToEthDouble(fees) / static_cast<double>(ops);
+}
+
+/// Pretty printing helpers shared by the figure harnesses.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,129 @@
+// Google-benchmark microbenchmarks for the primitives every WedgeBlock
+// operation is built from: hashing, ECDSA, Merkle trees and the U256
+// field arithmetic. These bound the end-to-end numbers reported by the
+// figure harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "crypto/ecdsa.h"
+#include "crypto/keccak256.h"
+#include "merkle/merkle_tree.h"
+
+namespace wedge {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1088)->Arg(4096);
+
+void BM_Keccak256(benchmark::State& state) {
+  Rng rng(1);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Keccak256::Digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Keccak256)->Arg(64)->Arg(1088);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  KeyPair kp = KeyPair::FromSeed(1);
+  Hash256 h = Sha256::Digest("message");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EcdsaSign(kp.private_key(), h));
+  }
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  KeyPair kp = KeyPair::FromSeed(1);
+  Hash256 h = Sha256::Digest("message");
+  EcdsaSignature sig = EcdsaSign(kp.private_key(), h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EcdsaVerify(kp.public_key(), h, sig));
+  }
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_EcdsaRecover(benchmark::State& state) {
+  KeyPair kp = KeyPair::FromSeed(1);
+  Hash256 h = Sha256::Digest("message");
+  EcdsaSignature sig = EcdsaSign(kp.private_key(), h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RecoverSigner(h, sig));
+  }
+}
+BENCHMARK(BM_EcdsaRecover);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Bytes> leaves;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(rng.NextBytes(1088));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree::Build(leaves));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleBuild)->Arg(500)->Arg(2000)->Arg(10000);
+
+void BM_MerkleProve(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Bytes> leaves;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(rng.NextBytes(1088));
+  }
+  auto tree = MerkleTree::Build(leaves);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Prove(i++ % state.range(0)));
+  }
+}
+BENCHMARK(BM_MerkleProve)->Arg(500)->Arg(2000)->Arg(10000);
+
+void BM_MerkleVerifyProof(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 2000; ++i) leaves.push_back(rng.NextBytes(1088));
+  auto tree = MerkleTree::Build(leaves);
+  auto proof = tree->Prove(1234).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        VerifyMerkleProof(leaves[1234], proof, tree->Root()));
+  }
+}
+BENCHMARK(BM_MerkleVerifyProof);
+
+void BM_FpMul(benchmark::State& state) {
+  Rng rng(1);
+  U256 a(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+  U256 b(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(secp256k1::FpMul(a, b));
+    a = a + U256::One();
+  }
+}
+BENCHMARK(BM_FpMul);
+
+void BM_ScalarMulBase(benchmark::State& state) {
+  Rng rng(1);
+  U256 k(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(secp256k1::ScalarMulBase(k));
+    k = k + U256::One();
+  }
+}
+BENCHMARK(BM_ScalarMulBase);
+
+}  // namespace
+}  // namespace wedge
+
+BENCHMARK_MAIN();

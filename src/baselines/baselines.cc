@@ -1,0 +1,261 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "contracts/root_record.h"
+#include "merkle/merkle_tree.h"
+
+namespace wedge {
+
+Bytes EncodeKvBatch(const std::vector<std::pair<Bytes, Bytes>>& kvs,
+                    size_t first, size_t count) {
+  Bytes out;
+  PutU32(out, static_cast<uint32_t>(count));
+  for (size_t i = first; i < first + count; ++i) {
+    PutBytes(out, kvs[i].first);
+    PutBytes(out, kvs[i].second);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<OclClient>> OclClient::Create(Blockchain* chain,
+                                                     const KeyPair& client_key,
+                                                     int max_pending) {
+  WEDGE_ASSIGN_OR_RETURN(
+      Address contract,
+      chain->Deploy(client_key.address(), std::make_unique<OclLogContract>()));
+  return std::unique_ptr<OclClient>(
+      new OclClient(chain, client_key, contract, std::max(1, max_pending)));
+}
+
+Result<BaselineRunStats> OclClient::CommitAll(
+    const std::vector<std::pair<Bytes, Bytes>>& kvs) {
+  BaselineRunStats stats;
+  SimClock* clock = chain_->clock();
+  Wei fees_before = chain_->TotalFeesPaid(key_.address());
+  uint64_t gas_before = chain_->TotalGasUsed(key_.address());
+  Micros start = clock->NowMicros();
+
+  std::deque<TxId> pending;
+  for (const auto& [k, v] : kvs) {
+    Transaction tx;
+    tx.from = key_.address();
+    tx.to = contract_address_;
+    tx.method = "appendLog";
+    PutBytes(tx.calldata, k);
+    PutBytes(tx.calldata, v);
+    WEDGE_ASSIGN_OR_RETURN(TxId id, chain_->Submit(tx));
+    pending.push_back(id);
+    stats.bytes_committed += k.size() + v.size();
+    ++stats.operations;
+    // Keep the pipeline at most max_pending deep: wait for the oldest
+    // transaction to confirm before sending more.
+    while (pending.size() >= static_cast<size_t>(max_pending_)) {
+      WEDGE_ASSIGN_OR_RETURN(Receipt r, chain_->WaitForReceipt(pending.front()));
+      if (!r.success) {
+        return Status::Reverted("OCL append reverted: " + r.revert_reason);
+      }
+      pending.pop_front();
+    }
+  }
+  while (!pending.empty()) {
+    WEDGE_ASSIGN_OR_RETURN(Receipt r, chain_->WaitForReceipt(pending.front()));
+    if (!r.success) {
+      return Status::Reverted("OCL append reverted: " + r.revert_reason);
+    }
+    pending.pop_front();
+  }
+
+  stats.commit_latency_micros = clock->NowMicros() - start;
+  stats.fees_paid = chain_->TotalFeesPaid(key_.address()) - fees_before;
+  stats.gas_used = chain_->TotalGasUsed(key_.address()) - gas_before;
+  return stats;
+}
+
+Result<std::unique_ptr<SoclClient>> SoclClient::Create(
+    Blockchain* chain, const KeyPair& offchain_key, uint32_t batch_size) {
+  WEDGE_ASSIGN_OR_RETURN(
+      Address root_record,
+      chain->Deploy(offchain_key.address(),
+                    std::make_unique<RootRecordContract>(
+                        offchain_key.address())));
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch size must be positive");
+  }
+  return std::unique_ptr<SoclClient>(
+      new SoclClient(chain, offchain_key, root_record, batch_size));
+}
+
+Result<BaselineRunStats> SoclClient::CommitAll(
+    const std::vector<std::pair<Bytes, Bytes>>& kvs) {
+  BaselineRunStats stats;
+  SimClock* clock = chain_->clock();
+  Wei fees_before = chain_->TotalFeesPaid(key_.address());
+  uint64_t gas_before = chain_->TotalGasUsed(key_.address());
+  Micros start = clock->NowMicros();
+
+  // Pipeline: submit every batch digest as soon as the previous one is in
+  // the mempool (one digest per Root Record position, sequential ids), and
+  // only block on confirmations at the end. One block interval elapses
+  // between digest submissions — the synchronous client cannot produce
+  // infinitely fast because each batch must be observed committed before
+  // its entries are served to consumers.
+  std::vector<TxId> txs;
+  uint64_t next_idx = 0;
+  for (size_t cursor = 0; cursor < kvs.size(); cursor += batch_size_) {
+    size_t count = std::min<size_t>(batch_size_, kvs.size() - cursor);
+    // Digest = Merkle root of the off-chain batch.
+    std::vector<Bytes> leaves;
+    leaves.reserve(count);
+    for (size_t i = cursor; i < cursor + count; ++i) {
+      Bytes leaf;
+      PutBytes(leaf, kvs[i].first);
+      PutBytes(leaf, kvs[i].second);
+      leaves.push_back(std::move(leaf));
+      stats.bytes_committed += kvs[i].first.size() + kvs[i].second.size();
+    }
+    WEDGE_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::Build(leaves));
+
+    Transaction tx;
+    tx.from = key_.address();
+    tx.to = root_record_address_;
+    tx.method = "updateRecords";
+    PutU64(tx.calldata, next_idx);
+    PutU32(tx.calldata, 1);
+    Append(tx.calldata, HashToBytes(tree.Root()));
+    WEDGE_ASSIGN_OR_RETURN(TxId id, chain_->Submit(tx));
+    txs.push_back(id);
+    ++next_idx;
+    stats.operations += count;
+    // The next digest can only go out after this one is mined (root
+    // record indices are strictly sequential): advance one block.
+    clock->AdvanceSeconds(chain_->config().block_interval_seconds);
+    chain_->PumpUntilNow();
+  }
+  for (TxId id : txs) {
+    WEDGE_ASSIGN_OR_RETURN(Receipt r, chain_->WaitForReceipt(id));
+    if (!r.success) {
+      return Status::Reverted("SOCL digest write reverted: " + r.revert_reason);
+    }
+  }
+
+  stats.commit_latency_micros = clock->NowMicros() - start;
+  stats.fees_paid = chain_->TotalFeesPaid(key_.address()) - fees_before;
+  stats.gas_used = chain_->TotalGasUsed(key_.address()) - gas_before;
+  return stats;
+}
+
+Result<std::unique_ptr<RhlClient>> RhlClient::Create(
+    Blockchain* chain, const KeyPair& sequencer_key, uint32_t batch_size,
+    int64_t challenge_window_seconds, const Wei& escrow) {
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch size must be positive");
+  }
+  WEDGE_ASSIGN_OR_RETURN(
+      Address contract,
+      chain->Deploy(sequencer_key.address(),
+                    std::make_unique<RhlContract>(sequencer_key.address(),
+                                                  challenge_window_seconds),
+                    escrow));
+  return std::unique_ptr<RhlClient>(new RhlClient(
+      chain, sequencer_key, contract, batch_size, challenge_window_seconds));
+}
+
+Result<BaselineRunStats> RhlClient::CommitAll(
+    const std::vector<std::pair<Bytes, Bytes>>& kvs) {
+  BaselineRunStats stats;
+  SimClock* clock = chain_->clock();
+  Wei fees_before = chain_->TotalFeesPaid(key_.address());
+  uint64_t gas_before = chain_->TotalGasUsed(key_.address());
+  Micros start = clock->NowMicros();
+
+  // Stage-1 commitment in RHL is the sequencer's response, which is
+  // immediate once the batch is formed; the expensive part — posting the
+  // operations on-chain — happens in the background like WedgeBlock's
+  // stage 2, but carries the FULL data as calldata. A posted batch must
+  // fit under the block gas limit (real rollups split for the same
+  // reason), so the logical batch size is capped by calldata gas.
+  const uint64_t max_calldata_gas =
+      chain_->config().block_gas_limit - 500'000;
+  for (size_t cursor = 0; cursor < kvs.size();) {
+    size_t count = 0;
+    uint64_t calldata_gas = 0;
+    while (cursor + count < kvs.size() && count < batch_size_) {
+      const auto& kv = kvs[cursor + count];
+      uint64_t op_gas =
+          (kv.first.size() + kv.second.size() + 16) * gas::kCalldataNonZeroByte;
+      if (count > 0 && calldata_gas + op_gas > max_calldata_gas) break;
+      calldata_gas += op_gas;
+      ++count;
+    }
+    Bytes batch = EncodeKvBatch(kvs, cursor, count);
+    Hash256 digest = RhlBatchDigest(batch);
+
+    Transaction tx;
+    tx.from = key_.address();
+    tx.to = contract_address_;
+    tx.method = "submitBatch";
+    PutBytes(tx.calldata, batch);
+    Append(tx.calldata, HashToBytes(digest));
+    // Rollup batches are large; make sure the gas limit accommodates the
+    // calldata (16 gas/byte) plus fixed costs.
+    tx.gas_limit = std::min<uint64_t>(
+        gas::kTxBase + gas::CalldataGas(tx.calldata) + 200'000,
+        chain_->config().block_gas_limit);
+    WEDGE_ASSIGN_OR_RETURN(TxId id, chain_->Submit(tx));
+    (void)id;
+    posted_batches_.push_back(std::move(batch));
+    stats.operations += count;
+    for (size_t i = cursor; i < cursor + count; ++i) {
+      stats.bytes_committed += kvs[i].first.size() + kvs[i].second.size();
+    }
+    cursor += count;
+  }
+  // Stage-1 latency: forming batches + sequencer ack (sub-second in sim
+  // time; measured as elapsed sim time which stays ~0 because posting is
+  // asynchronous).
+  stats.commit_latency_micros = std::max<Micros>(
+      clock->NowMicros() - start,
+      static_cast<Micros>(stats.operations));  // ~1us/op sequencer work.
+
+  // Drain the mempool so fees/gas are accounted.
+  Micros horizon = clock->NowMicros();
+  (void)horizon;
+  for (int i = 0; i < 1024 && chain_ != nullptr; ++i) {
+    clock->AdvanceSeconds(chain_->config().block_interval_seconds);
+    chain_->PumpUntilNow();
+    bool all_mined = true;
+    // Probe: batchCount equals number posted once all are mined.
+    auto raw = chain_->Call(contract_address_, "batchCount", {});
+    if (raw.ok()) {
+      ByteReader reader(raw.value());
+      auto count = reader.ReadU64();
+      all_mined = count.ok() && count.value() == posted_batches_.size();
+    }
+    if (all_mined) break;
+  }
+  stats.fees_paid = chain_->TotalFeesPaid(key_.address()) - fees_before;
+  stats.gas_used = chain_->TotalGasUsed(key_.address()) - gas_before;
+  return stats;
+}
+
+Micros RhlClient::FinalityLagMicros() const {
+  return static_cast<Micros>(challenge_window_seconds_) * kMicrosPerSecond;
+}
+
+Result<Receipt> RhlClient::Challenge(const KeyPair& challenger,
+                                     uint64_t batch_index,
+                                     const Bytes& batch_data) {
+  Transaction tx;
+  tx.from = challenger.address();
+  tx.to = contract_address_;
+  tx.method = "challengeBatch";
+  PutU64(tx.calldata, batch_index);
+  PutBytes(tx.calldata, batch_data);
+  tx.gas_limit = gas::kTxBase + gas::CalldataGas(tx.calldata) + 500'000;
+  WEDGE_ASSIGN_OR_RETURN(TxId id, chain_->Submit(tx));
+  return chain_->WaitForReceipt(id);
+}
+
+}  // namespace wedge

@@ -1,0 +1,147 @@
+#ifndef WEDGEBLOCK_BASELINES_BASELINES_H_
+#define WEDGEBLOCK_BASELINES_BASELINES_H_
+
+#include <memory>
+
+#include "chain/blockchain.h"
+#include "contracts/baseline_contracts.h"
+#include "core/data_model.h"
+
+namespace wedge {
+
+/// Result of committing a workload through a baseline: everything the
+/// Table 1 harness needs to compute throughput (MB/s of committed data
+/// over simulated/real time) and cost per operation.
+struct BaselineRunStats {
+  uint64_t operations = 0;
+  uint64_t bytes_committed = 0;
+  /// Simulated time from first submission to last commitment receipt.
+  Micros commit_latency_micros = 0;
+  uint64_t gas_used = 0;
+  Wei fees_paid;
+
+  double ThroughputMBps() const {
+    if (commit_latency_micros <= 0) return 0;
+    return (static_cast<double>(bytes_committed) / (1024.0 * 1024.0)) /
+           (static_cast<double>(commit_latency_micros) / kMicrosPerSecond);
+  }
+  double EthPerOp() const {
+    if (operations == 0) return 0;
+    return WeiToEthDouble(fees_paid) / static_cast<double>(operations);
+  }
+};
+
+/// On-Chain Logging baseline (paper §6.3, "OCL"): every log record is a
+/// smart-contract transaction storing the raw data on-chain. The client
+/// pipelines up to `max_pending` transactions and a commitment receipt is
+/// the transaction's confirmation.
+class OclClient {
+ public:
+  /// Deploys the OCL contract and funds the client.
+  static Result<std::unique_ptr<OclClient>> Create(Blockchain* chain,
+                                                   const KeyPair& client_key,
+                                                   int max_pending = 4);
+
+  /// Writes each (key, value) on-chain and waits for all confirmations.
+  Result<BaselineRunStats> CommitAll(
+      const std::vector<std::pair<Bytes, Bytes>>& kvs);
+
+  const Address& contract_address() const { return contract_address_; }
+
+ private:
+  OclClient(Blockchain* chain, KeyPair key, Address contract, int max_pending)
+      : chain_(chain),
+        key_(std::move(key)),
+        contract_address_(contract),
+        max_pending_(max_pending) {}
+
+  Blockchain* chain_;
+  KeyPair key_;
+  Address contract_address_;
+  int max_pending_;
+};
+
+/// Synchronous Off-Chain Logging baseline ("SOCL"): like WedgeBlock, raw
+/// data lives off-chain and only a batch digest goes on-chain — but the
+/// client must wait for the digest's confirmation before an operation
+/// counts as committed. Batches pipeline: the next batch's digest is
+/// submitted while earlier ones await confirmation, so sustained
+/// throughput is bounded by the chain's block cadence rather than by one
+/// round-trip per batch.
+class SoclClient {
+ public:
+  static Result<std::unique_ptr<SoclClient>> Create(
+      Blockchain* chain, const KeyPair& offchain_key, uint32_t batch_size);
+
+  Result<BaselineRunStats> CommitAll(
+      const std::vector<std::pair<Bytes, Bytes>>& kvs);
+
+  const Address& root_record_address() const { return root_record_address_; }
+
+ private:
+  SoclClient(Blockchain* chain, KeyPair key, Address root_record,
+             uint32_t batch_size)
+      : chain_(chain),
+        key_(std::move(key)),
+        root_record_address_(root_record),
+        batch_size_(batch_size) {}
+
+  Blockchain* chain_;
+  KeyPair key_;  ///< Acts as the off-chain digest writer.
+  Address root_record_address_;
+  uint32_t batch_size_;
+};
+
+/// Rollup-inspired Hybrid Logging baseline ("RHL"): batches are posted
+/// on-chain as calldata with a claimed digest (Optimistic-Rollup style).
+/// Stage-1 commitment is the sequencer's prompt response — fast like
+/// WedgeBlock — but the on-chain calldata makes it as expensive as OCL,
+/// and finality waits out a multi-hour challenge window.
+class RhlClient {
+ public:
+  static Result<std::unique_ptr<RhlClient>> Create(
+      Blockchain* chain, const KeyPair& sequencer_key, uint32_t batch_size,
+      int64_t challenge_window_seconds = 24 * 3600, const Wei& escrow = Wei());
+
+  /// Posts all batches. Stage-1 latency (the reported commitment point,
+  /// as in the paper) is the sequencer response time; stats also carry
+  /// the finality lag.
+  Result<BaselineRunStats> CommitAll(
+      const std::vector<std::pair<Bytes, Bytes>>& kvs);
+
+  /// Simulated time until the last batch becomes final (challenge window).
+  Micros FinalityLagMicros() const;
+
+  /// Challenges batch `index` by replaying `batch_data`; succeeds only on
+  /// real fraud.
+  Result<Receipt> Challenge(const KeyPair& challenger, uint64_t batch_index,
+                            const Bytes& batch_data);
+
+  const Address& contract_address() const { return contract_address_; }
+  /// Serialized batches as posted (for building challenges).
+  const std::vector<Bytes>& posted_batches() const { return posted_batches_; }
+
+ private:
+  RhlClient(Blockchain* chain, KeyPair key, Address contract,
+            uint32_t batch_size, int64_t window)
+      : chain_(chain),
+        key_(std::move(key)),
+        contract_address_(contract),
+        batch_size_(batch_size),
+        challenge_window_seconds_(window) {}
+
+  Blockchain* chain_;
+  KeyPair key_;
+  Address contract_address_;
+  uint32_t batch_size_;
+  int64_t challenge_window_seconds_;
+  std::vector<Bytes> posted_batches_;
+};
+
+/// Encodes a batch of raw key-value operations as posted by RHL/SOCL.
+Bytes EncodeKvBatch(const std::vector<std::pair<Bytes, Bytes>>& kvs,
+                    size_t first, size_t count);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_BASELINES_BASELINES_H_

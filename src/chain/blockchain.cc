@@ -1,0 +1,360 @@
+#include "chain/blockchain.h"
+
+#include <algorithm>
+
+#include "crypto/keccak256.h"
+
+namespace wedge {
+
+namespace {
+
+constexpr uint64_t kWeiPerEthLow = 0xDE0B6B3A7640000ULL;  // 1e18.
+
+}  // namespace
+
+Wei EthToWei(uint64_t eth) { return U256(eth) * U256(kWeiPerEthLow); }
+
+Wei GweiToWei(uint64_t gwei) { return U256(gwei) * U256(1'000'000'000ULL); }
+
+std::string WeiToEthString(const Wei& wei) {
+  U256 q, r;
+  wei.DivMod(U256(kWeiPerEthLow), &q, &r).ok();
+  std::string frac = r.ToDecimal();
+  frac.insert(frac.begin(), 18 - frac.size(), '0');
+  // Trim trailing zeros but keep at least one digit.
+  size_t end = frac.find_last_not_of('0');
+  frac.resize(end == std::string::npos ? 1 : end + 1);
+  return q.ToDecimal() + "." + frac;
+}
+
+double WeiToEthDouble(const Wei& wei) {
+  double acc = 0;
+  for (int i = 3; i >= 0; --i) {
+    acc = acc * 18446744073709551616.0 + static_cast<double>(wei.limb[i]);
+  }
+  return acc / 1e18;
+}
+
+Blockchain::Blockchain(const ChainConfig& config, SimClock* clock)
+    : config_(config),
+      clock_(clock),
+      current_gas_price_(config.gas_price),
+      price_rng_(config.price_seed) {
+  genesis_time_ = clock_->NowSeconds();
+  Block genesis;
+  genesis.number = 0;
+  genesis.timestamp = genesis_time_;
+  genesis.hash = Sha256::Digest("wedgeblock-genesis");
+  blocks_.push_back(genesis);
+}
+
+void Blockchain::Fund(const Address& account, const Wei& amount) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  SetBalanceLocked(account, GetBalanceLocked(account) + amount);
+}
+
+Wei Blockchain::BalanceOf(const Address& account) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return GetBalanceLocked(account);
+}
+
+Wei Blockchain::TotalFeesPaid(const Address& account) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = fees_paid_.find(account);
+  return it == fees_paid_.end() ? Wei() : it->second;
+}
+
+uint64_t Blockchain::TotalGasUsed(const Address& account) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = gas_used_.find(account);
+  return it == gas_used_.end() ? 0 : it->second;
+}
+
+Result<Address> Blockchain::Deploy(const Address& owner,
+                                   std::unique_ptr<Contract> contract,
+                                   const Wei& endowment) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // CREATE-style address: keccak(owner || counter)[12..].
+  Bytes material = owner.ToBytes();
+  PutU64(material, deploy_counter_++);
+  Hash256 h = Keccak256::Digest(material);
+  Address addr;
+  std::copy(h.begin() + 12, h.end(), addr.bytes.begin());
+
+  // Charge deployment gas and move the endowment.
+  Wei deploy_fee = U256(gas::kContractCreation + gas::kTxBase) * config_.gas_price;
+  Wei total = deploy_fee + endowment;
+  Wei balance = GetBalanceLocked(owner);
+  if (balance < total) {
+    return Status::InsufficientFunds("deployment cost exceeds owner balance");
+  }
+  SetBalanceLocked(owner, balance - total);
+  SetBalanceLocked(addr, GetBalanceLocked(addr) + endowment);
+  fees_paid_[owner] = fees_paid_[owner] + deploy_fee;
+  gas_used_[owner] += gas::kContractCreation + gas::kTxBase;
+  contracts_[addr] = std::move(contract);
+  return addr;
+}
+
+bool Blockchain::HasContract(const Address& address) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return contracts_.count(address) > 0;
+}
+
+Result<Bytes> Blockchain::Call(const Address& contract, std::string_view method,
+                               const Bytes& args) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  GasMeter free_meter(~0ULL);  // eth_call is free.
+  return CallLocked(contract, method, args, &free_meter);
+}
+
+Result<Bytes> Blockchain::StaticCallInternal(const Address& contract,
+                                             std::string_view method,
+                                             const Bytes& args,
+                                             GasMeter* gas) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return CallLocked(contract, method, args, gas);
+}
+
+Status Blockchain::TransferFromContract(const Address& contract,
+                                        const Address& to, const Wei& amount) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  Wei balance = GetBalanceLocked(contract);
+  if (balance < amount) {
+    return Status::InsufficientFunds("contract balance too low");
+  }
+  SetBalanceLocked(contract, balance - amount);
+  SetBalanceLocked(to, GetBalanceLocked(to) + amount);
+  return Status::Ok();
+}
+
+Result<Bytes> Blockchain::CallLocked(const Address& contract,
+                                     std::string_view method, const Bytes& args,
+                                     GasMeter* gas) const {
+  auto it = contracts_.find(contract);
+  if (it == contracts_.end()) {
+    return Status::NotFound("no contract at address");
+  }
+  // Read-only context: block values from the current head.
+  const Block& head = blocks_.back();
+  CallContext ctx(const_cast<Blockchain*>(this), contract, Address::Zero(),
+                  Wei(), head.number, head.timestamp, gas, /*read_only=*/true);
+  return it->second->Call(ctx, method, args);
+}
+
+Result<TxId> Blockchain::Submit(Transaction tx) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  uint64_t gas_limit =
+      tx.gas_limit == 0 ? config_.default_tx_gas_limit : tx.gas_limit;
+  if (gas_limit > config_.block_gas_limit) {
+    return Status::InvalidArgument("gas limit exceeds block gas limit");
+  }
+  tx.gas_limit = gas_limit;
+  Wei max_cost = tx.value + U256(gas_limit) * config_.gas_price;
+  if (GetBalanceLocked(tx.from) < max_cost) {
+    return Status::InsufficientFunds(
+        "sender cannot cover value + max gas fee");
+  }
+  if (!tx.method.empty() && contracts_.find(tx.to) == contracts_.end()) {
+    return Status::NotFound("no contract at target address");
+  }
+  tx.id = next_tx_id_++;
+  tx.nonce = nonces_[tx.from]++;
+  tx.submit_time = clock_->NowMicros();
+  mempool_.push_back(PendingTx{std::move(tx)});
+  return mempool_.back().tx.id;
+}
+
+void Blockchain::PumpUntilNow() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  int64_t now = clock_->NowSeconds();
+  for (;;) {
+    int64_t next_block_time =
+        blocks_.back().timestamp + config_.block_interval_seconds;
+    if (next_block_time > now) break;
+    MineBlockLocked(next_block_time);
+  }
+}
+
+Wei Blockchain::CurrentGasPrice() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return current_gas_price_;
+}
+
+void Blockchain::MineBlockLocked(int64_t block_time) {
+  if (config_.gas_price_volatility > 0.0) {
+    // Random walk around the base price: price = base * (1 +/- U[0, v]).
+    double swing =
+        config_.gas_price_volatility * (2.0 * price_rng_.NextDouble() - 1.0);
+    int64_t permille = static_cast<int64_t>(1000.0 * (1.0 + swing));
+    if (permille < 1) permille = 1;
+    U256 scaled = config_.gas_price * U256(static_cast<uint64_t>(permille));
+    U256 q, r;
+    scaled.DivMod(U256(1000), &q, &r).ok();
+    current_gas_price_ = q;
+  }
+
+  Block block;
+  block.number = blocks_.back().number + 1;
+  block.timestamp = block_time;
+  block.parent_hash = blocks_.back().hash;
+
+  Micros cutoff = static_cast<Micros>(block_time) * kMicrosPerSecond;
+  std::vector<LogEvent> mined_events;
+  while (!mempool_.empty() &&
+         block.gas_used < config_.block_gas_limit) {
+    // Include transactions submitted before this block's timestamp.
+    if (mempool_.front().tx.submit_time > cutoff) break;
+    // Stop if the next transaction cannot fit under the block gas limit.
+    if (block.gas_used + mempool_.front().tx.gas_limit >
+        config_.block_gas_limit) {
+      break;
+    }
+    Transaction tx = std::move(mempool_.front().tx);
+    mempool_.pop_front();
+    Receipt receipt = ExecuteLocked(tx, block.number, block_time);
+    block.gas_used += receipt.gas_used;
+    block.tx_ids.push_back(tx.id);
+    for (const LogEvent& ev : receipt.events) mined_events.push_back(ev);
+    receipts_[tx.id] = std::move(receipt);
+  }
+
+  Bytes header;
+  PutU64(header, block.number);
+  PutU64(header, static_cast<uint64_t>(block.timestamp));
+  Append(header, HashToBytes(block.parent_hash));
+  block.hash = Sha256::Digest(header);
+  blocks_.push_back(std::move(block));
+
+  for (const LogEvent& ev : mined_events) {
+    auto it = subscribers_.find(ev.contract);
+    if (it == subscribers_.end()) continue;
+    for (const auto& cb : it->second) cb(ev);
+  }
+}
+
+Receipt Blockchain::ExecuteLocked(const Transaction& tx, uint64_t block_number,
+                                  int64_t block_time) {
+  Receipt receipt;
+  receipt.tx_id = tx.id;
+  receipt.block_number = block_number;
+  receipt.block_timestamp = block_time;
+
+  GasMeter meter(tx.gas_limit);
+  meter.Charge(gas::kTxBase + gas::CalldataGas(tx.calldata));
+
+  // Move the value up front (refunded on revert).
+  Wei sender_balance = GetBalanceLocked(tx.from);
+  bool value_ok = sender_balance >= tx.value;
+  if (value_ok) {
+    SetBalanceLocked(tx.from, sender_balance - tx.value);
+    SetBalanceLocked(tx.to, GetBalanceLocked(tx.to) + tx.value);
+  }
+
+  bool reverted = false;
+  std::string reason;
+  std::vector<LogEvent> events;
+  if (!value_ok) {
+    reverted = true;
+    reason = "insufficient balance for value transfer";
+  } else if (!tx.method.empty()) {
+    auto it = contracts_.find(tx.to);
+    if (it == contracts_.end()) {
+      reverted = true;
+      reason = "no contract at target";
+    } else {
+      CallContext ctx(this, tx.to, tx.from, tx.value, block_number, block_time,
+                      &meter, /*read_only=*/false);
+      Result<Bytes> result = it->second->Call(ctx, tx.method, tx.calldata);
+      if (!result.ok()) {
+        reverted = true;
+        reason = result.status().ToString();
+      } else {
+        events = std::move(ctx.staged_events());
+        for (LogEvent& ev : events) ev.tx_id = tx.id;
+      }
+    }
+  }
+
+  if (meter.ExceededLimit()) {
+    reverted = true;
+    reason = "out of gas";
+    events.clear();
+  }
+
+  if (reverted && value_ok) {
+    // Refund the value transfer; gas is still consumed.
+    SetBalanceLocked(tx.to, GetBalanceLocked(tx.to) - tx.value);
+    SetBalanceLocked(tx.from, GetBalanceLocked(tx.from) + tx.value);
+  }
+
+  receipt.success = !reverted;
+  receipt.revert_reason = reason;
+  receipt.gas_used = std::min(meter.used(), tx.gas_limit);
+  receipt.fee = U256(receipt.gas_used) * current_gas_price_;
+  receipt.events = std::move(events);
+
+  // Charge the fee (sender was checked to afford gas_limit at submission,
+  // but balance may have changed; clamp to available funds).
+  Wei balance = GetBalanceLocked(tx.from);
+  Wei fee = receipt.fee < balance ? receipt.fee : balance;
+  SetBalanceLocked(tx.from, balance - fee);
+  fees_paid_[tx.from] = fees_paid_[tx.from] + fee;
+  gas_used_[tx.from] += receipt.gas_used;
+  return receipt;
+}
+
+Result<Receipt> Blockchain::GetReceipt(TxId id) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = receipts_.find(id);
+  if (it == receipts_.end()) {
+    return Status::NotFound("transaction not yet mined");
+  }
+  return it->second;
+}
+
+bool Blockchain::IsConfirmed(TxId id) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = receipts_.find(id);
+  if (it == receipts_.end()) return false;
+  return blocks_.back().number >=
+         it->second.block_number + static_cast<uint64_t>(config_.confirmations);
+}
+
+Result<Receipt> Blockchain::WaitForReceipt(TxId id) {
+  // Bound the wait: a submitted transaction is mined in the next block,
+  // so confirmations + 2 intervals always suffice.
+  for (int i = 0; i < config_.confirmations + 3; ++i) {
+    if (IsConfirmed(id)) break;
+    clock_->AdvanceSeconds(config_.block_interval_seconds);
+    PumpUntilNow();
+  }
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = receipts_.find(id);
+  if (it == receipts_.end()) {
+    return Status::NotFound("transaction was never mined");
+  }
+  return it->second;
+}
+
+uint64_t Blockchain::HeadNumber() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return blocks_.back().number;
+}
+
+void Blockchain::SubscribeEvents(const Address& contract,
+                                 std::function<void(const LogEvent&)> callback) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  subscribers_[contract].push_back(std::move(callback));
+}
+
+Wei Blockchain::GetBalanceLocked(const Address& a) const {
+  auto it = balances_.find(a);
+  return it == balances_.end() ? Wei() : it->second;
+}
+
+void Blockchain::SetBalanceLocked(const Address& a, const Wei& v) {
+  balances_[a] = v;
+}
+
+}  // namespace wedge

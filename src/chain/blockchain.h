@@ -1,0 +1,167 @@
+#ifndef WEDGEBLOCK_CHAIN_BLOCKCHAIN_H_
+#define WEDGEBLOCK_CHAIN_BLOCKCHAIN_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "chain/contract.h"
+#include "chain/types.h"
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace wedge {
+
+/// Simulated-chain configuration. Defaults approximate the Ethereum
+/// networks the paper deployed on (Ropsten): 13-second blocks and a
+/// 30M block gas limit.
+struct ChainConfig {
+  int64_t block_interval_seconds = 13;
+  uint64_t block_gas_limit = 30'000'000;
+  /// Price charged per unit of gas.
+  Wei gas_price = GweiToWei(100);
+  /// Per-block gas-price fluctuation as a fraction of gas_price (the
+  /// paper's footnote 7 notes Ropsten fee fluctuation): each block's
+  /// effective price is gas_price * (1 +/- U[0, volatility]). 0 = fixed.
+  double gas_price_volatility = 0.0;
+  /// Seed for the price walk (deterministic runs).
+  uint64_t price_seed = 0xFEE;
+  /// Blocks that must be mined on top before a transaction counts as
+  /// confirmed. 3 extra blocks over a 13s interval yields the ~43s
+  /// average stage-2 commitment latency reported in the paper (§6.3).
+  int confirmations = 3;
+  /// Default per-transaction gas cap when Transaction.gas_limit == 0.
+  uint64_t default_tx_gas_limit = 10'000'000;
+};
+
+/// A discrete-event simulated Ethereum-like blockchain.
+///
+/// The chain runs on a SimClock: callers advance the clock (directly or
+/// via WaitForReceipt) and call PumpUntilNow() to mine the blocks whose
+/// boundaries have passed. Transactions execute with Ethereum-schedule
+/// gas metering against natively-hosted Contract objects.
+///
+/// Thread-compatible: all public methods take an internal lock, so the
+/// Offchain Node's background stage-2 submitter may share the chain with
+/// client threads.
+class Blockchain {
+ public:
+  Blockchain(const ChainConfig& config, SimClock* clock);
+
+  Blockchain(const Blockchain&) = delete;
+  Blockchain& operator=(const Blockchain&) = delete;
+
+  /// --- Accounts ---
+
+  /// Creates (or tops up) an externally-owned account.
+  void Fund(const Address& account, const Wei& amount);
+  Wei BalanceOf(const Address& account) const;
+  /// Cumulative transaction fees paid by an account (for cost reporting).
+  Wei TotalFeesPaid(const Address& account) const;
+
+  /// --- Contracts ---
+
+  /// Deploys a contract owned by `owner` with an optional endowment moved
+  /// from the owner's balance. Deployment is processed synchronously
+  /// (setup phase is not part of the paper's measured path) but charges
+  /// the owner creation gas. Returns the new contract's address.
+  Result<Address> Deploy(const Address& owner,
+                         std::unique_ptr<Contract> contract,
+                         const Wei& endowment = Wei());
+
+  /// True if a contract is deployed at `address`.
+  bool HasContract(const Address& address) const;
+
+  /// Read-only call (eth_call): free, does not mine, no state changes.
+  Result<Bytes> Call(const Address& contract, std::string_view method,
+                     const Bytes& args) const;
+
+  /// --- Transactions ---
+
+  /// Validates and enqueues a transaction. The sender must hold
+  /// value + gas_limit * gas_price. Returns the assigned TxId.
+  Result<TxId> Submit(Transaction tx);
+
+  /// Mines all blocks whose boundary time has passed on the SimClock.
+  void PumpUntilNow();
+
+  /// Receipt of a mined transaction; NotFound while pending.
+  Result<Receipt> GetReceipt(TxId id) const;
+
+  /// True once the transaction's block has `confirmations` blocks on top.
+  bool IsConfirmed(TxId id) const;
+
+  /// Advances the SimClock and mines until `id` is confirmed, then
+  /// returns its receipt. This models a client synchronously waiting for
+  /// on-chain commitment.
+  Result<Receipt> WaitForReceipt(TxId id);
+
+  /// --- Introspection ---
+
+  uint64_t HeadNumber() const;
+  const ChainConfig& config() const { return config_; }
+  SimClock* clock() { return clock_; }
+  /// Gas price charged in the current head block (fluctuates when
+  /// gas_price_volatility > 0).
+  Wei CurrentGasPrice() const;
+
+  /// Registers a callback for every event emitted by `contract` (invoked
+  /// at mining time).
+  void SubscribeEvents(const Address& contract,
+                       std::function<void(const LogEvent&)> callback);
+
+  /// Total gas consumed by all mined transactions from `account`.
+  uint64_t TotalGasUsed(const Address& account) const;
+
+  /// Internal: read-only nested call used by CallContext::StaticCall.
+  Result<Bytes> StaticCallInternal(const Address& contract,
+                                   std::string_view method, const Bytes& args,
+                                   GasMeter* gas) const;
+
+  /// Internal: moves ether out of a contract's balance (CallContext).
+  Status TransferFromContract(const Address& contract, const Address& to,
+                              const Wei& amount);
+
+ private:
+  struct PendingTx {
+    Transaction tx;
+  };
+
+  // All private methods assume mu_ is held.
+  void MineBlockLocked(int64_t block_time);
+  Receipt ExecuteLocked(const Transaction& tx, uint64_t block_number,
+                        int64_t block_time);
+  Wei GetBalanceLocked(const Address& a) const;
+  void SetBalanceLocked(const Address& a, const Wei& v);
+  Result<Bytes> CallLocked(const Address& contract, std::string_view method,
+                           const Bytes& args, GasMeter* gas) const;
+
+  const ChainConfig config_;
+  SimClock* const clock_;
+
+  // Recursive: contract execution re-enters the chain for static calls
+  // and balance transfers while a transaction is being executed.
+  mutable std::recursive_mutex mu_;
+  std::unordered_map<Address, Wei, AddressHasher> balances_;
+  std::unordered_map<Address, uint64_t, AddressHasher> nonces_;
+  std::unordered_map<Address, Wei, AddressHasher> fees_paid_;
+  std::unordered_map<Address, uint64_t, AddressHasher> gas_used_;
+  std::unordered_map<Address, std::unique_ptr<Contract>, AddressHasher>
+      contracts_;
+  std::deque<PendingTx> mempool_;
+  std::unordered_map<TxId, Receipt> receipts_;
+  std::vector<Block> blocks_;
+  std::unordered_map<Address, std::vector<std::function<void(const LogEvent&)>>,
+                     AddressHasher>
+      subscribers_;
+  TxId next_tx_id_ = 1;
+  int64_t genesis_time_ = 0;
+  uint64_t deploy_counter_ = 0;
+  Wei current_gas_price_;
+  Rng price_rng_;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CHAIN_BLOCKCHAIN_H_

@@ -1,0 +1,48 @@
+#include "chain/contract.h"
+
+#include "chain/blockchain.h"
+
+namespace wedge {
+
+CallContext::CallContext(Blockchain* chain, Address self, Address sender,
+                         Wei value, uint64_t block_number,
+                         int64_t block_timestamp, GasMeter* gas,
+                         bool read_only)
+    : chain_(chain),
+      self_(self),
+      sender_(sender),
+      value_(value),
+      block_number_(block_number),
+      block_timestamp_(block_timestamp),
+      gas_(gas),
+      read_only_(read_only) {}
+
+void CallContext::Emit(std::string name, Bytes payload) {
+  if (read_only_) return;
+  gas_->ChargeLog(/*topics=*/1, payload.size());
+  LogEvent ev;
+  ev.contract = self_;
+  ev.name = std::move(name);
+  ev.payload = std::move(payload);
+  ev.block_number = block_number_;
+  staged_events_.push_back(std::move(ev));
+}
+
+Status CallContext::TransferOut(const Address& to, const Wei& amount) {
+  if (read_only_) {
+    return Status::FailedPrecondition("transfer in read-only call");
+  }
+  gas_->Charge(gas::kCallStipend + gas::kColdAccountAccess);
+  return chain_->TransferFromContract(self_, to, amount);
+}
+
+Wei CallContext::SelfBalance() const { return chain_->BalanceOf(self_); }
+
+Result<Bytes> CallContext::StaticCall(const Address& contract,
+                                      std::string_view method,
+                                      const Bytes& args) {
+  gas_->Charge(gas::kColdAccountAccess);
+  return chain_->StaticCallInternal(contract, method, args, gas_);
+}
+
+}  // namespace wedge

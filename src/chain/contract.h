@@ -1,0 +1,89 @@
+#ifndef WEDGEBLOCK_CHAIN_CONTRACT_H_
+#define WEDGEBLOCK_CHAIN_CONTRACT_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "chain/gas.h"
+#include "chain/types.h"
+
+namespace wedge {
+
+class Blockchain;
+
+/// Per-call execution context handed to a contract method — the analogue
+/// of Solidity's msg/block globals plus the host interfaces a method needs
+/// (event emission, ether transfer, static calls into other contracts).
+class CallContext {
+ public:
+  CallContext(Blockchain* chain, Address self, Address sender, Wei value,
+              uint64_t block_number, int64_t block_timestamp, GasMeter* gas,
+              bool read_only);
+
+  const Address& sender() const { return sender_; }       ///< msg.sender
+  const Wei& value() const { return value_; }             ///< msg.value
+  uint64_t block_number() const { return block_number_; }
+  int64_t block_timestamp() const { return block_timestamp_; }
+  const Address& self() const { return self_; }
+  GasMeter& gas() { return *gas_; }
+  bool read_only() const { return read_only_; }
+
+  /// Emits an event; collected into the transaction receipt and delivered
+  /// to subscribers when the block is mined. No-op in read-only calls.
+  void Emit(std::string name, Bytes payload);
+
+  /// Transfers `amount` out of the contract's balance. Fails without
+  /// mutating anything when the balance is insufficient or the call is
+  /// read-only.
+  Status TransferOut(const Address& to, const Wei& amount);
+
+  /// Current balance of the executing contract.
+  Wei SelfBalance() const;
+
+  /// Read-only call into another deployed contract (e.g. the Punishment
+  /// contract consulting the Root Record contract).
+  Result<Bytes> StaticCall(const Address& contract, std::string_view method,
+                           const Bytes& args);
+
+  /// Events staged by this call (drained by the chain into the receipt).
+  std::vector<LogEvent>& staged_events() { return staged_events_; }
+
+ private:
+  Blockchain* chain_;
+  Address self_;
+  Address sender_;
+  Wei value_;
+  uint64_t block_number_;
+  int64_t block_timestamp_;
+  GasMeter* gas_;
+  bool read_only_;
+  std::vector<LogEvent> staged_events_;
+};
+
+/// Base class for native "smart contracts" hosted by the simulated chain.
+///
+/// Instead of EVM bytecode, contracts are C++ objects dispatching on a
+/// method name; gas is metered through CallContext/GasMeter using the
+/// Ethereum schedule so monetary-cost results track a real deployment.
+///
+/// Contract methods MUST validate all failure conditions before mutating
+/// their state: the host does not snapshot C++ object state, so a revert
+/// after mutation would leak the mutation (see DESIGN.md).
+class Contract {
+ public:
+  virtual ~Contract() = default;
+
+  /// Human-readable contract name (diagnostics only).
+  virtual std::string_view Name() const = 0;
+
+  /// Dispatches a method call. Returns the ABI-style encoded return value,
+  /// Status::Reverted for a require()-style failure, or other error codes
+  /// for malformed calldata.
+  virtual Result<Bytes> Call(CallContext& ctx, std::string_view method,
+                             const Bytes& args) = 0;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CHAIN_CONTRACT_H_

@@ -1,0 +1,21 @@
+#include "chain/gas.h"
+
+namespace wedge {
+namespace gas {
+
+uint64_t CalldataGas(const Bytes& data) {
+  uint64_t total = 0;
+  for (uint8_t b : data) {
+    total += (b == 0) ? kCalldataZeroByte : kCalldataNonZeroByte;
+  }
+  return total;
+}
+
+uint64_t Sha256Gas(size_t len) {
+  return kSha256Base + kSha256PerWord * ((len + 31) / 32);
+}
+
+uint64_t StorageWords(size_t len) { return (len + 31) / 32; }
+
+}  // namespace gas
+}  // namespace wedge

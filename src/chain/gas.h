@@ -1,0 +1,75 @@
+#ifndef WEDGEBLOCK_CHAIN_GAS_H_
+#define WEDGEBLOCK_CHAIN_GAS_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace wedge {
+
+/// Ethereum gas schedule (the subset the simulated contracts exercise).
+/// Values follow the mainline schedule the paper's Ropsten deployment paid:
+/// storing data on-chain is dominated by SSTORE (20k gas per fresh 32-byte
+/// word) and calldata (16 gas per non-zero byte).
+namespace gas {
+
+constexpr uint64_t kTxBase = 21'000;
+constexpr uint64_t kCalldataZeroByte = 4;
+constexpr uint64_t kCalldataNonZeroByte = 16;
+constexpr uint64_t kSstoreSet = 20'000;    ///< Fresh storage slot write.
+constexpr uint64_t kSstoreReset = 5'000;   ///< Overwrite existing slot.
+constexpr uint64_t kSload = 2'100;
+constexpr uint64_t kLogBase = 375;
+constexpr uint64_t kLogTopic = 375;
+constexpr uint64_t kLogDataByte = 8;
+constexpr uint64_t kEcrecover = 3'000;     ///< Precompile cost.
+constexpr uint64_t kSha256Base = 60;
+constexpr uint64_t kSha256PerWord = 12;
+constexpr uint64_t kKeccakBase = 30;
+constexpr uint64_t kKeccakPerWord = 6;
+constexpr uint64_t kContractCreation = 32'000;
+constexpr uint64_t kCallStipend = 2'300;
+constexpr uint64_t kColdAccountAccess = 2'600;
+
+/// Intrinsic calldata cost of a payload (4 gas per zero byte, 16 otherwise).
+uint64_t CalldataGas(const Bytes& data);
+
+/// SHA-256 precompile cost for `len` input bytes.
+uint64_t Sha256Gas(size_t len);
+
+/// Number of 32-byte storage words needed for `len` bytes.
+uint64_t StorageWords(size_t len);
+
+}  // namespace gas
+
+/// Accumulates gas during contract execution. The chain seeds it with the
+/// intrinsic cost and enforces the transaction gas limit after execution
+/// (contracts are expected to validate before mutating state, so an
+/// out-of-gas result reverts the whole call).
+class GasMeter {
+ public:
+  explicit GasMeter(uint64_t limit) : limit_(limit) {}
+
+  void Charge(uint64_t amount) { used_ += amount; }
+  void ChargeSstore(bool fresh_slot) {
+    Charge(fresh_slot ? gas::kSstoreSet : gas::kSstoreReset);
+  }
+  void ChargeSload() { Charge(gas::kSload); }
+  /// Cost of emitting an event with `topics` topics and `data_len` bytes.
+  void ChargeLog(int topics, size_t data_len) {
+    Charge(gas::kLogBase + gas::kLogTopic * static_cast<uint64_t>(topics) +
+           gas::kLogDataByte * static_cast<uint64_t>(data_len));
+  }
+
+  uint64_t used() const { return used_; }
+  uint64_t limit() const { return limit_; }
+  bool ExceededLimit() const { return used_ > limit_; }
+
+ private:
+  uint64_t limit_;
+  uint64_t used_ = 0;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CHAIN_GAS_H_

@@ -1,0 +1,78 @@
+#ifndef WEDGEBLOCK_CHAIN_TYPES_H_
+#define WEDGEBLOCK_CHAIN_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "crypto/ecdsa.h"
+#include "crypto/u256.h"
+
+namespace wedge {
+
+/// Currency amounts are in wei (1 ETH = 1e18 wei), as 256-bit integers.
+using Wei = U256;
+
+/// Wei constants for the common denominations.
+Wei EthToWei(uint64_t eth);
+Wei GweiToWei(uint64_t gwei);
+/// Formats a wei amount as a decimal ETH string (e.g. "1.25e-3" scale kept
+/// as fixed point with 18 decimals, trailing zeros trimmed).
+std::string WeiToEthString(const Wei& wei);
+/// Wei -> double ETH (lossy; for reporting only).
+double WeiToEthDouble(const Wei& wei);
+
+/// Monotonically increasing transaction identifier assigned at submission.
+using TxId = uint64_t;
+
+/// A transaction on the simulated chain. Plain value transfers leave
+/// `method` empty; contract calls name the method and carry canonical
+/// calldata that the target contract decodes.
+struct Transaction {
+  Address from;
+  Address to;
+  Wei value;
+  std::string method;  ///< Empty for plain transfers.
+  Bytes calldata;
+  uint64_t gas_limit = 0;  ///< 0 = use the chain's default cap.
+  // Filled in by the chain at submission:
+  TxId id = 0;
+  uint64_t nonce = 0;
+  Micros submit_time = 0;
+};
+
+/// An event emitted by a contract (Solidity-style log).
+struct LogEvent {
+  Address contract;
+  std::string name;
+  Bytes payload;
+  uint64_t block_number = 0;
+  TxId tx_id = 0;
+};
+
+/// Execution result of a mined transaction.
+struct Receipt {
+  TxId tx_id = 0;
+  bool success = false;
+  std::string revert_reason;
+  uint64_t gas_used = 0;
+  Wei fee;                     ///< gas_used * gas_price.
+  uint64_t block_number = 0;
+  int64_t block_timestamp = 0; ///< Seconds (Solidity block.timestamp).
+  std::vector<LogEvent> events;
+};
+
+/// A mined block.
+struct Block {
+  uint64_t number = 0;
+  int64_t timestamp = 0;  ///< Seconds.
+  Hash256 parent_hash{};
+  Hash256 hash{};
+  std::vector<TxId> tx_ids;
+  uint64_t gas_used = 0;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CHAIN_TYPES_H_

@@ -1,0 +1,329 @@
+#include "cluster/bft_cluster.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace wedge {
+
+namespace {
+
+/// Endpoint name of replica i on the bus.
+std::string ReplicaEndpoint(uint32_t i) {
+  return "replica-" + std::to_string(i);
+}
+
+constexpr char kPrimaryEndpoint[] = "primary-collector";
+
+}  // namespace
+
+Hash256 RootAckDigest(uint64_t log_id, const Hash256& mroot) {
+  Bytes material;
+  PutString(material, "wedgeblock-cluster-ack-v1");
+  PutU64(material, log_id);
+  Append(material, HashToBytes(mroot));
+  return Sha256::Digest(material);
+}
+
+Bytes QuorumCertificate::Serialize() const {
+  Bytes out;
+  PutU64(out, log_id);
+  Append(out, HashToBytes(mroot));
+  PutU32(out, static_cast<uint32_t>(acks.size()));
+  for (const RootAck& ack : acks) {
+    PutU32(out, ack.replica_index);
+    Append(out, ack.signature.Serialize());
+  }
+  return out;
+}
+
+Result<QuorumCertificate> QuorumCertificate::Deserialize(const Bytes& b) {
+  ByteReader reader(b);
+  QuorumCertificate cert;
+  WEDGE_ASSIGN_OR_RETURN(cert.log_id, reader.ReadU64());
+  WEDGE_ASSIGN_OR_RETURN(Bytes root_raw, reader.ReadRaw(32));
+  WEDGE_ASSIGN_OR_RETURN(cert.mroot, HashFromBytes(root_raw));
+  WEDGE_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+  if (n > 1024) return Status::InvalidArgument("certificate too large");
+  for (uint32_t i = 0; i < n; ++i) {
+    RootAck ack;
+    WEDGE_ASSIGN_OR_RETURN(ack.replica_index, reader.ReadU32());
+    WEDGE_ASSIGN_OR_RETURN(Bytes sig, reader.ReadRaw(65));
+    WEDGE_ASSIGN_OR_RETURN(ack.signature, EcdsaSignature::Deserialize(sig));
+    cert.acks.push_back(ack);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after certificate");
+  }
+  return cert;
+}
+
+bool VerifyQuorumCertificate(const QuorumCertificate& cert,
+                             const std::vector<Address>& members,
+                             size_t quorum) {
+  Hash256 digest = RootAckDigest(cert.log_id, cert.mroot);
+  std::unordered_set<uint32_t> seen;
+  size_t valid = 0;
+  for (const RootAck& ack : cert.acks) {
+    if (ack.replica_index >= members.size()) return false;
+    if (!seen.insert(ack.replica_index).second) return false;  // Duplicate.
+    if (RecoverSigner(digest, ack.signature) !=
+        members[ack.replica_index]) {
+      return false;  // Forged co-signature.
+    }
+    ++valid;
+  }
+  return valid >= quorum;
+}
+
+ClusterReplica::ClusterReplica(uint32_t index, KeyPair key,
+                               std::unique_ptr<LogStore> store)
+    : index_(index), key_(std::move(key)), store_(std::move(store)) {}
+
+std::optional<RootAck> ClusterReplica::OnPrepare(
+    uint64_t log_id, const std::vector<Bytes>& leaves) {
+  if (fault_ == ReplicaFault::kCrash) return std::nullopt;
+
+  // Only the next sequential position is acceptable; a replica that
+  // already holds this position re-acks its stored root (idempotent
+  // re-drive after a view change).
+  Hash256 root;
+  if (log_id < store_->Size()) {
+    auto existing = store_->Get(log_id);
+    if (!existing.ok()) return std::nullopt;
+    root = existing->mroot;
+  } else if (log_id == store_->Size()) {
+    auto tree = MerkleTree::Build(leaves);
+    if (!tree.ok()) return std::nullopt;
+    LogPosition position;
+    position.log_id = log_id;
+    position.data_list = leaves;
+    position.mroot = tree->Root();
+    if (!store_->Append(position).ok()) return std::nullopt;
+    root = tree->Root();
+  } else {
+    return std::nullopt;  // Gap: this replica missed earlier positions.
+  }
+
+  if (fault_ == ReplicaFault::kOmitAcks) return std::nullopt;
+  if (fault_ == ReplicaFault::kWrongRoot) {
+    root[0] ^= 0xFF;  // Equivocating ack; signature check will pass but
+                      // the root will not match the honest quorum's.
+  }
+  RootAck ack;
+  ack.replica_index = index_;
+  ack.signature = EcdsaSign(key_.private_key(), RootAckDigest(log_id, root));
+  return ack;
+}
+
+OffchainCluster::OffchainCluster(const ClusterConfig& config, SimClock* clock,
+                                 Blockchain* chain,
+                                 const Address& root_record_address,
+                                 uint64_t seed_base)
+    : config_(config),
+      clock_(clock),
+      chain_(chain),
+      root_record_address_(root_record_address),
+      bus_(clock, config.network, seed_base) {
+  size_t n = 3 * static_cast<size_t>(config.f) + 1;
+  replicas_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    replicas_.push_back(std::make_unique<ClusterReplica>(
+        static_cast<uint32_t>(i), KeyPair::FromSeed(seed_base + i),
+        std::make_unique<MemoryLogStore>()));
+  }
+}
+
+std::vector<Address> OffchainCluster::MemberAddresses() const {
+  std::vector<Address> out;
+  out.reserve(replicas_.size());
+  for (const auto& r : replicas_) out.push_back(r->address());
+  return out;
+}
+
+Result<ClusterCommit> OffchainCluster::Append(
+    const std::vector<AppendRequest>& requests) {
+  if (requests.empty()) {
+    return Status::InvalidArgument("empty batch");
+  }
+  std::vector<Bytes> leaves;
+  leaves.reserve(requests.size());
+  for (const AppendRequest& r : requests) leaves.push_back(r.Serialize());
+
+  // The position id is fixed across view changes: a failed view may have
+  // persisted the position on honest replicas, which simply re-ack their
+  // stored root when the next primary re-drives the same id.
+  uint64_t log_id = next_log_id_;
+  for (int attempt = 0; attempt < config_.max_views; ++attempt) {
+    Result<ClusterCommit> commit = TryViewOnce(log_id, leaves, requests);
+    if (commit.ok()) {
+      ++next_log_id_;
+      return commit;
+    }
+    if (commit.status().code() != Code::kTimeout) return commit;
+    // View change: rotate the primary and re-drive.
+    ++view_;
+  }
+  return Status::Unavailable(
+      "cluster could not reach quorum within max_views rotations");
+}
+
+Result<ClusterCommit> OffchainCluster::TryViewOnce(
+    uint64_t log_id, const std::vector<Bytes>& leaves,
+    const std::vector<AppendRequest>& batch) {
+  ClusterReplica& primary = *replicas_[PrimaryIndex()];
+
+  // Collected acks, keyed by the root they endorsed.
+  std::vector<RootAck> acks;
+  std::optional<Hash256> primary_root;
+
+  // Register handlers: each replica processes PREPARE and sends its ack
+  // back to the primary's collector endpoint.
+  for (auto& replica_ptr : replicas_) {
+    ClusterReplica* replica = replica_ptr.get();
+    bus_.RegisterEndpoint(
+        ReplicaEndpoint(replica->index()),
+        [this, replica, log_id, &leaves](const std::string& from,
+                                         const Bytes& payload) {
+          (void)from;
+          (void)payload;  // The PREPARE payload is (log_id, leaf count);
+                          // leaves ride by reference in-process.
+          std::optional<RootAck> ack = replica->OnPrepare(log_id, leaves);
+          if (!ack.has_value()) return;
+          Bytes wire;
+          PutU32(wire, ack->replica_index);
+          wedge::Append(wire, ack->signature.Serialize());
+          bus_.Send(ReplicaEndpoint(replica->index()), kPrimaryEndpoint,
+                    std::move(wire));
+        });
+  }
+  bus_.RegisterEndpoint(
+      kPrimaryEndpoint,
+      [&acks](const std::string& from, const Bytes& payload) {
+        (void)from;
+        ByteReader reader(payload);
+        auto index = reader.ReadU32();
+        auto sig_raw = reader.ReadRaw(65);
+        if (!index.ok() || !sig_raw.ok()) return;
+        auto sig = EcdsaSignature::Deserialize(sig_raw.value());
+        if (!sig.ok()) return;
+        acks.push_back(RootAck{index.value(), sig.value()});
+      });
+
+  // Broadcast PREPARE. The wire message carries the metadata; the leaf
+  // payload bytes are shared in-process (size is still modeled for the
+  // link delay via the serialized size).
+  Bytes prepare;
+  PutU64(prepare, log_id);
+  size_t total_bytes = 0;
+  for (const Bytes& leaf : leaves) total_bytes += leaf.size();
+  PutU64(prepare, total_bytes);
+  prepare.resize(prepare.size() + std::min<size_t>(total_bytes, 1 << 20));
+  for (auto& replica_ptr : replicas_) {
+    bus_.Send(kPrimaryEndpoint, ReplicaEndpoint(replica_ptr->index()),
+              prepare);
+  }
+
+  // Drive the bus until quorum of matching acks or timeout.
+  Micros deadline = clock_->NowMicros() + config_.prepare_timeout;
+  auto count_matching = [&]() -> size_t {
+    if (log_id >= primary.store().Size()) return 0;
+    Hash256 root = primary.store().Get(log_id)->mroot;
+    Hash256 digest = RootAckDigest(log_id, root);
+    std::unordered_set<uint32_t> seen;
+    size_t matching = 0;
+    for (const RootAck& ack : acks) {
+      if (ack.replica_index >= replicas_.size()) continue;
+      // Only a VALID ack claims the replica's slot: a stale ack from an
+      // earlier round (still in flight when that round hit quorum) must
+      // not shadow the fresh one.
+      if (RecoverSigner(digest, ack.signature) !=
+          replicas_[ack.replica_index]->address()) {
+        continue;
+      }
+      if (seen.insert(ack.replica_index).second) ++matching;
+    }
+    return matching;
+  };
+  while (count_matching() < quorum()) {
+    if (clock_->NowMicros() >= deadline) break;
+    if (!bus_.Step()) {
+      // Nothing in flight and still no quorum: burn the rest of the
+      // timeout so the caller rotates the view.
+      clock_->SetMicros(deadline);
+      break;
+    }
+    if (clock_->NowMicros() > deadline) clock_->SetMicros(deadline);
+  }
+  if (count_matching() < quorum()) {
+    return Status::Timeout("no quorum in this view");
+  }
+
+  // Assemble the certificate from the matching acks.
+  Hash256 root = primary.store().Get(log_id)->mroot;
+  Hash256 digest = RootAckDigest(log_id, root);
+  QuorumCertificate cert;
+  cert.log_id = log_id;
+  cert.mroot = root;
+  std::unordered_set<uint32_t> seen;
+  for (const RootAck& ack : acks) {
+    if (ack.replica_index >= replicas_.size()) continue;
+    if (RecoverSigner(digest, ack.signature) !=
+        replicas_[ack.replica_index]->address()) {
+      continue;
+    }
+    if (seen.insert(ack.replica_index).second) cert.acks.push_back(ack);
+  }
+
+  // Per-entry stage-1 responses signed by the primary.
+  auto tree = MerkleTree::Build(leaves);
+  if (!tree.ok()) return tree.status();
+  ClusterCommit commit;
+  commit.certificate = cert;
+  commit.responses.reserve(batch.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    Stage1Response resp;
+    resp.entry = leaves[i];
+    resp.index = EntryIndex{log_id, static_cast<uint32_t>(i)};
+    resp.proof.log_id = log_id;
+    resp.proof.mroot = root;
+    resp.proof.merkle_proof = tree->Prove(i).value();
+    resp.offchain_signature =
+        EcdsaSign(primary.key().private_key(), resp.SignedHash());
+    commit.responses.push_back(std::move(resp));
+  }
+  return commit;
+}
+
+Result<TxId> OffchainCluster::SubmitStage2(const ClusterCommit& commit) {
+  if (chain_ == nullptr) {
+    return Status::FailedPrecondition("no blockchain attached");
+  }
+  Transaction tx;
+  tx.from = replicas_[PrimaryIndex()]->address();
+  tx.to = root_record_address_;
+  tx.method = "updateRecords";
+  PutU64(tx.calldata, commit.certificate.log_id);
+  PutU32(tx.calldata, 1);
+  wedge::Append(tx.calldata, HashToBytes(commit.certificate.mroot));
+  return chain_->Submit(tx);
+}
+
+Result<Stage1Response> OffchainCluster::ReadOne(const EntryIndex& index) {
+  ClusterReplica& primary = *replicas_[PrimaryIndex()];
+  WEDGE_ASSIGN_OR_RETURN(LogPosition pos, primary.store().Get(index.log_id));
+  if (index.offset >= pos.data_list.size()) {
+    return Status::NotFound("entry offset out of range");
+  }
+  WEDGE_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::Build(pos.data_list));
+  Stage1Response resp;
+  resp.entry = pos.data_list[index.offset];
+  resp.index = index;
+  resp.proof.log_id = index.log_id;
+  resp.proof.mroot = tree.Root();
+  resp.proof.merkle_proof = tree.Prove(index.offset).value();
+  resp.offchain_signature =
+      EcdsaSign(primary.key().private_key(), resp.SignedHash());
+  return resp;
+}
+
+}  // namespace wedge

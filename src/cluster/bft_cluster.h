@@ -1,0 +1,165 @@
+#ifndef WEDGEBLOCK_CLUSTER_BFT_CLUSTER_H_
+#define WEDGEBLOCK_CLUSTER_BFT_CLUSTER_H_
+
+#include <memory>
+#include <optional>
+
+#include "chain/blockchain.h"
+#include "core/data_model.h"
+#include "net/sim_network.h"
+#include "storage/log_store.h"
+
+namespace wedge {
+
+/// Liveness hardening for the Offchain Node (paper §4.7): instead of one
+/// machine, a cluster of n = 3f+1 replicas acts collectively as the
+/// Offchain Node, tolerating up to f byzantine members (omission,
+/// crash, or equivocation). A batch is *cluster-committed* when 2f+1
+/// replicas have persisted the log position and co-signed its (log_id,
+/// MRoot) pair — the resulting QuorumCertificate replaces the single
+/// node's signature as the client's stage-1 evidence, and any member may
+/// submit the digest on-chain (the Root Record contract authorizes the
+/// whole membership).
+///
+/// The protocol is a single-shot ordered broadcast (the chain itself is
+/// the source of final ordering; replicas only need agreement per log
+/// position):
+///   1. client hands the batch to the current primary (view % n);
+///   2. primary assigns the next log_id, builds the Merkle tree and
+///      broadcasts PREPARE(log_id, leaves);
+///   3. each replica recomputes the root, appends to its local store and
+///      replies ACK(log_id, root, signature);
+///   4. with 2f+1 matching ACKs the primary assembles the certificate
+///      and the per-entry stage-1 responses;
+///   5. on timeout the client advances the view (next primary re-drives
+///      the same log position — ids, not views, key the log).
+///
+/// All messaging runs over the deterministic MessageBus/SimClock, so
+/// omission attacks are injected as message drops or muted replicas.
+
+/// Per-replica fault injection.
+enum class ReplicaFault {
+  kNone,
+  kCrash,       ///< Never responds (extreme omission, §4.7).
+  kOmitAcks,    ///< Receives and stores, but never acknowledges.
+  kWrongRoot,   ///< Acks a corrupted root (its signature is excluded).
+};
+
+/// One co-signature over (log_id, mroot).
+struct RootAck {
+  uint32_t replica_index = 0;
+  EcdsaSignature signature;
+};
+
+/// 2f+1 co-signatures: the cluster's stage-1 commitment proof for one
+/// log position.
+struct QuorumCertificate {
+  uint64_t log_id = 0;
+  Hash256 mroot{};
+  std::vector<RootAck> acks;
+
+  Bytes Serialize() const;
+  static Result<QuorumCertificate> Deserialize(const Bytes& b);
+};
+
+/// The byte string each replica signs for an ack.
+Hash256 RootAckDigest(uint64_t log_id, const Hash256& mroot);
+
+/// Verifies a certificate against the cluster membership: at least
+/// `quorum` valid signatures from distinct replicas.
+bool VerifyQuorumCertificate(const QuorumCertificate& cert,
+                             const std::vector<Address>& members,
+                             size_t quorum);
+
+/// A batch cluster-committed at stage 1: the certificate plus per-entry
+/// Merkle proofs (each verifiable against cert.mroot).
+struct ClusterCommit {
+  QuorumCertificate certificate;
+  std::vector<Stage1Response> responses;  ///< Signed by the primary.
+};
+
+/// One replica's state and message handlers.
+class ClusterReplica {
+ public:
+  ClusterReplica(uint32_t index, KeyPair key,
+                 std::unique_ptr<LogStore> store);
+
+  uint32_t index() const { return index_; }
+  const Address& address() const { return key_.address(); }
+  const KeyPair& key() const { return key_; }
+  LogStore& store() { return *store_; }
+
+  void set_fault(ReplicaFault fault) { fault_ = fault; }
+  ReplicaFault fault() const { return fault_; }
+
+  /// Handles PREPARE: validates, persists, returns the ack to send (or
+  /// nullopt under a fault).
+  std::optional<RootAck> OnPrepare(uint64_t log_id,
+                                   const std::vector<Bytes>& leaves);
+
+ private:
+  const uint32_t index_;
+  const KeyPair key_;
+  std::unique_ptr<LogStore> store_;
+  ReplicaFault fault_ = ReplicaFault::kNone;
+};
+
+struct ClusterConfig {
+  int f = 1;                      ///< Tolerated byzantine replicas; n=3f+1.
+  Micros prepare_timeout = 500'000;  ///< Per-view timeout (sim time).
+  int max_views = 8;              ///< Give up after this many rotations.
+  NetworkConfig network;          ///< Replica interconnect.
+};
+
+/// The client-facing cluster: owns the replicas, drives the quorum
+/// protocol over a MessageBus on the SimClock, and optionally submits
+/// stage-2 digests to a chain.
+class OffchainCluster {
+ public:
+  /// `chain` may be null (no stage-2). Replica keys derive from
+  /// `seed_base`.
+  OffchainCluster(const ClusterConfig& config, SimClock* clock,
+                  Blockchain* chain, const Address& root_record_address,
+                  uint64_t seed_base = 0xBF7);
+
+  size_t size() const { return replicas_.size(); }
+  size_t quorum() const { return 2 * config_.f + 1; }
+  uint32_t view() const { return view_; }
+  /// Current primary's replica index.
+  uint32_t PrimaryIndex() const { return view_ % replicas_.size(); }
+
+  /// Addresses of all members (the Root Record authorization set).
+  std::vector<Address> MemberAddresses() const;
+
+  ClusterReplica& replica(size_t i) { return *replicas_[i]; }
+
+  /// Cluster-commits one batch: drives PREPARE/ACK rounds, rotating the
+  /// view on timeout, until a quorum certificate forms or max_views is
+  /// exhausted (Unavailable).
+  Result<ClusterCommit> Append(const std::vector<AppendRequest>& requests);
+
+  /// Submits the digest of `commit` on-chain from the current primary.
+  Result<TxId> SubmitStage2(const ClusterCommit& commit);
+
+  /// Reads one entry with a fresh primary-signed response (the QC for
+  /// its position remains the authoritative root evidence).
+  Result<Stage1Response> ReadOne(const EntryIndex& index);
+
+ private:
+  Result<ClusterCommit> TryViewOnce(uint64_t log_id,
+                                    const std::vector<Bytes>& leaves,
+                                    const std::vector<AppendRequest>& batch);
+
+  const ClusterConfig config_;
+  SimClock* const clock_;
+  Blockchain* const chain_;
+  const Address root_record_address_;
+  MessageBus bus_;
+  std::vector<std::unique_ptr<ClusterReplica>> replicas_;
+  uint32_t view_ = 0;
+  uint64_t next_log_id_ = 0;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CLUSTER_BFT_CLUSTER_H_

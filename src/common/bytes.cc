@@ -1,0 +1,132 @@
+#include "common/bytes.h"
+
+namespace wedge {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string ToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string HexEncode(const uint8_t* data, size_t len) {
+  std::string out;
+  out.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string HexEncode(const Bytes& b) { return HexEncode(b.data(), b.size()); }
+
+std::string Hex0x(const Bytes& b) { return "0x" + HexEncode(b); }
+
+Result<Bytes> HexDecode(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("invalid hex character");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void Append(Bytes& dst, const Bytes& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void Append(Bytes& dst, std::string_view src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+Bytes Concat(std::initializer_list<const Bytes*> parts) {
+  size_t total = 0;
+  for (const Bytes* p : parts) total += p->size();
+  Bytes out;
+  out.reserve(total);
+  for (const Bytes* p : parts) Append(out, *p);
+  return out;
+}
+
+void PutU32(Bytes& dst, uint32_t v) {
+  dst.push_back(static_cast<uint8_t>(v >> 24));
+  dst.push_back(static_cast<uint8_t>(v >> 16));
+  dst.push_back(static_cast<uint8_t>(v >> 8));
+  dst.push_back(static_cast<uint8_t>(v));
+}
+
+void PutU64(Bytes& dst, uint64_t v) {
+  PutU32(dst, static_cast<uint32_t>(v >> 32));
+  PutU32(dst, static_cast<uint32_t>(v));
+}
+
+void PutBytes(Bytes& dst, const Bytes& b) {
+  PutU32(dst, static_cast<uint32_t>(b.size()));
+  Append(dst, b);
+}
+
+void PutString(Bytes& dst, std::string_view s) {
+  PutU32(dst, static_cast<uint32_t>(s.size()));
+  Append(dst, s);
+}
+
+Result<uint32_t> ByteReader::ReadU32() {
+  if (remaining() < 4) return Status::OutOfRange("truncated u32");
+  uint32_t v = (static_cast<uint32_t>(data_[pos_]) << 24) |
+               (static_cast<uint32_t>(data_[pos_ + 1]) << 16) |
+               (static_cast<uint32_t>(data_[pos_ + 2]) << 8) |
+               static_cast<uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadU64() {
+  WEDGE_ASSIGN_OR_RETURN(uint32_t hi, ReadU32());
+  WEDGE_ASSIGN_OR_RETURN(uint32_t lo, ReadU32());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Result<Bytes> ByteReader::ReadBytes() {
+  WEDGE_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  return ReadRaw(len);
+}
+
+Result<std::string> ByteReader::ReadString() {
+  WEDGE_ASSIGN_OR_RETURN(Bytes b, ReadBytes());
+  return ToString(b);
+}
+
+Result<Bytes> ByteReader::ReadRaw(size_t n) {
+  if (remaining() < n) return Status::OutOfRange("truncated bytes");
+  Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace wedge

@@ -1,0 +1,73 @@
+#ifndef WEDGEBLOCK_COMMON_BYTES_H_
+#define WEDGEBLOCK_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wedge {
+
+/// Raw byte buffer used throughout the codebase for payloads, hashes,
+/// signatures and serialized messages.
+using Bytes = std::vector<uint8_t>;
+
+/// Converts a string to bytes (no encoding applied).
+Bytes ToBytes(std::string_view s);
+
+/// Converts bytes to a std::string (no encoding applied).
+std::string ToString(const Bytes& b);
+
+/// Lowercase hex encoding without a "0x" prefix.
+std::string HexEncode(const uint8_t* data, size_t len);
+std::string HexEncode(const Bytes& b);
+
+/// Hex encoding with a "0x" prefix (Ethereum convention).
+std::string Hex0x(const Bytes& b);
+
+/// Decodes a hex string (with or without "0x" prefix). Fails on odd length
+/// or non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+/// Appends `src` to `dst`.
+void Append(Bytes& dst, const Bytes& src);
+void Append(Bytes& dst, std::string_view src);
+
+/// Concatenates any number of byte buffers.
+Bytes Concat(std::initializer_list<const Bytes*> parts);
+
+/// Serialization helpers: fixed-width big-endian integers, and
+/// length-prefixed byte strings. Used for canonical message encoding so
+/// that signatures are computed over unambiguous byte strings.
+void PutU32(Bytes& dst, uint32_t v);
+void PutU64(Bytes& dst, uint64_t v);
+void PutBytes(Bytes& dst, const Bytes& b);      ///< u32 length prefix + data
+void PutString(Bytes& dst, std::string_view s); ///< u32 length prefix + data
+
+/// Cursor-based reader over a byte buffer for decoding the formats above.
+/// All Read* methods fail with Code::kOutOfRange on truncated input.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& data) : data_(data) {}
+
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<Bytes> ReadBytes();      ///< u32 length prefix + data
+  Result<std::string> ReadString();
+  /// Reads exactly `n` raw bytes.
+  Result<Bytes> ReadRaw(size_t n);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  const Bytes& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_COMMON_BYTES_H_

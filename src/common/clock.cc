@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace wedge {
+
+RealClock* RealClock::Global() {
+  static RealClock* instance = new RealClock();
+  return instance;
+}
+
+}  // namespace wedge

@@ -1,0 +1,82 @@
+#ifndef WEDGEBLOCK_COMMON_CLOCK_H_
+#define WEDGEBLOCK_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace wedge {
+
+/// Microseconds since an arbitrary epoch.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerSecond = 1'000'000;
+constexpr Micros kMicrosPerMilli = 1'000;
+
+/// Time source abstraction. The simulated blockchain and liveness logic run
+/// on a SimClock (deterministic, advanced explicitly); throughput
+/// measurements use the RealClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds.
+  virtual Micros NowMicros() const = 0;
+  /// Current time in whole seconds (block timestamps use this).
+  int64_t NowSeconds() const { return NowMicros() / kMicrosPerSecond; }
+};
+
+/// Wall-clock time via std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  Micros NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Process-wide instance.
+  static RealClock* Global();
+};
+
+/// Deterministic logical clock. Never advances on its own.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(Micros start = 0) : now_(start) {}
+
+  Micros NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  /// Advances the clock by `delta` microseconds.
+  void Advance(Micros delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void AdvanceSeconds(int64_t secs) { Advance(secs * kMicrosPerSecond); }
+
+  /// Jumps to an absolute time; `t` must not be in the past.
+  void SetMicros(Micros t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Micros> now_;
+};
+
+/// A simple elapsed-time stopwatch over a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock) : clock_(clock), start_(clock->NowMicros()) {}
+
+  Micros ElapsedMicros() const { return clock_->NowMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / kMicrosPerSecond;
+  }
+  void Reset() { start_ = clock_->NowMicros(); }
+
+ private:
+  const Clock* clock_;
+  Micros start_;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_COMMON_CLOCK_H_

@@ -1,0 +1,43 @@
+#ifndef WEDGEBLOCK_COMMON_RANDOM_H_
+#define WEDGEBLOCK_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace wedge {
+
+/// Deterministic pseudo-random generator (xoshiro256**). Seeded explicitly
+/// so that workloads, keys and simulated network jitter are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fills a buffer of `n` random bytes.
+  Bytes NextBytes(size_t n);
+
+  /// Random printable ASCII string of length `n` (workload payloads).
+  std::string NextString(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_COMMON_RANDOM_H_

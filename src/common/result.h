@@ -1,0 +1,81 @@
+#ifndef WEDGEBLOCK_COMMON_RESULT_H_
+#define WEDGEBLOCK_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace wedge {
+
+/// A value-or-error holder (like absl::StatusOr / arrow::Result).
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is set.
+};
+
+}  // namespace wedge
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define WEDGE_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto WEDGE_CONCAT_(_wedge_res_, __LINE__) = (expr);        \
+  if (!WEDGE_CONCAT_(_wedge_res_, __LINE__).ok())            \
+    return WEDGE_CONCAT_(_wedge_res_, __LINE__).status();    \
+  lhs = std::move(WEDGE_CONCAT_(_wedge_res_, __LINE__)).value()
+
+#define WEDGE_CONCAT_INNER_(a, b) a##b
+#define WEDGE_CONCAT_(a, b) WEDGE_CONCAT_INNER_(a, b)
+
+#endif  // WEDGEBLOCK_COMMON_RESULT_H_

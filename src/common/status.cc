@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace wedge {
+
+std::string_view CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Code::kPermissionDenied:
+      return "PermissionDenied";
+    case Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Code::kOutOfRange:
+      return "OutOfRange";
+    case Code::kInternal:
+      return "Internal";
+    case Code::kUnavailable:
+      return "Unavailable";
+    case Code::kCorruption:
+      return "Corruption";
+    case Code::kInsufficientFunds:
+      return "InsufficientFunds";
+    case Code::kReverted:
+      return "Reverted";
+    case Code::kVerification:
+      return "Verification";
+    case Code::kTimeout:
+      return "Timeout";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(CodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace wedge

@@ -1,0 +1,117 @@
+#ifndef WEDGEBLOCK_COMMON_STATUS_H_
+#define WEDGEBLOCK_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace wedge {
+
+/// Error codes used across the WedgeBlock libraries. Modeled after the
+/// RocksDB/Abseil status idiom: library code never throws; every fallible
+/// operation returns a Status (or Result<T>, see result.h).
+enum class Code {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnavailable,
+  kCorruption,
+  kInsufficientFunds,
+  kReverted,       ///< A smart-contract call reverted.
+  kVerification,   ///< A cryptographic proof or signature failed to verify.
+  kTimeout,
+};
+
+/// Returns a human-readable name for a status code (e.g. "InvalidArgument").
+std::string_view CodeName(Code code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Constructs a status with the given code and message.
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(Code::kPermissionDenied, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InsufficientFunds(std::string msg) {
+    return Status(Code::kInsufficientFunds, std::move(msg));
+  }
+  static Status Reverted(std::string msg) {
+    return Status(Code::kReverted, std::move(msg));
+  }
+  static Status Verification(std::string msg) {
+    return Status(Code::kVerification, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(Code::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace wedge
+
+/// Propagates a non-OK status to the caller.
+#define WEDGE_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::wedge::Status _wedge_status = (expr);          \
+    if (!_wedge_status.ok()) return _wedge_status;   \
+  } while (0)
+
+#endif  // WEDGEBLOCK_COMMON_STATUS_H_

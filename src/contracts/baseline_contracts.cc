@@ -1,0 +1,154 @@
+#include "contracts/baseline_contracts.h"
+
+namespace wedge {
+
+Result<Bytes> OclLogContract::Call(CallContext& ctx, std::string_view method,
+                                   const Bytes& args) {
+  if (method == "appendLog") {
+    ByteReader reader(args);
+    WEDGE_ASSIGN_OR_RETURN(Bytes key, reader.ReadBytes());
+    WEDGE_ASSIGN_OR_RETURN(Bytes value, reader.ReadBytes());
+    if (!reader.AtEnd()) {
+      return Status::Reverted("appendLog: trailing calldata");
+    }
+    // Storing raw data on-chain: one fresh SSTORE per 32-byte word plus a
+    // slot for the entry's length bookkeeping.
+    uint64_t words =
+        gas::StorageWords(key.size()) + gas::StorageWords(value.size());
+    for (uint64_t w = 0; w < words + 1; ++w) {
+      ctx.gas().ChargeSstore(/*fresh_slot=*/true);
+    }
+    entries_.push_back(Entry{std::move(key), std::move(value)});
+    Bytes out;
+    PutU64(out, entries_.size() - 1);
+    return out;
+  }
+  if (method == "getEntry") {
+    ByteReader reader(args);
+    WEDGE_ASSIGN_OR_RETURN(uint64_t index, reader.ReadU64());
+    if (index >= entries_.size()) {
+      return Status::Reverted("getEntry: index out of range");
+    }
+    const Entry& e = entries_[index];
+    ctx.gas().Charge(gas::kSload *
+                     (gas::StorageWords(e.key.size() + e.value.size()) + 1));
+    Bytes out;
+    PutBytes(out, e.key);
+    PutBytes(out, e.value);
+    return out;
+  }
+  if (method == "size") {
+    ctx.gas().ChargeSload();
+    Bytes out;
+    PutU64(out, entries_.size());
+    return out;
+  }
+  return Status::NotFound("OclLog: unknown method");
+}
+
+Hash256 RhlBatchDigest(const Bytes& batch_data) {
+  Sha256 h;
+  h.Update("rhl-batch-v1");
+  h.Update(batch_data);
+  return h.Finish();
+}
+
+Result<Bytes> RhlContract::Call(CallContext& ctx, std::string_view method,
+                                const Bytes& args) {
+  if (method == "deposit") {
+    if (ctx.sender() != sequencer_) {
+      return Status::Reverted("deposit: only the sequencer escrows");
+    }
+    Bytes payload;
+    Append(payload, ctx.value().ToBytesBE());
+    ctx.Emit("SequencerEscrow", payload);
+    return Bytes();
+  }
+  if (method == "submitBatch") return SubmitBatch(ctx, args);
+  if (method == "challengeBatch") return ChallengeBatch(ctx, args);
+  if (method == "isFinal") {
+    ByteReader reader(args);
+    WEDGE_ASSIGN_OR_RETURN(uint64_t index, reader.ReadU64());
+    if (index >= batches_.size()) {
+      return Status::Reverted("isFinal: unknown batch");
+    }
+    ctx.gas().ChargeSload();
+    const BatchRecord& b = batches_[index];
+    bool final = !b.slashed && ctx.block_timestamp() >=
+                                   b.posted_at + challenge_window_seconds_;
+    return Bytes{static_cast<uint8_t>(final ? 1 : 0)};
+  }
+  if (method == "batchCount") {
+    ctx.gas().ChargeSload();
+    Bytes out;
+    PutU64(out, batches_.size());
+    return out;
+  }
+  return Status::NotFound("RhlRollup: unknown method");
+}
+
+Result<Bytes> RhlContract::SubmitBatch(CallContext& ctx, const Bytes& args) {
+  if (ctx.sender() != sequencer_) {
+    return Status::Reverted("submitBatch: only the sequencer");
+  }
+  ByteReader reader(args);
+  WEDGE_ASSIGN_OR_RETURN(Bytes batch_data, reader.ReadBytes());
+  WEDGE_ASSIGN_OR_RETURN(Bytes digest_raw, reader.ReadRaw(32));
+  WEDGE_ASSIGN_OR_RETURN(Hash256 digest, HashFromBytes(digest_raw));
+  if (!reader.AtEnd()) {
+    return Status::Reverted("submitBatch: trailing calldata");
+  }
+  // The batch itself rides in calldata (already charged by the chain at
+  // 16 gas/byte); the contract persists only the commitment words.
+  ctx.gas().Charge(gas::Sha256Gas(batch_data.size()));
+  ctx.gas().ChargeSstore(true);  // data_hash
+  ctx.gas().ChargeSstore(true);  // digest
+  ctx.gas().ChargeSstore(true);  // posted_at + flags
+  BatchRecord record;
+  record.data_hash = Sha256::Digest(batch_data);
+  record.digest = digest;
+  record.posted_at = ctx.block_timestamp();
+  batches_.push_back(record);
+
+  Bytes out;
+  PutU64(out, batches_.size() - 1);
+  ctx.Emit("BatchSubmitted", out);
+  return out;
+}
+
+Result<Bytes> RhlContract::ChallengeBatch(CallContext& ctx, const Bytes& args) {
+  ByteReader reader(args);
+  WEDGE_ASSIGN_OR_RETURN(uint64_t index, reader.ReadU64());
+  WEDGE_ASSIGN_OR_RETURN(Bytes batch_data, reader.ReadBytes());
+  if (index >= batches_.size()) {
+    return Status::Reverted("challengeBatch: unknown batch");
+  }
+  BatchRecord& b = batches_[index];
+  ctx.gas().ChargeSload();
+  if (b.slashed) {
+    return Status::Reverted("challengeBatch: already slashed");
+  }
+  if (ctx.block_timestamp() >= b.posted_at + challenge_window_seconds_) {
+    return Status::Reverted("challengeBatch: challenge window closed");
+  }
+  // The challenger replays the posted operations; they must match what the
+  // sequencer posted on-chain.
+  ctx.gas().Charge(gas::Sha256Gas(batch_data.size()) * 2);
+  if (Sha256::Digest(batch_data) != b.data_hash) {
+    return Status::Reverted("challengeBatch: replayed data mismatch");
+  }
+  if (RhlBatchDigest(batch_data) == b.digest) {
+    return Status::Reverted("challengeBatch: digest is correct, no fraud");
+  }
+  // Fraud proven: slash the escrow to the challenger.
+  b.slashed = true;
+  ctx.gas().ChargeSstore(false);
+  Wei escrow = ctx.SelfBalance();
+  WEDGE_RETURN_IF_ERROR(ctx.TransferOut(ctx.sender(), escrow));
+  Bytes payload;
+  PutU64(payload, index);
+  ctx.Emit("SequencerSlashed", payload);
+  return Bytes{1};
+}
+
+}  // namespace wedge

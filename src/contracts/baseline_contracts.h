@@ -1,0 +1,90 @@
+#ifndef WEDGEBLOCK_CONTRACTS_BASELINE_CONTRACTS_H_
+#define WEDGEBLOCK_CONTRACTS_BASELINE_CONTRACTS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "chain/contract.h"
+#include "crypto/sha256.h"
+
+namespace wedge {
+
+/// On-Chain Logging (OCL) baseline contract (paper §6.3): raw log records
+/// are written straight into contract storage, paying SSTORE for every
+/// 32-byte word. This is the expensive/slow comparator WedgeBlock beats by
+/// up to 1470x/310x.
+///
+/// Methods:
+///   "appendLog": [bytes key][bytes value] -> [u64 index]
+///   "getEntry":  [u64 index] -> [bytes key][bytes value]
+///   "size":      [] -> [u64]
+class OclLogContract : public Contract {
+ public:
+  std::string_view Name() const override { return "OclLog"; }
+
+  Result<Bytes> Call(CallContext& ctx, std::string_view method,
+                     const Bytes& args) override;
+
+ private:
+  struct Entry {
+    Bytes key;
+    Bytes value;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Rollup-inspired Hybrid Logging (RHL) baseline contract (paper §6.3):
+/// batches of operations are posted on-chain as calldata together with a
+/// claimed digest, Optimistic-Rollup style. The digest only becomes final
+/// after a challenge window; during the window anyone can submit a fraud
+/// proof showing the digest does not match the posted operations.
+///
+/// Methods:
+///   "submitBatch": [bytes batch_data][32B digest] -> [u64 batch_index]
+///       Only the registered sequencer. Stores the digest and the hash of
+///       the posted data (the data itself rides in calldata, like a
+///       rollup), plus the submission timestamp.
+///   "challengeBatch": [u64 batch_index][bytes batch_data] -> [u8 fraud]
+///       Within the challenge window: recomputes the digest from the
+///       replayed data; a mismatch slashes the sequencer's escrow to the
+///       challenger.
+///   "isFinal": [u64 batch_index] -> [u8] — window elapsed, not slashed.
+///   "deposit": [] (payable) — sequencer escrow.
+class RhlContract : public Contract {
+ public:
+  RhlContract(const Address& sequencer, int64_t challenge_window_seconds)
+      : sequencer_(sequencer),
+        challenge_window_seconds_(challenge_window_seconds) {}
+
+  std::string_view Name() const override { return "RhlRollup"; }
+
+  Result<Bytes> Call(CallContext& ctx, std::string_view method,
+                     const Bytes& args) override;
+
+  int64_t challenge_window_seconds() const {
+    return challenge_window_seconds_;
+  }
+
+ private:
+  struct BatchRecord {
+    Hash256 data_hash;   ///< Hash of the calldata-posted operations.
+    Hash256 digest;      ///< Sequencer-claimed digest.
+    int64_t posted_at = 0;
+    bool slashed = false;
+  };
+
+  Result<Bytes> SubmitBatch(CallContext& ctx, const Bytes& args);
+  Result<Bytes> ChallengeBatch(CallContext& ctx, const Bytes& args);
+
+  const Address sequencer_;
+  const int64_t challenge_window_seconds_;
+  std::vector<BatchRecord> batches_;
+};
+
+/// Digest an RHL batch the way the sequencer commits it (SHA-256 over the
+/// raw batch bytes). Shared by the contract and the RHL baseline client.
+Hash256 RhlBatchDigest(const Bytes& batch_data);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CONTRACTS_BASELINE_CONTRACTS_H_

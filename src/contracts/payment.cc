@@ -1,0 +1,195 @@
+#include "contracts/payment.h"
+
+namespace wedge {
+
+Result<Bytes> PaymentContract::Call(CallContext& ctx, std::string_view method,
+                                    const Bytes& args) {
+  (void)args;  // All Payment methods take empty calldata.
+  if (method == "deposit") {
+    if (ctx.sender() != client_address_) {
+      return Status::Reverted("deposit: only the client funds the channel");
+    }
+    if (terminated_) return Status::Reverted("deposit: channel closed");
+    Bytes payload;
+    Append(payload, ctx.value().ToBytesBE());
+    ctx.Emit("DepositReceived", payload);
+    return Bytes();
+  }
+  if (method == "startPayment") return StartPayment(ctx);
+  if (method == "updatePaymentStatus") {
+    WEDGE_RETURN_IF_ERROR(UpdatePaymentStatus(ctx));
+    return Bytes();
+  }
+  if (method == "withdrawOffchain") return WithdrawOffchain(ctx);
+  if (method == "withdrawClient") return WithdrawClient(ctx);
+  if (method == "terminate") return Terminate(ctx);
+  if (method == "reservedForEdge") {
+    ctx.gas().ChargeSload();
+    return amount_reserved_for_edge_.ToBytesBE();
+  }
+  if (method == "isStarted") {
+    ctx.gas().ChargeSload();
+    return Bytes{static_cast<uint8_t>(started_ ? 1 : 0)};
+  }
+  if (method == "isTerminated") {
+    ctx.gas().ChargeSload();
+    return Bytes{static_cast<uint8_t>(terminated_ ? 1 : 0)};
+  }
+  if (method == "remainingPeriods") {
+    ctx.gas().ChargeSload();
+    Bytes out;
+    PutU64(out, RemainingPeriods(ctx));
+    return out;
+  }
+  return Status::NotFound("Payment: unknown method");
+}
+
+Result<Bytes> PaymentContract::StartPayment(CallContext& ctx) {
+  if (ctx.sender() != client_address_) {
+    return Status::Reverted("startPayment: only the client");
+  }
+  if (started_) return Status::Reverted("startPayment: already started");
+  if (terminated_) return Status::Reverted("startPayment: channel closed");
+  started_ = true;
+  amount_reserved_for_edge_ = Wei();
+  payment_start_time_ = ctx.block_timestamp();
+  ctx.gas().ChargeSstore(true);
+  ctx.gas().ChargeSstore(true);
+  ctx.Emit("PaymentStarted", Bytes());
+  return Bytes();
+}
+
+Status PaymentContract::UpdatePaymentStatus(CallContext& ctx) {
+  if (!started_ || terminated_) {
+    return Status::Reverted("updatePaymentStatus: channel not active");
+  }
+  if (period_seconds_ <= 0 || payment_per_period_.IsZero()) {
+    return Status::Reverted("updatePaymentStatus: misconfigured channel");
+  }
+  ctx.gas().ChargeSload();
+  int64_t elapsed = ctx.block_timestamp() - payment_start_time_;
+  if (elapsed < 0) elapsed = 0;
+  uint64_t periods = static_cast<uint64_t>(elapsed / period_seconds_);
+  if (periods == 0) return Status::Ok();
+
+  Wei owed = U256(periods) * payment_per_period_;
+  Wei balance = ctx.SelfBalance();
+  Wei available = balance - amount_reserved_for_edge_;
+
+  if (owed <= available) {
+    amount_reserved_for_edge_ = amount_reserved_for_edge_ + owed;
+    payment_start_time_ +=
+        static_cast<int64_t>(periods) * period_seconds_;
+    ctx.gas().ChargeSstore(false);
+    ctx.gas().ChargeSstore(false);
+    // Line 17: notify how many more periods the deposit can sustain.
+    Bytes payload;
+    PutU64(payload, RemainingPeriods(ctx));
+    ctx.Emit("PaymentStateUpdated", payload);
+    return Status::Ok();
+  }
+
+  // The deposit cannot cover everything that is owed: reserve whatever is
+  // covered and count overdue periods.
+  U256 paid_periods, rem;
+  available.DivMod(payment_per_period_, &paid_periods, &rem).ok();
+  Wei reserved_now = paid_periods * payment_per_period_;
+  amount_reserved_for_edge_ = amount_reserved_for_edge_ + reserved_now;
+  payment_start_time_ +=
+      static_cast<int64_t>(paid_periods.ToU64()) * period_seconds_;
+  ctx.gas().ChargeSstore(false);
+  ctx.gas().ChargeSstore(false);
+  uint64_t overdue = periods - paid_periods.ToU64();
+
+  if (static_cast<int64_t>(overdue) > max_overdue_periods_) {
+    // Line 14: contract violation by the client; the Offchain Node takes
+    // the remaining balance and the channel terminates.
+    Wei remaining = ctx.SelfBalance();
+    WEDGE_RETURN_IF_ERROR(ctx.TransferOut(offchain_address_, remaining));
+    amount_reserved_for_edge_ = Wei();
+    terminated_ = true;
+    ctx.gas().ChargeSstore(false);
+    Bytes payload;
+    PutU64(payload, overdue);
+    ctx.Emit("ContractViolated", payload);
+    return Status::Ok();
+  }
+
+  // Line 10: remind the client about the overdue payments.
+  Bytes payload;
+  PutU64(payload, overdue);
+  ctx.Emit("DepositInsufficient", payload);
+  return Status::Ok();
+}
+
+Result<Bytes> PaymentContract::WithdrawOffchain(CallContext& ctx) {
+  if (ctx.sender() != offchain_address_) {
+    return Status::Reverted("withdrawOffchain: only the Offchain Node");
+  }
+  WEDGE_RETURN_IF_ERROR(UpdatePaymentStatus(ctx));
+  Wei amount = amount_reserved_for_edge_;
+  if (amount.IsZero()) return Bytes();
+  WEDGE_RETURN_IF_ERROR(ctx.TransferOut(offchain_address_, amount));
+  amount_reserved_for_edge_ = Wei();
+  // Paper: withdrawing resets the payment calculation to "now".
+  payment_start_time_ = ctx.block_timestamp();
+  ctx.gas().ChargeSstore(false);
+  ctx.gas().ChargeSstore(false);
+  Bytes payload;
+  Append(payload, amount.ToBytesBE());
+  ctx.Emit("OffchainWithdrawal", payload);
+  return amount.ToBytesBE();
+}
+
+Result<Bytes> PaymentContract::WithdrawClient(CallContext& ctx) {
+  if (ctx.sender() != client_address_) {
+    return Status::Reverted("withdrawClient: only the client");
+  }
+  WEDGE_RETURN_IF_ERROR(UpdatePaymentStatus(ctx));
+  if (terminated_) {
+    return Status::Reverted("withdrawClient: channel closed by violation");
+  }
+  Wei amount = ctx.SelfBalance() - amount_reserved_for_edge_;
+  if (amount.IsZero()) return Bytes();
+  WEDGE_RETURN_IF_ERROR(ctx.TransferOut(client_address_, amount));
+  Bytes payload;
+  Append(payload, amount.ToBytesBE());
+  ctx.Emit("ClientWithdrawal", payload);
+  return amount.ToBytesBE();
+}
+
+Result<Bytes> PaymentContract::Terminate(CallContext& ctx) {
+  if (ctx.sender() != client_address_) {
+    return Status::Reverted("terminate: only the client");
+  }
+  if (!started_ || terminated_) {
+    return Status::Reverted("terminate: channel not active");
+  }
+  WEDGE_RETURN_IF_ERROR(UpdatePaymentStatus(ctx));
+  if (terminated_) return Bytes();  // Violation path already settled.
+  // Settle: the reserved share goes to the Offchain Node, the rest back
+  // to the client.
+  Wei to_edge = amount_reserved_for_edge_;
+  if (!to_edge.IsZero()) {
+    WEDGE_RETURN_IF_ERROR(ctx.TransferOut(offchain_address_, to_edge));
+  }
+  Wei to_client = ctx.SelfBalance();
+  if (!to_client.IsZero()) {
+    WEDGE_RETURN_IF_ERROR(ctx.TransferOut(client_address_, to_client));
+  }
+  amount_reserved_for_edge_ = Wei();
+  terminated_ = true;
+  ctx.gas().ChargeSstore(false);
+  ctx.Emit("ChannelTerminated", Bytes());
+  return Bytes();
+}
+
+uint64_t PaymentContract::RemainingPeriods(CallContext& ctx) const {
+  if (payment_per_period_.IsZero()) return ~0ULL;
+  Wei available = ctx.SelfBalance() - amount_reserved_for_edge_;
+  U256 q, r;
+  available.DivMod(payment_per_period_, &q, &r).ok();
+  return q.FitsU64() ? q.ToU64() : ~0ULL;
+}
+
+}  // namespace wedge

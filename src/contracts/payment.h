@@ -1,0 +1,68 @@
+#ifndef WEDGEBLOCK_CONTRACTS_PAYMENT_H_
+#define WEDGEBLOCK_CONTRACTS_PAYMENT_H_
+
+#include "chain/contract.h"
+
+namespace wedge {
+
+/// The Payment smart contract (paper §4.5, Algorithm 3): a streaming
+/// subscription micro-payment channel for the DApp-logging-as-a-service
+/// model. The client deposits ether; value flows to the Offchain Node at
+/// `payment_per_period` wei every `period` seconds, computed retroactively
+/// from block timestamps whenever updatePaymentStatus runs.
+///
+/// Methods:
+///   "deposit": [] (payable, client only)
+///   "startPayment": [] (client only) — begins the stream.
+///   "updatePaymentStatus": [] — recomputes amount_reserved_for_edge;
+///       emits PaymentStateUpdated / DepositInsufficient / ContractViolated.
+///   "withdrawOffchain": [] (offchain only) — withdraws the reserved
+///       amount and resets payment_start_time to the block timestamp.
+///   "withdrawClient": [] (client only) — withdraws the unreserved rest.
+///   "terminate": [] (client only) — settles both sides and closes.
+///   Views: "reservedForEdge" -> [32B wei], "isStarted"/"isTerminated"
+///       -> [u8], "remainingPeriods" -> [u64].
+class PaymentContract : public Contract {
+ public:
+  PaymentContract(const Address& offchain_address,
+                  const Address& client_address, int64_t period_seconds,
+                  const Wei& payment_per_period, int64_t max_overdue_periods)
+      : offchain_address_(offchain_address),
+        client_address_(client_address),
+        period_seconds_(period_seconds),
+        payment_per_period_(payment_per_period),
+        max_overdue_periods_(max_overdue_periods) {}
+
+  std::string_view Name() const override { return "Payment"; }
+
+  Result<Bytes> Call(CallContext& ctx, std::string_view method,
+                     const Bytes& args) override;
+
+  bool started() const { return started_; }
+  bool terminated() const { return terminated_; }
+  const Wei& reserved_for_edge() const { return amount_reserved_for_edge_; }
+
+ private:
+  Result<Bytes> StartPayment(CallContext& ctx);
+  /// Algorithm 3. Returns Ok even when it terminates the contract.
+  Status UpdatePaymentStatus(CallContext& ctx);
+  Result<Bytes> WithdrawOffchain(CallContext& ctx);
+  Result<Bytes> WithdrawClient(CallContext& ctx);
+  Result<Bytes> Terminate(CallContext& ctx);
+  uint64_t RemainingPeriods(CallContext& ctx) const;
+
+  const Address offchain_address_;
+  const Address client_address_;
+  const int64_t period_seconds_;
+  const Wei payment_per_period_;
+  const int64_t max_overdue_periods_;
+
+  bool started_ = false;
+  bool terminated_ = false;
+  Wei amount_reserved_for_edge_;
+  int64_t payment_start_time_ = 0;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CONTRACTS_PAYMENT_H_

@@ -1,0 +1,160 @@
+#include "contracts/punishment.h"
+
+#include "contracts/stage1_message.h"
+#include "crypto/ecdsa.h"
+
+namespace wedge {
+
+Result<Bytes> PunishmentContract::Call(CallContext& ctx,
+                                       std::string_view method,
+                                       const Bytes& args) {
+  if (method == "deposit") {
+    Bytes payload;
+    Append(payload, ctx.value().ToBytesBE());
+    ctx.Emit("EscrowDeposited", payload);
+    return Bytes();
+  }
+  if (method == "invokePunishment") return InvokePunishment(ctx, args);
+  if (method == "fileOmissionClaim") return FileOmissionClaim(ctx, args);
+  if (method == "refundEscrow") return RefundEscrow(ctx);
+  if (method == "isPunished") {
+    ctx.gas().ChargeSload();
+    return Bytes{static_cast<uint8_t>(punished_ ? 1 : 0)};
+  }
+  return Status::NotFound("Punishment: unknown method");
+}
+
+Result<Bytes> PunishmentContract::InvokePunishment(CallContext& ctx,
+                                                   const Bytes& args) {
+  ctx.gas().ChargeSload();
+  if (punished_) {
+    return Status::Reverted("InvokePunishment: contract already settled");
+  }
+
+  ByteReader reader(args);
+  WEDGE_ASSIGN_OR_RETURN(uint64_t index, reader.ReadU64());
+  WEDGE_ASSIGN_OR_RETURN(Bytes root_raw, reader.ReadRaw(32));
+  WEDGE_ASSIGN_OR_RETURN(Bytes proof_raw, reader.ReadBytes());
+  WEDGE_ASSIGN_OR_RETURN(Bytes raw_data, reader.ReadBytes());
+  WEDGE_ASSIGN_OR_RETURN(Bytes sig_raw, reader.ReadBytes());
+  WEDGE_ASSIGN_OR_RETURN(Hash256 claimed_root, HashFromBytes(root_raw));
+  WEDGE_ASSIGN_OR_RETURN(MerkleProof proof,
+                         MerkleProof::Deserialize(proof_raw));
+  WEDGE_ASSIGN_OR_RETURN(EcdsaSignature signature,
+                         EcdsaSignature::Deserialize(sig_raw));
+
+  // Algorithm 2, lines 1-4: the response must carry the Offchain Node's
+  // signature, otherwise anyone could fabricate "evidence".
+  Hash256 msg_hash = Stage1MessageHash(index, claimed_root, proof, raw_data);
+  ctx.gas().Charge(gas::kEcrecover + gas::Sha256Gas(raw_data.size()));
+  if (RecoverSigner(msg_hash, signature) != offchain_address_) {
+    return Status::Reverted(
+        "InvokePunishment: signature is not from the Offchain Node");
+  }
+
+  // Lines 5-8: compare the signed root against the blockchain-committed
+  // root for this log position.
+  Bytes query;
+  PutU64(query, index);
+  WEDGE_ASSIGN_OR_RETURN(
+      Bytes recorded, ctx.StaticCall(root_record_address_, "getRootAtIndex",
+                                     query));
+  ByteReader rec_reader(recorded);
+  WEDGE_ASSIGN_OR_RETURN(Bytes found, rec_reader.ReadRaw(1));
+  WEDGE_ASSIGN_OR_RETURN(Bytes recorded_root_raw, rec_reader.ReadRaw(32));
+  WEDGE_ASSIGN_OR_RETURN(Hash256 recorded_root,
+                         HashFromBytes(recorded_root_raw));
+
+  bool lied = false;
+  if (found[0] == 0) {
+    // No root recorded: stage 2 is LAZY, so absence alone is not yet a
+    // lie — an impatient client must first file an omission claim and
+    // wait out the grace period, giving the node a public deadline.
+    ctx.gas().ChargeSload();
+    auto claim = omission_claims_.find(index);
+    if (claim == omission_claims_.end()) {
+      return Status::Reverted(
+          "InvokePunishment: no root recorded; file an omission claim "
+          "first");
+    }
+    if (ctx.block_timestamp() < claim->second + omission_grace_seconds_) {
+      return Status::Reverted(
+          "InvokePunishment: omission grace period still running");
+    }
+    lied = true;  // The deadline passed and the promise is still broken.
+  } else if (recorded_root != claimed_root) {
+    // The node blockchain-committed a different root than it signed:
+    // immediate, unambiguous evidence.
+    lied = true;
+  } else {
+    // Lines 9-12: the signed proof must reconstruct the signed root.
+    ctx.gas().Charge(gas::Sha256Gas(raw_data.size()) +
+                     proof.path.size() * gas::Sha256Gas(65));
+    if (ComputeRootFromProof(raw_data, proof) != claimed_root) {
+      lied = true;
+    }
+  }
+
+  if (!lied) {
+    return Status::Reverted("InvokePunishment: no inconsistency proven");
+  }
+
+  Wei escrow = ctx.SelfBalance();
+  WEDGE_RETURN_IF_ERROR(ctx.TransferOut(client_address_, escrow));
+  punished_ = true;
+  ctx.gas().ChargeSstore(/*fresh_slot=*/false);
+  Bytes payload;
+  PutU64(payload, index);
+  Append(payload, escrow.ToBytesBE());
+  ctx.Emit("PunishmentInvoked", payload);
+  return Bytes{1};
+}
+
+Result<Bytes> PunishmentContract::FileOmissionClaim(CallContext& ctx,
+                                                    const Bytes& args) {
+  if (ctx.sender() != client_address_) {
+    return Status::Reverted("fileOmissionClaim: only the bound client");
+  }
+  ByteReader reader(args);
+  WEDGE_ASSIGN_OR_RETURN(uint64_t index, reader.ReadU64());
+  // Pointless (and confusing) once a root exists at the index.
+  Bytes query;
+  PutU64(query, index);
+  WEDGE_ASSIGN_OR_RETURN(
+      Bytes recorded,
+      ctx.StaticCall(root_record_address_, "getRootAtIndex", query));
+  if (!recorded.empty() && recorded[0] == 1) {
+    return Status::Reverted("fileOmissionClaim: a root is already recorded");
+  }
+  ctx.gas().ChargeSload();
+  if (omission_claims_.count(index) > 0) {
+    return Status::Reverted("fileOmissionClaim: claim already filed");
+  }
+  omission_claims_[index] = ctx.block_timestamp();
+  ctx.gas().ChargeSstore(/*fresh_slot=*/true);
+  Bytes payload;
+  PutU64(payload, index);
+  ctx.Emit("OmissionClaimFiled", payload);
+  return Bytes();
+}
+
+Result<Bytes> PunishmentContract::RefundEscrow(CallContext& ctx) {
+  if (ctx.sender() != offchain_address_) {
+    return Status::Reverted("RefundEscrow: only the Offchain Node");
+  }
+  ctx.gas().ChargeSload();
+  if (punished_) {
+    return Status::Reverted("RefundEscrow: escrow was forfeited");
+  }
+  if (ctx.block_timestamp() < release_time_) {
+    return Status::Reverted("RefundEscrow: escrow still locked");
+  }
+  Wei escrow = ctx.SelfBalance();
+  WEDGE_RETURN_IF_ERROR(ctx.TransferOut(offchain_address_, escrow));
+  Bytes payload;
+  Append(payload, escrow.ToBytesBE());
+  ctx.Emit("EscrowRefunded", payload);
+  return Bytes();
+}
+
+}  // namespace wedge

@@ -1,0 +1,71 @@
+#ifndef WEDGEBLOCK_CONTRACTS_PUNISHMENT_H_
+#define WEDGEBLOCK_CONTRACTS_PUNISHMENT_H_
+
+#include <unordered_map>
+
+#include "chain/contract.h"
+
+namespace wedge {
+
+/// The Punishment smart contract (paper §4.4, Algorithm 2).
+///
+/// The Offchain Node escrows ether in this contract. A client holding a
+/// signed stage-1 response R that conflicts with the Root Record contract
+/// submits it here; if the proof of misbehaviour checks out, the full
+/// escrow is transferred to the client (all-or-nothing punishment, §3.3).
+///
+/// Methods:
+///   "deposit": [] (payable) — adds to the escrow.
+///   "invokePunishment":
+///       [u64 index][32B merkleRoot][bytes merkleProof][bytes rawData]
+///       [bytes signature(65)] -> [u8 punished]
+///     Verifies (1) the signature recovers to offchain_address,
+///     (2a) the signed root differs from the recorded root at `index`, OR
+///     (2b) the signed merkle proof does not reconstruct the signed root.
+///     Either inconsistency transfers the escrow to client_address.
+///   "fileOmissionClaim": [u64 index] — starts the omission clock for a
+///       position with NO recorded root. Punishing a missing root is only
+///       allowed `omission_grace_seconds` after a claim: stage 2 is lazy
+///       by design, so an impatient (or malicious) client must first give
+///       the node a public, on-chain deadline to commit. A recorded
+///       MISMATCH needs no claim — that lie is punishable immediately.
+///   "refundEscrow": [] — returns the escrow to the Offchain Node after
+///       release_time if no punishment occurred.
+///   "isPunished": [] -> [u8]
+class PunishmentContract : public Contract {
+ public:
+  PunishmentContract(const Address& client_address,
+                     const Address& offchain_address,
+                     const Address& root_record_address,
+                     int64_t release_time,
+                     int64_t omission_grace_seconds = 600)
+      : client_address_(client_address),
+        offchain_address_(offchain_address),
+        root_record_address_(root_record_address),
+        release_time_(release_time),
+        omission_grace_seconds_(omission_grace_seconds) {}
+
+  std::string_view Name() const override { return "Punishment"; }
+
+  Result<Bytes> Call(CallContext& ctx, std::string_view method,
+                     const Bytes& args) override;
+
+  bool punished() const { return punished_; }
+
+ private:
+  Result<Bytes> InvokePunishment(CallContext& ctx, const Bytes& args);
+  Result<Bytes> FileOmissionClaim(CallContext& ctx, const Bytes& args);
+  Result<Bytes> RefundEscrow(CallContext& ctx);
+
+  const Address client_address_;
+  const Address offchain_address_;
+  const Address root_record_address_;
+  const int64_t release_time_;
+  const int64_t omission_grace_seconds_;
+  bool punished_ = false;
+  std::unordered_map<uint64_t, int64_t> omission_claims_;  // index -> time.
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CONTRACTS_PUNISHMENT_H_

@@ -1,0 +1,108 @@
+#include "contracts/root_record.h"
+
+namespace wedge {
+
+Result<Bytes> RootRecordContract::Call(CallContext& ctx,
+                                       std::string_view method,
+                                       const Bytes& args) {
+  if (method == "updateRecords") return UpdateRecords(ctx, args);
+  if (method == "getRootAtIndex") return GetRootAtIndex(ctx, args);
+  if (method == "getRootsInRange") {
+    ByteReader reader(args);
+    WEDGE_ASSIGN_OR_RETURN(uint64_t start, reader.ReadU64());
+    WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+    if (count == 0 || count > kMaxRootsPerCall) {
+      return Status::Reverted("getRootsInRange: bad count");
+    }
+    Bytes out;
+    for (uint32_t i = 0; i < count; ++i) {
+      ctx.gas().ChargeSload();
+      auto it = record_map_.find(start + i);
+      if (it == record_map_.end()) {
+        out.push_back(0);
+        Append(out, Bytes(32, 0));
+      } else {
+        out.push_back(1);
+        Append(out, HashToBytes(it->second));
+      }
+    }
+    return out;
+  }
+  if (method == "tailIdx") {
+    ctx.gas().ChargeSload();
+    Bytes out;
+    PutU64(out, tail_idx_);
+    return out;
+  }
+  return Status::NotFound("RootRecord: unknown method");
+}
+
+Result<Bytes> RootRecordContract::UpdateRecords(CallContext& ctx,
+                                                const Bytes& args) {
+  // Line 1 of Algorithm 1: only a pre-registered Offchain Node address
+  // may append digests (a single node, or any member of a BFT cluster).
+  if (authorized_.find(ctx.sender()) == authorized_.end()) {
+    return Status::Reverted("UpdateRecords: caller is not offchain_address");
+  }
+  ByteReader reader(args);
+  WEDGE_ASSIGN_OR_RETURN(uint64_t start_idx, reader.ReadU64());
+  WEDGE_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+  if (n == 0 || n > kMaxRootsPerCall) {
+    return Status::Reverted("UpdateRecords: bad root count");
+  }
+  // Line 4: digests must extend the log sequentially.
+  ctx.gas().ChargeSload();  // Read tail_idx.
+  if (start_idx != tail_idx_) {
+    return Status::Reverted("UpdateRecords: start_idx != tail_idx");
+  }
+  std::vector<Hash256> roots;
+  roots.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WEDGE_ASSIGN_OR_RETURN(Bytes raw, reader.ReadRaw(32));
+    WEDGE_ASSIGN_OR_RETURN(Hash256 root, HashFromBytes(raw));
+    roots.push_back(root);
+  }
+  if (!reader.AtEnd()) {
+    return Status::Reverted("UpdateRecords: trailing calldata");
+  }
+  // All checks passed; mutate state (lines 7-10).
+  for (uint32_t i = 0; i < n; ++i) {
+    record_map_[start_idx + i] = roots[i];
+    ctx.gas().ChargeSstore(/*fresh_slot=*/true);
+  }
+  tail_idx_ = start_idx + n;
+  ctx.gas().ChargeSstore(/*fresh_slot=*/false);
+
+  Bytes payload;
+  PutU64(payload, start_idx);
+  PutU64(payload, tail_idx_);
+  ctx.Emit("RecordsUpdated", payload);
+  return Bytes();
+}
+
+Result<Bytes> RootRecordContract::GetRootAtIndex(CallContext& ctx,
+                                                 const Bytes& args) const {
+  ByteReader reader(args);
+  WEDGE_ASSIGN_OR_RETURN(uint64_t idx, reader.ReadU64());
+  ctx.gas().ChargeSload();
+  Bytes out;
+  auto it = record_map_.find(idx);
+  if (it == record_map_.end()) {
+    out.push_back(0);
+    Append(out, Bytes(32, 0));
+  } else {
+    out.push_back(1);
+    Append(out, HashToBytes(it->second));
+  }
+  return out;
+}
+
+Result<Hash256> RootRecordContract::RootAt(uint64_t index) const {
+  auto it = record_map_.find(index);
+  if (it == record_map_.end()) {
+    return Status::NotFound("no root recorded at index");
+  }
+  return it->second;
+}
+
+}  // namespace wedge

@@ -1,0 +1,65 @@
+#ifndef WEDGEBLOCK_CONTRACTS_ROOT_RECORD_H_
+#define WEDGEBLOCK_CONTRACTS_ROOT_RECORD_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/contract.h"
+
+namespace wedge {
+
+/// The Root Record smart contract (paper §4.4, Algorithm 1): the on-chain
+/// store of stage-2 commitment records V = (i, MRoot).
+///
+/// Methods (calldata encoded with the canonical byte format in
+/// common/bytes.h):
+///   "updateRecords": [u64 start_idx][u32 n][32B root]*n
+///       Appends digests sequentially. Only callable by offchain_address;
+///       start_idx must equal tail_idx. Each log position is written at
+///       most once — this is what makes blockchain-committed entries
+///       immutable (Definition 3.2).
+///   "getRootAtIndex": [u64 idx] -> [u8 found][32B root]
+///   "getRootsInRange": [u64 start][u32 count] -> ([u8 found][32B root])*
+///       Range getter for auditors: one eth_call covers a whole audit
+///       window instead of one call per position.
+///   "tailIdx": [] -> [u64 tail]
+class RootRecordContract : public Contract {
+ public:
+  explicit RootRecordContract(const Address& offchain_address)
+      : offchain_address_(offchain_address),
+        authorized_{offchain_address} {}
+
+  /// Cluster deployment (§4.7 liveness): any member of a 3f+1 BFT cluster
+  /// may submit stage-2 digests. `members` must be non-empty; the first
+  /// member doubles as the nominal offchain_address.
+  explicit RootRecordContract(const std::vector<Address>& members)
+      : offchain_address_(members.front()),
+        authorized_(members.begin(), members.end()) {}
+
+  std::string_view Name() const override { return "RootRecord"; }
+
+  Result<Bytes> Call(CallContext& ctx, std::string_view method,
+                     const Bytes& args) override;
+
+  /// Direct read access for tests/tools (mirrors getRootAtIndex).
+  Result<Hash256> RootAt(uint64_t index) const;
+  uint64_t tail_idx() const { return tail_idx_; }
+  const Address& offchain_address() const { return offchain_address_; }
+
+  /// Maximum digests accepted per updateRecords call.
+  static constexpr uint32_t kMaxRootsPerCall = 4096;
+
+ private:
+  Result<Bytes> UpdateRecords(CallContext& ctx, const Bytes& args);
+  Result<Bytes> GetRootAtIndex(CallContext& ctx, const Bytes& args) const;
+
+  const Address offchain_address_;
+  const std::unordered_set<Address, AddressHasher> authorized_;
+  std::unordered_map<uint64_t, Hash256> record_map_;
+  uint64_t tail_idx_ = 0;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CONTRACTS_ROOT_RECORD_H_

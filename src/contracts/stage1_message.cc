@@ -1,0 +1,22 @@
+#include "contracts/stage1_message.h"
+
+namespace wedge {
+
+Bytes EncodeStage1Message(uint64_t log_index, const Hash256& merkle_root,
+                          const MerkleProof& proof, const Bytes& raw_data) {
+  Bytes out;
+  PutString(out, "wedgeblock-stage1-v1");  // Domain separation.
+  PutU64(out, log_index);
+  Append(out, HashToBytes(merkle_root));
+  PutBytes(out, proof.Serialize());
+  PutBytes(out, raw_data);
+  return out;
+}
+
+Hash256 Stage1MessageHash(uint64_t log_index, const Hash256& merkle_root,
+                          const MerkleProof& proof, const Bytes& raw_data) {
+  return Sha256::Digest(
+      EncodeStage1Message(log_index, merkle_root, proof, raw_data));
+}
+
+}  // namespace wedge

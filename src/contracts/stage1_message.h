@@ -1,0 +1,24 @@
+#ifndef WEDGEBLOCK_CONTRACTS_STAGE1_MESSAGE_H_
+#define WEDGEBLOCK_CONTRACTS_STAGE1_MESSAGE_H_
+
+#include "merkle/merkle_tree.h"
+
+namespace wedge {
+
+/// Canonical encoding of the tuple the Offchain Node signs in a stage-1
+/// response: (log index i, merkle root R_f, merkle proof P, raw data X).
+///
+/// The same byte string is hashed by the Punishment contract's
+/// recoverSigner step (Algorithm 2, line 1), so the encoding lives here —
+/// next to the on-chain verifier — and is shared by the Offchain Node and
+/// all clients.
+Bytes EncodeStage1Message(uint64_t log_index, const Hash256& merkle_root,
+                          const MerkleProof& proof, const Bytes& raw_data);
+
+/// SHA-256 digest of the canonical stage-1 message.
+Hash256 Stage1MessageHash(uint64_t log_index, const Hash256& merkle_root,
+                          const MerkleProof& proof, const Bytes& raw_data);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CONTRACTS_STAGE1_MESSAGE_H_

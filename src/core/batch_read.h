@@ -1,0 +1,36 @@
+#ifndef WEDGEBLOCK_CORE_BATCH_READ_H_
+#define WEDGEBLOCK_CORE_BATCH_READ_H_
+
+#include "core/data_model.h"
+#include "merkle/multi_proof.h"
+
+namespace wedge {
+
+/// A batched read response: many entries of ONE log position,
+/// authenticated together by a single Merkle multi-proof and a single
+/// Offchain Node signature. Compared to per-entry Stage1Responses this
+/// cuts both bandwidth (shared sibling hashes) and verification cost
+/// (one ECDSA verify per position instead of per entry) — the auditor's
+/// fast path (see bench/ablation_audit_modes).
+struct BatchReadResponse {
+  uint64_t log_id = 0;
+  Hash256 mroot{};
+  /// (offset within the position, raw leaf bytes) pairs.
+  std::vector<std::pair<uint64_t, Bytes>> entries;
+  MerkleMultiProof proof;
+  EcdsaSignature offchain_signature;
+
+  /// Digest the node signs (covers position, root, offsets and data).
+  Hash256 SignedHash() const;
+
+  /// Full verification: authentic signature AND the multi-proof
+  /// reconstructs the signed root from the returned entries.
+  bool Verify(const Address& offchain_address) const;
+
+  Bytes Serialize() const;
+  static Result<BatchReadResponse> Deserialize(const Bytes& b);
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CORE_BATCH_READ_H_

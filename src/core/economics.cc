@@ -1,0 +1,60 @@
+#include "core/economics.h"
+
+#include <cmath>
+
+namespace wedge {
+
+namespace {
+
+/// Multiplies a wei amount by a non-negative double (rounded up), via
+/// fixed-point milli-units to stay in integer arithmetic.
+Wei MulByDouble(const Wei& amount, double factor) {
+  if (factor <= 0) return Wei();
+  // Saturate enormous factors rather than overflow the fixed point.
+  if (factor > 1e15) factor = 1e15;
+  uint64_t milli = static_cast<uint64_t>(std::ceil(factor * 1000.0));
+  U256 scaled = amount * U256(milli);
+  U256 q, r;
+  scaled.DivMod(U256(1000), &q, &r).ok();
+  if (!r.IsZero()) q = q + U256(1);  // Round up: escrow must COVER.
+  return q;
+}
+
+}  // namespace
+
+Wei RequiredEscrow(const EscrowModel& model) {
+  double exposure = model.ops_per_second * model.detection_window_seconds *
+                    (model.safety_margin < 1.0 ? 1.0 : model.safety_margin);
+  return MulByDouble(model.gain_per_op, exposure);
+}
+
+bool EscrowIsDeterrent(const Wei& escrow, const EscrowModel& model) {
+  return escrow >= RequiredEscrow(model);
+}
+
+double MaxSafeDetectionWindow(const Wei& escrow, const EscrowModel& model) {
+  if (model.ops_per_second <= 0 || model.gain_per_op.IsZero()) return 0;
+  double margin = model.safety_margin < 1.0 ? 1.0 : model.safety_margin;
+  double gain_rate_eth =
+      WeiToEthDouble(model.gain_per_op) * model.ops_per_second * margin;
+  if (gain_rate_eth <= 0) return 0;
+  return WeiToEthDouble(escrow) / gain_rate_eth;
+}
+
+double SampleDetectionProbability(uint32_t per_position, uint32_t tampered,
+                                  uint32_t sampled) {
+  if (per_position == 0 || tampered == 0) return 0.0;
+  if (tampered >= per_position || sampled >= per_position) return 1.0;
+  if (sampled == 0) return 0.0;
+  // P(miss) = C(N-t, s) / C(N, s) = prod_{i=0..s-1} (N-t-i)/(N-i).
+  double miss = 1.0;
+  for (uint32_t i = 0; i < sampled; ++i) {
+    double numer = static_cast<double>(per_position - tampered) - i;
+    double denom = static_cast<double>(per_position) - i;
+    if (numer <= 0) return 1.0;
+    miss *= numer / denom;
+  }
+  return 1.0 - miss;
+}
+
+}  // namespace wedge

@@ -1,0 +1,57 @@
+#ifndef WEDGEBLOCK_CORE_ECONOMICS_H_
+#define WEDGEBLOCK_CORE_ECONOMICS_H_
+
+#include <cstdint>
+
+#include "chain/types.h"
+
+namespace wedge {
+
+/// Punishment-economics helpers (paper §3.3 / §5 "Penalty amount
+/// configuration"): under the all-or-nothing (AoN) punishment strategy,
+/// the escrow must outweigh everything a byzantine Offchain Node could
+/// gain before its first lie is detected. The paper defers the concrete
+/// sizing to future work; this module provides the first-order model the
+/// discussion implies:
+///
+///   required escrow >= gain_per_lie * ops_per_second * detection_window
+///                      * safety_margin
+///
+/// where the detection window is bounded by how often clients/auditors
+/// check stage-2 (FinalizeOrPunish cadence, payment periods, or audit
+/// frequency — §3.3 notes the periodic payment mechanism bounds it).
+struct EscrowModel {
+  /// Maximum wei the node can gain per lied-about operation (application
+  /// specific: value of a forged IoT reading, game item, etc.).
+  Wei gain_per_op;
+  /// Sustained operation rate the node serves.
+  double ops_per_second = 0;
+  /// Worst-case seconds from the first lie to the first stage-2 check
+  /// by any honest client or auditor.
+  double detection_window_seconds = 0;
+  /// Multiplier for modelling error (>= 1).
+  double safety_margin = 2.0;
+};
+
+/// Minimum escrow making lying unprofitable under the model.
+Wei RequiredEscrow(const EscrowModel& model);
+
+/// True when `escrow` deters the modelled adversary.
+bool EscrowIsDeterrent(const Wei& escrow, const EscrowModel& model);
+
+/// The longest detection window a given escrow safely covers (seconds);
+/// useful for choosing the audit/payment cadence. Returns 0 when the
+/// model's rates are degenerate.
+double MaxSafeDetectionWindow(const Wei& escrow, const EscrowModel& model);
+
+/// Probability that sampling `sampled` of `per_position` entries per log
+/// position catches at least one of `tampered` tampered entries in that
+/// position (hypergeometric miss-probability complement). The sampled
+/// audit (AuditorClient::AuditSample) trades this detection probability
+/// for verification cost.
+double SampleDetectionProbability(uint32_t per_position, uint32_t tampered,
+                                  uint32_t sampled);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CORE_ECONOMICS_H_

@@ -1,0 +1,424 @@
+#include "core/offchain_node.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace wedge {
+
+OffchainNode::OffchainNode(const OffchainNodeConfig& config, KeyPair key,
+                           std::unique_ptr<LogStore> store, Blockchain* chain,
+                           const Address& root_record_address)
+    : config_(config),
+      key_(std::move(key)),
+      store_(std::move(store)),
+      chain_(chain),
+      root_record_address_(root_record_address),
+      pool_(config.worker_threads),
+      byzantine_mode_(config.byzantine_mode) {}
+
+Result<std::vector<Stage1Response>> OffchainNode::Append(
+    const std::vector<AppendRequest>& requests) {
+  if (requests.empty()) {
+    return Status::InvalidArgument("empty append request list");
+  }
+
+  // Verify client signatures in parallel (paper §5: signature checks are
+  // embarrassingly parallel and run on all cores).
+  std::vector<uint8_t> valid(requests.size(), 1);
+  if (config_.verify_client_signatures) {
+    pool_.ParallelFor(requests.size(), [&](size_t i) {
+      valid[i] = requests[i].VerifySignature() ? 1 : 0;
+    });
+  }
+
+  std::vector<AppendRequest> accepted;
+  accepted.reserve(requests.size());
+  uint64_t rejected = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (valid[i]) {
+      accepted.push_back(requests[i]);
+    } else {
+      ++rejected;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.invalid_signatures_rejected += rejected;
+  }
+  if (accepted.empty()) {
+    return Status::InvalidArgument("all requests had invalid signatures");
+  }
+
+  std::vector<Stage1Response> responses;
+  responses.reserve(accepted.size());
+  size_t cursor = 0;
+  while (cursor < accepted.size()) {
+    size_t take = std::min<size_t>(config_.batch_size,
+                                   accepted.size() - cursor);
+    std::vector<AppendRequest> batch(accepted.begin() + cursor,
+                                     accepted.begin() + cursor + take);
+    cursor += take;
+    WEDGE_ASSIGN_OR_RETURN(std::vector<Stage1Response> part,
+                           SealBatch(std::move(batch)));
+    for (auto& r : part) responses.push_back(std::move(r));
+  }
+  return responses;
+}
+
+Status OffchainNode::SubmitAppend(AppendRequest request) {
+  if (config_.verify_client_signatures && !request.VerifySignature()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.invalid_signatures_rejected;
+    return Status::Verification("invalid client signature");
+  }
+  std::vector<AppendRequest> to_seal;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    staging_.push_back(std::move(request));
+    if (staging_.size() < config_.batch_size) return Status::Ok();
+    to_seal.swap(staging_);
+  }
+  Result<std::vector<Stage1Response>> sealed = SealBatch(std::move(to_seal));
+  if (!sealed.ok()) return sealed.status();
+  ResponseCallback cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb = response_callback_;
+  }
+  if (cb) cb(std::move(sealed).value());
+  return Status::Ok();
+}
+
+void OffchainNode::SetResponseCallback(ResponseCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  response_callback_ = std::move(callback);
+}
+
+size_t OffchainNode::StagedRequests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return staging_.size();
+}
+
+Result<std::vector<Stage1Response>> OffchainNode::FlushStagedBatch() {
+  std::vector<AppendRequest> to_seal;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (staging_.empty()) {
+      return Status::NotFound("staging batch is empty");
+    }
+    to_seal.swap(staging_);
+  }
+  Result<std::vector<Stage1Response>> sealed = SealBatch(std::move(to_seal));
+  if (sealed.ok()) {
+    ResponseCallback cb;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cb = response_callback_;
+    }
+    if (cb) {
+      std::vector<Stage1Response> copy = sealed.value();
+      cb(std::move(copy));
+    }
+  }
+  return sealed;
+}
+
+Result<std::vector<Stage1Response>> OffchainNode::SealBatch(
+    std::vector<AppendRequest> batch) {
+  // Leaves are the canonical encodings of the accepted requests; the
+  // batch order fixes the event order that stage-2 will commit (§2.3).
+  std::vector<Bytes> leaves(batch.size());
+  pool_.ParallelFor(batch.size(),
+                    [&](size_t i) { leaves[i] = batch[i].Serialize(); });
+
+  WEDGE_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::Build(leaves));
+  auto shared_tree = std::make_shared<MerkleTree>(std::move(tree));
+
+  LogPosition position;
+  position.data_list = leaves;
+  position.mroot = shared_tree->Root();
+
+  uint64_t log_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_id = store_->Size();
+    position.log_id = log_id;
+    WEDGE_RETURN_IF_ERROR(store_->Append(position));
+    // Cache the freshly built tree for the read path.
+    tree_cache_[log_id] = shared_tree;
+    tree_cache_order_.push_back(log_id);
+    while (tree_cache_order_.size() > config_.tree_cache_capacity) {
+      tree_cache_.erase(tree_cache_order_.front());
+      tree_cache_order_.pop_front();
+    }
+
+    Hash256 stage2_root = shared_tree->Root();
+    if (byzantine_mode_ == ByzantineMode::kEquivocateRoot) {
+      // The node promises one root in stage-1 but schedules a different
+      // one for blockchain commitment.
+      stage2_root[0] ^= 0xFF;
+    }
+    pending_roots_.emplace_back(log_id, stage2_root);
+    stats_.entries_ingested += batch.size();
+    ++stats_.batches_created;
+  }
+
+  // Produce signed responses in parallel (one ECDSA sign per entry).
+  std::vector<Stage1Response> responses(batch.size());
+  std::atomic<bool> failed{false};
+  pool_.ParallelFor(batch.size(), [&](size_t i) {
+    auto proof = shared_tree->Prove(i);
+    if (!proof.ok()) {
+      failed.store(true);
+      return;
+    }
+    Stage1Response resp;
+    resp.entry = leaves[i];
+    resp.index = EntryIndex{log_id, static_cast<uint32_t>(i)};
+    resp.proof.log_id = log_id;
+    resp.proof.mroot = shared_tree->Root();
+    resp.proof.merkle_proof = std::move(proof).value();
+    if (byzantine_mode_ == ByzantineMode::kCorruptProof &&
+        !resp.proof.merkle_proof.path.empty()) {
+      // Corrupt the path BEFORE signing: the signature stays authentic,
+      // which is exactly the case-2 evidence Algorithm 2 punishes.
+      resp.proof.merkle_proof.path[0].sibling[0] ^= 0xFF;
+    }
+    if (config_.sign_stage1_responses) {
+      resp.offchain_signature =
+          EcdsaSign(key_.private_key(), resp.SignedHash());
+    }
+    responses[i] = std::move(resp);
+  });
+  if (failed.load()) {
+    return Status::Internal("merkle proof generation failed");
+  }
+
+  if (config_.auto_stage2 &&
+      PendingDigests() >= std::max<uint32_t>(1, config_.stage2_group_batches)) {
+    Result<TxId> tx = CommitPendingDigests();
+    // kOmitStage2 and chain-less configurations legitimately skip.
+    if (!tx.ok() && tx.status().code() != Code::kNotFound &&
+        tx.status().code() != Code::kFailedPrecondition) {
+      return tx.status();
+    }
+  }
+  return responses;
+}
+
+Result<TxId> OffchainNode::CommitPendingDigests() {
+  std::vector<std::pair<uint64_t, Hash256>> roots;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (byzantine_mode_ == ByzantineMode::kOmitStage2) {
+      // Omission attack: silently discard the promised digests.
+      pending_roots_.clear();
+      return Status::NotFound("stage-2 omitted (byzantine)");
+    }
+    if (pending_roots_.empty()) {
+      return Status::NotFound("no pending digests");
+    }
+    roots.assign(pending_roots_.begin(), pending_roots_.end());
+    pending_roots_.clear();
+  }
+  if (chain_ == nullptr) {
+    return Status::FailedPrecondition("no blockchain attached");
+  }
+
+  Transaction tx;
+  tx.from = key_.address();
+  tx.to = root_record_address_;
+  tx.method = "updateRecords";
+  PutU64(tx.calldata, roots.front().first);
+  PutU32(tx.calldata, static_cast<uint32_t>(roots.size()));
+  for (const auto& [id, root] : roots) {
+    wedge::Append(tx.calldata, HashToBytes(root));
+  }
+  WEDGE_ASSIGN_OR_RETURN(TxId id, chain_->Submit(tx));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stage2_txs_.push_back(id);
+    ++stats_.stage2_txs_submitted;
+  }
+  return id;
+}
+
+size_t OffchainNode::PendingDigests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_roots_.size();
+}
+
+std::vector<TxId> OffchainNode::Stage2TxIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stage2_txs_;
+}
+
+Result<std::shared_ptr<MerkleTree>> OffchainNode::TreeFor(uint64_t log_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tree_cache_.find(log_id);
+    if (it != tree_cache_.end()) return it->second;
+  }
+  WEDGE_ASSIGN_OR_RETURN(LogPosition pos, store_->Get(log_id));
+  WEDGE_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::Build(pos.data_list));
+  auto shared = std::make_shared<MerkleTree>(std::move(tree));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tree_cache_.emplace(log_id, shared).second) {
+    tree_cache_order_.push_back(log_id);
+    while (tree_cache_order_.size() > config_.tree_cache_capacity) {
+      tree_cache_.erase(tree_cache_order_.front());
+      tree_cache_order_.pop_front();
+    }
+  }
+  return shared;
+}
+
+Stage1Response OffchainNode::MakeResponse(const Bytes& leaf, uint64_t log_id,
+                                          uint32_t offset,
+                                          const MerkleTree& tree) const {
+  Stage1Response resp;
+  resp.entry = leaf;
+  resp.index = EntryIndex{log_id, offset};
+  resp.proof.log_id = log_id;
+  resp.proof.mroot = tree.Root();
+  resp.proof.merkle_proof = tree.Prove(offset).value();
+  resp.offchain_signature = EcdsaSign(key_.private_key(), resp.SignedHash());
+  return resp;
+}
+
+Result<Stage1Response> OffchainNode::ReadOne(const EntryIndex& index) {
+  if (byzantine_mode_ == ByzantineMode::kTamperReadData) {
+    return ForgeTamperedRead(index);
+  }
+  WEDGE_ASSIGN_OR_RETURN(Bytes entry, store_->GetEntry(index));
+  WEDGE_ASSIGN_OR_RETURN(std::shared_ptr<MerkleTree> tree,
+                         TreeFor(index.log_id));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.reads_served;
+  }
+  return MakeResponse(entry, index.log_id, index.offset, *tree);
+}
+
+Result<std::vector<Stage1Response>> OffchainNode::Read(
+    const std::vector<EntryIndex>& indices) {
+  std::vector<Stage1Response> out(indices.size());
+  std::atomic<bool> failed{false};
+  pool_.ParallelFor(indices.size(), [&](size_t i) {
+    auto r = ReadOne(indices[i]);
+    if (!r.ok()) {
+      failed.store(true);
+      return;
+    }
+    out[i] = std::move(r).value();
+  });
+  if (failed.load()) {
+    return Status::NotFound("one or more read indices do not exist");
+  }
+  return out;
+}
+
+Result<std::vector<Stage1Response>> OffchainNode::Scan(uint64_t first_id,
+                                                       uint64_t last_id) {
+  std::vector<Stage1Response> out;
+  for (uint64_t id = first_id; id <= last_id; ++id) {
+    WEDGE_ASSIGN_OR_RETURN(LogPosition pos, store_->Get(id));
+    WEDGE_ASSIGN_OR_RETURN(std::shared_ptr<MerkleTree> tree, TreeFor(id));
+    size_t base = out.size();
+    out.resize(base + pos.data_list.size());
+    std::atomic<bool> failed{false};
+    pool_.ParallelFor(pos.data_list.size(), [&](size_t i) {
+      if (byzantine_mode_ == ByzantineMode::kTamperReadData) {
+        auto forged = ForgeTamperedRead(
+            EntryIndex{id, static_cast<uint32_t>(i)});
+        if (forged.ok()) {
+          out[base + i] = std::move(forged).value();
+        } else {
+          failed.store(true);
+        }
+        return;
+      }
+      out[base + i] = MakeResponse(pos.data_list[i], id,
+                                   static_cast<uint32_t>(i), *tree);
+    });
+    if (failed.load()) return Status::Internal("scan forgery failed");
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.reads_served += pos.data_list.size();
+  }
+  return out;
+}
+
+Result<BatchReadResponse> OffchainNode::ReadBatch(
+    uint64_t log_id, std::vector<uint32_t> offsets) {
+  WEDGE_ASSIGN_OR_RETURN(LogPosition pos, store_->Get(log_id));
+  WEDGE_ASSIGN_OR_RETURN(std::shared_ptr<MerkleTree> tree, TreeFor(log_id));
+
+  if (offsets.empty()) {
+    offsets.resize(pos.data_list.size());
+    for (size_t i = 0; i < offsets.size(); ++i) {
+      offsets[i] = static_cast<uint32_t>(i);
+    }
+  }
+  BatchReadResponse resp;
+  resp.log_id = log_id;
+  resp.mroot = tree->Root();
+  std::vector<uint64_t> indices;
+  indices.reserve(offsets.size());
+  for (uint32_t offset : offsets) {
+    if (offset >= pos.data_list.size()) {
+      return Status::NotFound("entry offset out of range");
+    }
+    resp.entries.emplace_back(offset, pos.data_list[offset]);
+    indices.push_back(offset);
+  }
+  WEDGE_ASSIGN_OR_RETURN(resp.proof, BuildMultiProof(*tree, indices));
+  resp.offchain_signature = EcdsaSign(key_.private_key(), resp.SignedHash());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.reads_served += resp.entries.size();
+  }
+  return resp;
+}
+
+Result<Stage1Response> OffchainNode::ForgeTamperedRead(
+    const EntryIndex& index) {
+  // A lying node cannot fake the on-chain root, but it can sign an
+  // internally consistent response over tampered data: rebuild the batch
+  // with the entry modified, recompute the tree, sign. Stage-1
+  // verification passes; the root mismatch against the Root Record
+  // contract is the client's punishable evidence.
+  WEDGE_ASSIGN_OR_RETURN(LogPosition pos, store_->Get(index.log_id));
+  if (index.offset >= pos.data_list.size()) {
+    return Status::NotFound("entry offset out of range");
+  }
+  std::vector<Bytes> tampered = pos.data_list;
+  if (tampered[index.offset].empty()) {
+    tampered[index.offset] = ToBytes("forged");
+  } else {
+    tampered[index.offset].back() ^= 0xFF;
+  }
+  WEDGE_ASSIGN_OR_RETURN(MerkleTree fake_tree, MerkleTree::Build(tampered));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.reads_served;
+  }
+  return MakeResponse(tampered[index.offset], index.log_id, index.offset,
+                      fake_tree);
+}
+
+Result<uint32_t> OffchainNode::PositionEntryCount(uint64_t log_id) const {
+  WEDGE_ASSIGN_OR_RETURN(LogPosition pos, store_->Get(log_id));
+  return static_cast<uint32_t>(pos.data_list.size());
+}
+
+OffchainNodeStats OffchainNode::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void OffchainNode::set_byzantine_mode(ByzantineMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byzantine_mode_ = mode;
+}
+
+}  // namespace wedge

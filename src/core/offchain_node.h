@@ -1,0 +1,182 @@
+#ifndef WEDGEBLOCK_CORE_OFFCHAIN_NODE_H_
+#define WEDGEBLOCK_CORE_OFFCHAIN_NODE_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "chain/blockchain.h"
+#include "common/thread_pool.h"
+#include "core/batch_read.h"
+#include "core/data_model.h"
+
+namespace wedge {
+
+/// Fault-injection modes for the Offchain Node. The byzantine modes drive
+/// the safety tests and the punishment-path experiments: every mode other
+/// than kHonest is detectable (and punishable) under Definitions 3.1/3.2.
+enum class ByzantineMode {
+  kHonest,
+  /// Stage-1 responses are honest but stage-2 commits a different root
+  /// (classic equivocation; caught by CommitCheck::kMismatch).
+  kEquivocateRoot,
+  /// Read responses carry tampered data with a freshly forged (signed,
+  /// internally consistent) proof; caught against the on-chain root.
+  kTamperReadData,
+  /// Stage-2 commits are silently dropped (omission attack, §4.7).
+  kOmitStage2,
+  /// Responses are signed over a corrupted Merkle proof; caught by
+  /// stage-1 verification and punishable via Algorithm 2 case 2.
+  kCorruptProof,
+};
+
+struct OffchainNodeConfig {
+  /// Append requests per log position (the paper's default is 2000).
+  uint32_t batch_size = 2000;
+  /// Worker threads for parallel ECDSA signing/verification (the paper's
+  /// prototype parallelizes these across all cores, §5).
+  size_t worker_threads = 4;
+  /// Submit a stage-2 transaction automatically after every batch.
+  bool auto_stage2 = true;
+  /// With auto_stage2, accumulate this many batch digests before issuing
+  /// one updateRecords transaction (the grouping lever measured in
+  /// bench/ablation_lmt; 1 = the paper's per-batch behaviour).
+  uint32_t stage2_group_batches = 1;
+  /// Skip client signature verification on ingest (benchmarking knob; the
+  /// default matches the paper's protocol).
+  bool verify_client_signatures = true;
+  /// Sign stage-1 append responses (the core of LMT; default on). Read
+  /// benches turn this off only to preload large logs quickly — read
+  /// responses are always signed.
+  bool sign_stage1_responses = true;
+  /// Positions whose Merkle trees stay cached for read serving.
+  size_t tree_cache_capacity = 4096;
+  ByzantineMode byzantine_mode = ByzantineMode::kHonest;
+};
+
+/// Running counters exposed for experiments.
+struct OffchainNodeStats {
+  uint64_t entries_ingested = 0;
+  uint64_t batches_created = 0;
+  uint64_t invalid_signatures_rejected = 0;
+  uint64_t stage2_txs_submitted = 0;
+  uint64_t reads_served = 0;
+};
+
+/// The Offchain Node (paper §4.3): ingests append requests in batches,
+/// builds a Merkle tree per batch, persists the log position, returns
+/// signed stage-1 responses, and lazily commits batch digests to the Root
+/// Record contract (stage-2) — the LMT protocol.
+///
+/// Thread-compatible: Append/Read may be called from multiple client
+/// threads; internal state is mutex-protected and crypto work fans out to
+/// the worker pool.
+class OffchainNode {
+ public:
+  /// `chain` may be null for pure off-chain benchmarking (stage-2 calls
+  /// then fail with FailedPrecondition).
+  OffchainNode(const OffchainNodeConfig& config, KeyPair key,
+               std::unique_ptr<LogStore> store, Blockchain* chain,
+               const Address& root_record_address);
+
+  OffchainNode(const OffchainNode&) = delete;
+  OffchainNode& operator=(const OffchainNode&) = delete;
+
+  /// --- Append path (stage 1) ---
+
+  /// Ingests a list of append requests: verifies client signatures,
+  /// groups them into batches of config.batch_size, builds one log
+  /// position per batch and returns a signed stage-1 response per valid
+  /// request (in input order; invalid-signature requests are dropped and
+  /// counted in stats).
+  Result<std::vector<Stage1Response>> Append(
+      const std::vector<AppendRequest>& requests);
+
+  /// Delivery hook for responses produced by the streaming path
+  /// (SubmitAppend/FlushStagedBatch): the paper's node pushes stage-1
+  /// responses back to publishers one batch at a time.
+  using ResponseCallback = std::function<void(std::vector<Stage1Response>&&)>;
+  void SetResponseCallback(ResponseCallback callback);
+
+  /// Buffers a single request into the current (staging) batch. When the
+  /// batch fills up it is sealed and responses flow to the callback.
+  Status SubmitAppend(AppendRequest request);
+  /// Number of requests waiting in the staging batch.
+  size_t StagedRequests() const;
+  /// Seals the staging batch regardless of fill level.
+  Result<std::vector<Stage1Response>> FlushStagedBatch();
+
+  /// --- Read path ---
+
+  /// Serves one entry with a fresh stage-1 response (§4.3 read requests).
+  Result<Stage1Response> ReadOne(const EntryIndex& index);
+  Result<std::vector<Stage1Response>> Read(
+      const std::vector<EntryIndex>& indices);
+  /// Auditor scan: every entry in log positions [first_id, last_id].
+  Result<std::vector<Stage1Response>> Scan(uint64_t first_id,
+                                           uint64_t last_id);
+
+  /// Batched read of one position: `offsets` selects entries (empty =
+  /// the whole position). One multi-proof + one signature authenticate
+  /// the whole batch — the fast audit path.
+  Result<BatchReadResponse> ReadBatch(uint64_t log_id,
+                                      std::vector<uint32_t> offsets = {});
+
+  /// --- Stage 2 (lazy blockchain commitment) ---
+
+  /// Submits one updateRecords transaction covering all pending digests.
+  /// Returns the TxId, or NotFound when nothing is pending.
+  Result<TxId> CommitPendingDigests();
+  size_t PendingDigests() const;
+  /// TxIds of all stage-2 transactions submitted so far.
+  std::vector<TxId> Stage2TxIds() const;
+
+  /// --- Introspection ---
+
+  const Address& address() const { return key_.address(); }
+  uint64_t LogPositions() const { return store_->Size(); }
+  /// Number of entries stored at a log position.
+  Result<uint32_t> PositionEntryCount(uint64_t log_id) const;
+  OffchainNodeStats stats() const;
+  const OffchainNodeConfig& config() const { return config_; }
+
+  /// Escape hatch for experiments that need to flip behaviour mid-run
+  /// (e.g. an initially honest node that starts equivocating).
+  void set_byzantine_mode(ByzantineMode mode);
+
+ private:
+  /// Seals `batch` into a log position and produces signed responses.
+  Result<std::vector<Stage1Response>> SealBatch(
+      std::vector<AppendRequest> batch);
+
+  /// Returns the Merkle tree for a stored position (cache or rebuild).
+  Result<std::shared_ptr<MerkleTree>> TreeFor(uint64_t log_id);
+
+  Stage1Response MakeResponse(const Bytes& leaf, uint64_t log_id,
+                              uint32_t offset, const MerkleTree& tree) const;
+
+  /// Byzantine read path: forge an internally consistent response over
+  /// tampered data.
+  Result<Stage1Response> ForgeTamperedRead(const EntryIndex& index);
+
+  const OffchainNodeConfig config_;
+  const KeyPair key_;
+  std::unique_ptr<LogStore> store_;
+  Blockchain* const chain_;
+  const Address root_record_address_;
+  mutable ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::vector<AppendRequest> staging_;
+  std::deque<std::pair<uint64_t, Hash256>> pending_roots_;
+  std::vector<TxId> stage2_txs_;
+  std::unordered_map<uint64_t, std::shared_ptr<MerkleTree>> tree_cache_;
+  std::deque<uint64_t> tree_cache_order_;  // FIFO eviction.
+  OffchainNodeStats stats_;
+  ByzantineMode byzantine_mode_;
+  ResponseCallback response_callback_;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CORE_OFFCHAIN_NODE_H_

@@ -1,0 +1,212 @@
+#include "core/remote.h"
+
+namespace wedge {
+
+namespace {
+
+Bytes EncodeRequest(uint64_t rpc_id, std::string_view op, const Bytes& body) {
+  Bytes out;
+  PutU64(out, rpc_id);
+  PutString(out, op);
+  PutBytes(out, body);
+  return out;
+}
+
+Bytes EncodeOkResponse(uint64_t rpc_id, const Bytes& body) {
+  Bytes out;
+  PutU64(out, rpc_id);
+  out.push_back(1);
+  PutBytes(out, body);
+  return out;
+}
+
+Bytes EncodeErrorResponse(uint64_t rpc_id, const Status& status) {
+  Bytes out;
+  PutU64(out, rpc_id);
+  out.push_back(0);
+  PutString(out, status.ToString());
+  return out;
+}
+
+}  // namespace
+
+RemoteNodeServer::RemoteNodeServer(OffchainNode* node, KeyPair transport_key,
+                                   MessageBus* bus, std::string endpoint_name)
+    : node_(node),
+      key_(std::move(transport_key)),
+      bus_(bus),
+      endpoint_(std::move(endpoint_name)) {
+  bus_->RegisterEndpoint(endpoint_,
+                         [this](const std::string& from, const Bytes& wire) {
+                           HandleMessage(from, wire);
+                         });
+}
+
+void RemoteNodeServer::HandleMessage(const std::string& from,
+                                     const Bytes& wire) {
+  auto envelope = SignedEnvelope::Deserialize(wire);
+  if (!envelope.ok() || !envelope->Verify()) {
+    return;  // Unsigned/forged traffic is dropped silently (§3.1).
+  }
+  ByteReader reader(envelope->payload);
+  auto rpc_id = reader.ReadU64();
+  auto op = reader.ReadString();
+  auto body = reader.ReadBytes();
+  if (!rpc_id.ok() || !op.ok() || !body.ok()) return;
+
+  ++requests_served_;
+  Result<Bytes> result = Dispatch(op.value(), body.value());
+  Bytes reply = result.ok() ? EncodeOkResponse(rpc_id.value(), result.value())
+                            : EncodeErrorResponse(rpc_id.value(),
+                                                  result.status());
+  SignedEnvelope out = SignedEnvelope::Create(key_, std::move(reply));
+  bus_->Send(endpoint_, from, out.Serialize());
+}
+
+Result<Bytes> RemoteNodeServer::Dispatch(std::string_view op,
+                                         const Bytes& body) {
+  ByteReader reader(body);
+  if (op == "append") {
+    WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+    if (count == 0 || count > 1u << 20) {
+      return Status::InvalidArgument("bad append count");
+    }
+    std::vector<AppendRequest> requests;
+    requests.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      WEDGE_ASSIGN_OR_RETURN(Bytes raw, reader.ReadBytes());
+      WEDGE_ASSIGN_OR_RETURN(AppendRequest req,
+                             AppendRequest::Deserialize(raw));
+      requests.push_back(std::move(req));
+    }
+    WEDGE_ASSIGN_OR_RETURN(std::vector<Stage1Response> responses,
+                           node_->Append(requests));
+    Bytes out;
+    PutU32(out, static_cast<uint32_t>(responses.size()));
+    for (const Stage1Response& r : responses) PutBytes(out, r.Serialize());
+    return out;
+  }
+  if (op == "read") {
+    EntryIndex index;
+    WEDGE_ASSIGN_OR_RETURN(index.log_id, reader.ReadU64());
+    WEDGE_ASSIGN_OR_RETURN(index.offset, reader.ReadU32());
+    WEDGE_ASSIGN_OR_RETURN(Stage1Response response, node_->ReadOne(index));
+    return response.Serialize();
+  }
+  if (op == "readBatch") {
+    uint64_t log_id;
+    WEDGE_ASSIGN_OR_RETURN(log_id, reader.ReadU64());
+    WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+    std::vector<uint32_t> offsets;
+    offsets.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      WEDGE_ASSIGN_OR_RETURN(uint32_t off, reader.ReadU32());
+      offsets.push_back(off);
+    }
+    WEDGE_ASSIGN_OR_RETURN(BatchReadResponse response,
+                           node_->ReadBatch(log_id, std::move(offsets)));
+    return response.Serialize();
+  }
+  return Status::NotFound("unknown rpc op");
+}
+
+RemoteNodeClient::RemoteNodeClient(KeyPair key, MessageBus* bus,
+                                   SimClock* clock,
+                                   std::string server_endpoint,
+                                   const Address& server_address,
+                                   Micros rpc_timeout)
+    : key_(std::move(key)),
+      bus_(bus),
+      clock_(clock),
+      server_endpoint_(std::move(server_endpoint)),
+      server_address_(server_address),
+      rpc_timeout_(rpc_timeout),
+      endpoint_("client-" + key_.address().ToHex()) {
+  bus_->RegisterEndpoint(
+      endpoint_, [this](const std::string& from, const Bytes& wire) {
+        (void)from;
+        auto envelope = SignedEnvelope::Deserialize(wire);
+        if (!envelope.ok() || !envelope->Verify()) return;
+        // Replies must come from the node operator's transport key.
+        if (envelope->sender != server_address_) return;
+        ByteReader reader(envelope->payload);
+        auto rpc_id = reader.ReadU64();
+        auto ok_flag = reader.ReadRaw(1);
+        if (!rpc_id.ok() || !ok_flag.ok()) return;
+        pending_.rpc_id = rpc_id.value();
+        pending_.ok = ok_flag.value()[0] != 0;
+        if (pending_.ok) {
+          auto body = reader.ReadBytes();
+          if (!body.ok()) return;
+          pending_.body = std::move(body).value();
+        } else {
+          auto error = reader.ReadString();
+          pending_.error = error.ok() ? error.value() : "malformed error";
+        }
+        pending_.arrived = true;
+      });
+}
+
+Result<Bytes> RemoteNodeClient::Call(std::string_view op, const Bytes& body) {
+  uint64_t rpc_id = next_rpc_id_++;
+  pending_ = PendingReply{};
+  SignedEnvelope envelope =
+      SignedEnvelope::Create(key_, EncodeRequest(rpc_id, op, body));
+  Micros sent_at = bus_->Send(endpoint_, server_endpoint_,
+                              envelope.Serialize());
+  if (sent_at == 0) {
+    return Status::Unavailable("request dropped by the network");
+  }
+  Micros deadline = clock_->NowMicros() + rpc_timeout_;
+  while (!(pending_.arrived && pending_.rpc_id == rpc_id)) {
+    if (clock_->NowMicros() >= deadline) {
+      return Status::Timeout("rpc timed out (omission or loss)");
+    }
+    if (!bus_->Step()) {
+      return Status::Timeout("rpc reply lost (nothing in flight)");
+    }
+  }
+  if (!pending_.ok) {
+    return Status::Unavailable("remote error: " + pending_.error);
+  }
+  return pending_.body;
+}
+
+Result<std::vector<Stage1Response>> RemoteNodeClient::Append(
+    const std::vector<AppendRequest>& requests) {
+  Bytes body;
+  PutU32(body, static_cast<uint32_t>(requests.size()));
+  for (const AppendRequest& r : requests) PutBytes(body, r.Serialize());
+  WEDGE_ASSIGN_OR_RETURN(Bytes reply, Call("append", body));
+  ByteReader reader(reply);
+  WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  std::vector<Stage1Response> responses;
+  responses.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WEDGE_ASSIGN_OR_RETURN(Bytes raw, reader.ReadBytes());
+    WEDGE_ASSIGN_OR_RETURN(Stage1Response resp,
+                           Stage1Response::Deserialize(raw));
+    responses.push_back(std::move(resp));
+  }
+  return responses;
+}
+
+Result<Stage1Response> RemoteNodeClient::ReadOne(const EntryIndex& index) {
+  Bytes body;
+  PutU64(body, index.log_id);
+  PutU32(body, index.offset);
+  WEDGE_ASSIGN_OR_RETURN(Bytes reply, Call("read", body));
+  return Stage1Response::Deserialize(reply);
+}
+
+Result<BatchReadResponse> RemoteNodeClient::ReadBatch(
+    uint64_t log_id, const std::vector<uint32_t>& offsets) {
+  Bytes body;
+  PutU64(body, log_id);
+  PutU32(body, static_cast<uint32_t>(offsets.size()));
+  for (uint32_t off : offsets) PutU32(body, off);
+  WEDGE_ASSIGN_OR_RETURN(Bytes reply, Call("readBatch", body));
+  return BatchReadResponse::Deserialize(reply);
+}
+
+}  // namespace wedge

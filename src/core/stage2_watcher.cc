@@ -1,0 +1,85 @@
+#include "core/stage2_watcher.h"
+
+#include <algorithm>
+
+namespace wedge {
+
+Stage2Watcher::Stage2Watcher(Blockchain* chain,
+                             const Address& root_record_address,
+                             PublisherClient* publisher, bool auto_punish)
+    : chain_(chain), publisher_(publisher), auto_punish_(auto_punish) {
+  chain_->SubscribeEvents(
+      root_record_address, [this](const LogEvent& event) {
+        if (event.name != "RecordsUpdated") return;
+        ByteReader reader(event.payload);
+        auto start = reader.ReadU64();
+        auto tail = reader.ReadU64();
+        if (!start.ok() || !tail.ok()) return;
+        std::lock_guard<std::mutex> lock(mu_);
+        observed_tail_ = std::max(observed_tail_, tail.value());
+      });
+}
+
+void Stage2Watcher::Track(Stage1Response response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(std::move(response));
+}
+
+void Stage2Watcher::TrackAll(const std::vector<Stage1Response>& responses) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.insert(pending_.end(), responses.begin(), responses.end());
+}
+
+Result<std::vector<Stage2Watcher::Outcome>> Stage2Watcher::Poll() {
+  // Pull out the responses whose position the chain now covers.
+  std::vector<Stage1Response> due;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::partition(
+        pending_.begin(), pending_.end(), [this](const Stage1Response& r) {
+          return r.proof.log_id >= observed_tail_;  // Keep: not covered.
+        });
+    due.assign(std::make_move_iterator(it),
+               std::make_move_iterator(pending_.end()));
+    pending_.erase(it, pending_.end());
+  }
+
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(due.size());
+  for (Stage1Response& response : due) {
+    Outcome outcome;
+    WEDGE_ASSIGN_OR_RETURN(outcome.check,
+                           publisher_->CheckBlockchainCommit(response));
+    if (outcome.check == CommitCheck::kMismatch && auto_punish_) {
+      // The signed response is the evidence; one punishment settles the
+      // contract, further attempts revert harmlessly (all-or-nothing).
+      auto receipt = publisher_->TriggerPunishment(response);
+      if (receipt.ok()) {
+        outcome.punishment_triggered = true;
+        outcome.punishment_receipt = std::move(receipt).value();
+      }
+    }
+    outcome.response = std::move(response);
+    outcomes.push_back(std::move(outcome));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  resolved_count_ += outcomes.size();
+  return outcomes;
+}
+
+size_t Stage2Watcher::PendingCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+size_t Stage2Watcher::ResolvedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resolved_count_;
+}
+
+uint64_t Stage2Watcher::ObservedTail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_tail_;
+}
+
+}  // namespace wedge

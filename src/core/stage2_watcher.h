@@ -1,0 +1,64 @@
+#ifndef WEDGEBLOCK_CORE_STAGE2_WATCHER_H_
+#define WEDGEBLOCK_CORE_STAGE2_WATCHER_H_
+
+#include <mutex>
+
+#include "core/client.h"
+
+namespace wedge {
+
+/// Event-driven stage-2 verification (Figure 2, links #4/#5 automated):
+/// instead of polling the Root Record contract per response, the watcher
+/// subscribes to its RecordsUpdated events. When the on-chain tail passes
+/// a tracked response's log position, Poll() verifies the response and —
+/// if the recorded root conflicts with the signed promise — invokes the
+/// Punishment contract on the publisher's behalf.
+///
+/// Event callbacks fire inside block mining, so the callback only records
+/// the new tail; all verification/punishment work happens in Poll(),
+/// which the application calls from its own loop after pumping the chain.
+class Stage2Watcher {
+ public:
+  /// Final state of a tracked response.
+  struct Outcome {
+    Stage1Response response;
+    CommitCheck check = CommitCheck::kNotYetCommitted;
+    bool punishment_triggered = false;
+    Receipt punishment_receipt;
+  };
+
+  /// `auto_punish`: invoke the Punishment contract automatically on a
+  /// root mismatch (otherwise the outcome just reports kMismatch).
+  Stage2Watcher(Blockchain* chain, const Address& root_record_address,
+                PublisherClient* publisher, bool auto_punish = true);
+
+  /// Registers a stage-1 response to watch.
+  void Track(Stage1Response response);
+  void TrackAll(const std::vector<Stage1Response>& responses);
+
+  /// Processes every tracked response whose position the chain has
+  /// covered (per the observed events). Returns the responses resolved
+  /// by THIS call.
+  Result<std::vector<Outcome>> Poll();
+
+  /// Responses still awaiting their position on-chain.
+  size_t PendingCount() const;
+  /// Total outcomes resolved so far.
+  size_t ResolvedCount() const;
+  /// Highest on-chain tail observed from events.
+  uint64_t ObservedTail() const;
+
+ private:
+  Blockchain* chain_;
+  PublisherClient* publisher_;
+  bool auto_punish_;
+
+  mutable std::mutex mu_;
+  std::vector<Stage1Response> pending_;
+  uint64_t observed_tail_ = 0;
+  size_t resolved_count_ = 0;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CORE_STAGE2_WATCHER_H_

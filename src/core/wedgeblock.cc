@@ -1,0 +1,160 @@
+#include "core/wedgeblock.h"
+
+namespace wedge {
+
+Result<std::unique_ptr<Deployment>> Deployment::Create(
+    const DeploymentConfig& config, uint64_t publisher_seed) {
+  std::unique_ptr<Deployment> d(new Deployment());
+  d->config_ = config;
+  d->chain_ = std::make_unique<Blockchain>(config.chain, &d->clock_);
+
+  KeyPair offchain_key = KeyPair::FromSeed(config.offchain_key_seed);
+  KeyPair publisher_key = KeyPair::FromSeed(publisher_seed);
+  d->offchain_address_ = offchain_key.address();
+  d->chain_->Fund(offchain_key.address(), config.offchain_funding);
+  d->chain_->Fund(publisher_key.address(), config.client_funding);
+
+  // Initialization phase (paper §3.4): the Offchain Node deploys the Root
+  // Record contract and a Punishment contract carrying its escrow.
+  WEDGE_ASSIGN_OR_RETURN(
+      d->root_record_address_,
+      d->chain_->Deploy(offchain_key.address(),
+                        std::make_unique<RootRecordContract>(
+                            offchain_key.address())));
+  WEDGE_ASSIGN_OR_RETURN(
+      d->punishment_address_,
+      d->chain_->Deploy(
+          offchain_key.address(),
+          std::make_unique<PunishmentContract>(
+              publisher_key.address(), offchain_key.address(),
+              d->root_record_address_,
+              d->clock_.NowSeconds() + config.escrow_lock_seconds,
+              config.omission_grace_seconds),
+          config.escrow));
+
+  // Log store: memory, file-backed, tiered, optionally replicated.
+  std::unique_ptr<LogStore> store;
+  if (config.tiered_hot_positions > 0) {
+    d->archive_ = std::make_unique<DecentralizedArchive>(
+        config.archive_peers, config.archive_replication,
+        /*seed=*/config.offchain_key_seed);
+    store = std::make_unique<TieredLogStore>(config.tiered_hot_positions,
+                                             d->archive_.get());
+  } else if (config.log_path.empty()) {
+    store = std::make_unique<MemoryLogStore>();
+  } else {
+    WEDGE_ASSIGN_OR_RETURN(auto file_store,
+                           FileLogStore::Open(config.log_path));
+    store = std::move(file_store);
+  }
+  if (config.replication_followers > 0) {
+    std::vector<std::unique_ptr<LogStore>> followers;
+    for (int i = 0; i < config.replication_followers; ++i) {
+      followers.push_back(std::make_unique<MemoryLogStore>());
+    }
+    store = std::make_unique<ReplicatedLogStore>(std::move(store),
+                                                 std::move(followers));
+  }
+
+  d->node_ = std::make_unique<OffchainNode>(config.node, offchain_key,
+                                            std::move(store), d->chain_.get(),
+                                            d->root_record_address_);
+  d->publisher_ = std::make_unique<PublisherClient>(
+      publisher_key, d->node_.get(), d->chain_.get(), d->root_record_address_,
+      d->punishment_address_);
+  d->publisher_->set_omission_grace_seconds(config.omission_grace_seconds);
+  return d;
+}
+
+UserClient Deployment::MakeUser(uint64_t seed) {
+  KeyPair key = KeyPair::FromSeed(seed);
+  chain_->Fund(key.address(), config_.client_funding);
+  return UserClient(std::move(key), node_.get(), chain_.get(),
+                    root_record_address_);
+}
+
+AuditorClient Deployment::MakeAuditor(uint64_t seed) {
+  KeyPair key = KeyPair::FromSeed(seed);
+  chain_->Fund(key.address(), config_.client_funding);
+  return AuditorClient(std::move(key), node_.get(), chain_.get(),
+                       root_record_address_);
+}
+
+Result<Address> Deployment::CreatePaymentChannel(
+    int64_t period_seconds, const Wei& payment_per_period,
+    int64_t max_overdue_periods) {
+  return chain_->Deploy(
+      offchain_address_,
+      std::make_unique<PaymentContract>(offchain_address_,
+                                        publisher_->address(), period_seconds,
+                                        payment_per_period,
+                                        max_overdue_periods));
+}
+
+void Deployment::AdvanceBlocks(int count) {
+  for (int i = 0; i < count; ++i) {
+    clock_.AdvanceSeconds(config_.chain.block_interval_seconds);
+    chain_->PumpUntilNow();
+  }
+}
+
+Result<Receipt> PaymentChannelClient::Invoke(const std::string& method,
+                                             const Wei& value) {
+  Transaction tx;
+  tx.from = actor_;
+  tx.to = payment_address_;
+  tx.value = value;
+  tx.method = method;
+  WEDGE_ASSIGN_OR_RETURN(TxId id, chain_->Submit(tx));
+  WEDGE_ASSIGN_OR_RETURN(Receipt receipt, chain_->WaitForReceipt(id));
+  if (!receipt.success) {
+    return Status::Reverted(method + ": " + receipt.revert_reason);
+  }
+  return receipt;
+}
+
+Result<Receipt> PaymentChannelClient::Deposit(const Wei& amount) {
+  return Invoke("deposit", amount);
+}
+
+Result<Receipt> PaymentChannelClient::StartPayment() {
+  return Invoke("startPayment", Wei());
+}
+
+Result<Receipt> PaymentChannelClient::UpdateStatus() {
+  return Invoke("updatePaymentStatus", Wei());
+}
+
+Result<Receipt> PaymentChannelClient::WithdrawOffchain() {
+  return Invoke("withdrawOffchain", Wei());
+}
+
+Result<Receipt> PaymentChannelClient::WithdrawClient() {
+  return Invoke("withdrawClient", Wei());
+}
+
+Result<Receipt> PaymentChannelClient::Terminate() {
+  return Invoke("terminate", Wei());
+}
+
+Result<Wei> PaymentChannelClient::ReservedForEdge() const {
+  WEDGE_ASSIGN_OR_RETURN(Bytes raw,
+                         chain_->Call(payment_address_, "reservedForEdge", {}));
+  return U256::FromBytesBE(raw);
+}
+
+Result<uint64_t> PaymentChannelClient::RemainingPeriods() const {
+  WEDGE_ASSIGN_OR_RETURN(Bytes raw,
+                         chain_->Call(payment_address_, "remainingPeriods", {}));
+  ByteReader reader(raw);
+  return reader.ReadU64();
+}
+
+Result<bool> PaymentChannelClient::IsTerminated() const {
+  WEDGE_ASSIGN_OR_RETURN(Bytes raw,
+                         chain_->Call(payment_address_, "isTerminated", {}));
+  if (raw.size() != 1) return Status::Internal("bad isTerminated reply");
+  return raw[0] != 0;
+}
+
+}  // namespace wedge

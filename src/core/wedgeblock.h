@@ -1,0 +1,131 @@
+#ifndef WEDGEBLOCK_CORE_WEDGEBLOCK_H_
+#define WEDGEBLOCK_CORE_WEDGEBLOCK_H_
+
+#include <memory>
+
+#include "contracts/payment.h"
+#include "contracts/punishment.h"
+#include "contracts/root_record.h"
+#include "core/client.h"
+#include "storage/tiered_store.h"
+
+namespace wedge {
+
+/// End-to-end deployment parameters for a WedgeBlock instance.
+struct DeploymentConfig {
+  ChainConfig chain;
+  OffchainNodeConfig node;
+  /// Escrow the Offchain Node locks in the Punishment contract.
+  Wei escrow = EthToWei(32);
+  /// Initial balances.
+  Wei offchain_funding = EthToWei(1000);
+  Wei client_funding = EthToWei(1000);
+  /// Seed for the Offchain Node's key pair.
+  uint64_t offchain_key_seed = 0xED6E;
+  /// Punishment escrow lock duration (seconds of simulated time).
+  int64_t escrow_lock_seconds = 30 * 24 * 3600;
+  /// Grace the node gets to commit stage 2 after an omission claim is
+  /// filed against it (see PunishmentContract).
+  int64_t omission_grace_seconds = 600;
+  /// Use a file-backed log store at this path ("" = in-memory).
+  std::string log_path;
+  /// Number of replication followers (0 = none; Figures 3/5 red curves
+  /// use 2).
+  int replication_followers = 0;
+  /// Tiered storage: keep only this many positions hot and spill older
+  /// ones to a decentralized archive (0 = keep everything local).
+  size_t tiered_hot_positions = 0;
+  /// Archive shape when tiering is on.
+  int archive_peers = 12;
+  int archive_replication = 3;
+};
+
+/// One-call setup of the whole system (paper §3.4 initialization): creates
+/// the simulated chain, funds accounts, deploys the Root Record and
+/// Punishment contracts, escrows the deposit, and starts the Offchain
+/// Node. This is the facade examples and benchmarks build on.
+class Deployment {
+ public:
+  /// `publisher_seed` keys the client that the Punishment contract is
+  /// bound to (Algorithm 2's immutable clientAddress).
+  static Result<std::unique_ptr<Deployment>> Create(
+      const DeploymentConfig& config, uint64_t publisher_seed = 0xC11E);
+
+  SimClock& clock() { return clock_; }
+  Blockchain& chain() { return *chain_; }
+  OffchainNode& node() { return *node_; }
+
+  const Address& root_record_address() const { return root_record_address_; }
+  const Address& punishment_address() const { return punishment_address_; }
+
+  /// The publisher bound to the deployed Punishment contract.
+  PublisherClient& publisher() { return *publisher_; }
+
+  /// Additional client roles sharing the same node/chain.
+  UserClient MakeUser(uint64_t seed);
+  AuditorClient MakeAuditor(uint64_t seed);
+
+  /// Deploys a Payment contract between the bound publisher and the
+  /// Offchain Node (DApp-logging-as-a-service, §4.5). Returns its address.
+  Result<Address> CreatePaymentChannel(int64_t period_seconds,
+                                       const Wei& payment_per_period,
+                                       int64_t max_overdue_periods);
+
+  /// Advances simulated time and mines pending blocks — the "lazy"
+  /// background progress of stage 2.
+  void AdvanceBlocks(int count);
+
+  /// The decentralized archive backing tiered storage (null unless
+  /// config.tiered_hot_positions > 0).
+  DecentralizedArchive* archive() { return archive_.get(); }
+
+ private:
+  Deployment() : clock_(0) {}
+
+  DeploymentConfig config_;
+  SimClock clock_;
+  std::unique_ptr<DecentralizedArchive> archive_;
+  std::unique_ptr<Blockchain> chain_;
+  std::unique_ptr<OffchainNode> node_;
+  std::unique_ptr<PublisherClient> publisher_;
+  Address root_record_address_;
+  Address punishment_address_;
+  Address offchain_address_;
+};
+
+/// Convenience wrapper driving a Payment contract from both sides; used
+/// by the logging-as-a-service example and tests.
+class PaymentChannelClient {
+ public:
+  PaymentChannelClient(Blockchain* chain, Address payment_address,
+                       Address actor)
+      : chain_(chain), payment_address_(payment_address), actor_(actor) {}
+
+  /// Client-side: deposit ether into the channel.
+  Result<Receipt> Deposit(const Wei& amount);
+  /// Client-side: start the subscription stream.
+  Result<Receipt> StartPayment();
+  /// Either side: recompute the split (emits the Algorithm 3 events).
+  Result<Receipt> UpdateStatus();
+  /// Offchain side: withdraw everything currently reserved.
+  Result<Receipt> WithdrawOffchain();
+  /// Client side: withdraw the unreserved remainder.
+  Result<Receipt> WithdrawClient();
+  /// Client side: settle and close.
+  Result<Receipt> Terminate();
+
+  Result<Wei> ReservedForEdge() const;
+  Result<uint64_t> RemainingPeriods() const;
+  Result<bool> IsTerminated() const;
+
+ private:
+  Result<Receipt> Invoke(const std::string& method, const Wei& value);
+
+  Blockchain* chain_;
+  Address payment_address_;
+  Address actor_;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CORE_WEDGEBLOCK_H_

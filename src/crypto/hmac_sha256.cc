@@ -1,0 +1,49 @@
+#include "crypto/hmac_sha256.h"
+
+#include <cstring>
+
+namespace wedge {
+
+namespace {
+
+constexpr size_t kBlockSize = 64;
+
+void PrepareKey(const Bytes& key, uint8_t* out) {
+  std::memset(out, 0, kBlockSize);
+  if (key.size() > kBlockSize) {
+    Hash256 h = Sha256::Digest(key);
+    std::memcpy(out, h.data(), h.size());
+  } else {
+    std::memcpy(out, key.data(), key.size());
+  }
+}
+
+}  // namespace
+
+Hash256 HmacSha256(const Bytes& key,
+                   std::initializer_list<const Bytes*> message_parts) {
+  uint8_t k[kBlockSize];
+  PrepareKey(key, k);
+
+  uint8_t ipad[kBlockSize], opad[kBlockSize];
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, kBlockSize);
+  for (const Bytes* part : message_parts) inner.Update(*part);
+  Hash256 inner_hash = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, kBlockSize);
+  outer.Update(inner_hash.data(), inner_hash.size());
+  return outer.Finish();
+}
+
+Hash256 HmacSha256(const Bytes& key, const Bytes& message) {
+  return HmacSha256(key, {&message});
+}
+
+}  // namespace wedge

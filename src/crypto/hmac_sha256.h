@@ -1,0 +1,19 @@
+#ifndef WEDGEBLOCK_CRYPTO_HMAC_SHA256_H_
+#define WEDGEBLOCK_CRYPTO_HMAC_SHA256_H_
+
+#include "crypto/sha256.h"
+
+namespace wedge {
+
+/// HMAC-SHA256 (RFC 2104). Used by the RFC 6979 deterministic-nonce
+/// derivation in the ECDSA signer.
+Hash256 HmacSha256(const Bytes& key, const Bytes& message);
+
+/// Variant taking multiple message parts (concatenated logically, without
+/// allocating the concatenation).
+Hash256 HmacSha256(const Bytes& key,
+                   std::initializer_list<const Bytes*> message_parts);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CRYPTO_HMAC_SHA256_H_

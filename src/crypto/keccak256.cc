@@ -1,0 +1,129 @@
+#include "crypto/keccak256.h"
+
+#include <cstring>
+
+namespace wedge {
+
+namespace {
+
+constexpr uint64_t kRoundConstants[24] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr int kRotations[24] = {1,  3,  6,  10, 15, 21, 28, 36,
+                                45, 55, 2,  14, 27, 41, 56, 8,
+                                25, 43, 62, 18, 39, 61, 20, 44};
+
+constexpr int kPiLanes[24] = {10, 7,  11, 17, 18, 3,  5,  16,
+                              8,  21, 24, 4,  15, 23, 19, 13,
+                              12, 2,  20, 14, 22, 9,  6,  1};
+
+inline uint64_t Rotl64(uint64_t x, int n) {
+  return (x << n) | (x >> (64 - n));
+}
+
+void KeccakF1600(uint64_t* s) {
+  for (int round = 0; round < 24; ++round) {
+    // Theta.
+    uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = s[x] ^ s[x + 5] ^ s[x + 10] ^ s[x + 15] ^ s[x + 20];
+    }
+    for (int x = 0; x < 5; ++x) {
+      uint64_t d = c[(x + 4) % 5] ^ Rotl64(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 25; y += 5) s[x + y] ^= d;
+    }
+    // Rho and Pi.
+    uint64_t t = s[1];
+    for (int i = 0; i < 24; ++i) {
+      int j = kPiLanes[i];
+      uint64_t tmp = s[j];
+      s[j] = Rotl64(t, kRotations[i]);
+      t = tmp;
+    }
+    // Chi.
+    for (int y = 0; y < 25; y += 5) {
+      uint64_t row[5];
+      for (int x = 0; x < 5; ++x) row[x] = s[y + x];
+      for (int x = 0; x < 5; ++x) {
+        s[y + x] = row[x] ^ (~row[(x + 1) % 5] & row[(x + 2) % 5]);
+      }
+    }
+    // Iota.
+    s[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+Keccak256::Keccak256() { Reset(); }
+
+void Keccak256::Reset() {
+  std::memset(state_, 0, sizeof(state_));
+  buffer_len_ = 0;
+}
+
+void Keccak256::Update(const uint8_t* data, size_t len) {
+  while (len > 0) {
+    size_t fill = std::min(len, kRate - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data, fill);
+    buffer_len_ += fill;
+    data += fill;
+    len -= fill;
+    if (buffer_len_ == kRate) {
+      Absorb();
+      buffer_len_ = 0;
+    }
+  }
+}
+
+void Keccak256::Absorb() {
+  for (size_t i = 0; i < kRate / 8; ++i) {
+    uint64_t lane = 0;
+    for (int b = 7; b >= 0; --b) {
+      lane = (lane << 8) | buffer_[i * 8 + b];
+    }
+    state_[i] ^= lane;
+  }
+  KeccakF1600(state_);
+}
+
+Hash256 Keccak256::Finish() {
+  // Keccak (pre-SHA3) padding: 0x01 ... 0x80.
+  std::memset(buffer_ + buffer_len_, 0, kRate - buffer_len_);
+  buffer_[buffer_len_] ^= 0x01;
+  buffer_[kRate - 1] ^= 0x80;
+  Absorb();
+  buffer_len_ = 0;
+
+  Hash256 out;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t lane = state_[i];
+    for (int b = 0; b < 8; ++b) {
+      out[i * 8 + b] = static_cast<uint8_t>(lane >> (8 * b));
+    }
+  }
+  return out;
+}
+
+Hash256 Keccak256::Digest(const uint8_t* data, size_t len) {
+  Keccak256 h;
+  h.Update(data, len);
+  return h.Finish();
+}
+
+Hash256 Keccak256::Digest(const Bytes& data) {
+  return Digest(data.data(), data.size());
+}
+
+Hash256 Keccak256::Digest(std::string_view data) {
+  return Digest(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+}
+
+}  // namespace wedge

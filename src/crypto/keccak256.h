@@ -1,0 +1,39 @@
+#ifndef WEDGEBLOCK_CRYPTO_KECCAK256_H_
+#define WEDGEBLOCK_CRYPTO_KECCAK256_H_
+
+#include "crypto/sha256.h"
+
+namespace wedge {
+
+/// Keccak-256 as used by Ethereum (NOT the padded SHA3-256 variant).
+/// Ethereum derives account addresses from the Keccak-256 hash of the
+/// uncompressed public key, and transaction/message hashes use it too.
+class Keccak256 {
+ public:
+  Keccak256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(std::string_view data) {
+    Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+
+  Hash256 Finish();
+  void Reset();
+
+  static Hash256 Digest(const uint8_t* data, size_t len);
+  static Hash256 Digest(const Bytes& data);
+  static Hash256 Digest(std::string_view data);
+
+ private:
+  void Absorb();
+
+  static constexpr size_t kRate = 136;  // 1088-bit rate for 256-bit output.
+  uint64_t state_[25];
+  uint8_t buffer_[kRate];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CRYPTO_KECCAK256_H_

@@ -1,0 +1,351 @@
+#include "crypto/secp256k1.h"
+
+#include <algorithm>
+#include <array>
+
+namespace wedge {
+namespace secp256k1 {
+
+namespace {
+
+// p = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE FFFFFC2F
+constexpr U256 kP(0xFFFFFFFEFFFFFC2FULL, 0xFFFFFFFFFFFFFFFFULL,
+                  0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL);
+// 2^256 - p = 2^32 + 977 = 0x1000003D1.
+constexpr U256 kCp(0x00000001000003D1ULL, 0, 0, 0);
+// n = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE BAAEDCE6 AF48A03B BFD25E8C D0364141
+constexpr U256 kN(0xBFD25E8CD0364141ULL, 0xBAAEDCE6AF48A03BULL,
+                  0xFFFFFFFFFFFFFFFEULL, 0xFFFFFFFFFFFFFFFFULL);
+// 2^256 - n = 0x14551231950B75FC4402DA1732FC9BEBF.
+constexpr U256 kCn(0x402DA1732FC9BEBFULL, 0x4551231950B75FC4ULL, 0x1ULL, 0);
+
+constexpr U256 kGx(0x59F2815B16F81798ULL, 0x029BFCDB2DCE28D9ULL,
+                   0x55A06295CE870B07ULL, 0x79BE667EF9DCBBACULL);
+constexpr U256 kGy(0x9C47D08FFB10D4B8ULL, 0xFD17B448A6855419ULL,
+                   0x5DA4FBFC0E1108A8ULL, 0x483ADA7726A3C465ULL);
+
+constexpr U256 kCurveB(7);
+
+/// Jacobian coordinates: (X, Y, Z) represents (X/Z^2, Y/Z^3).
+struct Jacobian {
+  U256 x;
+  U256 y;
+  U256 z;  // z == 0 marks the identity.
+
+  bool IsInfinity() const { return z.IsZero(); }
+  static Jacobian Infinity() { return Jacobian{U256::One(), U256::One(), U256::Zero()}; }
+};
+
+Jacobian ToJacobian(const AffinePoint& p) {
+  if (p.infinity) return Jacobian::Infinity();
+  return Jacobian{p.x, p.y, U256::One()};
+}
+
+AffinePoint FromJacobian(const Jacobian& j) {
+  if (j.IsInfinity()) return AffinePoint::Infinity();
+  U256 zinv = FpInv(j.z);
+  U256 zinv2 = FpSqr(zinv);
+  U256 zinv3 = FpMul(zinv2, zinv);
+  AffinePoint out;
+  out.x = FpMul(j.x, zinv2);
+  out.y = FpMul(j.y, zinv3);
+  out.infinity = false;
+  return out;
+}
+
+Jacobian JDouble(const Jacobian& p) {
+  if (p.IsInfinity() || p.y.IsZero()) return Jacobian::Infinity();
+  // Standard dbl-2007-bl simplified for a = 0.
+  U256 a = FpSqr(p.x);                       // X^2
+  U256 b = FpSqr(p.y);                       // Y^2
+  U256 c = FpSqr(b);                         // Y^4
+  U256 xb = FpSqr(FpAdd(p.x, b));            // (X+B)^2
+  U256 d = FpMul(U256(2), FpSub(xb, FpAdd(a, c)));  // 2((X+B)^2 - A - C)
+  U256 e = FpMul(U256(3), a);                // 3A
+  U256 f = FpSqr(e);
+  Jacobian out;
+  out.x = FpSub(f, FpMul(U256(2), d));
+  out.y = FpSub(FpMul(e, FpSub(d, out.x)), FpMul(U256(8), c));
+  out.z = FpMul(FpMul(U256(2), p.y), p.z);
+  return out;
+}
+
+Jacobian JAdd(const Jacobian& p, const Jacobian& q) {
+  if (p.IsInfinity()) return q;
+  if (q.IsInfinity()) return p;
+  // add-2007-bl.
+  U256 z1z1 = FpSqr(p.z);
+  U256 z2z2 = FpSqr(q.z);
+  U256 u1 = FpMul(p.x, z2z2);
+  U256 u2 = FpMul(q.x, z1z1);
+  U256 s1 = FpMul(FpMul(p.y, q.z), z2z2);
+  U256 s2 = FpMul(FpMul(q.y, p.z), z1z1);
+  if (u1 == u2) {
+    if (s1 == s2) return JDouble(p);
+    return Jacobian::Infinity();
+  }
+  U256 h = FpSub(u2, u1);
+  U256 i = FpSqr(FpMul(U256(2), h));
+  U256 j = FpMul(h, i);
+  U256 r = FpMul(U256(2), FpSub(s2, s1));
+  U256 v = FpMul(u1, i);
+  Jacobian out;
+  out.x = FpSub(FpSub(FpSqr(r), j), FpMul(U256(2), v));
+  out.y = FpSub(FpMul(r, FpSub(v, out.x)), FpMul(FpMul(U256(2), s1), j));
+  // Z3 = ((Z1+Z2)^2 - Z1Z1 - Z2Z2) * H == 2*Z1*Z2*H.
+  out.z = FpMul(FpSub(FpSqr(FpAdd(p.z, q.z)), FpAdd(z1z1, z2z2)), h);
+  return out;
+}
+
+Jacobian JScalarMul(const Jacobian& p, const U256& k_in) {
+  U256 k = FnReduce(k_in);
+  Jacobian result = Jacobian::Infinity();
+  if (k.IsZero() || p.IsInfinity()) return result;
+  // 4-bit fixed window.
+  std::array<Jacobian, 16> table;
+  table[0] = Jacobian::Infinity();
+  table[1] = p;
+  for (int i = 2; i < 16; ++i) table[i] = JAdd(table[i - 1], p);
+  int bits = k.BitLength();
+  int windows = (bits + 3) / 4;
+  for (int w = windows - 1; w >= 0; --w) {
+    for (int d = 0; d < 4; ++d) result = JDouble(result);
+    int shift = w * 4;
+    unsigned digit = static_cast<unsigned>((k.limb[shift / 64] >> (shift % 64)) & 0xF);
+    if (digit != 0) result = JAdd(result, table[digit]);
+  }
+  return result;
+}
+
+/// Precomputed multiples of G for the fixed-base path: table[w][d] = d * 16^w * G
+/// for 64 windows of 4 bits.
+const std::array<std::array<Jacobian, 16>, 64>& BaseTable() {
+  static const auto* table = [] {
+    auto* t = new std::array<std::array<Jacobian, 16>, 64>();
+    Jacobian window_base = ToJacobian(Generator());
+    for (int w = 0; w < 64; ++w) {
+      (*t)[w][0] = Jacobian::Infinity();
+      (*t)[w][1] = window_base;
+      for (int d = 2; d < 16; ++d) {
+        (*t)[w][d] = JAdd((*t)[w][d - 1], window_base);
+      }
+      // Advance window base by 16x.
+      Jacobian next = (*t)[w][15];
+      next = JAdd(next, window_base);
+      window_base = next;
+    }
+    return t;
+  }();
+  return *table;
+}
+
+}  // namespace
+
+const U256& FieldPrime() {
+  static const U256 p = kP;
+  return p;
+}
+const U256& GroupOrder() {
+  static const U256 n = kN;
+  return n;
+}
+const U256& FieldC() {
+  static const U256 c = kCp;
+  return c;
+}
+const U256& OrderC() {
+  static const U256 c = kCn;
+  return c;
+}
+
+U256 FpAdd(const U256& a, const U256& b) { return AddMod(a, b, kP); }
+U256 FpSub(const U256& a, const U256& b) { return SubMod(a, b, kP); }
+
+U256 FpMul(const U256& a, const U256& b) {
+  return ReduceWide(U256::MulWide(a, b), kP, kCp);
+}
+
+U256 FpSqr(const U256& a) { return FpMul(a, a); }
+
+U256 FpPow(const U256& a, const U256& e) {
+  U256 result = U256::One();
+  int bits = e.BitLength();
+  for (int i = bits - 1; i >= 0; --i) {
+    result = FpSqr(result);
+    if (e.Bit(i)) result = FpMul(result, a);
+  }
+  return result;
+}
+
+U256 FpInv(const U256& a) { return FpPow(a, kP - U256(2)); }
+
+Result<U256> FpSqrt(const U256& a) {
+  // p = 3 (mod 4): sqrt(a) = a^((p+1)/4) when a is a quadratic residue.
+  // (p+1) wraps mod 2^256, so compute (p-3)/4 + 1 == (p+1)/4 instead.
+  U256 exp = (kP - U256(3)).Shr(2) + U256(1);
+  U256 root = FpPow(a, exp);
+  if (FpSqr(root) != U256::Mod(a, kP)) {
+    return Status::Verification("no square root exists mod p");
+  }
+  return root;
+}
+
+U256 FnAdd(const U256& a, const U256& b) { return AddMod(a, b, kN); }
+U256 FnSub(const U256& a, const U256& b) { return SubMod(a, b, kN); }
+
+U256 FnMul(const U256& a, const U256& b) {
+  return ReduceWide(U256::MulWide(a, b), kN, kCn);
+}
+
+U256 FnInv(const U256& a) {
+  // Fermat over the fast multiplier.
+  U256 result = U256::One();
+  U256 e = kN - U256(2);
+  int bits = e.BitLength();
+  for (int i = bits - 1; i >= 0; --i) {
+    result = FnMul(result, result);
+    if (e.Bit(i)) result = FnMul(result, a);
+  }
+  return result;
+}
+
+U256 FnReduce(const U256& a) {
+  U256 r = a;
+  while (r >= kN) r = r - kN;
+  return r;
+}
+
+const AffinePoint& Generator() {
+  static const AffinePoint g = [] {
+    AffinePoint p;
+    p.x = kGx;
+    p.y = kGy;
+    p.infinity = false;
+    return p;
+  }();
+  return g;
+}
+
+bool IsOnCurve(const AffinePoint& p) {
+  if (p.infinity) return true;
+  if (p.x >= kP || p.y >= kP) return false;
+  U256 lhs = FpSqr(p.y);
+  U256 rhs = FpAdd(FpMul(FpSqr(p.x), p.x), kCurveB);
+  return lhs == rhs;
+}
+
+AffinePoint Add(const AffinePoint& a, const AffinePoint& b) {
+  return FromJacobian(JAdd(ToJacobian(a), ToJacobian(b)));
+}
+
+AffinePoint Double(const AffinePoint& a) {
+  return FromJacobian(JDouble(ToJacobian(a)));
+}
+
+AffinePoint Negate(const AffinePoint& a) {
+  if (a.infinity) return a;
+  AffinePoint out = a;
+  out.y = FpSub(U256::Zero(), a.y);
+  return out;
+}
+
+AffinePoint ScalarMul(const AffinePoint& p, const U256& k) {
+  return FromJacobian(JScalarMul(ToJacobian(p), k));
+}
+
+AffinePoint ScalarMulBase(const U256& k_in) {
+  U256 k = FnReduce(k_in);
+  if (k.IsZero()) return AffinePoint::Infinity();
+  const auto& table = BaseTable();
+  Jacobian result = Jacobian::Infinity();
+  for (int w = 0; w < 64; ++w) {
+    int shift = w * 4;
+    unsigned digit = static_cast<unsigned>((k.limb[shift / 64] >> (shift % 64)) & 0xF);
+    if (digit != 0) result = JAdd(result, table[w][digit]);
+  }
+  return FromJacobian(result);
+}
+
+AffinePoint DoubleScalarMulBase(const U256& u1, const AffinePoint& p,
+                                const U256& u2) {
+  // Shamir's trick: interleave doublings for u1*G + u2*P.
+  Jacobian g = ToJacobian(Generator());
+  Jacobian q = ToJacobian(p);
+  Jacobian sum = JAdd(g, q);
+  Jacobian result = Jacobian::Infinity();
+  U256 a = FnReduce(u1);
+  U256 b = FnReduce(u2);
+  int bits = std::max(a.BitLength(), b.BitLength());
+  for (int i = bits - 1; i >= 0; --i) {
+    result = JDouble(result);
+    bool ba = a.Bit(i);
+    bool bb = b.Bit(i);
+    if (ba && bb) {
+      result = JAdd(result, sum);
+    } else if (ba) {
+      result = JAdd(result, g);
+    } else if (bb) {
+      result = JAdd(result, q);
+    }
+  }
+  return FromJacobian(result);
+}
+
+Result<AffinePoint> LiftX(const U256& x, bool odd_y) {
+  if (x >= kP) return Status::InvalidArgument("x not in field");
+  U256 rhs = FpAdd(FpMul(FpSqr(x), x), kCurveB);
+  WEDGE_ASSIGN_OR_RETURN(U256 y, FpSqrt(rhs));
+  if (y.Bit(0) != odd_y) y = FpSub(U256::Zero(), y);
+  AffinePoint p;
+  p.x = x;
+  p.y = y;
+  p.infinity = false;
+  return p;
+}
+
+Result<Bytes> EncodeUncompressed(const AffinePoint& p) {
+  if (p.infinity) return Status::InvalidArgument("cannot encode identity");
+  Bytes out;
+  out.reserve(65);
+  out.push_back(0x04);
+  Append(out, p.x.ToBytesBE());
+  Append(out, p.y.ToBytesBE());
+  return out;
+}
+
+Result<AffinePoint> DecodeUncompressed(const Bytes& b) {
+  if (b.size() != 65 || b[0] != 0x04) {
+    return Status::InvalidArgument("bad uncompressed point encoding");
+  }
+  Bytes xb(b.begin() + 1, b.begin() + 33);
+  Bytes yb(b.begin() + 33, b.end());
+  WEDGE_ASSIGN_OR_RETURN(U256 x, U256::FromBytesBE(xb));
+  WEDGE_ASSIGN_OR_RETURN(U256 y, U256::FromBytesBE(yb));
+  AffinePoint p;
+  p.x = x;
+  p.y = y;
+  p.infinity = false;
+  if (!IsOnCurve(p)) return Status::Verification("point not on curve");
+  return p;
+}
+
+Result<Bytes> EncodeCompressed(const AffinePoint& p) {
+  if (p.infinity) return Status::InvalidArgument("cannot encode identity");
+  Bytes out;
+  out.reserve(33);
+  out.push_back(p.y.Bit(0) ? 0x03 : 0x02);
+  Append(out, p.x.ToBytesBE());
+  return out;
+}
+
+Result<AffinePoint> DecodeCompressed(const Bytes& b) {
+  if (b.size() != 33 || (b[0] != 0x02 && b[0] != 0x03)) {
+    return Status::InvalidArgument("bad compressed point encoding");
+  }
+  Bytes xb(b.begin() + 1, b.end());
+  WEDGE_ASSIGN_OR_RETURN(U256 x, U256::FromBytesBE(xb));
+  return LiftX(x, b[0] == 0x03);
+}
+
+}  // namespace secp256k1
+}  // namespace wedge

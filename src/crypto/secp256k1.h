@@ -1,0 +1,92 @@
+#ifndef WEDGEBLOCK_CRYPTO_SECP256K1_H_
+#define WEDGEBLOCK_CRYPTO_SECP256K1_H_
+
+#include "crypto/u256.h"
+
+namespace wedge {
+
+/// secp256k1 curve constants and arithmetic: y^2 = x^3 + 7 over F_p.
+/// This is the curve used by Ethereum accounts and signatures; the
+/// Punishment smart contract's recoverSigner relies on it (Algorithm 2).
+namespace secp256k1 {
+
+/// Field prime p = 2^256 - 2^32 - 977.
+const U256& FieldPrime();
+/// Group order n.
+const U256& GroupOrder();
+/// 2^256 - p (used by the fast Solinas reduction).
+const U256& FieldC();
+/// 2^256 - n.
+const U256& OrderC();
+
+/// --- Field arithmetic mod p (fast reduction) ---
+U256 FpAdd(const U256& a, const U256& b);
+U256 FpSub(const U256& a, const U256& b);
+U256 FpMul(const U256& a, const U256& b);
+U256 FpSqr(const U256& a);
+/// a^e mod p (square-and-multiply over the fast multiplier).
+U256 FpPow(const U256& a, const U256& e);
+/// Inverse mod p; requires a != 0.
+U256 FpInv(const U256& a);
+/// Square root mod p (p = 3 mod 4). Returns error if no root exists.
+Result<U256> FpSqrt(const U256& a);
+
+/// --- Scalar arithmetic mod n ---
+U256 FnAdd(const U256& a, const U256& b);
+U256 FnSub(const U256& a, const U256& b);
+U256 FnMul(const U256& a, const U256& b);
+U256 FnInv(const U256& a);
+/// Reduces an arbitrary 256-bit value mod n.
+U256 FnReduce(const U256& a);
+
+/// Curve point in affine coordinates. `infinity` marks the identity.
+struct AffinePoint {
+  U256 x;
+  U256 y;
+  bool infinity = true;
+
+  static AffinePoint Infinity() { return AffinePoint{}; }
+
+  bool operator==(const AffinePoint& o) const {
+    if (infinity || o.infinity) return infinity == o.infinity;
+    return x == o.x && y == o.y;
+  }
+};
+
+/// The generator point G.
+const AffinePoint& Generator();
+
+/// True iff the point satisfies the curve equation (or is the identity).
+bool IsOnCurve(const AffinePoint& p);
+
+/// Point addition / doubling / negation (affine API; internally Jacobian).
+AffinePoint Add(const AffinePoint& a, const AffinePoint& b);
+AffinePoint Double(const AffinePoint& a);
+AffinePoint Negate(const AffinePoint& a);
+
+/// k * P. `k` is taken mod n. Constant-time is NOT a goal of this
+/// simulation-oriented implementation.
+AffinePoint ScalarMul(const AffinePoint& p, const U256& k);
+
+/// k * G using a precomputed window table for the generator.
+AffinePoint ScalarMulBase(const U256& k);
+
+/// u1*G + u2*P in one pass (Shamir's trick); used by ECDSA verification.
+AffinePoint DoubleScalarMulBase(const U256& u1, const AffinePoint& p,
+                                const U256& u2);
+
+/// Lifts an x-coordinate to a point with the requested y parity.
+Result<AffinePoint> LiftX(const U256& x, bool odd_y);
+
+/// 65-byte uncompressed encoding: 0x04 || X || Y. Identity not encodable.
+Result<Bytes> EncodeUncompressed(const AffinePoint& p);
+Result<AffinePoint> DecodeUncompressed(const Bytes& b);
+
+/// 33-byte compressed encoding: 0x02/0x03 || X.
+Result<Bytes> EncodeCompressed(const AffinePoint& p);
+Result<AffinePoint> DecodeCompressed(const Bytes& b);
+
+}  // namespace secp256k1
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CRYPTO_SECP256K1_H_

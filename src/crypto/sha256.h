@@ -1,0 +1,55 @@
+#ifndef WEDGEBLOCK_CRYPTO_SHA256_H_
+#define WEDGEBLOCK_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace wedge {
+
+/// A 32-byte hash digest.
+using Hash256 = std::array<uint8_t, 32>;
+
+/// Converts a digest to/from the Bytes type used in messages.
+Bytes HashToBytes(const Hash256& h);
+Result<Hash256> HashFromBytes(const Bytes& b);
+std::string HashToHex(const Hash256& h);
+
+/// Incremental SHA-256 (FIPS 180-4). Used for Merkle tree nodes, message
+/// digests and RFC 6979 nonce derivation.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(std::string_view data) {
+    Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// afterwards without Reset().
+  Hash256 Finish();
+
+  /// Restores the initial state.
+  void Reset();
+
+  /// One-shot convenience.
+  static Hash256 Digest(const uint8_t* data, size_t len);
+  static Hash256 Digest(const Bytes& data);
+  static Hash256 Digest(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CRYPTO_SHA256_H_

@@ -1,0 +1,321 @@
+#include "crypto/u256.h"
+
+namespace wedge {
+
+namespace {
+
+using uint128 = unsigned __int128;
+
+/// x mod m via binary long division over the 512-bit numerator.
+/// Generic fallback; hot paths use ReduceWide.
+U256 ModWide(const U512& x, const U256& m) {
+  U256 r = U256::Zero();
+  for (int i = 511; i >= 0; --i) {
+    // r = (r << 1) | bit_i(x); track the bit shifted out of r.
+    bool top = r.Bit(255);
+    r = r.Shl(1);
+    if ((x.limb[i / 64] >> (i % 64)) & 1) {
+      r.limb[0] |= 1;
+    }
+    if (top || r >= m) {
+      U256 tmp;
+      U256::SubWithBorrow(r, m, &tmp);  // Borrow is cancelled by `top`.
+      r = tmp;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Result<U256> U256::FromBytesBE(const Bytes& b) {
+  if (b.size() != 32) {
+    return Status::InvalidArgument("U256 requires 32 bytes");
+  }
+  return FromBytesBEPadded(b);
+}
+
+Result<U256> U256::FromBytesBEPadded(const Bytes& b) {
+  if (b.size() > 32) {
+    return Status::InvalidArgument("U256 input longer than 32 bytes");
+  }
+  U256 out;
+  size_t off = 32 - b.size();
+  for (size_t i = 0; i < b.size(); ++i) {
+    size_t byte_index = off + i;       // Position within a 32-byte BE buffer.
+    size_t limb_index = 3 - byte_index / 8;
+    size_t shift = (7 - byte_index % 8) * 8;
+    out.limb[limb_index] |= static_cast<uint64_t>(b[i]) << shift;
+  }
+  return out;
+}
+
+Result<U256> U256::FromHex(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  if (hex.empty() || hex.size() > 64) {
+    return Status::InvalidArgument("U256 hex must be 1..64 digits");
+  }
+  std::string padded(64 - hex.size(), '0');
+  padded.append(hex);
+  WEDGE_ASSIGN_OR_RETURN(Bytes raw, HexDecode(padded));
+  return FromBytesBE(raw);
+}
+
+U256 U256::FromHash(const std::array<uint8_t, 32>& h) {
+  U256 out;
+  for (int i = 0; i < 32; ++i) {
+    size_t limb_index = 3 - i / 8;
+    size_t shift = (7 - i % 8) * 8;
+    out.limb[limb_index] |= static_cast<uint64_t>(h[i]) << shift;
+  }
+  return out;
+}
+
+Bytes U256::ToBytesBE() const {
+  Bytes out(32);
+  for (int i = 0; i < 32; ++i) {
+    size_t limb_index = 3 - i / 8;
+    size_t shift = (7 - i % 8) * 8;
+    out[i] = static_cast<uint8_t>(limb[limb_index] >> shift);
+  }
+  return out;
+}
+
+std::string U256::ToHex() const { return HexEncode(ToBytesBE()); }
+
+std::string U256::ToDecimal() const {
+  if (IsZero()) return "0";
+  std::string digits;
+  U256 v = *this;
+  const U256 ten(10);
+  while (!v.IsZero()) {
+    U256 q, r;
+    v.DivMod(ten, &q, &r).ok();  // Divisor is non-zero.
+    digits.push_back(static_cast<char>('0' + r.ToU64()));
+    v = q;
+  }
+  return std::string(digits.rbegin(), digits.rend());
+}
+
+int U256::BitLength() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[i] != 0) {
+      return i * 64 + (64 - __builtin_clzll(limb[i]));
+    }
+  }
+  return 0;
+}
+
+int U256::Compare(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limb[i] < b.limb[i]) return -1;
+    if (a.limb[i] > b.limb[i]) return 1;
+  }
+  return 0;
+}
+
+bool U256::AddWithCarry(const U256& a, const U256& b, U256* out) {
+  uint128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint128 sum = static_cast<uint128>(a.limb[i]) + b.limb[i] + carry;
+    out->limb[i] = static_cast<uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return carry != 0;
+}
+
+bool U256::SubWithBorrow(const U256& a, const U256& b, U256* out) {
+  uint128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint128 diff = static_cast<uint128>(a.limb[i]) - b.limb[i] - borrow;
+    out->limb[i] = static_cast<uint64_t>(diff);
+    borrow = (diff >> 64) & 1;
+  }
+  return borrow != 0;
+}
+
+U256 U256::operator+(const U256& o) const {
+  U256 out;
+  AddWithCarry(*this, o, &out);
+  return out;
+}
+
+U256 U256::operator-(const U256& o) const {
+  U256 out;
+  SubWithBorrow(*this, o, &out);
+  return out;
+}
+
+U512 U256::MulWide(const U256& a, const U256& b) {
+  U512 res;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      uint128 cur = static_cast<uint128>(res.limb[i + j]) +
+                    static_cast<uint128>(a.limb[i]) * b.limb[j] + carry;
+      res.limb[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    res.limb[i + 4] = carry;
+  }
+  return res;
+}
+
+U256 U256::operator*(const U256& o) const { return MulWide(*this, o).Lo(); }
+
+U256 U256::Shl(int n) const {
+  U256 out;
+  if (n >= 256) return out;
+  int limb_shift = n / 64;
+  int bit_shift = n % 64;
+  for (int i = 3; i >= 0; --i) {
+    uint64_t v = 0;
+    int src = i - limb_shift;
+    if (src >= 0) {
+      v = limb[src] << bit_shift;
+      if (bit_shift > 0 && src - 1 >= 0) {
+        v |= limb[src - 1] >> (64 - bit_shift);
+      }
+    }
+    out.limb[i] = v;
+  }
+  return out;
+}
+
+U256 U256::Shr(int n) const {
+  U256 out;
+  if (n >= 256) return out;
+  int limb_shift = n / 64;
+  int bit_shift = n % 64;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t v = 0;
+    int src = i + limb_shift;
+    if (src < 4) {
+      v = limb[src] >> bit_shift;
+      if (bit_shift > 0 && src + 1 < 4) {
+        v |= limb[src + 1] << (64 - bit_shift);
+      }
+    }
+    out.limb[i] = v;
+  }
+  return out;
+}
+
+U256 U256::operator&(const U256& o) const {
+  U256 out;
+  for (int i = 0; i < 4; ++i) out.limb[i] = limb[i] & o.limb[i];
+  return out;
+}
+
+U256 U256::operator|(const U256& o) const {
+  U256 out;
+  for (int i = 0; i < 4; ++i) out.limb[i] = limb[i] | o.limb[i];
+  return out;
+}
+
+Status U256::DivMod(const U256& divisor, U256* quotient,
+                    U256* remainder) const {
+  if (divisor.IsZero()) {
+    return Status::InvalidArgument("division by zero");
+  }
+  U256 q, r;
+  int bits = BitLength();
+  for (int i = bits - 1; i >= 0; --i) {
+    r = r.Shl(1);
+    if (Bit(i)) r.limb[0] |= 1;
+    if (r >= divisor) {
+      r = r - divisor;
+      q.limb[i / 64] |= 1ULL << (i % 64);
+    }
+  }
+  *quotient = q;
+  *remainder = r;
+  return Status::Ok();
+}
+
+U256 U256::Mod(const U256& a, const U256& m) {
+  U256 q, r;
+  a.DivMod(m, &q, &r).ok();
+  return r;
+}
+
+bool U512::IsZero() const {
+  uint64_t acc = 0;
+  for (uint64_t l : limb) acc |= l;
+  return acc == 0;
+}
+
+U512 U512::Add(const U512& a, const U512& b) {
+  U512 out;
+  uint128 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    uint128 sum = static_cast<uint128>(a.limb[i]) + b.limb[i] + carry;
+    out.limb[i] = static_cast<uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return out;
+}
+
+U512 U512::FromU256(const U256& v) {
+  U512 out;
+  for (int i = 0; i < 4; ++i) out.limb[i] = v.limb[i];
+  return out;
+}
+
+U256 ReduceWide(const U512& x, const U256& m, const U256& c) {
+  U512 t = x;
+  // Fold the high half: H*2^256 + L == H*c + L (mod 2^256 - c).
+  while (!t.Hi().IsZero()) {
+    U512 folded = U256::MulWide(t.Hi(), c);
+    t = U512::Add(folded, U512::FromU256(t.Lo()));
+  }
+  U256 r = t.Lo();
+  while (r >= m) r = r - m;
+  return r;
+}
+
+U256 AddMod(const U256& a, const U256& b, const U256& m) {
+  U256 sum;
+  bool carry = U256::AddWithCarry(a, b, &sum);
+  if (carry || sum >= m) {
+    U256 out;
+    U256::SubWithBorrow(sum, m, &out);  // Carry cancels any borrow.
+    return out;
+  }
+  return sum;
+}
+
+U256 SubMod(const U256& a, const U256& b, const U256& m) {
+  U256 diff;
+  bool borrow = U256::SubWithBorrow(a, b, &diff);
+  if (borrow) {
+    U256 out;
+    U256::AddWithCarry(diff, m, &out);
+    return out;
+  }
+  return diff;
+}
+
+U256 MulMod(const U256& a, const U256& b, const U256& m) {
+  return ModWide(U256::MulWide(a, b), m);
+}
+
+U256 PowMod(const U256& base, const U256& exp, const U256& m) {
+  U256 result = U256::One();
+  U256 b = U256::Mod(base, m);
+  int bits = exp.BitLength();
+  for (int i = bits - 1; i >= 0; --i) {
+    result = MulMod(result, result, m);
+    if (exp.Bit(i)) result = MulMod(result, b, m);
+  }
+  return result;
+}
+
+U256 InvMod(const U256& a, const U256& m) {
+  // Fermat's little theorem: a^(m-2) mod m for prime m.
+  return PowMod(a, m - U256(2), m);
+}
+
+}  // namespace wedge

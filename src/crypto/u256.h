@@ -1,0 +1,134 @@
+#ifndef WEDGEBLOCK_CRYPTO_U256_H_
+#define WEDGEBLOCK_CRYPTO_U256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace wedge {
+
+struct U512;
+
+/// 256-bit unsigned integer, little-endian 64-bit limbs.
+///
+/// Used for secp256k1 field/scalar elements and for wei amounts on the
+/// simulated chain. Arithmetic never throws; overflow behaviour is
+/// documented per operation.
+struct U256 {
+  std::array<uint64_t, 4> limb{0, 0, 0, 0};
+
+  constexpr U256() = default;
+  constexpr explicit U256(uint64_t v) : limb{v, 0, 0, 0} {}
+  constexpr U256(uint64_t l0, uint64_t l1, uint64_t l2, uint64_t l3)
+      : limb{l0, l1, l2, l3} {}
+
+  static constexpr U256 Zero() { return U256(); }
+  static constexpr U256 One() { return U256(1); }
+  static constexpr U256 Max() {
+    return U256(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  }
+
+  /// Parses a 32-byte big-endian buffer.
+  static Result<U256> FromBytesBE(const Bytes& b);
+  /// Parses big-endian bytes of any length <= 32.
+  static Result<U256> FromBytesBEPadded(const Bytes& b);
+  /// Parses a hex string (with or without 0x prefix, up to 64 digits).
+  static Result<U256> FromHex(std::string_view hex);
+  /// Interprets the low 256 bits of a hash as a big-endian integer.
+  static U256 FromHash(const std::array<uint8_t, 32>& h);
+
+  /// 32-byte big-endian encoding.
+  Bytes ToBytesBE() const;
+  /// 64-digit lowercase hex (no 0x prefix).
+  std::string ToHex() const;
+  /// Decimal string (for human-readable wei amounts).
+  std::string ToDecimal() const;
+
+  bool IsZero() const {
+    return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+  }
+  /// Value of bit `i` (0 = least significant). Requires i < 256.
+  bool Bit(int i) const {
+    return (limb[i / 64] >> (i % 64)) & 1;
+  }
+  /// Index of the highest set bit plus one; 0 when the value is zero.
+  int BitLength() const;
+
+  /// Truncates to the low 64 bits.
+  uint64_t ToU64() const { return limb[0]; }
+  /// True if the value fits in 64 bits.
+  bool FitsU64() const { return (limb[1] | limb[2] | limb[3]) == 0; }
+
+  bool operator==(const U256& o) const { return limb == o.limb; }
+  bool operator!=(const U256& o) const { return limb != o.limb; }
+  bool operator<(const U256& o) const { return Compare(*this, o) < 0; }
+  bool operator<=(const U256& o) const { return Compare(*this, o) <= 0; }
+  bool operator>(const U256& o) const { return Compare(*this, o) > 0; }
+  bool operator>=(const U256& o) const { return Compare(*this, o) >= 0; }
+
+  /// -1, 0 or 1.
+  static int Compare(const U256& a, const U256& b);
+
+  /// out = a + b; returns the carry out of the top limb.
+  static bool AddWithCarry(const U256& a, const U256& b, U256* out);
+  /// out = a - b; returns the borrow (true when a < b).
+  static bool SubWithBorrow(const U256& a, const U256& b, U256* out);
+
+  /// Wrapping arithmetic (mod 2^256).
+  U256 operator+(const U256& o) const;
+  U256 operator-(const U256& o) const;
+  /// Full 512-bit product.
+  static U512 MulWide(const U256& a, const U256& b);
+  /// Wrapping product (low 256 bits).
+  U256 operator*(const U256& o) const;
+
+  /// Logical shifts. `n` in [0, 255].
+  U256 Shl(int n) const;
+  U256 Shr(int n) const;
+
+  U256 operator&(const U256& o) const;
+  U256 operator|(const U256& o) const;
+
+  /// Long division: *this = q * divisor + r, r < divisor.
+  /// Fails if divisor is zero.
+  Status DivMod(const U256& divisor, U256* quotient, U256* remainder) const;
+
+  /// a mod m via DivMod (generic, slower than field-specific reduction).
+  static U256 Mod(const U256& a, const U256& m);
+};
+
+/// 512-bit intermediate for wide products.
+struct U512 {
+  std::array<uint64_t, 8> limb{0, 0, 0, 0, 0, 0, 0, 0};
+
+  /// Low / high 256-bit halves.
+  U256 Lo() const { return U256(limb[0], limb[1], limb[2], limb[3]); }
+  U256 Hi() const { return U256(limb[4], limb[5], limb[6], limb[7]); }
+
+  bool IsZero() const;
+  /// out = a + b (mod 2^512).
+  static U512 Add(const U512& a, const U512& b);
+  /// Builds a U512 from a 256-bit value.
+  static U512 FromU256(const U256& v);
+};
+
+/// Reduces a 512-bit value modulo m = 2^256 - c (c must satisfy m > 2^255,
+/// i.e. the moduli used by secp256k1's field prime and group order).
+/// This is the Solinas-style fast reduction: fold high words as H*c + L.
+U256 ReduceWide(const U512& x, const U256& m, const U256& c);
+
+/// Modular arithmetic helpers over an arbitrary odd modulus (generic paths,
+/// used in tests and non-hot code).
+U256 AddMod(const U256& a, const U256& b, const U256& m);
+U256 SubMod(const U256& a, const U256& b, const U256& m);
+U256 MulMod(const U256& a, const U256& b, const U256& m);
+/// base^exp mod m via square-and-multiply.
+U256 PowMod(const U256& base, const U256& exp, const U256& m);
+/// Multiplicative inverse modulo a prime m (Fermat). Requires a != 0 mod m.
+U256 InvMod(const U256& a, const U256& m);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CRYPTO_U256_H_

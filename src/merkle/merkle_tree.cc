@@ -1,0 +1,127 @@
+#include "merkle/merkle_tree.h"
+
+#include <cstring>
+
+namespace wedge {
+
+namespace {
+
+constexpr uint8_t kLeafPrefix = 0x00;
+constexpr uint8_t kInteriorPrefix = 0x01;
+
+}  // namespace
+
+Bytes MerkleProof::Serialize() const {
+  Bytes out;
+  PutU64(out, leaf_index);
+  PutU32(out, static_cast<uint32_t>(path.size()));
+  for (const MerkleProofNode& node : path) {
+    out.push_back(node.sibling_is_left ? 1 : 0);
+    Append(out, HashToBytes(node.sibling));
+  }
+  return out;
+}
+
+Result<MerkleProof> MerkleProof::Deserialize(const Bytes& b) {
+  ByteReader reader(b);
+  MerkleProof proof;
+  WEDGE_ASSIGN_OR_RETURN(proof.leaf_index, reader.ReadU64());
+  WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  if (count > 64) {
+    return Status::InvalidArgument("merkle proof too deep");
+  }
+  proof.path.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WEDGE_ASSIGN_OR_RETURN(Bytes side, reader.ReadRaw(1));
+    WEDGE_ASSIGN_OR_RETURN(Bytes sib, reader.ReadRaw(32));
+    MerkleProofNode node;
+    node.sibling_is_left = side[0] != 0;
+    std::memcpy(node.sibling.data(), sib.data(), 32);
+    proof.path.push_back(node);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after merkle proof");
+  }
+  return proof;
+}
+
+Hash256 MerkleTree::HashLeaf(const Bytes& data) {
+  Sha256 h;
+  h.Update(&kLeafPrefix, 1);
+  h.Update(data);
+  return h.Finish();
+}
+
+Hash256 MerkleTree::HashInterior(const Hash256& left, const Hash256& right) {
+  Sha256 h;
+  h.Update(&kInteriorPrefix, 1);
+  h.Update(left.data(), left.size());
+  h.Update(right.data(), right.size());
+  return h.Finish();
+}
+
+Result<MerkleTree> MerkleTree::Build(const std::vector<Bytes>& leaves) {
+  if (leaves.empty()) {
+    return Status::InvalidArgument("merkle tree requires at least one leaf");
+  }
+  MerkleTree tree;
+  tree.leaf_count_ = leaves.size();
+
+  std::vector<Hash256> level;
+  level.reserve(leaves.size());
+  for (const Bytes& leaf : leaves) level.push_back(HashLeaf(leaf));
+  tree.levels_.push_back(std::move(level));
+
+  while (tree.levels_.back().size() > 1) {
+    const std::vector<Hash256>& prev = tree.levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      // Odd count: duplicate the last node.
+      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(HashInterior(prev[i], right));
+    }
+    tree.levels_.push_back(std::move(next));
+  }
+  return tree;
+}
+
+Result<MerkleProof> MerkleTree::Prove(uint64_t index) const {
+  if (index >= leaf_count_) {
+    return Status::OutOfRange("leaf index out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = index;
+  uint64_t pos = index;
+  for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const std::vector<Hash256>& nodes = levels_[lvl];
+    MerkleProofNode node;
+    if (pos % 2 == 0) {
+      // Sibling on the right (or self-duplicate at an odd tail).
+      node.sibling = (pos + 1 < nodes.size()) ? nodes[pos + 1] : nodes[pos];
+      node.sibling_is_left = false;
+    } else {
+      node.sibling = nodes[pos - 1];
+      node.sibling_is_left = true;
+    }
+    proof.path.push_back(node);
+    pos /= 2;
+  }
+  return proof;
+}
+
+Hash256 ComputeRootFromProof(const Bytes& leaf_data, const MerkleProof& proof) {
+  Hash256 acc = MerkleTree::HashLeaf(leaf_data);
+  for (const MerkleProofNode& node : proof.path) {
+    acc = node.sibling_is_left ? MerkleTree::HashInterior(node.sibling, acc)
+                               : MerkleTree::HashInterior(acc, node.sibling);
+  }
+  return acc;
+}
+
+bool VerifyMerkleProof(const Bytes& leaf_data, const MerkleProof& proof,
+                       const Hash256& expected_root) {
+  return ComputeRootFromProof(leaf_data, proof) == expected_root;
+}
+
+}  // namespace wedge

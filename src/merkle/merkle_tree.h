@@ -1,0 +1,90 @@
+#ifndef WEDGEBLOCK_MERKLE_MERKLE_TREE_H_
+#define WEDGEBLOCK_MERKLE_MERKLE_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace wedge {
+
+/// One step of a Merkle proof path: a sibling hash plus its side.
+struct MerkleProofNode {
+  Hash256 sibling;
+  bool sibling_is_left = false;  ///< True when the sibling is the left child.
+
+  bool operator==(const MerkleProofNode& o) const {
+    return sibling == o.sibling && sibling_is_left == o.sibling_is_left;
+  }
+};
+
+/// Authentication path from a leaf to the Merkle root (Figure 1 in the
+/// paper). Together with the leaf data and its index, verifies membership
+/// under a given root.
+struct MerkleProof {
+  uint64_t leaf_index = 0;
+  std::vector<MerkleProofNode> path;
+
+  /// Canonical wire encoding (length-prefixed).
+  Bytes Serialize() const;
+  static Result<MerkleProof> Deserialize(const Bytes& b);
+
+  bool operator==(const MerkleProof& o) const {
+    return leaf_index == o.leaf_index && path == o.path;
+  }
+};
+
+/// Binary Merkle tree over a batch of byte-string leaves.
+///
+/// Leaves are first hashed with a 0x00 domain-separation prefix; interior
+/// nodes hash 0x01 || left || right. The prefix prevents second-preimage
+/// attacks that confuse leaves with interior nodes. Odd levels duplicate
+/// the last node (Bitcoin-style padding).
+class MerkleTree {
+ public:
+  /// Builds the tree over `leaves`. Requires at least one leaf.
+  static Result<MerkleTree> Build(const std::vector<Bytes>& leaves);
+
+  /// Root digest (the MRoot committed on-chain in stage-2).
+  const Hash256& Root() const { return levels_.back()[0]; }
+
+  /// Number of original (unpadded) leaves.
+  uint64_t LeafCount() const { return leaf_count_; }
+
+  /// Generates the authentication path for leaf `index`.
+  Result<MerkleProof> Prove(uint64_t index) const;
+
+  /// Hash applied to a leaf's raw bytes.
+  static Hash256 HashLeaf(const Bytes& data);
+
+  /// Hash of an interior node.
+  static Hash256 HashInterior(const Hash256& left, const Hash256& right);
+
+  /// Structural accessors (multi-proof construction): level 0 holds the
+  /// leaf hashes, the last level holds only the root.
+  size_t Depth() const { return levels_.size(); }
+  size_t LevelSize(size_t level) const { return levels_[level].size(); }
+  const Hash256& NodeAt(size_t level, uint64_t pos) const {
+    return levels_[level][pos];
+  }
+
+ private:
+  MerkleTree() = default;
+
+  uint64_t leaf_count_ = 0;
+  // levels_[0] = leaf hashes, levels_.back() = {root}.
+  std::vector<std::vector<Hash256>> levels_;
+};
+
+/// Recomputes the root implied by (leaf data, proof). Verification succeeds
+/// iff the recomputed root equals `expected_root`. This is the client-side
+/// check used for stage-1 responses and by the Punishment contract.
+Hash256 ComputeRootFromProof(const Bytes& leaf_data, const MerkleProof& proof);
+
+/// True iff the proof authenticates `leaf_data` under `expected_root`.
+bool VerifyMerkleProof(const Bytes& leaf_data, const MerkleProof& proof,
+                       const Hash256& expected_root);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_MERKLE_MERKLE_TREE_H_

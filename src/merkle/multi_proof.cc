@@ -1,0 +1,133 @@
+#include "merkle/multi_proof.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wedge {
+
+Bytes MerkleMultiProof::Serialize() const {
+  Bytes out;
+  PutU64(out, leaf_count);
+  PutU32(out, static_cast<uint32_t>(siblings.size()));
+  for (const Hash256& h : siblings) Append(out, HashToBytes(h));
+  return out;
+}
+
+Result<MerkleMultiProof> MerkleMultiProof::Deserialize(const Bytes& b) {
+  ByteReader reader(b);
+  MerkleMultiProof proof;
+  WEDGE_ASSIGN_OR_RETURN(proof.leaf_count, reader.ReadU64());
+  WEDGE_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+  if (n > 1u << 22) return Status::InvalidArgument("multi-proof too large");
+  proof.siblings.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WEDGE_ASSIGN_OR_RETURN(Bytes raw, reader.ReadRaw(32));
+    WEDGE_ASSIGN_OR_RETURN(Hash256 h, HashFromBytes(raw));
+    proof.siblings.push_back(h);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after multi-proof");
+  }
+  return proof;
+}
+
+Result<MerkleMultiProof> BuildMultiProof(const MerkleTree& tree,
+                                         std::vector<uint64_t> indices) {
+  if (indices.empty()) {
+    return Status::InvalidArgument("multi-proof needs at least one index");
+  }
+  std::sort(indices.begin(), indices.end());
+  if (std::adjacent_find(indices.begin(), indices.end()) != indices.end()) {
+    return Status::InvalidArgument("duplicate leaf index");
+  }
+  if (indices.back() >= tree.LeafCount()) {
+    return Status::OutOfRange("leaf index out of range");
+  }
+
+  MerkleMultiProof proof;
+  proof.leaf_count = tree.LeafCount();
+
+  // Walk level by level: positions whose sibling is not in the covered
+  // set contribute one sibling hash (unless the sibling is the
+  // duplicate-last padding, which the verifier re-derives itself).
+  std::vector<uint64_t> covered = indices;
+  for (size_t level = 0; level + 1 < tree.Depth(); ++level) {
+    uint64_t level_size = tree.LevelSize(level);
+    std::vector<uint64_t> parents;
+    size_t i = 0;
+    while (i < covered.size()) {
+      uint64_t pos = covered[i];
+      if (pos % 2 == 0 && i + 1 < covered.size() &&
+          covered[i + 1] == pos + 1) {
+        // Both children covered; no external sibling needed.
+        i += 2;
+      } else {
+        uint64_t sibling = pos ^ 1;
+        if (sibling < level_size) {
+          proof.siblings.push_back(tree.NodeAt(level, sibling));
+        }
+        // sibling >= level_size: duplicate-last padding, re-derivable.
+        i += 1;
+      }
+      parents.push_back(pos / 2);
+    }
+    covered = std::move(parents);
+  }
+  return proof;
+}
+
+bool VerifyMultiProof(const std::vector<std::pair<uint64_t, Bytes>>& leaves,
+                      const MerkleMultiProof& proof,
+                      const Hash256& expected_root) {
+  if (leaves.empty() || proof.leaf_count == 0) return false;
+
+  // Seed the walk with the leaf hashes, sorted and deduplicated by index.
+  std::map<uint64_t, Hash256> covered;
+  for (const auto& [index, data] : leaves) {
+    if (index >= proof.leaf_count) return false;
+    if (!covered.emplace(index, MerkleTree::HashLeaf(data)).second) {
+      return false;  // Duplicate index.
+    }
+  }
+
+  size_t next_sibling = 0;
+  uint64_t level_size = proof.leaf_count;
+  while (level_size > 1) {
+    std::map<uint64_t, Hash256> parents;
+    for (auto it = covered.begin(); it != covered.end();) {
+      uint64_t pos = it->first;
+      const Hash256& own = it->second;
+      Hash256 left, right;
+      auto next = std::next(it);
+      if (pos % 2 == 0 && next != covered.end() && next->first == pos + 1) {
+        left = own;
+        right = next->second;
+        std::advance(it, 2);
+      } else {
+        uint64_t sibling = pos ^ 1;
+        Hash256 sib_hash;
+        if (sibling < level_size) {
+          if (next_sibling >= proof.siblings.size()) return false;
+          sib_hash = proof.siblings[next_sibling++];
+        } else {
+          sib_hash = own;  // Duplicate-last padding.
+        }
+        if (pos % 2 == 0) {
+          left = own;
+          right = sib_hash;
+        } else {
+          left = sib_hash;
+          right = own;
+        }
+        ++it;
+      }
+      parents.emplace(pos / 2, MerkleTree::HashInterior(left, right));
+    }
+    covered = std::move(parents);
+    level_size = (level_size + 1) / 2;
+  }
+  if (next_sibling != proof.siblings.size()) return false;  // Unused hashes.
+  return covered.size() == 1 && covered.begin()->second == expected_root;
+}
+
+}  // namespace wedge

@@ -1,0 +1,41 @@
+#ifndef WEDGEBLOCK_MERKLE_MULTI_PROOF_H_
+#define WEDGEBLOCK_MERKLE_MULTI_PROOF_H_
+
+#include "merkle/merkle_tree.h"
+
+namespace wedge {
+
+/// A batched Merkle proof authenticating SEVERAL leaves of one tree at
+/// once. Sibling hashes shared between the individual authentication
+/// paths are included only once, so proving k leaves costs far less than
+/// k single proofs — the auditor's range verification (Figure 9) reads
+/// whole batches, which is exactly this access pattern. An extension of
+/// the paper's stage-1 proof machinery (§7.3 authenticated structures).
+struct MerkleMultiProof {
+  uint64_t leaf_count = 0;          ///< Tree's (unpadded) leaf count.
+  std::vector<Hash256> siblings;    ///< In deterministic traversal order.
+
+  Bytes Serialize() const;
+  static Result<MerkleMultiProof> Deserialize(const Bytes& b);
+
+  bool operator==(const MerkleMultiProof& o) const {
+    return leaf_count == o.leaf_count && siblings == o.siblings;
+  }
+};
+
+/// Builds a multi-proof for the given leaf indices (need not be sorted;
+/// duplicates rejected). Fails on out-of-range indices or empty input.
+Result<MerkleMultiProof> BuildMultiProof(const MerkleTree& tree,
+                                         std::vector<uint64_t> indices);
+
+/// Verifies `leaves` (pairs of index and raw leaf bytes) against
+/// `expected_root` using the multi-proof. Order-insensitive in the input;
+/// returns false on any inconsistency (wrong data, wrong index, wrong or
+/// truncated proof).
+bool VerifyMultiProof(const std::vector<std::pair<uint64_t, Bytes>>& leaves,
+                      const MerkleMultiProof& proof,
+                      const Hash256& expected_root);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_MERKLE_MULTI_PROOF_H_

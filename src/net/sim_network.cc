@@ -1,0 +1,120 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+
+namespace wedge {
+
+Micros SimLink::DelayFor(size_t size_bytes) {
+  Micros transmission = 0;
+  if (config_.bandwidth_bytes_per_sec > 0) {
+    transmission = static_cast<Micros>(
+        (static_cast<double>(size_bytes) / config_.bandwidth_bytes_per_sec) *
+        kMicrosPerSecond);
+  }
+  Micros jitter = 0;
+  if (config_.jitter > 0) {
+    jitter = static_cast<Micros>(rng_.Uniform(2 * config_.jitter + 1)) -
+             config_.jitter;
+  }
+  Micros total = config_.base_latency + transmission + jitter;
+  return total < 0 ? 0 : total;
+}
+
+bool SimLink::ShouldDrop() { return rng_.Bernoulli(config_.drop_probability); }
+
+void MessageBus::RegisterEndpoint(const std::string& name, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_[name] = std::move(handler);
+}
+
+Micros MessageBus::Send(const std::string& from, const std::string& to,
+                        Bytes payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (link_.ShouldDrop()) return 0;
+  Micros deliver_at = clock_->NowMicros() + link_.DelayFor(payload.size());
+  queue_.emplace(deliver_at,
+                 InFlightMessage{from, to, std::move(payload)});
+  return deliver_at;
+}
+
+int MessageBus::DeliverDue() {
+  int delivered = 0;
+  for (;;) {
+    InFlightMessage msg;
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = queue_.begin();
+      if (it == queue_.end() || it->first > clock_->NowMicros()) break;
+      msg = std::move(it->second);
+      queue_.erase(it);
+      auto ep = endpoints_.find(msg.to);
+      if (ep == endpoints_.end()) continue;  // Dead endpoint: drop.
+      handler = ep->second;
+    }
+    handler(msg.from, msg.payload);
+    ++delivered;
+  }
+  return delivered;
+}
+
+bool MessageBus::Step() {
+  Micros next;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    next = queue_.begin()->first;
+  }
+  if (next > clock_->NowMicros()) {
+    clock_->SetMicros(next);
+  }
+  DeliverDue();
+  return true;
+}
+
+size_t MessageBus::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+SignedEnvelope SignedEnvelope::Create(const KeyPair& key, Bytes payload) {
+  SignedEnvelope env;
+  env.sender = key.address();
+  env.payload = std::move(payload);
+  Bytes material;
+  Append(material, env.sender.ToBytes());
+  PutBytes(material, env.payload);
+  env.signature = EcdsaSign(key.private_key(), Sha256::Digest(material));
+  return env;
+}
+
+bool SignedEnvelope::Verify() const {
+  Bytes material;
+  Append(material, sender.ToBytes());
+  PutBytes(material, payload);
+  return RecoverSigner(Sha256::Digest(material), signature) == sender;
+}
+
+Bytes SignedEnvelope::Serialize() const {
+  Bytes out;
+  Append(out, sender.ToBytes());
+  PutBytes(out, payload);
+  Append(out, signature.Serialize());
+  return out;
+}
+
+Result<SignedEnvelope> SignedEnvelope::Deserialize(const Bytes& b) {
+  ByteReader reader(b);
+  SignedEnvelope env;
+  WEDGE_ASSIGN_OR_RETURN(Bytes addr, reader.ReadRaw(20));
+  std::copy(addr.begin(), addr.end(), env.sender.bytes.begin());
+  WEDGE_ASSIGN_OR_RETURN(env.payload, reader.ReadBytes());
+  WEDGE_ASSIGN_OR_RETURN(Bytes sig, reader.ReadRaw(65));
+  WEDGE_ASSIGN_OR_RETURN(env.signature, EcdsaSignature::Deserialize(sig));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after envelope");
+  }
+  return env;
+}
+
+}  // namespace wedge

@@ -1,0 +1,95 @@
+#include "storage/decentralized_archive.h"
+
+#include "merkle/merkle_tree.h"
+
+namespace wedge {
+
+DecentralizedArchive::DecentralizedArchive(int num_peers, int replication_k,
+                                           uint64_t seed)
+    : replication_k_(replication_k), seed_(seed) {
+  peers_.resize(static_cast<size_t>(num_peers));
+}
+
+std::vector<int> DecentralizedArchive::PlacementFor(uint64_t log_id) const {
+  // Rendezvous-style deterministic placement seeded by (seed, log_id):
+  // the same position always maps to the same k peers, so readers can
+  // locate copies without an index.
+  Rng rng(seed_ ^ (log_id * 0x9E3779B97F4A7C15ULL + 1));
+  std::vector<int> all(peers_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  // Partial Fisher-Yates for the first k slots.
+  for (int i = 0; i < replication_k_; ++i) {
+    size_t j = i + rng.Uniform(all.size() - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(replication_k_);
+  return all;
+}
+
+Status DecentralizedArchive::Archive(const LogPosition& position) {
+  if (replication_k_ < 1 ||
+      replication_k_ > static_cast<int>(peers_.size())) {
+    return Status::InvalidArgument("replication factor out of range");
+  }
+  for (int peer : PlacementFor(position.log_id)) {
+    peers_[peer].copies[position.log_id] = position;
+  }
+  return Status::Ok();
+}
+
+Result<LogPosition> DecentralizedArchive::Fetch(
+    uint64_t log_id, const Hash256& expected_root) const {
+  for (int peer : PlacementFor(log_id)) {
+    const Peer& p = peers_[peer];
+    if (!p.alive) continue;
+    auto it = p.copies.find(log_id);
+    if (it == p.copies.end()) continue;
+    // Trust nothing: recompute the Merkle root over the returned data.
+    auto tree = MerkleTree::Build(it->second.data_list);
+    if (!tree.ok()) continue;
+    if (tree->Root() != expected_root) continue;  // Corrupt copy.
+    LogPosition verified = it->second;
+    verified.mroot = tree->Root();
+    return verified;
+  }
+  return Status::Unavailable("no live peer holds an intact copy");
+}
+
+void DecentralizedArchive::KillPeer(int peer) {
+  if (peer >= 0 && peer < num_peers()) peers_[peer].alive = false;
+}
+
+void DecentralizedArchive::RevivePeer(int peer) {
+  if (peer >= 0 && peer < num_peers()) peers_[peer].alive = true;
+}
+
+Status DecentralizedArchive::CorruptCopy(int peer, uint64_t log_id) {
+  if (peer < 0 || peer >= num_peers()) {
+    return Status::InvalidArgument("no such peer");
+  }
+  auto it = peers_[peer].copies.find(log_id);
+  if (it == peers_[peer].copies.end()) {
+    return Status::NotFound("peer holds no copy of this position");
+  }
+  if (it->second.data_list.empty()) {
+    return Status::Internal("nothing to corrupt");
+  }
+  // Idempotent corruption: replace the first entry outright.
+  it->second.data_list[0] = ToBytes("corrupted-by-byzantine-peer");
+  return Status::Ok();
+}
+
+int DecentralizedArchive::LiveCopies(uint64_t log_id) const {
+  int count = 0;
+  for (int peer : PlacementFor(log_id)) {
+    const Peer& p = peers_[peer];
+    if (!p.alive) continue;
+    auto it = p.copies.find(log_id);
+    if (it == p.copies.end()) continue;
+    auto tree = MerkleTree::Build(it->second.data_list);
+    if (tree.ok() && tree->Root() == it->second.mroot) ++count;
+  }
+  return count;
+}
+
+}  // namespace wedge

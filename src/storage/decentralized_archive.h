@@ -1,0 +1,67 @@
+#ifndef WEDGEBLOCK_STORAGE_DECENTRALIZED_ARCHIVE_H_
+#define WEDGEBLOCK_STORAGE_DECENTRALIZED_ARCHIVE_H_
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "storage/log_store.h"
+
+namespace wedge {
+
+/// Decentralized archival storage (paper §4.7): against the extreme
+/// omission attack — an Offchain Node destroying the log — the paper
+/// proposes keeping a persistent copy on a decentralized storage network.
+/// This models such a network as N independent peers; every archived log
+/// position is replicated onto k distinct peers chosen pseudo-randomly,
+/// and retrieval succeeds as long as any holding peer is still alive.
+///
+/// Integrity does not depend on the peers: Fetch() verifies the returned
+/// position's recomputed Merkle root against the root the caller read
+/// from the Root Record contract, so a byzantine peer can at worst cause
+/// a retry, never a wrong result.
+class DecentralizedArchive {
+ public:
+  /// `num_peers` storage peers; each position lands on `replication_k`
+  /// of them. Requires 1 <= replication_k <= num_peers.
+  DecentralizedArchive(int num_peers, int replication_k, uint64_t seed);
+
+  /// Archives a log position onto k live-or-dead peers (placement does
+  /// not look at liveness — like a real DHT write, some copies may land
+  /// on peers that later disappear).
+  Status Archive(const LogPosition& position);
+
+  /// Retrieves a position, trying its holding peers in order, skipping
+  /// dead peers and discarding any copy whose recomputed Merkle root
+  /// does not equal `expected_root`. Unavailable when no live peer holds
+  /// an intact copy.
+  Result<LogPosition> Fetch(uint64_t log_id,
+                            const Hash256& expected_root) const;
+
+  /// Simulates peer churn / attacks.
+  void KillPeer(int peer);
+  void RevivePeer(int peer);
+  /// Corrupts peer `peer`'s copy of `log_id` (byzantine storage).
+  Status CorruptCopy(int peer, uint64_t log_id);
+
+  int num_peers() const { return static_cast<int>(peers_.size()); }
+  int replication() const { return replication_k_; }
+  /// Number of live peers currently holding an intact copy of `log_id`.
+  int LiveCopies(uint64_t log_id) const;
+
+ private:
+  struct Peer {
+    bool alive = true;
+    std::unordered_map<uint64_t, LogPosition> copies;
+  };
+
+  /// Deterministic placement: k distinct peers for a position.
+  std::vector<int> PlacementFor(uint64_t log_id) const;
+
+  const int replication_k_;
+  const uint64_t seed_;
+  std::vector<Peer> peers_;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_STORAGE_DECENTRALIZED_ARCHIVE_H_

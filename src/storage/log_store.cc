@@ -1,0 +1,227 @@
+#include "storage/log_store.h"
+
+#include <cstring>
+
+namespace wedge {
+
+Bytes LogPosition::Serialize() const {
+  Bytes out;
+  PutU64(out, log_id);
+  PutU32(out, static_cast<uint32_t>(data_list.size()));
+  for (const Bytes& entry : data_list) PutBytes(out, entry);
+  Append(out, HashToBytes(mroot));
+  return out;
+}
+
+Result<LogPosition> LogPosition::Deserialize(const Bytes& b) {
+  ByteReader reader(b);
+  LogPosition pos;
+  WEDGE_ASSIGN_OR_RETURN(pos.log_id, reader.ReadU64());
+  WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  pos.data_list.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WEDGE_ASSIGN_OR_RETURN(Bytes entry, reader.ReadBytes());
+    pos.data_list.push_back(std::move(entry));
+  }
+  WEDGE_ASSIGN_OR_RETURN(Bytes root_raw, reader.ReadRaw(32));
+  WEDGE_ASSIGN_OR_RETURN(pos.mroot, HashFromBytes(root_raw));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after log position");
+  }
+  return pos;
+}
+
+Status MemoryLogStore::Append(const LogPosition& position) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (position.log_id != positions_.size()) {
+    return Status::FailedPrecondition("log positions must be consecutive");
+  }
+  positions_.push_back(position);
+  return Status::Ok();
+}
+
+Result<LogPosition> MemoryLogStore::Get(uint64_t log_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_id >= positions_.size()) {
+    return Status::NotFound("log position does not exist");
+  }
+  return positions_[log_id];
+}
+
+Result<Bytes> MemoryLogStore::GetEntry(const EntryIndex& index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index.log_id >= positions_.size()) {
+    return Status::NotFound("log position does not exist");
+  }
+  const LogPosition& pos = positions_[index.log_id];
+  if (index.offset >= pos.data_list.size()) {
+    return Status::NotFound("entry offset out of range");
+  }
+  return pos.data_list[index.offset];
+}
+
+uint64_t MemoryLogStore::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return positions_.size();
+}
+
+Status MemoryLogStore::Scan(
+    uint64_t first, uint64_t last,
+    const std::function<bool(const LogPosition&)>& callback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first > last || last >= positions_.size()) {
+    return Status::OutOfRange("scan range outside the log");
+  }
+  for (uint64_t i = first; i <= last; ++i) {
+    if (!callback(positions_[i])) break;
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<FileLogStore>> FileLogStore::Open(
+    const std::string& path) {
+  std::unique_ptr<FileLogStore> store(new FileLogStore(path));
+
+  // Replay existing records (if any), stopping at the first torn record.
+  FILE* replay = std::fopen(path.c_str(), "rb");
+  long valid_end = 0;
+  if (replay != nullptr) {
+    for (;;) {
+      uint8_t len_raw[4];
+      if (std::fread(len_raw, 1, 4, replay) != 4) break;
+      uint32_t len = (static_cast<uint32_t>(len_raw[0]) << 24) |
+                     (static_cast<uint32_t>(len_raw[1]) << 16) |
+                     (static_cast<uint32_t>(len_raw[2]) << 8) |
+                     static_cast<uint32_t>(len_raw[3]);
+      Bytes payload(len);
+      if (len > 0 && std::fread(payload.data(), 1, len, replay) != len) break;
+      uint8_t checksum[32];
+      if (std::fread(checksum, 1, 32, replay) != 32) break;
+      Hash256 expect = Sha256::Digest(payload);
+      if (std::memcmp(checksum, expect.data(), 32) != 0) break;  // Corrupt.
+      auto pos = LogPosition::Deserialize(payload);
+      if (!pos.ok() ||
+          pos.value().log_id != store->positions_.size()) {
+        break;
+      }
+      store->positions_.push_back(std::move(pos).value());
+      valid_end = std::ftell(replay);
+    }
+    std::fclose(replay);
+  }
+
+  // Reopen for appending, truncating any torn tail.
+  FILE* f = std::fopen(path.c_str(), replay != nullptr ? "rb+" : "wb+");
+  if (f == nullptr) {
+    return Status::Internal("cannot open log file: " + path);
+  }
+  if (replay != nullptr) {
+    // Drop the invalid tail (best effort; failure keeps the longer file,
+    // which recovery tolerates anyway).
+    if (std::fseek(f, 0, SEEK_END) == 0 && std::ftell(f) > valid_end) {
+      (void)!ftruncate(fileno(f), valid_end);
+    }
+    std::fseek(f, valid_end, SEEK_SET);
+  }
+  store->file_ = f;
+  return store;
+}
+
+FileLogStore::~FileLogStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileLogStore::Append(const LogPosition& position) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (position.log_id != positions_.size()) {
+    return Status::FailedPrecondition("log positions must be consecutive");
+  }
+  Bytes payload = position.Serialize();
+  Bytes record;
+  PutU32(record, static_cast<uint32_t>(payload.size()));
+  wedge::Append(record, payload);  // Qualified: Append is shadowed here.
+  Hash256 checksum = Sha256::Digest(payload);
+  wedge::Append(record, HashToBytes(checksum));
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::Internal("short write to log file");
+  }
+  positions_.push_back(position);
+  return Status::Ok();
+}
+
+Result<LogPosition> FileLogStore::Get(uint64_t log_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_id >= positions_.size()) {
+    return Status::NotFound("log position does not exist");
+  }
+  return positions_[log_id];
+}
+
+Result<Bytes> FileLogStore::GetEntry(const EntryIndex& index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index.log_id >= positions_.size()) {
+    return Status::NotFound("log position does not exist");
+  }
+  const LogPosition& pos = positions_[index.log_id];
+  if (index.offset >= pos.data_list.size()) {
+    return Status::NotFound("entry offset out of range");
+  }
+  return pos.data_list[index.offset];
+}
+
+uint64_t FileLogStore::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return positions_.size();
+}
+
+Status FileLogStore::Scan(
+    uint64_t first, uint64_t last,
+    const std::function<bool(const LogPosition&)>& callback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first > last || last >= positions_.size()) {
+    return Status::OutOfRange("scan range outside the log");
+  }
+  for (uint64_t i = first; i <= last; ++i) {
+    if (!callback(positions_[i])) break;
+  }
+  return Status::Ok();
+}
+
+Status FileLogStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("fflush failed");
+  }
+  return Status::Ok();
+}
+
+ReplicatedLogStore::ReplicatedLogStore(
+    std::unique_ptr<LogStore> primary,
+    std::vector<std::unique_ptr<LogStore>> followers)
+    : primary_(std::move(primary)), followers_(std::move(followers)) {}
+
+Status ReplicatedLogStore::Append(const LogPosition& position) {
+  WEDGE_RETURN_IF_ERROR(primary_->Append(position));
+  for (auto& follower : followers_) {
+    WEDGE_RETURN_IF_ERROR(follower->Append(position));
+  }
+  return Status::Ok();
+}
+
+Result<LogPosition> ReplicatedLogStore::Get(uint64_t log_id) const {
+  return primary_->Get(log_id);
+}
+
+Result<Bytes> ReplicatedLogStore::GetEntry(const EntryIndex& index) const {
+  return primary_->GetEntry(index);
+}
+
+uint64_t ReplicatedLogStore::Size() const { return primary_->Size(); }
+
+Status ReplicatedLogStore::Scan(
+    uint64_t first, uint64_t last,
+    const std::function<bool(const LogPosition&)>& callback) const {
+  return primary_->Scan(first, last, callback);
+}
+
+}  // namespace wedge

@@ -1,0 +1,141 @@
+#ifndef WEDGEBLOCK_STORAGE_LOG_STORE_H_
+#define WEDGEBLOCK_STORAGE_LOG_STORE_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace wedge {
+
+/// One position of the append-only log (paper §4.1): a batch of client
+/// data objects plus the Merkle root computed over them.
+struct LogPosition {
+  uint64_t log_id = 0;            ///< Monotonically increasing position id.
+  std::vector<Bytes> data_list;   ///< The batched append payloads.
+  Hash256 mroot{};                ///< Merkle root over data_list.
+
+  /// Canonical serialization (used by the file store and replication).
+  Bytes Serialize() const;
+  static Result<LogPosition> Deserialize(const Bytes& b);
+};
+
+/// Address of a single entry: which log position and where inside it.
+struct EntryIndex {
+  uint64_t log_id = 0;
+  uint32_t offset = 0;
+
+  bool operator==(const EntryIndex& o) const {
+    return log_id == o.log_id && offset == o.offset;
+  }
+};
+
+/// Abstract append-only store for log positions. Implementations must be
+/// thread-safe: the Offchain Node appends from its batching thread while
+/// read requests are served concurrently.
+class LogStore {
+ public:
+  virtual ~LogStore() = default;
+
+  /// Appends a position. Positions must arrive with consecutive log_ids
+  /// starting at 0; anything else fails with FailedPrecondition.
+  virtual Status Append(const LogPosition& position) = 0;
+
+  /// Fetches a whole position.
+  virtual Result<LogPosition> Get(uint64_t log_id) const = 0;
+
+  /// Fetches one entry's payload.
+  virtual Result<Bytes> GetEntry(const EntryIndex& index) const = 0;
+
+  /// Number of stored positions.
+  virtual uint64_t Size() const = 0;
+
+  /// Visits positions [first, last] in order. Stops early if the callback
+  /// returns false.
+  virtual Status Scan(
+      uint64_t first, uint64_t last,
+      const std::function<bool(const LogPosition&)>& callback) const = 0;
+};
+
+/// Heap-backed store.
+class MemoryLogStore : public LogStore {
+ public:
+  Status Append(const LogPosition& position) override;
+  Result<LogPosition> Get(uint64_t log_id) const override;
+  Result<Bytes> GetEntry(const EntryIndex& index) const override;
+  uint64_t Size() const override;
+  Status Scan(uint64_t first, uint64_t last,
+              const std::function<bool(const LogPosition&)>& callback)
+      const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogPosition> positions_;
+};
+
+/// File-backed store with crash recovery.
+///
+/// Record format: [u32 payload_len][payload][32B sha256(payload)], where
+/// payload = LogPosition::Serialize(). Open() replays the file and
+/// truncates a torn tail (partial final record) instead of failing.
+class FileLogStore : public LogStore {
+ public:
+  /// Opens (creating if needed) the store at `path` and recovers its
+  /// in-memory index.
+  static Result<std::unique_ptr<FileLogStore>> Open(const std::string& path);
+
+  ~FileLogStore() override;
+
+  Status Append(const LogPosition& position) override;
+  Result<LogPosition> Get(uint64_t log_id) const override;
+  Result<Bytes> GetEntry(const EntryIndex& index) const override;
+  uint64_t Size() const override;
+  Status Scan(uint64_t first, uint64_t last,
+              const std::function<bool(const LogPosition&)>& callback)
+      const override;
+
+  /// Flushes buffered writes to the OS.
+  Status Sync();
+
+ private:
+  explicit FileLogStore(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  mutable std::mutex mu_;
+  // The recovered/served view. Positions are also cached in memory; the
+  // file is the durable copy replayed on Open().
+  std::vector<LogPosition> positions_;
+  FILE* file_ = nullptr;
+};
+
+/// Primary + follower replication (the "replicated" curves in Figures 3
+/// and 5): every append is applied to the primary and forwarded to each
+/// follower before it is acknowledged.
+class ReplicatedLogStore : public LogStore {
+ public:
+  /// `followers` may be empty (degenerates to the primary alone).
+  ReplicatedLogStore(std::unique_ptr<LogStore> primary,
+                     std::vector<std::unique_ptr<LogStore>> followers);
+
+  Status Append(const LogPosition& position) override;
+  Result<LogPosition> Get(uint64_t log_id) const override;
+  Result<Bytes> GetEntry(const EntryIndex& index) const override;
+  uint64_t Size() const override;
+  Status Scan(uint64_t first, uint64_t last,
+              const std::function<bool(const LogPosition&)>& callback)
+      const override;
+
+  size_t follower_count() const { return followers_.size(); }
+
+ private:
+  std::unique_ptr<LogStore> primary_;
+  std::vector<std::unique_ptr<LogStore>> followers_;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_STORAGE_LOG_STORE_H_

@@ -1,0 +1,80 @@
+#include "storage/tiered_store.h"
+
+namespace wedge {
+
+TieredLogStore::TieredLogStore(size_t hot_capacity,
+                               DecentralizedArchive* archive)
+    : hot_capacity_(hot_capacity < 1 ? 1 : hot_capacity), archive_(archive) {}
+
+Status TieredLogStore::Append(const LogPosition& position) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (position.log_id != roots_.size()) {
+    return Status::FailedPrecondition("log positions must be consecutive");
+  }
+  // Archive FIRST: a position may only leave the hot tier once a durable
+  // copy exists.
+  WEDGE_RETURN_IF_ERROR(archive_->Archive(position));
+  roots_.push_back(position.mroot);
+  hot_.emplace(position.log_id, position);
+  while (hot_.size() > hot_capacity_) {
+    hot_.erase(hot_.begin());  // Oldest position spills to cold-only.
+  }
+  return Status::Ok();
+}
+
+Result<LogPosition> TieredLogStore::FetchLocked(uint64_t log_id) const {
+  if (log_id >= roots_.size()) {
+    return Status::NotFound("log position does not exist");
+  }
+  auto it = hot_.find(log_id);
+  if (it != hot_.end()) return it->second;
+  ++cold_reads_;
+  // Cold read: the archive verifies the recomputed root against our
+  // index, so byzantine peers cannot slip in tampered data.
+  return archive_->Fetch(log_id, roots_[log_id]);
+}
+
+Result<LogPosition> TieredLogStore::Get(uint64_t log_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FetchLocked(log_id);
+}
+
+Result<Bytes> TieredLogStore::GetEntry(const EntryIndex& index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WEDGE_ASSIGN_OR_RETURN(LogPosition pos, FetchLocked(index.log_id));
+  if (index.offset >= pos.data_list.size()) {
+    return Status::NotFound("entry offset out of range");
+  }
+  return pos.data_list[index.offset];
+}
+
+uint64_t TieredLogStore::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return roots_.size();
+}
+
+Status TieredLogStore::Scan(
+    uint64_t first, uint64_t last,
+    const std::function<bool(const LogPosition&)>& callback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first > last || last >= roots_.size()) {
+    return Status::OutOfRange("scan range outside the log");
+  }
+  for (uint64_t id = first; id <= last; ++id) {
+    WEDGE_ASSIGN_OR_RETURN(LogPosition pos, FetchLocked(id));
+    if (!callback(pos)) break;
+  }
+  return Status::Ok();
+}
+
+size_t TieredLogStore::HotCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hot_.size();
+}
+
+uint64_t TieredLogStore::ColdReads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cold_reads_;
+}
+
+}  // namespace wedge

@@ -1,0 +1,50 @@
+#ifndef WEDGEBLOCK_STORAGE_TIERED_STORE_H_
+#define WEDGEBLOCK_STORAGE_TIERED_STORE_H_
+
+#include <map>
+
+#include "storage/decentralized_archive.h"
+
+namespace wedge {
+
+/// Hot/cold tiered log storage: the Offchain Node keeps only the most
+/// recent `hot_capacity` positions in memory; older positions spill to a
+/// DecentralizedArchive (the §4.7 persistence layer) and are fetched —
+/// and integrity-verified against their recorded Merkle roots — on
+/// demand. This bounds the node's local footprint for long-lived logs
+/// (the paper's 10M-entry read experiment would hold ~10 GB otherwise)
+/// without weakening any guarantee: archive fetches are verified the
+/// same way clients verify reads.
+class TieredLogStore : public LogStore {
+ public:
+  /// `archive` must outlive the store. hot_capacity >= 1.
+  TieredLogStore(size_t hot_capacity, DecentralizedArchive* archive);
+
+  Status Append(const LogPosition& position) override;
+  Result<LogPosition> Get(uint64_t log_id) const override;
+  Result<Bytes> GetEntry(const EntryIndex& index) const override;
+  uint64_t Size() const override;
+  Status Scan(uint64_t first, uint64_t last,
+              const std::function<bool(const LogPosition&)>& callback)
+      const override;
+
+  /// Positions currently held in the hot tier.
+  size_t HotCount() const;
+  /// Archive fetches served so far (cold reads).
+  uint64_t ColdReads() const;
+
+ private:
+  Result<LogPosition> FetchLocked(uint64_t log_id) const;
+
+  const size_t hot_capacity_;
+  DecentralizedArchive* const archive_;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, LogPosition> hot_;       // Ordered: eviction = begin().
+  std::vector<Hash256> roots_;                // Root index for ALL positions.
+  mutable uint64_t cold_reads_ = 0;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_STORAGE_TIERED_STORE_H_

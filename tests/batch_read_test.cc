@@ -1,0 +1,153 @@
+#include "core/batch_read.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/wedgeblock.h"
+
+namespace wedge {
+namespace {
+
+class BatchReadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DeploymentConfig config;
+    config.node.batch_size = 8;
+    config.node.worker_threads = 2;
+    auto d = Deployment::Create(config);
+    ASSERT_TRUE(d.ok());
+    deployment_ = std::move(d).value();
+    auto& pub = deployment_->publisher();
+    std::vector<std::pair<Bytes, Bytes>> kvs;
+    for (int i = 0; i < 24; ++i) {
+      kvs.emplace_back(ToBytes("k" + std::to_string(i)),
+                       ToBytes("v" + std::to_string(i)));
+    }
+    ASSERT_TRUE(pub.Publish(pub.MakeRequests(kvs)).ok());
+    deployment_->AdvanceBlocks(4);
+  }
+
+  std::unique_ptr<Deployment> deployment_;
+};
+
+TEST_F(BatchReadTest, WholePositionRead) {
+  auto batch = deployment_->node().ReadBatch(1);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->log_id, 1u);
+  EXPECT_EQ(batch->entries.size(), 8u);
+  EXPECT_TRUE(batch->Verify(deployment_->node().address()));
+  // Entries decode to the original requests in order.
+  for (size_t i = 0; i < batch->entries.size(); ++i) {
+    EXPECT_EQ(batch->entries[i].first, i);
+    auto req = AppendRequest::Deserialize(batch->entries[i].second);
+    ASSERT_TRUE(req.ok());
+    EXPECT_EQ(req->sequence, 8 + i);  // Position 1 holds requests 8..15.
+  }
+}
+
+TEST_F(BatchReadTest, SelectedOffsetsRead) {
+  auto batch = deployment_->node().ReadBatch(0, {1, 4, 6});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->entries.size(), 3u);
+  EXPECT_TRUE(batch->Verify(deployment_->node().address()));
+}
+
+TEST_F(BatchReadTest, RejectsBadTargets) {
+  EXPECT_FALSE(deployment_->node().ReadBatch(99).ok());
+  EXPECT_FALSE(deployment_->node().ReadBatch(0, {8}).ok());
+}
+
+TEST_F(BatchReadTest, VerifyCatchesTampering) {
+  auto batch = deployment_->node().ReadBatch(0).value();
+  Address node = deployment_->node().address();
+  ASSERT_TRUE(batch.Verify(node));
+
+  auto bad = batch;
+  bad.entries[3].second.back() ^= 1;  // Tampered data.
+  EXPECT_FALSE(bad.Verify(node));
+
+  bad = batch;
+  bad.entries[2].first = 7;  // Misattributed offset.
+  EXPECT_FALSE(bad.Verify(node));
+
+  bad = batch;
+  bad.mroot[0] ^= 1;  // Wrong root (signature breaks).
+  EXPECT_FALSE(bad.Verify(node));
+
+  bad = batch;
+  bad.offchain_signature =
+      EcdsaSign(KeyPair::FromSeed(123).private_key(), bad.SignedHash());
+  EXPECT_FALSE(bad.Verify(node));  // Signed by an imposter.
+
+  bad = batch;
+  bad.entries.clear();
+  EXPECT_FALSE(bad.Verify(node));
+}
+
+TEST_F(BatchReadTest, SerializationRoundTrip) {
+  auto batch = deployment_->node().ReadBatch(2, {0, 3}).value();
+  auto back = BatchReadResponse::Deserialize(batch.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->Verify(deployment_->node().address()));
+  EXPECT_EQ(back->entries.size(), batch.entries.size());
+  EXPECT_FALSE(BatchReadResponse::Deserialize(Bytes{9}).ok());
+}
+
+TEST_F(BatchReadTest, FastAuditMatchesSlowAudit) {
+  AuditorClient auditor = deployment_->MakeAuditor(55);
+  auto slow = auditor.Audit(0, 2);
+  auto fast = auditor.AuditFast(0, 2);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->entries_checked, slow->entries_checked);
+  EXPECT_TRUE(fast->Clean());
+  EXPECT_TRUE(slow->Clean());
+  EXPECT_EQ(fast->not_yet_committed, 0u);
+}
+
+TEST_F(BatchReadTest, FastAuditDetectsEquivocation) {
+  // Flip the node to tampering mode: ReadBatch serves the honest stored
+  // data (tamper injection targets single reads), so instead test the
+  // on-chain mismatch path by making the node equivocate on a NEW batch
+  // whose digest is never honestly committed.
+  deployment_->node().set_byzantine_mode(ByzantineMode::kEquivocateRoot);
+  auto& pub = deployment_->publisher();
+  std::vector<std::pair<Bytes, Bytes>> kvs;
+  for (int i = 0; i < 8; ++i) {
+    kvs.emplace_back(ToBytes("x" + std::to_string(i)), ToBytes("y"));
+  }
+  ASSERT_TRUE(deployment_->node()
+                  .Append(pub.MakeRequests(kvs))
+                  .ok());
+  deployment_->AdvanceBlocks(4);
+
+  AuditorClient auditor = deployment_->MakeAuditor(56);
+  auto fast = auditor.AuditFast(3, 3);  // The equivocated position.
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->onchain_mismatches, 8u);
+  EXPECT_FALSE(fast->Clean());
+}
+
+TEST_F(BatchReadTest, FastAuditFlagsUncommittedPositions) {
+  deployment_->node().set_byzantine_mode(ByzantineMode::kOmitStage2);
+  auto& pub = deployment_->publisher();
+  std::vector<std::pair<Bytes, Bytes>> kvs;
+  for (int i = 0; i < 8; ++i) {
+    kvs.emplace_back(ToBytes("o" + std::to_string(i)), ToBytes("p"));
+  }
+  ASSERT_TRUE(deployment_->node().Append(pub.MakeRequests(kvs)).ok());
+  deployment_->AdvanceBlocks(4);
+
+  AuditorClient auditor = deployment_->MakeAuditor(57);
+  auto fast = auditor.AuditFast(3, 3);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->not_yet_committed, 8u);
+}
+
+TEST_F(BatchReadTest, FastAuditRejectsEmptyRange) {
+  AuditorClient auditor = deployment_->MakeAuditor(58);
+  EXPECT_FALSE(auditor.AuditFast(2, 1).ok());
+}
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,227 @@
+#include "cluster/bft_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "contracts/root_record.h"
+
+namespace wedge {
+namespace {
+
+std::vector<AppendRequest> MakeBatch(int n, uint64_t seed = 1) {
+  KeyPair key = KeyPair::FromSeed(seed);
+  std::vector<AppendRequest> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(AppendRequest::Make(key, i, ToBytes("k" + std::to_string(i)),
+                                      ToBytes("v" + std::to_string(i))));
+  }
+  return out;
+}
+
+class BftClusterTest : public ::testing::Test {
+ protected:
+  BftClusterTest() : clock_(0), chain_(ChainConfig{}, &clock_) {}
+
+  /// Builds a cluster with f=1 (n=4) plus a Root Record contract that
+  /// authorizes all members.
+  std::unique_ptr<OffchainCluster> MakeCluster(int f = 1) {
+    ClusterConfig config;
+    config.f = f;
+    config.network.base_latency = 100;
+    config.network.jitter = 20;
+    auto cluster = std::make_unique<OffchainCluster>(config, &clock_, &chain_,
+                                                     Address::Zero());
+    // Deploy the record contract accepting every member, then rebuild
+    // the cluster bound to it.
+    auto members = cluster->MemberAddresses();
+    for (const Address& m : members) chain_.Fund(m, EthToWei(1000));
+    auto rr = chain_.Deploy(members.front(),
+                            std::make_unique<RootRecordContract>(members));
+    EXPECT_TRUE(rr.ok());
+    root_record_ = rr.value();
+    return std::make_unique<OffchainCluster>(config, &clock_, &chain_,
+                                             root_record_);
+  }
+
+  SimClock clock_;
+  Blockchain chain_;
+  Address root_record_;
+};
+
+TEST_F(BftClusterTest, HappyPathQuorumCommit) {
+  auto cluster = MakeCluster();
+  EXPECT_EQ(cluster->size(), 4u);
+  EXPECT_EQ(cluster->quorum(), 3u);
+
+  auto commit = cluster->Append(MakeBatch(8));
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_EQ(commit->certificate.log_id, 0u);
+  // At least a quorum ack'd (collection stops once 2f+1 matching acks
+  // arrive; the last ack may still be in flight).
+  EXPECT_GE(commit->certificate.acks.size(), 3u);
+  EXPECT_TRUE(VerifyQuorumCertificate(commit->certificate,
+                                      cluster->MemberAddresses(),
+                                      cluster->quorum()));
+  // Per-entry responses verify against the primary.
+  ASSERT_EQ(commit->responses.size(), 8u);
+  Address primary =
+      cluster->MemberAddresses()[cluster->PrimaryIndex()];
+  for (const auto& r : commit->responses) {
+    EXPECT_TRUE(r.Verify(primary));
+    EXPECT_EQ(r.proof.mroot, commit->certificate.mroot);
+  }
+  // Every replica holds the position identically.
+  for (size_t i = 0; i < cluster->size(); ++i) {
+    auto pos = cluster->replica(i).store().Get(0);
+    ASSERT_TRUE(pos.ok());
+    EXPECT_EQ(pos->mroot, commit->certificate.mroot);
+  }
+}
+
+TEST_F(BftClusterTest, ToleratesFCrashedReplicas) {
+  auto cluster = MakeCluster();
+  cluster->replica(2).set_fault(ReplicaFault::kCrash);
+  auto commit = cluster->Append(MakeBatch(4));
+  ASSERT_TRUE(commit.ok());
+  // Quorum of 3 out of the remaining replicas.
+  EXPECT_GE(commit->certificate.acks.size(), 3u);
+  EXPECT_TRUE(VerifyQuorumCertificate(commit->certificate,
+                                      cluster->MemberAddresses(), 3));
+}
+
+TEST_F(BftClusterTest, ToleratesOmissionAttack) {
+  auto cluster = MakeCluster();
+  cluster->replica(3).set_fault(ReplicaFault::kOmitAcks);
+  auto commit = cluster->Append(MakeBatch(4));
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->certificate.acks.size(), 3u);
+}
+
+TEST_F(BftClusterTest, WrongRootAckExcludedFromQuorum) {
+  auto cluster = MakeCluster();
+  cluster->replica(1).set_fault(ReplicaFault::kWrongRoot);
+  auto commit = cluster->Append(MakeBatch(4));
+  ASSERT_TRUE(commit.ok());
+  // The equivocating ack does not match the honest root.
+  EXPECT_EQ(commit->certificate.acks.size(), 3u);
+  for (const RootAck& ack : commit->certificate.acks) {
+    EXPECT_NE(ack.replica_index, 1u);
+  }
+}
+
+TEST_F(BftClusterTest, CrashedPrimaryTriggersViewChange) {
+  auto cluster = MakeCluster();
+  ASSERT_EQ(cluster->PrimaryIndex(), 0u);
+  cluster->replica(0).set_fault(ReplicaFault::kCrash);
+  auto commit = cluster->Append(MakeBatch(4));
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_GT(cluster->view(), 0u);          // Rotated away from replica 0.
+  EXPECT_NE(cluster->PrimaryIndex(), 0u);
+  EXPECT_EQ(commit->certificate.log_id, 0u);  // Same position committed.
+  // Subsequent appends keep working under the new primary.
+  auto commit2 = cluster->Append(MakeBatch(4, /*seed=*/2));
+  ASSERT_TRUE(commit2.ok());
+  EXPECT_EQ(commit2->certificate.log_id, 1u);
+}
+
+TEST_F(BftClusterTest, TooManyFaultsIsUnavailable) {
+  auto cluster = MakeCluster();
+  // f=1 tolerates one fault; two omitting replicas leave only 2 acks.
+  cluster->replica(1).set_fault(ReplicaFault::kCrash);
+  cluster->replica(2).set_fault(ReplicaFault::kOmitAcks);
+  auto commit = cluster->Append(MakeBatch(4));
+  EXPECT_FALSE(commit.ok());
+  EXPECT_EQ(commit.status().code(), Code::kUnavailable);
+}
+
+TEST_F(BftClusterTest, CertificateVerificationRejectsForgeries) {
+  auto cluster = MakeCluster();
+  auto commit = cluster->Append(MakeBatch(4));
+  ASSERT_TRUE(commit.ok());
+  auto members = cluster->MemberAddresses();
+
+  QuorumCertificate cert = commit->certificate;
+  ASSERT_TRUE(VerifyQuorumCertificate(cert, members, 3));
+
+  // Tampered root.
+  QuorumCertificate bad = cert;
+  bad.mroot[0] ^= 1;
+  EXPECT_FALSE(VerifyQuorumCertificate(bad, members, 3));
+
+  // Duplicate ack stuffing.
+  bad = cert;
+  bad.acks.push_back(bad.acks[0]);
+  EXPECT_FALSE(VerifyQuorumCertificate(bad, members, 3));
+
+  // Out-of-range replica index.
+  bad = cert;
+  bad.acks[0].replica_index = 99;
+  EXPECT_FALSE(VerifyQuorumCertificate(bad, members, 3));
+
+  // Too few signatures for the quorum.
+  bad = cert;
+  bad.acks.resize(2);
+  EXPECT_FALSE(VerifyQuorumCertificate(bad, members, 3));
+}
+
+TEST_F(BftClusterTest, CertificateSerializationRoundTrip) {
+  auto cluster = MakeCluster();
+  auto commit = cluster->Append(MakeBatch(4));
+  ASSERT_TRUE(commit.ok());
+  Bytes wire = commit->certificate.Serialize();
+  auto back = QuorumCertificate::Deserialize(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->log_id, commit->certificate.log_id);
+  EXPECT_EQ(back->mroot, commit->certificate.mroot);
+  EXPECT_EQ(back->acks.size(), commit->certificate.acks.size());
+  EXPECT_TRUE(VerifyQuorumCertificate(back.value(),
+                                      cluster->MemberAddresses(), 3));
+  EXPECT_FALSE(QuorumCertificate::Deserialize(Bytes{1, 2, 3}).ok());
+}
+
+TEST_F(BftClusterTest, AnyMemberCanSubmitStage2) {
+  auto cluster = MakeCluster();
+  auto commit = cluster->Append(MakeBatch(4));
+  ASSERT_TRUE(commit.ok());
+  auto tx = cluster->SubmitStage2(commit.value());
+  ASSERT_TRUE(tx.ok());
+  auto receipt = chain_.WaitForReceipt(tx.value());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->success);
+
+  // The on-chain root matches the certificate.
+  Bytes query;
+  PutU64(query, 0);
+  auto raw = chain_.Call(root_record_, "getRootAtIndex", query);
+  ASSERT_TRUE(raw.ok());
+  ByteReader reader(raw.value());
+  EXPECT_EQ(reader.ReadRaw(1).value()[0], 1);
+  auto root = HashFromBytes(reader.ReadRaw(32).value());
+  EXPECT_EQ(root.value(), commit->certificate.mroot);
+}
+
+TEST_F(BftClusterTest, ReadsServeVerifiableResponses) {
+  auto cluster = MakeCluster();
+  auto commit = cluster->Append(MakeBatch(6));
+  ASSERT_TRUE(commit.ok());
+  auto read = cluster->ReadOne(EntryIndex{0, 3});
+  ASSERT_TRUE(read.ok());
+  Address primary = cluster->MemberAddresses()[cluster->PrimaryIndex()];
+  EXPECT_TRUE(read->Verify(primary));
+  EXPECT_EQ(read->proof.mroot, commit->certificate.mroot);
+  EXPECT_FALSE(cluster->ReadOne(EntryIndex{5, 0}).ok());
+}
+
+TEST_F(BftClusterTest, LargerClusterF2) {
+  auto cluster = MakeCluster(/*f=*/2);
+  EXPECT_EQ(cluster->size(), 7u);
+  EXPECT_EQ(cluster->quorum(), 5u);
+  // Two arbitrary faults are tolerated.
+  cluster->replica(1).set_fault(ReplicaFault::kCrash);
+  cluster->replica(4).set_fault(ReplicaFault::kWrongRoot);
+  auto commit = cluster->Append(MakeBatch(4));
+  ASSERT_TRUE(commit.ok());
+  EXPECT_GE(commit->certificate.acks.size(), 5u);
+}
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,352 @@
+#include "chain/blockchain.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/gas.h"
+
+namespace wedge {
+namespace {
+
+/// Minimal test contract: a counter with a guarded increment and an
+/// always-reverting method, to exercise execution semantics.
+class CounterContract : public Contract {
+ public:
+  std::string_view Name() const override { return "Counter"; }
+
+  Result<Bytes> Call(CallContext& ctx, std::string_view method,
+                     const Bytes& args) override {
+    if (method == "increment") {
+      ByteReader reader(args);
+      WEDGE_ASSIGN_OR_RETURN(uint64_t by, reader.ReadU64());
+      if (by == 0) return Status::Reverted("increment by zero");
+      count_ += by;
+      ctx.gas().ChargeSstore(false);
+      Bytes payload;
+      PutU64(payload, count_);
+      ctx.Emit("Incremented", payload);
+      Bytes out;
+      PutU64(out, count_);
+      return out;
+    }
+    if (method == "get") {
+      ctx.gas().ChargeSload();
+      Bytes out;
+      PutU64(out, count_);
+      return out;
+    }
+    if (method == "payday") {
+      // Sends 1 wei back to the caller.
+      WEDGE_RETURN_IF_ERROR(ctx.TransferOut(ctx.sender(), U256(1)));
+      return Bytes();
+    }
+    if (method == "burn_gas") {
+      ctx.gas().Charge(100'000'000);  // Exceeds any sane limit.
+      return Bytes();
+    }
+    return Status::NotFound("unknown method");
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+class BlockchainTest : public ::testing::Test {
+ protected:
+  BlockchainTest() : clock_(0), chain_(ChainConfig{}, &clock_) {
+    alice_ = KeyPair::FromSeed(1).address();
+    bob_ = KeyPair::FromSeed(2).address();
+    chain_.Fund(alice_, EthToWei(100));
+    chain_.Fund(bob_, EthToWei(1));
+  }
+
+  SimClock clock_;
+  Blockchain chain_;
+  Address alice_, bob_;
+};
+
+TEST_F(BlockchainTest, WeiConversionHelpers) {
+  EXPECT_EQ(EthToWei(1).ToDecimal(), "1000000000000000000");
+  EXPECT_EQ(GweiToWei(1).ToDecimal(), "1000000000");
+  EXPECT_EQ(WeiToEthString(EthToWei(2)), "2.0");
+  EXPECT_EQ(WeiToEthString(GweiToWei(1'500'000'000)), "1.5");
+  EXPECT_NEAR(WeiToEthDouble(EthToWei(3)), 3.0, 1e-9);
+  EXPECT_NEAR(WeiToEthDouble(GweiToWei(1)), 1e-9, 1e-15);
+}
+
+TEST_F(BlockchainTest, FundAndBalance) {
+  EXPECT_EQ(chain_.BalanceOf(alice_), EthToWei(100));
+  EXPECT_EQ(chain_.BalanceOf(Address::Zero()), Wei());
+  chain_.Fund(alice_, EthToWei(1));
+  EXPECT_EQ(chain_.BalanceOf(alice_), EthToWei(101));
+}
+
+TEST_F(BlockchainTest, PlainTransferNeedsMining) {
+  Transaction tx;
+  tx.from = alice_;
+  tx.to = bob_;
+  tx.value = EthToWei(5);
+  auto id = chain_.Submit(tx);
+  ASSERT_TRUE(id.ok());
+  // Not mined yet.
+  EXPECT_FALSE(chain_.GetReceipt(id.value()).ok());
+  EXPECT_EQ(chain_.BalanceOf(bob_), EthToWei(1));
+
+  clock_.AdvanceSeconds(13);
+  chain_.PumpUntilNow();
+  auto receipt = chain_.GetReceipt(id.value());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->success);
+  EXPECT_EQ(receipt->gas_used, gas::kTxBase);
+  EXPECT_EQ(chain_.BalanceOf(bob_), EthToWei(6));
+  // Alice paid value + fee.
+  Wei fee = U256(gas::kTxBase) * chain_.config().gas_price;
+  EXPECT_EQ(chain_.BalanceOf(alice_), EthToWei(95) - fee);
+  EXPECT_EQ(chain_.TotalFeesPaid(alice_), fee);
+}
+
+TEST_F(BlockchainTest, SubmitRejectsUnderfundedSender) {
+  Transaction tx;
+  tx.from = bob_;
+  tx.to = alice_;
+  tx.value = EthToWei(100);  // Bob only has 1 ETH.
+  EXPECT_EQ(chain_.Submit(tx).status().code(), Code::kInsufficientFunds);
+}
+
+TEST_F(BlockchainTest, BlocksRespectInterval) {
+  EXPECT_EQ(chain_.HeadNumber(), 0u);
+  clock_.AdvanceSeconds(12);
+  chain_.PumpUntilNow();
+  EXPECT_EQ(chain_.HeadNumber(), 0u);  // Interval not reached.
+  clock_.AdvanceSeconds(1);
+  chain_.PumpUntilNow();
+  EXPECT_EQ(chain_.HeadNumber(), 1u);
+  clock_.AdvanceSeconds(13 * 5);
+  chain_.PumpUntilNow();
+  EXPECT_EQ(chain_.HeadNumber(), 6u);
+}
+
+TEST_F(BlockchainTest, ConfirmationDepth) {
+  Transaction tx;
+  tx.from = alice_;
+  tx.to = bob_;
+  tx.value = U256(1);
+  auto id = chain_.Submit(tx);
+  ASSERT_TRUE(id.ok());
+  clock_.AdvanceSeconds(13);
+  chain_.PumpUntilNow();
+  EXPECT_TRUE(chain_.GetReceipt(id.value()).ok());
+  EXPECT_FALSE(chain_.IsConfirmed(id.value()));  // 0 blocks on top.
+  clock_.AdvanceSeconds(13 * 3);
+  chain_.PumpUntilNow();
+  EXPECT_TRUE(chain_.IsConfirmed(id.value()));
+}
+
+TEST_F(BlockchainTest, WaitForReceiptAdvancesClock) {
+  Transaction tx;
+  tx.from = alice_;
+  tx.to = bob_;
+  tx.value = U256(1);
+  auto id = chain_.Submit(tx);
+  ASSERT_TRUE(id.ok());
+  Micros before = clock_.NowMicros();
+  auto receipt = chain_.WaitForReceipt(id.value());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->success);
+  EXPECT_TRUE(chain_.IsConfirmed(id.value()));
+  // ~4 block intervals of simulated time for mining + confirmations.
+  EXPECT_GE(clock_.NowMicros() - before, 4 * 13 * kMicrosPerSecond);
+}
+
+TEST_F(BlockchainTest, DeployAndCallContract) {
+  auto addr = chain_.Deploy(alice_, std::make_unique<CounterContract>());
+  ASSERT_TRUE(addr.ok());
+  EXPECT_TRUE(chain_.HasContract(addr.value()));
+  EXPECT_FALSE(chain_.HasContract(bob_));
+
+  // eth_call-style read.
+  auto raw = chain_.Call(addr.value(), "get", {});
+  ASSERT_TRUE(raw.ok());
+  ByteReader reader(raw.value());
+  EXPECT_EQ(reader.ReadU64().value(), 0u);
+
+  // State-changing call via transaction.
+  Transaction tx;
+  tx.from = alice_;
+  tx.to = addr.value();
+  tx.method = "increment";
+  PutU64(tx.calldata, 41);
+  auto id = chain_.Submit(tx);
+  ASSERT_TRUE(id.ok());
+  auto receipt = chain_.WaitForReceipt(id.value());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->success);
+  ASSERT_EQ(receipt->events.size(), 1u);
+  EXPECT_EQ(receipt->events[0].name, "Incremented");
+  EXPECT_GT(receipt->gas_used, gas::kTxBase);  // Calldata + sstore + log.
+
+  auto after = chain_.Call(addr.value(), "get", {});
+  ASSERT_TRUE(after.ok());
+  ByteReader reader2(after.value());
+  EXPECT_EQ(reader2.ReadU64().value(), 41u);
+}
+
+TEST_F(BlockchainTest, RevertedCallStillChargesGas) {
+  auto addr = chain_.Deploy(alice_, std::make_unique<CounterContract>());
+  ASSERT_TRUE(addr.ok());
+  Wei fees_before = chain_.TotalFeesPaid(alice_);
+
+  Transaction tx;
+  tx.from = alice_;
+  tx.to = addr.value();
+  tx.method = "increment";
+  PutU64(tx.calldata, 0);  // Reverts.
+  auto id = chain_.Submit(tx);
+  ASSERT_TRUE(id.ok());
+  auto receipt = chain_.WaitForReceipt(id.value());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_FALSE(receipt->success);
+  EXPECT_NE(receipt->revert_reason.find("increment by zero"),
+            std::string::npos);
+  EXPECT_TRUE(receipt->events.empty());
+  EXPECT_GT(chain_.TotalFeesPaid(alice_), fees_before);
+}
+
+TEST_F(BlockchainTest, RevertRefundsValue) {
+  auto addr = chain_.Deploy(alice_, std::make_unique<CounterContract>());
+  ASSERT_TRUE(addr.ok());
+  Transaction tx;
+  tx.from = alice_;
+  tx.to = addr.value();
+  tx.value = EthToWei(1);
+  tx.method = "increment";
+  PutU64(tx.calldata, 0);  // Reverts.
+  auto id = chain_.Submit(tx);
+  auto receipt = chain_.WaitForReceipt(id.value());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_FALSE(receipt->success);
+  EXPECT_EQ(chain_.BalanceOf(addr.value()), Wei());  // Value returned.
+}
+
+TEST_F(BlockchainTest, OutOfGasReverts) {
+  auto addr = chain_.Deploy(alice_, std::make_unique<CounterContract>());
+  ASSERT_TRUE(addr.ok());
+  Transaction tx;
+  tx.from = alice_;
+  tx.to = addr.value();
+  tx.method = "burn_gas";
+  tx.gas_limit = 1'000'000;
+  auto id = chain_.Submit(tx);
+  ASSERT_TRUE(id.ok());
+  auto receipt = chain_.WaitForReceipt(id.value());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_FALSE(receipt->success);
+  EXPECT_EQ(receipt->revert_reason, "out of gas");
+  EXPECT_EQ(receipt->gas_used, 1'000'000u);  // Clamped to the limit.
+}
+
+TEST_F(BlockchainTest, ContractCanTransferOut) {
+  auto addr =
+      chain_.Deploy(alice_, std::make_unique<CounterContract>(), EthToWei(1));
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(chain_.BalanceOf(addr.value()), EthToWei(1));
+  Wei bob_before = chain_.BalanceOf(bob_);
+  Transaction tx;
+  tx.from = bob_;
+  tx.to = addr.value();
+  tx.method = "payday";
+  auto id = chain_.Submit(tx);
+  ASSERT_TRUE(id.ok());
+  auto receipt = chain_.WaitForReceipt(id.value());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->success);
+  // Bob got 1 wei but paid gas.
+  EXPECT_EQ(chain_.BalanceOf(addr.value()), EthToWei(1) - U256(1));
+  EXPECT_EQ(chain_.BalanceOf(bob_) + receipt->fee, bob_before + U256(1));
+}
+
+TEST_F(BlockchainTest, DeployChargesCreationFee) {
+  Wei before = chain_.BalanceOf(alice_);
+  auto addr = chain_.Deploy(alice_, std::make_unique<CounterContract>());
+  ASSERT_TRUE(addr.ok());
+  EXPECT_LT(chain_.BalanceOf(alice_), before);
+  // Underfunded owner cannot deploy.
+  Address pauper = KeyPair::FromSeed(99).address();
+  EXPECT_FALSE(chain_.Deploy(pauper, std::make_unique<CounterContract>()).ok());
+}
+
+TEST_F(BlockchainTest, EventSubscription) {
+  auto addr = chain_.Deploy(alice_, std::make_unique<CounterContract>());
+  ASSERT_TRUE(addr.ok());
+  std::vector<std::string> seen;
+  chain_.SubscribeEvents(addr.value(), [&](const LogEvent& ev) {
+    seen.push_back(ev.name);
+  });
+  Transaction tx;
+  tx.from = alice_;
+  tx.to = addr.value();
+  tx.method = "increment";
+  PutU64(tx.calldata, 1);
+  ASSERT_TRUE(chain_.Submit(tx).ok());
+  EXPECT_TRUE(seen.empty());  // Not mined yet.
+  clock_.AdvanceSeconds(13);
+  chain_.PumpUntilNow();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "Incremented");
+}
+
+TEST_F(BlockchainTest, CalldataGasMatchesSchedule) {
+  Bytes data = {0, 0, 1, 2, 0};
+  EXPECT_EQ(gas::CalldataGas(data), 3 * 4u + 2 * 16u);
+  EXPECT_EQ(gas::StorageWords(0), 0u);
+  EXPECT_EQ(gas::StorageWords(1), 1u);
+  EXPECT_EQ(gas::StorageWords(32), 1u);
+  EXPECT_EQ(gas::StorageWords(33), 2u);
+}
+
+TEST_F(BlockchainTest, GasMeterLimits) {
+  GasMeter meter(1000);
+  meter.Charge(999);
+  EXPECT_FALSE(meter.ExceededLimit());
+  meter.Charge(2);
+  EXPECT_TRUE(meter.ExceededLimit());
+  EXPECT_EQ(meter.used(), 1001u);
+}
+
+TEST_F(BlockchainTest, CallToMissingContractFails) {
+  EXPECT_FALSE(chain_.Call(bob_, "get", {}).ok());
+  Transaction tx;
+  tx.from = alice_;
+  tx.to = bob_;
+  tx.method = "get";
+  EXPECT_EQ(chain_.Submit(tx).status().code(), Code::kNotFound);
+}
+
+TEST_F(BlockchainTest, BlockGasLimitSplitsTransactions) {
+  ChainConfig small;
+  small.block_gas_limit = 50'000;
+  small.default_tx_gas_limit = 30'000;
+  SimClock clock(0);
+  Blockchain chain(small, &clock);
+  chain.Fund(alice_, EthToWei(10));
+  // Two transfers fit only one per block (30k + 30k > 50k).
+  Transaction tx;
+  tx.from = alice_;
+  tx.to = bob_;
+  tx.value = U256(1);
+  auto id1 = chain.Submit(tx);
+  auto id2 = chain.Submit(tx);
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  clock.AdvanceSeconds(13);
+  chain.PumpUntilNow();
+  EXPECT_TRUE(chain.GetReceipt(id1.value()).ok());
+  EXPECT_FALSE(chain.GetReceipt(id2.value()).ok());  // Next block.
+  clock.AdvanceSeconds(13);
+  chain.PumpUntilNow();
+  EXPECT_TRUE(chain.GetReceipt(id2.value()).ok());
+}
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace wedge {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing entry");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kNotFound);
+  EXPECT_EQ(s.message(), "missing entry");
+  EXPECT_EQ(s.ToString(), "NotFound: missing entry");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(Code::kTimeout); ++c) {
+    EXPECT_FALSE(CodeName(static_cast<Code>(c)).empty());
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Corruption("x"));
+}
+
+Status FailingOp() { return Status::Corruption("bad byte"); }
+
+Status UsesReturnMacro() {
+  WEDGE_RETURN_IF_ERROR(FailingOp());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnMacro().code(), Code::kCorruption);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubleIt(int x) {
+  WEDGE_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = DoubleIt(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  auto err = DoubleIt(-1);
+  EXPECT_EQ(err.status().code(), Code::kInvalidArgument);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(b), "0001abff");
+  EXPECT_EQ(Hex0x(b), "0x0001abff");
+  auto decoded = HexDecode("0x0001abff");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), b);
+  auto upper = HexDecode("0001ABFF");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(upper.value(), b);
+}
+
+TEST(BytesTest, HexDecodeRejectsBadInput) {
+  EXPECT_FALSE(HexDecode("abc").ok());   // Odd length.
+  EXPECT_FALSE(HexDecode("zz").ok());    // Non-hex character.
+}
+
+TEST(BytesTest, StringConversion) {
+  Bytes b = ToBytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(ToString(b), "hello");
+}
+
+TEST(BytesTest, ConcatJoinsBuffers) {
+  Bytes a = {1, 2};
+  Bytes b = {3};
+  Bytes c = Concat({&a, &b});
+  EXPECT_EQ(c, (Bytes{1, 2, 3}));
+}
+
+TEST(BytesTest, SerializationRoundTrip) {
+  Bytes buf;
+  PutU32(buf, 0xdeadbeef);
+  PutU64(buf, 0x0123456789abcdefULL);
+  PutBytes(buf, Bytes{9, 8, 7});
+  PutString(buf, "wedge");
+
+  ByteReader reader(buf);
+  auto u32 = reader.ReadU32();
+  ASSERT_TRUE(u32.ok());
+  EXPECT_EQ(u32.value(), 0xdeadbeefu);
+  auto u64 = reader.ReadU64();
+  ASSERT_TRUE(u64.ok());
+  EXPECT_EQ(u64.value(), 0x0123456789abcdefULL);
+  auto bytes = reader.ReadBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value(), (Bytes{9, 8, 7}));
+  auto str = reader.ReadString();
+  ASSERT_TRUE(str.ok());
+  EXPECT_EQ(str.value(), "wedge");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, ReaderFailsOnTruncation) {
+  Bytes buf;
+  PutU32(buf, 100);  // Length prefix promising 100 bytes, none present.
+  ByteReader reader(buf);
+  EXPECT_FALSE(reader.ReadBytes().ok());
+}
+
+TEST(ClockTest, SimClockAdvancesExplicitly) {
+  SimClock clock(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.Advance(500);
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  clock.AdvanceSeconds(2);
+  EXPECT_EQ(clock.NowMicros(), 1500 + 2 * kMicrosPerSecond);
+  EXPECT_EQ(clock.NowSeconds(), 2);
+}
+
+TEST(ClockTest, StopwatchMeasuresSimTime) {
+  SimClock clock;
+  Stopwatch sw(&clock);
+  clock.Advance(250);
+  EXPECT_EQ(sw.ElapsedMicros(), 250);
+  sw.Reset();
+  EXPECT_EQ(sw.ElapsedMicros(), 0);
+}
+
+TEST(ClockTest, RealClockMonotone) {
+  RealClock* rc = RealClock::Global();
+  Micros a = rc->NowMicros();
+  Micros b = rc->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    uint64_t r = rng.Range(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(42);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, BytesAndStrings) {
+  Rng rng(42);
+  Bytes b = rng.NextBytes(37);
+  EXPECT_EQ(b.size(), 37u);
+  std::string s = rng.NextString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) EXPECT_TRUE(isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(257, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmpty) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,148 @@
+#include "storage/decentralized_archive.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "merkle/merkle_tree.h"
+
+namespace wedge {
+namespace {
+
+LogPosition MakePosition(uint64_t id, size_t entries = 4) {
+  Rng rng(id + 99);
+  LogPosition pos;
+  pos.log_id = id;
+  for (size_t i = 0; i < entries; ++i) {
+    pos.data_list.push_back(rng.NextBytes(64));
+  }
+  pos.mroot = MerkleTree::Build(pos.data_list)->Root();
+  return pos;
+}
+
+TEST(DecentralizedArchiveTest, ArchiveAndFetch) {
+  DecentralizedArchive archive(10, 3, 42);
+  LogPosition pos = MakePosition(0);
+  ASSERT_TRUE(archive.Archive(pos).ok());
+  EXPECT_EQ(archive.LiveCopies(0), 3);
+  auto fetched = archive.Fetch(0, pos.mroot);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->data_list, pos.data_list);
+  EXPECT_EQ(fetched->mroot, pos.mroot);
+}
+
+TEST(DecentralizedArchiveTest, FetchUnknownPositionFails) {
+  DecentralizedArchive archive(10, 3, 42);
+  EXPECT_EQ(archive.Fetch(7, Hash256{}).status().code(), Code::kUnavailable);
+}
+
+TEST(DecentralizedArchiveTest, RejectsBadReplicationFactor) {
+  DecentralizedArchive archive(3, 5, 1);
+  EXPECT_FALSE(archive.Archive(MakePosition(0)).ok());
+}
+
+TEST(DecentralizedArchiveTest, SurvivesPeerDeaths) {
+  DecentralizedArchive archive(10, 3, 42);
+  LogPosition pos = MakePosition(1);
+  ASSERT_TRUE(archive.Archive(pos).ok());
+
+  // Kill peers one at a time until only one copy is alive: fetch still
+  // works. This is the §4.7 extreme-omission recovery path.
+  int killed = 0;
+  for (int peer = 0; peer < archive.num_peers() && archive.LiveCopies(1) > 1;
+       ++peer) {
+    archive.KillPeer(peer);
+    ++killed;
+  }
+  EXPECT_EQ(archive.LiveCopies(1), 1);
+  EXPECT_GT(killed, 0);
+  auto fetched = archive.Fetch(1, pos.mroot);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->data_list, pos.data_list);
+}
+
+TEST(DecentralizedArchiveTest, UnavailableWhenAllCopiesDead) {
+  DecentralizedArchive archive(6, 2, 7);
+  LogPosition pos = MakePosition(2);
+  ASSERT_TRUE(archive.Archive(pos).ok());
+  for (int peer = 0; peer < archive.num_peers(); ++peer) {
+    archive.KillPeer(peer);
+  }
+  EXPECT_FALSE(archive.Fetch(2, pos.mroot).ok());
+  // Revival restores availability.
+  for (int peer = 0; peer < archive.num_peers(); ++peer) {
+    archive.RevivePeer(peer);
+  }
+  EXPECT_TRUE(archive.Fetch(2, pos.mroot).ok());
+}
+
+TEST(DecentralizedArchiveTest, CorruptCopiesDetectedAndSkipped) {
+  DecentralizedArchive archive(8, 3, 11);
+  LogPosition pos = MakePosition(3);
+  ASSERT_TRUE(archive.Archive(pos).ok());
+
+  // Corrupt two of the three copies (whichever peers hold them).
+  int corrupted = 0;
+  for (int peer = 0; peer < archive.num_peers() && corrupted < 2; ++peer) {
+    if (archive.CorruptCopy(peer, 3).ok()) ++corrupted;
+  }
+  ASSERT_EQ(corrupted, 2);
+  EXPECT_EQ(archive.LiveCopies(3), 1);
+
+  // The fetch verifies roots and returns the intact copy.
+  auto fetched = archive.Fetch(3, pos.mroot);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->data_list, pos.data_list);
+
+  // With every copy corrupted, fetch refuses to return garbage.
+  for (int peer = 0; peer < archive.num_peers(); ++peer) {
+    (void)archive.CorruptCopy(peer, 3);
+  }
+  EXPECT_FALSE(archive.Fetch(3, pos.mroot).ok());
+}
+
+TEST(DecentralizedArchiveTest, PlacementIsDeterministicAndSpread) {
+  DecentralizedArchive a(10, 3, 42);
+  DecentralizedArchive b(10, 3, 42);
+  // Same seed => same placement: archive in a, kill non-holding peers in
+  // b, and the holding sets must line up.
+  for (uint64_t id = 0; id < 20; ++id) {
+    LogPosition pos = MakePosition(id);
+    ASSERT_TRUE(a.Archive(pos).ok());
+    ASSERT_TRUE(b.Archive(pos).ok());
+    EXPECT_EQ(a.LiveCopies(id), 3);
+    EXPECT_EQ(b.LiveCopies(id), 3);
+  }
+  // Spread: with 20 positions * 3 copies over 10 peers, killing any one
+  // peer must not lose more than a fraction of the copies.
+  a.KillPeer(0);
+  int total_live = 0;
+  for (uint64_t id = 0; id < 20; ++id) total_live += a.LiveCopies(id);
+  EXPECT_GE(total_live, 20 * 2);  // At most one copy lost per position.
+}
+
+// Property: for any replication factor k, fetch succeeds iff fewer than
+// k of the holding peers are dead.
+class ArchiveReplicationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArchiveReplicationTest, ToleratesKMinusOneDeaths) {
+  int k = GetParam();
+  DecentralizedArchive archive(12, k, 1000 + k);
+  LogPosition pos = MakePosition(0);
+  ASSERT_TRUE(archive.Archive(pos).ok());
+  // Kill k-1 holders.
+  int killed = 0;
+  for (int peer = 0; peer < archive.num_peers() && killed < k - 1; ++peer) {
+    int before = archive.LiveCopies(0);
+    archive.KillPeer(peer);
+    if (archive.LiveCopies(0) < before) ++killed;
+    else archive.RevivePeer(peer);
+  }
+  EXPECT_EQ(archive.LiveCopies(0), 1);
+  EXPECT_TRUE(archive.Fetch(0, pos.mroot).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ArchiveReplicationTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,262 @@
+// Cross-module integration tests: concurrent clients against one node,
+// file-backed deployment with restart recovery, end-to-end flows that
+// touch every library at once.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "common/random.h"
+#include "core/wedgeblock.h"
+
+namespace wedge {
+namespace {
+
+TEST(IntegrationTest, ConcurrentPublishersGetDisjointIndices) {
+  DeploymentConfig config;
+  config.node.batch_size = 10;
+  config.node.worker_threads = 2;
+  auto d = Deployment::Create(config);
+  ASSERT_TRUE(d.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 30;
+  std::vector<std::vector<Stage1Response>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      KeyPair key = KeyPair::FromSeed(7000 + t);
+      std::vector<AppendRequest> reqs;
+      for (int i = 0; i < kPerThread; ++i) {
+        reqs.push_back(AppendRequest::Make(
+            key, i, ToBytes("t" + std::to_string(t)),
+            ToBytes("v" + std::to_string(i))));
+      }
+      auto responses = (*d)->node().Append(reqs);
+      ASSERT_TRUE(responses.ok());
+      results[t] = std::move(responses).value();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every response verifies, and (log_id, offset) pairs are globally
+  // unique across threads.
+  std::set<std::pair<uint64_t, uint32_t>> seen;
+  for (const auto& batch : results) {
+    EXPECT_EQ(batch.size(), kPerThread);
+    for (const auto& r : batch) {
+      EXPECT_TRUE(r.Verify((*d)->node().address()));
+      EXPECT_TRUE(seen.insert({r.index.log_id, r.index.offset}).second)
+          << "duplicate index assigned";
+    }
+  }
+  EXPECT_EQ(seen.size(), kThreads * kPerThread);
+  EXPECT_EQ((*d)->node().stats().entries_ingested,
+            static_cast<uint64_t>(kThreads * kPerThread));
+
+  // After stage 2, every single entry is blockchain-committed.
+  (*d)->AdvanceBlocks(4);
+  for (const auto& batch : results) {
+    for (const auto& r : batch) {
+      auto check = (*d)->publisher().CheckBlockchainCommit(r);
+      ASSERT_TRUE(check.ok());
+      EXPECT_EQ(check.value(), CommitCheck::kBlockchainCommitted);
+    }
+  }
+}
+
+TEST(IntegrationTest, ConcurrentReadsWhileAppending) {
+  DeploymentConfig config;
+  config.node.batch_size = 5;
+  config.node.worker_threads = 2;
+  auto d = Deployment::Create(config);
+  ASSERT_TRUE(d.ok());
+  auto& pub = (*d)->publisher();
+  std::vector<std::pair<Bytes, Bytes>> kvs;
+  for (int i = 0; i < 25; ++i) {
+    kvs.emplace_back(ToBytes("k" + std::to_string(i)), ToBytes("v"));
+  }
+  ASSERT_TRUE(pub.Publish(pub.MakeRequests(kvs)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> reads_ok{0};
+  std::thread reader([&] {
+    Rng rng(1);
+    while (!stop.load()) {
+      EntryIndex idx{rng.Uniform(5), static_cast<uint32_t>(rng.Uniform(5))};
+      auto r = (*d)->node().ReadOne(idx);
+      if (r.ok() && r->Verify((*d)->node().address())) {
+        reads_ok.fetch_add(1);
+      }
+    }
+  });
+  // Appends continue while the reader hammers the node.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::pair<Bytes, Bytes>> more;
+    for (int i = 0; i < 10; ++i) {
+      more.emplace_back(ToBytes("r" + std::to_string(round)), ToBytes("x"));
+    }
+    ASSERT_TRUE(pub.Publish(pub.MakeRequests(more)).ok());
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_GT(reads_ok.load(), 0);
+}
+
+TEST(IntegrationTest, FileBackedDeploymentSurvivesRestart) {
+  std::string path = std::filesystem::temp_directory_path() /
+                     ("wedge_integration_" + std::to_string(::getpid()));
+  std::filesystem::remove(path);
+
+  Hash256 committed_root;
+  {
+    DeploymentConfig config;
+    config.node.batch_size = 4;
+    config.log_path = path;
+    auto d = Deployment::Create(config);
+    ASSERT_TRUE(d.ok());
+    auto& pub = (*d)->publisher();
+    auto responses = pub.Publish(pub.MakeRequests({
+        {ToBytes("persist/1"), ToBytes("one")},
+        {ToBytes("persist/2"), ToBytes("two")},
+        {ToBytes("persist/3"), ToBytes("three")},
+        {ToBytes("persist/4"), ToBytes("four")},
+    }));
+    ASSERT_TRUE(responses.ok());
+    committed_root = responses->front().proof.mroot;
+  }
+
+  // "Restart": a fresh node over the same log file recovers the data and
+  // serves reads whose root matches what clients already hold.
+  {
+    DeploymentConfig config;
+    config.node.batch_size = 4;
+    config.log_path = path;
+    auto d = Deployment::Create(config);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ((*d)->node().LogPositions(), 1u);
+    auto read = (*d)->node().ReadOne(EntryIndex{0, 1});
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read->proof.mroot, committed_root);
+    auto req = AppendRequest::Deserialize(read->entry);
+    ASSERT_TRUE(req.ok());
+    EXPECT_EQ(ToString(req->value), "two");
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(IntegrationTest, ReplicatedDeploymentServesAfterIngest) {
+  DeploymentConfig config;
+  config.node.batch_size = 6;
+  config.replication_followers = 2;
+  auto d = Deployment::Create(config);
+  ASSERT_TRUE(d.ok());
+  auto& pub = (*d)->publisher();
+  std::vector<std::pair<Bytes, Bytes>> kvs;
+  for (int i = 0; i < 12; ++i) {
+    kvs.emplace_back(ToBytes("rep" + std::to_string(i)), ToBytes("v"));
+  }
+  auto responses = pub.Publish(pub.MakeRequests(kvs));
+  ASSERT_TRUE(responses.ok());
+  EXPECT_EQ((*d)->node().LogPositions(), 2u);
+  auto read = (*d)->node().ReadOne(EntryIndex{1, 3});
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->Verify((*d)->node().address()));
+}
+
+TEST(IntegrationTest, TieredDeploymentServesColdReads) {
+  DeploymentConfig config;
+  config.node.batch_size = 4;
+  config.node.tree_cache_capacity = 1;  // Force tree rebuilds from store.
+  config.tiered_hot_positions = 2;
+  auto d = Deployment::Create(config);
+  ASSERT_TRUE(d.ok());
+  ASSERT_NE((*d)->archive(), nullptr);
+  auto& pub = (*d)->publisher();
+  std::vector<std::pair<Bytes, Bytes>> kvs;
+  for (int i = 0; i < 24; ++i) {
+    kvs.emplace_back(ToBytes("t" + std::to_string(i)), ToBytes("v"));
+  }
+  auto responses = pub.Publish(pub.MakeRequests(kvs));
+  ASSERT_TRUE(responses.ok());
+  EXPECT_EQ((*d)->node().LogPositions(), 6u);
+  (*d)->AdvanceBlocks(4);
+
+  // Position 0 left the hot tier long ago; the read transparently pulls
+  // it back from the archive, and the result still verifies end-to-end.
+  UserClient user = (*d)->MakeUser(5);
+  auto read = user.ReadVerified(EntryIndex{0, 3}, true);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+}
+
+TEST(IntegrationTest, MultiplePublishersShareOneBatch) {
+  // Entries from different publishers interleave within one log
+  // position; each publisher's stage-1 response only vouches for its own
+  // leaf (§4.3: clients need not verify other operations in the batch).
+  DeploymentConfig config;
+  config.node.batch_size = 6;
+  auto d = Deployment::Create(config);
+  ASSERT_TRUE(d.ok());
+
+  KeyPair p1 = KeyPair::FromSeed(801);
+  KeyPair p2 = KeyPair::FromSeed(802);
+  std::vector<AppendRequest> mixed;
+  for (int i = 0; i < 3; ++i) {
+    mixed.push_back(
+        AppendRequest::Make(p1, i, ToBytes("p1"), ToBytes("a")));
+    mixed.push_back(
+        AppendRequest::Make(p2, i, ToBytes("p2"), ToBytes("b")));
+  }
+  auto responses = (*d)->node().Append(mixed);
+  ASSERT_TRUE(responses.ok());
+  ASSERT_EQ(responses->size(), 6u);
+  // All share one position/root, each entry attributable to its signer.
+  for (size_t i = 0; i < responses->size(); ++i) {
+    EXPECT_EQ((*responses)[i].proof.log_id, 0u);
+    auto req = AppendRequest::Deserialize((*responses)[i].entry);
+    ASSERT_TRUE(req.ok());
+    EXPECT_EQ(req->publisher, (i % 2 == 0) ? p1.address() : p2.address());
+    EXPECT_TRUE(req->VerifySignature());
+  }
+}
+
+TEST(IntegrationTest, GarbageEntriesDoNotAffectHonestClients) {
+  // §4.3: an Offchain Node may stuff unsigned garbage into a batch; it
+  // wastes its own resources but honest clients' entries still verify.
+  DeploymentConfig config;
+  config.node.batch_size = 4;
+  config.node.verify_client_signatures = false;  // Node accepts garbage.
+  auto d = Deployment::Create(config);
+  ASSERT_TRUE(d.ok());
+
+  KeyPair honest = KeyPair::FromSeed(900);
+  std::vector<AppendRequest> batch;
+  batch.push_back(
+      AppendRequest::Make(honest, 0, ToBytes("real"), ToBytes("entry")));
+  for (int i = 0; i < 3; ++i) {
+    AppendRequest garbage;  // Unsigned junk injected by the node.
+    garbage.publisher = Address::Zero();
+    garbage.sequence = i;
+    garbage.key = ToBytes("junk");
+    garbage.value = ToBytes("junk");
+    batch.push_back(garbage);
+  }
+  auto responses = (*d)->node().Append(batch);
+  ASSERT_TRUE(responses.ok());
+  (*d)->AdvanceBlocks(4);
+
+  // The honest client's entry stage-1-verifies and blockchain-commits.
+  const Stage1Response& mine = responses->front();
+  EXPECT_TRUE(mine.Verify((*d)->node().address()));
+  auto check = (*d)->publisher().CheckBlockchainCommit(mine);
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check.value(), CommitCheck::kBlockchainCommitted);
+  // The garbage entries are identifiable as unsigned.
+  auto junk = AppendRequest::Deserialize((*responses)[1].entry);
+  ASSERT_TRUE(junk.ok());
+  EXPECT_FALSE(junk->VerifySignature());
+}
+
+}  // namespace
+}  // namespace wedge

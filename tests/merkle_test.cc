@@ -1,0 +1,167 @@
+#include "merkle/merkle_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace wedge {
+namespace {
+
+std::vector<Bytes> MakeLeaves(size_t n, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<Bytes> leaves;
+  leaves.reserve(n);
+  for (size_t i = 0; i < n; ++i) leaves.push_back(rng.NextBytes(64));
+  return leaves;
+}
+
+TEST(MerkleTreeTest, RejectsEmptyInput) {
+  EXPECT_FALSE(MerkleTree::Build({}).ok());
+}
+
+TEST(MerkleTreeTest, SingleLeaf) {
+  std::vector<Bytes> leaves = {ToBytes("only")};
+  auto tree = MerkleTree::Build(leaves);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->LeafCount(), 1u);
+  EXPECT_EQ(tree->Root(), MerkleTree::HashLeaf(leaves[0]));
+  auto proof = tree->Prove(0);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(proof->path.empty());
+  EXPECT_TRUE(VerifyMerkleProof(leaves[0], proof.value(), tree->Root()));
+}
+
+TEST(MerkleTreeTest, TwoLeavesRootStructure) {
+  std::vector<Bytes> leaves = {ToBytes("a"), ToBytes("b")};
+  auto tree = MerkleTree::Build(leaves);
+  ASSERT_TRUE(tree.ok());
+  Hash256 expected = MerkleTree::HashInterior(MerkleTree::HashLeaf(leaves[0]),
+                                              MerkleTree::HashLeaf(leaves[1]));
+  EXPECT_EQ(tree->Root(), expected);
+}
+
+TEST(MerkleTreeTest, ProveOutOfRangeFails) {
+  auto tree = MerkleTree::Build(MakeLeaves(4));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(tree->Prove(4).ok());
+  EXPECT_TRUE(tree->Prove(3).ok());
+}
+
+TEST(MerkleTreeTest, LeafOrderMatters) {
+  std::vector<Bytes> leaves = MakeLeaves(8);
+  auto tree1 = MerkleTree::Build(leaves);
+  std::swap(leaves[2], leaves[5]);
+  auto tree2 = MerkleTree::Build(leaves);
+  ASSERT_TRUE(tree1.ok());
+  ASSERT_TRUE(tree2.ok());
+  EXPECT_NE(tree1->Root(), tree2->Root());  // Reordering changes the root.
+}
+
+TEST(MerkleTreeTest, AnyLeafMutationChangesRoot) {
+  std::vector<Bytes> leaves = MakeLeaves(16);
+  auto tree = MerkleTree::Build(leaves);
+  ASSERT_TRUE(tree.ok());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    std::vector<Bytes> mutated = leaves;
+    mutated[i][0] ^= 0x01;
+    auto tree2 = MerkleTree::Build(mutated);
+    ASSERT_TRUE(tree2.ok());
+    EXPECT_NE(tree->Root(), tree2->Root()) << "leaf " << i;
+  }
+}
+
+TEST(MerkleTreeTest, DomainSeparationLeafVsInterior) {
+  // A leaf whose content equals the concatenation of two hashes must not
+  // collide with the interior node over those hashes.
+  Hash256 a = Sha256::Digest("a");
+  Hash256 b = Sha256::Digest("b");
+  Bytes fake_interior;
+  Append(fake_interior, HashToBytes(a));
+  Append(fake_interior, HashToBytes(b));
+  EXPECT_NE(MerkleTree::HashLeaf(fake_interior),
+            MerkleTree::HashInterior(a, b));
+}
+
+TEST(MerkleProofTest, SerializationRoundTrip) {
+  auto tree = MerkleTree::Build(MakeLeaves(37));
+  ASSERT_TRUE(tree.ok());
+  auto proof = tree->Prove(19);
+  ASSERT_TRUE(proof.ok());
+  Bytes wire = proof->Serialize();
+  auto back = MerkleProof::Deserialize(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), proof.value());
+}
+
+TEST(MerkleProofTest, DeserializeRejectsCorruptInput) {
+  EXPECT_FALSE(MerkleProof::Deserialize(Bytes{1, 2, 3}).ok());
+  auto tree = MerkleTree::Build(MakeLeaves(8));
+  auto proof = tree->Prove(3);
+  Bytes wire = proof->Serialize();
+  wire.push_back(0);  // Trailing byte.
+  EXPECT_FALSE(MerkleProof::Deserialize(wire).ok());
+}
+
+TEST(MerkleProofTest, TamperedProofFailsVerification) {
+  std::vector<Bytes> leaves = MakeLeaves(32);
+  auto tree = MerkleTree::Build(leaves);
+  ASSERT_TRUE(tree.ok());
+  auto proof = tree->Prove(7);
+  ASSERT_TRUE(proof.ok());
+  ASSERT_TRUE(VerifyMerkleProof(leaves[7], proof.value(), tree->Root()));
+
+  MerkleProof bad = proof.value();
+  bad.path[1].sibling[5] ^= 0xFF;
+  EXPECT_FALSE(VerifyMerkleProof(leaves[7], bad, tree->Root()));
+
+  bad = proof.value();
+  bad.path[0].sibling_is_left = !bad.path[0].sibling_is_left;
+  EXPECT_FALSE(VerifyMerkleProof(leaves[7], bad, tree->Root()));
+
+  // Proof for the wrong leaf data.
+  EXPECT_FALSE(VerifyMerkleProof(leaves[8], proof.value(), tree->Root()));
+}
+
+// Property sweep over many sizes, including non-powers-of-two (the
+// duplicate-last-leaf padding paths) and the paper's batch sizes.
+class MerkleProofPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MerkleProofPropertyTest, AllProofsVerify) {
+  size_t n = static_cast<size_t>(GetParam());
+  std::vector<Bytes> leaves = MakeLeaves(n, 1000 + n);
+  auto tree = MerkleTree::Build(leaves);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->LeafCount(), n);
+  // Check every leaf for small trees; sample for large ones.
+  size_t stride = n > 64 ? n / 37 : 1;
+  for (size_t i = 0; i < n; i += stride) {
+    auto proof = tree->Prove(i);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_EQ(proof->leaf_index, i);
+    EXPECT_TRUE(VerifyMerkleProof(leaves[i], proof.value(), tree->Root()))
+        << "leaf " << i << " of " << n;
+    // Proofs bind to position: a different index's proof must not verify
+    // this leaf (unless the leaves are identical, which they are not).
+    if (i + 1 < n) {
+      auto other = tree->Prove(i + 1);
+      ASSERT_TRUE(other.ok());
+      EXPECT_FALSE(
+          VerifyMerkleProof(leaves[i], other.value(), tree->Root()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                           31, 33, 100, 500, 1000, 2000));
+
+TEST(MerkleTreeTest, ProofDepthIsLogarithmic) {
+  auto tree = MerkleTree::Build(MakeLeaves(2000));
+  ASSERT_TRUE(tree.ok());
+  auto proof = tree->Prove(123);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(proof->path.size(), 11u);  // ceil(log2(2000)) = 11.
+}
+
+}  // namespace
+}  // namespace wedge

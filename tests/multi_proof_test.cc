@@ -1,0 +1,177 @@
+#include "merkle/multi_proof.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace wedge {
+namespace {
+
+std::vector<Bytes> MakeLeaves(size_t n, uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<Bytes> leaves;
+  for (size_t i = 0; i < n; ++i) leaves.push_back(rng.NextBytes(48));
+  return leaves;
+}
+
+std::vector<std::pair<uint64_t, Bytes>> Select(
+    const std::vector<Bytes>& leaves, const std::vector<uint64_t>& indices) {
+  std::vector<std::pair<uint64_t, Bytes>> out;
+  for (uint64_t i : indices) out.emplace_back(i, leaves[i]);
+  return out;
+}
+
+TEST(MultiProofTest, SingleLeafMatchesSingleProof) {
+  auto leaves = MakeLeaves(16);
+  auto tree = MerkleTree::Build(leaves).value();
+  auto multi = BuildMultiProof(tree, {5});
+  ASSERT_TRUE(multi.ok());
+  // Same number of hashes as the classic path proof.
+  EXPECT_EQ(multi->siblings.size(), tree.Prove(5)->path.size());
+  EXPECT_TRUE(VerifyMultiProof(Select(leaves, {5}), multi.value(),
+                               tree.Root()));
+}
+
+TEST(MultiProofTest, AdjacentLeavesShareSiblings) {
+  auto leaves = MakeLeaves(16);
+  auto tree = MerkleTree::Build(leaves).value();
+  // Leaves 4 and 5 are siblings: the pair needs only the path above.
+  auto multi = BuildMultiProof(tree, {4, 5});
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->siblings.size(), 3u);  // depth 4 - shared level.
+  EXPECT_TRUE(VerifyMultiProof(Select(leaves, {4, 5}), multi.value(),
+                               tree.Root()));
+}
+
+TEST(MultiProofTest, WholeTreeNeedsNoSiblings) {
+  auto leaves = MakeLeaves(8);
+  auto tree = MerkleTree::Build(leaves).value();
+  auto multi = BuildMultiProof(tree, {0, 1, 2, 3, 4, 5, 6, 7});
+  ASSERT_TRUE(multi.ok());
+  EXPECT_TRUE(multi->siblings.empty());
+  EXPECT_TRUE(VerifyMultiProof(
+      Select(leaves, {0, 1, 2, 3, 4, 5, 6, 7}), multi.value(), tree.Root()));
+}
+
+TEST(MultiProofTest, RejectsBadInputs) {
+  auto leaves = MakeLeaves(8);
+  auto tree = MerkleTree::Build(leaves).value();
+  EXPECT_FALSE(BuildMultiProof(tree, {}).ok());
+  EXPECT_FALSE(BuildMultiProof(tree, {3, 3}).ok());
+  EXPECT_FALSE(BuildMultiProof(tree, {8}).ok());
+}
+
+TEST(MultiProofTest, DetectsTampering) {
+  auto leaves = MakeLeaves(32);
+  auto tree = MerkleTree::Build(leaves).value();
+  auto multi = BuildMultiProof(tree, {3, 10, 17}).value();
+  auto selection = Select(leaves, {3, 10, 17});
+  ASSERT_TRUE(VerifyMultiProof(selection, multi, tree.Root()));
+
+  // Tampered leaf data.
+  auto bad_sel = selection;
+  bad_sel[1].second[0] ^= 1;
+  EXPECT_FALSE(VerifyMultiProof(bad_sel, multi, tree.Root()));
+
+  // Swapped index.
+  bad_sel = selection;
+  bad_sel[0].first = 4;
+  EXPECT_FALSE(VerifyMultiProof(bad_sel, multi, tree.Root()));
+
+  // Tampered sibling hash.
+  auto bad_proof = multi;
+  bad_proof.siblings[0][0] ^= 1;
+  EXPECT_FALSE(VerifyMultiProof(selection, bad_proof, tree.Root()));
+
+  // Truncated / padded proof.
+  bad_proof = multi;
+  bad_proof.siblings.pop_back();
+  EXPECT_FALSE(VerifyMultiProof(selection, bad_proof, tree.Root()));
+  bad_proof = multi;
+  bad_proof.siblings.push_back(Hash256{});
+  EXPECT_FALSE(VerifyMultiProof(selection, bad_proof, tree.Root()));
+
+  // Wrong root.
+  Hash256 wrong = tree.Root();
+  wrong[0] ^= 1;
+  EXPECT_FALSE(VerifyMultiProof(selection, multi, wrong));
+
+  // Duplicate index in the verification set.
+  bad_sel = selection;
+  bad_sel.push_back(selection[0]);
+  EXPECT_FALSE(VerifyMultiProof(bad_sel, multi, tree.Root()));
+
+  // Empty set.
+  EXPECT_FALSE(VerifyMultiProof({}, multi, tree.Root()));
+}
+
+TEST(MultiProofTest, OrderInsensitiveVerification) {
+  auto leaves = MakeLeaves(16);
+  auto tree = MerkleTree::Build(leaves).value();
+  auto multi = BuildMultiProof(tree, {2, 9, 14}).value();
+  auto shuffled = Select(leaves, {14, 2, 9});
+  EXPECT_TRUE(VerifyMultiProof(shuffled, multi, tree.Root()));
+}
+
+TEST(MultiProofTest, SerializationRoundTrip) {
+  auto leaves = MakeLeaves(20);
+  auto tree = MerkleTree::Build(leaves).value();
+  auto multi = BuildMultiProof(tree, {0, 7, 19}).value();
+  auto back = MerkleMultiProof::Deserialize(multi.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), multi);
+  EXPECT_FALSE(MerkleMultiProof::Deserialize(Bytes{1}).ok());
+}
+
+TEST(MultiProofTest, CheaperThanIndividualProofs) {
+  auto leaves = MakeLeaves(2000);
+  auto tree = MerkleTree::Build(leaves).value();
+  std::vector<uint64_t> indices;
+  for (uint64_t i = 0; i < 200; ++i) indices.push_back(i * 10);
+  auto multi = BuildMultiProof(tree, indices).value();
+  size_t individual = 0;
+  for (uint64_t i : indices) individual += tree.Prove(i)->path.size();
+  EXPECT_LT(multi.siblings.size(), individual / 2);
+  EXPECT_TRUE(VerifyMultiProof(Select(leaves, indices), multi, tree.Root()));
+}
+
+// Property sweep: random index subsets over many tree shapes (including
+// odd sizes exercising the duplicate-last padding) all verify, and a
+// proof built for one subset never verifies a different subset.
+class MultiProofPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MultiProofPropertyTest, RandomSubsetsVerify) {
+  auto [tree_size, subset_size] = GetParam();
+  if (subset_size > tree_size) GTEST_SKIP();
+  auto leaves = MakeLeaves(tree_size, 77 + tree_size);
+  auto tree = MerkleTree::Build(leaves).value();
+  Rng rng(tree_size * 131 + subset_size);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<uint64_t> indices;
+    std::set<uint64_t> used;
+    while (static_cast<int>(indices.size()) < subset_size) {
+      uint64_t idx = rng.Uniform(tree_size);
+      if (used.insert(idx).second) indices.push_back(idx);
+    }
+    auto multi = BuildMultiProof(tree, indices);
+    ASSERT_TRUE(multi.ok());
+    EXPECT_TRUE(
+        VerifyMultiProof(Select(leaves, indices), multi.value(), tree.Root()));
+    // Shifting one index breaks it (unless the shifted set is identical).
+    auto shifted = indices;
+    shifted[0] = (shifted[0] + 1) % tree_size;
+    if (used.count(shifted[0]) == 0) {
+      EXPECT_FALSE(VerifyMultiProof(Select(leaves, shifted), multi.value(),
+                                    tree.Root()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MultiProofPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 8, 9, 31, 100, 333),
+                       ::testing::Values(1, 2, 5, 8)));
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,144 @@
+#include "core/remote.h"
+
+#include <gtest/gtest.h>
+
+#include "core/wedgeblock.h"
+
+namespace wedge {
+namespace {
+
+class RemoteTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Build(NetworkConfig{}); }
+
+  void Build(const NetworkConfig& net) {
+    DeploymentConfig config;
+    config.node.batch_size = 4;
+    config.node.worker_threads = 1;
+    auto d = Deployment::Create(config);
+    ASSERT_TRUE(d.ok());
+    deployment_ = std::move(d).value();
+    bus_ = std::make_unique<MessageBus>(&deployment_->clock(), net, 77);
+    server_key_ = std::make_unique<KeyPair>(KeyPair::FromSeed(0xED6E));
+    server_ = std::make_unique<RemoteNodeServer>(
+        &deployment_->node(), *server_key_, bus_.get(), "offchain-node");
+    client_key_ = std::make_unique<KeyPair>(KeyPair::FromSeed(0xC11E));
+    client_ = std::make_unique<RemoteNodeClient>(
+        *client_key_, bus_.get(), &deployment_->clock(), "offchain-node",
+        server_key_->address());
+  }
+
+  std::vector<AppendRequest> MakeBatch(int n) {
+    std::vector<AppendRequest> out;
+    for (int i = 0; i < n; ++i) {
+      out.push_back(AppendRequest::Make(*client_key_, seq_++,
+                                        ToBytes("k" + std::to_string(i)),
+                                        ToBytes("v")));
+    }
+    return out;
+  }
+
+  std::unique_ptr<Deployment> deployment_;
+  std::unique_ptr<MessageBus> bus_;
+  std::unique_ptr<KeyPair> server_key_, client_key_;
+  std::unique_ptr<RemoteNodeServer> server_;
+  std::unique_ptr<RemoteNodeClient> client_;
+  uint64_t seq_ = 0;
+};
+
+TEST_F(RemoteTest, AppendOverTheWire) {
+  auto responses = client_->Append(MakeBatch(4));
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  ASSERT_EQ(responses->size(), 4u);
+  for (const auto& r : *responses) {
+    EXPECT_TRUE(r.Verify(deployment_->node().address()));
+  }
+  EXPECT_EQ(server_->requests_served(), 1u);
+  EXPECT_EQ(deployment_->node().LogPositions(), 1u);
+}
+
+TEST_F(RemoteTest, ReadOverTheWire) {
+  ASSERT_TRUE(client_->Append(MakeBatch(4)).ok());
+  auto read = client_->ReadOne(EntryIndex{0, 2});
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->Verify(deployment_->node().address()));
+  auto missing = client_->ReadOne(EntryIndex{9, 0});
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Code::kUnavailable);  // Remote error.
+}
+
+TEST_F(RemoteTest, BatchReadOverTheWire) {
+  ASSERT_TRUE(client_->Append(MakeBatch(4)).ok());
+  auto batch = client_->ReadBatch(0, {0, 3});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->entries.size(), 2u);
+  EXPECT_TRUE(batch->Verify(deployment_->node().address()));
+  auto whole = client_->ReadBatch(0, {});
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole->entries.size(), 4u);
+}
+
+TEST_F(RemoteTest, TotalOmissionTimesOut) {
+  NetworkConfig lossy;
+  lossy.drop_probability = 1.0;
+  Build(lossy);
+  auto result = client_->Append(MakeBatch(4));
+  EXPECT_FALSE(result.ok());
+  // Either the request or the machinery reports unavailability/timeouts.
+  EXPECT_TRUE(result.status().code() == Code::kTimeout ||
+              result.status().code() == Code::kUnavailable);
+  EXPECT_EQ(deployment_->node().LogPositions(), 0u);
+}
+
+TEST_F(RemoteTest, RepliesFromImpostorIgnored) {
+  // A second "server" with a different key at another endpoint cannot
+  // satisfy the client even if it answers: the client pins the node
+  // operator's transport address.
+  KeyPair impostor = KeyPair::FromSeed(666);
+  RemoteNodeServer fake(&deployment_->node(), impostor, bus_.get(),
+                        "impostor-node");
+  RemoteNodeClient pinned(*client_key_, bus_.get(), &deployment_->clock(),
+                          "impostor-node", server_key_->address(),
+                          /*rpc_timeout=*/200'000);
+  auto result = pinned.Append(MakeBatch(4));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Code::kTimeout);
+}
+
+TEST_F(RemoteTest, MalformedTrafficIsDropped) {
+  // Raw garbage to the server endpoint: no crash, no reply, no count.
+  bus_->Send("nobody", "offchain-node", Bytes{1, 2, 3, 4});
+  deployment_->clock().Advance(10'000);
+  bus_->DeliverDue();
+  EXPECT_EQ(server_->requests_served(), 0u);
+  // A well-formed envelope with a tampered payload is also dropped.
+  SignedEnvelope env = SignedEnvelope::Create(*client_key_, ToBytes("hi"));
+  env.payload[0] ^= 1;
+  bus_->Send("nobody", "offchain-node", env.Serialize());
+  deployment_->clock().Advance(10'000);
+  bus_->DeliverDue();
+  EXPECT_EQ(server_->requests_served(), 0u);
+}
+
+TEST_F(RemoteTest, LatencyIsModeled) {
+  NetworkConfig slow;
+  slow.base_latency = 50'000;  // 50 ms each way.
+  slow.jitter = 0;
+  Build(slow);
+  Micros before = deployment_->clock().NowMicros();
+  ASSERT_TRUE(client_->Append(MakeBatch(4)).ok());
+  Micros elapsed = deployment_->clock().NowMicros() - before;
+  EXPECT_GE(elapsed, 100'000);  // Request + reply propagation.
+}
+
+TEST_F(RemoteTest, SequentialRpcsKeepWorking) {
+  for (int round = 0; round < 3; ++round) {
+    auto responses = client_->Append(MakeBatch(4));
+    ASSERT_TRUE(responses.ok());
+    EXPECT_EQ(responses->front().index.log_id, static_cast<uint64_t>(round));
+  }
+  EXPECT_EQ(server_->requests_served(), 3u);
+}
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,168 @@
+#include "contracts/root_record.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+
+namespace wedge {
+namespace {
+
+class RootRecordTest : public ::testing::Test {
+ protected:
+  RootRecordTest() : clock_(0), chain_(ChainConfig{}, &clock_) {
+    offchain_ = KeyPair::FromSeed(1);
+    intruder_ = KeyPair::FromSeed(2);
+    chain_.Fund(offchain_.address(), EthToWei(100));
+    chain_.Fund(intruder_.address(), EthToWei(100));
+    auto contract = std::make_unique<RootRecordContract>(offchain_.address());
+    contract_ = contract.get();
+    address_ = chain_.Deploy(offchain_.address(), std::move(contract)).value();
+  }
+
+  Result<Receipt> UpdateRecords(const Address& sender, uint64_t start_idx,
+                                const std::vector<Hash256>& roots) {
+    Transaction tx;
+    tx.from = sender;
+    tx.to = address_;
+    tx.method = "updateRecords";
+    PutU64(tx.calldata, start_idx);
+    PutU32(tx.calldata, static_cast<uint32_t>(roots.size()));
+    for (const Hash256& r : roots) Append(tx.calldata, HashToBytes(r));
+    WEDGE_ASSIGN_OR_RETURN(TxId id, chain_.Submit(tx));
+    return chain_.WaitForReceipt(id);
+  }
+
+  Result<std::pair<bool, Hash256>> GetRoot(uint64_t idx) {
+    Bytes query;
+    PutU64(query, idx);
+    WEDGE_ASSIGN_OR_RETURN(Bytes raw,
+                           chain_.Call(address_, "getRootAtIndex", query));
+    ByteReader reader(raw);
+    WEDGE_ASSIGN_OR_RETURN(Bytes found, reader.ReadRaw(1));
+    WEDGE_ASSIGN_OR_RETURN(Bytes root, reader.ReadRaw(32));
+    WEDGE_ASSIGN_OR_RETURN(Hash256 h, HashFromBytes(root));
+    return std::make_pair(found[0] != 0, h);
+  }
+
+  SimClock clock_;
+  Blockchain chain_;
+  KeyPair offchain_{KeyPair::FromSeed(1)};
+  KeyPair intruder_{KeyPair::FromSeed(2)};
+  RootRecordContract* contract_ = nullptr;
+  Address address_;
+};
+
+TEST_F(RootRecordTest, AppendsSequentially) {
+  Hash256 r0 = Sha256::Digest("root0");
+  Hash256 r1 = Sha256::Digest("root1");
+  auto receipt = UpdateRecords(offchain_.address(), 0, {r0, r1});
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->success);
+  EXPECT_EQ(contract_->tail_idx(), 2u);
+
+  auto got0 = GetRoot(0);
+  ASSERT_TRUE(got0.ok());
+  EXPECT_TRUE(got0->first);
+  EXPECT_EQ(got0->second, r0);
+  auto got2 = GetRoot(2);
+  ASSERT_TRUE(got2.ok());
+  EXPECT_FALSE(got2->first);
+}
+
+TEST_F(RootRecordTest, RejectsNonOffchainSender) {
+  auto receipt =
+      UpdateRecords(intruder_.address(), 0, {Sha256::Digest("evil")});
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_FALSE(receipt->success);
+  EXPECT_EQ(contract_->tail_idx(), 0u);
+}
+
+TEST_F(RootRecordTest, RejectsOutOfOrderStartIndex) {
+  ASSERT_TRUE(UpdateRecords(offchain_.address(), 0, {Sha256::Digest("a")})
+                  ->success);
+  // Gap.
+  EXPECT_FALSE(UpdateRecords(offchain_.address(), 2, {Sha256::Digest("b")})
+                   ->success);
+  // Replay of an already-written index: this is the write-once property
+  // behind Definition 3.2.
+  EXPECT_FALSE(UpdateRecords(offchain_.address(), 0, {Sha256::Digest("b")})
+                   ->success);
+  auto got = GetRoot(0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->second, Sha256::Digest("a"));  // Unchanged.
+}
+
+TEST_F(RootRecordTest, RejectsEmptyAndOversizedBatches) {
+  EXPECT_FALSE(UpdateRecords(offchain_.address(), 0, {})->success);
+  std::vector<Hash256> too_many(RootRecordContract::kMaxRootsPerCall + 1,
+                                Sha256::Digest("x"));
+  Transaction tx;
+  tx.from = offchain_.address();
+  tx.to = address_;
+  tx.method = "updateRecords";
+  PutU64(tx.calldata, 0);
+  PutU32(tx.calldata, static_cast<uint32_t>(too_many.size()));
+  for (const auto& r : too_many) Append(tx.calldata, HashToBytes(r));
+  tx.gas_limit = 30'000'000;
+  auto id = chain_.Submit(tx);
+  ASSERT_TRUE(id.ok());
+  auto receipt = chain_.WaitForReceipt(id.value());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_FALSE(receipt->success);
+}
+
+TEST_F(RootRecordTest, RejectsMalformedCalldata) {
+  Transaction tx;
+  tx.from = offchain_.address();
+  tx.to = address_;
+  tx.method = "updateRecords";
+  PutU64(tx.calldata, 0);
+  PutU32(tx.calldata, 3);  // Promises 3 roots, provides none.
+  auto id = chain_.Submit(tx);
+  ASSERT_TRUE(id.ok());
+  auto receipt = chain_.WaitForReceipt(id.value());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_FALSE(receipt->success);
+}
+
+TEST_F(RootRecordTest, GasScalesWithRootCount) {
+  auto one = UpdateRecords(offchain_.address(), 0, {Sha256::Digest("a")});
+  std::vector<Hash256> five;
+  for (int i = 0; i < 5; ++i) {
+    five.push_back(Sha256::Digest("r" + std::to_string(i)));
+  }
+  auto batch = UpdateRecords(offchain_.address(), 1, five);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->success);
+  // Five roots cost less than 5x one root (amortized tx base), but more
+  // than one root (SSTORE per digest).
+  EXPECT_GT(batch->gas_used, one->gas_used);
+  EXPECT_LT(batch->gas_used, 5 * one->gas_used);
+}
+
+TEST_F(RootRecordTest, EmitsRecordsUpdatedEvent) {
+  auto receipt = UpdateRecords(offchain_.address(), 0, {Sha256::Digest("a")});
+  ASSERT_TRUE(receipt.ok());
+  ASSERT_EQ(receipt->events.size(), 1u);
+  EXPECT_EQ(receipt->events[0].name, "RecordsUpdated");
+  ByteReader reader(receipt->events[0].payload);
+  EXPECT_EQ(reader.ReadU64().value(), 0u);  // start_idx
+  EXPECT_EQ(reader.ReadU64().value(), 1u);  // new tail
+}
+
+TEST_F(RootRecordTest, TailIdxView) {
+  ASSERT_TRUE(UpdateRecords(offchain_.address(), 0, {Sha256::Digest("a")})
+                  ->success);
+  auto raw = chain_.Call(address_, "tailIdx", {});
+  ASSERT_TRUE(raw.ok());
+  ByteReader reader(raw.value());
+  EXPECT_EQ(reader.ReadU64().value(), 1u);
+}
+
+TEST_F(RootRecordTest, UnknownMethodFails) {
+  EXPECT_FALSE(chain_.Call(address_, "selfDestruct", {}).ok());
+}
+
+}  // namespace
+}  // namespace wedge

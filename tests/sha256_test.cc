@@ -1,0 +1,88 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace wedge {
+namespace {
+
+// FIPS 180-4 test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashToHex(Sha256::Digest("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashToHex(Sha256::Digest("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HashToHex(Sha256::Digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HashToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in the incremental interface. 0123456789";
+  Hash256 oneshot = Sha256::Digest(msg);
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(h.Finish(), oneshot) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ResetRestoresInitialState) {
+  Sha256 h;
+  h.Update("garbage");
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(HashToHex(h.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::Digest("a"), Sha256::Digest("b"));
+  EXPECT_NE(Sha256::Digest(""), Sha256::Digest(std::string(1, '\0')));
+}
+
+TEST(Sha256Test, HashBytesConversions) {
+  Hash256 h = Sha256::Digest("abc");
+  Bytes b = HashToBytes(h);
+  EXPECT_EQ(b.size(), 32u);
+  auto back = HashFromBytes(b);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), h);
+  EXPECT_FALSE(HashFromBytes(Bytes{1, 2, 3}).ok());
+}
+
+// Length-boundary property sweep: all sizes around the 64-byte block edge.
+class Sha256BoundaryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sha256BoundaryTest, PaddingBoundaries) {
+  int len = GetParam();
+  std::string msg(len, 'x');
+  Hash256 a = Sha256::Digest(msg);
+  // Same data split byte-by-byte must match.
+  Sha256 h;
+  for (char c : msg) h.Update(std::string(1, c));
+  EXPECT_EQ(h.Finish(), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockEdges, Sha256BoundaryTest,
+                         ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65,
+                                           119, 120, 127, 128, 129));
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,127 @@
+#include "core/stage2_watcher.h"
+
+#include <gtest/gtest.h>
+
+#include "core/wedgeblock.h"
+
+namespace wedge {
+namespace {
+
+std::vector<std::pair<Bytes, Bytes>> Workload(int n) {
+  std::vector<std::pair<Bytes, Bytes>> kvs;
+  for (int i = 0; i < n; ++i) {
+    kvs.emplace_back(ToBytes("k" + std::to_string(i)), ToBytes("v"));
+  }
+  return kvs;
+}
+
+std::unique_ptr<Deployment> Make(ByzantineMode mode) {
+  DeploymentConfig config;
+  config.node.batch_size = 4;
+  config.node.byzantine_mode = mode;
+  auto d = Deployment::Create(config);
+  EXPECT_TRUE(d.ok());
+  return std::move(d).value();
+}
+
+TEST(Stage2WatcherTest, ResolvesHonestResponsesOnEvents) {
+  auto d = Make(ByzantineMode::kHonest);
+  auto& pub = d->publisher();
+  Stage2Watcher watcher(&d->chain(), d->root_record_address(), &pub);
+
+  auto responses = pub.Publish(pub.MakeRequests(Workload(8)));
+  ASSERT_TRUE(responses.ok());
+  watcher.TrackAll(responses.value());
+  EXPECT_EQ(watcher.PendingCount(), 8u);
+
+  // Nothing resolves before the digests are mined.
+  auto early = watcher.Poll();
+  ASSERT_TRUE(early.ok());
+  EXPECT_TRUE(early->empty());
+  EXPECT_EQ(watcher.ObservedTail(), 0u);
+
+  d->AdvanceBlocks(2);  // RecordsUpdated events fire during mining.
+  EXPECT_EQ(watcher.ObservedTail(), 2u);
+  auto resolved = watcher.Poll();
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->size(), 8u);
+  for (const auto& outcome : *resolved) {
+    EXPECT_EQ(outcome.check, CommitCheck::kBlockchainCommitted);
+    EXPECT_FALSE(outcome.punishment_triggered);
+  }
+  EXPECT_EQ(watcher.PendingCount(), 0u);
+  EXPECT_EQ(watcher.ResolvedCount(), 8u);
+}
+
+TEST(Stage2WatcherTest, AutoPunishesEquivocation) {
+  auto d = Make(ByzantineMode::kEquivocateRoot);
+  auto& pub = d->publisher();
+  Stage2Watcher watcher(&d->chain(), d->root_record_address(), &pub,
+                        /*auto_punish=*/true);
+
+  auto responses = pub.Publish(pub.MakeRequests(Workload(4)));
+  ASSERT_TRUE(responses.ok());
+  watcher.TrackAll(responses.value());
+  d->AdvanceBlocks(2);
+
+  auto resolved = watcher.Poll();
+  ASSERT_TRUE(resolved.ok());
+  ASSERT_EQ(resolved->size(), 4u);
+  int punished = 0;
+  for (const auto& outcome : *resolved) {
+    EXPECT_EQ(outcome.check, CommitCheck::kMismatch);
+    if (outcome.punishment_triggered && outcome.punishment_receipt.success) {
+      ++punished;
+    }
+  }
+  // All-or-nothing: exactly one punishment drains the escrow, the other
+  // attempts revert (still reported as triggered, but unsuccessful).
+  EXPECT_EQ(punished, 1);
+  EXPECT_EQ(d->chain().BalanceOf(d->punishment_address()), Wei());
+}
+
+TEST(Stage2WatcherTest, ManualModeOnlyReports) {
+  auto d = Make(ByzantineMode::kEquivocateRoot);
+  auto& pub = d->publisher();
+  Stage2Watcher watcher(&d->chain(), d->root_record_address(), &pub,
+                        /*auto_punish=*/false);
+  auto responses = pub.Publish(pub.MakeRequests(Workload(4)));
+  ASSERT_TRUE(responses.ok());
+  watcher.Track(responses->front());
+  d->AdvanceBlocks(2);
+  auto resolved = watcher.Poll();
+  ASSERT_TRUE(resolved.ok());
+  ASSERT_EQ(resolved->size(), 1u);
+  EXPECT_EQ((*resolved)[0].check, CommitCheck::kMismatch);
+  EXPECT_FALSE((*resolved)[0].punishment_triggered);
+  // Escrow untouched: the application decides.
+  EXPECT_EQ(d->chain().BalanceOf(d->punishment_address()), EthToWei(32));
+}
+
+TEST(Stage2WatcherTest, PartialCoverageResolvesIncrementally) {
+  auto d = Make(ByzantineMode::kHonest);
+  auto& pub = d->publisher();
+  Stage2Watcher watcher(&d->chain(), d->root_record_address(), &pub);
+
+  // First batch commits on-chain...
+  auto first = pub.Publish(pub.MakeRequests(Workload(4)));
+  ASSERT_TRUE(first.ok());
+  watcher.TrackAll(first.value());
+  d->AdvanceBlocks(2);
+  ASSERT_EQ(watcher.Poll()->size(), 4u);
+
+  // ...then the node stops committing (omission): the second batch stays
+  // pending — the watcher never falsely resolves it.
+  d->node().set_byzantine_mode(ByzantineMode::kOmitStage2);
+  auto second = pub.Publish(pub.MakeRequests(Workload(4)));
+  ASSERT_TRUE(second.ok());
+  watcher.TrackAll(second.value());
+  d->AdvanceBlocks(4);
+  EXPECT_TRUE(watcher.Poll()->empty());
+  EXPECT_EQ(watcher.PendingCount(), 4u);
+  // (Timeout-based punishment for omission remains the publisher's
+  // FinalizeOrPunish path; the watcher handles the event-driven cases.)
+}
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,129 @@
+#include "storage/tiered_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "merkle/merkle_tree.h"
+
+namespace wedge {
+namespace {
+
+LogPosition MakePosition(uint64_t id, size_t entries = 4) {
+  Rng rng(id + 5);
+  LogPosition pos;
+  pos.log_id = id;
+  for (size_t i = 0; i < entries; ++i) {
+    pos.data_list.push_back(rng.NextBytes(32));
+  }
+  pos.mroot = MerkleTree::Build(pos.data_list)->Root();
+  return pos;
+}
+
+class TieredStoreTest : public ::testing::Test {
+ protected:
+  TieredStoreTest() : archive_(8, 3, 11), store_(3, &archive_) {}
+
+  DecentralizedArchive archive_;
+  TieredLogStore store_;
+};
+
+TEST_F(TieredStoreTest, HotTierBoundedColdTierComplete) {
+  for (uint64_t id = 0; id < 10; ++id) {
+    ASSERT_TRUE(store_.Append(MakePosition(id)).ok());
+  }
+  EXPECT_EQ(store_.Size(), 10u);
+  EXPECT_EQ(store_.HotCount(), 3u);  // Only the newest three stay hot.
+
+  // Hot read: no archive fetch.
+  uint64_t cold_before = store_.ColdReads();
+  auto hot = store_.Get(9);
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(store_.ColdReads(), cold_before);
+
+  // Cold read: fetched (and verified) from the archive.
+  auto cold = store_.Get(0);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->data_list, MakePosition(0).data_list);
+  EXPECT_EQ(store_.ColdReads(), cold_before + 1);
+}
+
+TEST_F(TieredStoreTest, EnforcesConsecutiveAppends) {
+  EXPECT_FALSE(store_.Append(MakePosition(3)).ok());
+  ASSERT_TRUE(store_.Append(MakePosition(0)).ok());
+  EXPECT_FALSE(store_.Append(MakePosition(0)).ok());
+}
+
+TEST_F(TieredStoreTest, GetEntryAcrossTiers) {
+  for (uint64_t id = 0; id < 6; ++id) {
+    ASSERT_TRUE(store_.Append(MakePosition(id)).ok());
+  }
+  auto cold_entry = store_.GetEntry(EntryIndex{0, 2});
+  ASSERT_TRUE(cold_entry.ok());
+  EXPECT_EQ(cold_entry.value(), MakePosition(0).data_list[2]);
+  auto hot_entry = store_.GetEntry(EntryIndex{5, 1});
+  ASSERT_TRUE(hot_entry.ok());
+  EXPECT_FALSE(store_.GetEntry(EntryIndex{0, 9}).ok());
+  EXPECT_FALSE(store_.GetEntry(EntryIndex{17, 0}).ok());
+}
+
+TEST_F(TieredStoreTest, ScanSpansBothTiers) {
+  for (uint64_t id = 0; id < 8; ++id) {
+    ASSERT_TRUE(store_.Append(MakePosition(id)).ok());
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(store_
+                  .Scan(0, 7,
+                        [&](const LogPosition& pos) {
+                          seen.push_back(pos.log_id);
+                          return true;
+                        })
+                  .ok());
+  EXPECT_EQ(seen.size(), 8u);
+  for (uint64_t i = 0; i < 8; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST_F(TieredStoreTest, ColdReadSurvivesPeerDeaths) {
+  for (uint64_t id = 0; id < 5; ++id) {
+    ASSERT_TRUE(store_.Append(MakePosition(id)).ok());
+  }
+  // Kill peers until position 0 has one live copy.
+  for (int peer = 0; peer < archive_.num_peers() && archive_.LiveCopies(0) > 1;
+       ++peer) {
+    archive_.KillPeer(peer);
+  }
+  EXPECT_TRUE(store_.Get(0).ok());
+  // Kill everything: cold data is unavailable, hot data still serves.
+  for (int peer = 0; peer < archive_.num_peers(); ++peer) {
+    archive_.KillPeer(peer);
+  }
+  EXPECT_FALSE(store_.Get(0).ok());
+  EXPECT_TRUE(store_.Get(4).ok());  // Still hot.
+}
+
+TEST_F(TieredStoreTest, ByzantinePeersCannotServeTamperedColdData) {
+  for (uint64_t id = 0; id < 5; ++id) {
+    ASSERT_TRUE(store_.Append(MakePosition(id)).ok());
+  }
+  // Corrupt every archived copy of position 1.
+  for (int peer = 0; peer < archive_.num_peers(); ++peer) {
+    (void)archive_.CorruptCopy(peer, 1);
+  }
+  auto fetched = store_.Get(1);
+  EXPECT_FALSE(fetched.ok());  // Refuses garbage rather than serving it.
+  EXPECT_EQ(fetched.status().code(), Code::kUnavailable);
+}
+
+TEST(TieredStoreCapacityTest, CapacityOneKeepsOnlyNewest) {
+  DecentralizedArchive archive(6, 2, 3);
+  TieredLogStore store(1, &archive);
+  for (uint64_t id = 0; id < 4; ++id) {
+    ASSERT_TRUE(store.Append(MakePosition(id)).ok());
+  }
+  EXPECT_EQ(store.HotCount(), 1u);
+  EXPECT_TRUE(store.Get(3).ok());
+  EXPECT_TRUE(store.Get(1).ok());
+  EXPECT_GE(store.ColdReads(), 1u);
+}
+
+}  // namespace
+}  // namespace wedge

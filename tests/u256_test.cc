@@ -1,0 +1,218 @@
+#include "crypto/u256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "crypto/secp256k1.h"
+
+namespace wedge {
+namespace {
+
+U256 RandomU256(Rng& rng) {
+  return U256(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+}
+
+TEST(U256Test, ZeroAndOne) {
+  EXPECT_TRUE(U256::Zero().IsZero());
+  EXPECT_FALSE(U256::One().IsZero());
+  EXPECT_EQ(U256::One().ToU64(), 1u);
+  EXPECT_TRUE(U256::One().FitsU64());
+  EXPECT_FALSE(U256::Max().FitsU64());
+}
+
+TEST(U256Test, HexRoundTrip) {
+  auto v = U256::FromHex("0xdeadbeef");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToU64(), 0xdeadbeefULL);
+  EXPECT_EQ(v->ToHex(),
+            "00000000000000000000000000000000000000000000000000000000deadbeef");
+
+  auto big = U256::FromHex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big.value(), secp256k1::FieldPrime());
+}
+
+TEST(U256Test, FromHexRejectsBadInput) {
+  EXPECT_FALSE(U256::FromHex("").ok());
+  EXPECT_FALSE(U256::FromHex(std::string(65, 'f')).ok());
+  EXPECT_FALSE(U256::FromHex("0xzz").ok());
+}
+
+TEST(U256Test, BytesRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    U256 v = RandomU256(rng);
+    auto back = U256::FromBytesBE(v.ToBytesBE());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v);
+  }
+}
+
+TEST(U256Test, FromBytesBEPadded) {
+  auto v = U256::FromBytesBEPadded(Bytes{0x01, 0x02});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToU64(), 0x0102u);
+  EXPECT_FALSE(U256::FromBytesBEPadded(Bytes(33, 0)).ok());
+}
+
+TEST(U256Test, Comparisons) {
+  U256 a(5), b(6);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  U256 high(0, 0, 0, 1);  // 2^192
+  EXPECT_GT(high, U256(~0ULL));
+}
+
+TEST(U256Test, AdditionCarries) {
+  U256 max64(~0ULL);
+  U256 sum = max64 + U256::One();
+  EXPECT_EQ(sum, U256(0, 1, 0, 0));
+
+  U256 out;
+  EXPECT_TRUE(U256::AddWithCarry(U256::Max(), U256::One(), &out));
+  EXPECT_TRUE(out.IsZero());
+}
+
+TEST(U256Test, SubtractionBorrows) {
+  U256 out;
+  EXPECT_FALSE(U256::SubWithBorrow(U256(10), U256(3), &out));
+  EXPECT_EQ(out.ToU64(), 7u);
+  EXPECT_TRUE(U256::SubWithBorrow(U256(3), U256(10), &out));
+  // Wrapped: 2^256 - 7.
+  EXPECT_EQ(out + U256(7), U256::Zero());
+}
+
+TEST(U256Test, MulWideLowHigh) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1.
+  U512 sq = U256::MulWide(U256(~0ULL), U256(~0ULL));
+  EXPECT_EQ(sq.limb[0], 1u);
+  EXPECT_EQ(sq.limb[1], ~0ULL - 1);  // 0xFFFF...FFFE
+  EXPECT_EQ(sq.limb[2], 0u);
+
+  U512 big = U256::MulWide(U256::Max(), U256::Max());
+  EXPECT_EQ(big.Hi(), U256::Max() - U256::One());
+  EXPECT_EQ(big.Lo(), U256::One());
+}
+
+TEST(U256Test, ShiftIdentities) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    U256 v = RandomU256(rng);
+    EXPECT_EQ(v.Shl(0), v);
+    EXPECT_EQ(v.Shr(0), v);
+    for (int s : {1, 7, 64, 65, 130, 255}) {
+      // Shifting right then left masks the low bits off.
+      U256 rl = v.Shr(s).Shl(s);
+      // rl must equal v with the low s bits cleared.
+      U256 mask_cleared = v;
+      for (int b = 0; b < s; ++b) {
+        mask_cleared.limb[b / 64] &= ~(1ULL << (b % 64));
+      }
+      EXPECT_EQ(rl, mask_cleared) << "shift " << s;
+    }
+  }
+}
+
+TEST(U256Test, BitAndBitLength) {
+  U256 v = U256::One().Shl(200);
+  EXPECT_TRUE(v.Bit(200));
+  EXPECT_FALSE(v.Bit(199));
+  EXPECT_EQ(v.BitLength(), 201);
+  EXPECT_EQ(U256::Zero().BitLength(), 0);
+  EXPECT_EQ(U256::Max().BitLength(), 256);
+}
+
+TEST(U256Test, DivModBasics) {
+  U256 q, r;
+  ASSERT_TRUE(U256(100).DivMod(U256(7), &q, &r).ok());
+  EXPECT_EQ(q.ToU64(), 14u);
+  EXPECT_EQ(r.ToU64(), 2u);
+  EXPECT_FALSE(U256(1).DivMod(U256::Zero(), &q, &r).ok());
+}
+
+TEST(U256Test, DivModReconstructs) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = RandomU256(rng);
+    U256 d = U256(rng.Next() | 1);  // Non-zero.
+    U256 q, r;
+    ASSERT_TRUE(a.DivMod(d, &q, &r).ok());
+    EXPECT_LT(r, d);
+    EXPECT_EQ(q * d + r, a);  // Wrapping mul is exact here since q*d <= a.
+  }
+}
+
+TEST(U256Test, DecimalFormatting) {
+  EXPECT_EQ(U256::Zero().ToDecimal(), "0");
+  EXPECT_EQ(U256(12345).ToDecimal(), "12345");
+  // 2^64 = 18446744073709551616.
+  EXPECT_EQ(U256(0, 1, 0, 0).ToDecimal(), "18446744073709551616");
+}
+
+TEST(U256Test, ModularArithmeticIdentities) {
+  const U256& p = secp256k1::FieldPrime();
+  Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    U256 a = U256::Mod(RandomU256(rng), p);
+    U256 b = U256::Mod(RandomU256(rng), p);
+    // Commutativity.
+    EXPECT_EQ(AddMod(a, b, p), AddMod(b, a, p));
+    EXPECT_EQ(MulMod(a, b, p), MulMod(b, a, p));
+    // a - b + b == a.
+    EXPECT_EQ(AddMod(SubMod(a, b, p), b, p), a);
+    // Inverse.
+    if (!a.IsZero()) {
+      EXPECT_EQ(MulMod(a, InvMod(a, p), p), U256::One());
+    }
+  }
+}
+
+TEST(U256Test, PowModSmallCases) {
+  U256 m(1000000007ULL);
+  EXPECT_EQ(PowMod(U256(2), U256(10), m).ToU64(), 1024u);
+  EXPECT_EQ(PowMod(U256(5), U256::Zero(), m).ToU64(), 1u);
+  // Fermat: a^(m-1) = 1 mod prime m.
+  EXPECT_EQ(PowMod(U256(123456), m - U256(1), m).ToU64(), 1u);
+}
+
+// ReduceWide (fast Solinas path) must agree with the generic MulMod for
+// both secp256k1 moduli.
+class ReduceWideTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceWideTest, MatchesGenericReduction) {
+  Rng rng(100 + GetParam());
+  const U256& p = secp256k1::FieldPrime();
+  const U256& cp = secp256k1::FieldC();
+  const U256& n = secp256k1::GroupOrder();
+  const U256& cn = secp256k1::OrderC();
+  for (int i = 0; i < 40; ++i) {
+    U256 a = RandomU256(rng);
+    U256 b = RandomU256(rng);
+    U512 wide = U256::MulWide(a, b);
+    EXPECT_EQ(ReduceWide(wide, p, cp), MulMod(a, b, p));
+    EXPECT_EQ(ReduceWide(wide, n, cn), MulMod(a, b, n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReduceWideTest, ::testing::Range(0, 5));
+
+TEST(U256Test, ReduceWideEdgeValues) {
+  const U256& p = secp256k1::FieldPrime();
+  const U256& cp = secp256k1::FieldC();
+  // 0 and p itself reduce to 0; p-1 stays.
+  EXPECT_TRUE(ReduceWide(U512{}, p, cp).IsZero());
+  EXPECT_TRUE(ReduceWide(U512::FromU256(p), p, cp).IsZero());
+  EXPECT_EQ(ReduceWide(U512::FromU256(p - U256(1)), p, cp), p - U256(1));
+  // Max 512-bit value.
+  U512 max;
+  for (auto& l : max.limb) l = ~0ULL;
+  U256 expect = U256::Mod(U256::Max(), p);  // Placeholder sanity: result < p.
+  U256 got = ReduceWide(max, p, cp);
+  EXPECT_LT(got, p);
+  (void)expect;
+}
+
+}  // namespace
+}  // namespace wedge

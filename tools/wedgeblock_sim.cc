@@ -1,0 +1,283 @@
+// wedgeblock_sim — end-to-end WedgeBlock simulation driver.
+//
+// Runs a configurable workload through a fresh deployment (simulated
+// chain + contracts + Offchain Node), optionally with a byzantine node,
+// then audits and reports performance, on-chain cost, and punishment
+// outcomes. The quickest way to poke at the system without writing code.
+//
+// Usage:
+//   wedgeblock_sim [--ops N] [--batch N] [--value-bytes N]
+//                  [--byzantine honest|equivocate|tamper-reads|omit-stage2|
+//                               corrupt-proof]
+//                  [--gas-gwei N] [--block-seconds N] [--replicas N]
+//                  [--audit-samples N] [--seed N]
+//
+// Examples:
+//   wedgeblock_sim --ops 4000 --batch 2000
+//   wedgeblock_sim --byzantine equivocate          # watch the punishment
+//   wedgeblock_sim --ops 10000 --audit-samples 16  # sampled audit
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/economics.h"
+#include "core/wedgeblock.h"
+
+namespace wedge {
+namespace {
+
+struct Options {
+  uint64_t ops = 2000;
+  uint32_t batch = 500;
+  size_t value_bytes = 1024;
+  ByzantineMode byzantine = ByzantineMode::kHonest;
+  uint64_t gas_gwei = 100;
+  int64_t block_seconds = 13;
+  int replicas = 0;
+  uint32_t audit_samples = 0;  // 0 = full audit.
+  uint64_t seed = 42;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--ops N] [--batch N] [--value-bytes N]\n"
+               "          [--byzantine honest|equivocate|tamper-reads|"
+               "omit-stage2|corrupt-proof]\n"
+               "          [--gas-gwei N] [--block-seconds N] [--replicas N]\n"
+               "          [--audit-samples N] [--seed N]\n",
+               argv0);
+  return 2;
+}
+
+Result<Options> Parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(flag + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--ops") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.ops = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--batch") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.batch = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (flag == "--value-bytes") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.value_bytes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--byzantine") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      if (v == "honest") {
+        opts.byzantine = ByzantineMode::kHonest;
+      } else if (v == "equivocate") {
+        opts.byzantine = ByzantineMode::kEquivocateRoot;
+      } else if (v == "tamper-reads") {
+        opts.byzantine = ByzantineMode::kTamperReadData;
+      } else if (v == "omit-stage2") {
+        opts.byzantine = ByzantineMode::kOmitStage2;
+      } else if (v == "corrupt-proof") {
+        opts.byzantine = ByzantineMode::kCorruptProof;
+      } else {
+        return Status::InvalidArgument("unknown byzantine mode: " + v);
+      }
+    } else if (flag == "--gas-gwei") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.gas_gwei = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--block-seconds") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.block_seconds = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (flag == "--replicas") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.replicas = std::atoi(v.c_str());
+    } else if (flag == "--audit-samples") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.audit_samples =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (flag == "--seed") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      return Status::InvalidArgument("unknown flag: " + flag);
+    }
+  }
+  if (opts.ops == 0 || opts.batch == 0 || opts.block_seconds <= 0) {
+    return Status::InvalidArgument("ops/batch/block-seconds must be positive");
+  }
+  return opts;
+}
+
+const char* ModeName(ByzantineMode mode) {
+  switch (mode) {
+    case ByzantineMode::kHonest:
+      return "honest";
+    case ByzantineMode::kEquivocateRoot:
+      return "equivocate-root";
+    case ByzantineMode::kTamperReadData:
+      return "tamper-reads";
+    case ByzantineMode::kOmitStage2:
+      return "omit-stage2";
+    case ByzantineMode::kCorruptProof:
+      return "corrupt-proof";
+  }
+  return "?";
+}
+
+int Run(const Options& opts) {
+  DeploymentConfig config;
+  config.node.batch_size = opts.batch;
+  config.node.byzantine_mode = opts.byzantine;
+  config.chain.gas_price = GweiToWei(opts.gas_gwei);
+  config.chain.block_interval_seconds = opts.block_seconds;
+  config.replication_followers = opts.replicas;
+  config.offchain_funding = EthToWei(1'000'000);
+  config.client_funding = EthToWei(1'000'000);
+  auto deployment = Deployment::Create(config);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deployment failed: %s\n",
+                 deployment.status().ToString().c_str());
+    return 1;
+  }
+  Deployment& d = **deployment;
+
+  std::printf("wedgeblock_sim: %llu ops, batch %u, %zu-byte values, "
+              "node=%s, %d replicas\n",
+              static_cast<unsigned long long>(opts.ops), opts.batch,
+              opts.value_bytes, ModeName(opts.byzantine), opts.replicas);
+  std::printf("contracts: root-record %s, punishment %s (escrow %s ETH)\n",
+              d.root_record_address().ToHex().c_str(),
+              d.punishment_address().ToHex().c_str(),
+              WeiToEthString(d.chain().BalanceOf(d.punishment_address()))
+                  .c_str());
+
+  // --- Workload.
+  Rng rng(opts.seed);
+  std::vector<std::pair<Bytes, Bytes>> kvs;
+  kvs.reserve(opts.ops);
+  for (uint64_t i = 0; i < opts.ops; ++i) {
+    kvs.emplace_back(rng.NextBytes(64), rng.NextBytes(opts.value_bytes));
+  }
+  PublisherClient& publisher = d.publisher();
+  auto requests = publisher.MakeRequests(kvs);
+
+  // --- Stage 1.
+  Wei fees_before = d.chain().TotalFeesPaid(d.node().address());
+  Stopwatch sw(RealClock::Global());
+  auto responses = d.node().Append(requests);
+  double stage1_secs = sw.ElapsedSeconds();
+  if (!responses.ok()) {
+    std::fprintf(stderr, "append failed: %s\n",
+                 responses.status().ToString().c_str());
+    return 1;
+  }
+  double mb = static_cast<double>(opts.ops) * (64 + opts.value_bytes) /
+              (1024.0 * 1024.0);
+  std::printf("\nstage 1: %zu responses in %.2f s  (%.0f ops/s, %.2f MB/s)\n",
+              responses->size(), stage1_secs, opts.ops / stage1_secs,
+              mb / stage1_secs);
+
+  // Client-side verification of a sample.
+  size_t verify_n = std::min<size_t>(responses->size(), 64);
+  size_t verified = 0;
+  for (size_t i = 0; i < verify_n; ++i) {
+    verified += (*responses)[i].Verify(d.node().address()) ? 1 : 0;
+  }
+  std::printf("stage-1 verification sample: %zu/%zu valid\n", verified,
+              verify_n);
+
+  // --- Stage 2.
+  Micros sim_before = d.clock().NowMicros();
+  d.AdvanceBlocks(d.chain().config().confirmations + 2);
+  double stage2_secs =
+      static_cast<double>(d.clock().NowMicros() - sim_before) /
+      kMicrosPerSecond;
+  auto check = publisher.CheckBlockchainCommit(responses->front());
+  const char* check_str = "?";
+  if (check.ok()) {
+    switch (check.value()) {
+      case CommitCheck::kBlockchainCommitted:
+        check_str = "blockchain committed";
+        break;
+      case CommitCheck::kNotYetCommitted:
+        check_str = "NOT committed (omission?)";
+        break;
+      case CommitCheck::kMismatch:
+        check_str = "MISMATCH (equivocation!)";
+        break;
+    }
+  }
+  Wei stage2_fees = d.chain().TotalFeesPaid(d.node().address()) - fees_before;
+  std::printf("\nstage 2: %s after %.0f s of chain time; node paid %s ETH "
+              "(%.3e ETH/op)\n",
+              check_str, stage2_secs, WeiToEthString(stage2_fees).c_str(),
+              WeiToEthDouble(stage2_fees) / opts.ops);
+
+  // --- Audit.
+  AuditorClient auditor = d.MakeAuditor(opts.seed ^ 0xA0D17);
+  uint64_t last = d.node().LogPositions() - 1;
+  Result<AuditReport> report =
+      opts.audit_samples == 0
+          ? auditor.AuditFast(0, last)
+          : auditor.AuditSample(0, last, opts.audit_samples, opts.seed);
+  if (!report.ok()) {
+    std::fprintf(stderr, "audit failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\naudit (%s): %llu entries, %llu stage-1 failures, %llu "
+              "on-chain mismatches, %llu uncommitted\n",
+              opts.audit_samples == 0 ? "full, batched"
+                                      : "sampled",
+              static_cast<unsigned long long>(report->entries_checked),
+              static_cast<unsigned long long>(report->stage1_failures),
+              static_cast<unsigned long long>(report->onchain_mismatches),
+              static_cast<unsigned long long>(report->not_yet_committed));
+
+  // --- Punishment, if the audit found anything actionable.
+  if (!report->Clean() || report->not_yet_committed > 0) {
+    std::printf("\nmisbehaviour detected -> invoking the Punishment "
+                "contract with the signed stage-1 response...\n");
+    if (report->not_yet_committed > 0) {
+      // Omission path: file the claim and wait out the grace period.
+      auto claim = publisher.FileOmissionClaim(0);
+      if (claim.ok() && claim->success) {
+        std::printf("omission claim filed for position 0; waiting out the "
+                    "grace period...\n");
+        d.clock().AdvanceSeconds(601);
+        d.chain().PumpUntilNow();
+      }
+    }
+    auto receipt = publisher.TriggerPunishment(responses->front());
+    if (receipt.ok() && receipt->success) {
+      std::printf("punishment SUCCEEDED: escrow seized (gas %llu); "
+                  "punishment contract balance now %s ETH\n",
+                  static_cast<unsigned long long>(receipt->gas_used),
+                  WeiToEthString(
+                      d.chain().BalanceOf(d.punishment_address()))
+                      .c_str());
+    } else {
+      std::printf("punishment attempt did not succeed (%s)\n",
+                  receipt.ok() ? receipt->revert_reason.c_str()
+                               : receipt.status().ToString().c_str());
+    }
+  } else {
+    std::printf("\nlog is clean; no punishment warranted\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wedge
+
+int main(int argc, char** argv) {
+  auto opts = wedge::Parse(argc, argv);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "%s\n", opts.status().ToString().c_str());
+    return wedge::Usage(argv[0]);
+  }
+  return wedge::Run(opts.value());
+}
