@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_cluster_audit.cc" "bench/CMakeFiles/ablation_cluster_audit.dir/ablation_cluster_audit.cc.o" "gcc" "bench/CMakeFiles/ablation_cluster_audit.dir/ablation_cluster_audit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/wedge_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wedge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/wedge_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/contracts/CMakeFiles/wedge_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/wedge_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wedge_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/merkle/CMakeFiles/wedge_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wedge_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wedge_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wedge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cluster_audit.dir/ablation_cluster_audit.cc.o"
+  "CMakeFiles/ablation_cluster_audit.dir/ablation_cluster_audit.cc.o.d"
+  "ablation_cluster_audit"
+  "ablation_cluster_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cluster_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_economics.dir/ablation_economics.cc.o"
+  "CMakeFiles/ablation_economics.dir/ablation_economics.cc.o.d"
+  "ablation_economics"
+  "ablation_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

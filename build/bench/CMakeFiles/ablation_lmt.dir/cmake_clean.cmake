@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lmt.dir/ablation_lmt.cc.o"
+  "CMakeFiles/ablation_lmt.dir/ablation_lmt.cc.o.d"
+  "ablation_lmt"
+  "ablation_lmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

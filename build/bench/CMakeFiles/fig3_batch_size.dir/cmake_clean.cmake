@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_batch_size.dir/fig3_batch_size.cc.o"
+  "CMakeFiles/fig3_batch_size.dir/fig3_batch_size.cc.o.d"
+  "fig3_batch_size"
+  "fig3_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

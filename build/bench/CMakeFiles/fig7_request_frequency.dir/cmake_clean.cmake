@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_request_frequency.dir/fig7_request_frequency.cc.o"
+  "CMakeFiles/fig7_request_frequency.dir/fig7_request_frequency.cc.o.d"
+  "fig7_request_frequency"
+  "fig7_request_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_request_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_random_reads.dir/fig8_random_reads.cc.o"
+  "CMakeFiles/fig8_random_reads.dir/fig8_random_reads.cc.o.d"
+  "fig8_random_reads"
+  "fig8_random_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_random_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

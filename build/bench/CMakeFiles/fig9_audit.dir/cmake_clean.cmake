@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_audit.dir/fig9_audit.cc.o"
+  "CMakeFiles/fig9_audit.dir/fig9_audit.cc.o.d"
+  "fig9_audit"
+  "fig9_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

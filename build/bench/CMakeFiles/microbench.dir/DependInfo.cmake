@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/microbench.cc" "bench/CMakeFiles/microbench.dir/microbench.cc.o" "gcc" "bench/CMakeFiles/microbench.dir/microbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/merkle/CMakeFiles/wedge_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wedge_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wedge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

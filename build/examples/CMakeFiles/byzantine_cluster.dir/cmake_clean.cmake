@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_cluster.dir/byzantine_cluster.cpp.o"
+  "CMakeFiles/byzantine_cluster.dir/byzantine_cluster.cpp.o.d"
+  "byzantine_cluster"
+  "byzantine_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_marketplace.dir/iot_marketplace.cpp.o"
+  "CMakeFiles/iot_marketplace.dir/iot_marketplace.cpp.o.d"
+  "iot_marketplace"
+  "iot_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

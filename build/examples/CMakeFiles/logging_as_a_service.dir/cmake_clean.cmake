@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logging_as_a_service.dir/logging_as_a_service.cpp.o"
+  "CMakeFiles/logging_as_a_service.dir/logging_as_a_service.cpp.o.d"
+  "logging_as_a_service"
+  "logging_as_a_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logging_as_a_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

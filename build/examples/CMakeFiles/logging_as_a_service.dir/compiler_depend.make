@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for logging_as_a_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nft_game.dir/nft_game.cpp.o"
+  "CMakeFiles/nft_game.dir/nft_game.cpp.o.d"
+  "nft_game"
+  "nft_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nft_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

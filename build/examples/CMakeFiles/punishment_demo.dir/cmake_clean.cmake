@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/punishment_demo.dir/punishment_demo.cpp.o"
+  "CMakeFiles/punishment_demo.dir/punishment_demo.cpp.o.d"
+  "punishment_demo"
+  "punishment_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/punishment_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

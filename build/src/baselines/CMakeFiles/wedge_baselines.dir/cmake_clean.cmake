@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedge_baselines.dir/baselines.cc.o"
+  "CMakeFiles/wedge_baselines.dir/baselines.cc.o.d"
+  "libwedge_baselines.a"
+  "libwedge_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedge_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwedge_baselines.a"
+)

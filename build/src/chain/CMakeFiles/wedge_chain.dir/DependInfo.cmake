@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/blockchain.cc" "src/chain/CMakeFiles/wedge_chain.dir/blockchain.cc.o" "gcc" "src/chain/CMakeFiles/wedge_chain.dir/blockchain.cc.o.d"
+  "/root/repo/src/chain/contract.cc" "src/chain/CMakeFiles/wedge_chain.dir/contract.cc.o" "gcc" "src/chain/CMakeFiles/wedge_chain.dir/contract.cc.o.d"
+  "/root/repo/src/chain/gas.cc" "src/chain/CMakeFiles/wedge_chain.dir/gas.cc.o" "gcc" "src/chain/CMakeFiles/wedge_chain.dir/gas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/wedge_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wedge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedge_chain.dir/blockchain.cc.o"
+  "CMakeFiles/wedge_chain.dir/blockchain.cc.o.d"
+  "CMakeFiles/wedge_chain.dir/contract.cc.o"
+  "CMakeFiles/wedge_chain.dir/contract.cc.o.d"
+  "CMakeFiles/wedge_chain.dir/gas.cc.o"
+  "CMakeFiles/wedge_chain.dir/gas.cc.o.d"
+  "libwedge_chain.a"
+  "libwedge_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedge_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wedge_chain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedge_cluster.dir/bft_cluster.cc.o"
+  "CMakeFiles/wedge_cluster.dir/bft_cluster.cc.o.d"
+  "libwedge_cluster.a"
+  "libwedge_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedge_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedge_common.dir/bytes.cc.o"
+  "CMakeFiles/wedge_common.dir/bytes.cc.o.d"
+  "CMakeFiles/wedge_common.dir/clock.cc.o"
+  "CMakeFiles/wedge_common.dir/clock.cc.o.d"
+  "CMakeFiles/wedge_common.dir/random.cc.o"
+  "CMakeFiles/wedge_common.dir/random.cc.o.d"
+  "CMakeFiles/wedge_common.dir/status.cc.o"
+  "CMakeFiles/wedge_common.dir/status.cc.o.d"
+  "CMakeFiles/wedge_common.dir/thread_pool.cc.o"
+  "CMakeFiles/wedge_common.dir/thread_pool.cc.o.d"
+  "libwedge_common.a"
+  "libwedge_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedge_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contracts/baseline_contracts.cc" "src/contracts/CMakeFiles/wedge_contracts.dir/baseline_contracts.cc.o" "gcc" "src/contracts/CMakeFiles/wedge_contracts.dir/baseline_contracts.cc.o.d"
+  "/root/repo/src/contracts/payment.cc" "src/contracts/CMakeFiles/wedge_contracts.dir/payment.cc.o" "gcc" "src/contracts/CMakeFiles/wedge_contracts.dir/payment.cc.o.d"
+  "/root/repo/src/contracts/punishment.cc" "src/contracts/CMakeFiles/wedge_contracts.dir/punishment.cc.o" "gcc" "src/contracts/CMakeFiles/wedge_contracts.dir/punishment.cc.o.d"
+  "/root/repo/src/contracts/root_record.cc" "src/contracts/CMakeFiles/wedge_contracts.dir/root_record.cc.o" "gcc" "src/contracts/CMakeFiles/wedge_contracts.dir/root_record.cc.o.d"
+  "/root/repo/src/contracts/stage1_message.cc" "src/contracts/CMakeFiles/wedge_contracts.dir/stage1_message.cc.o" "gcc" "src/contracts/CMakeFiles/wedge_contracts.dir/stage1_message.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/wedge_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/merkle/CMakeFiles/wedge_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wedge_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wedge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedge_contracts.dir/baseline_contracts.cc.o"
+  "CMakeFiles/wedge_contracts.dir/baseline_contracts.cc.o.d"
+  "CMakeFiles/wedge_contracts.dir/payment.cc.o"
+  "CMakeFiles/wedge_contracts.dir/payment.cc.o.d"
+  "CMakeFiles/wedge_contracts.dir/punishment.cc.o"
+  "CMakeFiles/wedge_contracts.dir/punishment.cc.o.d"
+  "CMakeFiles/wedge_contracts.dir/root_record.cc.o"
+  "CMakeFiles/wedge_contracts.dir/root_record.cc.o.d"
+  "CMakeFiles/wedge_contracts.dir/stage1_message.cc.o"
+  "CMakeFiles/wedge_contracts.dir/stage1_message.cc.o.d"
+  "libwedge_contracts.a"
+  "libwedge_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedge_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

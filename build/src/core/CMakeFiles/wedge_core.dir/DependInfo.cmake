@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_read.cc" "src/core/CMakeFiles/wedge_core.dir/batch_read.cc.o" "gcc" "src/core/CMakeFiles/wedge_core.dir/batch_read.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/wedge_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/wedge_core.dir/client.cc.o.d"
+  "/root/repo/src/core/data_model.cc" "src/core/CMakeFiles/wedge_core.dir/data_model.cc.o" "gcc" "src/core/CMakeFiles/wedge_core.dir/data_model.cc.o.d"
+  "/root/repo/src/core/economics.cc" "src/core/CMakeFiles/wedge_core.dir/economics.cc.o" "gcc" "src/core/CMakeFiles/wedge_core.dir/economics.cc.o.d"
+  "/root/repo/src/core/offchain_node.cc" "src/core/CMakeFiles/wedge_core.dir/offchain_node.cc.o" "gcc" "src/core/CMakeFiles/wedge_core.dir/offchain_node.cc.o.d"
+  "/root/repo/src/core/remote.cc" "src/core/CMakeFiles/wedge_core.dir/remote.cc.o" "gcc" "src/core/CMakeFiles/wedge_core.dir/remote.cc.o.d"
+  "/root/repo/src/core/stage2_watcher.cc" "src/core/CMakeFiles/wedge_core.dir/stage2_watcher.cc.o" "gcc" "src/core/CMakeFiles/wedge_core.dir/stage2_watcher.cc.o.d"
+  "/root/repo/src/core/wedgeblock.cc" "src/core/CMakeFiles/wedge_core.dir/wedgeblock.cc.o" "gcc" "src/core/CMakeFiles/wedge_core.dir/wedgeblock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/contracts/CMakeFiles/wedge_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/wedge_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/merkle/CMakeFiles/wedge_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wedge_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wedge_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wedge_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wedge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

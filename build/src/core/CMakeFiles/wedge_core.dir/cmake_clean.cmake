@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedge_core.dir/batch_read.cc.o"
+  "CMakeFiles/wedge_core.dir/batch_read.cc.o.d"
+  "CMakeFiles/wedge_core.dir/client.cc.o"
+  "CMakeFiles/wedge_core.dir/client.cc.o.d"
+  "CMakeFiles/wedge_core.dir/data_model.cc.o"
+  "CMakeFiles/wedge_core.dir/data_model.cc.o.d"
+  "CMakeFiles/wedge_core.dir/economics.cc.o"
+  "CMakeFiles/wedge_core.dir/economics.cc.o.d"
+  "CMakeFiles/wedge_core.dir/offchain_node.cc.o"
+  "CMakeFiles/wedge_core.dir/offchain_node.cc.o.d"
+  "CMakeFiles/wedge_core.dir/remote.cc.o"
+  "CMakeFiles/wedge_core.dir/remote.cc.o.d"
+  "CMakeFiles/wedge_core.dir/stage2_watcher.cc.o"
+  "CMakeFiles/wedge_core.dir/stage2_watcher.cc.o.d"
+  "CMakeFiles/wedge_core.dir/wedgeblock.cc.o"
+  "CMakeFiles/wedge_core.dir/wedgeblock.cc.o.d"
+  "libwedge_core.a"
+  "libwedge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

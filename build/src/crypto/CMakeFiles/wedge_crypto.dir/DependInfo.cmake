@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/ecdsa.cc" "src/crypto/CMakeFiles/wedge_crypto.dir/ecdsa.cc.o" "gcc" "src/crypto/CMakeFiles/wedge_crypto.dir/ecdsa.cc.o.d"
+  "/root/repo/src/crypto/hmac_sha256.cc" "src/crypto/CMakeFiles/wedge_crypto.dir/hmac_sha256.cc.o" "gcc" "src/crypto/CMakeFiles/wedge_crypto.dir/hmac_sha256.cc.o.d"
+  "/root/repo/src/crypto/keccak256.cc" "src/crypto/CMakeFiles/wedge_crypto.dir/keccak256.cc.o" "gcc" "src/crypto/CMakeFiles/wedge_crypto.dir/keccak256.cc.o.d"
+  "/root/repo/src/crypto/secp256k1.cc" "src/crypto/CMakeFiles/wedge_crypto.dir/secp256k1.cc.o" "gcc" "src/crypto/CMakeFiles/wedge_crypto.dir/secp256k1.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/wedge_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/wedge_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/u256.cc" "src/crypto/CMakeFiles/wedge_crypto.dir/u256.cc.o" "gcc" "src/crypto/CMakeFiles/wedge_crypto.dir/u256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wedge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedge_crypto.dir/ecdsa.cc.o"
+  "CMakeFiles/wedge_crypto.dir/ecdsa.cc.o.d"
+  "CMakeFiles/wedge_crypto.dir/hmac_sha256.cc.o"
+  "CMakeFiles/wedge_crypto.dir/hmac_sha256.cc.o.d"
+  "CMakeFiles/wedge_crypto.dir/keccak256.cc.o"
+  "CMakeFiles/wedge_crypto.dir/keccak256.cc.o.d"
+  "CMakeFiles/wedge_crypto.dir/secp256k1.cc.o"
+  "CMakeFiles/wedge_crypto.dir/secp256k1.cc.o.d"
+  "CMakeFiles/wedge_crypto.dir/sha256.cc.o"
+  "CMakeFiles/wedge_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/wedge_crypto.dir/u256.cc.o"
+  "CMakeFiles/wedge_crypto.dir/u256.cc.o.d"
+  "libwedge_crypto.a"
+  "libwedge_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedge_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

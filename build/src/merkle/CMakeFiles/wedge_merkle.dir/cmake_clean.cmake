@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedge_merkle.dir/merkle_tree.cc.o"
+  "CMakeFiles/wedge_merkle.dir/merkle_tree.cc.o.d"
+  "CMakeFiles/wedge_merkle.dir/multi_proof.cc.o"
+  "CMakeFiles/wedge_merkle.dir/multi_proof.cc.o.d"
+  "libwedge_merkle.a"
+  "libwedge_merkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedge_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

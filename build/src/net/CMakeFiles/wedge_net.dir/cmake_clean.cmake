@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedge_net.dir/sim_network.cc.o"
+  "CMakeFiles/wedge_net.dir/sim_network.cc.o.d"
+  "libwedge_net.a"
+  "libwedge_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedge_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedge_storage.dir/decentralized_archive.cc.o"
+  "CMakeFiles/wedge_storage.dir/decentralized_archive.cc.o.d"
+  "CMakeFiles/wedge_storage.dir/log_store.cc.o"
+  "CMakeFiles/wedge_storage.dir/log_store.cc.o.d"
+  "CMakeFiles/wedge_storage.dir/tiered_store.cc.o"
+  "CMakeFiles/wedge_storage.dir/tiered_store.cc.o.d"
+  "libwedge_storage.a"
+  "libwedge_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedge_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_read_test.dir/batch_read_test.cc.o"
+  "CMakeFiles/batch_read_test.dir/batch_read_test.cc.o.d"
+  "batch_read_test"
+  "batch_read_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

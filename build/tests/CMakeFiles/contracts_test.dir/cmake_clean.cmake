@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contracts_test.dir/payment_test.cc.o"
+  "CMakeFiles/contracts_test.dir/payment_test.cc.o.d"
+  "CMakeFiles/contracts_test.dir/punishment_test.cc.o"
+  "CMakeFiles/contracts_test.dir/punishment_test.cc.o.d"
+  "CMakeFiles/contracts_test.dir/root_record_test.cc.o"
+  "CMakeFiles/contracts_test.dir/root_record_test.cc.o.d"
+  "contracts_test"
+  "contracts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contracts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

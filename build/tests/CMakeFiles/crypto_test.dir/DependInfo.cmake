@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ecdsa_test.cc" "tests/CMakeFiles/crypto_test.dir/ecdsa_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/ecdsa_test.cc.o.d"
+  "/root/repo/tests/keccak256_test.cc" "tests/CMakeFiles/crypto_test.dir/keccak256_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/keccak256_test.cc.o.d"
+  "/root/repo/tests/secp256k1_test.cc" "tests/CMakeFiles/crypto_test.dir/secp256k1_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/secp256k1_test.cc.o.d"
+  "/root/repo/tests/sha256_test.cc" "tests/CMakeFiles/crypto_test.dir/sha256_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/sha256_test.cc.o.d"
+  "/root/repo/tests/u256_test.cc" "tests/CMakeFiles/crypto_test.dir/u256_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/u256_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/wedge_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wedge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

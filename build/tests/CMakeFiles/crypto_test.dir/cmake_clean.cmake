@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/ecdsa_test.cc.o"
+  "CMakeFiles/crypto_test.dir/ecdsa_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/keccak256_test.cc.o"
+  "CMakeFiles/crypto_test.dir/keccak256_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/secp256k1_test.cc.o"
+  "CMakeFiles/crypto_test.dir/secp256k1_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/sha256_test.cc.o"
+  "CMakeFiles/crypto_test.dir/sha256_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/u256_test.cc.o"
+  "CMakeFiles/crypto_test.dir/u256_test.cc.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/economics_test.dir/economics_test.cc.o"
+  "CMakeFiles/economics_test.dir/economics_test.cc.o.d"
+  "economics_test"
+  "economics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/economics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

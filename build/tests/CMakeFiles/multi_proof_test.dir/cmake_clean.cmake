@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_proof_test.dir/multi_proof_test.cc.o"
+  "CMakeFiles/multi_proof_test.dir/multi_proof_test.cc.o.d"
+  "multi_proof_test"
+  "multi_proof_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_proof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

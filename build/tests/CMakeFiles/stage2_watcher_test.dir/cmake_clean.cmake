@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage2_watcher_test.dir/stage2_watcher_test.cc.o"
+  "CMakeFiles/stage2_watcher_test.dir/stage2_watcher_test.cc.o.d"
+  "stage2_watcher_test"
+  "stage2_watcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage2_watcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_store_test.dir/tiered_store_test.cc.o"
+  "CMakeFiles/tiered_store_test.dir/tiered_store_test.cc.o.d"
+  "tiered_store_test"
+  "tiered_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

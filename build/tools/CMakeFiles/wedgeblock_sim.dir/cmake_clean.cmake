@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedgeblock_sim.dir/wedgeblock_sim.cc.o"
+  "CMakeFiles/wedgeblock_sim.dir/wedgeblock_sim.cc.o.d"
+  "wedgeblock_sim"
+  "wedgeblock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedgeblock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
