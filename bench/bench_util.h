@@ -92,6 +92,33 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
 }
 
+/// Machine-readable bench output: one JSON object per line (JSON Lines),
+/// fields emitted in call order. Keys and string values must not need
+/// escaping (plain identifiers).
+class JsonRow {
+ public:
+  JsonRow& Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return Raw(key, buf);
+  }
+  JsonRow& Field(const std::string& key, uint64_t value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonRow& Field(const std::string& key, const std::string& value) {
+    return Raw(key, "\"" + value + "\"");
+  }
+  void Print() const { std::printf("{%s}\n", fields_.c_str()); }
+
+ private:
+  JsonRow& Raw(const std::string& key, const std::string& literal) {
+    if (!fields_.empty()) fields_ += ", ";
+    fields_ += "\"" + key + "\": " + literal;
+    return *this;
+  }
+  std::string fields_;
+};
+
 }  // namespace bench
 }  // namespace wedge
 

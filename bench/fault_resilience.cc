@@ -1,0 +1,94 @@
+// Robustness sweep: publisher latency and digest-confirmation lag as the
+// simulated chain drops 0-20% of submitted transactions. The stage-2
+// submitter's timeout/backoff/retry pipeline must land every batch root
+// on-chain regardless of the drop rate; the expected shape is a flat
+// stage-1 latency (the publisher never waits on the chain) and a
+// confirmation lag that grows with the drop probability as timed-out
+// submissions are retried.
+//
+// Emits one JSON row per drop rate (JSON Lines) for plotting.
+
+#include "bench/bench_util.h"
+
+namespace wedge {
+namespace bench {
+namespace {
+
+constexpr uint32_t kBatch = 50;
+constexpr int kRounds = 30;  // One stage-2 tx per round: enough draws
+                             // for drops to materialize at 5-20%.
+constexpr uint64_t kMaxBlocksPerRound = 512;  // Safety cap, never hit.
+
+}  // namespace
+
+void Main() {
+  PrintHeader("Fault resilience: stage-2 confirmation vs tx drop rate");
+
+  const double kDropRates[] = {0.0, 0.05, 0.10, 0.15, 0.20};
+  for (double drop : kDropRates) {
+    DeploymentConfig config;
+    config.node.batch_size = kBatch;
+    config.node.worker_threads = 4;
+    config.node.verify_client_signatures = false;
+    config.chain.faults.drop_probability = drop;
+    // Independent draws per rate: with a shared seed the same uniform
+    // sequence decides every rate and one unlucky seed flattens the sweep.
+    config.chain.faults.seed = 0xBE7C + static_cast<uint64_t>(drop * 1000.0);
+    config.offchain_funding = EthToWei(1'000'000);
+    config.client_funding = EthToWei(1'000'000);
+    auto made = Deployment::Create(config);
+    if (!made.ok()) std::abort();
+    auto d = std::move(made).value();
+    auto& pub = d->publisher();
+
+    double stage1_ms_total = 0.0;
+    uint64_t lag_blocks_total = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      auto kvs = MakeWorkload(kBatch, kDefaultValueSize, kDefaultKeySize,
+                              /*seed=*/1000 + round);
+      Stopwatch sw(RealClock::Global());
+      auto responses = pub.Publish(pub.MakeRequests(kvs));
+      stage1_ms_total += sw.ElapsedSeconds() * 1e3;
+      if (!responses.ok()) std::abort();
+
+      // Simulated chain time until every digest of the round is past the
+      // confirmation depth — retries included.
+      uint64_t blocks = 0;
+      while (d->node().UncommittedDigests() > 0 &&
+             blocks < kMaxBlocksPerRound) {
+        d->AdvanceBlocks(1);
+        ++blocks;
+      }
+      if (d->node().UncommittedDigests() > 0) std::abort();  // Lost root.
+      lag_blocks_total += blocks;
+    }
+
+    double lag_blocks_avg = static_cast<double>(lag_blocks_total) / kRounds;
+    double lag_s_avg =
+        lag_blocks_avg * d->chain().config().block_interval_seconds;
+    Stage2SubmitterStats stats = d->node().stage2_submitter()->stats();
+    JsonRow()
+        .Field("bench", "fault_resilience")
+        .Field("drop_probability", drop)
+        .Field("batch_size", static_cast<uint64_t>(kBatch))
+        .Field("rounds", static_cast<uint64_t>(kRounds))
+        .Field("stage1_latency_ms_avg", stage1_ms_total / kRounds)
+        .Field("confirm_lag_blocks_avg", lag_blocks_avg)
+        .Field("confirm_lag_s_avg", lag_s_avg)
+        .Field("txs_dropped", d->chain().fault_injector()->stats().txs_dropped)
+        .Field("txs_timed_out", stats.txs_timed_out)
+        .Field("txs_retried", stats.txs_retried)
+        .Field("digests_confirmed", stats.digests_confirmed)
+        .Print();
+  }
+  std::printf(
+      "\nshape checks: stage-1 latency flat across drop rates; "
+      "confirmation lag grows with drop probability (timeout + backoff "
+      "per retry); digests_confirmed equals rounds at every rate — no "
+      "root is ever lost.\n");
+}
+
+}  // namespace bench
+}  // namespace wedge
+
+int main() { wedge::bench::Main(); }

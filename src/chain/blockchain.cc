@@ -39,7 +39,8 @@ Blockchain::Blockchain(const ChainConfig& config, SimClock* clock)
     : config_(config),
       clock_(clock),
       current_gas_price_(config.gas_price),
-      price_rng_(config.price_seed) {
+      price_rng_(config.price_seed),
+      fault_injector_(config.faults) {
   genesis_time_ = clock_->NowSeconds();
   Block genesis;
   genesis.number = 0;
@@ -150,7 +151,9 @@ Result<TxId> Blockchain::Submit(Transaction tx) {
     return Status::InvalidArgument("gas limit exceeds block gas limit");
   }
   tx.gas_limit = gas_limit;
-  Wei max_cost = tx.value + U256(gas_limit) * config_.gas_price;
+  Wei bid_price =
+      tx.gas_price_bid.IsZero() ? config_.gas_price : tx.gas_price_bid;
+  Wei max_cost = tx.value + U256(gas_limit) * bid_price;
   if (GetBalanceLocked(tx.from) < max_cost) {
     return Status::InsufficientFunds(
         "sender cannot cover value + max gas fee");
@@ -161,8 +164,26 @@ Result<TxId> Blockchain::Submit(Transaction tx) {
   tx.id = next_tx_id_++;
   tx.nonce = nonces_[tx.from]++;
   tx.submit_time = clock_->NowMicros();
-  mempool_.push_back(PendingTx{std::move(tx)});
+  // A dropped transaction is acknowledged (the RPC node returns a hash)
+  // but never reaches the mempool: the sender only learns via a missing
+  // receipt, exactly like a silently-failing Ethereum gateway.
+  if (fault_injector_.ShouldInject(FaultType::kDropTx)) {
+    return tx.id;
+  }
+  PendingTx pending{std::move(tx)};
+  if (fault_injector_.ShouldInject(FaultType::kEvictTx)) {
+    pending.evict_at_block =
+        blocks_.back().number +
+        static_cast<uint64_t>(
+            std::max(1, fault_injector_.config().evict_after_blocks));
+  }
+  mempool_.push_back(std::move(pending));
   return mempool_.back().tx.id;
+}
+
+size_t Blockchain::MempoolSize() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return mempool_.size();
 }
 
 void Blockchain::PumpUntilNow() {
@@ -182,6 +203,9 @@ Wei Blockchain::CurrentGasPrice() const {
 }
 
 void Blockchain::MineBlockLocked(int64_t block_time) {
+  // Per-block gas price: base (optionally a volatility walk), then a
+  // transient fault-injected spike multiplier for this block only.
+  Wei block_price = config_.gas_price;
   if (config_.gas_price_volatility > 0.0) {
     // Random walk around the base price: price = base * (1 +/- U[0, v]).
     double swing =
@@ -191,17 +215,39 @@ void Blockchain::MineBlockLocked(int64_t block_time) {
     U256 scaled = config_.gas_price * U256(static_cast<uint64_t>(permille));
     U256 q, r;
     scaled.DivMod(U256(1000), &q, &r).ok();
-    current_gas_price_ = q;
+    block_price = q;
   }
+  if (fault_injector_.ShouldInject(FaultType::kGasSpike)) {
+    double mult = fault_injector_.config().gas_spike_multiplier;
+    uint64_t permille = mult > 1.0 ? static_cast<uint64_t>(mult * 1000.0) : 1000;
+    U256 scaled = block_price * U256(permille);
+    U256 q, r;
+    scaled.DivMod(U256(1000), &q, &r).ok();
+    block_price = q;
+  }
+  current_gas_price_ = block_price;
 
   Block block;
   block.number = blocks_.back().number + 1;
   block.timestamp = block_time;
   block.parent_hash = blocks_.back().hash;
 
+  // Mempool eviction: drop tagged transactions whose deadline has passed.
+  for (auto it = mempool_.begin(); it != mempool_.end();) {
+    if (it->evict_at_block != 0 && block.number >= it->evict_at_block) {
+      fault_injector_.RecordEviction();
+      it = mempool_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  bool delayed = fault_injector_.ShouldInject(FaultType::kDelayBlock);
+
   Micros cutoff = static_cast<Micros>(block_time) * kMicrosPerSecond;
   std::vector<LogEvent> mined_events;
-  while (!mempool_.empty() &&
+  std::vector<PendingTx> underpriced;
+  while (!delayed && !mempool_.empty() &&
          block.gas_used < config_.block_gas_limit) {
     // Include transactions submitted before this block's timestamp.
     if (mempool_.front().tx.submit_time > cutoff) break;
@@ -210,6 +256,13 @@ void Blockchain::MineBlockLocked(int64_t block_time) {
         config_.block_gas_limit) {
       break;
     }
+    // Transactions bidding below the block price wait for a cheaper block.
+    if (!mempool_.front().tx.gas_price_bid.IsZero() &&
+        mempool_.front().tx.gas_price_bid < current_gas_price_) {
+      underpriced.push_back(std::move(mempool_.front()));
+      mempool_.pop_front();
+      continue;
+    }
     Transaction tx = std::move(mempool_.front().tx);
     mempool_.pop_front();
     Receipt receipt = ExecuteLocked(tx, block.number, block_time);
@@ -217,6 +270,11 @@ void Blockchain::MineBlockLocked(int64_t block_time) {
     block.tx_ids.push_back(tx.id);
     for (const LogEvent& ev : receipt.events) mined_events.push_back(ev);
     receipts_[tx.id] = std::move(receipt);
+  }
+  // Return skipped underpriced transactions to the mempool front in their
+  // original order.
+  for (auto it = underpriced.rbegin(); it != underpriced.rend(); ++it) {
+    mempool_.push_front(std::move(*it));
   }
 
   Bytes header;
@@ -257,6 +315,11 @@ Receipt Blockchain::ExecuteLocked(const Transaction& tx, uint64_t block_number,
   if (!value_ok) {
     reverted = true;
     reason = "insufficient balance for value transfer";
+  } else if (fault_injector_.ShouldInject(FaultType::kRevertTx)) {
+    // Forced revert: the transaction mines and pays gas but its state
+    // changes are rolled back, like a transient contract-state race.
+    reverted = true;
+    reason = "fault-injected revert";
   } else if (!tx.method.empty()) {
     auto it = contracts_.find(tx.to);
     if (it == contracts_.end()) {
@@ -291,7 +354,10 @@ Receipt Blockchain::ExecuteLocked(const Transaction& tx, uint64_t block_number,
   receipt.success = !reverted;
   receipt.revert_reason = reason;
   receipt.gas_used = std::min(meter.used(), tx.gas_limit);
-  receipt.fee = U256(receipt.gas_used) * current_gas_price_;
+  // Bidding transactions pay their bid; market orders pay the block price.
+  Wei paid_price =
+      tx.gas_price_bid.IsZero() ? current_gas_price_ : tx.gas_price_bid;
+  receipt.fee = U256(receipt.gas_used) * paid_price;
   receipt.events = std::move(events);
 
   // Charge the fee (sender was checked to afford gas_limit at submission,

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "chain/contract.h"
+#include "chain/fault_injector.h"
 #include "chain/types.h"
 #include "common/clock.h"
 #include "common/random.h"
@@ -33,6 +34,9 @@ struct ChainConfig {
   int confirmations = 3;
   /// Default per-transaction gas cap when Transaction.gas_limit == 0.
   uint64_t default_tx_gas_limit = 10'000'000;
+  /// Chain-fault injection (all probabilities default to 0 = no faults);
+  /// tests script deterministic faults via Blockchain::fault_injector().
+  FaultConfig faults;
 };
 
 /// A discrete-event simulated Ethereum-like blockchain.
@@ -102,6 +106,10 @@ class Blockchain {
   uint64_t HeadNumber() const;
   const ChainConfig& config() const { return config_; }
   SimClock* clock() { return clock_; }
+  /// The chain's fault injector: script schedules / read stats here.
+  FaultInjector* fault_injector() { return &fault_injector_; }
+  /// Number of transactions waiting in the mempool.
+  size_t MempoolSize() const;
   /// Gas price charged in the current head block (fluctuates when
   /// gas_price_volatility > 0).
   Wei CurrentGasPrice() const;
@@ -126,6 +134,8 @@ class Blockchain {
  private:
   struct PendingTx {
     Transaction tx;
+    /// Mempool eviction deadline (block number); 0 = never evicted.
+    uint64_t evict_at_block = 0;
   };
 
   // All private methods assume mu_ is held.
@@ -160,6 +170,7 @@ class Blockchain {
   uint64_t deploy_counter_ = 0;
   Wei current_gas_price_;
   Rng price_rng_;
+  FaultInjector fault_injector_;
 };
 
 }  // namespace wedge

@@ -1,0 +1,82 @@
+#include "chain/fault_injector.h"
+
+namespace wedge {
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+void FaultInjector::Schedule(FaultType type, int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count > 0) scheduled_[static_cast<int>(type)] += count;
+}
+
+int FaultInjector::ScheduledCount(FaultType type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scheduled_[static_cast<int>(type)];
+}
+
+bool FaultInjector::ShouldInject(FaultType type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int& armed = scheduled_[static_cast<int>(type)];
+  if (armed > 0) {
+    --armed;
+    CountInjection(type);
+    return true;
+  }
+  double p = ProbabilityFor(type);
+  if (p > 0.0 && rng_.Bernoulli(p)) {
+    CountInjection(type);
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::RecordEviction() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.txs_evicted;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+double FaultInjector::ProbabilityFor(FaultType type) const {
+  switch (type) {
+    case FaultType::kDropTx:
+      return config_.drop_probability;
+    case FaultType::kEvictTx:
+      return config_.evict_probability;
+    case FaultType::kRevertTx:
+      return config_.revert_probability;
+    case FaultType::kDelayBlock:
+      return config_.delay_probability;
+    case FaultType::kGasSpike:
+      return config_.gas_spike_probability;
+  }
+  return 0.0;
+}
+
+void FaultInjector::CountInjection(FaultType type) {
+  switch (type) {
+    case FaultType::kDropTx:
+      ++stats_.txs_dropped;
+      break;
+    case FaultType::kEvictTx:
+      // The decision is counted when the eviction actually happens
+      // (RecordEviction): a tagged transaction that mines before its
+      // deadline was never evicted.
+      break;
+    case FaultType::kRevertTx:
+      ++stats_.txs_reverted;
+      break;
+    case FaultType::kDelayBlock:
+      ++stats_.blocks_delayed;
+      break;
+    case FaultType::kGasSpike:
+      ++stats_.gas_spikes;
+      break;
+  }
+}
+
+}  // namespace wedge

@@ -36,6 +36,11 @@ struct Transaction {
   std::string method;  ///< Empty for plain transfers.
   Bytes calldata;
   uint64_t gas_limit = 0;  ///< 0 = use the chain's default cap.
+  /// Gas-price bid in wei. 0 = market order: always included, pays the
+  /// block's current price. Non-zero = legacy-Ethereum style bid: the
+  /// transaction waits in the mempool while the block price exceeds the
+  /// bid, and pays the bid when mined (stage-2 retry fee bumping).
+  Wei gas_price_bid;
   // Filled in by the chain at submission:
   TxId id = 0;
   uint64_t nonce = 0;

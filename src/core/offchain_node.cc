@@ -14,6 +14,7 @@ OffchainNode::OffchainNode(const OffchainNodeConfig& config, KeyPair key,
       chain_(chain),
       root_record_address_(root_record_address),
       pool_(config.worker_threads),
+      submitter_(config.stage2, chain, key_.address(), root_record_address),
       byzantine_mode_(config.byzantine_mode) {}
 
 Result<std::vector<Stage1Response>> OffchainNode::Append(
@@ -158,7 +159,7 @@ Result<std::vector<Stage1Response>> OffchainNode::SealBatch(
       // one for blockchain commitment.
       stage2_root[0] ^= 0xFF;
     }
-    pending_roots_.emplace_back(log_id, stage2_root);
+    WEDGE_RETURN_IF_ERROR(submitter_.Enqueue(log_id, stage2_root));
     stats_.entries_ingested += batch.size();
     ++stats_.batches_created;
   }
@@ -207,50 +208,61 @@ Result<std::vector<Stage1Response>> OffchainNode::SealBatch(
 }
 
 Result<TxId> OffchainNode::CommitPendingDigests() {
-  std::vector<std::pair<uint64_t, Hash256>> roots;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (byzantine_mode_ == ByzantineMode::kOmitStage2) {
       // Omission attack: silently discard the promised digests.
-      pending_roots_.clear();
+      submitter_.DiscardUnsubmitted();
       return Status::NotFound("stage-2 omitted (byzantine)");
     }
-    if (pending_roots_.empty()) {
-      return Status::NotFound("no pending digests");
-    }
-    roots.assign(pending_roots_.begin(), pending_roots_.end());
-    pending_roots_.clear();
+  }
+  if (submitter_.UnsubmittedDigests() == 0) {
+    return Status::NotFound("no pending digests");
   }
   if (chain_ == nullptr) {
     return Status::FailedPrecondition("no blockchain attached");
   }
-
-  Transaction tx;
-  tx.from = key_.address();
-  tx.to = root_record_address_;
-  tx.method = "updateRecords";
-  PutU64(tx.calldata, roots.front().first);
-  PutU32(tx.calldata, static_cast<uint32_t>(roots.size()));
-  for (const auto& [id, root] : roots) {
-    wedge::Append(tx.calldata, HashToBytes(root));
-  }
-  WEDGE_ASSIGN_OR_RETURN(TxId id, chain_->Submit(tx));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stage2_txs_.push_back(id);
-    ++stats_.stage2_txs_submitted;
-  }
-  return id;
+  return submitter_.SubmitPending();
 }
 
 size_t OffchainNode::PendingDigests() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pending_roots_.size();
+  return submitter_.UnsubmittedDigests();
+}
+
+size_t OffchainNode::UncommittedDigests() const {
+  return submitter_.UncommittedDigests();
 }
 
 std::vector<TxId> OffchainNode::Stage2TxIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stage2_txs_;
+  return submitter_.TxIds();
+}
+
+void OffchainNode::Stage2Tick() { submitter_.Tick(); }
+
+Result<uint64_t> OffchainNode::Recover() {
+  if (chain_ == nullptr) {
+    return Status::FailedPrecondition("no blockchain attached");
+  }
+  if (submitter_.UncommittedDigests() != 0) {
+    return Status::FailedPrecondition(
+        "recovery requires a fresh (empty) stage-2 journal");
+  }
+  WEDGE_ASSIGN_OR_RETURN(Bytes out,
+                         chain_->Call(root_record_address_, "tailIdx", {}));
+  ByteReader reader(out);
+  WEDGE_ASSIGN_OR_RETURN(uint64_t tail, reader.ReadU64());
+  uint64_t local_tail = store_->Size();
+  if (tail > local_tail) {
+    return Status::Internal(
+        "on-chain tail ahead of the local log: store lost data");
+  }
+  // Re-journal every position sealed before the crash that the chain has
+  // not committed; the normal pipeline resubmits and confirms them.
+  for (uint64_t id = tail; id < local_tail; ++id) {
+    WEDGE_ASSIGN_OR_RETURN(LogPosition pos, store_->Get(id));
+    WEDGE_RETURN_IF_ERROR(submitter_.Enqueue(id, pos.mroot));
+  }
+  return local_tail - tail;
 }
 
 Result<std::shared_ptr<MerkleTree>> OffchainNode::TreeFor(uint64_t log_id) {
@@ -412,8 +424,13 @@ Result<uint32_t> OffchainNode::PositionEntryCount(uint64_t log_id) const {
 }
 
 OffchainNodeStats OffchainNode::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  OffchainNodeStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
+  s.stage2_txs_submitted = submitter_.stats().txs_submitted;
+  return s;
 }
 
 void OffchainNode::set_byzantine_mode(ByzantineMode mode) {

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "core/batch_read.h"
 #include "core/data_model.h"
+#include "core/stage2_submitter.h"
 
 namespace wedge {
 
@@ -52,6 +53,8 @@ struct OffchainNodeConfig {
   /// Positions whose Merkle trees stay cached for read serving.
   size_t tree_cache_capacity = 4096;
   ByzantineMode byzantine_mode = ByzantineMode::kHonest;
+  /// Resilient stage-2 pipeline knobs (timeout, backoff, gas bumping).
+  Stage2SubmitterConfig stage2;
 };
 
 /// Running counters exposed for experiments.
@@ -125,11 +128,29 @@ class OffchainNode {
   /// --- Stage 2 (lazy blockchain commitment) ---
 
   /// Submits one updateRecords transaction covering all pending digests.
-  /// Returns the TxId, or NotFound when nothing is pending.
+  /// Returns the TxId, or NotFound when nothing is pending. The digests
+  /// stay journaled in the submitter until a confirmed receipt covers
+  /// them, so a failed or lost transaction never loses a root.
   Result<TxId> CommitPendingDigests();
+  /// Digests sealed locally but not yet covered by a stage-2 submission.
   size_t PendingDigests() const;
+  /// Digests not yet *confirmed* on-chain (submitted or not).
+  size_t UncommittedDigests() const;
   /// TxIds of all stage-2 transactions submitted so far.
   std::vector<TxId> Stage2TxIds() const;
+  /// Drives the stage-2 pipeline: reaps confirmations, detects lost or
+  /// reverted transactions, retries with backoff + gas bumping. Call once
+  /// per mined block (Deployment::AdvanceBlocks does).
+  void Stage2Tick();
+  /// Direct access for tests and experiment harnesses.
+  Stage2Submitter* stage2_submitter() { return &submitter_; }
+
+  /// Crash recovery: reconciles the local log tail against the on-chain
+  /// Root Record tail and re-journals every locally-sealed position the
+  /// chain does not know about yet. Returns the number of re-enqueued
+  /// digests. Call on a freshly constructed node (empty journal) whose
+  /// store was reopened from disk.
+  Result<uint64_t> Recover();
 
   /// --- Introspection ---
 
@@ -165,11 +186,10 @@ class OffchainNode {
   Blockchain* const chain_;
   const Address root_record_address_;
   mutable ThreadPool pool_;
+  Stage2Submitter submitter_;
 
   mutable std::mutex mu_;
   std::vector<AppendRequest> staging_;
-  std::deque<std::pair<uint64_t, Hash256>> pending_roots_;
-  std::vector<TxId> stage2_txs_;
   std::unordered_map<uint64_t, std::shared_ptr<MerkleTree>> tree_cache_;
   std::deque<uint64_t> tree_cache_order_;  // FIFO eviction.
   OffchainNodeStats stats_;

@@ -152,9 +152,9 @@ Result<Bytes> RemoteNodeClient::Call(std::string_view op, const Bytes& body) {
   pending_ = PendingReply{};
   SignedEnvelope envelope =
       SignedEnvelope::Create(key_, EncodeRequest(rpc_id, op, body));
-  Micros sent_at = bus_->Send(endpoint_, server_endpoint_,
-                              envelope.Serialize());
-  if (sent_at == 0) {
+  Result<Micros> sent_at =
+      bus_->Send(endpoint_, server_endpoint_, envelope.Serialize());
+  if (!sent_at.ok()) {
     return Status::Unavailable("request dropped by the network");
   }
   Micros deadline = clock_->NowMicros() + rpc_timeout_;

@@ -1,0 +1,231 @@
+#include "core/stage2_submitter.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "contracts/root_record.h"
+
+namespace wedge {
+
+Stage2Submitter::Stage2Submitter(const Stage2SubmitterConfig& config,
+                                 Blockchain* chain, const Address& sender,
+                                 const Address& root_record_address)
+    : config_(config),
+      chain_(chain),
+      sender_(sender),
+      root_record_address_(root_record_address) {}
+
+Status Stage2Submitter::Enqueue(uint64_t log_id, const Hash256& root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!journal_.empty() && log_id != journal_.back().first + 1) {
+    return Status::InvalidArgument("stage-2 journal gap: non-contiguous id");
+  }
+  journal_.emplace_back(log_id, root);
+  return Status::Ok();
+}
+
+Result<TxId> Stage2Submitter::SubmitPending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SubmitPendingLocked(/*gas_bid=*/Wei());
+}
+
+Result<TxId> Stage2Submitter::SubmitPendingLocked(const Wei& gas_bid) {
+  if (submitted_count_ >= journal_.size()) {
+    return Status::NotFound("no pending digests");
+  }
+  if (chain_ == nullptr) {
+    return Status::FailedPrecondition("no blockchain attached");
+  }
+  TxId first_tx = 0;
+  while (submitted_count_ < journal_.size()) {
+    size_t take = std::min<size_t>(
+        journal_.size() - submitted_count_,
+        static_cast<size_t>(RootRecordContract::kMaxRootsPerCall));
+    Transaction tx;
+    tx.from = sender_;
+    tx.to = root_record_address_;
+    tx.method = "updateRecords";
+    tx.gas_price_bid = gas_bid;
+    uint64_t first_id = journal_[submitted_count_].first;
+    PutU64(tx.calldata, first_id);
+    PutU32(tx.calldata, static_cast<uint32_t>(take));
+    for (size_t i = 0; i < take; ++i) {
+      Append(tx.calldata, HashToBytes(journal_[submitted_count_ + i].second));
+    }
+    // On Submit failure the journal is untouched: the digests stay
+    // pending and the next SubmitPending/Tick covers them again.
+    WEDGE_ASSIGN_OR_RETURN(TxId id, chain_->Submit(tx));
+    if (first_tx == 0) first_tx = id;
+    InFlightTx rec;
+    rec.id = id;
+    rec.first_id = first_id;
+    rec.count = static_cast<uint32_t>(take);
+    rec.submitted_block = chain_->HeadNumber();
+    in_flight_.push_back(rec);
+    all_tx_ids_.push_back(id);
+    submitted_count_ += take;
+    ++stats_.txs_submitted;
+  }
+  return first_tx;
+}
+
+void Stage2Submitter::Tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (chain_ == nullptr) return;
+  uint64_t head = chain_->HeadNumber();
+
+  bool failed_any = false;
+  bool confirmed_any = false;
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    Result<Receipt> receipt = chain_->GetReceipt(it->id);
+    if (receipt.ok()) {
+      if (!receipt.value().success) {
+        // Mined but reverted: either a fault-injected revert, or a stale
+        // duplicate rejected by the contract's sequential tail check. The
+        // digests it carried are re-covered by the retry below if the
+        // tail has not advanced past them.
+        ++stats_.txs_reverted;
+        failed_any = true;
+        it = in_flight_.erase(it);
+        continue;
+      }
+      if (chain_->IsConfirmed(it->id)) {
+        ++stats_.txs_confirmed;
+        confirmed_any = true;
+        it = in_flight_.erase(it);
+        continue;
+      }
+      // Mined, awaiting confirmation depth.
+      ++it;
+      continue;
+    }
+    if (head >= it->submitted_block + config_.confirmation_deadline_blocks) {
+      // No receipt within the deadline: presumed dropped/evicted/stuck.
+      ++stats_.txs_timed_out;
+      failed_any = true;
+      it = in_flight_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+
+  if (confirmed_any || failed_any) {
+    ReconcileWithChainTailLocked();
+    RecomputeSubmittedLocked();
+  }
+  if (confirmed_any && in_flight_.empty() && !failed_any) {
+    attempt_ = 1;  // Healthy again: future submissions start fresh.
+    retry_pending_ = false;
+  }
+  if (failed_any && !retry_pending_) {
+    retry_pending_ = true;
+    ++attempt_;
+    retry_at_block_ = head + BackoffBlocksLocked(attempt_);
+  }
+
+  if (retry_pending_ && head >= retry_at_block_ &&
+      submitted_count_ < journal_.size()) {
+    Result<TxId> resubmit = SubmitPendingLocked(BumpedBidLocked(attempt_));
+    if (resubmit.ok()) {
+      ++stats_.txs_retried;
+      retry_pending_ = false;
+    } else {
+      // Chain rejected the retry (e.g. transient balance shortfall):
+      // back off further and try again.
+      ++attempt_;
+      retry_at_block_ = head + BackoffBlocksLocked(attempt_);
+    }
+  } else if (retry_pending_ && submitted_count_ >= journal_.size()) {
+    // Everything the failed transactions carried is already on-chain
+    // (a presumed-lost transaction mined after its deadline).
+    retry_pending_ = false;
+  }
+}
+
+void Stage2Submitter::ReconcileWithChainTailLocked() {
+  Result<Bytes> out = chain_->Call(root_record_address_, "tailIdx", {});
+  if (!out.ok()) return;
+  Bytes encoded = std::move(out).value();
+  ByteReader reader(encoded);
+  Result<uint64_t> tail = reader.ReadU64();
+  if (!tail.ok()) return;
+  while (!journal_.empty() && journal_.front().first < tail.value()) {
+    journal_.pop_front();
+    ++stats_.digests_confirmed;
+  }
+}
+
+void Stage2Submitter::RecomputeSubmittedLocked() {
+  // Coverage is a contiguous journal prefix: every submission covers the
+  // suffix starting at the first unsubmitted entry.
+  if (journal_.empty()) {
+    submitted_count_ = 0;
+    return;
+  }
+  uint64_t front_id = journal_.front().first;
+  uint64_t covered_end = front_id;
+  for (const InFlightTx& tx : in_flight_) {
+    covered_end = std::max(covered_end, tx.first_id + tx.count);
+  }
+  submitted_count_ =
+      std::min<size_t>(journal_.size(), covered_end - front_id);
+}
+
+Wei Stage2Submitter::BumpedBidLocked(int attempt) const {
+  // bid = market * min(bump^(attempt-1), cap), in permille arithmetic.
+  double mult = 1.0;
+  for (int i = 1; i < attempt && mult < config_.gas_bump_cap; ++i) {
+    mult *= config_.gas_bump_multiplier;
+  }
+  mult = std::min(mult, std::max(1.0, config_.gas_bump_cap));
+  Wei market = chain_->CurrentGasPrice();
+  U256 scaled = market * U256(static_cast<uint64_t>(mult * 1000.0));
+  U256 q, r;
+  scaled.DivMod(U256(1000), &q, &r).ok();
+  // Never bid below market: an underpriced bid would wait forever.
+  return q < market ? market : q;
+}
+
+uint64_t Stage2Submitter::BackoffBlocksLocked(int attempt) const {
+  uint64_t blocks = config_.retry_backoff_base_blocks;
+  for (int i = 2; i < attempt && blocks < config_.retry_backoff_max_blocks;
+       ++i) {
+    blocks *= 2;
+  }
+  return std::max<uint64_t>(
+      1, std::min(blocks, config_.retry_backoff_max_blocks));
+}
+
+size_t Stage2Submitter::DiscardUnsubmitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = journal_.size() - submitted_count_;
+  journal_.resize(submitted_count_);
+  return dropped;
+}
+
+size_t Stage2Submitter::UnsubmittedDigests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_.size() - submitted_count_;
+}
+
+size_t Stage2Submitter::UncommittedDigests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_.size();
+}
+
+size_t Stage2Submitter::InFlightTxs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_.size();
+}
+
+std::vector<TxId> Stage2Submitter::TxIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return all_tx_ids_;
+}
+
+Stage2SubmitterStats Stage2Submitter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace wedge

@@ -1,0 +1,129 @@
+#ifndef WEDGEBLOCK_CORE_STAGE2_SUBMITTER_H_
+#define WEDGEBLOCK_CORE_STAGE2_SUBMITTER_H_
+
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "crypto/sha256.h"
+
+namespace wedge {
+
+/// Tuning for the resilient stage-2 pipeline.
+struct Stage2SubmitterConfig {
+  /// Blocks after submission without a receipt before an in-flight
+  /// transaction is presumed lost (dropped/evicted/stuck) and retried.
+  uint64_t confirmation_deadline_blocks = 8;
+  /// Retry backoff in blocks: base * 2^(attempt-1), capped below.
+  uint64_t retry_backoff_base_blocks = 1;
+  uint64_t retry_backoff_max_blocks = 16;
+  /// Gas-price bump per retry: the bid for attempt k is the current
+  /// market price times bump^(k-1), capped at cap x market.
+  double gas_bump_multiplier = 1.25;
+  double gas_bump_cap = 10.0;
+};
+
+/// Counters for tests and the fault-resilience bench.
+struct Stage2SubmitterStats {
+  uint64_t txs_submitted = 0;   ///< updateRecords transactions sent.
+  uint64_t txs_confirmed = 0;   ///< Reached `confirmations` depth, success.
+  uint64_t txs_retried = 0;     ///< Resubmissions after a loss/revert.
+  uint64_t txs_timed_out = 0;   ///< Presumed lost (no receipt by deadline).
+  uint64_t txs_reverted = 0;    ///< Mined but reverted.
+  uint64_t digests_confirmed = 0;  ///< Journal entries covered on-chain.
+};
+
+/// Resilient stage-2 submission pipeline (extracted from OffchainNode).
+///
+/// Digests live in a pending journal from Enqueue until a *confirmed*
+/// on-chain receipt covers them — a chain Submit error, a dropped or
+/// evicted transaction, a forced revert, or a gas spike never loses a
+/// root; the journal suffix is simply resubmitted (with exponential
+/// backoff and gas-price bumping) until the Root Record tail advances
+/// past it. The contract's sequential start-index check makes duplicate
+/// in-flight transactions revert harmlessly, so retries cannot
+/// double-commit.
+///
+/// Thread-safe. Lock order: callers may hold the OffchainNode mutex; the
+/// submitter calls into the Blockchain (which never calls back out).
+class Stage2Submitter {
+ public:
+  Stage2Submitter(const Stage2SubmitterConfig& config, Blockchain* chain,
+                  const Address& sender, const Address& root_record_address);
+
+  Stage2Submitter(const Stage2Submitter&) = delete;
+  Stage2Submitter& operator=(const Stage2Submitter&) = delete;
+
+  /// Journals a sealed batch digest. Log ids must arrive contiguously
+  /// (each call one past the previous); the first call fixes the base.
+  Status Enqueue(uint64_t log_id, const Hash256& root);
+
+  /// Submits one updateRecords transaction per kMaxRootsPerCall chunk of
+  /// the not-yet-submitted journal suffix. Returns the first TxId, or
+  /// NotFound when nothing is unsubmitted. The journal is not modified:
+  /// entries leave it only when confirmed on-chain (see Tick).
+  Result<TxId> SubmitPending();
+
+  /// Drives the state machine one step: reaps confirmed receipts (and
+  /// retires the journal prefix the on-chain tail now covers), detects
+  /// reverted and timed-out transactions, and issues backed-off,
+  /// gas-bumped retries. Call once per mined block (Deployment's block
+  /// pump does this automatically).
+  void Tick();
+
+  /// Drops journal entries not yet covered by a submission (the
+  /// byzantine omission attack discards exactly the promised digests).
+  /// Returns the number discarded.
+  size_t DiscardUnsubmitted();
+
+  /// Journal entries not yet covered by an in-flight transaction.
+  size_t UnsubmittedDigests() const;
+  /// All journal entries (submitted or not) still awaiting confirmation.
+  size_t UncommittedDigests() const;
+  /// Transactions submitted and not yet resolved.
+  size_t InFlightTxs() const;
+  /// TxIds of every stage-2 transaction submitted so far (incl. retries).
+  std::vector<TxId> TxIds() const;
+  Stage2SubmitterStats stats() const;
+  const Stage2SubmitterConfig& config() const { return config_; }
+
+ private:
+  struct InFlightTx {
+    TxId id = 0;
+    uint64_t first_id = 0;  ///< First log id covered.
+    uint32_t count = 0;     ///< Number of roots in the calldata.
+    uint64_t submitted_block = 0;
+  };
+
+  // All *Locked methods assume mu_ is held.
+  Result<TxId> SubmitPendingLocked(const Wei& gas_bid);
+  void ReconcileWithChainTailLocked();
+  void RecomputeSubmittedLocked();
+  Wei BumpedBidLocked(int attempt) const;
+  uint64_t BackoffBlocksLocked(int attempt) const;
+
+  const Stage2SubmitterConfig config_;
+  Blockchain* const chain_;
+  const Address sender_;
+  const Address root_record_address_;
+
+  mutable std::mutex mu_;
+  /// Pending journal: contiguous (log_id, root) digests awaiting
+  /// confirmed on-chain commitment.
+  std::deque<std::pair<uint64_t, Hash256>> journal_;
+  /// Journal-prefix entries covered by an in-flight transaction.
+  size_t submitted_count_ = 0;
+  std::vector<InFlightTx> in_flight_;
+  std::vector<TxId> all_tx_ids_;
+  /// Retry scheduling after a loss/revert.
+  bool retry_pending_ = false;
+  uint64_t retry_at_block_ = 0;
+  int attempt_ = 1;  ///< Attempt number for the next (re)submission.
+  Stage2SubmitterStats stats_;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CORE_STAGE2_SUBMITTER_H_

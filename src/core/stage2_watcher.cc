@@ -6,8 +6,12 @@ namespace wedge {
 
 Stage2Watcher::Stage2Watcher(Blockchain* chain,
                              const Address& root_record_address,
-                             PublisherClient* publisher, bool auto_punish)
-    : chain_(chain), publisher_(publisher), auto_punish_(auto_punish) {
+                             PublisherClient* publisher, bool auto_punish,
+                             uint64_t liveness_deadline_blocks)
+    : chain_(chain),
+      publisher_(publisher),
+      auto_punish_(auto_punish),
+      liveness_deadline_blocks_(liveness_deadline_blocks) {
   chain_->SubscribeEvents(
       root_record_address, [this](const LogEvent& event) {
         if (event.name != "RecordsUpdated") return;
@@ -21,23 +25,33 @@ Stage2Watcher::Stage2Watcher(Blockchain* chain,
 }
 
 void Stage2Watcher::Track(Stage1Response response) {
+  uint64_t head = chain_->HeadNumber();
   std::lock_guard<std::mutex> lock(mu_);
-  pending_.push_back(std::move(response));
+  pending_.push_back(Tracked{std::move(response), head});
 }
 
 void Stage2Watcher::TrackAll(const std::vector<Stage1Response>& responses) {
+  uint64_t head = chain_->HeadNumber();
   std::lock_guard<std::mutex> lock(mu_);
-  pending_.insert(pending_.end(), responses.begin(), responses.end());
+  for (const Stage1Response& r : responses) {
+    pending_.push_back(Tracked{r, head});
+  }
 }
 
 Result<std::vector<Stage2Watcher::Outcome>> Stage2Watcher::Poll() {
-  // Pull out the responses whose position the chain now covers.
-  std::vector<Stage1Response> due;
+  // Pull out the responses whose position the chain now covers, plus the
+  // ones that have overstayed the liveness deadline.
+  uint64_t head = chain_->HeadNumber();
+  std::vector<Tracked> due;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = std::partition(
-        pending_.begin(), pending_.end(), [this](const Stage1Response& r) {
-          return r.proof.log_id >= observed_tail_;  // Keep: not covered.
+        pending_.begin(), pending_.end(), [this, head](const Tracked& t) {
+          bool covered = t.response.proof.log_id < observed_tail_;
+          bool overdue =
+              liveness_deadline_blocks_ > 0 &&
+              head >= t.tracked_block + liveness_deadline_blocks_;
+          return !covered && !overdue;  // Keep: still waiting.
         });
     due.assign(std::make_move_iterator(it),
                std::make_move_iterator(pending_.end()));
@@ -46,10 +60,16 @@ Result<std::vector<Stage2Watcher::Outcome>> Stage2Watcher::Poll() {
 
   std::vector<Outcome> outcomes;
   outcomes.reserve(due.size());
-  for (Stage1Response& response : due) {
+  for (Tracked& tracked : due) {
+    Stage1Response& response = tracked.response;
     Outcome outcome;
     WEDGE_ASSIGN_OR_RETURN(outcome.check,
                            publisher_->CheckBlockchainCommit(response));
+    if (outcome.check == CommitCheck::kNotYetCommitted) {
+      // Only the deadline can have pulled an uncovered response out of
+      // pending_: the node has gone silent past the liveness horizon.
+      outcome.check = CommitCheck::kOmissionSuspected;
+    }
     if (outcome.check == CommitCheck::kMismatch && auto_punish_) {
       // The signed response is the evidence; one punishment settles the
       // contract, further attempts revert harmlessly (all-or-nothing).

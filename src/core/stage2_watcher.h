@@ -29,8 +29,13 @@ class Stage2Watcher {
 
   /// `auto_punish`: invoke the Punishment contract automatically on a
   /// root mismatch (otherwise the outcome just reports kMismatch).
+  /// `liveness_deadline_blocks`: a tracked response whose position is
+  /// still not on-chain this many blocks after Track() resolves as
+  /// CommitCheck::kOmissionSuspected — the signal to file an omission
+  /// claim (§4.7). 0 disables the deadline (wait forever).
   Stage2Watcher(Blockchain* chain, const Address& root_record_address,
-                PublisherClient* publisher, bool auto_punish = true);
+                PublisherClient* publisher, bool auto_punish = true,
+                uint64_t liveness_deadline_blocks = 0);
 
   /// Registers a stage-1 response to watch.
   void Track(Stage1Response response);
@@ -49,12 +54,18 @@ class Stage2Watcher {
   uint64_t ObservedTail() const;
 
  private:
+  struct Tracked {
+    Stage1Response response;
+    uint64_t tracked_block = 0;  ///< Chain head when Track() was called.
+  };
+
   Blockchain* chain_;
   PublisherClient* publisher_;
   bool auto_punish_;
+  uint64_t liveness_deadline_blocks_;
 
   mutable std::mutex mu_;
-  std::vector<Stage1Response> pending_;
+  std::vector<Tracked> pending_;
   uint64_t observed_tail_ = 0;
   size_t resolved_count_ = 0;
 };

@@ -43,8 +43,10 @@ Result<std::unique_ptr<Deployment>> Deployment::Create(
   } else if (config.log_path.empty()) {
     store = std::make_unique<MemoryLogStore>();
   } else {
+    FileLogStore::Options file_options;
+    file_options.fsync_on_append = config.log_fsync;
     WEDGE_ASSIGN_OR_RETURN(auto file_store,
-                           FileLogStore::Open(config.log_path));
+                           FileLogStore::Open(config.log_path, file_options));
     store = std::move(file_store);
   }
   if (config.replication_followers > 0) {
@@ -95,6 +97,9 @@ void Deployment::AdvanceBlocks(int count) {
   for (int i = 0; i < count; ++i) {
     clock_.AdvanceSeconds(config_.chain.block_interval_seconds);
     chain_->PumpUntilNow();
+    // The node's stage-2 pipeline runs once per block: reap confirmed
+    // digests, detect lost/reverted submissions, issue retries.
+    node_->Stage2Tick();
   }
 }
 

@@ -29,6 +29,9 @@ struct DeploymentConfig {
   int64_t omission_grace_seconds = 600;
   /// Use a file-backed log store at this path ("" = in-memory).
   std::string log_path;
+  /// fsync the file-backed log after every append (see
+  /// FileLogStore::Options::fsync_on_append). Ignored without log_path.
+  bool log_fsync = false;
   /// Number of replication followers (0 = none; Figures 3/5 red curves
   /// use 2).
   int replication_followers = 0;

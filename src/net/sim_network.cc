@@ -27,10 +27,12 @@ void MessageBus::RegisterEndpoint(const std::string& name, Handler handler) {
   endpoints_[name] = std::move(handler);
 }
 
-Micros MessageBus::Send(const std::string& from, const std::string& to,
-                        Bytes payload) {
+Result<Micros> MessageBus::Send(const std::string& from, const std::string& to,
+                                Bytes payload) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (link_.ShouldDrop()) return 0;
+  if (link_.ShouldDrop()) {
+    return Status::Unavailable("message dropped by the network");
+  }
   Micros deliver_at = clock_->NowMicros() + link_.DelayFor(payload.size());
   queue_.emplace(deliver_at,
                  InFlightMessage{from, to, std::move(payload)});

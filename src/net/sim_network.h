@@ -61,8 +61,10 @@ class MessageBus {
   void RegisterEndpoint(const std::string& name, Handler handler);
 
   /// Schedules delivery of `payload` to endpoint `to`. Returns the
-  /// scheduled delivery time, or 0 when the message was dropped.
-  Micros Send(const std::string& from, const std::string& to, Bytes payload);
+  /// scheduled delivery time, or Unavailable when the (possibly
+  /// malicious) link dropped the message.
+  Result<Micros> Send(const std::string& from, const std::string& to,
+                      Bytes payload);
 
   /// Delivers every message whose delivery time has passed on the clock.
   /// Returns the number of messages delivered.

@@ -1,5 +1,7 @@
 #include "storage/log_store.h"
 
+#include <unistd.h>
+
 #include <cstring>
 
 namespace wedge {
@@ -79,8 +81,8 @@ Status MemoryLogStore::Scan(
 }
 
 Result<std::unique_ptr<FileLogStore>> FileLogStore::Open(
-    const std::string& path) {
-  std::unique_ptr<FileLogStore> store(new FileLogStore(path));
+    const std::string& path, const Options& options) {
+  std::unique_ptr<FileLogStore> store(new FileLogStore(path, options));
 
   // Replay existing records (if any), stopping at the first torn record.
   FILE* replay = std::fopen(path.c_str(), "rb");
@@ -145,6 +147,11 @@ Status FileLogStore::Append(const LogPosition& position) {
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     return Status::Internal("short write to log file");
   }
+  if (options_.fsync_on_append) {
+    if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
+      return Status::Internal("fsync failed on append");
+    }
+  }
   positions_.push_back(position);
   return Status::Ok();
 }
@@ -191,6 +198,9 @@ Status FileLogStore::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (std::fflush(file_) != 0) {
     return Status::Internal("fflush failed");
+  }
+  if (options_.fsync_on_append && fsync(fileno(file_)) != 0) {
+    return Status::Internal("fsync failed");
   }
   return Status::Ok();
 }

@@ -84,9 +84,21 @@ class MemoryLogStore : public LogStore {
 /// truncates a torn tail (partial final record) instead of failing.
 class FileLogStore : public LogStore {
  public:
+  struct Options {
+    /// fsync the log file after every Append. Default off: the paper's
+    /// prototype buffers writes on the stage-1 path; turning this on
+    /// trades append latency for durability of the most recent records
+    /// (a torn tail is truncated on recovery either way).
+    bool fsync_on_append = false;
+  };
+
   /// Opens (creating if needed) the store at `path` and recovers its
   /// in-memory index.
-  static Result<std::unique_ptr<FileLogStore>> Open(const std::string& path);
+  static Result<std::unique_ptr<FileLogStore>> Open(const std::string& path,
+                                                    const Options& options);
+  static Result<std::unique_ptr<FileLogStore>> Open(const std::string& path) {
+    return Open(path, Options());
+  }
 
   ~FileLogStore() override;
 
@@ -98,13 +110,17 @@ class FileLogStore : public LogStore {
               const std::function<bool(const LogPosition&)>& callback)
       const override;
 
-  /// Flushes buffered writes to the OS.
+  /// Flushes buffered writes to the OS (and to disk with fsync_on_append).
   Status Sync();
 
+  const Options& options() const { return options_; }
+
  private:
-  explicit FileLogStore(std::string path) : path_(std::move(path)) {}
+  FileLogStore(std::string path, const Options& options)
+      : path_(std::move(path)), options_(options) {}
 
   std::string path_;
+  const Options options_;
   mutable std::mutex mu_;
   // The recovered/served view. Positions are also cached in memory; the
   // file is the durable copy replayed on Open().

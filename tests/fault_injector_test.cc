@@ -1,0 +1,158 @@
+#include "chain/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+
+namespace wedge {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultInjectorTest() : clock_(0), chain_(ChainConfig{}, &clock_) {
+    alice_ = KeyPair::FromSeed(1).address();
+    bob_ = KeyPair::FromSeed(2).address();
+    chain_.Fund(alice_, EthToWei(100));
+  }
+
+  Transaction Transfer() {
+    Transaction tx;
+    tx.from = alice_;
+    tx.to = bob_;
+    tx.value = EthToWei(1);
+    return tx;
+  }
+
+  void MineOneBlock() {
+    clock_.AdvanceSeconds(chain_.config().block_interval_seconds);
+    chain_.PumpUntilNow();
+  }
+
+  SimClock clock_;
+  Blockchain chain_;
+  Address alice_, bob_;
+};
+
+TEST_F(FaultInjectorTest, DefaultConfigInjectsNothing) {
+  FaultInjector injector(FaultConfig{});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(injector.ShouldInject(FaultType::kDropTx));
+    EXPECT_FALSE(injector.ShouldInject(FaultType::kRevertTx));
+  }
+  EXPECT_EQ(injector.stats().txs_dropped, 0u);
+}
+
+TEST_F(FaultInjectorTest, ScheduleTakesPrecedenceOverProbability) {
+  FaultConfig config;
+  config.drop_probability = 0.0;
+  FaultInjector injector(config);
+  injector.Schedule(FaultType::kDropTx, 2);
+  EXPECT_EQ(injector.ScheduledCount(FaultType::kDropTx), 2);
+  EXPECT_TRUE(injector.ShouldInject(FaultType::kDropTx));
+  EXPECT_TRUE(injector.ShouldInject(FaultType::kDropTx));
+  EXPECT_FALSE(injector.ShouldInject(FaultType::kDropTx));
+  EXPECT_EQ(injector.ScheduledCount(FaultType::kDropTx), 0);
+  EXPECT_EQ(injector.stats().txs_dropped, 2u);
+}
+
+TEST_F(FaultInjectorTest, SeededDecisionsAreDeterministic) {
+  FaultConfig config;
+  config.seed = 42;
+  config.drop_probability = 0.5;
+  FaultInjector a(config);
+  FaultInjector b(config);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.ShouldInject(FaultType::kDropTx),
+              b.ShouldInject(FaultType::kDropTx));
+  }
+  EXPECT_EQ(a.stats().txs_dropped, b.stats().txs_dropped);
+  EXPECT_GT(a.stats().txs_dropped, 0u);
+  EXPECT_LT(a.stats().txs_dropped, 200u);
+}
+
+TEST_F(FaultInjectorTest, DroppedTxGetsIdButNeverMines) {
+  chain_.fault_injector()->Schedule(FaultType::kDropTx, 1);
+  auto dropped = chain_.Submit(Transfer());
+  ASSERT_TRUE(dropped.ok());  // Acknowledged like a real RPC node.
+  auto kept = chain_.Submit(Transfer());
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(chain_.MempoolSize(), 1u);
+
+  MineOneBlock();
+  EXPECT_FALSE(chain_.GetReceipt(dropped.value()).ok());
+  EXPECT_TRUE(chain_.GetReceipt(kept.value()).ok());
+  EXPECT_EQ(chain_.fault_injector()->stats().txs_dropped, 1u);
+}
+
+TEST_F(FaultInjectorTest, EvictedTxLeavesMempoolAfterDeadline) {
+  chain_.fault_injector()->Schedule(FaultType::kEvictTx, 1);
+  auto id = chain_.Submit(Transfer());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(chain_.MempoolSize(), 1u);
+
+  // The eviction sweep runs at mining; the transaction would otherwise
+  // be included in the very next block, so delay its inclusion past the
+  // eviction deadline with scheduled empty blocks.
+  chain_.fault_injector()->Schedule(FaultType::kDelayBlock, 2);
+  MineOneBlock();
+  MineOneBlock();
+  MineOneBlock();
+  EXPECT_EQ(chain_.MempoolSize(), 0u);
+  EXPECT_FALSE(chain_.GetReceipt(id.value()).ok());
+  EXPECT_EQ(chain_.fault_injector()->stats().txs_evicted, 1u);
+}
+
+TEST_F(FaultInjectorTest, ForcedRevertConsumesGasButRollsBack) {
+  chain_.fault_injector()->Schedule(FaultType::kRevertTx, 1);
+  Wei bob_before = chain_.BalanceOf(bob_);
+  auto id = chain_.Submit(Transfer());
+  ASSERT_TRUE(id.ok());
+  MineOneBlock();
+  auto receipt = chain_.GetReceipt(id.value());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_FALSE(receipt->success);
+  EXPECT_EQ(receipt->revert_reason, "fault-injected revert");
+  EXPECT_GT(receipt->gas_used, 0u);
+  EXPECT_EQ(chain_.BalanceOf(bob_), bob_before);  // Value refunded.
+  EXPECT_EQ(chain_.fault_injector()->stats().txs_reverted, 1u);
+}
+
+TEST_F(FaultInjectorTest, DelayedBlockMinesEmpty) {
+  chain_.fault_injector()->Schedule(FaultType::kDelayBlock, 1);
+  auto id = chain_.Submit(Transfer());
+  ASSERT_TRUE(id.ok());
+  MineOneBlock();  // Delayed: empty block.
+  EXPECT_FALSE(chain_.GetReceipt(id.value()).ok());
+  EXPECT_EQ(chain_.MempoolSize(), 1u);
+  MineOneBlock();  // Back to normal.
+  EXPECT_TRUE(chain_.GetReceipt(id.value()).ok());
+  EXPECT_EQ(chain_.fault_injector()->stats().blocks_delayed, 1u);
+}
+
+TEST_F(FaultInjectorTest, GasSpikeIsTransientAndStallsLowBids) {
+  Wei base = chain_.config().gas_price;
+
+  // A transaction bidding exactly the base price waits out the spike.
+  Transaction bid_tx = Transfer();
+  bid_tx.gas_price_bid = base;
+  auto bid_id = chain_.Submit(bid_tx);
+  ASSERT_TRUE(bid_id.ok());
+
+  chain_.fault_injector()->Schedule(FaultType::kGasSpike, 1);
+  MineOneBlock();  // Spiked block: price = base * 10.
+  EXPECT_EQ(chain_.CurrentGasPrice(), base * U256(10));
+  EXPECT_FALSE(chain_.GetReceipt(bid_id.value()).ok());
+  EXPECT_EQ(chain_.MempoolSize(), 1u);
+
+  MineOneBlock();  // Price is back at base; the bid is includable again.
+  EXPECT_EQ(chain_.CurrentGasPrice(), base);
+  auto receipt = chain_.GetReceipt(bid_id.value());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->success);
+  // The bidder pays its bid, not the block price at submission time.
+  EXPECT_EQ(receipt->fee, U256(receipt->gas_used) * base);
+  EXPECT_EQ(chain_.fault_injector()->stats().gas_spikes, 1u);
+}
+
+}  // namespace
+}  // namespace wedge

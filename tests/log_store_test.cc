@@ -196,6 +196,64 @@ TEST(FileLogStoreTest, TruncatesTornTail) {
   std::filesystem::remove(path);
 }
 
+TEST(FileLogStoreTest, TornTailRoundTripReopenRecoverAppend) {
+  // Full crash-recovery cycle: truncate mid-record, reopen, recover,
+  // append fresh records over the truncated tail, reopen again.
+  std::string path = TempPath("torn_roundtrip");
+  std::filesystem::remove(path);
+  {
+    auto store = FileLogStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    for (uint64_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE((*store)->Append(MakePosition(i, 2)).ok());
+    }
+    ASSERT_TRUE((*store)->Sync().ok());
+  }
+  // Chop into the middle of the last record (past its length prefix).
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 17);
+
+  LogPosition replacement = MakePosition(5, 3, /*seed=*/99);
+  {
+    auto reopened = FileLogStore::Open(path);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ((*reopened)->Size(), 5u);  // Torn record 5 truncated away.
+    ASSERT_TRUE((*reopened)->Append(replacement).ok());
+    ASSERT_TRUE((*reopened)->Append(MakePosition(6, 2)).ok());
+    ASSERT_TRUE((*reopened)->Sync().ok());
+  }
+  // The rewritten tail replays cleanly: no remnants of the torn record.
+  auto final_store = FileLogStore::Open(path);
+  ASSERT_TRUE(final_store.ok());
+  EXPECT_EQ((*final_store)->Size(), 7u);
+  auto pos5 = (*final_store)->Get(5);
+  ASSERT_TRUE(pos5.ok());
+  EXPECT_EQ(pos5->data_list, replacement.data_list);
+  EXPECT_EQ(pos5->mroot, replacement.mroot);
+  std::filesystem::remove(path);
+}
+
+TEST(FileLogStoreTest, FsyncOnAppendPersistsWithoutSync) {
+  std::string path = TempPath("fsync");
+  std::filesystem::remove(path);
+  FileLogStore::Options options;
+  options.fsync_on_append = true;
+  auto store = FileLogStore::Open(path, options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->options().fsync_on_append);
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*store)->Append(MakePosition(i, 2)).ok());
+  }
+  // No Sync(), store still open: every record is already on disk — an
+  // independent replay of the file sees all three positions.
+  EXPECT_GT(std::filesystem::file_size(path), 0u);
+  auto replay = FileLogStore::Open(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ((*replay)->Size(), 3u);
+  EXPECT_EQ((*replay)->Get(2)->mroot, MakePosition(2, 2).mroot);
+  std::filesystem::remove(path);
+}
+
 TEST(FileLogStoreTest, DetectsCorruptChecksum) {
   std::string path = TempPath("corrupt");
   std::filesystem::remove(path);

@@ -299,6 +299,40 @@ TEST_F(OffchainNodeTest, VerifyRejectsCrossIndexResponses) {
   EXPECT_FALSE(mixed.Verify(d->node().address()));
 }
 
+TEST_F(OffchainNodeTest, DigestsSurviveStage2SubmitFailure) {
+  // Regression: a failed chain Submit used to drain the pending digests
+  // and lose the roots for good. They must stay journaled for retry.
+  SimClock clock(0);
+  Blockchain chain(ChainConfig{}, &clock);
+  KeyPair node_key = KeyPair::FromSeed(5);
+  chain.Fund(node_key.address(), EthToWei(10));
+
+  OffchainNodeConfig config;
+  config.batch_size = 2;
+  config.worker_threads = 2;
+  config.auto_stage2 = false;
+  // No contract at the target address: every Submit fails with NotFound.
+  Address bogus_target = KeyPair::FromSeed(99).address();
+  OffchainNode node(config, node_key, std::make_unique<MemoryLogStore>(),
+                    &chain, bogus_target);
+
+  KeyPair client = KeyPair::FromSeed(6);
+  std::vector<AppendRequest> requests;
+  for (uint64_t i = 0; i < 2; ++i) {
+    requests.push_back(
+        AppendRequest::Make(client, i, ToBytes("k"), ToBytes("v")));
+  }
+  ASSERT_TRUE(node.Append(requests).ok());
+  ASSERT_EQ(node.PendingDigests(), 1u);
+
+  auto tx = node.CommitPendingDigests();
+  EXPECT_FALSE(tx.ok());
+  // The digest survives the failure and a later commit can retry it.
+  EXPECT_EQ(node.PendingDigests(), 1u);
+  EXPECT_EQ(node.UncommittedDigests(), 1u);
+  EXPECT_EQ(node.stats().stage2_txs_submitted, 0u);
+}
+
 TEST_F(OffchainNodeTest, OrderingPreservedAcrossStage2) {
   // The order committed off-chain equals the order committed on-chain:
   // entries' positions never change once stage-1 responses are issued

@@ -105,7 +105,9 @@ TEST(MessageBusTest, OmissionAttackDropsMessages) {
   int count = 0;
   bus.RegisterEndpoint("sink",
                        [&](const std::string&, const Bytes&) { ++count; });
-  EXPECT_EQ(bus.Send("a", "sink", ToBytes("gone")), 0);
+  Result<Micros> sent = bus.Send("a", "sink", ToBytes("gone"));
+  EXPECT_FALSE(sent.ok());
+  EXPECT_EQ(sent.status().code(), Code::kUnavailable);
   clock.Advance(10'000'000);
   bus.DeliverDue();
   EXPECT_EQ(count, 0);

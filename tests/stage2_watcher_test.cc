@@ -123,5 +123,34 @@ TEST(Stage2WatcherTest, PartialCoverageResolvesIncrementally) {
   // FinalizeOrPunish path; the watcher handles the event-driven cases.)
 }
 
+TEST(Stage2WatcherTest, LivenessDeadlineFlagsSuspectedOmission) {
+  auto d = Make(ByzantineMode::kOmitStage2);
+  auto& pub = d->publisher();
+  Stage2Watcher watcher(&d->chain(), d->root_record_address(), &pub,
+                        /*auto_punish=*/true,
+                        /*liveness_deadline_blocks=*/5);
+
+  auto responses = pub.Publish(pub.MakeRequests(Workload(4)));
+  ASSERT_TRUE(responses.ok());
+  watcher.TrackAll(responses.value());
+
+  // Within the horizon the responses stay pending.
+  d->AdvanceBlocks(3);
+  EXPECT_TRUE(watcher.Poll()->empty());
+  EXPECT_EQ(watcher.PendingCount(), 4u);
+
+  // Past the horizon every tracked response resolves as a suspected
+  // omission — the trigger for the §4.7 omission-claim path.
+  d->AdvanceBlocks(3);
+  auto resolved = watcher.Poll();
+  ASSERT_TRUE(resolved.ok());
+  ASSERT_EQ(resolved->size(), 4u);
+  for (const auto& outcome : *resolved) {
+    EXPECT_EQ(outcome.check, CommitCheck::kOmissionSuspected);
+    EXPECT_FALSE(outcome.punishment_triggered);
+  }
+  EXPECT_EQ(watcher.PendingCount(), 0u);
+}
+
 }  // namespace
 }  // namespace wedge

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification under sanitizers: builds the repo and runs ctest
+# with AddressSanitizer and UndefinedBehaviorSanitizer instrumentation
+# (see the WEDGE_SANITIZE option in the top-level CMakeLists.txt).
+#
+# Usage: tools/check.sh [sanitizer ...]
+#   Default sanitizers: address undefined. "thread" is also accepted.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(address undefined)
+fi
+
+for san in "${sanitizers[@]}"; do
+  build_dir="$repo_root/build-$san"
+  echo "==> [$san] configuring $build_dir"
+  cmake -B "$build_dir" -S "$repo_root" -DWEDGE_SANITIZE="$san" >/dev/null
+  echo "==> [$san] building"
+  cmake --build "$build_dir" -j "$(nproc)" >/dev/null
+  echo "==> [$san] running tier-1 tests"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+  echo "==> [$san] OK"
+done
+
+echo "All sanitizer runs passed: ${sanitizers[*]}"
