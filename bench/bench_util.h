@@ -8,6 +8,7 @@
 #include "baselines/baselines.h"
 #include "common/random.h"
 #include "core/wedgeblock.h"
+#include "telemetry/export.h"
 
 namespace wedge {
 namespace bench {
@@ -118,6 +119,97 @@ class JsonRow {
   }
   std::string fields_;
 };
+
+/// The single bench-row factory: every bench row starts here so each one
+/// carries the run configuration (bench name, seed, batch size) and rows
+/// from different benches stay mergeable in one JSONL stream.
+inline JsonRow MakeRow(const std::string& bench_name, uint64_t seed,
+                       uint32_t batch_size) {
+  JsonRow row;
+  row.Field("bench", bench_name)
+      .Field("seed", seed)
+      .Field("batch_size", static_cast<uint64_t>(batch_size));
+  return row;
+}
+
+/// Stamps the chain fault configuration onto a row (only the non-zero
+/// probabilities, to keep fault-free rows compact).
+inline JsonRow& StampFaults(JsonRow& row, const FaultConfig& faults) {
+  if (faults.drop_probability > 0) {
+    row.Field("fault_drop_p", faults.drop_probability);
+  }
+  if (faults.evict_probability > 0) {
+    row.Field("fault_evict_p", faults.evict_probability);
+  }
+  if (faults.revert_probability > 0) {
+    row.Field("fault_revert_p", faults.revert_probability);
+  }
+  if (faults.delay_probability > 0) {
+    row.Field("fault_delay_p", faults.delay_probability);
+  }
+  if (faults.gas_spike_probability > 0) {
+    row.Field("fault_gas_spike_p", faults.gas_spike_probability);
+  }
+  return row;
+}
+
+/// Adds `<prefix>_p50/_p95/_p99/_max` of the named registry histogram to
+/// the row. No-op when the histogram is absent or empty.
+inline JsonRow& StampHistogram(JsonRow& row, const MetricsSnapshot& snap,
+                               const std::string& metric,
+                               const std::string& prefix) {
+  const HistogramSnapshot* h = snap.FindHistogram(metric);
+  if (h == nullptr || h->count == 0) return row;
+  row.Field(prefix + "_p50", static_cast<uint64_t>(h->ValueAtQuantile(0.50)))
+      .Field(prefix + "_p95", static_cast<uint64_t>(h->ValueAtQuantile(0.95)))
+      .Field(prefix + "_p99", static_cast<uint64_t>(h->ValueAtQuantile(0.99)))
+      .Field(prefix + "_max", static_cast<uint64_t>(h->max));
+  return row;
+}
+
+/// Adds the injected-fault counters (`wedge.faults.*`) and the stage-2
+/// pipeline's observed retry/timeout/revert counters (`wedge.stage2.*`)
+/// to the row, so reports can compare injected vs observed fault counts.
+inline JsonRow& StampFaultAndRetryCounters(JsonRow& row,
+                                           const MetricsSnapshot& snap) {
+  row.Field("injected_txs_dropped",
+            snap.CounterValue("wedge.faults.txs_dropped"))
+      .Field("injected_txs_evicted",
+             snap.CounterValue("wedge.faults.txs_evicted"))
+      .Field("injected_txs_reverted",
+             snap.CounterValue("wedge.faults.txs_reverted"))
+      .Field("observed_txs_timed_out",
+             snap.CounterValue("wedge.stage2.txs_timed_out"))
+      .Field("observed_txs_reverted",
+             snap.CounterValue("wedge.stage2.txs_reverted"))
+      .Field("stage2_txs_retried",
+             snap.CounterValue("wedge.stage2.txs_retried"))
+      .Field("stage2_digests_confirmed",
+             snap.CounterValue("wedge.stage2.digests_confirmed"));
+  return row;
+}
+
+/// Parses an optional `--telemetry-out <path>` flag. Returns "" when the
+/// flag is absent (benches that take no other flags share this).
+inline std::string TelemetryOutArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--telemetry-out") return argv[i + 1];
+  }
+  return "";
+}
+
+/// Appends (or creates, when `truncate` is set) a telemetry dump at
+/// `path`. Errors are reported to stderr but never fail the bench.
+inline void MaybeWriteTelemetry(const std::string& path,
+                                const Telemetry& telemetry,
+                                bool truncate = false) {
+  if (path.empty()) return;
+  Status s = WriteTelemetryFile(path, telemetry, /*append=*/!truncate);
+  if (!s.ok()) {
+    std::fprintf(stderr, "telemetry write failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
 
 }  // namespace bench
 }  // namespace wedge

@@ -21,10 +21,12 @@ constexpr uint64_t kMaxBlocksPerRound = 512;  // Safety cap, never hit.
 
 }  // namespace
 
-void Main() {
+void Main(int argc, char** argv) {
   PrintHeader("Fault resilience: stage-2 confirmation vs tx drop rate");
+  const std::string telemetry_out = TelemetryOutArg(argc, argv);
 
   const double kDropRates[] = {0.0, 0.05, 0.10, 0.15, 0.20};
+  bool first_rate = true;
   for (double drop : kDropRates) {
     DeploymentConfig config;
     config.node.batch_size = kBatch;
@@ -66,20 +68,25 @@ void Main() {
     double lag_blocks_avg = static_cast<double>(lag_blocks_total) / kRounds;
     double lag_s_avg =
         lag_blocks_avg * d->chain().config().block_interval_seconds;
-    Stage2SubmitterStats stats = d->node().stage2_submitter()->stats();
-    JsonRow()
-        .Field("bench", "fault_resilience")
-        .Field("drop_probability", drop)
-        .Field("batch_size", static_cast<uint64_t>(kBatch))
+    MetricsSnapshot snap = d->telemetry().metrics.Snapshot();
+    JsonRow row = MakeRow("fault_resilience", config.chain.faults.seed, kBatch);
+    StampFaults(row, config.chain.faults);
+    row.Field("drop_probability", drop)
         .Field("rounds", static_cast<uint64_t>(kRounds))
         .Field("stage1_latency_ms_avg", stage1_ms_total / kRounds)
         .Field("confirm_lag_blocks_avg", lag_blocks_avg)
-        .Field("confirm_lag_s_avg", lag_s_avg)
-        .Field("txs_dropped", d->chain().fault_injector()->stats().txs_dropped)
-        .Field("txs_timed_out", stats.txs_timed_out)
-        .Field("txs_retried", stats.txs_retried)
-        .Field("digests_confirmed", stats.digests_confirmed)
-        .Print();
+        .Field("confirm_lag_s_avg", lag_s_avg);
+    StampHistogram(row, snap, "wedge.node.append_us", "stage1_append_us");
+    StampHistogram(row, snap, "wedge.stage2.confirm_lag_us", "confirm_lag_us");
+    StampHistogram(row, snap, "wedge.stage2.confirm_lag_blocks",
+                   "confirm_lag_blocks");
+    StampFaultAndRetryCounters(row, snap);
+    row.Print();
+    // One telemetry file for the sweep: truncate on the first rate,
+    // append the rest (each dump is a self-contained JSONL section).
+    MaybeWriteTelemetry(telemetry_out, d->telemetry(),
+                        /*truncate=*/first_rate);
+    first_rate = false;
   }
   std::printf(
       "\nshape checks: stage-1 latency flat across drop rates; "
@@ -91,4 +98,4 @@ void Main() {
 }  // namespace bench
 }  // namespace wedge
 
-int main() { wedge::bench::Main(); }
+int main(int argc, char** argv) { wedge::bench::Main(argc, argv); }

@@ -21,7 +21,10 @@ struct Row {
 };
 
 double RunIngest(uint32_t batch_size, int followers, bool sign,
-                 size_t n_entries, double* eth_per_op) {
+                 size_t n_entries, double* eth_per_op,
+                 MetricsSnapshot* snap_out = nullptr,
+                 const std::string& telemetry_out = "",
+                 bool telemetry_truncate = false) {
   auto d = MakeBenchDeployment(batch_size, followers, sign);
   auto kvs = MakeWorkload(n_entries);
   auto reqs = MakeUnsignedRequests(d->publisher().address(), kvs);
@@ -38,13 +41,16 @@ double RunIngest(uint32_t batch_size, int followers, bool sign,
   if (eth_per_op != nullptr) {
     *eth_per_op = Stage2EthPerOp(*d, fees_before, n_entries);
   }
+  if (snap_out != nullptr) *snap_out = d->telemetry().metrics.Snapshot();
+  MaybeWriteTelemetry(telemetry_out, d->telemetry(), telemetry_truncate);
   return static_cast<double>(n_entries) / secs;
 }
 
 }  // namespace
 
-void Main() {
+void Main(int argc, char** argv) {
   PrintHeader("Figure 3: throughput & cost/op vs batch size");
+  const std::string telemetry_out = TelemetryOutArg(argc, argv);
   std::printf("%-10s %14s %18s %16s %14s\n", "batch", "tput(ops/s)",
               "tput-repl(ops/s)", "merkle-only(ops/s)", "ETH/op");
 
@@ -55,11 +61,23 @@ void Main() {
     // dominates so per-batch throughput is representative.
     size_t n = batch;
     double eth = 0;
-    double tput = RunIngest(batch, 0, true, n, &eth);
+    MetricsSnapshot snap;
+    double tput = RunIngest(batch, 0, true, n, &eth, &snap, telemetry_out,
+                            /*telemetry_truncate=*/batch == kBatchSizes[0]);
     double tput_repl = RunIngest(batch, 2, true, n, nullptr);
     double merkle = RunIngest(batch, 0, false, n, nullptr);
     std::printf("%-10u %14.0f %18.0f %16.0f %14.3e\n", batch, tput, tput_repl,
                 merkle, eth);
+    JsonRow row = MakeRow("fig3_batch_size", /*seed=*/42, batch);
+    row.Field("throughput_ops", tput)
+        .Field("throughput_repl_ops", tput_repl)
+        .Field("merkle_only_ops", merkle)
+        .Field("eth_per_op", eth);
+    StampHistogram(row, snap, "wedge.node.append_us", "stage1_append_us");
+    StampHistogram(row, snap, "wedge.node.seal_us", "seal_us");
+    StampHistogram(row, snap, "wedge.stage2.confirm_lag_us", "confirm_lag_us");
+    StampFaultAndRetryCounters(row, snap);
+    row.Print();
     if (batch == kBatchSizes[0]) {
       first_tput = tput;
       first_cost = eth;
@@ -77,4 +95,4 @@ void Main() {
 }  // namespace bench
 }  // namespace wedge
 
-int main() { wedge::bench::Main(); }
+int main(int argc, char** argv) { wedge::bench::Main(argc, argv); }

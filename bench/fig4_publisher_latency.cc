@@ -18,8 +18,9 @@ constexpr int kVerifySample = 128;  // Responses verified to project the
 
 }  // namespace
 
-void Main() {
+void Main(int argc, char** argv) {
   PrintHeader("Figure 4: publisher latency vs batch size");
+  const std::string telemetry_out = TelemetryOutArg(argc, argv);
   std::printf("%-10s %12s %12s %14s %14s\n", "batch", "first(ms)", "last(ms)",
               "stage1(ms)", "stage2(s,sim)");
 
@@ -68,6 +69,22 @@ void Main() {
 
     std::printf("%-10u %12.1f %12.1f %14.1f %14.1f\n", batch, first_ms,
                 last_ms, stage1_ms, stage2_s);
+
+    MetricsSnapshot snap = d->telemetry().metrics.Snapshot();
+    JsonRow row = MakeRow("fig4_publisher_latency", /*seed=*/42, batch);
+    row.Field("first_op_ms", first_ms)
+        .Field("last_op_ms", last_ms)
+        .Field("stage1_commit_ms", stage1_ms)
+        .Field("stage2_commit_s", stage2_s);
+    StampHistogram(row, snap, "wedge.node.append_us", "stage1_append_us");
+    StampHistogram(row, snap, "wedge.node.seal_us", "seal_us");
+    StampHistogram(row, snap, "wedge.stage2.confirm_lag_us", "confirm_lag_us");
+    StampHistogram(row, snap, "wedge.stage2.confirm_lag_blocks",
+                   "confirm_lag_blocks");
+    StampFaultAndRetryCounters(row, snap);
+    row.Print();
+    MaybeWriteTelemetry(telemetry_out, d->telemetry(),
+                        /*truncate=*/batch == kBatchSizes[0]);
   }
   std::printf(
       "\nshape checks: all three delays grow with batch size; first-op "
@@ -78,4 +95,4 @@ void Main() {
 }  // namespace bench
 }  // namespace wedge
 
-int main() { wedge::bench::Main(); }
+int main(int argc, char** argv) { wedge::bench::Main(argc, argv); }

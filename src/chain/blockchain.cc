@@ -35,12 +35,25 @@ double WeiToEthDouble(const Wei& wei) {
   return acc / 1e18;
 }
 
-Blockchain::Blockchain(const ChainConfig& config, SimClock* clock)
+Blockchain::Blockchain(const ChainConfig& config, SimClock* clock,
+                       Telemetry* telemetry)
     : config_(config),
       clock_(clock),
+      telemetry_(telemetry),
       current_gas_price_(config.gas_price),
       price_rng_(config.price_seed),
-      fault_injector_(config.faults) {
+      fault_injector_(config.faults, telemetry) {
+  if (telemetry_ != nullptr) {
+    blocks_mined_counter_ =
+        telemetry_->metrics.GetCounter("wedge.chain.blocks_mined");
+    txs_mined_counter_ = telemetry_->metrics.GetCounter("wedge.chain.txs_mined");
+    txs_reverted_counter_ =
+        telemetry_->metrics.GetCounter("wedge.chain.txs_reverted");
+    mempool_depth_gauge_ =
+        telemetry_->metrics.GetGauge("wedge.chain.mempool_depth");
+    gas_per_block_hist_ =
+        telemetry_->metrics.GetHistogram("wedge.chain.gas_per_block");
+  }
   genesis_time_ = clock_->NowSeconds();
   Block genesis;
   genesis.number = 0;
@@ -178,6 +191,9 @@ Result<TxId> Blockchain::Submit(Transaction tx) {
             std::max(1, fault_injector_.config().evict_after_blocks));
   }
   mempool_.push_back(std::move(pending));
+  if (mempool_depth_gauge_ != nullptr) {
+    mempool_depth_gauge_->Set(static_cast<int64_t>(mempool_.size()));
+  }
   return mempool_.back().tx.id;
 }
 
@@ -282,6 +298,12 @@ void Blockchain::MineBlockLocked(int64_t block_time) {
   PutU64(header, static_cast<uint64_t>(block.timestamp));
   Append(header, HashToBytes(block.parent_hash));
   block.hash = Sha256::Digest(header);
+  if (blocks_mined_counter_ != nullptr) {
+    blocks_mined_counter_->Add(1);
+    txs_mined_counter_->Add(block.tx_ids.size());
+    gas_per_block_hist_->Record(static_cast<int64_t>(block.gas_used));
+    mempool_depth_gauge_->Set(static_cast<int64_t>(mempool_.size()));
+  }
   blocks_.push_back(std::move(block));
 
   for (const LogEvent& ev : mined_events) {
@@ -351,6 +373,9 @@ Receipt Blockchain::ExecuteLocked(const Transaction& tx, uint64_t block_number,
     SetBalanceLocked(tx.from, GetBalanceLocked(tx.from) + tx.value);
   }
 
+  if (reverted && txs_reverted_counter_ != nullptr) {
+    txs_reverted_counter_->Add(1);
+  }
   receipt.success = !reverted;
   receipt.revert_reason = reason;
   receipt.gas_used = std::min(meter.used(), tx.gas_limit);

@@ -51,7 +51,12 @@ struct ChainConfig {
 /// client threads.
 class Blockchain {
  public:
-  Blockchain(const ChainConfig& config, SimClock* clock);
+  /// With `telemetry`, the chain keeps a `wedge.chain.mempool_depth`
+  /// gauge, a `wedge.chain.gas_per_block` histogram, and
+  /// blocks_mined / txs_mined / txs_reverted counters up to date, and
+  /// wires the same sink into its fault injector.
+  Blockchain(const ChainConfig& config, SimClock* clock,
+             Telemetry* telemetry = nullptr);
 
   Blockchain(const Blockchain&) = delete;
   Blockchain& operator=(const Blockchain&) = delete;
@@ -149,6 +154,13 @@ class Blockchain {
 
   const ChainConfig config_;
   SimClock* const clock_;
+  Telemetry* const telemetry_;
+  // Resolved once at construction; null when telemetry_ is null.
+  Counter* blocks_mined_counter_ = nullptr;
+  Counter* txs_mined_counter_ = nullptr;
+  Counter* txs_reverted_counter_ = nullptr;
+  Gauge* mempool_depth_gauge_ = nullptr;
+  Histogram* gas_per_block_hist_ = nullptr;
 
   // Recursive: contract execution re-enters the chain for static calls
   // and balance transfers while a transaction is being executed.

@@ -2,8 +2,28 @@
 
 namespace wedge {
 
-FaultInjector::FaultInjector(const FaultConfig& config)
-    : config_(config), rng_(config.seed) {}
+namespace {
+
+const char* FaultName(FaultType type) {
+  switch (type) {
+    case FaultType::kDropTx:
+      return "drop_tx";
+    case FaultType::kEvictTx:
+      return "evict_tx";
+    case FaultType::kRevertTx:
+      return "revert_tx";
+    case FaultType::kDelayBlock:
+      return "delay_block";
+    case FaultType::kGasSpike:
+      return "gas_spike";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, Telemetry* telemetry)
+    : config_(config), telemetry_(telemetry), rng_(config.seed) {}
 
 void FaultInjector::Schedule(FaultType type, int count) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -34,6 +54,10 @@ bool FaultInjector::ShouldInject(FaultType type) {
 void FaultInjector::RecordEviction() {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.txs_evicted;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.GetCounter("wedge.faults.txs_evicted")->Add(1);
+    telemetry_->tracer.Event(0, trace_stage::kFault, 1, "type=evict_tx");
+  }
 }
 
 FaultStats FaultInjector::stats() const {
@@ -58,9 +82,11 @@ double FaultInjector::ProbabilityFor(FaultType type) const {
 }
 
 void FaultInjector::CountInjection(FaultType type) {
+  const char* counter_name = nullptr;
   switch (type) {
     case FaultType::kDropTx:
       ++stats_.txs_dropped;
+      counter_name = "wedge.faults.txs_dropped";
       break;
     case FaultType::kEvictTx:
       // The decision is counted when the eviction actually happens
@@ -69,13 +95,21 @@ void FaultInjector::CountInjection(FaultType type) {
       break;
     case FaultType::kRevertTx:
       ++stats_.txs_reverted;
+      counter_name = "wedge.faults.txs_reverted";
       break;
     case FaultType::kDelayBlock:
       ++stats_.blocks_delayed;
+      counter_name = "wedge.faults.blocks_delayed";
       break;
     case FaultType::kGasSpike:
       ++stats_.gas_spikes;
+      counter_name = "wedge.faults.gas_spikes";
       break;
+  }
+  if (telemetry_ != nullptr && counter_name != nullptr) {
+    telemetry_->metrics.GetCounter(counter_name)->Add(1);
+    telemetry_->tracer.Event(0, trace_stage::kFault, 1,
+                             std::string("type=") + FaultName(type));
   }
 }
 

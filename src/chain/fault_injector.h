@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/random.h"
+#include "telemetry/telemetry.h"
 
 namespace wedge {
 
@@ -70,7 +71,12 @@ struct FaultStats {
 /// schedules concurrently.
 class FaultInjector {
  public:
-  explicit FaultInjector(const FaultConfig& config);
+  /// With `telemetry`, every injected fault bumps a
+  /// `wedge.faults.<kind>` registry counter and emits a `fault` trace
+  /// event, so experiment reports can compare injected vs observed
+  /// fault counts without reaching into FaultStats.
+  explicit FaultInjector(const FaultConfig& config,
+                         Telemetry* telemetry = nullptr);
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -99,6 +105,7 @@ class FaultInjector {
   void CountInjection(FaultType type);
 
   const FaultConfig config_;
+  Telemetry* const telemetry_;
   mutable std::mutex mu_;
   Rng rng_;
   std::array<int, kFaultTypeCount> scheduled_{};

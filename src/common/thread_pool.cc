@@ -38,9 +38,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   // Chunk the index space so each worker picks up contiguous ranges.
   const size_t num_chunks = std::min(n, num_threads() * 4);
-  std::atomic<size_t> next_chunk{0};
   const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
-  std::atomic<size_t> done{0};
+  size_t done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
   for (size_t c = 0; c < num_chunks; ++c) {
@@ -48,14 +47,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       const size_t lo = c * chunk_size;
       const size_t hi = std::min(n, lo + chunk_size);
       for (size_t i = lo; i < hi; ++i) fn(i);
-      if (done.fetch_add(1) + 1 == num_chunks) {
-        std::unique_lock<std::mutex> lock(done_mu);
-        done_cv.notify_all();
-      }
+      // Count and notify while holding the lock: this frame's counter,
+      // mutex and cv die as soon as the waiter below observes
+      // done == num_chunks, so the last worker must not touch them
+      // after its unlock.
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (++done == num_chunks) done_cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done.load() == num_chunks; });
+  done_cv.wait(lock, [&] { return done == num_chunks; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -7,21 +7,42 @@ namespace wedge {
 
 OffchainNode::OffchainNode(const OffchainNodeConfig& config, KeyPair key,
                            std::unique_ptr<LogStore> store, Blockchain* chain,
-                           const Address& root_record_address)
+                           const Address& root_record_address,
+                           Telemetry* telemetry)
     : config_(config),
       key_(std::move(key)),
       store_(std::move(store)),
       chain_(chain),
       root_record_address_(root_record_address),
       pool_(config.worker_threads),
-      submitter_(config.stage2, chain, key_.address(), root_record_address),
-      byzantine_mode_(config.byzantine_mode) {}
+      owned_telemetry_(
+          telemetry != nullptr
+              ? nullptr
+              : std::make_unique<Telemetry>(
+                    chain != nullptr
+                        ? static_cast<const Clock*>(chain->clock())
+                        : nullptr)),
+      telemetry_(telemetry != nullptr ? telemetry : owned_telemetry_.get()),
+      submitter_(config.stage2, chain, key_.address(), root_record_address,
+                 telemetry_),
+      byzantine_mode_(config.byzantine_mode) {
+  MetricsRegistry& m = telemetry_->metrics;
+  entries_ingested_counter_ = m.GetCounter("wedge.node.entries_ingested");
+  batches_counter_ = m.GetCounter("wedge.node.batches_created");
+  invalid_sig_counter_ =
+      m.GetCounter("wedge.node.invalid_signatures_rejected");
+  reads_counter_ = m.GetCounter("wedge.node.reads_served");
+  append_hist_ = m.GetHistogram("wedge.node.append_us");
+  seal_hist_ = m.GetHistogram("wedge.node.seal_us");
+  read_hist_ = m.GetHistogram("wedge.node.read_us");
+}
 
 Result<std::vector<Stage1Response>> OffchainNode::Append(
     const std::vector<AppendRequest>& requests) {
   if (requests.empty()) {
     return Status::InvalidArgument("empty append request list");
   }
+  Stopwatch watch(RealClock::Global());
 
   // Verify client signatures in parallel (paper §5: signature checks are
   // embarrassingly parallel and run on all cores).
@@ -42,10 +63,7 @@ Result<std::vector<Stage1Response>> OffchainNode::Append(
       ++rejected;
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.invalid_signatures_rejected += rejected;
-  }
+  if (rejected > 0) invalid_sig_counter_->Add(rejected);
   if (accepted.empty()) {
     return Status::InvalidArgument("all requests had invalid signatures");
   }
@@ -63,13 +81,13 @@ Result<std::vector<Stage1Response>> OffchainNode::Append(
                            SealBatch(std::move(batch)));
     for (auto& r : part) responses.push_back(std::move(r));
   }
+  append_hist_->Record(watch.ElapsedMicros());
   return responses;
 }
 
 Status OffchainNode::SubmitAppend(AppendRequest request) {
   if (config_.verify_client_signatures && !request.VerifySignature()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.invalid_signatures_rejected;
+    invalid_sig_counter_->Add(1);
     return Status::Verification("invalid client signature");
   }
   std::vector<AppendRequest> to_seal;
@@ -126,6 +144,7 @@ Result<std::vector<Stage1Response>> OffchainNode::FlushStagedBatch() {
 
 Result<std::vector<Stage1Response>> OffchainNode::SealBatch(
     std::vector<AppendRequest> batch) {
+  Stopwatch watch(RealClock::Global());
   // Leaves are the canonical encodings of the accepted requests; the
   // batch order fixes the event order that stage-2 will commit (§2.3).
   std::vector<Bytes> leaves(batch.size());
@@ -144,7 +163,9 @@ Result<std::vector<Stage1Response>> OffchainNode::SealBatch(
     std::lock_guard<std::mutex> lock(mu_);
     log_id = store_->Size();
     position.log_id = log_id;
+    telemetry_->tracer.Event(log_id, trace_stage::kIngest, batch.size());
     WEDGE_RETURN_IF_ERROR(store_->Append(position));
+    telemetry_->tracer.Event(log_id, trace_stage::kSeal, batch.size());
     // Cache the freshly built tree for the read path.
     tree_cache_[log_id] = shared_tree;
     tree_cache_order_.push_back(log_id);
@@ -160,8 +181,8 @@ Result<std::vector<Stage1Response>> OffchainNode::SealBatch(
       stage2_root[0] ^= 0xFF;
     }
     WEDGE_RETURN_IF_ERROR(submitter_.Enqueue(log_id, stage2_root));
-    stats_.entries_ingested += batch.size();
-    ++stats_.batches_created;
+    entries_ingested_counter_->Add(batch.size());
+    batches_counter_->Add(1);
   }
 
   // Produce signed responses in parallel (one ECDSA sign per entry).
@@ -194,6 +215,8 @@ Result<std::vector<Stage1Response>> OffchainNode::SealBatch(
   if (failed.load()) {
     return Status::Internal("merkle proof generation failed");
   }
+  telemetry_->tracer.Event(log_id, trace_stage::kStage1Signed, batch.size());
+  seal_hist_->Record(watch.ElapsedMicros());
 
   if (config_.auto_stage2 &&
       PendingDigests() >= std::max<uint32_t>(1, config_.stage2_group_batches)) {
@@ -302,14 +325,15 @@ Result<Stage1Response> OffchainNode::ReadOne(const EntryIndex& index) {
   if (byzantine_mode_ == ByzantineMode::kTamperReadData) {
     return ForgeTamperedRead(index);
   }
+  Stopwatch watch(RealClock::Global());
   WEDGE_ASSIGN_OR_RETURN(Bytes entry, store_->GetEntry(index));
   WEDGE_ASSIGN_OR_RETURN(std::shared_ptr<MerkleTree> tree,
                          TreeFor(index.log_id));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.reads_served;
-  }
-  return MakeResponse(entry, index.log_id, index.offset, *tree);
+  reads_counter_->Add(1);
+  Stage1Response resp =
+      MakeResponse(entry, index.log_id, index.offset, *tree);
+  read_hist_->Record(watch.ElapsedMicros());
+  return resp;
 }
 
 Result<std::vector<Stage1Response>> OffchainNode::Read(
@@ -354,8 +378,7 @@ Result<std::vector<Stage1Response>> OffchainNode::Scan(uint64_t first_id,
                                    static_cast<uint32_t>(i), *tree);
     });
     if (failed.load()) return Status::Internal("scan forgery failed");
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.reads_served += pos.data_list.size();
+    reads_counter_->Add(pos.data_list.size());
   }
   return out;
 }
@@ -385,10 +408,7 @@ Result<BatchReadResponse> OffchainNode::ReadBatch(
   }
   WEDGE_ASSIGN_OR_RETURN(resp.proof, BuildMultiProof(*tree, indices));
   resp.offchain_signature = EcdsaSign(key_.private_key(), resp.SignedHash());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.reads_served += resp.entries.size();
-  }
+  reads_counter_->Add(resp.entries.size());
   return resp;
 }
 
@@ -410,10 +430,7 @@ Result<Stage1Response> OffchainNode::ForgeTamperedRead(
     tampered[index.offset].back() ^= 0xFF;
   }
   WEDGE_ASSIGN_OR_RETURN(MerkleTree fake_tree, MerkleTree::Build(tampered));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.reads_served;
-  }
+  reads_counter_->Add(1);
   return MakeResponse(tampered[index.offset], index.log_id, index.offset,
                       fake_tree);
 }
@@ -425,10 +442,10 @@ Result<uint32_t> OffchainNode::PositionEntryCount(uint64_t log_id) const {
 
 OffchainNodeStats OffchainNode::stats() const {
   OffchainNodeStats s;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s = stats_;
-  }
+  s.entries_ingested = entries_ingested_counter_->Value();
+  s.batches_created = batches_counter_->Value();
+  s.invalid_signatures_rejected = invalid_sig_counter_->Value();
+  s.reads_served = reads_counter_->Value();
   s.stage2_txs_submitted = submitter_.stats().txs_submitted;
   return s;
 }

@@ -57,7 +57,9 @@ struct OffchainNodeConfig {
   Stage2SubmitterConfig stage2;
 };
 
-/// Running counters exposed for experiments.
+/// Running counters exposed for experiments. Backed by the node's
+/// MetricsRegistry (`wedge.node.*` counters); this struct is a
+/// convenience snapshot.
 struct OffchainNodeStats {
   uint64_t entries_ingested = 0;
   uint64_t batches_created = 0;
@@ -77,10 +79,14 @@ struct OffchainNodeStats {
 class OffchainNode {
  public:
   /// `chain` may be null for pure off-chain benchmarking (stage-2 calls
-  /// then fail with FailedPrecondition).
+  /// then fail with FailedPrecondition). `telemetry` is the metrics/trace
+  /// sink shared with the chain and submitter; when null the node owns a
+  /// private one (readable via telemetry()), so instrumentation is
+  /// always on.
   OffchainNode(const OffchainNodeConfig& config, KeyPair key,
                std::unique_ptr<LogStore> store, Blockchain* chain,
-               const Address& root_record_address);
+               const Address& root_record_address,
+               Telemetry* telemetry = nullptr);
 
   OffchainNode(const OffchainNode&) = delete;
   OffchainNode& operator=(const OffchainNode&) = delete;
@@ -160,6 +166,8 @@ class OffchainNode {
   Result<uint32_t> PositionEntryCount(uint64_t log_id) const;
   OffchainNodeStats stats() const;
   const OffchainNodeConfig& config() const { return config_; }
+  /// The node's metrics/trace sink (injected or privately owned).
+  Telemetry& telemetry() { return *telemetry_; }
 
   /// Escape hatch for experiments that need to flip behaviour mid-run
   /// (e.g. an initially honest node that starts equivocating).
@@ -186,13 +194,23 @@ class OffchainNode {
   Blockchain* const chain_;
   const Address root_record_address_;
   mutable ThreadPool pool_;
+  /// Fallback sink when no Telemetry is injected. Declared before
+  /// submitter_ so telemetry_ is valid when the submitter is built.
+  std::unique_ptr<Telemetry> owned_telemetry_;
+  Telemetry* const telemetry_;
+  Counter* entries_ingested_counter_ = nullptr;
+  Counter* batches_counter_ = nullptr;
+  Counter* invalid_sig_counter_ = nullptr;
+  Counter* reads_counter_ = nullptr;
+  Histogram* append_hist_ = nullptr;
+  Histogram* seal_hist_ = nullptr;
+  Histogram* read_hist_ = nullptr;
   Stage2Submitter submitter_;
 
   mutable std::mutex mu_;
   std::vector<AppendRequest> staging_;
   std::unordered_map<uint64_t, std::shared_ptr<MerkleTree>> tree_cache_;
   std::deque<uint64_t> tree_cache_order_;  // FIFO eviction.
-  OffchainNodeStats stats_;
   ByzantineMode byzantine_mode_;
   ResponseCallback response_callback_;
 };

@@ -9,27 +9,52 @@ namespace wedge {
 
 Stage2Submitter::Stage2Submitter(const Stage2SubmitterConfig& config,
                                  Blockchain* chain, const Address& sender,
-                                 const Address& root_record_address)
+                                 const Address& root_record_address,
+                                 Telemetry* telemetry)
     : config_(config),
       chain_(chain),
       sender_(sender),
-      root_record_address_(root_record_address) {}
+      root_record_address_(root_record_address),
+      telemetry_(telemetry) {
+  if (telemetry_ != nullptr) {
+    MetricsRegistry& m = telemetry_->metrics;
+    submitted_counter_ = m.GetCounter("wedge.stage2.txs_submitted");
+    confirmed_counter_ = m.GetCounter("wedge.stage2.txs_confirmed");
+    retried_counter_ = m.GetCounter("wedge.stage2.txs_retried");
+    timed_out_counter_ = m.GetCounter("wedge.stage2.txs_timed_out");
+    reverted_counter_ = m.GetCounter("wedge.stage2.txs_reverted");
+    digests_confirmed_counter_ = m.GetCounter("wedge.stage2.digests_confirmed");
+    confirm_lag_us_hist_ = m.GetHistogram("wedge.stage2.confirm_lag_us");
+    confirm_lag_blocks_hist_ = m.GetHistogram("wedge.stage2.confirm_lag_blocks");
+  }
+}
 
 Status Stage2Submitter::Enqueue(uint64_t log_id, const Hash256& root) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!journal_.empty() && log_id != journal_.back().first + 1) {
+  if (!journal_.empty() && log_id != journal_.back().log_id + 1) {
     return Status::InvalidArgument("stage-2 journal gap: non-contiguous id");
   }
-  journal_.emplace_back(log_id, root);
+  JournalEntry entry;
+  entry.log_id = log_id;
+  entry.root = root;
+  if (chain_ != nullptr) {
+    entry.enqueued_at = chain_->clock()->NowMicros();
+    entry.enqueued_block = chain_->HeadNumber();
+  }
+  journal_.push_back(entry);
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer.Event(log_id, trace_stage::kStage2Enqueued);
+  }
   return Status::Ok();
 }
 
 Result<TxId> Stage2Submitter::SubmitPending() {
   std::lock_guard<std::mutex> lock(mu_);
-  return SubmitPendingLocked(/*gas_bid=*/Wei());
+  return SubmitPendingLocked(/*gas_bid=*/Wei(), "initial");
 }
 
-Result<TxId> Stage2Submitter::SubmitPendingLocked(const Wei& gas_bid) {
+Result<TxId> Stage2Submitter::SubmitPendingLocked(const Wei& gas_bid,
+                                                  const std::string& cause) {
   if (submitted_count_ >= journal_.size()) {
     return Status::NotFound("no pending digests");
   }
@@ -46,11 +71,11 @@ Result<TxId> Stage2Submitter::SubmitPendingLocked(const Wei& gas_bid) {
     tx.to = root_record_address_;
     tx.method = "updateRecords";
     tx.gas_price_bid = gas_bid;
-    uint64_t first_id = journal_[submitted_count_].first;
+    uint64_t first_id = journal_[submitted_count_].log_id;
     PutU64(tx.calldata, first_id);
     PutU32(tx.calldata, static_cast<uint32_t>(take));
     for (size_t i = 0; i < take; ++i) {
-      Append(tx.calldata, HashToBytes(journal_[submitted_count_ + i].second));
+      Append(tx.calldata, HashToBytes(journal_[submitted_count_ + i].root));
     }
     // On Submit failure the journal is untouched: the digests stay
     // pending and the next SubmitPending/Tick covers them again.
@@ -65,6 +90,24 @@ Result<TxId> Stage2Submitter::SubmitPendingLocked(const Wei& gas_bid) {
     all_tx_ids_.push_back(id);
     submitted_count_ += take;
     ++stats_.txs_submitted;
+    Stage2Attempt attempt;
+    attempt.tx_id = id;
+    attempt.attempt = attempt_;
+    attempt.cause = cause;
+    attempt.gas_bid = gas_bid.IsZero() ? chain_->CurrentGasPrice() : gas_bid;
+    attempt.first_log_id = first_id;
+    attempt.count = static_cast<uint32_t>(take);
+    attempt.block = rec.submitted_block;
+    attempts_.push_back(attempt);
+    if (submitted_counter_ != nullptr) submitted_counter_->Add(1);
+    if (telemetry_ != nullptr) {
+      std::string note =
+          "attempt=" + std::to_string(attempt_) + " cause=" + cause;
+      for (size_t i = 0; i < take; ++i) {
+        telemetry_->tracer.Event(first_id + i, trace_stage::kTxSubmitted,
+                                 take, note);
+      }
+    }
   }
   return first_tx;
 }
@@ -85,12 +128,15 @@ void Stage2Submitter::Tick() {
         // digests it carried are re-covered by the retry below if the
         // tail has not advanced past them.
         ++stats_.txs_reverted;
+        if (reverted_counter_ != nullptr) reverted_counter_->Add(1);
+        retry_cause_ = "revert";
         failed_any = true;
         it = in_flight_.erase(it);
         continue;
       }
       if (chain_->IsConfirmed(it->id)) {
         ++stats_.txs_confirmed;
+        if (confirmed_counter_ != nullptr) confirmed_counter_->Add(1);
         confirmed_any = true;
         it = in_flight_.erase(it);
         continue;
@@ -102,6 +148,8 @@ void Stage2Submitter::Tick() {
     if (head >= it->submitted_block + config_.confirmation_deadline_blocks) {
       // No receipt within the deadline: presumed dropped/evicted/stuck.
       ++stats_.txs_timed_out;
+      if (timed_out_counter_ != nullptr) timed_out_counter_->Add(1);
+      retry_cause_ = "timeout";
       failed_any = true;
       it = in_flight_.erase(it);
       continue;
@@ -121,13 +169,21 @@ void Stage2Submitter::Tick() {
     retry_pending_ = true;
     ++attempt_;
     retry_at_block_ = head + BackoffBlocksLocked(attempt_);
+    if (telemetry_ != nullptr && !journal_.empty()) {
+      telemetry_->tracer.Event(
+          journal_.front().log_id, trace_stage::kTxRetry, 0,
+          "cause=" + retry_cause_ + " attempt=" + std::to_string(attempt_) +
+              " retry_at_block=" + std::to_string(retry_at_block_));
+    }
   }
 
   if (retry_pending_ && head >= retry_at_block_ &&
       submitted_count_ < journal_.size()) {
-    Result<TxId> resubmit = SubmitPendingLocked(BumpedBidLocked(attempt_));
+    Result<TxId> resubmit =
+        SubmitPendingLocked(BumpedBidLocked(attempt_), retry_cause_);
     if (resubmit.ok()) {
       ++stats_.txs_retried;
+      if (retried_counter_ != nullptr) retried_counter_->Add(1);
       retry_pending_ = false;
     } else {
       // Chain rejected the retry (e.g. transient balance shortfall):
@@ -149,7 +205,21 @@ void Stage2Submitter::ReconcileWithChainTailLocked() {
   ByteReader reader(encoded);
   Result<uint64_t> tail = reader.ReadU64();
   if (!tail.ok()) return;
-  while (!journal_.empty() && journal_.front().first < tail.value()) {
+  Micros now = chain_->clock()->NowMicros();
+  uint64_t head = chain_->HeadNumber();
+  while (!journal_.empty() && journal_.front().log_id < tail.value()) {
+    const JournalEntry& entry = journal_.front();
+    if (confirm_lag_us_hist_ != nullptr) {
+      confirm_lag_us_hist_->Record(now - entry.enqueued_at);
+      confirm_lag_blocks_hist_->Record(
+          static_cast<int64_t>(head - entry.enqueued_block));
+    }
+    if (digests_confirmed_counter_ != nullptr) {
+      digests_confirmed_counter_->Add(1);
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->tracer.Event(entry.log_id, trace_stage::kConfirmed);
+    }
     journal_.pop_front();
     ++stats_.digests_confirmed;
   }
@@ -162,7 +232,7 @@ void Stage2Submitter::RecomputeSubmittedLocked() {
     submitted_count_ = 0;
     return;
   }
-  uint64_t front_id = journal_.front().first;
+  uint64_t front_id = journal_.front().log_id;
   uint64_t covered_end = front_id;
   for (const InFlightTx& tx : in_flight_) {
     covered_end = std::max(covered_end, tx.first_id + tx.count);
@@ -221,6 +291,11 @@ size_t Stage2Submitter::InFlightTxs() const {
 std::vector<TxId> Stage2Submitter::TxIds() const {
   std::lock_guard<std::mutex> lock(mu_);
   return all_tx_ids_;
+}
+
+std::vector<Stage2Attempt> Stage2Submitter::attempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attempts_;
 }
 
 Stage2SubmitterStats Stage2Submitter::stats() const {

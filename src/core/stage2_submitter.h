@@ -3,11 +3,13 @@
 
 #include <deque>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "chain/blockchain.h"
 #include "crypto/sha256.h"
+#include "telemetry/telemetry.h"
 
 namespace wedge {
 
@@ -23,6 +25,22 @@ struct Stage2SubmitterConfig {
   /// market price times bump^(k-1), capped at cap x market.
   double gas_bump_multiplier = 1.25;
   double gas_bump_cap = 10.0;
+};
+
+/// One stage-2 submission attempt, recorded for tests and experiment
+/// reports. `cause` explains why the transaction was sent: "initial" for
+/// the first submission of a journal suffix, "timeout" when the previous
+/// transaction missed its confirmation deadline (the submitter cannot
+/// distinguish a dropped from an evicted or stuck transaction — all
+/// surface as a missing receipt), or "revert" when it mined but reverted.
+struct Stage2Attempt {
+  TxId tx_id = 0;
+  int attempt = 1;       ///< 1 = initial submission, >1 = retry.
+  std::string cause;     ///< "initial", "timeout" or "revert".
+  Wei gas_bid;           ///< Effective bid (market price when not bumped).
+  uint64_t first_log_id = 0;
+  uint32_t count = 0;    ///< Digests covered by this transaction.
+  uint64_t block = 0;    ///< Head block number at submission.
 };
 
 /// Counters for tests and the fault-resilience bench.
@@ -50,8 +68,14 @@ struct Stage2SubmitterStats {
 /// submitter calls into the Blockchain (which never calls back out).
 class Stage2Submitter {
  public:
+  /// With `telemetry`, the submitter mirrors its stats into
+  /// `wedge.stage2.*` counters, records confirmation-lag histograms
+  /// (`confirm_lag_us` / `confirm_lag_blocks`, simulated time from
+  /// Enqueue to on-chain tail coverage), and emits per-position
+  /// stage2_enqueued / tx_submitted / tx_retry / confirmed trace events.
   Stage2Submitter(const Stage2SubmitterConfig& config, Blockchain* chain,
-                  const Address& sender, const Address& root_record_address);
+                  const Address& sender, const Address& root_record_address,
+                  Telemetry* telemetry = nullptr);
 
   Stage2Submitter(const Stage2Submitter&) = delete;
   Stage2Submitter& operator=(const Stage2Submitter&) = delete;
@@ -86,6 +110,8 @@ class Stage2Submitter {
   size_t InFlightTxs() const;
   /// TxIds of every stage-2 transaction submitted so far (incl. retries).
   std::vector<TxId> TxIds() const;
+  /// Every submission attempt so far, in order (initial + retries).
+  std::vector<Stage2Attempt> attempts() const;
   Stage2SubmitterStats stats() const;
   const Stage2SubmitterConfig& config() const { return config_; }
 
@@ -97,8 +123,18 @@ class Stage2Submitter {
     uint64_t submitted_block = 0;
   };
 
+  /// One journalled digest, stamped with its enqueue time so the
+  /// confirmation lag (enqueue -> tail coverage) can be measured.
+  struct JournalEntry {
+    uint64_t log_id = 0;
+    Hash256 root{};
+    Micros enqueued_at = 0;
+    uint64_t enqueued_block = 0;
+  };
+
   // All *Locked methods assume mu_ is held.
-  Result<TxId> SubmitPendingLocked(const Wei& gas_bid);
+  Result<TxId> SubmitPendingLocked(const Wei& gas_bid,
+                                   const std::string& cause);
   void ReconcileWithChainTailLocked();
   void RecomputeSubmittedLocked();
   Wei BumpedBidLocked(int attempt) const;
@@ -108,16 +144,28 @@ class Stage2Submitter {
   Blockchain* const chain_;
   const Address sender_;
   const Address root_record_address_;
+  Telemetry* const telemetry_;
+  // Resolved once at construction; null when telemetry_ is null.
+  Counter* submitted_counter_ = nullptr;
+  Counter* confirmed_counter_ = nullptr;
+  Counter* retried_counter_ = nullptr;
+  Counter* timed_out_counter_ = nullptr;
+  Counter* reverted_counter_ = nullptr;
+  Counter* digests_confirmed_counter_ = nullptr;
+  Histogram* confirm_lag_us_hist_ = nullptr;
+  Histogram* confirm_lag_blocks_hist_ = nullptr;
 
   mutable std::mutex mu_;
-  /// Pending journal: contiguous (log_id, root) digests awaiting
-  /// confirmed on-chain commitment.
-  std::deque<std::pair<uint64_t, Hash256>> journal_;
+  /// Pending journal: contiguous digests awaiting confirmed on-chain
+  /// commitment.
+  std::deque<JournalEntry> journal_;
   /// Journal-prefix entries covered by an in-flight transaction.
   size_t submitted_count_ = 0;
   std::vector<InFlightTx> in_flight_;
   std::vector<TxId> all_tx_ids_;
+  std::vector<Stage2Attempt> attempts_;
   /// Retry scheduling after a loss/revert.
+  std::string retry_cause_;
   bool retry_pending_ = false;
   uint64_t retry_at_block_ = 0;
   int attempt_ = 1;  ///< Attempt number for the next (re)submission.

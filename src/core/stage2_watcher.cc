@@ -7,11 +7,21 @@ namespace wedge {
 Stage2Watcher::Stage2Watcher(Blockchain* chain,
                              const Address& root_record_address,
                              PublisherClient* publisher, bool auto_punish,
-                             uint64_t liveness_deadline_blocks)
+                             uint64_t liveness_deadline_blocks,
+                             Telemetry* telemetry)
     : chain_(chain),
       publisher_(publisher),
       auto_punish_(auto_punish),
       liveness_deadline_blocks_(liveness_deadline_blocks) {
+  if (telemetry != nullptr) {
+    MetricsRegistry& m = telemetry->metrics;
+    tracked_counter_ = m.GetCounter("wedge.watcher.tracked");
+    resolved_counter_ = m.GetCounter("wedge.watcher.resolved");
+    mismatch_counter_ = m.GetCounter("wedge.watcher.mismatches");
+    omission_counter_ = m.GetCounter("wedge.watcher.omissions_suspected");
+    punishment_counter_ = m.GetCounter("wedge.watcher.punishments_triggered");
+    pending_gauge_ = m.GetGauge("wedge.watcher.pending");
+  }
   chain_->SubscribeEvents(
       root_record_address, [this](const LogEvent& event) {
         if (event.name != "RecordsUpdated") return;
@@ -28,6 +38,10 @@ void Stage2Watcher::Track(Stage1Response response) {
   uint64_t head = chain_->HeadNumber();
   std::lock_guard<std::mutex> lock(mu_);
   pending_.push_back(Tracked{std::move(response), head});
+  if (tracked_counter_ != nullptr) {
+    tracked_counter_->Add(1);
+    pending_gauge_->Set(static_cast<int64_t>(pending_.size()));
+  }
 }
 
 void Stage2Watcher::TrackAll(const std::vector<Stage1Response>& responses) {
@@ -35,6 +49,10 @@ void Stage2Watcher::TrackAll(const std::vector<Stage1Response>& responses) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const Stage1Response& r : responses) {
     pending_.push_back(Tracked{r, head});
+  }
+  if (tracked_counter_ != nullptr) {
+    tracked_counter_->Add(responses.size());
+    pending_gauge_->Set(static_cast<int64_t>(pending_.size()));
   }
 }
 
@@ -69,6 +87,11 @@ Result<std::vector<Stage2Watcher::Outcome>> Stage2Watcher::Poll() {
       // Only the deadline can have pulled an uncovered response out of
       // pending_: the node has gone silent past the liveness horizon.
       outcome.check = CommitCheck::kOmissionSuspected;
+      if (omission_counter_ != nullptr) omission_counter_->Add(1);
+    }
+    if (outcome.check == CommitCheck::kMismatch &&
+        mismatch_counter_ != nullptr) {
+      mismatch_counter_->Add(1);
     }
     if (outcome.check == CommitCheck::kMismatch && auto_punish_) {
       // The signed response is the evidence; one punishment settles the
@@ -77,6 +100,7 @@ Result<std::vector<Stage2Watcher::Outcome>> Stage2Watcher::Poll() {
       if (receipt.ok()) {
         outcome.punishment_triggered = true;
         outcome.punishment_receipt = std::move(receipt).value();
+        if (punishment_counter_ != nullptr) punishment_counter_->Add(1);
       }
     }
     outcome.response = std::move(response);
@@ -84,6 +108,10 @@ Result<std::vector<Stage2Watcher::Outcome>> Stage2Watcher::Poll() {
   }
   std::lock_guard<std::mutex> lock(mu_);
   resolved_count_ += outcomes.size();
+  if (resolved_counter_ != nullptr) {
+    resolved_counter_->Add(outcomes.size());
+    pending_gauge_->Set(static_cast<int64_t>(pending_.size()));
+  }
   return outcomes;
 }
 

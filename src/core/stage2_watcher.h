@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "core/client.h"
+#include "telemetry/telemetry.h"
 
 namespace wedge {
 
@@ -33,9 +34,13 @@ class Stage2Watcher {
   /// still not on-chain this many blocks after Track() resolves as
   /// CommitCheck::kOmissionSuspected — the signal to file an omission
   /// claim (§4.7). 0 disables the deadline (wait forever).
+  /// With `telemetry`, the watcher keeps `wedge.watcher.*` counters
+  /// (tracked / resolved / mismatches / omissions_suspected /
+  /// punishments_triggered) and a pending-responses gauge up to date.
   Stage2Watcher(Blockchain* chain, const Address& root_record_address,
                 PublisherClient* publisher, bool auto_punish = true,
-                uint64_t liveness_deadline_blocks = 0);
+                uint64_t liveness_deadline_blocks = 0,
+                Telemetry* telemetry = nullptr);
 
   /// Registers a stage-1 response to watch.
   void Track(Stage1Response response);
@@ -63,6 +68,12 @@ class Stage2Watcher {
   PublisherClient* publisher_;
   bool auto_punish_;
   uint64_t liveness_deadline_blocks_;
+  Counter* tracked_counter_ = nullptr;
+  Counter* resolved_counter_ = nullptr;
+  Counter* mismatch_counter_ = nullptr;
+  Counter* omission_counter_ = nullptr;
+  Counter* punishment_counter_ = nullptr;
+  Gauge* pending_gauge_ = nullptr;
 
   mutable std::mutex mu_;
   std::vector<Tracked> pending_;

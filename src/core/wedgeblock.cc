@@ -6,7 +6,9 @@ Result<std::unique_ptr<Deployment>> Deployment::Create(
     const DeploymentConfig& config, uint64_t publisher_seed) {
   std::unique_ptr<Deployment> d(new Deployment());
   d->config_ = config;
-  d->chain_ = std::make_unique<Blockchain>(config.chain, &d->clock_);
+  d->telemetry_ = std::make_unique<Telemetry>(&d->clock_);
+  d->chain_ = std::make_unique<Blockchain>(config.chain, &d->clock_,
+                                           d->telemetry_.get());
 
   KeyPair offchain_key = KeyPair::FromSeed(config.offchain_key_seed);
   KeyPair publisher_key = KeyPair::FromSeed(publisher_seed);
@@ -39,12 +41,14 @@ Result<std::unique_ptr<Deployment>> Deployment::Create(
         config.archive_peers, config.archive_replication,
         /*seed=*/config.offchain_key_seed);
     store = std::make_unique<TieredLogStore>(config.tiered_hot_positions,
-                                             d->archive_.get());
+                                             d->archive_.get(),
+                                             &d->telemetry_->metrics);
   } else if (config.log_path.empty()) {
     store = std::make_unique<MemoryLogStore>();
   } else {
     FileLogStore::Options file_options;
     file_options.fsync_on_append = config.log_fsync;
+    file_options.metrics = &d->telemetry_->metrics;
     WEDGE_ASSIGN_OR_RETURN(auto file_store,
                            FileLogStore::Open(config.log_path, file_options));
     store = std::move(file_store);
@@ -60,7 +64,8 @@ Result<std::unique_ptr<Deployment>> Deployment::Create(
 
   d->node_ = std::make_unique<OffchainNode>(config.node, offchain_key,
                                             std::move(store), d->chain_.get(),
-                                            d->root_record_address_);
+                                            d->root_record_address_,
+                                            d->telemetry_.get());
   d->publisher_ = std::make_unique<PublisherClient>(
       publisher_key, d->node_.get(), d->chain_.get(), d->root_record_address_,
       d->punishment_address_);

@@ -57,6 +57,11 @@ class Deployment {
   SimClock& clock() { return clock_; }
   Blockchain& chain() { return *chain_; }
   OffchainNode& node() { return *node_; }
+  /// The deployment-wide metrics/trace sink, shared by the chain, fault
+  /// injector, log store, node and stage-2 submitter. Timestamped off the
+  /// deployment SimClock, so snapshots and traces are deterministic for a
+  /// given seed.
+  Telemetry& telemetry() { return *telemetry_; }
 
   const Address& root_record_address() const { return root_record_address_; }
   const Address& punishment_address() const { return punishment_address_; }
@@ -87,6 +92,7 @@ class Deployment {
 
   DeploymentConfig config_;
   SimClock clock_;
+  std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<DecentralizedArchive> archive_;
   std::unique_ptr<Blockchain> chain_;
   std::unique_ptr<OffchainNode> node_;

@@ -30,10 +30,14 @@ void MessageBus::RegisterEndpoint(const std::string& name, Handler handler) {
 Result<Micros> MessageBus::Send(const std::string& from, const std::string& to,
                                 Bytes payload) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sent_counter_ != nullptr) sent_counter_->Add(1);
   if (link_.ShouldDrop()) {
+    if (dropped_counter_ != nullptr) dropped_counter_->Add(1);
     return Status::Unavailable("message dropped by the network");
   }
-  Micros deliver_at = clock_->NowMicros() + link_.DelayFor(payload.size());
+  Micros delay = link_.DelayFor(payload.size());
+  if (delay_hist_ != nullptr) delay_hist_->Record(delay);
+  Micros deliver_at = clock_->NowMicros() + delay;
   queue_.emplace(deliver_at,
                  InFlightMessage{from, to, std::move(payload)});
   return deliver_at;
@@ -55,6 +59,7 @@ int MessageBus::DeliverDue() {
       handler = ep->second;
     }
     handler(msg.from, msg.payload);
+    if (delivered_counter_ != nullptr) delivered_counter_->Add(1);
     ++delivered;
   }
   return delivered;

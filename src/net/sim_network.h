@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "crypto/ecdsa.h"
+#include "telemetry/telemetry.h"
 
 namespace wedge {
 
@@ -54,8 +55,21 @@ class MessageBus {
  public:
   using Handler = std::function<void(const std::string& from, const Bytes&)>;
 
-  MessageBus(SimClock* clock, const NetworkConfig& config, uint64_t seed)
-      : clock_(clock), link_(config, seed) {}
+  /// With `telemetry`, the bus records a `wedge.net.delivery_delay_us`
+  /// histogram plus msgs_sent / msgs_delivered / msgs_dropped counters.
+  MessageBus(SimClock* clock, const NetworkConfig& config, uint64_t seed,
+             Telemetry* telemetry = nullptr)
+      : clock_(clock), link_(config, seed) {
+    if (telemetry != nullptr) {
+      sent_counter_ = telemetry->metrics.GetCounter("wedge.net.msgs_sent");
+      delivered_counter_ =
+          telemetry->metrics.GetCounter("wedge.net.msgs_delivered");
+      dropped_counter_ =
+          telemetry->metrics.GetCounter("wedge.net.msgs_dropped");
+      delay_hist_ =
+          telemetry->metrics.GetHistogram("wedge.net.delivery_delay_us");
+    }
+  }
 
   /// Registers (or replaces) the handler for endpoint `name`.
   void RegisterEndpoint(const std::string& name, Handler handler);
@@ -85,6 +99,10 @@ class MessageBus {
 
   SimClock* clock_;
   SimLink link_;
+  Counter* sent_counter_ = nullptr;
+  Counter* delivered_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  Histogram* delay_hist_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::string, Handler> endpoints_;
   std::multimap<Micros, InFlightMessage> queue_;

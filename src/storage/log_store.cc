@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "common/clock.h"
+
 namespace wedge {
 
 Bytes LogPosition::Serialize() const {
@@ -134,6 +136,7 @@ FileLogStore::~FileLogStore() {
 }
 
 Status FileLogStore::Append(const LogPosition& position) {
+  Stopwatch watch(RealClock::Global());
   std::lock_guard<std::mutex> lock(mu_);
   if (position.log_id != positions_.size()) {
     return Status::FailedPrecondition("log positions must be consecutive");
@@ -148,11 +151,16 @@ Status FileLogStore::Append(const LogPosition& position) {
     return Status::Internal("short write to log file");
   }
   if (options_.fsync_on_append) {
+    Stopwatch fsync_watch(RealClock::Global());
     if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
       return Status::Internal("fsync failed on append");
     }
+    if (fsync_hist_ != nullptr) {
+      fsync_hist_->Record(fsync_watch.ElapsedMicros());
+    }
   }
   positions_.push_back(position);
+  if (append_hist_ != nullptr) append_hist_->Record(watch.ElapsedMicros());
   return Status::Ok();
 }
 
@@ -165,6 +173,7 @@ Result<LogPosition> FileLogStore::Get(uint64_t log_id) const {
 }
 
 Result<Bytes> FileLogStore::GetEntry(const EntryIndex& index) const {
+  Stopwatch watch(RealClock::Global());
   std::lock_guard<std::mutex> lock(mu_);
   if (index.log_id >= positions_.size()) {
     return Status::NotFound("log position does not exist");
@@ -173,6 +182,7 @@ Result<Bytes> FileLogStore::GetEntry(const EntryIndex& index) const {
   if (index.offset >= pos.data_list.size()) {
     return Status::NotFound("entry offset out of range");
   }
+  if (read_hist_ != nullptr) read_hist_->Record(watch.ElapsedMicros());
   return pos.data_list[index.offset];
 }
 

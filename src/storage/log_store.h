@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "crypto/sha256.h"
+#include "telemetry/metrics.h"
 
 namespace wedge {
 
@@ -90,6 +91,10 @@ class FileLogStore : public LogStore {
     /// trades append latency for durability of the most recent records
     /// (a torn tail is truncated on recovery either way).
     bool fsync_on_append = false;
+    /// Optional metrics sink (must outlive the store). When set, the
+    /// store records wall-clock `wedge.store.append_us`,
+    /// `wedge.store.fsync_us` and `wedge.store.read_us` histograms.
+    MetricsRegistry* metrics = nullptr;
   };
 
   /// Opens (creating if needed) the store at `path` and recovers its
@@ -117,10 +122,19 @@ class FileLogStore : public LogStore {
 
  private:
   FileLogStore(std::string path, const Options& options)
-      : path_(std::move(path)), options_(options) {}
+      : path_(std::move(path)), options_(options) {
+    if (options_.metrics != nullptr) {
+      append_hist_ = options_.metrics->GetHistogram("wedge.store.append_us");
+      fsync_hist_ = options_.metrics->GetHistogram("wedge.store.fsync_us");
+      read_hist_ = options_.metrics->GetHistogram("wedge.store.read_us");
+    }
+  }
 
   std::string path_;
   const Options options_;
+  Histogram* append_hist_ = nullptr;
+  Histogram* fsync_hist_ = nullptr;
+  Histogram* read_hist_ = nullptr;
   mutable std::mutex mu_;
   // The recovered/served view. Positions are also cached in memory; the
   // file is the durable copy replayed on Open().

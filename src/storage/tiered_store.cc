@@ -1,10 +1,18 @@
 #include "storage/tiered_store.h"
 
+#include "common/clock.h"
+
 namespace wedge {
 
 TieredLogStore::TieredLogStore(size_t hot_capacity,
-                               DecentralizedArchive* archive)
-    : hot_capacity_(hot_capacity < 1 ? 1 : hot_capacity), archive_(archive) {}
+                               DecentralizedArchive* archive,
+                               MetricsRegistry* metrics)
+    : hot_capacity_(hot_capacity < 1 ? 1 : hot_capacity), archive_(archive) {
+  if (metrics != nullptr) {
+    cold_read_counter_ = metrics->GetCounter("wedge.store.cold_reads");
+    fetch_hist_ = metrics->GetHistogram("wedge.store.archive_fetch_us");
+  }
+}
 
 Status TieredLogStore::Append(const LogPosition& position) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -29,9 +37,13 @@ Result<LogPosition> TieredLogStore::FetchLocked(uint64_t log_id) const {
   auto it = hot_.find(log_id);
   if (it != hot_.end()) return it->second;
   ++cold_reads_;
+  if (cold_read_counter_ != nullptr) cold_read_counter_->Add(1);
   // Cold read: the archive verifies the recomputed root against our
   // index, so byzantine peers cannot slip in tampered data.
-  return archive_->Fetch(log_id, roots_[log_id]);
+  Stopwatch watch(RealClock::Global());
+  Result<LogPosition> fetched = archive_->Fetch(log_id, roots_[log_id]);
+  if (fetch_hist_ != nullptr) fetch_hist_->Record(watch.ElapsedMicros());
+  return fetched;
 }
 
 Result<LogPosition> TieredLogStore::Get(uint64_t log_id) const {

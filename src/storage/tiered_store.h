@@ -17,8 +17,12 @@ namespace wedge {
 /// same way clients verify reads.
 class TieredLogStore : public LogStore {
  public:
-  /// `archive` must outlive the store. hot_capacity >= 1.
-  TieredLogStore(size_t hot_capacity, DecentralizedArchive* archive);
+  /// `archive` must outlive the store. hot_capacity >= 1. With
+  /// `metrics`, cold reads bump a `wedge.store.cold_reads` counter and
+  /// archive fetches record a wall-clock
+  /// `wedge.store.archive_fetch_us` histogram.
+  TieredLogStore(size_t hot_capacity, DecentralizedArchive* archive,
+                 MetricsRegistry* metrics = nullptr);
 
   Status Append(const LogPosition& position) override;
   Result<LogPosition> Get(uint64_t log_id) const override;
@@ -38,6 +42,8 @@ class TieredLogStore : public LogStore {
 
   const size_t hot_capacity_;
   DecentralizedArchive* const archive_;
+  Counter* cold_read_counter_ = nullptr;
+  Histogram* fetch_hist_ = nullptr;
 
   mutable std::mutex mu_;
   std::map<uint64_t, LogPosition> hot_;       // Ordered: eviction = begin().

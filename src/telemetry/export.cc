@@ -1,0 +1,111 @@
+#include "telemetry/export.h"
+
+#include <cstdio>
+
+namespace wedge {
+
+namespace {
+
+std::string Sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+void AppendHistogramJson(std::string& out, const std::string& name,
+                         const HistogramSnapshot& h) {
+  out += "{\"kind\": \"histogram\", \"name\": \"" + name +
+         "\", \"count\": " + std::to_string(h.count) +
+         ", \"sum\": " + std::to_string(h.sum) +
+         ", \"min\": " + std::to_string(h.min) +
+         ", \"max\": " + std::to_string(h.max) +
+         ", \"p50\": " + std::to_string(h.ValueAtQuantile(0.50)) +
+         ", \"p90\": " + std::to_string(h.ValueAtQuantile(0.90)) +
+         ", \"p95\": " + std::to_string(h.ValueAtQuantile(0.95)) +
+         ", \"p99\": " + std::to_string(h.ValueAtQuantile(0.99)) + "}\n";
+}
+
+}  // namespace
+
+std::string MetricsToJsonLines(const MetricsSnapshot& snap) {
+  std::string out;
+  out += "{\"kind\": \"snapshot\", \"t_us\": " + std::to_string(snap.at) +
+         "}\n";
+  for (const auto& [name, value] : snap.counters) {
+    out += "{\"kind\": \"counter\", \"name\": \"" + name +
+           "\", \"value\": " + std::to_string(value) + "}\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += "{\"kind\": \"gauge\", \"name\": \"" + name +
+           "\", \"value\": " + std::to_string(value) + "}\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    AppendHistogramJson(out, name, h);
+  }
+  return out;
+}
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    std::string n = Sanitize(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::string n = Sanitize(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::string n = Sanitize(name);
+    out += "# TYPE " + n + " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [bucket, count] : h.buckets) {
+      cumulative += count;
+      out += n + "_bucket{le=\"" +
+             std::to_string(Histogram::BucketUpperBound(bucket)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum " + std::to_string(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string TraceToJsonLines(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& ev : events) {
+    out += ev.ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteTelemetryFile(const std::string& path, const Telemetry& telemetry,
+                          bool append) {
+  std::string body;
+  bool prometheus =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  MetricsSnapshot snap = telemetry.metrics.Snapshot();
+  if (prometheus) {
+    body = MetricsToPrometheus(snap);
+  } else {
+    body = MetricsToJsonLines(snap) + telemetry.tracer.ToJsonLines();
+  }
+  FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open telemetry output: " + path);
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return Status::Internal("short write to telemetry output: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace wedge

@@ -1,0 +1,33 @@
+#ifndef WEDGEBLOCK_TELEMETRY_EXPORT_H_
+#define WEDGEBLOCK_TELEMETRY_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/telemetry.h"
+
+namespace wedge {
+
+/// JSON Lines rendering of a metrics snapshot: one object per metric,
+/// {"kind":"counter"|"gauge"|"histogram", "name":..., ...}. Histogram
+/// lines carry count/sum/min/max plus p50/p90/p95/p99 estimates.
+std::string MetricsToJsonLines(const MetricsSnapshot& snap);
+
+/// Prometheus text exposition format. Metric names are sanitized
+/// (`wedge.node.append_us` -> `wedge_node_append_us`); histograms render
+/// as cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+std::string MetricsToPrometheus(const MetricsSnapshot& snap);
+
+/// JSON Lines rendering of a trace (one {"kind":"span",...} per event).
+std::string TraceToJsonLines(const std::vector<TraceEvent>& events);
+
+/// Writes a full telemetry dump to `path`: metrics lines followed by
+/// span lines as JSONL — the format tools/trace_summary.py reads. A path
+/// ending in ".prom" writes Prometheus text instead (metrics only).
+/// `append` adds to an existing file rather than truncating it.
+Status WriteTelemetryFile(const std::string& path, const Telemetry& telemetry,
+                          bool append = false);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_TELEMETRY_EXPORT_H_

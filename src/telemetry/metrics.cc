@@ -1,0 +1,143 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <thread>
+
+namespace wedge {
+
+uint32_t Histogram::BucketIndex(int64_t value) {
+  if (value < 4) return value < 0 ? 0 : static_cast<uint32_t>(value);
+  uint64_t v = static_cast<uint64_t>(value);
+  uint32_t k = 63 - static_cast<uint32_t>(std::countl_zero(v));
+  uint32_t sub = static_cast<uint32_t>((v >> (k - 2)) & 3);
+  return 4 + (k - 2) * 4 + sub;
+}
+
+int64_t Histogram::BucketLowerBound(uint32_t bucket) {
+  if (bucket < 4) return static_cast<int64_t>(bucket);
+  uint32_t q = (bucket - 4) / 4;
+  uint32_t sub = (bucket - 4) % 4;
+  return static_cast<int64_t>(static_cast<uint64_t>(4 + sub) << q);
+}
+
+int64_t Histogram::BucketUpperBound(uint32_t bucket) {
+  if (bucket < 4) return static_cast<int64_t>(bucket);
+  uint32_t q = (bucket - 4) / 4;
+  uint32_t sub = (bucket - 4) % 4;
+  return static_cast<int64_t>((static_cast<uint64_t>(5 + sub) << q) - 1);
+}
+
+Histogram::Shard& Histogram::LocalShard() {
+  size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return shards_[idx];
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  Shard& shard = LocalShard();
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = shard.min.load(std::memory_order_relaxed);
+  while (value < seen && !shard.min.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+  seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen && !shard.max.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  std::array<uint64_t, kNumBuckets> merged{};
+  int64_t min = INT64_MAX, max = INT64_MIN;
+  for (const Shard& shard : shards_) {
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    min = std::min(min, shard.min.load(std::memory_order_relaxed));
+    max = std::max(max, shard.max.load(std::memory_order_relaxed));
+    for (uint32_t b = 0; b < kNumBuckets; ++b) {
+      merged[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  snap.min = snap.count == 0 ? 0 : min;
+  snap.max = snap.count == 0 ? 0 : max;
+  for (uint32_t b = 0; b < kNumBuckets; ++b) {
+    if (merged[b] > 0) snap.buckets.emplace_back(b, merged[b]);
+  }
+  return snap;
+}
+
+int64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (const auto& [bucket, n] : buckets) {
+    cumulative += n;
+    if (cumulative >= rank) {
+      return std::min(Histogram::BucketUpperBound(bucket), max);
+    }
+  }
+  return max;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.at = clock_ == nullptr ? 0 : clock_->NowMicros();
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->Snapshot());
+  }
+  return snap;
+}
+
+}  // namespace wedge

@@ -1,0 +1,146 @@
+#ifndef WEDGEBLOCK_TELEMETRY_METRICS_H_
+#define WEDGEBLOCK_TELEMETRY_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace wedge {
+
+/// Monotonic event counter. Lock-free; safe to bump from any thread.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (mempool depth, queue length, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time view of one histogram, merged across all shards.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;  ///< 0 when count == 0.
+  int64_t max = 0;
+  /// (bucket index, count) for every non-empty bucket, ascending.
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;
+
+  /// Estimated value at quantile q in [0, 1]. The estimate is the upper
+  /// edge of the bucket holding the rank (clamped to the observed max),
+  /// so true_q <= estimate <= true_q * 1.25 (see bucket scheme below).
+  int64_t ValueAtQuantile(double q) const;
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+};
+
+/// Log-bucketed histogram for latency/size distributions.
+///
+/// Bucket scheme (HdrHistogram-style, 4 sub-buckets per octave): values
+/// 0..3 get exact buckets; a value v >= 4 with k = floor(log2 v) lands in
+/// bucket 4 + (k-2)*4 + ((v >> (k-2)) & 3). Each bucket spans at most
+/// 25% of its lower edge, bounding quantile-estimation error at 25%.
+///
+/// Recording is wait-free: each thread hashes into one of kShards shard
+/// slots and bumps relaxed atomics; Snapshot() merges all shards. A
+/// snapshot is not an atomic cut across concurrent writers, but every
+/// recorded value is counted exactly once.
+class Histogram {
+ public:
+  static constexpr uint32_t kNumBuckets = 248;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one observation. Negative values clamp to 0.
+  void Record(int64_t value);
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Bucket math, exposed for the boundary tests.
+  static uint32_t BucketIndex(int64_t value);
+  static int64_t BucketLowerBound(uint32_t bucket);  ///< Inclusive.
+  static int64_t BucketUpperBound(uint32_t bucket);  ///< Inclusive.
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> min{INT64_MAX};
+    std::atomic<int64_t> max{INT64_MIN};
+  };
+
+  Shard& LocalShard();
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Everything a registry holds, resolved by (sorted) name — the input to
+/// the exporters and the bench row writers.
+struct MetricsSnapshot {
+  Micros at = 0;  ///< Registry clock at snapshot time (0 without a clock).
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Counter value by exact name (0 when absent).
+  uint64_t CounterValue(const std::string& name) const;
+  /// Histogram by exact name (nullptr when absent).
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+};
+
+/// Process- or deployment-scoped registry of named metrics.
+///
+/// Naming convention: `wedge.<subsystem>.<name>`, with `_us` suffix for
+/// microsecond histograms (see DESIGN.md "Telemetry"). Lookup takes a
+/// mutex; callers resolve pointers once at construction and keep them —
+/// registered metrics are never removed, so pointers stay valid for the
+/// registry's lifetime.
+class MetricsRegistry {
+ public:
+  /// `clock` stamps snapshots (a SimClock keeps exports deterministic);
+  /// may be null.
+  explicit MetricsRegistry(const Clock* clock = nullptr) : clock_(clock) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  const Clock* const clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_TELEMETRY_METRICS_H_

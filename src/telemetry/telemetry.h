@@ -1,0 +1,25 @@
+#ifndef WEDGEBLOCK_TELEMETRY_TELEMETRY_H_
+#define WEDGEBLOCK_TELEMETRY_TELEMETRY_H_
+
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
+
+namespace wedge {
+
+/// The measurement substrate every subsystem reports into: one metrics
+/// registry plus one lifecycle tracer, sharing a clock. A Deployment
+/// owns one (on its SimClock, so exports are deterministic per seed) and
+/// hands the pointer down to the chain, node, stores, and network;
+/// components accept a null pointer and fall back to a private instance
+/// or no-op.
+struct Telemetry {
+  Telemetry() : metrics(nullptr), tracer(nullptr) {}
+  explicit Telemetry(const Clock* clock) : metrics(clock), tracer(clock) {}
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,67 @@
+#include "telemetry/tracer.h"
+
+namespace wedge {
+
+std::string TraceEvent::ToJson() const {
+  std::string out = "{\"kind\": \"span\", \"seq\": " + std::to_string(seq) +
+                    ", \"t_us\": " + std::to_string(at) +
+                    ", \"log_id\": " + std::to_string(log_id) +
+                    ", \"stage\": \"" + stage + "\"";
+  if (count > 0) out += ", \"count\": " + std::to_string(count);
+  if (!note.empty()) out += ", \"note\": \"" + note + "\"";
+  out += "}";
+  return out;
+}
+
+void Tracer::Event(uint64_t log_id, const char* stage, uint64_t count,
+                   std::string note) {
+  TraceEvent ev;
+  ev.at = clock_ == nullptr ? 0 : clock_->NowMicros();
+  ev.log_id = log_id;
+  ev.stage = stage;
+  ev.count = count;
+  ev.note = std::move(note);
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.seq = next_seq_++;
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<TraceEvent> Tracer::EventsFor(uint64_t log_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& ev : events_) {
+    if (ev.log_id == log_id) out.push_back(ev);
+  }
+  return out;
+}
+
+bool Tracer::ChainEndsConfirmed(uint64_t log_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TraceEvent* last = nullptr;
+  for (const TraceEvent& ev : events_) {
+    if (ev.log_id == log_id) last = &ev;
+  }
+  return last != nullptr && last->stage == trace_stage::kConfirmed;
+}
+
+size_t Tracer::EventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::ToJsonLines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const TraceEvent& ev : events_) {
+    out += ev.ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wedge

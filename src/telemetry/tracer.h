@@ -1,0 +1,80 @@
+#ifndef WEDGEBLOCK_TELEMETRY_TRACER_H_
+#define WEDGEBLOCK_TELEMETRY_TRACER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace wedge {
+
+/// Canonical lifecycle stages of a log entry, in pipeline order (the
+/// order the Offchain Node actually executes: the batch digest is
+/// journaled for stage 2 when the position seals, before the per-entry
+/// signing fan-out finishes — see DESIGN.md "Telemetry"):
+///   ingest -> seal -> stage2_enqueued -> stage1_signed
+///     -> tx_submitted (xN attempts) -> confirmed
+/// `tx_retry` and `fault` are annotations, not lifecycle stages.
+namespace trace_stage {
+inline constexpr const char* kIngest = "ingest";
+inline constexpr const char* kSeal = "seal";
+inline constexpr const char* kStage1Signed = "stage1_signed";
+inline constexpr const char* kStage2Enqueued = "stage2_enqueued";
+inline constexpr const char* kTxSubmitted = "tx_submitted";
+inline constexpr const char* kTxRetry = "tx_retry";
+inline constexpr const char* kConfirmed = "confirmed";
+inline constexpr const char* kFault = "fault";
+}  // namespace trace_stage
+
+/// One structured span event. `at` comes from the tracer's clock — a
+/// SimClock in every deployment, so traces are deterministic for a given
+/// seed; `seq` totally orders events that share a timestamp.
+struct TraceEvent {
+  uint64_t seq = 0;
+  Micros at = 0;
+  uint64_t log_id = 0;   ///< Log position the event belongs to.
+  std::string stage;
+  uint64_t count = 0;    ///< Entries covered (0 when not meaningful).
+  std::string note;      ///< Annotations, e.g. "attempt=2 cause=timeout".
+
+  /// One JSON object, schema {"kind":"span",...}. Fields must not need
+  /// escaping (stages and notes are plain identifiers/key=value pairs).
+  std::string ToJson() const;
+};
+
+/// Appends structured lifecycle events; thread-safe. The Offchain Node,
+/// Stage2Submitter, and FaultInjector all write here so a single dump
+/// shows every entry's path from ingest to on-chain confirmation.
+class Tracer {
+ public:
+  /// `clock` may be null (timestamps 0, sequence still orders events).
+  explicit Tracer(const Clock* clock = nullptr) : clock_(clock) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Event(uint64_t log_id, const char* stage, uint64_t count = 0,
+             std::string note = {});
+
+  std::vector<TraceEvent> Events() const;
+  /// Events for one log position, in seq order.
+  std::vector<TraceEvent> EventsFor(uint64_t log_id) const;
+  /// True iff the position has events and its last one is `confirmed`.
+  bool ChainEndsConfirmed(uint64_t log_id) const;
+  size_t EventCount() const;
+
+  /// JSON Lines dump of every event, in seq order.
+  std::string ToJsonLines() const;
+
+ private:
+  const Clock* const clock_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_TELEMETRY_TRACER_H_

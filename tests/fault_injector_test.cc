@@ -70,6 +70,42 @@ TEST_F(FaultInjectorTest, SeededDecisionsAreDeterministic) {
   EXPECT_LT(a.stats().txs_dropped, 200u);
 }
 
+TEST_F(FaultInjectorTest, RegistryCountersMirrorStats) {
+  Telemetry telemetry(&clock_);
+  FaultInjector injector(FaultConfig{}, &telemetry);
+  injector.Schedule(FaultType::kDropTx, 2);
+  injector.Schedule(FaultType::kRevertTx, 1);
+  injector.Schedule(FaultType::kDelayBlock, 1);
+  injector.Schedule(FaultType::kGasSpike, 1);
+  EXPECT_TRUE(injector.ShouldInject(FaultType::kDropTx));
+  EXPECT_TRUE(injector.ShouldInject(FaultType::kDropTx));
+  EXPECT_TRUE(injector.ShouldInject(FaultType::kRevertTx));
+  EXPECT_TRUE(injector.ShouldInject(FaultType::kDelayBlock));
+  EXPECT_TRUE(injector.ShouldInject(FaultType::kGasSpike));
+  injector.RecordEviction();
+
+  FaultStats stats = injector.stats();
+  MetricsSnapshot snap = telemetry.metrics.Snapshot();
+  EXPECT_EQ(snap.CounterValue("wedge.faults.txs_dropped"), stats.txs_dropped);
+  EXPECT_EQ(snap.CounterValue("wedge.faults.txs_dropped"), 2u);
+  EXPECT_EQ(snap.CounterValue("wedge.faults.txs_reverted"),
+            stats.txs_reverted);
+  EXPECT_EQ(snap.CounterValue("wedge.faults.txs_evicted"), stats.txs_evicted);
+  EXPECT_EQ(snap.CounterValue("wedge.faults.blocks_delayed"),
+            stats.blocks_delayed);
+  EXPECT_EQ(snap.CounterValue("wedge.faults.gas_spikes"), stats.gas_spikes);
+
+  // Every injection also leaves a typed fault span in the trace.
+  size_t fault_events = 0;
+  for (const TraceEvent& ev : telemetry.tracer.Events()) {
+    if (ev.stage == trace_stage::kFault) {
+      ++fault_events;
+      EXPECT_NE(ev.note.find("type="), std::string::npos);
+    }
+  }
+  EXPECT_EQ(fault_events, 6u);
+}
+
 TEST_F(FaultInjectorTest, DroppedTxGetsIdButNeverMines) {
   chain_.fault_injector()->Schedule(FaultType::kDropTx, 1);
   auto dropped = chain_.Submit(Transfer());

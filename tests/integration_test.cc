@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <set>
 #include <thread>
 
 #include "common/random.h"
@@ -64,6 +65,62 @@ TEST(IntegrationTest, ConcurrentPublishersGetDisjointIndices) {
       EXPECT_EQ(check.value(), CommitCheck::kBlockchainCommitted);
     }
   }
+}
+
+/// Acceptance: under a 10% stage-2 drop rate, every log position's trace
+/// runs the full lifecycle and ends `confirmed`, timestamps are monotone
+/// along each chain, and two runs at the same seed produce byte-identical
+/// trace dumps (all tracer time comes from the SimClock).
+TEST(IntegrationTest, TraceCoversEveryEntryUnderDropFaults) {
+  auto run = [](std::string* dump) {
+    DeploymentConfig config;
+    config.node.batch_size = 5;
+    config.node.worker_threads = 2;
+    config.chain.faults.drop_probability = 0.10;
+    config.chain.faults.seed = 0x7EAC;
+    auto made = Deployment::Create(config);
+    ASSERT_TRUE(made.ok());
+    auto d = std::move(made).value();
+
+    auto& pub = d->publisher();
+    std::vector<std::pair<Bytes, Bytes>> kvs;
+    for (int i = 0; i < 40; ++i) {
+      kvs.emplace_back(ToBytes("k" + std::to_string(i)), ToBytes("v"));
+    }
+    auto responses = pub.Publish(pub.MakeRequests(kvs));
+    ASSERT_TRUE(responses.ok());
+    for (int i = 0; i < 128 && d->node().UncommittedDigests() > 0; ++i) {
+      d->AdvanceBlocks(1);
+    }
+    ASSERT_EQ(d->node().UncommittedDigests(), 0u);  // Retries landed all.
+
+    // Every entry's position has a complete lifecycle chain.
+    Tracer& tracer = d->telemetry().tracer;
+    std::set<uint64_t> positions;
+    for (const Stage1Response& r : responses.value()) {
+      positions.insert(r.index.log_id);
+    }
+    EXPECT_EQ(positions.size(), 8u);  // 40 entries / batch_size 5.
+    for (uint64_t log_id : positions) {
+      EXPECT_TRUE(tracer.ChainEndsConfirmed(log_id)) << "log " << log_id;
+      auto events = tracer.EventsFor(log_id);
+      ASSERT_GE(events.size(), 6u) << "log " << log_id;
+      EXPECT_EQ(events.front().stage, trace_stage::kIngest);
+      EXPECT_EQ(events.back().stage, trace_stage::kConfirmed);
+      for (size_t i = 1; i < events.size(); ++i) {
+        EXPECT_GE(events[i].at, events[i - 1].at)
+            << "log " << log_id << " event " << i;
+        EXPECT_GT(events[i].seq, events[i - 1].seq);
+      }
+    }
+    *dump = tracer.ToJsonLines();
+  };
+
+  std::string first, second;
+  run(&first);
+  run(&second);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);  // Same seed -> identical traces.
 }
 
 TEST(IntegrationTest, ConcurrentReadsWhileAppending) {

@@ -121,6 +121,71 @@ TEST(Stage2SubmitterTest, SteadyDropProbabilityNeverLosesDigests) {
   EXPECT_EQ(OnChainTail(d->chain(), d->root_record_address()), 8u);
 }
 
+/// The structured per-attempt log must mirror the scripted fault
+/// sequence: a dropped transaction surfaces as a "timeout" retry with a
+/// bumped gas bid, a reverted one as a "revert" retry.
+TEST(Stage2SubmitterTest, AttemptLogRecordsCausesMatchingScriptedFaults) {
+  {
+    auto d = Make(/*batch_size=*/4);
+    d->chain().fault_injector()->Schedule(FaultType::kDropTx, 1);
+    auto& pub = d->publisher();
+    ASSERT_TRUE(pub.Publish(pub.MakeRequests(Workload(4))).ok());
+    d->AdvanceBlocks(20);
+    ASSERT_EQ(d->node().UncommittedDigests(), 0u);
+
+    auto attempts = d->node().stage2_submitter()->attempts();
+    ASSERT_EQ(attempts.size(), 2u);
+    EXPECT_EQ(attempts[0].attempt, 1);
+    EXPECT_EQ(attempts[0].cause, "initial");
+    EXPECT_EQ(attempts[0].first_log_id, 0u);
+    EXPECT_EQ(attempts[0].count, 1u);
+    EXPECT_EQ(attempts[1].attempt, 2);
+    EXPECT_EQ(attempts[1].cause, "timeout");  // Drop surfaces as timeout.
+    // The retry outbids the initial submission (gas bump).
+    EXPECT_TRUE(attempts[1].gas_bid > attempts[0].gas_bid);
+    EXPECT_GT(attempts[1].block, attempts[0].block);
+  }
+  {
+    auto d = Make(/*batch_size=*/4);
+    d->chain().fault_injector()->Schedule(FaultType::kRevertTx, 1);
+    auto& pub = d->publisher();
+    ASSERT_TRUE(pub.Publish(pub.MakeRequests(Workload(4))).ok());
+    d->AdvanceBlocks(16);
+    ASSERT_EQ(d->node().UncommittedDigests(), 0u);
+
+    auto attempts = d->node().stage2_submitter()->attempts();
+    ASSERT_EQ(attempts.size(), 2u);
+    EXPECT_EQ(attempts[0].cause, "initial");
+    EXPECT_EQ(attempts[1].cause, "revert");  // Receipt seen, reverted.
+    EXPECT_TRUE(attempts[1].gas_bid > attempts[0].gas_bid);
+  }
+}
+
+/// The attempt trail also lands in the shared tracer: tx_submitted spans
+/// carry attempt/cause notes and the chain still ends confirmed.
+TEST(Stage2SubmitterTest, TraceShowsRetriedSubmissionEndingConfirmed) {
+  auto d = Make(/*batch_size=*/4);
+  d->chain().fault_injector()->Schedule(FaultType::kDropTx, 1);
+  auto& pub = d->publisher();
+  ASSERT_TRUE(pub.Publish(pub.MakeRequests(Workload(4))).ok());
+  d->AdvanceBlocks(20);
+  ASSERT_EQ(d->node().UncommittedDigests(), 0u);
+
+  Tracer& tracer = d->telemetry().tracer;
+  EXPECT_TRUE(tracer.ChainEndsConfirmed(0));
+  int submits = 0, retries = 0;
+  for (const TraceEvent& ev : tracer.EventsFor(0)) {
+    if (ev.stage == trace_stage::kTxSubmitted) {
+      ++submits;
+      EXPECT_NE(ev.note.find("attempt="), std::string::npos);
+      EXPECT_NE(ev.note.find("cause="), std::string::npos);
+    }
+    if (ev.stage == trace_stage::kTxRetry) ++retries;
+  }
+  EXPECT_EQ(submits, 2);  // Initial + one retry.
+  EXPECT_EQ(retries, 1);
+}
+
 TEST(Stage2SubmitterTest, EnqueueRejectsGaps) {
   SimClock clock(0);
   Blockchain chain(ChainConfig{}, &clock);

@@ -1,0 +1,241 @@
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+
+namespace wedge {
+namespace {
+
+// --- Histogram bucket math.
+
+TEST(HistogramBuckets, SmallValuesAreExact) {
+  for (int64_t v = 0; v <= 3; ++v) {
+    uint32_t b = Histogram::BucketIndex(v);
+    EXPECT_EQ(Histogram::BucketLowerBound(b), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(b), v);
+  }
+}
+
+TEST(HistogramBuckets, BoundsContainTheirValues) {
+  // Probe around every power of two plus assorted odd values.
+  std::vector<int64_t> probes = {4, 5, 6, 7, 8, 9, 15, 16, 17, 100, 1000,
+                                 4095, 4096, 4097, 1 << 20, (1LL << 40) + 123};
+  for (int64_t shift = 2; shift < 62; ++shift) {
+    probes.push_back((1LL << shift) - 1);
+    probes.push_back(1LL << shift);
+    probes.push_back((1LL << shift) + 1);
+  }
+  for (int64_t v : probes) {
+    uint32_t b = Histogram::BucketIndex(v);
+    ASSERT_LT(b, Histogram::kNumBuckets) << "value " << v;
+    EXPECT_LE(Histogram::BucketLowerBound(b), v) << "value " << v;
+    EXPECT_GE(Histogram::BucketUpperBound(b), v) << "value " << v;
+  }
+}
+
+TEST(HistogramBuckets, BucketsAreContiguousAndOrdered) {
+  for (uint32_t b = 1; b < Histogram::kNumBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketLowerBound(b),
+              Histogram::BucketUpperBound(b - 1) + 1)
+        << "bucket " << b;
+  }
+}
+
+TEST(HistogramBuckets, WidthBoundsQuantileError) {
+  // Each bucket spans at most 25% of its lower edge — the property the
+  // quantile error bound rests on.
+  for (uint32_t b = 4; b < Histogram::kNumBuckets; ++b) {
+    int64_t lo = Histogram::BucketLowerBound(b);
+    int64_t hi = Histogram::BucketUpperBound(b);
+    EXPECT_LE(hi - lo, lo / 4) << "bucket " << b;
+  }
+}
+
+// --- Recording and quantiles.
+
+TEST(Histogram, ExactStatsForSmallValues) {
+  Histogram h;
+  for (int64_t v : {0, 1, 1, 2, 3, 3, 3}) h.Record(v);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 7u);
+  EXPECT_EQ(s.sum, 13);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 3);
+  EXPECT_EQ(s.ValueAtQuantile(0.0), 0);
+  EXPECT_EQ(s.ValueAtQuantile(1.0), 3);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-100);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 0);
+}
+
+TEST(Histogram, QuantileWithinDocumentedErrorBound) {
+  Histogram h;
+  std::vector<int64_t> values;
+  // A spread covering several octaves, deterministic.
+  for (int64_t i = 1; i <= 10000; ++i) values.push_back(i * 7 + (i % 13));
+  for (int64_t v : values) h.Record(v);
+  std::sort(values.begin(), values.end());
+  HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.count, values.size());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    int64_t truth = values[static_cast<size_t>(q * (values.size() - 1))];
+    int64_t est = s.ValueAtQuantile(q);
+    EXPECT_GE(est, truth) << "q=" << q;
+    EXPECT_LE(est, truth + truth / 4 + 1) << "q=" << q;
+  }
+  EXPECT_EQ(s.ValueAtQuantile(1.0), values.back());  // Clamped to max.
+}
+
+TEST(Histogram, MultiThreadShardMergeIsExact) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        h.Record(t * kPerThread + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  HistogramSnapshot s = h.Snapshot();
+  constexpr int64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kTotal));
+  EXPECT_EQ(s.sum, kTotal * (kTotal - 1) / 2);  // Sum of 0..kTotal-1.
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, kTotal - 1);
+  uint64_t bucket_total = 0;
+  for (const auto& [bucket, count] : s.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+// --- Registry.
+
+TEST(MetricsRegistry, CountersGaugesAndStablePointers) {
+  SimClock clock;
+  MetricsRegistry reg(&clock);
+  Counter* c = reg.GetCounter("wedge.test.ops");
+  c->Add(3);
+  EXPECT_EQ(reg.GetCounter("wedge.test.ops"), c);  // Same pointer.
+  reg.GetGauge("wedge.test.depth")->Set(-7);
+  reg.GetHistogram("wedge.test.lat_us")->Record(42);
+
+  clock.Advance(1234);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.at, 1234);
+  EXPECT_EQ(snap.CounterValue("wedge.test.ops"), 3u);
+  EXPECT_EQ(snap.CounterValue("wedge.test.absent"), 0u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, -7);
+  ASSERT_NE(snap.FindHistogram("wedge.test.lat_us"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("wedge.test.absent"), nullptr);
+}
+
+TEST(MetricsRegistry, ConcurrentGetAndBump) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.GetCounter("wedge.test.shared")->Add(1);
+        reg.GetHistogram("wedge.test.h")->Record(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("wedge.test.shared"),
+            static_cast<uint64_t>(kThreads * kIters));
+  EXPECT_EQ(snap.FindHistogram("wedge.test.h")->count,
+            static_cast<uint64_t>(kThreads * kIters));
+}
+
+// --- Exporters.
+
+TEST(Exporters, IdenticalInputsRenderIdentically) {
+  auto fill = [](MetricsRegistry& reg) {
+    reg.GetCounter("wedge.a.ops")->Add(5);
+    reg.GetGauge("wedge.b.depth")->Set(9);
+    for (int64_t v : {10, 200, 3000}) {
+      reg.GetHistogram("wedge.c.lat_us")->Record(v);
+    }
+  };
+  MetricsRegistry r1, r2;
+  fill(r1);
+  fill(r2);
+  EXPECT_EQ(MetricsToJsonLines(r1.Snapshot()),
+            MetricsToJsonLines(r2.Snapshot()));
+  EXPECT_EQ(MetricsToPrometheus(r1.Snapshot()),
+            MetricsToPrometheus(r2.Snapshot()));
+  // Sanity on content.
+  std::string json = MetricsToJsonLines(r1.Snapshot());
+  EXPECT_NE(json.find("\"wedge.a.ops\", \"value\": 5"), std::string::npos);
+  std::string prom = MetricsToPrometheus(r1.Snapshot());
+  EXPECT_NE(prom.find("wedge_a_ops 5"), std::string::npos);
+  EXPECT_NE(prom.find("wedge_c_lat_us_count 3"), std::string::npos);
+}
+
+// --- Tracer.
+
+TEST(Tracer, LifecycleQueriesAndDeterministicDump) {
+  auto run = [] {
+    SimClock clock;
+    Tracer tracer(&clock);
+    tracer.Event(0, trace_stage::kIngest, 50);
+    clock.Advance(10);
+    tracer.Event(0, trace_stage::kSeal, 50);
+    tracer.Event(1, trace_stage::kIngest, 50);
+    clock.Advance(10);
+    tracer.Event(0, trace_stage::kTxSubmitted, 50, "attempt=1 cause=initial");
+    clock.Advance(10);
+    tracer.Event(0, trace_stage::kConfirmed, 50);
+    return tracer.ToJsonLines();
+  };
+
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.Event(7, trace_stage::kIngest);
+  clock.Advance(5);
+  tracer.Event(7, trace_stage::kConfirmed);
+  tracer.Event(8, trace_stage::kIngest);
+
+  auto events = tracer.EventsFor(7);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].stage, trace_stage::kIngest);
+  EXPECT_EQ(events[0].at, 0);
+  EXPECT_EQ(events[1].stage, trace_stage::kConfirmed);
+  EXPECT_EQ(events[1].at, 5);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_TRUE(tracer.ChainEndsConfirmed(7));
+  EXPECT_FALSE(tracer.ChainEndsConfirmed(8));
+  EXPECT_FALSE(tracer.ChainEndsConfirmed(99));  // No events at all.
+
+  // Two identical runs on fresh SimClocks produce byte-identical dumps.
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Tracer, JsonShape) {
+  Tracer tracer;  // Null clock: timestamps 0.
+  tracer.Event(3, trace_stage::kTxRetry, 0, "cause=timeout attempt=2");
+  std::string json = tracer.ToJsonLines();
+  EXPECT_EQ(json,
+            "{\"kind\": \"span\", \"seq\": 0, \"t_us\": 0, \"log_id\": 3, "
+            "\"stage\": \"tx_retry\", \"note\": \"cause=timeout "
+            "attempt=2\"}\n");
+}
+
+}  // namespace
+}  // namespace wedge

@@ -24,4 +24,20 @@ for san in "${sanitizers[@]}"; do
   echo "==> [$san] OK"
 done
 
-echo "All sanitizer runs passed: ${sanitizers[*]}"
+# The telemetry registry and tracer are written from many threads at once
+# (sharded histograms, concurrent Append workers), so they get a dedicated
+# ThreadSanitizer pass even in the default run. A full-suite TSan run can
+# still be requested explicitly with `tools/check.sh thread`.
+if [[ ! " ${sanitizers[*]} " =~ " thread " ]]; then
+  build_dir="$repo_root/build-thread"
+  echo "==> [thread] configuring $build_dir (telemetry tests only)"
+  cmake -B "$build_dir" -S "$repo_root" -DWEDGE_SANITIZE=thread >/dev/null
+  echo "==> [thread] building"
+  cmake --build "$build_dir" -j "$(nproc)" >/dev/null
+  echo "==> [thread] running telemetry tests"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+    -R 'telemetry|stage2_submitter|chain_test|integration'
+  echo "==> [thread] OK"
+fi
+
+echo "All sanitizer runs passed: ${sanitizers[*]} thread(telemetry)"

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Summarize a WedgeBlock telemetry trace dump as a per-stage latency table.
+
+Reads the JSON Lines produced by `--telemetry-out` (wedgeblock_sim or any
+bench binary), keeps the `span` records, groups them by log position, and
+prints the latency of each lifecycle transition:
+
+    ingest -> seal -> stage2_enqueued -> stage1_signed
+      -> tx_submitted -> confirmed
+
+plus counts of retry and fault annotations. Timestamps are simulated
+microseconds (SimClock), so the table is deterministic for a given seed.
+
+Usage:
+    tools/trace_summary.py run.jsonl
+    wedgeblock_sim --telemetry-out /dev/stdout | tools/trace_summary.py -
+
+Stdlib only; no third-party dependencies.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+# Lifecycle stages in pipeline order (see src/telemetry/tracer.h). The
+# digest is journaled for stage 2 when the position seals, before the
+# signing fan-out completes, hence stage2_enqueued before stage1_signed.
+LIFECYCLE = [
+    "ingest",
+    "seal",
+    "stage2_enqueued",
+    "stage1_signed",
+    "tx_submitted",
+    "confirmed",
+]
+ANNOTATIONS = ["tx_retry", "fault"]
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile of a pre-sorted non-empty list."""
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def load_spans(stream):
+    spans = []
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # Metrics lines / prose are fine to skip.
+        if record.get("kind") == "span":
+            spans.append(record)
+    return spans
+
+
+def summarize(spans):
+    # First occurrence of each lifecycle stage per log position, plus the
+    # LAST tx_submitted (the attempt that actually confirmed).
+    first = defaultdict(dict)
+    last_submit = {}
+    annotation_counts = defaultdict(int)
+    for span in spans:
+        stage = span["stage"]
+        log_id = span.get("log_id", 0)
+        t = span.get("t_us", 0)
+        if stage in ANNOTATIONS:
+            annotation_counts[stage] += 1
+            continue
+        if stage == "tx_submitted":
+            last_submit[log_id] = max(last_submit.get(log_id, 0), t)
+        if stage not in first[log_id]:
+            first[log_id][stage] = t
+
+    transitions = []
+    for a, b in zip(LIFECYCLE, LIFECYCLE[1:]):
+        deltas = []
+        for log_id, stages in first.items():
+            src = stages.get(a)
+            # Confirmation lag is measured from the attempt that landed,
+            # not the first (possibly dropped) one.
+            if a == "tx_submitted" and log_id in last_submit:
+                src = last_submit[log_id]
+            dst = stages.get(b)
+            if src is not None and dst is not None and dst >= src:
+                deltas.append(dst - src)
+        transitions.append((a, b, sorted(deltas)))
+
+    end_to_end = sorted(
+        stages["confirmed"] - stages["ingest"]
+        for stages in first.values()
+        if "ingest" in stages and "confirmed" in stages
+    )
+    return first, transitions, end_to_end, annotation_counts
+
+
+def print_table(first, transitions, end_to_end, annotation_counts):
+    confirmed = sum(1 for s in first.values() if "confirmed" in s)
+    print(f"log positions traced: {len(first)}  (confirmed: {confirmed})")
+    print(f"retries: {annotation_counts['tx_retry']}  "
+          f"faults: {annotation_counts['fault']}")
+    print()
+    header = (f"{'transition':<34} {'count':>6} {'p50_us':>10} "
+              f"{'p95_us':>10} {'p99_us':>10} {'max_us':>12}")
+    print(header)
+    print("-" * len(header))
+    rows = [(f"{a} -> {b}", deltas) for a, b, deltas in transitions]
+    rows.append(("ingest -> confirmed (end-to-end)", end_to_end))
+    for label, deltas in rows:
+        if not deltas:
+            print(f"{label:<34} {0:>6} {'-':>10} {'-':>10} {'-':>10} {'-':>12}")
+            continue
+        print(f"{label:<34} {len(deltas):>6} "
+              f"{percentile(deltas, 0.50):>10} "
+              f"{percentile(deltas, 0.95):>10} "
+              f"{percentile(deltas, 0.99):>10} "
+              f"{deltas[-1]:>12}")
+
+
+def main(argv):
+    if len(argv) != 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if argv[1] == "-":
+        spans = load_spans(sys.stdin)
+    else:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            spans = load_spans(f)
+    if not spans:
+        print("no span records found (is this a --telemetry-out dump?)",
+              file=sys.stderr)
+        return 1
+    print_table(*summarize(spans))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

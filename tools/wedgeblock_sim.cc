@@ -10,12 +10,18 @@
 //                  [--byzantine honest|equivocate|tamper-reads|omit-stage2|
 //                               corrupt-proof]
 //                  [--gas-gwei N] [--block-seconds N] [--replicas N]
-//                  [--audit-samples N] [--seed N]
+//                  [--audit-samples N] [--seed N] [--telemetry-out PATH]
 //
 // Examples:
 //   wedgeblock_sim --ops 4000 --batch 2000
 //   wedgeblock_sim --byzantine equivocate          # watch the punishment
 //   wedgeblock_sim --ops 10000 --audit-samples 16  # sampled audit
+//   wedgeblock_sim --telemetry-out run.jsonl       # metrics + trace dump
+//
+// --telemetry-out writes the run's metrics registry and the per-entry
+// lifecycle trace as JSON Lines (or Prometheus text when PATH ends in
+// ".prom"). Feed the JSONL to tools/trace_summary.py for a per-stage
+// latency table.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +30,7 @@
 
 #include "core/economics.h"
 #include "core/wedgeblock.h"
+#include "telemetry/export.h"
 
 namespace wedge {
 namespace {
@@ -38,6 +45,7 @@ struct Options {
   int replicas = 0;
   uint32_t audit_samples = 0;  // 0 = full audit.
   uint64_t seed = 42;
+  std::string telemetry_out;  // Empty = no telemetry dump.
 };
 
 int Usage(const char* argv0) {
@@ -46,7 +54,8 @@ int Usage(const char* argv0) {
                "          [--byzantine honest|equivocate|tamper-reads|"
                "omit-stage2|corrupt-proof]\n"
                "          [--gas-gwei N] [--block-seconds N] [--replicas N]\n"
-               "          [--audit-samples N] [--seed N]\n",
+               "          [--audit-samples N] [--seed N] "
+               "[--telemetry-out PATH]\n",
                argv0);
   return 2;
 }
@@ -101,6 +110,8 @@ Result<Options> Parse(int argc, char** argv) {
     } else if (flag == "--seed") {
       WEDGE_ASSIGN_OR_RETURN(std::string v, next());
       opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--telemetry-out") {
+      WEDGE_ASSIGN_OR_RETURN(opts.telemetry_out, next());
     } else {
       return Status::InvalidArgument("unknown flag: " + flag);
     }
@@ -208,6 +219,9 @@ int Run(const Options& opts) {
       case CommitCheck::kMismatch:
         check_str = "MISMATCH (equivocation!)";
         break;
+      case CommitCheck::kOmissionSuspected:
+        check_str = "NOT committed (omission suspected)";
+        break;
     }
   }
   Wei stage2_fees = d.chain().TotalFeesPaid(d.node().address()) - fees_before;
@@ -266,6 +280,16 @@ int Run(const Options& opts) {
     }
   } else {
     std::printf("\nlog is clean; no punishment warranted\n");
+  }
+
+  if (!opts.telemetry_out.empty()) {
+    Status wrote = WriteTelemetryFile(opts.telemetry_out, d.telemetry());
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "telemetry write failed: %s\n",
+                   wrote.ToString().c_str());
+      return 1;
+    }
+    std::printf("\ntelemetry written to %s\n", opts.telemetry_out.c_str());
   }
   return 0;
 }
