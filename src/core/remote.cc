@@ -2,40 +2,14 @@
 
 namespace wedge {
 
-namespace {
-
-Bytes EncodeRequest(uint64_t rpc_id, std::string_view op, const Bytes& body) {
-  Bytes out;
-  PutU64(out, rpc_id);
-  PutString(out, op);
-  PutBytes(out, body);
-  return out;
-}
-
-Bytes EncodeOkResponse(uint64_t rpc_id, const Bytes& body) {
-  Bytes out;
-  PutU64(out, rpc_id);
-  out.push_back(1);
-  PutBytes(out, body);
-  return out;
-}
-
-Bytes EncodeErrorResponse(uint64_t rpc_id, const Status& status) {
-  Bytes out;
-  PutU64(out, rpc_id);
-  out.push_back(0);
-  PutString(out, status.ToString());
-  return out;
-}
-
-}  // namespace
-
 RemoteNodeServer::RemoteNodeServer(OffchainNode* node, KeyPair transport_key,
-                                   MessageBus* bus, std::string endpoint_name)
+                                   MessageBus* bus, std::string endpoint_name,
+                                   size_t max_message_bytes)
     : node_(node),
       key_(std::move(transport_key)),
       bus_(bus),
-      endpoint_(std::move(endpoint_name)) {
+      endpoint_(std::move(endpoint_name)),
+      max_message_bytes_(max_message_bytes) {
   bus_->RegisterEndpoint(endpoint_,
                          [this](const std::string& from, const Bytes& wire) {
                            HandleMessage(from, wire);
@@ -48,79 +22,49 @@ void RemoteNodeServer::HandleMessage(const std::string& from,
   if (!envelope.ok() || !envelope->Verify()) {
     return;  // Unsigned/forged traffic is dropped silently (§3.1).
   }
-  ByteReader reader(envelope->payload);
-  auto rpc_id = reader.ReadU64();
-  auto op = reader.ReadString();
-  auto body = reader.ReadBytes();
-  if (!rpc_id.ok() || !op.ok() || !body.ok()) return;
+  auto request = RpcRequest::Decode(envelope->payload);
+  if (!request.ok()) {
+    // Well-signed but undecodable: answer with a typed error when the
+    // rpc_id prefix survived, otherwise there is nothing to correlate.
+    ++malformed_requests_;
+    ByteReader reader(envelope->payload);
+    auto rpc_id = reader.ReadU64();
+    if (!rpc_id.ok()) return;
+    Bytes reply = RpcResponse::Failure(rpc_id.value(),
+                                       request.status().ToString())
+                      .Encode();
+    SignedEnvelope out = SignedEnvelope::Create(key_, std::move(reply));
+    bus_->Send(endpoint_, from, out.Serialize());
+    return;
+  }
 
   ++requests_served_;
-  Result<Bytes> result = Dispatch(op.value(), body.value());
-  Bytes reply = result.ok() ? EncodeOkResponse(rpc_id.value(), result.value())
-                            : EncodeErrorResponse(rpc_id.value(),
-                                                  result.status());
-  SignedEnvelope out = SignedEnvelope::Create(key_, std::move(reply));
+  Result<Bytes> result =
+      wire.size() > max_message_bytes_
+          ? Result<Bytes>(Status::OutOfRange("request over message limit"))
+          : DispatchNodeRpc(*node_, request->op, request->body);
+  RpcResponse response =
+      result.ok() ? RpcResponse::Success(request->rpc_id,
+                                         std::move(result).value())
+                  : RpcResponse::Failure(request->rpc_id,
+                                         result.status().ToString());
+  SignedEnvelope out = SignedEnvelope::Create(key_, response.Encode());
   bus_->Send(endpoint_, from, out.Serialize());
-}
-
-Result<Bytes> RemoteNodeServer::Dispatch(std::string_view op,
-                                         const Bytes& body) {
-  ByteReader reader(body);
-  if (op == "append") {
-    WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
-    if (count == 0 || count > 1u << 20) {
-      return Status::InvalidArgument("bad append count");
-    }
-    std::vector<AppendRequest> requests;
-    requests.reserve(count);
-    for (uint32_t i = 0; i < count; ++i) {
-      WEDGE_ASSIGN_OR_RETURN(Bytes raw, reader.ReadBytes());
-      WEDGE_ASSIGN_OR_RETURN(AppendRequest req,
-                             AppendRequest::Deserialize(raw));
-      requests.push_back(std::move(req));
-    }
-    WEDGE_ASSIGN_OR_RETURN(std::vector<Stage1Response> responses,
-                           node_->Append(requests));
-    Bytes out;
-    PutU32(out, static_cast<uint32_t>(responses.size()));
-    for (const Stage1Response& r : responses) PutBytes(out, r.Serialize());
-    return out;
-  }
-  if (op == "read") {
-    EntryIndex index;
-    WEDGE_ASSIGN_OR_RETURN(index.log_id, reader.ReadU64());
-    WEDGE_ASSIGN_OR_RETURN(index.offset, reader.ReadU32());
-    WEDGE_ASSIGN_OR_RETURN(Stage1Response response, node_->ReadOne(index));
-    return response.Serialize();
-  }
-  if (op == "readBatch") {
-    uint64_t log_id;
-    WEDGE_ASSIGN_OR_RETURN(log_id, reader.ReadU64());
-    WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
-    std::vector<uint32_t> offsets;
-    offsets.reserve(count);
-    for (uint32_t i = 0; i < count; ++i) {
-      WEDGE_ASSIGN_OR_RETURN(uint32_t off, reader.ReadU32());
-      offsets.push_back(off);
-    }
-    WEDGE_ASSIGN_OR_RETURN(BatchReadResponse response,
-                           node_->ReadBatch(log_id, std::move(offsets)));
-    return response.Serialize();
-  }
-  return Status::NotFound("unknown rpc op");
 }
 
 RemoteNodeClient::RemoteNodeClient(KeyPair key, MessageBus* bus,
                                    SimClock* clock,
                                    std::string server_endpoint,
                                    const Address& server_address,
-                                   Micros rpc_timeout)
+                                   Micros rpc_timeout,
+                                   size_t max_message_bytes)
     : key_(std::move(key)),
       bus_(bus),
       clock_(clock),
       server_endpoint_(std::move(server_endpoint)),
       server_address_(server_address),
       rpc_timeout_(rpc_timeout),
+      max_message_bytes_(max_message_bytes),
       endpoint_("client-" + key_.address().ToHex()) {
   bus_->RegisterEndpoint(
       endpoint_, [this](const std::string& from, const Bytes& wire) {
@@ -129,20 +73,12 @@ RemoteNodeClient::RemoteNodeClient(KeyPair key, MessageBus* bus,
         if (!envelope.ok() || !envelope->Verify()) return;
         // Replies must come from the node operator's transport key.
         if (envelope->sender != server_address_) return;
-        ByteReader reader(envelope->payload);
-        auto rpc_id = reader.ReadU64();
-        auto ok_flag = reader.ReadRaw(1);
-        if (!rpc_id.ok() || !ok_flag.ok()) return;
-        pending_.rpc_id = rpc_id.value();
-        pending_.ok = ok_flag.value()[0] != 0;
-        if (pending_.ok) {
-          auto body = reader.ReadBytes();
-          if (!body.ok()) return;
-          pending_.body = std::move(body).value();
-        } else {
-          auto error = reader.ReadString();
-          pending_.error = error.ok() ? error.value() : "malformed error";
-        }
+        auto response = RpcResponse::Decode(envelope->payload);
+        if (!response.ok()) return;
+        pending_.rpc_id = response->rpc_id;
+        pending_.ok = response->ok;
+        pending_.body = std::move(response->body);
+        pending_.error = std::move(response->error);
         pending_.arrived = true;
       });
 }
@@ -150,14 +86,24 @@ RemoteNodeClient::RemoteNodeClient(KeyPair key, MessageBus* bus,
 Result<Bytes> RemoteNodeClient::Call(std::string_view op, const Bytes& body) {
   uint64_t rpc_id = next_rpc_id_++;
   pending_ = PendingReply{};
-  SignedEnvelope envelope =
-      SignedEnvelope::Create(key_, EncodeRequest(rpc_id, op, body));
-  Result<Micros> sent_at =
-      bus_->Send(endpoint_, server_endpoint_, envelope.Serialize());
+  RpcRequest request;
+  request.rpc_id = rpc_id;
+  request.op = std::string(op);
+  request.body = body;
+  SignedEnvelope envelope = SignedEnvelope::Create(key_, request.Encode());
+  Bytes wire = envelope.Serialize();
+  if (wire.size() > max_message_bytes_) {
+    return Status::InvalidArgument("request exceeds wire message limit (" +
+                                   std::to_string(wire.size()) + " > " +
+                                   std::to_string(max_message_bytes_) + ")");
+  }
+  Result<Micros> sent_at = bus_->Send(endpoint_, server_endpoint_, wire);
   if (!sent_at.ok()) {
     return Status::Unavailable("request dropped by the network");
   }
   Micros deadline = clock_->NowMicros() + rpc_timeout_;
+  // A reply whose rpc_id does not match the outstanding call is ignored
+  // here (it can only be stale or forged) — keep waiting for our own.
   while (!(pending_.arrived && pending_.rpc_id == rpc_id)) {
     if (clock_->NowMicros() >= deadline) {
       return Status::Timeout("rpc timed out (omission or loss)");
@@ -174,39 +120,21 @@ Result<Bytes> RemoteNodeClient::Call(std::string_view op, const Bytes& body) {
 
 Result<std::vector<Stage1Response>> RemoteNodeClient::Append(
     const std::vector<AppendRequest>& requests) {
-  Bytes body;
-  PutU32(body, static_cast<uint32_t>(requests.size()));
-  for (const AppendRequest& r : requests) PutBytes(body, r.Serialize());
-  WEDGE_ASSIGN_OR_RETURN(Bytes reply, Call("append", body));
-  ByteReader reader(reply);
-  WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
-  std::vector<Stage1Response> responses;
-  responses.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    WEDGE_ASSIGN_OR_RETURN(Bytes raw, reader.ReadBytes());
-    WEDGE_ASSIGN_OR_RETURN(Stage1Response resp,
-                           Stage1Response::Deserialize(raw));
-    responses.push_back(std::move(resp));
-  }
-  return responses;
+  WEDGE_ASSIGN_OR_RETURN(Bytes reply,
+                         Call(kOpAppend, EncodeAppendBody(requests)));
+  return DecodeAppendReply(reply);
 }
 
 Result<Stage1Response> RemoteNodeClient::ReadOne(const EntryIndex& index) {
-  Bytes body;
-  PutU64(body, index.log_id);
-  PutU32(body, index.offset);
-  WEDGE_ASSIGN_OR_RETURN(Bytes reply, Call("read", body));
-  return Stage1Response::Deserialize(reply);
+  WEDGE_ASSIGN_OR_RETURN(Bytes reply, Call(kOpRead, EncodeReadBody(index)));
+  return DecodeReadReply(reply);
 }
 
 Result<BatchReadResponse> RemoteNodeClient::ReadBatch(
     uint64_t log_id, const std::vector<uint32_t>& offsets) {
-  Bytes body;
-  PutU64(body, log_id);
-  PutU32(body, static_cast<uint32_t>(offsets.size()));
-  for (uint32_t off : offsets) PutU32(body, off);
-  WEDGE_ASSIGN_OR_RETURN(Bytes reply, Call("readBatch", body));
-  return BatchReadResponse::Deserialize(reply);
+  WEDGE_ASSIGN_OR_RETURN(
+      Bytes reply, Call(kOpReadBatch, EncodeReadBatchBody(log_id, offsets)));
+  return DecodeReadBatchReply(reply);
 }
 
 }  // namespace wedge

@@ -2,7 +2,9 @@
 #define WEDGEBLOCK_CORE_REMOTE_H_
 
 #include "core/offchain_node.h"
+#include "core/rpc_codec.h"
 #include "net/sim_network.h"
+#include "net/wire.h"
 
 namespace wedge {
 
@@ -14,34 +16,38 @@ namespace wedge {
 /// SignedEnvelope-wrapped messages, exercising the full wire paths
 /// (serialization, signature checks, drops, latency).
 ///
-/// Wire format inside the envelope payload:
-///   request:  [u64 rpc_id][string op][bytes body]
-///   response: [u64 rpc_id][u8 ok][bytes body | string error]
-/// Ops: "append" (body = u32 count + serialized AppendRequests),
-///      "read"   (body = u64 log_id + u32 offset),
-///      "readBatch" (body = u64 log_id + u32 count + u32 offsets...).
+/// The envelope payloads are the shared RPC codec (net/wire.h:
+/// RpcRequest/RpcResponse; op bodies in core/rpc_codec.h), identical to
+/// what the TCP transport (rpc/) carries inside its frames — only the
+/// framing differs, because the bus is message-oriented.
 
 /// Server side: owns the bus endpoint, forwards to a local OffchainNode
 /// and signs every reply envelope with the node operator's key.
 class RemoteNodeServer {
  public:
   /// Registers the endpoint `endpoint_name` on `bus`. The server must
-  /// outlive the bus's use of that endpoint.
+  /// outlive the bus's use of that endpoint. Messages larger than
+  /// `max_message_bytes` are rejected with an error response.
   RemoteNodeServer(OffchainNode* node, KeyPair transport_key,
-                   MessageBus* bus, std::string endpoint_name);
+                   MessageBus* bus, std::string endpoint_name,
+                   size_t max_message_bytes = kDefaultMaxFrameBytes);
 
   const std::string& endpoint() const { return endpoint_; }
   uint64_t requests_served() const { return requests_served_; }
+  /// Well-signed messages whose payload failed to decode (answered with
+  /// an error response when the rpc_id was readable).
+  uint64_t malformed_requests() const { return malformed_requests_; }
 
  private:
   void HandleMessage(const std::string& from, const Bytes& wire);
-  Result<Bytes> Dispatch(std::string_view op, const Bytes& body);
 
   OffchainNode* node_;
   KeyPair key_;
   MessageBus* bus_;
   std::string endpoint_;
+  size_t max_message_bytes_;
   uint64_t requests_served_ = 0;
+  uint64_t malformed_requests_ = 0;
 };
 
 /// Client side: sends signed requests and drives the bus until the reply
@@ -51,7 +57,8 @@ class RemoteNodeClient {
   RemoteNodeClient(KeyPair key, MessageBus* bus, SimClock* clock,
                    std::string server_endpoint,
                    const Address& server_address,
-                   Micros rpc_timeout = 2 * kMicrosPerSecond);
+                   Micros rpc_timeout = 2 * kMicrosPerSecond,
+                   size_t max_message_bytes = kDefaultMaxFrameBytes);
 
   /// Remote Append: ships the requests over the wire, returns verified-
   /// decodable stage-1 responses.
@@ -69,7 +76,8 @@ class RemoteNodeClient {
 
  private:
   /// Sends one RPC and blocks (driving the bus) until the matching reply
-  /// or timeout.
+  /// or timeout. Requests that serialize past `max_message_bytes_` are
+  /// rejected locally with InvalidArgument, never sent.
   Result<Bytes> Call(std::string_view op, const Bytes& body);
 
   KeyPair key_;
@@ -78,6 +86,7 @@ class RemoteNodeClient {
   std::string server_endpoint_;
   Address server_address_;
   Micros rpc_timeout_;
+  size_t max_message_bytes_;
   std::string endpoint_;
   uint64_t next_rpc_id_ = 1;
   // Last reply captured by the endpoint handler.

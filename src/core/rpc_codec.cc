@@ -1,0 +1,111 @@
+#include "core/rpc_codec.h"
+
+#include "core/offchain_node.h"
+
+namespace wedge {
+
+Bytes EncodeAppendBody(const std::vector<AppendRequest>& requests) {
+  Bytes body;
+  PutU32(body, static_cast<uint32_t>(requests.size()));
+  for (const AppendRequest& r : requests) PutBytes(body, r.Serialize());
+  return body;
+}
+
+Bytes EncodeReadBody(const EntryIndex& index) {
+  Bytes body;
+  PutU64(body, index.log_id);
+  PutU32(body, index.offset);
+  return body;
+}
+
+Bytes EncodeReadBatchBody(uint64_t log_id,
+                          const std::vector<uint32_t>& offsets) {
+  Bytes body;
+  PutU64(body, log_id);
+  PutU32(body, static_cast<uint32_t>(offsets.size()));
+  for (uint32_t off : offsets) PutU32(body, off);
+  return body;
+}
+
+Result<std::vector<Stage1Response>> DecodeAppendReply(const Bytes& reply) {
+  ByteReader reader(reply);
+  WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  std::vector<Stage1Response> responses;
+  responses.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WEDGE_ASSIGN_OR_RETURN(Bytes raw, reader.ReadBytes());
+    WEDGE_ASSIGN_OR_RETURN(Stage1Response resp,
+                           Stage1Response::Deserialize(raw));
+    responses.push_back(std::move(resp));
+  }
+  return responses;
+}
+
+Result<Stage1Response> DecodeReadReply(const Bytes& reply) {
+  return Stage1Response::Deserialize(reply);
+}
+
+Result<BatchReadResponse> DecodeReadBatchReply(const Bytes& reply) {
+  return BatchReadResponse::Deserialize(reply);
+}
+
+Result<Bytes> DispatchNodeRpc(OffchainNode& node, std::string_view op,
+                              const Bytes& body) {
+  ByteReader reader(body);
+  if (op == kOpAppend) {
+    WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+    if (count == 0 || count > 1u << 20) {
+      return Status::InvalidArgument("bad append count");
+    }
+    std::vector<AppendRequest> requests;
+    requests.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      WEDGE_ASSIGN_OR_RETURN(Bytes raw, reader.ReadBytes());
+      WEDGE_ASSIGN_OR_RETURN(AppendRequest req,
+                             AppendRequest::Deserialize(raw));
+      requests.push_back(std::move(req));
+    }
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument("trailing bytes after append body");
+    }
+    WEDGE_ASSIGN_OR_RETURN(std::vector<Stage1Response> responses,
+                           node.Append(requests));
+    Bytes out;
+    PutU32(out, static_cast<uint32_t>(responses.size()));
+    for (const Stage1Response& r : responses) PutBytes(out, r.Serialize());
+    return out;
+  }
+  if (op == kOpRead) {
+    EntryIndex index;
+    WEDGE_ASSIGN_OR_RETURN(index.log_id, reader.ReadU64());
+    WEDGE_ASSIGN_OR_RETURN(index.offset, reader.ReadU32());
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument("trailing bytes after read body");
+    }
+    WEDGE_ASSIGN_OR_RETURN(Stage1Response response, node.ReadOne(index));
+    return response.Serialize();
+  }
+  if (op == kOpReadBatch) {
+    uint64_t log_id;
+    WEDGE_ASSIGN_OR_RETURN(log_id, reader.ReadU64());
+    WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+    if (count > 1u << 20) {
+      return Status::InvalidArgument("bad readBatch count");
+    }
+    std::vector<uint32_t> offsets;
+    offsets.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      WEDGE_ASSIGN_OR_RETURN(uint32_t off, reader.ReadU32());
+      offsets.push_back(off);
+    }
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument("trailing bytes after readBatch body");
+    }
+    WEDGE_ASSIGN_OR_RETURN(BatchReadResponse response,
+                           node.ReadBatch(log_id, std::move(offsets)));
+    return response.Serialize();
+  }
+  return Status::NotFound("unknown rpc op");
+}
+
+}  // namespace wedge

@@ -1,0 +1,51 @@
+#ifndef WEDGEBLOCK_CORE_RPC_CODEC_H_
+#define WEDGEBLOCK_CORE_RPC_CODEC_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/batch_read.h"
+#include "core/data_model.h"
+#include "net/wire.h"
+
+namespace wedge {
+
+class OffchainNode;
+
+/// Op-level codec for the Offchain Node RPC surface, shared by the sim
+/// transport (core/remote) and the TCP transport (rpc/). Keeping the body
+/// encodings and the server-side dispatch in one place is what guarantees
+/// the two transports stay protocol-identical (see net/wire.h for the
+/// framing layers around these bodies).
+///
+/// Ops and body layouts:
+///   "append"    body = u32 count + count * bytes(serialized AppendRequest)
+///               reply = u32 count + count * bytes(serialized Stage1Response)
+///   "read"      body = u64 log_id + u32 offset
+///               reply = serialized Stage1Response
+///   "readBatch" body = u64 log_id + u32 count + count * u32 offsets
+///               reply = serialized BatchReadResponse
+inline constexpr std::string_view kOpAppend = "append";
+inline constexpr std::string_view kOpRead = "read";
+inline constexpr std::string_view kOpReadBatch = "readBatch";
+
+/// Client-side body builders.
+Bytes EncodeAppendBody(const std::vector<AppendRequest>& requests);
+Bytes EncodeReadBody(const EntryIndex& index);
+Bytes EncodeReadBatchBody(uint64_t log_id,
+                          const std::vector<uint32_t>& offsets);
+
+/// Client-side reply decoders (typed errors on truncated/garbage input).
+Result<std::vector<Stage1Response>> DecodeAppendReply(const Bytes& reply);
+Result<Stage1Response> DecodeReadReply(const Bytes& reply);
+Result<BatchReadResponse> DecodeReadBatchReply(const Bytes& reply);
+
+/// Server-side dispatch: decodes `body` for `op`, calls into `node`, and
+/// encodes the reply body. Unknown ops and malformed bodies come back as
+/// typed errors for the transport to turn into an error response.
+Result<Bytes> DispatchNodeRpc(OffchainNode& node, std::string_view op,
+                              const Bytes& body);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CORE_RPC_CODEC_H_

@@ -1,0 +1,120 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace wedge {
+
+Bytes EncodeFrame(const Bytes& payload) {
+  Bytes out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(out, kFrameMagic);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  Append(out, payload);
+  return out;
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t n) {
+  // Compact once the consumed prefix dominates, keeping the buffer small
+  // without a memmove per frame.
+  if (pos_ > 0 && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + pos_);
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+Result<bool> FrameDecoder::Next(Bytes* out) {
+  if (poisoned_) {
+    return Status::Corruption("frame stream already poisoned");
+  }
+  if (buffered() < kFrameHeaderBytes) return false;
+  const uint8_t* head = buffer_.data() + pos_;
+  uint32_t magic = (uint32_t{head[0]} << 24) | (uint32_t{head[1]} << 16) |
+                   (uint32_t{head[2]} << 8) | uint32_t{head[3]};
+  uint32_t length = (uint32_t{head[4]} << 24) | (uint32_t{head[5]} << 16) |
+                    (uint32_t{head[6]} << 8) | uint32_t{head[7]};
+  if (magic != kFrameMagic) {
+    poisoned_ = true;
+    return Status::Corruption("bad frame magic");
+  }
+  if (length > max_frame_bytes_) {
+    poisoned_ = true;
+    return Status::OutOfRange("frame length " + std::to_string(length) +
+                              " exceeds limit " +
+                              std::to_string(max_frame_bytes_));
+  }
+  if (buffered() < kFrameHeaderBytes + length) return false;
+  out->assign(head + kFrameHeaderBytes, head + kFrameHeaderBytes + length);
+  pos_ += kFrameHeaderBytes + length;
+  return true;
+}
+
+Bytes RpcRequest::Encode() const {
+  Bytes out;
+  PutU64(out, rpc_id);
+  PutString(out, op);
+  PutBytes(out, body);
+  return out;
+}
+
+Result<RpcRequest> RpcRequest::Decode(const Bytes& payload) {
+  ByteReader reader(payload);
+  RpcRequest req;
+  WEDGE_ASSIGN_OR_RETURN(req.rpc_id, reader.ReadU64());
+  WEDGE_ASSIGN_OR_RETURN(req.op, reader.ReadString());
+  if (req.op.size() > kMaxOpBytes) {
+    return Status::OutOfRange("rpc op name too long");
+  }
+  WEDGE_ASSIGN_OR_RETURN(req.body, reader.ReadBytes());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after rpc request");
+  }
+  return req;
+}
+
+RpcResponse RpcResponse::Success(uint64_t id, Bytes body) {
+  RpcResponse resp;
+  resp.rpc_id = id;
+  resp.ok = true;
+  resp.body = std::move(body);
+  return resp;
+}
+
+RpcResponse RpcResponse::Failure(uint64_t id, std::string error) {
+  RpcResponse resp;
+  resp.rpc_id = id;
+  resp.ok = false;
+  resp.error = std::move(error);
+  return resp;
+}
+
+Bytes RpcResponse::Encode() const {
+  Bytes out;
+  PutU64(out, rpc_id);
+  out.push_back(ok ? 1 : 0);
+  if (ok) {
+    PutBytes(out, body);
+  } else {
+    PutString(out, error);
+  }
+  return out;
+}
+
+Result<RpcResponse> RpcResponse::Decode(const Bytes& payload) {
+  ByteReader reader(payload);
+  RpcResponse resp;
+  WEDGE_ASSIGN_OR_RETURN(resp.rpc_id, reader.ReadU64());
+  WEDGE_ASSIGN_OR_RETURN(Bytes flag, reader.ReadRaw(1));
+  resp.ok = flag[0] != 0;
+  if (resp.ok) {
+    WEDGE_ASSIGN_OR_RETURN(resp.body, reader.ReadBytes());
+  } else {
+    WEDGE_ASSIGN_OR_RETURN(resp.error, reader.ReadString());
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after rpc response");
+  }
+  return resp;
+}
+
+}  // namespace wedge

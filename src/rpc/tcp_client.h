@@ -1,0 +1,121 @@
+#ifndef WEDGEBLOCK_RPC_TCP_CLIENT_H_
+#define WEDGEBLOCK_RPC_TCP_CLIENT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rpc_codec.h"
+#include "net/sim_network.h"
+#include "net/wire.h"
+
+namespace wedge {
+
+struct TcpClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Connections in the pool. Calls are spread round-robin; each
+  /// connection pipelines any number of concurrent callers.
+  int pool_size = 1;
+  Micros rpc_timeout = 5 * kMicrosPerSecond;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Exponential reconnect backoff bounds for broken connections.
+  Micros reconnect_backoff_min = 50 * kMicrosPerMilli;
+  Micros reconnect_backoff_max = 2 * kMicrosPerSecond;
+};
+
+/// Real-socket counterpart of RemoteNodeClient (core/remote.h): same
+/// interface shape, same signed envelope payloads, but over a pool of TCP
+/// connections with request pipelining. Each pooled connection has one
+/// reader thread that correlates responses to waiting callers by rpc_id,
+/// so many threads can have calls in flight on one socket and responses
+/// may return out of order. A response with an unknown rpc_id (stale,
+/// duplicated, or forged) is counted and discarded — it is never handed
+/// to the wrong waiter.
+///
+/// Failure behaviour: a broken socket fails all of its in-flight calls
+/// with kUnavailable and is redialed lazily with exponential backoff;
+/// calls spill over to the other pool connections meanwhile. A call that
+/// sees no reply within rpc_timeout returns kTimeout (the omission-attack
+/// surface, §4.7).
+///
+/// Thread-safe: any number of threads may call Append/ReadOne/ReadBatch
+/// concurrently.
+class TcpNodeClient {
+ public:
+  /// `server_address` pins the transport key replies must be signed with.
+  TcpNodeClient(KeyPair key, const Address& server_address,
+                TcpClientConfig config);
+  ~TcpNodeClient();
+
+  TcpNodeClient(const TcpNodeClient&) = delete;
+  TcpNodeClient& operator=(const TcpNodeClient&) = delete;
+
+  /// Dials the pool. OK when at least one connection is up (the rest
+  /// retry lazily on use).
+  Status Connect();
+
+  /// Shuts every connection down and joins the reader threads. Idempotent;
+  /// the destructor calls it.
+  void Close();
+
+  Result<std::vector<Stage1Response>> Append(
+      const std::vector<AppendRequest>& requests);
+  Result<Stage1Response> ReadOne(const EntryIndex& index);
+  Result<BatchReadResponse> ReadBatch(uint64_t log_id,
+                                      const std::vector<uint32_t>& offsets);
+
+  uint64_t reconnects() const { return reconnects_.load(); }
+  /// Responses dropped because no waiter matched their rpc_id.
+  uint64_t discarded_responses() const { return discarded_.load(); }
+
+ private:
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status error;       ///< Transport-level failure (timeout handled by caller).
+    RpcResponse response;
+  };
+
+  struct Conn {
+    std::mutex mu;  ///< Guards fd/connected/waiters/backoff state.
+    int fd = -1;
+    bool connected = false;
+    std::thread reader;
+    std::unordered_map<uint64_t, std::shared_ptr<Waiter>> waiters;
+    Micros backoff = 0;
+    Micros next_attempt_at = 0;
+    std::mutex write_mu;  ///< Serializes frame writes from pipelined callers.
+  };
+
+  Result<Bytes> Call(std::string_view op, const Bytes& body);
+  /// Returns a usable connection index or an error when the whole pool is
+  /// down/backing off.
+  Result<size_t> PickConnection();
+  Status EnsureConnected(Conn& conn);
+  void ReaderLoop(Conn& conn);
+  void HandlePayload(Conn& conn, const Bytes& payload);
+  /// Fails every in-flight waiter on `conn` (socket died).
+  void FailAllWaiters(Conn& conn, const Status& status);
+  Status WriteFrame(Conn& conn, const Bytes& frame);
+
+  const KeyPair key_;
+  const Address server_address_;
+  const TcpClientConfig config_;
+  std::vector<std::unique_ptr<Conn>> pool_;
+  std::atomic<uint64_t> next_rpc_id_{1};
+  std::atomic<uint64_t> next_conn_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> discarded_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_RPC_TCP_CLIENT_H_

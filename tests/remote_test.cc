@@ -140,5 +140,88 @@ TEST_F(RemoteTest, SequentialRpcsKeepWorking) {
   EXPECT_EQ(server_->requests_served(), 3u);
 }
 
+TEST_F(RemoteTest, RpcTimesOutWhenReplyCannotBeatDeadline) {
+  // One-way latency beyond the rpc timeout: the node serves the request,
+  // but the reply cannot arrive before the deadline — the client must see
+  // kTimeout (the omission surface), not a late success.
+  NetworkConfig slow;
+  slow.base_latency = 3 * kMicrosPerSecond;  // > default 2 s rpc timeout.
+  slow.jitter = 0;
+  Build(slow);
+  auto result = client_->Append(MakeBatch(4));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Code::kTimeout);
+  // The request itself did land — only the reply missed the deadline.
+  EXPECT_EQ(server_->requests_served(), 1u);
+}
+
+TEST_F(RemoteTest, OversizeRequestRejectedLocallyBeforeSending) {
+  RemoteNodeClient capped(*client_key_, bus_.get(), &deployment_->clock(),
+                          "offchain-node", server_key_->address(),
+                          /*rpc_timeout=*/2 * kMicrosPerSecond,
+                          /*max_message_bytes=*/2048);
+  std::vector<AppendRequest> batch;
+  batch.push_back(
+      AppendRequest::Make(*client_key_, seq_++, ToBytes("k"),
+                          Bytes(4096, 0x55)));  // Serializes past the cap.
+  auto result = capped.Append(batch);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Code::kInvalidArgument);
+  // Nothing crossed the wire and nothing was logged.
+  EXPECT_EQ(server_->requests_served(), 0u);
+  EXPECT_EQ(deployment_->node().LogPositions(), 0u);
+}
+
+TEST_F(RemoteTest, OversizeRequestRejectedByServerWithTypedError) {
+  RemoteNodeServer capped_server(&deployment_->node(), *server_key_,
+                                 bus_.get(), "capped-node",
+                                 /*max_message_bytes=*/1024);
+  RemoteNodeClient client(*client_key_, bus_.get(), &deployment_->clock(),
+                          "capped-node", server_key_->address());
+  std::vector<AppendRequest> batch;
+  batch.push_back(AppendRequest::Make(*client_key_, seq_++, ToBytes("k"),
+                                      Bytes(2048, 0x55)));
+  auto result = client.Append(batch);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Code::kUnavailable);  // Remote error.
+  EXPECT_EQ(deployment_->node().LogPositions(), 0u);
+}
+
+TEST_F(RemoteTest, MismatchedRpcIdIsNeverDeliveredToAWaiter) {
+  // Seed the log and capture a genuine reply body to make the stale
+  // response maximally plausible: well-signed by the real server key,
+  // carrying a decodable Stage1Response — only the rpc_id is wrong.
+  ASSERT_TRUE(client_->Append(MakeBatch(4)).ok());
+  auto genuine = client_->ReadOne(EntryIndex{0, 0});
+  ASSERT_TRUE(genuine.ok());
+  Bytes stale_body = genuine->Serialize();
+  Bytes stale_reply =
+      RpcResponse::Success(/*id=*/9999, stale_body).Encode();
+
+  // Case 1: stale reply races a live call. The client must skip it and
+  // return the answer for the rpc_id it actually issued.
+  SignedEnvelope stale1 =
+      SignedEnvelope::Create(*server_key_, stale_reply);
+  bus_->Send("offchain-node", client_->endpoint(), stale1.Serialize());
+  auto read = client_->ReadOne(EntryIndex{0, 1});
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->index, (EntryIndex{0, 1}));  // Not the stale {0,0} entry.
+  EXPECT_TRUE(read->Verify(deployment_->node().address()));
+
+  // Case 2: the stale reply is the ONLY traffic (the real request goes to
+  // a dead endpoint). If mismatched rpc_ids could satisfy a waiter, this
+  // would "succeed" with the stale entry; instead it must time out.
+  KeyPair other_key = KeyPair::FromSeed(0xAAAA);
+  RemoteNodeClient blackholed(other_key, bus_.get(), &deployment_->clock(),
+                              "no-such-endpoint", server_key_->address(),
+                              /*rpc_timeout=*/200'000);
+  SignedEnvelope stale2 =
+      SignedEnvelope::Create(*server_key_, stale_reply);
+  bus_->Send("offchain-node", blackholed.endpoint(), stale2.Serialize());
+  auto result = blackholed.ReadOne(EntryIndex{0, 0});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Code::kTimeout);
+}
+
 }  // namespace
 }  // namespace wedge

@@ -24,20 +24,22 @@ for san in "${sanitizers[@]}"; do
   echo "==> [$san] OK"
 done
 
-# The telemetry registry and tracer are written from many threads at once
-# (sharded histograms, concurrent Append workers), so they get a dedicated
-# ThreadSanitizer pass even in the default run. A full-suite TSan run can
-# still be requested explicitly with `tools/check.sh thread`.
+# The heavily multi-threaded subsystems get a dedicated ThreadSanitizer
+# pass even in the default run: the telemetry registry and tracer (sharded
+# histograms, concurrent Append workers) and the TCP RPC stack (epoll
+# workers, pipelined client reader threads, wire_test/rpc_test). A
+# full-suite TSan run can still be requested explicitly with
+# `tools/check.sh thread`.
 if [[ ! " ${sanitizers[*]} " =~ " thread " ]]; then
   build_dir="$repo_root/build-thread"
-  echo "==> [thread] configuring $build_dir (telemetry tests only)"
+  echo "==> [thread] configuring $build_dir (concurrent-subsystem tests only)"
   cmake -B "$build_dir" -S "$repo_root" -DWEDGE_SANITIZE=thread >/dev/null
   echo "==> [thread] building"
   cmake --build "$build_dir" -j "$(nproc)" >/dev/null
-  echo "==> [thread] running telemetry tests"
+  echo "==> [thread] running concurrent-subsystem tests"
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-    -R 'telemetry|stage2_submitter|chain_test|integration'
+    -R 'telemetry|stage2_submitter|chain_test|integration|wire_test|rpc_test'
   echo "==> [thread] OK"
 fi
 
-echo "All sanitizer runs passed: ${sanitizers[*]} thread(telemetry)"
+echo "All sanitizer runs passed: ${sanitizers[*]} thread(concurrent subset)"

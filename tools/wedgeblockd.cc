@@ -1,0 +1,193 @@
+// wedgeblockd — the WedgeBlock Offchain Node as a network daemon.
+//
+// Stands up a full deployment (simulated chain + contracts + Offchain
+// Node) and serves the stage-1 append/read RPC surface over real TCP via
+// rpc/RpcServer, the way the paper ran it across machines (§5). Clients
+// connect with rpc/TcpNodeClient (see bench/loadgen and
+// examples/remote_quickstart).
+//
+// Usage:
+//   wedgeblockd [--port N] [--bind ADDR] [--workers N] [--batch N]
+//               [--node-threads N] [--max-frame-mb N] [--no-verify-sigs]
+//               [--mine-ms N] [--duration-s N] [--telemetry-out PATH]
+//
+//   --port 0 (default) picks an ephemeral port; the daemon prints
+//   "LISTENING <port>" on stdout either way, so scripts can scrape it.
+//   --mine-ms advances the simulated chain one block every N real
+//   milliseconds (0 disables mining; stage-2 then never confirms).
+//   --duration-s exits after N seconds (0 = run until SIGINT/SIGTERM).
+//   On shutdown the server drains in-flight replies, then the telemetry
+//   registry (wedge.rpc.* + wedge.node.* + chain metrics) is dumped to
+//   --telemetry-out when given.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/wedgeblock.h"
+#include "rpc/rpc_server.h"
+#include "telemetry/export.h"
+
+namespace wedge {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+struct Options {
+  uint16_t port = 0;
+  std::string bind = "127.0.0.1";
+  int workers = 2;
+  uint32_t batch = 500;
+  size_t node_threads = 4;
+  size_t max_frame_mb = 32;
+  bool verify_sigs = true;
+  int64_t mine_ms = 200;
+  int64_t duration_s = 0;
+  std::string telemetry_out;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--bind ADDR] [--workers N] [--batch N]\n"
+               "          [--node-threads N] [--max-frame-mb N] "
+               "[--no-verify-sigs]\n"
+               "          [--mine-ms N] [--duration-s N] "
+               "[--telemetry-out PATH]\n",
+               argv0);
+  return 2;
+}
+
+Result<Options> Parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(flag + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--port") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.port = static_cast<uint16_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (flag == "--bind") {
+      WEDGE_ASSIGN_OR_RETURN(opts.bind, next());
+    } else if (flag == "--workers") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.workers = std::atoi(v.c_str());
+    } else if (flag == "--batch") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.batch = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (flag == "--node-threads") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.node_threads = std::strtoul(v.c_str(), nullptr, 10);
+    } else if (flag == "--max-frame-mb") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.max_frame_mb = std::strtoul(v.c_str(), nullptr, 10);
+    } else if (flag == "--no-verify-sigs") {
+      opts.verify_sigs = false;
+    } else if (flag == "--mine-ms") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.mine_ms = std::atoll(v.c_str());
+    } else if (flag == "--duration-s") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.duration_s = std::atoll(v.c_str());
+    } else if (flag == "--telemetry-out") {
+      WEDGE_ASSIGN_OR_RETURN(opts.telemetry_out, next());
+    } else {
+      return Status::InvalidArgument("unknown flag " + flag);
+    }
+  }
+  if (opts.batch == 0 || opts.workers < 1 || opts.max_frame_mb == 0) {
+    return Status::InvalidArgument("bad flag value");
+  }
+  return opts;
+}
+
+int Run(const Options& opts) {
+  DeploymentConfig config;
+  config.node.batch_size = opts.batch;
+  config.node.worker_threads = opts.node_threads;
+  config.node.verify_client_signatures = opts.verify_sigs;
+  auto deployment = Deployment::Create(config);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deployment failed: %s\n",
+                 deployment.status().ToString().c_str());
+    return 1;
+  }
+  Deployment& d = **deployment;
+
+  RpcServerConfig server_config;
+  server_config.bind_address = opts.bind;
+  server_config.port = opts.port;
+  server_config.num_workers = opts.workers;
+  server_config.max_frame_bytes = opts.max_frame_mb << 20;
+  // The daemon signs transport replies with the node's own operator key,
+  // so clients can pin one address for both proofs and transport.
+  KeyPair transport_key = KeyPair::FromSeed(config.offchain_key_seed);
+  RpcServer server(&d.node(), transport_key, server_config, &d.telemetry());
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", server.port());
+  std::printf("node address %s, batch %u, %d rpc workers\n",
+              d.node().address().ToHex().c_str(), opts.batch, opts.workers);
+  std::fflush(stdout);
+
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  Micros started_at = RealClock::Global()->NowMicros();
+  Micros last_mine = started_at;
+  while (!g_stop.load()) {
+    usleep(20 * 1000);
+    Micros now = RealClock::Global()->NowMicros();
+    if (opts.mine_ms > 0 && now - last_mine >= opts.mine_ms * 1000) {
+      // One simulated block per interval: confirms pending stage-2
+      // submissions and drives the retry pipeline.
+      d.AdvanceBlocks(1);
+      last_mine = now;
+    }
+    if (opts.duration_s > 0 &&
+        now - started_at >= opts.duration_s * kMicrosPerSecond) {
+      break;
+    }
+  }
+
+  std::printf("shutting down (served %llu requests)\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  server.Shutdown();
+  if (!opts.telemetry_out.empty()) {
+    Status s = WriteTelemetryFile(opts.telemetry_out, d.telemetry(),
+                                  /*append=*/false);
+    if (!s.ok()) {
+      std::fprintf(stderr, "telemetry write failed: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wedge
+
+int main(int argc, char** argv) {
+  auto opts = wedge::Parse(argc, argv);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "%s\n", opts.status().ToString().c_str());
+    return wedge::Usage(argv[0]);
+  }
+  return wedge::Run(*opts);
+}
