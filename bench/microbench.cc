@@ -6,9 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/offchain_node.h"
 #include "crypto/ecdsa.h"
 #include "crypto/keccak256.h"
+#include "crypto/sha256_dispatch.h"
 #include "merkle/merkle_tree.h"
+#include "storage/log_store.h"
 
 namespace wedge {
 namespace {
@@ -22,6 +26,25 @@ void BM_Sha256(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(1088)->Arg(4096);
+
+// Batch hashing through the multi-lane dispatcher: `range(0)` messages of
+// 1088 bytes each (the paper's serialized-entry size). Compare against
+// BM_Sha256/1088 × N to see the multibuffer win.
+void BM_Sha256Many(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Bytes> msgs;
+  std::vector<const uint8_t*> ptrs;
+  for (int64_t i = 0; i < state.range(0); ++i) msgs.push_back(rng.NextBytes(1088));
+  for (const Bytes& m : msgs) ptrs.push_back(m.data());
+  std::vector<Hash256> out(msgs.size());
+  for (auto _ : state) {
+    Sha256ManySameLen(ptrs.data(), 1088, ptrs.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 1088);
+}
+BENCHMARK(BM_Sha256Many)->Arg(8)->Arg(64)->Arg(2000);
 
 void BM_Keccak256(benchmark::State& state) {
   Rng rng(1);
@@ -74,6 +97,51 @@ void BM_MerkleBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MerkleBuild)->Arg(500)->Arg(2000)->Arg(10000);
+
+// Pool-parallel build over the same leaves; byte-identical roots (see
+// tests/merkle_test.cc), so this isolates the partitioning overhead/win.
+void BM_MerkleBuildParallel(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Bytes> leaves;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(rng.NextBytes(1088));
+  }
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree::Build(leaves, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleBuildParallel)->Arg(500)->Arg(2000)->Arg(10000);
+
+// The full stage-1 seal: serialize, Merkle-build, persist, sign one
+// response per entry. 2000 requests of ~1088 serialized bytes — the
+// paper's default batch. Dominated by ECDSA signing; the hashing and
+// copy-elision work shows up in the spread over BM_EcdsaSign × 2000.
+void BM_SealBatch(benchmark::State& state) {
+  OffchainNodeConfig config;
+  config.batch_size = static_cast<uint32_t>(state.range(0));
+  config.auto_stage2 = false;
+  config.verify_client_signatures = false;
+  config.sign_stage1_responses = true;
+  OffchainNode node(config, KeyPair::FromSeed(1),
+                    std::make_unique<MemoryLogStore>(), /*chain=*/nullptr,
+                    Address{});
+  KeyPair publisher = KeyPair::FromSeed(2);
+  Rng rng(1);
+  std::vector<AppendRequest> requests;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    // 1024-byte values serialize to ~1088-byte leaves.
+    requests.push_back(AppendRequest::Make(publisher, i, rng.NextBytes(16),
+                                           rng.NextBytes(1024)));
+  }
+  for (auto _ : state) {
+    auto responses = node.Append(requests);
+    benchmark::DoNotOptimize(responses);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SealBatch)->Arg(2000)->Unit(benchmark::kMillisecond);
 
 void BM_MerkleProve(benchmark::State& state) {
   Rng rng(1);

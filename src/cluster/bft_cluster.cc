@@ -96,7 +96,7 @@ std::optional<RootAck> ClusterReplica::OnPrepare(
     if (!tree.ok()) return std::nullopt;
     LogPosition position;
     position.log_id = log_id;
-    position.data_list = leaves;
+    position.data_list.assign(leaves.begin(), leaves.end());
     position.mroot = tree->Root();
     if (!store_->Append(position).ok()) return std::nullopt;
     root = tree->Root();

@@ -15,6 +15,11 @@ int HexValue(char c) {
 
 }  // namespace
 
+const Bytes& SharedBytes::EmptyBytes() {
+  static const Bytes* empty = new Bytes();
+  return *empty;
+}
+
 Bytes ToBytes(std::string_view s) {
   return Bytes(s.begin(), s.end());
 }

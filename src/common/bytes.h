@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,6 +15,45 @@ namespace wedge {
 /// Raw byte buffer used throughout the codebase for payloads, hashes,
 /// signatures and serialized messages.
 using Bytes = std::vector<uint8_t>;
+
+/// Immutable, cheaply copyable byte buffer with shared ownership.
+///
+/// The stage-1 hot path seals each ~1 KB payload exactly once but needs it
+/// in three places at the same time (the log position, the Merkle leaves
+/// and the signed response). SharedBytes lets all of them reference one
+/// allocation: copying a SharedBytes bumps a refcount instead of
+/// duplicating the payload. Implicitly converts to `const Bytes&` so it
+/// drops into existing APIs that read payloads.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+  /// Takes ownership of `b` (implicit on purpose: assignment from a Bytes
+  /// rvalue is the common way payloads enter shared ownership).
+  SharedBytes(Bytes b) : ptr_(std::make_shared<const Bytes>(std::move(b))) {}
+
+  /// The underlying buffer (an empty singleton when default-constructed).
+  const Bytes& get() const { return ptr_ ? *ptr_ : EmptyBytes(); }
+  operator const Bytes&() const { return get(); }
+
+  const uint8_t* data() const { return get().data(); }
+  size_t size() const { return get().size(); }
+  bool empty() const { return get().empty(); }
+
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    return a.ptr_ == b.ptr_ || a.get() == b.get();
+  }
+  friend bool operator==(const SharedBytes& a, const Bytes& b) {
+    return a.get() == b;
+  }
+  friend bool operator==(const Bytes& a, const SharedBytes& b) {
+    return a == b.get();
+  }
+
+ private:
+  static const Bytes& EmptyBytes();
+
+  std::shared_ptr<const Bytes> ptr_;
+};
 
 /// Converts a string to bytes (no encoding applied).
 Bytes ToBytes(std::string_view s);

@@ -49,7 +49,10 @@ struct Stage1Proof {
 /// it commits the node to blockchain-committing `proof.mroot` at position
 /// `proof.log_id`.
 struct Stage1Response {
-  Bytes entry;            ///< Raw leaf bytes (serialized AppendRequest).
+  /// Raw leaf bytes (serialized AppendRequest). Shared with the log
+  /// position that stores the same payload — copying a response never
+  /// duplicates the entry.
+  SharedBytes entry;
   Stage1Proof proof;
   EntryIndex index;       ///< Log position + offset inside the batch.
   EcdsaSignature offchain_signature;

@@ -32,13 +32,23 @@ OffchainNode::OffchainNode(const OffchainNodeConfig& config, KeyPair key,
   invalid_sig_counter_ =
       m.GetCounter("wedge.node.invalid_signatures_rejected");
   reads_counter_ = m.GetCounter("wedge.node.reads_served");
+  tree_cache_hits_counter_ = m.GetCounter("wedge.node.tree_cache_hits");
+  tree_cache_misses_counter_ = m.GetCounter("wedge.node.tree_cache_misses");
   append_hist_ = m.GetHistogram("wedge.node.append_us");
   seal_hist_ = m.GetHistogram("wedge.node.seal_us");
   read_hist_ = m.GetHistogram("wedge.node.read_us");
+  // A store reopened from disk resumes its id sequence.
+  next_log_id_ = store_->Size();
+  next_commit_id_ = next_log_id_;
 }
 
 Result<std::vector<Stage1Response>> OffchainNode::Append(
     const std::vector<AppendRequest>& requests) {
+  return Append(std::vector<AppendRequest>(requests));
+}
+
+Result<std::vector<Stage1Response>> OffchainNode::Append(
+    std::vector<AppendRequest>&& requests) {
   if (requests.empty()) {
     return Status::InvalidArgument("empty append request list");
   }
@@ -58,7 +68,7 @@ Result<std::vector<Stage1Response>> OffchainNode::Append(
   uint64_t rejected = 0;
   for (size_t i = 0; i < requests.size(); ++i) {
     if (valid[i]) {
-      accepted.push_back(requests[i]);
+      accepted.push_back(std::move(requests[i]));
     } else {
       ++rejected;
     }
@@ -74,8 +84,9 @@ Result<std::vector<Stage1Response>> OffchainNode::Append(
   while (cursor < accepted.size()) {
     size_t take = std::min<size_t>(config_.batch_size,
                                    accepted.size() - cursor);
-    std::vector<AppendRequest> batch(accepted.begin() + cursor,
-                                     accepted.begin() + cursor + take);
+    std::vector<AppendRequest> batch(
+        std::make_move_iterator(accepted.begin() + cursor),
+        std::make_move_iterator(accepted.begin() + cursor + take));
     cursor += take;
     WEDGE_ASSIGN_OR_RETURN(std::vector<Stage1Response> part,
                            SealBatch(std::move(batch)));
@@ -135,8 +146,10 @@ Result<std::vector<Stage1Response>> OffchainNode::FlushStagedBatch() {
       cb = response_callback_;
     }
     if (cb) {
-      std::vector<Stage1Response> copy = sealed.value();
-      cb(std::move(copy));
+      // Single owner: the callback takes the responses (as on the
+      // batch-full path) and the caller gets an empty vector.
+      cb(std::move(sealed).value());
+      return std::vector<Stage1Response>();
     }
   }
   return sealed;
@@ -147,60 +160,78 @@ Result<std::vector<Stage1Response>> OffchainNode::SealBatch(
   Stopwatch watch(RealClock::Global());
   // Leaves are the canonical encodings of the accepted requests; the
   // batch order fixes the event order that stage-2 will commit (§2.3).
-  std::vector<Bytes> leaves(batch.size());
+  // Each payload is serialized exactly once into shared ownership: the
+  // log position, the Merkle tree and every response reference the same
+  // allocation (copying a SharedBytes bumps a refcount).
+  std::vector<SharedBytes> leaves(batch.size());
   pool_.ParallelFor(batch.size(),
                     [&](size_t i) { leaves[i] = batch[i].Serialize(); });
 
-  WEDGE_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::Build(leaves));
+  WEDGE_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::Build(leaves, &pool_));
   auto shared_tree = std::make_shared<MerkleTree>(std::move(tree));
 
   LogPosition position;
   position.data_list = leaves;
   position.mroot = shared_tree->Root();
 
+  // Claim the next dense log id — the only work that needs the global
+  // node lock. Hashing above and signing below run concurrently across
+  // sealers; ids stay dense and monotone.
   uint64_t log_id;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    log_id = store_->Size();
-    position.log_id = log_id;
-    telemetry_->tracer.Event(log_id, trace_stage::kIngest, batch.size());
-    WEDGE_RETURN_IF_ERROR(store_->Append(position));
-    telemetry_->tracer.Event(log_id, trace_stage::kSeal, batch.size());
-    // Cache the freshly built tree for the read path.
-    tree_cache_[log_id] = shared_tree;
-    tree_cache_order_.push_back(log_id);
-    while (tree_cache_order_.size() > config_.tree_cache_capacity) {
-      tree_cache_.erase(tree_cache_order_.front());
-      tree_cache_order_.pop_front();
-    }
+    log_id = next_log_id_++;
+  }
+  position.log_id = log_id;
+  telemetry_->tracer.Event(log_id, trace_stage::kIngest, batch.size());
 
-    Hash256 stage2_root = shared_tree->Root();
-    if (byzantine_mode_ == ByzantineMode::kEquivocateRoot) {
-      // The node promises one root in stage-1 but schedules a different
-      // one for blockchain commitment.
-      stage2_root[0] ^= 0xFF;
+  // The store requires consecutive ids and the stage-2 journal must see
+  // roots in log order, so sealers commit in ticket order: wait until
+  // every earlier id has appended. The ticket always advances — even on
+  // failure — so a failed append never deadlocks later sealers.
+  Status commit_status = Status::Ok();
+  {
+    std::unique_lock<std::mutex> lock(seal_mu_);
+    seal_cv_.wait(lock, [&] { return next_commit_id_ == log_id; });
+    commit_status = store_->Append(position);
+    if (commit_status.ok()) {
+      Hash256 stage2_root = shared_tree->Root();
+      if (byzantine_mode_.load(std::memory_order_relaxed) ==
+          ByzantineMode::kEquivocateRoot) {
+        // The node promises one root in stage-1 but schedules a
+        // different one for blockchain commitment.
+        stage2_root[0] ^= 0xFF;
+      }
+      commit_status = submitter_.Enqueue(log_id, stage2_root);
     }
-    WEDGE_RETURN_IF_ERROR(submitter_.Enqueue(log_id, stage2_root));
-    entries_ingested_counter_->Add(batch.size());
-    batches_counter_->Add(1);
+    ++next_commit_id_;
+    seal_cv_.notify_all();
+  }
+  WEDGE_RETURN_IF_ERROR(commit_status);
+  telemetry_->tracer.Event(log_id, trace_stage::kSeal, batch.size());
+  entries_ingested_counter_->Add(batch.size());
+  batches_counter_->Add(1);
+  {
+    // Cache the freshly built tree for the read path.
+    std::lock_guard<std::mutex> lock(mu_);
+    CacheTreeLocked(log_id, shared_tree);
   }
 
   // Produce signed responses in parallel (one ECDSA sign per entry).
+  const ByzantineMode mode = byzantine_mode_.load(std::memory_order_relaxed);
   std::vector<Stage1Response> responses(batch.size());
   std::atomic<bool> failed{false};
   pool_.ParallelFor(batch.size(), [&](size_t i) {
-    auto proof = shared_tree->Prove(i);
-    if (!proof.ok()) {
-      failed.store(true);
-      return;
-    }
     Stage1Response resp;
     resp.entry = leaves[i];
     resp.index = EntryIndex{log_id, static_cast<uint32_t>(i)};
     resp.proof.log_id = log_id;
     resp.proof.mroot = shared_tree->Root();
-    resp.proof.merkle_proof = std::move(proof).value();
-    if (byzantine_mode_ == ByzantineMode::kCorruptProof &&
+    if (!shared_tree->ProveInto(i, &resp.proof.merkle_proof).ok()) {
+      failed.store(true);
+      return;
+    }
+    if (mode == ByzantineMode::kCorruptProof &&
         !resp.proof.merkle_proof.path.empty()) {
       // Corrupt the path BEFORE signing: the signature stays authentic,
       // which is exactly the case-2 evidence Algorithm 2 punishes.
@@ -231,13 +262,11 @@ Result<std::vector<Stage1Response>> OffchainNode::SealBatch(
 }
 
 Result<TxId> OffchainNode::CommitPendingDigests() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (byzantine_mode_ == ByzantineMode::kOmitStage2) {
-      // Omission attack: silently discard the promised digests.
-      submitter_.DiscardUnsubmitted();
-      return Status::NotFound("stage-2 omitted (byzantine)");
-    }
+  if (byzantine_mode_.load(std::memory_order_relaxed) ==
+      ByzantineMode::kOmitStage2) {
+    // Omission attack: silently discard the promised digests.
+    submitter_.DiscardUnsubmitted();
+    return Status::NotFound("stage-2 omitted (byzantine)");
   }
   if (submitter_.UnsubmittedDigests() == 0) {
     return Status::NotFound("no pending digests");
@@ -288,45 +317,65 @@ Result<uint64_t> OffchainNode::Recover() {
   return local_tail - tail;
 }
 
+void OffchainNode::CacheTreeLocked(uint64_t log_id,
+                                   std::shared_ptr<MerkleTree> tree) {
+  auto it = tree_cache_.find(log_id);
+  if (it != tree_cache_.end()) {
+    // Already cached (a racing read rebuilt it): touch and refresh.
+    tree_lru_.splice(tree_lru_.end(), tree_lru_, it->second.second);
+    it->second.first = std::move(tree);
+    return;
+  }
+  tree_lru_.push_back(log_id);
+  tree_cache_.emplace(
+      log_id, std::make_pair(std::move(tree), std::prev(tree_lru_.end())));
+  while (tree_cache_.size() > config_.tree_cache_capacity &&
+         !tree_lru_.empty()) {
+    tree_cache_.erase(tree_lru_.front());
+    tree_lru_.pop_front();
+  }
+}
+
 Result<std::shared_ptr<MerkleTree>> OffchainNode::TreeFor(uint64_t log_id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = tree_cache_.find(log_id);
-    if (it != tree_cache_.end()) return it->second;
+    if (it != tree_cache_.end()) {
+      // LRU touch: move to the most-recently-used end.
+      tree_lru_.splice(tree_lru_.end(), tree_lru_, it->second.second);
+      tree_cache_hits_counter_->Add(1);
+      return it->second.first;
+    }
   }
+  tree_cache_misses_counter_->Add(1);
   WEDGE_ASSIGN_OR_RETURN(LogPosition pos, store_->Get(log_id));
   WEDGE_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::Build(pos.data_list));
   auto shared = std::make_shared<MerkleTree>(std::move(tree));
   std::lock_guard<std::mutex> lock(mu_);
-  if (tree_cache_.emplace(log_id, shared).second) {
-    tree_cache_order_.push_back(log_id);
-    while (tree_cache_order_.size() > config_.tree_cache_capacity) {
-      tree_cache_.erase(tree_cache_order_.front());
-      tree_cache_order_.pop_front();
-    }
-  }
+  CacheTreeLocked(log_id, shared);
   return shared;
 }
 
-Stage1Response OffchainNode::MakeResponse(const Bytes& leaf, uint64_t log_id,
-                                          uint32_t offset,
+Stage1Response OffchainNode::MakeResponse(const SharedBytes& leaf,
+                                          uint64_t log_id, uint32_t offset,
                                           const MerkleTree& tree) const {
   Stage1Response resp;
   resp.entry = leaf;
   resp.index = EntryIndex{log_id, offset};
   resp.proof.log_id = log_id;
   resp.proof.mroot = tree.Root();
-  resp.proof.merkle_proof = tree.Prove(offset).value();
+  (void)tree.ProveInto(offset, &resp.proof.merkle_proof);
   resp.offchain_signature = EcdsaSign(key_.private_key(), resp.SignedHash());
   return resp;
 }
 
 Result<Stage1Response> OffchainNode::ReadOne(const EntryIndex& index) {
-  if (byzantine_mode_ == ByzantineMode::kTamperReadData) {
+  if (byzantine_mode_.load(std::memory_order_relaxed) ==
+      ByzantineMode::kTamperReadData) {
     return ForgeTamperedRead(index);
   }
   Stopwatch watch(RealClock::Global());
-  WEDGE_ASSIGN_OR_RETURN(Bytes entry, store_->GetEntry(index));
+  WEDGE_ASSIGN_OR_RETURN(SharedBytes entry, store_->GetEntry(index));
   WEDGE_ASSIGN_OR_RETURN(std::shared_ptr<MerkleTree> tree,
                          TreeFor(index.log_id));
   reads_counter_->Add(1);
@@ -364,7 +413,8 @@ Result<std::vector<Stage1Response>> OffchainNode::Scan(uint64_t first_id,
     out.resize(base + pos.data_list.size());
     std::atomic<bool> failed{false};
     pool_.ParallelFor(pos.data_list.size(), [&](size_t i) {
-      if (byzantine_mode_ == ByzantineMode::kTamperReadData) {
+      if (byzantine_mode_.load(std::memory_order_relaxed) ==
+          ByzantineMode::kTamperReadData) {
         auto forged = ForgeTamperedRead(
             EntryIndex{id, static_cast<uint32_t>(i)});
         if (forged.ok()) {
@@ -423,11 +473,14 @@ Result<Stage1Response> OffchainNode::ForgeTamperedRead(
   if (index.offset >= pos.data_list.size()) {
     return Status::NotFound("entry offset out of range");
   }
-  std::vector<Bytes> tampered = pos.data_list;
+  std::vector<SharedBytes> tampered = pos.data_list;
   if (tampered[index.offset].empty()) {
     tampered[index.offset] = ToBytes("forged");
   } else {
-    tampered[index.offset].back() ^= 0xFF;
+    // SharedBytes is immutable: tamper on a private copy, then share it.
+    Bytes mutated = tampered[index.offset].get();
+    mutated.back() ^= 0xFF;
+    tampered[index.offset] = std::move(mutated);
   }
   WEDGE_ASSIGN_OR_RETURN(MerkleTree fake_tree, MerkleTree::Build(tampered));
   reads_counter_->Add(1);
@@ -451,8 +504,7 @@ OffchainNodeStats OffchainNode::stats() const {
 }
 
 void OffchainNode::set_byzantine_mode(ByzantineMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
-  byzantine_mode_ = mode;
+  byzantine_mode_.store(mode, std::memory_order_relaxed);
 }
 
 }  // namespace wedge

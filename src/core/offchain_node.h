@@ -1,7 +1,9 @@
 #ifndef WEDGEBLOCK_CORE_OFFCHAIN_NODE_H_
 #define WEDGEBLOCK_CORE_OFFCHAIN_NODE_H_
 
-#include <deque>
+#include <atomic>
+#include <condition_variable>
+#include <list>
 #include <memory>
 #include <unordered_map>
 
@@ -100,6 +102,10 @@ class OffchainNode {
   /// counted in stats).
   Result<std::vector<Stage1Response>> Append(
       const std::vector<AppendRequest>& requests);
+  /// Move overload for the hot path: valid requests are moved into the
+  /// batch instead of copied (the lvalue overload copies first).
+  Result<std::vector<Stage1Response>> Append(
+      std::vector<AppendRequest>&& requests);
 
   /// Delivery hook for responses produced by the streaming path
   /// (SubmitAppend/FlushStagedBatch): the paper's node pushes stage-1
@@ -112,7 +118,10 @@ class OffchainNode {
   Status SubmitAppend(AppendRequest request);
   /// Number of requests waiting in the staging batch.
   size_t StagedRequests() const;
-  /// Seals the staging batch regardless of fill level.
+  /// Seals the staging batch regardless of fill level. When a response
+  /// callback is set the sealed responses are moved to it (matching the
+  /// batch-full path) and the returned vector is empty; otherwise the
+  /// responses are returned. Either way there is exactly one owner.
   Result<std::vector<Stage1Response>> FlushStagedBatch();
 
   /// --- Read path ---
@@ -181,7 +190,10 @@ class OffchainNode {
   /// Returns the Merkle tree for a stored position (cache or rebuild).
   Result<std::shared_ptr<MerkleTree>> TreeFor(uint64_t log_id);
 
-  Stage1Response MakeResponse(const Bytes& leaf, uint64_t log_id,
+  /// Inserts (or touches) `tree` in the LRU cache. Caller holds mu_.
+  void CacheTreeLocked(uint64_t log_id, std::shared_ptr<MerkleTree> tree);
+
+  Stage1Response MakeResponse(const SharedBytes& leaf, uint64_t log_id,
                               uint32_t offset, const MerkleTree& tree) const;
 
   /// Byzantine read path: forge an internally consistent response over
@@ -202,6 +214,8 @@ class OffchainNode {
   Counter* batches_counter_ = nullptr;
   Counter* invalid_sig_counter_ = nullptr;
   Counter* reads_counter_ = nullptr;
+  Counter* tree_cache_hits_counter_ = nullptr;
+  Counter* tree_cache_misses_counter_ = nullptr;
   Histogram* append_hist_ = nullptr;
   Histogram* seal_hist_ = nullptr;
   Histogram* read_hist_ = nullptr;
@@ -209,10 +223,27 @@ class OffchainNode {
 
   mutable std::mutex mu_;
   std::vector<AppendRequest> staging_;
-  std::unordered_map<uint64_t, std::shared_ptr<MerkleTree>> tree_cache_;
-  std::deque<uint64_t> tree_cache_order_;  // FIFO eviction.
-  ByzantineMode byzantine_mode_;
+  /// LRU tree cache: tree_lru_ is ordered oldest-touched first; each
+  /// cache entry carries its position in the list for O(1) touch.
+  std::unordered_map<
+      uint64_t,
+      std::pair<std::shared_ptr<MerkleTree>, std::list<uint64_t>::iterator>>
+      tree_cache_;
+  std::list<uint64_t> tree_lru_;
+  /// Next log id to hand out (dense, monotone). Guarded by mu_; sealing
+  /// claims an id in a tiny critical section and does the heavy hashing
+  /// and signing outside the lock.
+  uint64_t next_log_id_ = 0;
+  /// Atomic so read/seal paths can check the mode without taking mu_.
+  std::atomic<ByzantineMode> byzantine_mode_;
   ResponseCallback response_callback_;
+
+  /// Seal-ordering ticket: store appends (and stage-2 enqueues) must
+  /// happen in log-id order even when batches finish hashing out of
+  /// order. A sealer waits until next_commit_id_ equals its ticket.
+  std::mutex seal_mu_;
+  std::condition_variable seal_cv_;
+  uint64_t next_commit_id_ = 0;
 };
 
 }  // namespace wedge

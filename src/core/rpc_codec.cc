@@ -69,7 +69,7 @@ Result<Bytes> DispatchNodeRpc(OffchainNode& node, std::string_view op,
       return Status::InvalidArgument("trailing bytes after append body");
     }
     WEDGE_ASSIGN_OR_RETURN(std::vector<Stage1Response> responses,
-                           node.Append(requests));
+                           node.Append(std::move(requests)));
     Bytes out;
     PutU32(out, static_cast<uint32_t>(responses.size()));
     for (const Stage1Response& r : responses) PutBytes(out, r.Serialize());

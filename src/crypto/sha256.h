@@ -42,7 +42,10 @@ class Sha256 {
   static Hash256 Digest(std::string_view data);
 
  private:
-  void ProcessBlock(const uint8_t* block);
+  /// Backend block-compression entry point, captured from the runtime
+  /// dispatcher (see sha256_dispatch.h) at Reset().
+  void (*compress_)(uint32_t state[8], const uint8_t* data,
+                    size_t blocks) = nullptr;
 
   uint32_t state_[8];
   uint64_t total_len_ = 0;

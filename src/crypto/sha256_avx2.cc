@@ -1,0 +1,112 @@
+// 8-lane SHA-256 with AVX2: eight independent 64-byte blocks advance in
+// lockstep, one message per 32-bit lane of each YMM register. This is a
+// straight lane-wise transliteration of the scalar rounds — there is no
+// cross-lane traffic except the initial gather of message words — so it
+// produces bit-identical digests to the scalar kernel. Used by
+// Sha256Many/ManySameLen on CPUs with AVX2 but no SHA-NI.
+
+#include "crypto/sha256_kernels.h"
+
+#if defined(WEDGE_HAVE_SHA256_AVX2)
+
+#include <immintrin.h>
+
+namespace wedge {
+namespace internal {
+
+namespace {
+
+inline __m256i Rotr(__m256i x, int n) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, n), _mm256_slli_epi32(x, 32 - n));
+}
+inline __m256i BigSigma0(__m256i x) {
+  return _mm256_xor_si256(Rotr(x, 2), _mm256_xor_si256(Rotr(x, 13), Rotr(x, 22)));
+}
+inline __m256i BigSigma1(__m256i x) {
+  return _mm256_xor_si256(Rotr(x, 6), _mm256_xor_si256(Rotr(x, 11), Rotr(x, 25)));
+}
+inline __m256i SmallSigma0(__m256i x) {
+  return _mm256_xor_si256(Rotr(x, 7),
+                          _mm256_xor_si256(Rotr(x, 18), _mm256_srli_epi32(x, 3)));
+}
+inline __m256i SmallSigma1(__m256i x) {
+  return _mm256_xor_si256(Rotr(x, 17),
+                          _mm256_xor_si256(Rotr(x, 19), _mm256_srli_epi32(x, 10)));
+}
+inline __m256i Ch(__m256i e, __m256i f, __m256i g) {
+  return _mm256_xor_si256(g, _mm256_and_si256(e, _mm256_xor_si256(f, g)));
+}
+inline __m256i Maj(__m256i a, __m256i b, __m256i c) {
+  return _mm256_or_si256(_mm256_and_si256(a, b),
+                         _mm256_and_si256(c, _mm256_or_si256(a, b)));
+}
+
+inline uint32_t Load32Be(const uint8_t* p) {
+  uint32_t v;
+  __builtin_memcpy(&v, p, 4);
+  return __builtin_bswap32(v);
+}
+
+// Gathers message word `t` from all eight blocks into one vector.
+inline __m256i GatherWord(const uint8_t* const blocks[8], int t) {
+  return _mm256_set_epi32(
+      static_cast<int>(Load32Be(blocks[7] + t * 4)),
+      static_cast<int>(Load32Be(blocks[6] + t * 4)),
+      static_cast<int>(Load32Be(blocks[5] + t * 4)),
+      static_cast<int>(Load32Be(blocks[4] + t * 4)),
+      static_cast<int>(Load32Be(blocks[3] + t * 4)),
+      static_cast<int>(Load32Be(blocks[2] + t * 4)),
+      static_cast<int>(Load32Be(blocks[1] + t * 4)),
+      static_cast<int>(Load32Be(blocks[0] + t * 4)));
+}
+
+}  // namespace
+
+void Sha256Compress8xAvx2(uint32_t states[8][8],
+                          const uint8_t* const blocks[8]) {
+  // v[i] holds state word i across the eight lanes (lane l = message l).
+  __m256i v[8];
+  alignas(32) uint32_t column[8];
+  for (int s = 0; s < 8; ++s) {
+    for (int l = 0; l < 8; ++l) column[l] = states[l][s];
+    v[s] = _mm256_load_si256(reinterpret_cast<const __m256i*>(column));
+  }
+  const __m256i init[8] = {v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]};
+
+  __m256i w[16];
+  for (int t = 0; t < 16; ++t) w[t] = GatherWord(blocks, t);
+
+  for (int i = 0; i < 64; ++i) {
+    if (i >= 16) {
+      w[i & 15] = _mm256_add_epi32(
+          _mm256_add_epi32(w[i & 15], SmallSigma0(w[(i - 15) & 15])),
+          _mm256_add_epi32(w[(i - 7) & 15], SmallSigma1(w[(i - 2) & 15])));
+    }
+    __m256i t1 = _mm256_add_epi32(
+        _mm256_add_epi32(v[7], BigSigma1(v[4])),
+        _mm256_add_epi32(_mm256_add_epi32(Ch(v[4], v[5], v[6]),
+                                          _mm256_set1_epi32(
+                                              static_cast<int>(kSha256K[i]))),
+                         w[i & 15]));
+    __m256i t2 = _mm256_add_epi32(BigSigma0(v[0]), Maj(v[0], v[1], v[2]));
+    v[7] = v[6];
+    v[6] = v[5];
+    v[5] = v[4];
+    v[4] = _mm256_add_epi32(v[3], t1);
+    v[3] = v[2];
+    v[2] = v[1];
+    v[1] = v[0];
+    v[0] = _mm256_add_epi32(t1, t2);
+  }
+
+  for (int s = 0; s < 8; ++s) {
+    __m256i sum = _mm256_add_epi32(v[s], init[s]);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(column), sum);
+    for (int l = 0; l < 8; ++l) states[l][s] = column[l];
+  }
+}
+
+}  // namespace internal
+}  // namespace wedge
+
+#endif  // WEDGE_HAVE_SHA256_AVX2

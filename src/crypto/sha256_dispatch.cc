@@ -1,0 +1,265 @@
+#include "crypto/sha256_dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "crypto/sha256_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace wedge {
+
+namespace {
+
+using internal::Sha256CompressScalar;
+
+constexpr uint32_t kIv[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+#if defined(__x86_64__) || defined(__i386__)
+bool CpuHasShaNi() {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (!__get_cpuid_count(7, 0, &a, &b, &c, &d)) return false;
+  const bool sha = (b & (1u << 29)) != 0;
+  if (!__get_cpuid(1, &a, &b, &c, &d)) return false;
+  const bool ssse3 = (c & (1u << 9)) != 0;
+  const bool sse41 = (c & (1u << 19)) != 0;
+  return sha && ssse3 && sse41;
+}
+
+bool OsSavesYmm() {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (!__get_cpuid(1, &a, &b, &c, &d)) return false;
+  if ((c & (1u << 27)) == 0) return false;  // OSXSAVE
+  uint32_t eax, edx;
+  __asm__ __volatile__("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (eax & 0x6) == 0x6;  // XMM + YMM state enabled
+}
+
+bool CpuHasAvx2() {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (!__get_cpuid_count(7, 0, &a, &b, &c, &d)) return false;
+  return (b & (1u << 5)) != 0 && OsSavesYmm();
+}
+#else
+bool CpuHasShaNi() { return false; }
+bool CpuHasAvx2() { return false; }
+#endif
+
+bool BackendCompiledAndSupported(Sha256Backend backend) {
+  switch (backend) {
+    case Sha256Backend::kScalar:
+      return true;
+    case Sha256Backend::kShaNi:
+#if defined(WEDGE_HAVE_SHA256_SHANI) && !defined(WEDGE_DISABLE_HWCRYPTO)
+      return CpuHasShaNi();
+#else
+      return false;
+#endif
+    case Sha256Backend::kAvx2:
+#if defined(WEDGE_HAVE_SHA256_AVX2) && !defined(WEDGE_DISABLE_HWCRYPTO)
+      return CpuHasAvx2();
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool EnvTruthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+Sha256Backend DetectBackend() {
+  if (EnvTruthy("WEDGE_DISABLE_HWCRYPTO")) return Sha256Backend::kScalar;
+  if (const char* pick = std::getenv("WEDGE_SHA256_BACKEND")) {
+    if (std::strcmp(pick, "scalar") == 0) return Sha256Backend::kScalar;
+    if (std::strcmp(pick, "shani") == 0 &&
+        BackendCompiledAndSupported(Sha256Backend::kShaNi)) {
+      return Sha256Backend::kShaNi;
+    }
+    if (std::strcmp(pick, "avx2") == 0 &&
+        BackendCompiledAndSupported(Sha256Backend::kAvx2)) {
+      return Sha256Backend::kAvx2;
+    }
+    // Unknown or unsupported request: fall through to auto-detection.
+  }
+  if (BackendCompiledAndSupported(Sha256Backend::kShaNi)) {
+    return Sha256Backend::kShaNi;
+  }
+  if (BackendCompiledAndSupported(Sha256Backend::kAvx2)) {
+    return Sha256Backend::kAvx2;
+  }
+  return Sha256Backend::kScalar;
+}
+
+Sha256CompressFn SingleStreamFn(Sha256Backend backend) {
+#if defined(WEDGE_HAVE_SHA256_SHANI)
+  if (backend == Sha256Backend::kShaNi) return internal::Sha256CompressShaNi;
+#endif
+  // AVX2 has no single-stream advantage; its win is the 8-lane batch
+  // kernel used by Sha256Many below.
+  (void)backend;
+  return Sha256CompressScalar;
+}
+
+struct Dispatch {
+  Sha256Backend backend;
+  Sha256CompressFn compress;
+};
+
+Dispatch& ActiveDispatch() {
+  static Dispatch d = [] {
+    Sha256Backend b = DetectBackend();
+    return Dispatch{b, SingleStreamFn(b)};
+  }();
+  return d;
+}
+
+void StoreDigest(const uint32_t state[8], Hash256* out) {
+  for (int i = 0; i < 8; ++i) {
+    (*out)[i * 4] = static_cast<uint8_t>(state[i] >> 24);
+    (*out)[i * 4 + 1] = static_cast<uint8_t>(state[i] >> 16);
+    (*out)[i * 4 + 2] = static_cast<uint8_t>(state[i] >> 8);
+    (*out)[i * 4 + 3] = static_cast<uint8_t>(state[i]);
+  }
+}
+
+// Builds the padding tail for a `len`-byte message whose last partial
+// block starts at msg + (len/64)*64. Returns the tail block count (1 or
+// 2); `tail` must hold 128 bytes.
+size_t BuildTail(const uint8_t* msg, size_t len, uint8_t tail[128]) {
+  const size_t rem = len % 64;
+  const size_t tail_blocks = (rem >= 56) ? 2 : 1;
+  std::memset(tail, 0, 128);
+  if (rem > 0) std::memcpy(tail, msg + (len - rem), rem);
+  tail[rem] = 0x80;
+  const uint64_t bit_len = static_cast<uint64_t>(len) * 8;
+  uint8_t* p = tail + tail_blocks * 64 - 8;
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  return tail_blocks;
+}
+
+void OneShot(Sha256CompressFn compress, const uint8_t* msg, size_t len,
+             Hash256* out) {
+  uint32_t state[8];
+  std::memcpy(state, kIv, sizeof(state));
+  const size_t full = len / 64;
+  if (full > 0) compress(state, msg, full);
+  uint8_t tail[128];
+  const size_t tail_blocks = BuildTail(msg, len, tail);
+  compress(state, tail, tail_blocks);
+  StoreDigest(state, out);
+}
+
+// Lane-parallel same-length hashing. L is 4 (scalar interleaved) or 8
+// (AVX2). CompressL advances all L states by one block.
+template <size_t L, typename CompressL>
+void ManySameLenLanes(const uint8_t* const* msgs, size_t len, size_t n,
+                      Hash256* out, CompressL&& compress_lanes) {
+  const size_t full = len / 64;
+  size_t i = 0;
+  for (; i + L <= n; i += L) {
+    uint32_t states[L][8];
+    uint8_t tails[L][128];
+    size_t tail_blocks = 1;
+    const uint8_t* ptrs[L];
+    for (size_t l = 0; l < L; ++l) {
+      std::memcpy(states[l], kIv, sizeof(kIv));
+      tail_blocks = BuildTail(msgs[i + l], len, tails[l]);
+    }
+    for (size_t b = 0; b < full; ++b) {
+      for (size_t l = 0; l < L; ++l) ptrs[l] = msgs[i + l] + b * 64;
+      compress_lanes(states, ptrs);
+    }
+    for (size_t tb = 0; tb < tail_blocks; ++tb) {
+      for (size_t l = 0; l < L; ++l) ptrs[l] = tails[l] + tb * 64;
+      compress_lanes(states, ptrs);
+    }
+    for (size_t l = 0; l < L; ++l) StoreDigest(states[l], &out[i + l]);
+  }
+  // Remainder lanes: single stream.
+  const Sha256CompressFn compress = ActiveSha256Compress();
+  for (; i < n; ++i) OneShot(compress, msgs[i], len, &out[i]);
+}
+
+}  // namespace
+
+Sha256Backend ActiveSha256Backend() { return ActiveDispatch().backend; }
+
+std::string_view Sha256BackendName(Sha256Backend backend) {
+  switch (backend) {
+    case Sha256Backend::kScalar:
+      return "scalar";
+    case Sha256Backend::kAvx2:
+      return "avx2";
+    case Sha256Backend::kShaNi:
+      return "sha-ni";
+  }
+  return "unknown";
+}
+
+bool Sha256BackendSupported(Sha256Backend backend) {
+  return BackendCompiledAndSupported(backend);
+}
+
+bool SetSha256BackendForTest(Sha256Backend backend) {
+  if (!BackendCompiledAndSupported(backend)) return false;
+  ActiveDispatch() = Dispatch{backend, SingleStreamFn(backend)};
+  return true;
+}
+
+Sha256CompressFn ActiveSha256Compress() { return ActiveDispatch().compress; }
+
+void Sha256ManySameLen(const uint8_t* const* msgs, size_t len, size_t n,
+                       Hash256* out) {
+  if (n == 0) return;
+  const Dispatch& d = ActiveDispatch();
+#if defined(WEDGE_HAVE_SHA256_AVX2)
+  if (d.backend == Sha256Backend::kAvx2 && n >= 8) {
+    ManySameLenLanes<8>(msgs, len, n, out,
+                        [](uint32_t states[8][8], const uint8_t* const* p) {
+                          internal::Sha256Compress8xAvx2(states, p);
+                        });
+    return;
+  }
+#endif
+  if (d.backend == Sha256Backend::kScalar && n >= 4) {
+    ManySameLenLanes<4>(msgs, len, n, out,
+                        [](uint32_t states[4][8], const uint8_t* const* p) {
+                          internal::Sha256Compress4xScalar(states, p);
+                        });
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) OneShot(d.compress, msgs[i], len, &out[i]);
+}
+
+void Sha256Many(const uint8_t* const* msgs, const size_t* lens, size_t n,
+                Hash256* out) {
+  // Hash maximal equal-length runs as one same-length batch; the lane
+  // kernels need a uniform block count.
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i + 1;
+    while (j < n && lens[j] == lens[i]) ++j;
+    Sha256ManySameLen(msgs + i, lens[i], j - i, out + i);
+    i = j;
+  }
+}
+
+void Sha256Many(const std::vector<Bytes>& msgs, Hash256* out) {
+  std::vector<const uint8_t*> ptrs(msgs.size());
+  std::vector<size_t> lens(msgs.size());
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    ptrs[i] = msgs[i].data();
+    lens[i] = msgs[i].size();
+  }
+  Sha256Many(ptrs.data(), lens.data(), msgs.size(), out);
+}
+
+}  // namespace wedge

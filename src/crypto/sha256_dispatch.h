@@ -1,0 +1,63 @@
+#ifndef WEDGEBLOCK_CRYPTO_SHA256_DISPATCH_H_
+#define WEDGEBLOCK_CRYPTO_SHA256_DISPATCH_H_
+
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+// Runtime-dispatched SHA-256 backends. Every digest in the system — leaf
+// and interior Merkle hashes, stage-1 signing hashes, stage-2 digests,
+// RFC 6979 nonces — flows through one compression entry point selected
+// once at startup:
+//
+//   kShaNi   x86 SHA extensions, single stream (fastest where available)
+//   kAvx2    portable single stream + 8-lane AVX2 batch hashing
+//   kScalar  portable single stream + 4-lane interleaved batch hashing
+//
+// Selection: best supported backend wins (SHA-NI > AVX2 > scalar).
+// `WEDGE_DISABLE_HWCRYPTO` (CMake option at build time, or a non-"0"
+// environment variable at run time) forces kScalar; the environment
+// variable `WEDGE_SHA256_BACKEND=scalar|avx2|shani` pins a specific
+// backend when supported. All backends are byte-identical (enforced by
+// tests/sha256_test.cc across NIST vectors and a random corpus).
+
+namespace wedge {
+
+enum class Sha256Backend { kScalar, kAvx2, kShaNi };
+
+/// The backend every Sha256 object and batch call currently routes to.
+Sha256Backend ActiveSha256Backend();
+
+/// Human-readable backend name ("scalar", "avx2", "sha-ni").
+std::string_view Sha256BackendName(Sha256Backend backend);
+
+/// True when the backend is compiled in and the CPU supports it.
+bool Sha256BackendSupported(Sha256Backend backend);
+
+/// Test hook: re-points the dispatcher at `backend`. Returns false (and
+/// changes nothing) when unsupported. Not thread-safe — call only from
+/// single-threaded test setup, and restore the original backend after.
+bool SetSha256BackendForTest(Sha256Backend backend);
+
+/// Raw single-stream block compression for the active backend: advances
+/// `state` over `blocks` consecutive 64-byte blocks.
+using Sha256CompressFn = void (*)(uint32_t state[8], const uint8_t* data,
+                                  size_t blocks);
+Sha256CompressFn ActiveSha256Compress();
+
+/// Batch one-shot hashing: out[i] = SHA-256(msgs[i], lens[i]). Runs of
+/// equal-length messages are hashed 4–8 lanes at a time on backends with
+/// a multi-lane kernel; other messages fall back to single-stream.
+void Sha256Many(const uint8_t* const* msgs, const size_t* lens, size_t n,
+                Hash256* out);
+void Sha256Many(const std::vector<Bytes>& msgs, Hash256* out);
+
+/// Same-length batch: every message is exactly `len` bytes. This is the
+/// Merkle hot path (uniform leaves; 65-byte interior nodes).
+void Sha256ManySameLen(const uint8_t* const* msgs, size_t len, size_t n,
+                       Hash256* out);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CRYPTO_SHA256_DISPATCH_H_

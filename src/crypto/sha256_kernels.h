@@ -1,0 +1,48 @@
+#ifndef WEDGEBLOCK_CRYPTO_SHA256_KERNELS_H_
+#define WEDGEBLOCK_CRYPTO_SHA256_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Internal header: raw SHA-256 compression kernels behind the runtime
+// dispatcher in sha256_dispatch.h. Each kernel advances a standard
+// 8-word SHA-256 state over full 64-byte blocks; padding and digest
+// extraction live in the callers. Hardware kernels are compiled in
+// separate translation units with the matching -m flags and must only be
+// called after the dispatcher's cpuid check.
+
+namespace wedge {
+namespace internal {
+
+/// FIPS 180-4 round constants, shared by every kernel.
+extern const uint32_t kSha256K[64];
+
+/// Portable scalar kernel: processes `blocks` consecutive 64-byte blocks.
+void Sha256CompressScalar(uint32_t state[8], const uint8_t* data,
+                          size_t blocks);
+
+/// Portable 4-lane kernel: one 64-byte block per lane, four independent
+/// states. Uses baseline SSE2 on x86-64 (part of the base ISA — no
+/// extra compile flags or runtime detection) and plain-C interleaving
+/// elsewhere; either way the lockstep lanes expose parallelism a single
+/// message's round dependency chain hides.
+void Sha256Compress4xScalar(uint32_t states[4][8],
+                            const uint8_t* const blocks[4]);
+
+#if defined(WEDGE_HAVE_SHA256_SHANI)
+/// SHA-NI kernel (requires SSE4.1 + SHA extensions at runtime).
+void Sha256CompressShaNi(uint32_t state[8], const uint8_t* data,
+                         size_t blocks);
+#endif
+
+#if defined(WEDGE_HAVE_SHA256_AVX2)
+/// AVX2 8-lane kernel: one 64-byte block per lane, eight independent
+/// states laid out as states[lane][word].
+void Sha256Compress8xAvx2(uint32_t states[8][8],
+                          const uint8_t* const blocks[8]);
+#endif
+
+}  // namespace internal
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_CRYPTO_SHA256_KERNELS_H_

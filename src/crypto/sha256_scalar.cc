@@ -1,0 +1,270 @@
+#include "crypto/sha256_kernels.h"
+
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+// Portable SHA-256 kernels. The single-stream kernel unrolls the 64
+// rounds with a 16-word message-schedule ring updated inline in each
+// round (no 64-entry W expansion, no register rotation) — the shape
+// compilers turn into the best branch-free straight-line code. The
+// 4-lane kernel runs four independent blocks in lockstep; on x86-64 it
+// uses baseline SSE2 (always available, no extra compile flags and no
+// runtime detection needed), elsewhere plain C interleaving.
+
+namespace wedge {
+namespace internal {
+
+const uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+namespace {
+
+inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return v;
+#else
+  return __builtin_bswap32(v);
+#endif
+}
+inline uint32_t BigSigma0(uint32_t x) {
+  return Rotr(x, 2) ^ Rotr(x, 13) ^ Rotr(x, 22);
+}
+inline uint32_t BigSigma1(uint32_t x) {
+  return Rotr(x, 6) ^ Rotr(x, 11) ^ Rotr(x, 25);
+}
+inline uint32_t SmallSigma0(uint32_t x) {
+  return Rotr(x, 7) ^ Rotr(x, 18) ^ (x >> 3);
+}
+inline uint32_t SmallSigma1(uint32_t x) {
+  return Rotr(x, 17) ^ Rotr(x, 19) ^ (x >> 10);
+}
+inline uint32_t Ch(uint32_t e, uint32_t f, uint32_t g) {
+  return g ^ (e & (f ^ g));
+}
+inline uint32_t Maj(uint32_t a, uint32_t b, uint32_t c) {
+  return (a & b) | (c & (a | b));
+}
+
+// One round without register rotation: the caller permutes the argument
+// order instead. For rounds >= 16 the schedule-ring word is refreshed
+// inline, which interleaves the schedule arithmetic with the round
+// arithmetic — two mostly independent dependency chains the CPU can
+// overlap. `i` must be a compile-time constant so the branch folds away.
+#define WEDGE_SHA256_ROUND(a, b, c, d, e, f, g, h, i)                     \
+  do {                                                                    \
+    uint32_t wv;                                                          \
+    if ((i) < 16) {                                                       \
+      wv = w[(i)];                                                        \
+    } else {                                                              \
+      wv = w[(i) & 15] +=                                                 \
+          SmallSigma1(w[((i) - 2) & 15]) + w[((i) - 7) & 15] +            \
+          SmallSigma0(w[((i) - 15) & 15]);                                \
+    }                                                                     \
+    uint32_t t1 = (h) + BigSigma1(e) + Ch(e, f, g) + kSha256K[(i)] + wv;  \
+    uint32_t t2 = BigSigma0(a) + Maj(a, b, c);                            \
+    (d) += t1;                                                            \
+    (h) = t1 + t2;                                                        \
+  } while (0)
+
+#define WEDGE_SHA256_ROUND8(i)                            \
+  WEDGE_SHA256_ROUND(a, b, c, d, e, f, g, h, (i) + 0);    \
+  WEDGE_SHA256_ROUND(h, a, b, c, d, e, f, g, (i) + 1);    \
+  WEDGE_SHA256_ROUND(g, h, a, b, c, d, e, f, (i) + 2);    \
+  WEDGE_SHA256_ROUND(f, g, h, a, b, c, d, e, (i) + 3);    \
+  WEDGE_SHA256_ROUND(e, f, g, h, a, b, c, d, (i) + 4);    \
+  WEDGE_SHA256_ROUND(d, e, f, g, h, a, b, c, (i) + 5);    \
+  WEDGE_SHA256_ROUND(c, d, e, f, g, h, a, b, (i) + 6);    \
+  WEDGE_SHA256_ROUND(b, c, d, e, f, g, h, a, (i) + 7)
+
+}  // namespace
+
+void Sha256CompressScalar(uint32_t state[8], const uint8_t* data,
+                          size_t blocks) {
+  uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  while (blocks-- > 0) {
+    uint32_t w[16];
+    for (int i = 0; i < 16; ++i) w[i] = Load32(data + i * 4);
+    data += 64;
+
+    const uint32_t sa = a, sb = b, sc = c, sd = d;
+    const uint32_t se = e, sf = f, sg = g, sh = h;
+
+    WEDGE_SHA256_ROUND8(0);
+    WEDGE_SHA256_ROUND8(8);
+    WEDGE_SHA256_ROUND8(16);
+    WEDGE_SHA256_ROUND8(24);
+    WEDGE_SHA256_ROUND8(32);
+    WEDGE_SHA256_ROUND8(40);
+    WEDGE_SHA256_ROUND8(48);
+    WEDGE_SHA256_ROUND8(56);
+
+    a += sa; b += sb; c += sc; d += sd;
+    e += se; f += sf; g += sg; h += sh;
+  }
+  state[0] = a; state[1] = b; state[2] = c; state[3] = d;
+  state[4] = e; state[5] = f; state[6] = g; state[7] = h;
+}
+
+#if defined(__SSE2__)
+
+namespace {
+
+// SSE2 4-lane helpers: each __m128i holds one 32-bit word from each of
+// the four message lanes.
+inline __m128i VAdd(__m128i a, __m128i b) { return _mm_add_epi32(a, b); }
+inline __m128i VXor(__m128i a, __m128i b) { return _mm_xor_si128(a, b); }
+inline __m128i VAnd(__m128i a, __m128i b) { return _mm_and_si128(a, b); }
+inline __m128i VOr(__m128i a, __m128i b) { return _mm_or_si128(a, b); }
+inline __m128i VShr(__m128i a, int n) { return _mm_srli_epi32(a, n); }
+inline __m128i VShl(__m128i a, int n) { return _mm_slli_epi32(a, n); }
+inline __m128i VRotr(__m128i a, int n) {
+  return VOr(VShr(a, n), VShl(a, 32 - n));
+}
+inline __m128i VBigSigma0(__m128i x) {
+  return VXor(VXor(VRotr(x, 2), VRotr(x, 13)), VRotr(x, 22));
+}
+inline __m128i VBigSigma1(__m128i x) {
+  return VXor(VXor(VRotr(x, 6), VRotr(x, 11)), VRotr(x, 25));
+}
+inline __m128i VSmallSigma0(__m128i x) {
+  return VXor(VXor(VRotr(x, 7), VRotr(x, 18)), VShr(x, 3));
+}
+inline __m128i VSmallSigma1(__m128i x) {
+  return VXor(VXor(VRotr(x, 17), VRotr(x, 19)), VShr(x, 10));
+}
+inline __m128i VCh(__m128i e, __m128i f, __m128i g) {
+  return VXor(g, VAnd(e, VXor(f, g)));
+}
+inline __m128i VMaj(__m128i a, __m128i b, __m128i c) {
+  return VOr(VAnd(a, b), VAnd(c, VOr(a, b)));
+}
+
+#define WEDGE_SHA256_VROUND(a, b, c, d, e, f, g, h, i)                    \
+  do {                                                                    \
+    __m128i wv;                                                           \
+    if ((i) < 16) {                                                       \
+      wv = w[(i)];                                                        \
+    } else {                                                              \
+      wv = w[(i) & 15] = VAdd(                                            \
+          VAdd(w[(i) & 15], VSmallSigma0(w[((i) - 15) & 15])),            \
+          VAdd(w[((i) - 7) & 15], VSmallSigma1(w[((i) - 2) & 15])));      \
+    }                                                                     \
+    __m128i t1 = VAdd(                                                    \
+        VAdd(h, VBigSigma1(e)),                                           \
+        VAdd(VCh(e, f, g),                                                \
+             VAdd(_mm_set1_epi32(static_cast<int>(kSha256K[(i)])), wv))); \
+    __m128i t2 = VAdd(VBigSigma0(a), VMaj(a, b, c));                      \
+    (d) = VAdd(d, t1);                                                    \
+    (h) = VAdd(t1, t2);                                                   \
+  } while (0)
+
+#define WEDGE_SHA256_VROUND8(i)                            \
+  WEDGE_SHA256_VROUND(a, b, c, d, e, f, g, h, (i) + 0);    \
+  WEDGE_SHA256_VROUND(h, a, b, c, d, e, f, g, (i) + 1);    \
+  WEDGE_SHA256_VROUND(g, h, a, b, c, d, e, f, (i) + 2);    \
+  WEDGE_SHA256_VROUND(f, g, h, a, b, c, d, e, (i) + 3);    \
+  WEDGE_SHA256_VROUND(e, f, g, h, a, b, c, d, (i) + 4);    \
+  WEDGE_SHA256_VROUND(d, e, f, g, h, a, b, c, (i) + 5);    \
+  WEDGE_SHA256_VROUND(c, d, e, f, g, h, a, b, (i) + 6);    \
+  WEDGE_SHA256_VROUND(b, c, d, e, f, g, h, a, (i) + 7)
+
+}  // namespace
+
+void Sha256Compress4xScalar(uint32_t states[4][8],
+                            const uint8_t* const blocks[4]) {
+  __m128i v[8], w[16];
+  for (int s = 0; s < 8; ++s) {
+    v[s] = _mm_set_epi32(static_cast<int>(states[3][s]),
+                         static_cast<int>(states[2][s]),
+                         static_cast<int>(states[1][s]),
+                         static_cast<int>(states[0][s]));
+  }
+  for (int i = 0; i < 16; ++i) {
+    w[i] = _mm_set_epi32(static_cast<int>(Load32(blocks[3] + i * 4)),
+                         static_cast<int>(Load32(blocks[2] + i * 4)),
+                         static_cast<int>(Load32(blocks[1] + i * 4)),
+                         static_cast<int>(Load32(blocks[0] + i * 4)));
+  }
+  __m128i a = v[0], b = v[1], c = v[2], d = v[3];
+  __m128i e = v[4], f = v[5], g = v[6], h = v[7];
+
+  WEDGE_SHA256_VROUND8(0);
+  WEDGE_SHA256_VROUND8(8);
+  WEDGE_SHA256_VROUND8(16);
+  WEDGE_SHA256_VROUND8(24);
+  WEDGE_SHA256_VROUND8(32);
+  WEDGE_SHA256_VROUND8(40);
+  WEDGE_SHA256_VROUND8(48);
+  WEDGE_SHA256_VROUND8(56);
+
+  v[0] = VAdd(v[0], a); v[1] = VAdd(v[1], b);
+  v[2] = VAdd(v[2], c); v[3] = VAdd(v[3], d);
+  v[4] = VAdd(v[4], e); v[5] = VAdd(v[5], f);
+  v[6] = VAdd(v[6], g); v[7] = VAdd(v[7], h);
+
+  for (int s = 0; s < 8; ++s) {
+    alignas(16) uint32_t lane[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lane), v[s]);
+    for (int l = 0; l < 4; ++l) states[l][s] = lane[l];
+  }
+}
+
+#else  // !__SSE2__: plain-C interleaved fallback.
+
+void Sha256Compress4xScalar(uint32_t states[4][8],
+                            const uint8_t* const blocks[4]) {
+  // Transposed working state: v[word][lane]. The fixed-trip-count lane
+  // loops unroll cleanly and keep the four dependency chains independent.
+  uint32_t v[8][4];
+  uint32_t w[16][4];
+  for (int s = 0; s < 8; ++s)
+    for (int l = 0; l < 4; ++l) v[s][l] = states[l][s];
+  for (int i = 0; i < 16; ++i)
+    for (int l = 0; l < 4; ++l) w[i][l] = Load32(blocks[l] + i * 4);
+
+  for (int i = 0; i < 64; ++i) {
+    if (i >= 16) {
+      for (int l = 0; l < 4; ++l) {
+        w[i & 15][l] += SmallSigma1(w[(i - 2) & 15][l]) + w[(i - 7) & 15][l] +
+                        SmallSigma0(w[(i - 15) & 15][l]);
+      }
+    }
+    for (int l = 0; l < 4; ++l) {
+      uint32_t t1 = v[7][l] + BigSigma1(v[4][l]) +
+                    Ch(v[4][l], v[5][l], v[6][l]) + kSha256K[i] + w[i & 15][l];
+      uint32_t t2 = BigSigma0(v[0][l]) + Maj(v[0][l], v[1][l], v[2][l]);
+      v[7][l] = v[6][l];
+      v[6][l] = v[5][l];
+      v[5][l] = v[4][l];
+      v[4][l] = v[3][l] + t1;
+      v[3][l] = v[2][l];
+      v[2][l] = v[1][l];
+      v[1][l] = v[0][l];
+      v[0][l] = t1 + t2;
+    }
+  }
+  for (int s = 0; s < 8; ++s)
+    for (int l = 0; l < 4; ++l) states[l][s] += v[s][l];
+}
+
+#endif  // __SSE2__
+
+}  // namespace internal
+}  // namespace wedge

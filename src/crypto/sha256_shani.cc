@@ -1,0 +1,122 @@
+// SHA-256 compression using the x86 SHA New Instructions. Compiled with
+// -msha -msse4.1; the dispatcher only routes here after cpuid confirms
+// the extensions, so no illegal instruction can execute on older CPUs.
+// Round structure follows the canonical Intel/Walton formulation: state
+// is kept as the two packed vectors ABEF / CDGH that sha256rnds2
+// operates on, and the 64 rounds run as 16 groups of 4 with sha256msg1/
+// sha256msg2 producing the message schedule on the fly.
+
+#include "crypto/sha256_kernels.h"
+
+#if defined(WEDGE_HAVE_SHA256_SHANI)
+
+#include <immintrin.h>
+
+namespace wedge {
+namespace internal {
+
+namespace {
+
+// Two sha256rnds2 invocations = 4 rounds. `msg` holds W[i..i+3]+K[i..i+3].
+inline void Rounds4(__m128i& state0, __m128i& state1, __m128i msg) {
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+}
+
+inline __m128i AddK(__m128i msg, int i) {
+  return _mm_add_epi32(
+      msg, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kSha256K[i])));
+}
+
+}  // namespace
+
+void Sha256CompressShaNi(uint32_t state[8], const uint8_t* data,
+                         size_t blocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Repack {a,b,c,d}/{e,f,g,h} into the ABEF/CDGH layout.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);    // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);         // CDGH
+
+  while (blocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kShuffle);
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kShuffle);
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kShuffle);
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kShuffle);
+
+    // Rounds 0-11: schedule not yet self-referential.
+    Rounds4(state0, state1, AddK(msg0, 0));
+    Rounds4(state0, state1, AddK(msg1, 4));
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+    Rounds4(state0, state1, AddK(msg2, 8));
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-51: the steady-state 4-round pattern, message registers
+    // rotating through (cur, next, prev) roles.
+#define WEDGE_SHANI_QROUND(cur, nxt, prv, pre, k)              \
+    do {                                                       \
+      Rounds4(state0, state1, AddK(cur, k));                   \
+      __m128i t = _mm_alignr_epi8(cur, prv, 4);                \
+      nxt = _mm_add_epi32(nxt, t);                             \
+      nxt = _mm_sha256msg2_epu32(nxt, cur);                    \
+      pre = _mm_sha256msg1_epu32(pre, cur);                    \
+    } while (0)
+
+    WEDGE_SHANI_QROUND(msg3, msg0, msg2, msg2, 12);
+    WEDGE_SHANI_QROUND(msg0, msg1, msg3, msg3, 16);
+    WEDGE_SHANI_QROUND(msg1, msg2, msg0, msg0, 20);
+    WEDGE_SHANI_QROUND(msg2, msg3, msg1, msg1, 24);
+    WEDGE_SHANI_QROUND(msg3, msg0, msg2, msg2, 28);
+    WEDGE_SHANI_QROUND(msg0, msg1, msg3, msg3, 32);
+    WEDGE_SHANI_QROUND(msg1, msg2, msg0, msg0, 36);
+    WEDGE_SHANI_QROUND(msg2, msg3, msg1, msg1, 40);
+    WEDGE_SHANI_QROUND(msg3, msg0, msg2, msg2, 44);
+    WEDGE_SHANI_QROUND(msg0, msg1, msg3, msg3, 48);
+#undef WEDGE_SHANI_QROUND
+
+    // Rounds 52-63: schedule winds down (no more sha256msg1).
+    Rounds4(state0, state1, AddK(msg1, 52));
+    {
+      __m128i t = _mm_alignr_epi8(msg1, msg0, 4);
+      msg2 = _mm_add_epi32(msg2, t);
+      msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    }
+    Rounds4(state0, state1, AddK(msg2, 56));
+    {
+      __m128i t = _mm_alignr_epi8(msg2, msg1, 4);
+      msg3 = _mm_add_epi32(msg3, t);
+      msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    }
+    Rounds4(state0, state1, AddK(msg3, 60));
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+  }
+
+  // Unpack ABEF/CDGH back to {a..d}/{e..h}.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);        // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);           // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+}  // namespace internal
+}  // namespace wedge
+
+#endif  // WEDGE_HAVE_SHA256_SHANI

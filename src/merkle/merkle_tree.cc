@@ -1,6 +1,10 @@
 #include "merkle/merkle_tree.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "common/thread_pool.h"
+#include "crypto/sha256_dispatch.h"
 
 namespace wedge {
 
@@ -8,6 +12,43 @@ namespace {
 
 constexpr uint8_t kLeafPrefix = 0x00;
 constexpr uint8_t kInteriorPrefix = 0x01;
+
+// Leaf/interior messages are staged (prefix prepended) into a reused
+// scratch buffer in groups of this many, then hashed through the
+// multi-lane batch kernels. 32 is a whole number of lanes for both the
+// 4-lane portable and 8-lane AVX2 kernels.
+constexpr size_t kHashGroup = 32;
+
+// Minimum number of hashes in a level before a parallel build splits it
+// across the pool; below this the fork/join overhead dominates.
+constexpr size_t kParallelGrain = 256;
+
+// Interior-node message: 0x01 || left || right.
+constexpr size_t kInteriorMsgLen = 1 + 2 * sizeof(Hash256);
+
+// Computes parent nodes [parent_begin, parent_end) of a level holding
+// `prev_count` nodes, duplicating the last node when prev_count is odd.
+// Messages are staged into a scratch buffer in groups and hashed with
+// the same-length batch kernel.
+void HashInteriorRange(const Hash256* prev, size_t prev_count,
+                       size_t parent_begin, size_t parent_end, Hash256* out) {
+  uint8_t scratch[kHashGroup * kInteriorMsgLen];
+  const uint8_t* ptrs[kHashGroup];
+  for (size_t p = parent_begin; p < parent_end; p += kHashGroup) {
+    const size_t group = std::min(kHashGroup, parent_end - p);
+    for (size_t i = 0; i < group; ++i) {
+      uint8_t* msg = scratch + i * kInteriorMsgLen;
+      const size_t left = 2 * (p + i);
+      const size_t right = (left + 1 < prev_count) ? left + 1 : left;
+      msg[0] = kInteriorPrefix;
+      std::memcpy(msg + 1, prev[left].data(), sizeof(Hash256));
+      std::memcpy(msg + 1 + sizeof(Hash256), prev[right].data(),
+                  sizeof(Hash256));
+      ptrs[i] = msg;
+    }
+    Sha256ManySameLen(ptrs, kInteriorMsgLen, group, out + p);
+  }
+}
 
 }  // namespace
 
@@ -60,38 +101,120 @@ Hash256 MerkleTree::HashInterior(const Hash256& left, const Hash256& right) {
   return h.Finish();
 }
 
-Result<MerkleTree> MerkleTree::Build(const std::vector<Bytes>& leaves) {
-  if (leaves.empty()) {
+void MerkleTree::HashLeavesInto(const Bytes* const* leaves, size_t n,
+                                Hash256* out) {
+  // Uniform-length leaves (the common case: a sealed batch of equal-size
+  // payloads) are staged with their 0x00 prefix into a reused scratch
+  // buffer and hashed in multi-lane groups. Mixed lengths fall back to
+  // the incremental hasher, which never copies the payload.
+  const size_t len = (n > 0) ? leaves[0]->size() : 0;
+  bool uniform = true;
+  for (size_t i = 1; i < n && uniform; ++i) uniform = leaves[i]->size() == len;
+  if (!uniform || n < 4) {
+    for (size_t i = 0; i < n; ++i) out[i] = HashLeaf(*leaves[i]);
+    return;
+  }
+  const size_t msg_len = 1 + len;
+  Bytes scratch(kHashGroup * msg_len);
+  const uint8_t* ptrs[kHashGroup];
+  for (size_t i = 0; i < n; i += kHashGroup) {
+    const size_t group = std::min(kHashGroup, n - i);
+    for (size_t g = 0; g < group; ++g) {
+      uint8_t* msg = scratch.data() + g * msg_len;
+      msg[0] = kLeafPrefix;
+      if (len > 0) std::memcpy(msg + 1, leaves[i + g]->data(), len);
+      ptrs[g] = msg;
+    }
+    Sha256ManySameLen(ptrs, msg_len, group, out + i);
+  }
+}
+
+void MerkleTree::HashInteriorN(const Hash256* prev, size_t prev_count,
+                               Hash256* out) {
+  HashInteriorRange(prev, prev_count, 0, (prev_count + 1) / 2, out);
+}
+
+Result<MerkleTree> MerkleTree::BuildImpl(const Bytes* const* leaves, size_t n,
+                                         ThreadPool* pool) {
+  if (n == 0) {
     return Status::InvalidArgument("merkle tree requires at least one leaf");
   }
   MerkleTree tree;
-  tree.leaf_count_ = leaves.size();
+  tree.leaf_count_ = n;
 
-  std::vector<Hash256> level;
-  level.reserve(leaves.size());
-  for (const Bytes& leaf : leaves) level.push_back(HashLeaf(leaf));
+  // Splits [0, count) into pool-sized chunks and runs fn(begin, end) for
+  // each across the pool. Chunks only partition the index space, so the
+  // hashes produced are identical to a sequential pass.
+  const size_t workers = (pool != nullptr) ? pool->num_threads() : 0;
+  auto parallel_chunks =
+      [&](size_t count, const std::function<void(size_t, size_t)>& fn) {
+        const size_t chunks =
+            std::min(4 * workers, (count + kParallelGrain - 1) / kParallelGrain);
+        if (chunks <= 1) {
+          fn(0, count);
+          return;
+        }
+        const size_t per = (count + chunks - 1) / chunks;
+        pool->ParallelFor(chunks, [&](size_t c) {
+          const size_t begin = c * per;
+          const size_t end = std::min(begin + per, count);
+          if (begin < end) fn(begin, end);
+        });
+      };
+
+  std::vector<Hash256> level(n);
+  parallel_chunks(n, [&](size_t begin, size_t end) {
+    HashLeavesInto(leaves + begin, end - begin, level.data() + begin);
+  });
   tree.levels_.push_back(std::move(level));
 
   while (tree.levels_.back().size() > 1) {
     const std::vector<Hash256>& prev = tree.levels_.back();
-    std::vector<Hash256> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (size_t i = 0; i < prev.size(); i += 2) {
-      // Odd count: duplicate the last node.
-      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
-      next.push_back(HashInterior(prev[i], right));
-    }
+    const size_t parents = (prev.size() + 1) / 2;
+    std::vector<Hash256> next(parents);
+    parallel_chunks(parents, [&](size_t begin, size_t end) {
+      HashInteriorRange(prev.data(), prev.size(), begin, end, next.data());
+    });
     tree.levels_.push_back(std::move(next));
   }
   return tree;
 }
 
+Result<MerkleTree> MerkleTree::Build(const std::vector<Bytes>& leaves) {
+  return Build(leaves, nullptr);
+}
+
+Result<MerkleTree> MerkleTree::Build(const std::vector<Bytes>& leaves,
+                                     ThreadPool* pool) {
+  std::vector<const Bytes*> ptrs(leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) ptrs[i] = &leaves[i];
+  return BuildImpl(ptrs.data(), ptrs.size(), pool);
+}
+
+Result<MerkleTree> MerkleTree::Build(const std::vector<SharedBytes>& leaves) {
+  return Build(leaves, nullptr);
+}
+
+Result<MerkleTree> MerkleTree::Build(const std::vector<SharedBytes>& leaves,
+                                     ThreadPool* pool) {
+  std::vector<const Bytes*> ptrs(leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) ptrs[i] = &leaves[i].get();
+  return BuildImpl(ptrs.data(), ptrs.size(), pool);
+}
+
 Result<MerkleProof> MerkleTree::Prove(uint64_t index) const {
+  MerkleProof proof;
+  WEDGE_RETURN_IF_ERROR(ProveInto(index, &proof));
+  return proof;
+}
+
+Status MerkleTree::ProveInto(uint64_t index, MerkleProof* out) const {
   if (index >= leaf_count_) {
     return Status::OutOfRange("leaf index out of range");
   }
-  MerkleProof proof;
-  proof.leaf_index = index;
+  out->leaf_index = index;
+  out->path.clear();
+  out->path.reserve(levels_.size() - 1);
   uint64_t pos = index;
   for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
     const std::vector<Hash256>& nodes = levels_[lvl];
@@ -104,10 +227,10 @@ Result<MerkleProof> MerkleTree::Prove(uint64_t index) const {
       node.sibling = nodes[pos - 1];
       node.sibling_is_left = true;
     }
-    proof.path.push_back(node);
+    out->path.push_back(node);
     pos /= 2;
   }
-  return proof;
+  return Status::Ok();
 }
 
 Hash256 ComputeRootFromProof(const Bytes& leaf_data, const MerkleProof& proof) {

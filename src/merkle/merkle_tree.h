@@ -8,6 +8,8 @@
 
 namespace wedge {
 
+class ThreadPool;
+
 /// One step of a Merkle proof path: a sibling hash plus its side.
 struct MerkleProofNode {
   Hash256 sibling;
@@ -42,8 +44,16 @@ struct MerkleProof {
 /// the last node (Bitcoin-style padding).
 class MerkleTree {
  public:
-  /// Builds the tree over `leaves`. Requires at least one leaf.
+  /// Builds the tree over `leaves`. Requires at least one leaf. When a
+  /// `pool` is given, large trees hash their levels in parallel chunks;
+  /// the result is byte-identical to the sequential build (same hashes,
+  /// just partitioned), so roots and proofs never depend on the pool.
   static Result<MerkleTree> Build(const std::vector<Bytes>& leaves);
+  static Result<MerkleTree> Build(const std::vector<Bytes>& leaves,
+                                  ThreadPool* pool);
+  static Result<MerkleTree> Build(const std::vector<SharedBytes>& leaves);
+  static Result<MerkleTree> Build(const std::vector<SharedBytes>& leaves,
+                                  ThreadPool* pool);
 
   /// Root digest (the MRoot committed on-chain in stage-2).
   const Hash256& Root() const { return levels_.back()[0]; }
@@ -54,11 +64,29 @@ class MerkleTree {
   /// Generates the authentication path for leaf `index`.
   Result<MerkleProof> Prove(uint64_t index) const;
 
+  /// Fills `out` with the authentication path for leaf `index`, reusing
+  /// `out->path`'s capacity. The sealing hot path proves every leaf of a
+  /// batch; this variant avoids one vector allocation per response.
+  Status ProveInto(uint64_t index, MerkleProof* out) const;
+
   /// Hash applied to a leaf's raw bytes.
   static Hash256 HashLeaf(const Bytes& data);
 
   /// Hash of an interior node.
   static Hash256 HashInterior(const Hash256& left, const Hash256& right);
+
+  /// Batch leaf hashing: out[i] = HashLeaf(*leaves[i]) for i in [0, n).
+  /// Same-length leaves are routed through the multi-lane SHA-256 batch
+  /// kernels (see sha256_dispatch.h).
+  static void HashLeavesInto(const Bytes* const* leaves, size_t n,
+                             Hash256* out);
+
+  /// Batch interior hashing: computes the full parent level of a level
+  /// with `prev_count` nodes into `out` (which must hold
+  /// (prev_count + 1) / 2 entries), duplicating the last node when
+  /// `prev_count` is odd.
+  static void HashInteriorN(const Hash256* prev, size_t prev_count,
+                            Hash256* out);
 
   /// Structural accessors (multi-proof construction): level 0 holds the
   /// leaf hashes, the last level holds only the root.
@@ -70,6 +98,9 @@ class MerkleTree {
 
  private:
   MerkleTree() = default;
+
+  static Result<MerkleTree> BuildImpl(const Bytes* const* leaves, size_t n,
+                                      ThreadPool* pool);
 
   uint64_t leaf_count_ = 0;
   // levels_[0] = leaf hashes, levels_.back() = {root}.

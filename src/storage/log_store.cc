@@ -12,7 +12,7 @@ Bytes LogPosition::Serialize() const {
   Bytes out;
   PutU64(out, log_id);
   PutU32(out, static_cast<uint32_t>(data_list.size()));
-  for (const Bytes& entry : data_list) PutBytes(out, entry);
+  for (const SharedBytes& entry : data_list) PutBytes(out, entry);
   Append(out, HashToBytes(mroot));
   return out;
 }
@@ -52,7 +52,7 @@ Result<LogPosition> MemoryLogStore::Get(uint64_t log_id) const {
   return positions_[log_id];
 }
 
-Result<Bytes> MemoryLogStore::GetEntry(const EntryIndex& index) const {
+Result<SharedBytes> MemoryLogStore::GetEntry(const EntryIndex& index) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (index.log_id >= positions_.size()) {
     return Status::NotFound("log position does not exist");
@@ -172,7 +172,7 @@ Result<LogPosition> FileLogStore::Get(uint64_t log_id) const {
   return positions_[log_id];
 }
 
-Result<Bytes> FileLogStore::GetEntry(const EntryIndex& index) const {
+Result<SharedBytes> FileLogStore::GetEntry(const EntryIndex& index) const {
   Stopwatch watch(RealClock::Global());
   std::lock_guard<std::mutex> lock(mu_);
   if (index.log_id >= positions_.size()) {
@@ -232,7 +232,7 @@ Result<LogPosition> ReplicatedLogStore::Get(uint64_t log_id) const {
   return primary_->Get(log_id);
 }
 
-Result<Bytes> ReplicatedLogStore::GetEntry(const EntryIndex& index) const {
+Result<SharedBytes> ReplicatedLogStore::GetEntry(const EntryIndex& index) const {
   return primary_->GetEntry(index);
 }
 

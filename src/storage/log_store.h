@@ -17,7 +17,10 @@ namespace wedge {
 /// data objects plus the Merkle root computed over them.
 struct LogPosition {
   uint64_t log_id = 0;            ///< Monotonically increasing position id.
-  std::vector<Bytes> data_list;   ///< The batched append payloads.
+  /// The batched append payloads. SharedBytes so sealing can hand the
+  /// same allocation to the store, the Merkle tree and every stage-1
+  /// response without copying ~1 KB per entry (copies bump a refcount).
+  std::vector<SharedBytes> data_list;
   Hash256 mroot{};                ///< Merkle root over data_list.
 
   /// Canonical serialization (used by the file store and replication).
@@ -49,8 +52,8 @@ class LogStore {
   /// Fetches a whole position.
   virtual Result<LogPosition> Get(uint64_t log_id) const = 0;
 
-  /// Fetches one entry's payload.
-  virtual Result<Bytes> GetEntry(const EntryIndex& index) const = 0;
+  /// Fetches one entry's payload (a shared reference, not a copy).
+  virtual Result<SharedBytes> GetEntry(const EntryIndex& index) const = 0;
 
   /// Number of stored positions.
   virtual uint64_t Size() const = 0;
@@ -67,7 +70,7 @@ class MemoryLogStore : public LogStore {
  public:
   Status Append(const LogPosition& position) override;
   Result<LogPosition> Get(uint64_t log_id) const override;
-  Result<Bytes> GetEntry(const EntryIndex& index) const override;
+  Result<SharedBytes> GetEntry(const EntryIndex& index) const override;
   uint64_t Size() const override;
   Status Scan(uint64_t first, uint64_t last,
               const std::function<bool(const LogPosition&)>& callback)
@@ -109,7 +112,7 @@ class FileLogStore : public LogStore {
 
   Status Append(const LogPosition& position) override;
   Result<LogPosition> Get(uint64_t log_id) const override;
-  Result<Bytes> GetEntry(const EntryIndex& index) const override;
+  Result<SharedBytes> GetEntry(const EntryIndex& index) const override;
   uint64_t Size() const override;
   Status Scan(uint64_t first, uint64_t last,
               const std::function<bool(const LogPosition&)>& callback)
@@ -153,7 +156,7 @@ class ReplicatedLogStore : public LogStore {
 
   Status Append(const LogPosition& position) override;
   Result<LogPosition> Get(uint64_t log_id) const override;
-  Result<Bytes> GetEntry(const EntryIndex& index) const override;
+  Result<SharedBytes> GetEntry(const EntryIndex& index) const override;
   uint64_t Size() const override;
   Status Scan(uint64_t first, uint64_t last,
               const std::function<bool(const LogPosition&)>& callback)

@@ -51,7 +51,7 @@ Result<LogPosition> TieredLogStore::Get(uint64_t log_id) const {
   return FetchLocked(log_id);
 }
 
-Result<Bytes> TieredLogStore::GetEntry(const EntryIndex& index) const {
+Result<SharedBytes> TieredLogStore::GetEntry(const EntryIndex& index) const {
   std::lock_guard<std::mutex> lock(mu_);
   WEDGE_ASSIGN_OR_RETURN(LogPosition pos, FetchLocked(index.log_id));
   if (index.offset >= pos.data_list.size()) {

@@ -26,7 +26,7 @@ class TieredLogStore : public LogStore {
 
   Status Append(const LogPosition& position) override;
   Result<LogPosition> Get(uint64_t log_id) const override;
-  Result<Bytes> GetEntry(const EntryIndex& index) const override;
+  Result<SharedBytes> GetEntry(const EntryIndex& index) const override;
   uint64_t Size() const override;
   Status Scan(uint64_t first, uint64_t last,
               const std::function<bool(const LogPosition&)>& callback)

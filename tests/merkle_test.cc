@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace wedge {
 namespace {
@@ -16,7 +17,7 @@ std::vector<Bytes> MakeLeaves(size_t n, uint64_t seed = 1) {
 }
 
 TEST(MerkleTreeTest, RejectsEmptyInput) {
-  EXPECT_FALSE(MerkleTree::Build({}).ok());
+  EXPECT_FALSE(MerkleTree::Build(std::vector<Bytes>{}).ok());
 }
 
 TEST(MerkleTreeTest, SingleLeaf) {
@@ -154,6 +155,76 @@ TEST_P(MerkleProofPropertyTest, AllProofsVerify) {
 INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
                                            31, 33, 100, 500, 1000, 2000));
+
+// --- Parallel build determinism ----------------------------------------
+//
+// The pool overload partitions the index space only; roots and proofs must
+// be byte-identical to the sequential build at every leaf count, including
+// the odd-count duplicate-padding shapes.
+
+class ParallelBuildTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelBuildTest, MatchesSequentialBuild) {
+  size_t n = static_cast<size_t>(GetParam());
+  std::vector<Bytes> leaves = MakeLeaves(n, 7000 + n);
+  ThreadPool pool(4);
+  auto sequential = MerkleTree::Build(leaves);
+  auto parallel = MerkleTree::Build(leaves, &pool);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(sequential->Root(), parallel->Root()) << "n=" << n;
+  size_t stride = n > 64 ? n / 31 : 1;
+  for (size_t i = 0; i < n; i += stride) {
+    auto p_seq = sequential->Prove(i);
+    auto p_par = parallel->Prove(i);
+    ASSERT_TRUE(p_seq.ok());
+    ASSERT_TRUE(p_par.ok());
+    EXPECT_EQ(p_seq.value(), p_par.value()) << "leaf " << i << " of " << n;
+    // ProveInto is the allocation-reusing variant of Prove.
+    MerkleProof reused;
+    ASSERT_TRUE(parallel->ProveInto(i, &reused).ok());
+    EXPECT_EQ(reused, p_seq.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelBuildTest,
+                         ::testing::Values(1, 2, 3, 5, 31, 1023, 2000));
+
+TEST(MerkleTreeTest, SharedBytesBuildMatchesBytesBuild) {
+  std::vector<Bytes> leaves = MakeLeaves(100, 99);
+  std::vector<SharedBytes> shared(leaves.begin(), leaves.end());
+  ThreadPool pool(2);
+  auto plain = MerkleTree::Build(leaves);
+  auto from_shared = MerkleTree::Build(shared);
+  auto from_shared_pool = MerkleTree::Build(shared, &pool);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(from_shared.ok());
+  ASSERT_TRUE(from_shared_pool.ok());
+  EXPECT_EQ(plain->Root(), from_shared->Root());
+  EXPECT_EQ(plain->Root(), from_shared_pool->Root());
+}
+
+TEST(MerkleTreeTest, MixedLengthLeavesStillDeterministic) {
+  // Non-uniform leaf lengths take the per-leaf hashing path; parallel and
+  // sequential builds must still agree.
+  Rng rng(5);
+  std::vector<Bytes> leaves;
+  for (size_t i = 0; i < 333; ++i) leaves.push_back(rng.NextBytes(i % 90));
+  ThreadPool pool(3);
+  auto sequential = MerkleTree::Build(leaves);
+  auto parallel = MerkleTree::Build(leaves, &pool);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(sequential->Root(), parallel->Root());
+}
+
+TEST(MerkleTreeTest, ProveIntoRejectsOutOfRange) {
+  auto tree = MerkleTree::Build(MakeLeaves(4));
+  ASSERT_TRUE(tree.ok());
+  MerkleProof proof;
+  EXPECT_FALSE(tree->ProveInto(4, &proof).ok());
+  EXPECT_TRUE(tree->ProveInto(3, &proof).ok());
+}
 
 TEST(MerkleTreeTest, ProofDepthIsLogarithmic) {
   auto tree = MerkleTree::Build(MakeLeaves(2000));

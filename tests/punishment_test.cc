@@ -191,7 +191,9 @@ TEST_F(PunishmentTest, FabricatedEvidenceRejected) {
   // A malicious client tampers with the response and re-signs with its
   // own key: the signature no longer recovers to the Offchain Node.
   Stage1Response forged = responses->front();
-  forged.entry.back() ^= 0xFF;
+  Bytes tampered_entry = forged.entry.get();
+  tampered_entry.back() ^= 0xFF;
+  forged.entry = std::move(tampered_entry);
   forged.offchain_signature =
       EcdsaSign(pub.key().private_key(), forged.SignedHash());
   auto receipt = pub.TriggerPunishment(forged);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+#include "crypto/sha256_dispatch.h"
+
 namespace wedge {
 namespace {
 
@@ -83,6 +86,114 @@ TEST_P(Sha256BoundaryTest, PaddingBoundaries) {
 INSTANTIATE_TEST_SUITE_P(BlockEdges, Sha256BoundaryTest,
                          ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65,
                                            119, 120, 127, 128, 129));
+
+// --- Cross-backend equivalence -----------------------------------------
+//
+// Every compiled-in backend (scalar 4-lane, AVX2 8-lane, SHA-NI) must be
+// byte-identical to the scalar reference on every input. These tests pin
+// the dispatcher to each supported backend in turn via the test hook.
+
+/// Pins the dispatcher to `backend` for the test's lifetime.
+class BackendGuard {
+ public:
+  explicit BackendGuard(Sha256Backend backend)
+      : previous_(ActiveSha256Backend()),
+        active_(SetSha256BackendForTest(backend)) {}
+  ~BackendGuard() { SetSha256BackendForTest(previous_); }
+  bool active() const { return active_; }
+
+ private:
+  Sha256Backend previous_;
+  bool active_;
+};
+
+class Sha256BackendTest : public ::testing::TestWithParam<Sha256Backend> {};
+
+TEST_P(Sha256BackendTest, NistVectors) {
+  BackendGuard guard(GetParam());
+  if (!guard.active()) GTEST_SKIP() << "backend not supported on this CPU";
+  EXPECT_EQ(HashToHex(Sha256::Digest("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(HashToHex(Sha256::Digest("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(HashToHex(Sha256::Digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST_P(Sha256BackendTest, MatchesScalarOnRandomCorpus) {
+  // Scalar reference digests for a seeded corpus covering every length
+  // 0..256 (all padding boundaries) plus strided lengths up to 4096.
+  std::vector<Bytes> corpus;
+  Rng rng(0xC0FFEE);
+  for (size_t len = 0; len <= 256; ++len) corpus.push_back(rng.NextBytes(len));
+  for (size_t len = 257; len <= 4096; len += 97) {
+    corpus.push_back(rng.NextBytes(len));
+  }
+  std::vector<Hash256> reference(corpus.size());
+  {
+    BackendGuard scalar(Sha256Backend::kScalar);
+    ASSERT_TRUE(scalar.active());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      reference[i] = Sha256::Digest(corpus[i]);
+    }
+  }
+  BackendGuard guard(GetParam());
+  if (!guard.active()) GTEST_SKIP() << "backend not supported on this CPU";
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(Sha256::Digest(corpus[i]), reference[i])
+        << "len=" << corpus[i].size() << " on "
+        << Sha256BackendName(GetParam());
+  }
+}
+
+TEST_P(Sha256BackendTest, Sha256ManyMatchesSingles) {
+  BackendGuard guard(GetParam());
+  if (!guard.active()) GTEST_SKIP() << "backend not supported on this CPU";
+  // Mixed lengths exercise the equal-length run batching; the repeated
+  // lengths form runs long enough to hit the 4- and 8-lane kernels.
+  Rng rng(42);
+  std::vector<Bytes> msgs;
+  for (size_t len : {0u, 1u, 63u, 64u, 65u, 1088u}) {
+    for (int rep = 0; rep < 9; ++rep) msgs.push_back(rng.NextBytes(len));
+  }
+  std::vector<Hash256> batched(msgs.size());
+  Sha256Many(msgs, batched.data());
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(batched[i], Sha256::Digest(msgs[i])) << "msg " << i;
+  }
+}
+
+TEST_P(Sha256BackendTest, Sha256ManySameLenMatchesSingles) {
+  BackendGuard guard(GetParam());
+  if (!guard.active()) GTEST_SKIP() << "backend not supported on this CPU";
+  Rng rng(7);
+  // 65 bytes = Merkle interior message; 1088 = the paper's entry size.
+  for (size_t len : {1u, 32u, 65u, 1088u}) {
+    for (size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 31u, 32u, 33u}) {
+      std::vector<Bytes> msgs;
+      std::vector<const uint8_t*> ptrs;
+      for (size_t i = 0; i < n; ++i) msgs.push_back(rng.NextBytes(len));
+      for (const Bytes& m : msgs) ptrs.push_back(m.data());
+      std::vector<Hash256> batched(n);
+      Sha256ManySameLen(ptrs.data(), len, n, batched.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(batched[i], Sha256::Digest(msgs[i]))
+            << "len=" << len << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, Sha256BackendTest,
+    ::testing::Values(Sha256Backend::kScalar, Sha256Backend::kAvx2,
+                      Sha256Backend::kShaNi),
+    [](const ::testing::TestParamInfo<Sha256Backend>& info) {
+      return std::string(info.param == Sha256Backend::kShaNi
+                             ? "shani"
+                             : Sha256BackendName(info.param));
+    });
 
 }  // namespace
 }  // namespace wedge

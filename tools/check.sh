@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification under sanitizers: builds the repo and runs ctest
 # with AddressSanitizer and UndefinedBehaviorSanitizer instrumentation
-# (see the WEDGE_SANITIZE option in the top-level CMakeLists.txt).
+# (see the WEDGE_SANITIZE option in the top-level CMakeLists.txt),
+# re-runs the crypto/Merkle suites with hardware crypto disabled (the
+# scalar SHA-256 backend must stay byte-identical), and finishes with the
+# hot-path performance smoke test (tools/perf_smoke.sh).
 #
 # Usage: tools/check.sh [sanitizer ...]
 #   Default sanitizers: address undefined. "thread" is also accepted.
@@ -43,3 +46,15 @@ if [[ ! " ${sanitizers[*]} " =~ " thread " ]]; then
 fi
 
 echo "All sanitizer runs passed: ${sanitizers[*]} thread(concurrent subset)"
+
+# Crypto equivalence under the forced-portable configuration: the same
+# tests that pin each backend also run with hardware crypto disabled, so
+# the scalar path is exercised even on SHA-NI/AVX2 machines.
+scalar_build="$repo_root/build-${sanitizers[0]}"
+echo "==> [scalar] re-running crypto/merkle tests with WEDGE_DISABLE_HWCRYPTO=1"
+WEDGE_DISABLE_HWCRYPTO=1 ctest --test-dir "$scalar_build" \
+  --output-on-failure -R 'crypto_test|merkle_test'
+echo "==> [scalar] OK"
+
+echo "==> running hot-path perf smoke"
+"$repo_root/tools/perf_smoke.sh"

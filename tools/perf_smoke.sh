@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Hot-path performance smoke test: builds the Release microbenchmarks,
+# runs the sealing hot path (SHA-256 singles + batch, Merkle build,
+# full-batch seal) with the dispatched backend AND with hardware crypto
+# disabled (WEDGE_DISABLE_HWCRYPTO=1), and writes BENCH_hotpath.json at
+# the repo root with before/after rows against the recorded seed
+# baselines.
+#
+# Exits non-zero when the tracked speedup criteria regress:
+#   - BM_MerkleBuild/2000 >= 2.0x over seed with the dispatched backend
+#   - BM_MerkleBuild/2000 >= 1.5x over seed with hardware crypto disabled
+#
+# Usage: tools/perf_smoke.sh [build_dir]   (default: build-perf)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-perf}"
+
+echo "==> [perf] configuring $build_dir (Release)"
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+echo "==> [perf] building microbench"
+cmake --build "$build_dir" -j "$(nproc)" --target microbench >/dev/null
+
+filter='BM_Sha256/1088|BM_Sha256Many/2000|BM_MerkleBuild/2000|BM_MerkleBuildParallel/2000|BM_SealBatch/2000'
+tmp_dispatched="$(mktemp)"
+tmp_scalar="$(mktemp)"
+trap 'rm -f "$tmp_dispatched" "$tmp_scalar"' EXIT
+
+echo "==> [perf] running hot-path benchmarks (dispatched backend)"
+"$build_dir/bench/microbench" --benchmark_filter="$filter" \
+  --benchmark_min_time=0.2 --benchmark_format=json >"$tmp_dispatched"
+
+echo "==> [perf] running hot-path benchmarks (WEDGE_DISABLE_HWCRYPTO=1)"
+WEDGE_DISABLE_HWCRYPTO=1 "$build_dir/bench/microbench" \
+  --benchmark_filter="$filter" --benchmark_min_time=0.2 \
+  --benchmark_format=json >"$tmp_scalar"
+
+python3 - "$tmp_dispatched" "$tmp_scalar" "$repo_root/BENCH_hotpath.json" <<'PY'
+import json, sys
+
+# Seed (pre-optimization) Release-build baselines, recorded before the
+# dispatched backends / batch hashing / copy-free sealing landed.
+SEED_NS = {
+    "BM_Sha256/1088": 6114,
+    "BM_MerkleBuild/2000": 14429974,
+}
+CRITERIA = [
+    # (benchmark, run, minimum speedup over seed)
+    ("BM_MerkleBuild/2000", "dispatched", 2.0),
+    ("BM_MerkleBuild/2000", "scalar_forced", 1.5),
+]
+
+def rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        # Normalize to nanoseconds.
+        unit = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[b["time_unit"]]
+        out[b["name"]] = b["real_time"] * unit
+    return out
+
+dispatched = rows(sys.argv[1])
+scalar = rows(sys.argv[2])
+
+report = {"seed_baseline_ns": SEED_NS, "benchmarks": []}
+for name in sorted(set(dispatched) | set(scalar)):
+    row = {"name": name}
+    if name in dispatched:
+        row["dispatched_ns"] = round(dispatched[name])
+    if name in scalar:
+        row["scalar_forced_ns"] = round(scalar[name])
+    if name in SEED_NS:
+        row["seed_ns"] = SEED_NS[name]
+        if name in dispatched:
+            row["dispatched_speedup"] = round(SEED_NS[name] / dispatched[name], 2)
+        if name in scalar:
+            row["scalar_forced_speedup"] = round(SEED_NS[name] / scalar[name], 2)
+    report["benchmarks"].append(row)
+
+failures = []
+for name, run, minimum in CRITERIA:
+    measured = dispatched if run == "dispatched" else scalar
+    if name not in measured:
+        failures.append(f"{name} ({run}): benchmark missing from output")
+        continue
+    speedup = SEED_NS[name] / measured[name]
+    status = "ok" if speedup >= minimum else "REGRESSED"
+    print(f"    {name} [{run}]: {speedup:.2f}x over seed "
+          f"(minimum {minimum:.1f}x) -> {status}")
+    if speedup < minimum:
+        failures.append(f"{name} ({run}): {speedup:.2f}x < {minimum:.1f}x")
+
+report["criteria_passed"] = not failures
+with open(sys.argv[3], "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"==> [perf] wrote {sys.argv[3]}")
+if failures:
+    print("==> [perf] FAILED: " + "; ".join(failures))
+    sys.exit(1)
+PY
+
+echo "==> [perf] OK"
