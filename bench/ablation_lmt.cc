@@ -9,6 +9,7 @@
 //       vs waiting for the digest on-chain (the SOCL discipline).
 
 #include "bench/bench_util.h"
+#include "bench/shard_equiv.h"
 
 namespace wedge {
 namespace bench {
@@ -118,6 +119,10 @@ void LazyVsEager() {
 
 void Main() {
   PrintHeader("Ablations: LMT design choices");
+  // The ablation baselines are single-node numbers; make sure the
+  // 1-shard engine still IS that baseline, byte for byte.
+  AssertDegenerateEngineMatchesBareNode(/*batch_size=*/2000,
+                                        /*n_entries=*/2000);
   StageTwoGrouping();
   ProofSizeVsBatch();
   PunishmentGas();

@@ -7,6 +7,7 @@
 // stage-2 digest write amortizes over more operations.
 
 #include "bench/bench_util.h"
+#include "bench/shard_equiv.h"
 
 namespace wedge {
 namespace bench {
@@ -50,6 +51,10 @@ double RunIngest(uint32_t batch_size, int followers, bool sign,
 
 void Main(int argc, char** argv) {
   PrintHeader("Figure 3: throughput & cost/op vs batch size");
+  // These single-node rows must also describe `wedgeblockd --shards 1`:
+  // pin the degenerate engine to the bare node before measuring.
+  AssertDegenerateEngineMatchesBareNode(/*batch_size=*/500,
+                                        /*n_entries=*/1000);
   const std::string telemetry_out = TelemetryOutArg(argc, argv);
   std::printf("%-10s %14s %18s %16s %14s\n", "batch", "tput(ops/s)",
               "tput-repl(ops/s)", "merkle-only(ops/s)", "ETH/op");

@@ -17,13 +17,26 @@
 //           [--connections N] [--duration-s N] [--batch N] [--value-bytes N]
 //           [--read-fraction F] [--server-workers N] [--verify-sigs]
 //           [--seed N] [--telemetry-out PATH]
+//           [--tenants N] [--tenant-skew S] [--server-shards N]
+//           [--tenant-rate N] [--tenant-burst N] [--tenant-inflight N]
 //   loadgen --host H --port P ...   # against an external wedgeblockd
 //
 // With --spawn-server the server runs in-process on an ephemeral loopback
 // port (the ctest smoke run uses this); traffic still crosses real TCP.
+//
+// Multi-tenant mode (--tenants > 1): every operation first samples a
+// tenant from a Zipf(S) distribution (--tenant-skew 0 = uniform), signs
+// with that tenant's own publisher keypair, and uses the tenant-scoped
+// RPCs against a sharded daemon (wedgeblockd --shards, or the in-process
+// sharded engine with --spawn-server). The JSONL row then carries
+// per-tenant append p50/p99 and quota-rejection counts — a rejection is
+// a typed ResourceExhausted status from admission control, counted
+// separately from transport errors. --tenant-rate/--tenant-burst/
+// --tenant-inflight set the spawned server's admission quotas.
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <thread>
 #include <vector>
@@ -31,6 +44,8 @@
 #include "bench/bench_util.h"
 #include "rpc/rpc_server.h"
 #include "rpc/tcp_client.h"
+#include "shard/shard_rpc.h"
+#include "shard/sharded_engine.h"
 
 namespace wedge {
 namespace {
@@ -51,6 +66,12 @@ struct Options {
   bool verify_sigs = false;
   uint64_t seed = 42;
   std::string telemetry_out;
+  uint64_t tenants = 1;
+  double tenant_skew = 0;   ///< Zipf exponent (0 = uniform).
+  uint32_t server_shards = 2;  ///< Spawned server shards (tenants > 1).
+  uint64_t tenant_rate = 0;
+  uint64_t tenant_burst = 0;
+  uint64_t tenant_inflight = 0;
 };
 
 int Usage(const char* argv0) {
@@ -60,7 +81,9 @@ int Usage(const char* argv0) {
       "          [--mode open|closed] [--rate OPS_PER_S] [--threads N]\n"
       "          [--connections N] [--duration-s N] [--batch N]\n"
       "          [--value-bytes N] [--read-fraction F] [--server-workers N]\n"
-      "          [--verify-sigs] [--seed N] [--telemetry-out PATH]\n",
+      "          [--verify-sigs] [--seed N] [--telemetry-out PATH]\n"
+      "          [--tenants N] [--tenant-skew S] [--server-shards N]\n"
+      "          [--tenant-rate N] [--tenant-burst N] [--tenant-inflight N]\n",
       argv0);
   return 2;
 }
@@ -118,6 +141,25 @@ Result<Options> Parse(int argc, char** argv) {
       opts.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag == "--telemetry-out") {
       WEDGE_ASSIGN_OR_RETURN(opts.telemetry_out, next());
+    } else if (flag == "--tenants") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.tenants = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--tenant-skew") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.tenant_skew = std::atof(v.c_str());
+    } else if (flag == "--server-shards") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.server_shards =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (flag == "--tenant-rate") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.tenant_rate = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--tenant-burst") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.tenant_burst = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--tenant-inflight") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.tenant_inflight = std::strtoull(v.c_str(), nullptr, 10);
     } else {
       return Status::InvalidArgument("unknown flag " + flag);
     }
@@ -127,44 +169,86 @@ Result<Options> Parse(int argc, char** argv) {
   }
   if (opts.threads < 1 || opts.connections < 1 || opts.batch == 0 ||
       opts.duration_s < 1 || opts.rate <= 0 || opts.read_fraction < 0 ||
-      opts.read_fraction > 1) {
+      opts.read_fraction > 1 || opts.tenants < 1 || opts.tenant_skew < 0 ||
+      opts.server_shards < 1 || opts.tenants > 4096) {
     return Status::InvalidArgument("bad flag value");
   }
   return opts;
 }
 
-/// Shared run state: the pre-signed request corpus, indices returned by
-/// appends (read targets), and the client-side latency registry.
-struct RunState {
+/// Zipf(s) over [0, n): tenant 0 is the hottest. s = 0 degenerates to
+/// uniform. Inverse-CDF sampling against a precomputed table.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) {
+    cdf_.reserve(n);
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_.push_back(sum);
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    size_t i = static_cast<size_t>(
+        std::upper_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    return std::min(i, cdf_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Per-tenant slice of the workload: its own publisher keypair (signed
+/// corpus), its own readable-index sample (log ids are tenant-routed in
+/// sharded mode), and per-tenant latency/rejection metrics.
+struct TenantState {
   std::vector<std::vector<AppendRequest>> corpus;  // Batches to cycle.
   std::mutex indices_mu;
   std::vector<EntryIndex> indices;
+  Histogram* append_hist;
+  Counter* quota_rejections;
+  std::atomic<uint64_t> next_batch{0};
+};
+
+/// Shared run state: per-tenant corpora and the client-side registry.
+struct RunState {
+  std::vector<std::unique_ptr<TenantState>> tenants;
+  std::unique_ptr<ZipfSampler> zipf;
   Telemetry telemetry{RealClock::Global()};
   Histogram* append_hist;
   Histogram* read_hist;
   Counter* append_ops;
   Counter* read_ops;
   Counter* errors;
+  Counter* quota_rejections;
   Counter* sched_lagged;
-  std::atomic<uint64_t> next_batch{0};
 };
 
 void DoOne(const Options& opts, RunState& state, TcpNodeClient& client,
            Rng& rng) {
+  // Tenant 0 is the only tenant (and gets the legacy ops) when --tenants
+  // is 1, so the single-tenant smoke run exercises the original path.
+  size_t tenant = state.zipf->Sample(rng);
+  TenantState& ten = *state.tenants[tenant];
+  bool tenant_ops = opts.tenants > 1;
   bool do_read = rng.NextDouble() < opts.read_fraction;
   if (do_read) {
     EntryIndex target;
     {
-      std::lock_guard<std::mutex> lock(state.indices_mu);
-      if (state.indices.empty()) {
+      std::lock_guard<std::mutex> lock(ten.indices_mu);
+      if (ten.indices.empty()) {
         do_read = false;  // Nothing appended yet: fall through to append.
       } else {
-        target = state.indices[rng.Uniform(state.indices.size())];
+        target = ten.indices[rng.Uniform(ten.indices.size())];
       }
     }
     if (do_read) {
       Micros start = RealClock::Global()->NowMicros();
-      auto response = client.ReadOne(target);
+      auto response = tenant_ops ? client.ReadOneForTenant(tenant, target)
+                                 : client.ReadOne(target);
       state.read_hist->Record(RealClock::Global()->NowMicros() - start);
       if (response.ok()) {
         state.read_ops->Add(1);
@@ -174,19 +258,28 @@ void DoOne(const Options& opts, RunState& state, TcpNodeClient& client,
       return;
     }
   }
-  uint64_t i = state.next_batch.fetch_add(1) % state.corpus.size();
+  uint64_t i = ten.next_batch.fetch_add(1) % ten.corpus.size();
   Micros start = RealClock::Global()->NowMicros();
-  auto responses = client.Append(state.corpus[i]);
-  state.append_hist->Record(RealClock::Global()->NowMicros() - start);
+  auto responses = tenant_ops ? client.AppendForTenant(tenant, ten.corpus[i])
+                              : client.Append(ten.corpus[i]);
+  Micros took = RealClock::Global()->NowMicros() - start;
+  state.append_hist->Record(took);
+  ten.append_hist->Record(took);
   if (!responses.ok()) {
-    state.errors->Add(1);
+    if (responses.status().code() == Code::kResourceExhausted) {
+      // Admission control said no — a quota signal, not a failure.
+      ten.quota_rejections->Add(1);
+      state.quota_rejections->Add(1);
+    } else {
+      state.errors->Add(1);
+    }
     return;
   }
   state.append_ops->Add(1);
   // Keep a bounded sample of readable indices.
-  std::lock_guard<std::mutex> lock(state.indices_mu);
-  if (state.indices.size() < 65536 && !responses->empty()) {
-    state.indices.push_back(responses->front().index);
+  std::lock_guard<std::mutex> lock(ten.indices_mu);
+  if (ten.indices.size() < 65536 && !responses->empty()) {
+    ten.indices.push_back(responses->front().index);
   }
 }
 
@@ -234,12 +327,49 @@ bench::JsonRow& StampQuantiles(bench::JsonRow& row, const MetricsSnapshot& snap,
 int Run(const Options& opts) {
   using bench::JsonRow;
 
-  // Optional in-process server (still real TCP over loopback).
+  // Optional in-process server (still real TCP over loopback). With
+  // --tenants > 1 the spawned server is the sharded engine so the
+  // tenant-scoped ops and admission quotas are live end to end.
   std::unique_ptr<Deployment> deployment;
+  std::unique_ptr<ShardedDeployment> sharded;
   std::unique_ptr<RpcServer> server;
   std::string host = opts.host;
   uint16_t port = opts.port;
-  if (opts.spawn_server) {
+  if (opts.spawn_server && opts.tenants > 1) {
+    ShardedDeploymentConfig config;
+    config.engine.num_shards = opts.server_shards;
+    config.engine.node.batch_size = opts.batch;
+    config.engine.node.worker_threads = 4;
+    config.engine.node.verify_client_signatures = opts.verify_sigs;
+    config.engine.forest_stage2 = opts.server_shards > 1;
+    config.engine.quota.entries_per_second = opts.tenant_rate;
+    config.engine.quota.burst_entries = opts.tenant_burst;
+    config.engine.quota.max_inflight_appends = opts.tenant_inflight;
+    auto d = ShardedDeployment::Create(config);
+    if (!d.ok()) {
+      std::fprintf(stderr, "sharded deployment failed: %s\n",
+                   d.status().ToString().c_str());
+      return 1;
+    }
+    sharded = std::move(d).value();
+    RpcServerConfig server_config;
+    server_config.num_workers = opts.server_workers;
+    ShardedLogEngine& engine = sharded->engine();
+    server = std::make_unique<RpcServer>(
+        [&engine](std::string_view op, const Bytes& body) {
+          return DispatchEngineRpc(engine, op, body);
+        },
+        KeyPair::FromSeed(config.engine_key_seed), server_config,
+        &sharded->telemetry());
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    host = "127.0.0.1";
+    port = server->port();
+  } else if (opts.spawn_server) {
     DeploymentConfig config;
     config.node.batch_size = opts.batch;
     config.node.worker_threads = 4;
@@ -278,20 +408,38 @@ int Run(const Options& opts) {
       state.telemetry.metrics.GetCounter("wedge.loadgen.appends");
   state.read_ops = state.telemetry.metrics.GetCounter("wedge.loadgen.reads");
   state.errors = state.telemetry.metrics.GetCounter("wedge.loadgen.errors");
+  state.quota_rejections =
+      state.telemetry.metrics.GetCounter("wedge.loadgen.quota_rejections");
   state.sched_lagged =
       state.telemetry.metrics.GetCounter("wedge.loadgen.sched_lagged");
-  KeyPair publisher = KeyPair::FromSeed(opts.seed);
-  auto kvs = bench::MakeWorkload(opts.batch * 8, opts.value_bytes,
-                                 bench::kDefaultKeySize, opts.seed);
-  uint64_t seq = 0;
-  for (size_t b = 0; b < 8; ++b) {
-    std::vector<AppendRequest> batch;
-    batch.reserve(opts.batch);
-    for (uint32_t i = 0; i < opts.batch; ++i) {
-      const auto& [k, v] = kvs[b * opts.batch + i];
-      batch.push_back(AppendRequest::Make(publisher, seq++, k, v));
+  state.zipf = std::make_unique<ZipfSampler>(opts.tenants, opts.tenant_skew);
+  // Fewer pre-signed batches per tenant as the tenant count grows, so a
+  // 1024-tenant run does not sign a million requests up front.
+  size_t batches_per_tenant = opts.tenants > 1 ? 4 : 8;
+  for (uint64_t t = 0; t < opts.tenants; ++t) {
+    auto ten = std::make_unique<TenantState>();
+    // Tenant t signs with its own keypair, so per-tenant streams are
+    // independently attributable (and sequence numbers independent).
+    KeyPair publisher = KeyPair::FromSeed(opts.seed + t * 7919);
+    auto kvs =
+        bench::MakeWorkload(opts.batch * batches_per_tenant, opts.value_bytes,
+                            bench::kDefaultKeySize, opts.seed + t);
+    uint64_t seq = 0;
+    for (size_t b = 0; b < batches_per_tenant; ++b) {
+      std::vector<AppendRequest> batch;
+      batch.reserve(opts.batch);
+      for (uint32_t i = 0; i < opts.batch; ++i) {
+        const auto& [k, v] = kvs[b * opts.batch + i];
+        batch.push_back(AppendRequest::Make(publisher, seq++, k, v));
+      }
+      ten->corpus.push_back(std::move(batch));
     }
-    state.corpus.push_back(std::move(batch));
+    std::string prefix = "wedge.loadgen.t" + std::to_string(t);
+    ten->append_hist =
+        state.telemetry.metrics.GetHistogram(prefix + ".append_us");
+    ten->quota_rejections =
+        state.telemetry.metrics.GetCounter(prefix + ".quota_rejections");
+    state.tenants.push_back(std::move(ten));
   }
 
   TcpClientConfig client_config;
@@ -347,6 +495,33 @@ int Run(const Options& opts) {
   }
   StampQuantiles(row, snap, "wedge.loadgen.append_us", "append_us");
   StampQuantiles(row, snap, "wedge.loadgen.read_us", "read_us");
+  if (opts.tenants > 1) {
+    row.Field("tenants", opts.tenants)
+        .Field("tenant_skew", opts.tenant_skew)
+        .Field("quota_rejections",
+               snap.CounterValue("wedge.loadgen.quota_rejections"));
+    for (uint64_t t = 0; t < opts.tenants; ++t) {
+      std::string metric = "wedge.loadgen.t" + std::to_string(t);
+      std::string prefix = "t" + std::to_string(t);
+      bench::StampHistogram(row, snap, metric + ".append_us",
+                            prefix + "_append_us");
+      row.Field(prefix + "_quota_rejections",
+                snap.CounterValue(metric + ".quota_rejections"));
+    }
+  }
+  if (sharded != nullptr) {
+    MetricsSnapshot server_snap = sharded->telemetry().metrics.Snapshot();
+    row.Field("server_shards", static_cast<uint64_t>(opts.server_shards))
+        .Field("server_requests",
+               server_snap.CounterValue("wedge.rpc.requests"))
+        .Field("server_quota_rejections",
+               server_snap.CounterValue("wedge.engine.quota_rejections_rate") +
+                   server_snap.CounterValue(
+                       "wedge.engine.quota_rejections_inflight") +
+                   server_snap.CounterValue(
+                       "wedge.engine.quota_rejections_tenant"));
+    StampQuantiles(row, server_snap, "wedge.rpc.append_us", "server_append_us");
+  }
   if (deployment != nullptr) {
     // Server-side view (same process when --spawn-server).
     MetricsSnapshot server_snap = deployment->telemetry().metrics.Snapshot();
@@ -365,6 +540,9 @@ int Run(const Options& opts) {
                              /*truncate=*/true);
   if (deployment != nullptr) {
     bench::MaybeWriteTelemetry(opts.telemetry_out, deployment->telemetry());
+  }
+  if (sharded != nullptr) {
+    bench::MaybeWriteTelemetry(opts.telemetry_out, sharded->telemetry());
   }
   return errors > 0 && appends + reads == 0 ? 1 : 0;
 }

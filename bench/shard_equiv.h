@@ -1,0 +1,74 @@
+#ifndef WEDGEBLOCK_BENCH_SHARD_EQUIV_H_
+#define WEDGEBLOCK_BENCH_SHARD_EQUIV_H_
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "shard/sharded_engine.h"
+
+namespace wedge {
+namespace bench {
+
+/// Regression guard for the sharded engine's degenerate configuration:
+/// a 1-shard engine with classic stage 2 must be the bare OffchainNode,
+/// byte for byte. Feeds the same unsigned workload to both (same engine
+/// key, so RFC 6979 signatures are deterministic) and compares every
+/// serialized Stage1Response. Aborts on divergence — a silent behaviour
+/// fork here would invalidate every single-node figure against the
+/// sharded daemon.
+inline void AssertDegenerateEngineMatchesBareNode(uint32_t batch_size,
+                                                  size_t n_entries,
+                                                  uint64_t seed = 42) {
+  OffchainNodeConfig node_config;
+  node_config.batch_size = batch_size;
+  node_config.worker_threads = 2;
+  node_config.verify_client_signatures = false;
+  node_config.auto_stage2 = false;  // No chain attached below.
+  KeyPair key = KeyPair::FromSeed(0xED6E);
+
+  auto kvs = MakeWorkload(n_entries, kDefaultValueSize, kDefaultKeySize, seed);
+  auto reqs = MakeUnsignedRequests(KeyPair::FromSeed(seed).address(), kvs);
+
+  Telemetry node_telemetry;
+  OffchainNode node(node_config, key, std::make_unique<MemoryLogStore>(),
+                    /*chain=*/nullptr, Address{}, &node_telemetry);
+  auto bare = node.Append(reqs);
+
+  ShardedEngineConfig engine_config;
+  engine_config.num_shards = 1;
+  engine_config.node = node_config;
+  engine_config.forest_stage2 = false;  // Degenerate: classic stage 2.
+  Telemetry engine_telemetry;
+  auto engine = ShardedLogEngine::Create(engine_config, key, {},
+                                         /*chain=*/nullptr, Address{},
+                                         &engine_telemetry);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "degenerate engine create failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::abort();
+  }
+  auto sharded = (*engine)->Append(/*tenant=*/0, reqs);
+
+  if (!bare.ok() || !sharded.ok() || bare->size() != sharded->size()) {
+    std::fprintf(stderr, "degenerate-equivalence appends diverged\n");
+    std::abort();
+  }
+  for (size_t i = 0; i < bare->size(); ++i) {
+    if ((*bare)[i].Serialize() != (*sharded)[i].Serialize()) {
+      std::fprintf(stderr,
+                   "degenerate 1-shard engine diverged from the bare node "
+                   "at response %zu\n",
+                   i);
+      std::abort();
+    }
+  }
+  std::printf(
+      "degenerate check: 1-shard engine == bare node (%zu responses "
+      "byte-identical)\n",
+      bare->size());
+}
+
+}  // namespace bench
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_BENCH_SHARD_EQUIV_H_

@@ -32,8 +32,46 @@ std::string_view CodeName(Code code) {
       return "Verification";
     case Code::kTimeout:
       return "Timeout";
+    case Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
+}
+
+bool CodeFromName(std::string_view name, Code* out) {
+  static constexpr Code kAll[] = {
+      Code::kOk,           Code::kInvalidArgument,
+      Code::kNotFound,     Code::kAlreadyExists,
+      Code::kPermissionDenied, Code::kFailedPrecondition,
+      Code::kOutOfRange,   Code::kInternal,
+      Code::kUnavailable,  Code::kCorruption,
+      Code::kInsufficientFunds, Code::kReverted,
+      Code::kVerification, Code::kTimeout,
+      Code::kResourceExhausted,
+  };
+  for (Code c : kAll) {
+    if (CodeName(c) == name) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Status::FromWireString(std::string_view wire) {
+  if (wire == "OK") return Status::Ok();
+  std::string_view name = wire;
+  std::string_view message;
+  size_t sep = wire.find(": ");
+  if (sep != std::string_view::npos) {
+    name = wire.substr(0, sep);
+    message = wire.substr(sep + 2);
+  }
+  Code code;
+  if (!CodeFromName(name, &code) || code == Code::kOk) {
+    return Status::Unavailable("remote error: " + std::string(wire));
+  }
+  return Status(code, std::string(message));
 }
 
 std::string Status::ToString() const {

@@ -24,10 +24,15 @@ enum class Code {
   kReverted,       ///< A smart-contract call reverted.
   kVerification,   ///< A cryptographic proof or signature failed to verify.
   kTimeout,
+  kResourceExhausted,  ///< A quota (rate, in-flight, tenancy) was exceeded.
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
 std::string_view CodeName(Code code);
+
+/// Inverse of CodeName: "InvalidArgument" -> Code::kInvalidArgument.
+/// Returns false when `name` is not a known code name.
+bool CodeFromName(std::string_view name, Code* out);
 
 /// Result of a fallible operation: a code plus an optional message.
 ///
@@ -88,6 +93,15 @@ class Status {
   static Status Timeout(std::string msg) {
     return Status(Code::kTimeout, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+
+  /// Inverse of ToString(): reconstructs a typed Status from a
+  /// "<CodeName>: <message>" string (the encoding RPC error responses carry
+  /// on the wire). Unrecognized strings come back as kUnavailable with the
+  /// raw text preserved, so remote errors are never silently swallowed.
+  static Status FromWireString(std::string_view wire);
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }

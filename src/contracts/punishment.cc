@@ -1,5 +1,6 @@
 #include "contracts/punishment.h"
 
+#include "contracts/forest_record.h"
 #include "contracts/stage1_message.h"
 #include "crypto/ecdsa.h"
 
@@ -15,6 +16,9 @@ Result<Bytes> PunishmentContract::Call(CallContext& ctx,
     return Bytes();
   }
   if (method == "invokePunishment") return InvokePunishment(ctx, args);
+  if (method == "invokePunishmentForest") {
+    return InvokePunishmentForest(ctx, args);
+  }
   if (method == "fileOmissionClaim") return FileOmissionClaim(ctx, args);
   if (method == "refundEscrow") return RefundEscrow(ctx);
   if (method == "isPunished") {
@@ -98,7 +102,104 @@ Result<Bytes> PunishmentContract::InvokePunishment(CallContext& ctx,
   if (!lied) {
     return Status::Reverted("InvokePunishment: no inconsistency proven");
   }
+  return Punish(ctx, index);
+}
 
+Result<Bytes> PunishmentContract::InvokePunishmentForest(CallContext& ctx,
+                                                         const Bytes& args) {
+  ctx.gas().ChargeSload();
+  if (punished_) {
+    return Status::Reverted(
+        "InvokePunishmentForest: contract already settled");
+  }
+
+  ByteReader reader(args);
+  WEDGE_ASSIGN_OR_RETURN(uint64_t index, reader.ReadU64());
+  WEDGE_ASSIGN_OR_RETURN(Bytes root_raw, reader.ReadRaw(32));
+  WEDGE_ASSIGN_OR_RETURN(Bytes proof_raw, reader.ReadBytes());
+  WEDGE_ASSIGN_OR_RETURN(Bytes raw_data, reader.ReadBytes());
+  WEDGE_ASSIGN_OR_RETURN(Bytes sig_raw, reader.ReadBytes());
+  WEDGE_ASSIGN_OR_RETURN(Bytes agg_raw, reader.ReadBytes());
+  WEDGE_ASSIGN_OR_RETURN(Hash256 claimed_root, HashFromBytes(root_raw));
+  WEDGE_ASSIGN_OR_RETURN(MerkleProof proof,
+                         MerkleProof::Deserialize(proof_raw));
+  WEDGE_ASSIGN_OR_RETURN(EcdsaSignature signature,
+                         EcdsaSignature::Deserialize(sig_raw));
+  WEDGE_ASSIGN_OR_RETURN(AggregationProof agg,
+                         AggregationProof::Deserialize(agg_raw));
+
+  // Both statements must be attributable to the Offchain Node's key —
+  // otherwise anyone could fabricate a "corrupt" aggregation proof and
+  // drain an honest node's escrow.
+  Hash256 msg_hash = Stage1MessageHash(index, claimed_root, proof, raw_data);
+  ctx.gas().Charge(2 * gas::kEcrecover + gas::Sha256Gas(raw_data.size()));
+  if (RecoverSigner(msg_hash, signature) != offchain_address_) {
+    return Status::Reverted(
+        "InvokePunishmentForest: stage-1 signature is not from the "
+        "Offchain Node");
+  }
+  if (RecoverSigner(agg.SignedHash(), agg.engine_signature) !=
+      offchain_address_) {
+    return Status::Reverted(
+        "InvokePunishmentForest: aggregation proof is not from the "
+        "Offchain Node");
+  }
+  // The two statements must speak about the same log position.
+  if (agg.log_id != index) {
+    return Status::Reverted(
+        "InvokePunishmentForest: aggregation proof binds another position");
+  }
+
+  // Signed-statement inconsistencies are punishable without touching the
+  // chain: (a) the aggregation commits a different batch root than the
+  // node signed in stage 1 (equivocation between the two levels), or
+  // (b/c) either signed proof fails to reconstruct its own signed root.
+  ctx.gas().Charge(gas::Sha256Gas(raw_data.size()) +
+                   (proof.path.size() + agg.forest_path.path.size() + 1) *
+                       gas::Sha256Gas(65));
+  if (agg.mroot != claimed_root) return Punish(ctx, index);
+  if (ComputeRootFromProof(raw_data, proof) != claimed_root) {
+    return Punish(ctx, index);
+  }
+  if (!agg.PathValid()) return Punish(ctx, index);
+
+  // Statements are internally consistent; compare against the forest
+  // root the chain actually recorded for that epoch.
+  Bytes query;
+  PutU64(query, agg.epoch);
+  WEDGE_ASSIGN_OR_RETURN(
+      Bytes recorded,
+      ctx.StaticCall(root_record_address_, "getForestRoot", query));
+  ByteReader rec_reader(recorded);
+  WEDGE_ASSIGN_OR_RETURN(Bytes found, rec_reader.ReadRaw(1));
+  WEDGE_ASSIGN_OR_RETURN(Bytes recorded_root_raw, rec_reader.ReadRaw(32));
+  WEDGE_ASSIGN_OR_RETURN(Hash256 recorded_root,
+                         HashFromBytes(recorded_root_raw));
+
+  if (found[0] == 0) {
+    // No forest root filed at that epoch: same lazy-stage-2 rule as the
+    // classic path — the client must file a claim and wait out the grace
+    // period before absence becomes punishable.
+    ctx.gas().ChargeSload();
+    auto claim = omission_claims_.find(index);
+    if (claim == omission_claims_.end()) {
+      return Status::Reverted(
+          "InvokePunishmentForest: no forest root recorded; file an "
+          "omission claim first");
+    }
+    if (ctx.block_timestamp() < claim->second + omission_grace_seconds_) {
+      return Status::Reverted(
+          "InvokePunishmentForest: omission grace period still running");
+    }
+    return Punish(ctx, index);
+  }
+  if (recorded_root != agg.forest_root) return Punish(ctx, index);
+
+  return Status::Reverted(
+      "InvokePunishmentForest: no inconsistency proven");
+}
+
+Result<Bytes> PunishmentContract::Punish(CallContext& ctx, uint64_t index) {
   Wei escrow = ctx.SelfBalance();
   WEDGE_RETURN_IF_ERROR(ctx.TransferOut(client_address_, escrow));
   punished_ = true;

@@ -32,6 +32,19 @@ namespace wedge {
 ///   "refundEscrow": [] — returns the escrow to the Offchain Node after
 ///       release_time if no punishment occurred.
 ///   "isPunished": [] -> [u8]
+///   "invokePunishmentForest":
+///       [u64 index][32B merkleRoot][bytes merkleProof][bytes rawData]
+///       [bytes signature(65)][bytes aggregationProof] -> [u8 punished]
+///     Two-level variant for sharded deployments: the stage-1 evidence is
+///     as above, plus an engine-signed AggregationProof (see
+///     contracts/forest_record.h) binding the batch root into an epoch's
+///     forest root. Both signatures must recover to offchain_address —
+///     unattributable evidence always reverts. Punishes when the signed
+///     statements are inconsistent with each other (aggregation mroot vs
+///     stage-1 root — equivocation), internally (either proof fails to
+///     reconstruct its signed root), or with the chain (recorded forest
+///     root at the epoch differs). A missing forest record falls back to
+///     the same omission-claim / grace-period flow, keyed by log index.
 class PunishmentContract : public Contract {
  public:
   PunishmentContract(const Address& client_address,
@@ -54,8 +67,10 @@ class PunishmentContract : public Contract {
 
  private:
   Result<Bytes> InvokePunishment(CallContext& ctx, const Bytes& args);
+  Result<Bytes> InvokePunishmentForest(CallContext& ctx, const Bytes& args);
   Result<Bytes> FileOmissionClaim(CallContext& ctx, const Bytes& args);
   Result<Bytes> RefundEscrow(CallContext& ctx);
+  Result<Bytes> Punish(CallContext& ctx, uint64_t index);
 
   const Address client_address_;
   const Address offchain_address_;

@@ -34,7 +34,70 @@ Result<Bytes> RootRecordContract::Call(CallContext& ctx,
     PutU64(out, tail_idx_);
     return out;
   }
+  if (method == "updateForestRoot") return UpdateForestRoot(ctx, args);
+  if (method == "getForestRoot") return GetForestRoot(ctx, args);
+  if (method == "forestTail") {
+    ctx.gas().ChargeSload();
+    Bytes out;
+    PutU64(out, forest_tail_);
+    return out;
+  }
   return Status::NotFound("RootRecord: unknown method");
+}
+
+Result<Bytes> RootRecordContract::UpdateForestRoot(CallContext& ctx,
+                                                   const Bytes& args) {
+  if (authorized_.find(ctx.sender()) == authorized_.end()) {
+    return Status::Reverted(
+        "UpdateForestRoot: caller is not offchain_address");
+  }
+  ByteReader reader(args);
+  WEDGE_ASSIGN_OR_RETURN(uint64_t epoch, reader.ReadU64());
+  WEDGE_ASSIGN_OR_RETURN(uint32_t leaf_count, reader.ReadU32());
+  if (leaf_count == 0 || leaf_count > kMaxRootsPerCall) {
+    return Status::Reverted("UpdateForestRoot: bad leaf count");
+  }
+  WEDGE_ASSIGN_OR_RETURN(Bytes raw, reader.ReadRaw(32));
+  WEDGE_ASSIGN_OR_RETURN(Hash256 root, HashFromBytes(raw));
+  if (!reader.AtEnd()) {
+    return Status::Reverted("UpdateForestRoot: trailing calldata");
+  }
+  // Epochs extend sequentially, and each is written at most once — the
+  // same immutability rule the per-batch records obey.
+  ctx.gas().ChargeSload();  // Read forest_tail.
+  if (epoch != forest_tail_) {
+    return Status::Reverted("UpdateForestRoot: epoch != forestTail");
+  }
+  forest_map_[epoch] = ForestRecord{root, leaf_count};
+  ctx.gas().ChargeSstore(/*fresh_slot=*/true);
+  forest_tail_ = epoch + 1;
+  ctx.gas().ChargeSstore(/*fresh_slot=*/false);
+
+  Bytes payload;
+  PutU64(payload, epoch);
+  PutU32(payload, leaf_count);
+  Append(payload, HashToBytes(root));
+  ctx.Emit("ForestRootRecorded", payload);
+  return Bytes();
+}
+
+Result<Bytes> RootRecordContract::GetForestRoot(CallContext& ctx,
+                                                const Bytes& args) const {
+  ByteReader reader(args);
+  WEDGE_ASSIGN_OR_RETURN(uint64_t epoch, reader.ReadU64());
+  ctx.gas().ChargeSload();
+  Bytes out;
+  auto it = forest_map_.find(epoch);
+  if (it == forest_map_.end()) {
+    out.push_back(0);
+    Append(out, Bytes(32, 0));
+    PutU32(out, 0);
+  } else {
+    out.push_back(1);
+    Append(out, HashToBytes(it->second.root));
+    PutU32(out, it->second.leaf_count);
+  }
+  return out;
 }
 
 Result<Bytes> RootRecordContract::UpdateRecords(CallContext& ctx,
@@ -103,6 +166,14 @@ Result<Hash256> RootRecordContract::RootAt(uint64_t index) const {
     return Status::NotFound("no root recorded at index");
   }
   return it->second;
+}
+
+Result<Hash256> RootRecordContract::ForestRootAt(uint64_t epoch) const {
+  auto it = forest_map_.find(epoch);
+  if (it == forest_map_.end()) {
+    return Status::NotFound("no forest root recorded at epoch");
+  }
+  return it->second.root;
 }
 
 }  // namespace wedge

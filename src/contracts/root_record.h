@@ -24,6 +24,15 @@ namespace wedge {
 ///       Range getter for auditors: one eth_call covers a whole audit
 ///       window instead of one call per position.
 ///   "tailIdx": [] -> [u64 tail]
+///
+/// Forest records (sharded deployments, see contracts/forest_record.h):
+///   "updateForestRoot": [u64 epoch][u32 leaf_count][32B root]
+///       Appends one second-level (forest) root per epoch. Same
+///       authorization and sequentiality rules as updateRecords, on an
+///       independent index space — classic per-batch records and epoch
+///       forest records can coexist in one deployment.
+///   "getForestRoot": [u64 epoch] -> [u8 found][32B root][u32 leaf_count]
+///   "forestTail": [] -> [u64 next epoch]
 class RootRecordContract : public Contract {
  public:
   explicit RootRecordContract(const Address& offchain_address)
@@ -44,20 +53,32 @@ class RootRecordContract : public Contract {
 
   /// Direct read access for tests/tools (mirrors getRootAtIndex).
   Result<Hash256> RootAt(uint64_t index) const;
+  /// Direct read access to forest records (mirrors getForestRoot).
+  Result<Hash256> ForestRootAt(uint64_t epoch) const;
   uint64_t tail_idx() const { return tail_idx_; }
+  uint64_t forest_tail() const { return forest_tail_; }
   const Address& offchain_address() const { return offchain_address_; }
 
   /// Maximum digests accepted per updateRecords call.
   static constexpr uint32_t kMaxRootsPerCall = 4096;
 
  private:
+  struct ForestRecord {
+    Hash256 root;
+    uint32_t leaf_count = 0;
+  };
+
   Result<Bytes> UpdateRecords(CallContext& ctx, const Bytes& args);
   Result<Bytes> GetRootAtIndex(CallContext& ctx, const Bytes& args) const;
+  Result<Bytes> UpdateForestRoot(CallContext& ctx, const Bytes& args);
+  Result<Bytes> GetForestRoot(CallContext& ctx, const Bytes& args) const;
 
   const Address offchain_address_;
   const std::unordered_set<Address, AddressHasher> authorized_;
   std::unordered_map<uint64_t, Hash256> record_map_;
   uint64_t tail_idx_ = 0;
+  std::unordered_map<uint64_t, ForestRecord> forest_map_;
+  uint64_t forest_tail_ = 0;
 };
 
 }  // namespace wedge

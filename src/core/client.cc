@@ -37,6 +37,33 @@ Result<CommitCheck> ClientBase::CheckBlockchainCommit(
                                           : CommitCheck::kMismatch;
 }
 
+bool ClientBase::VerifyAggregation(const Stage1Response& response,
+                                   const AggregationProof& agg) const {
+  if (agg.log_id != response.proof.log_id ||
+      agg.mroot != response.proof.mroot) {
+    return false;
+  }
+  return agg.Verify(node_->address());
+}
+
+Result<CommitCheck> ClientBase::CheckForestCommit(
+    const AggregationProof& agg) const {
+  if (chain_ == nullptr) {
+    return Status::FailedPrecondition("no blockchain attached");
+  }
+  Bytes query;
+  PutU64(query, agg.epoch);
+  WEDGE_ASSIGN_OR_RETURN(
+      Bytes raw, chain_->Call(root_record_address_, "getForestRoot", query));
+  ByteReader reader(raw);
+  WEDGE_ASSIGN_OR_RETURN(Bytes found, reader.ReadRaw(1));
+  WEDGE_ASSIGN_OR_RETURN(Bytes root_raw, reader.ReadRaw(32));
+  if (found[0] == 0) return CommitCheck::kNotYetCommitted;
+  WEDGE_ASSIGN_OR_RETURN(Hash256 recorded, HashFromBytes(root_raw));
+  return recorded == agg.forest_root ? CommitCheck::kBlockchainCommitted
+                                     : CommitCheck::kMismatch;
+}
+
 Result<std::vector<std::pair<bool, Hash256>>> ClientBase::FetchRootRange(
     uint64_t first, uint64_t last) const {
   if (chain_ == nullptr) {
@@ -173,6 +200,25 @@ Result<Receipt> PublisherClient::TriggerPunishment(
   PutBytes(tx.calldata, response.proof.merkle_proof.Serialize());
   PutBytes(tx.calldata, response.entry);
   PutBytes(tx.calldata, response.offchain_signature.Serialize());
+  WEDGE_ASSIGN_OR_RETURN(TxId id, chain_->Submit(tx));
+  return chain_->WaitForReceipt(id);
+}
+
+Result<Receipt> PublisherClient::TriggerForestPunishment(
+    const Stage1Response& response, const AggregationProof& agg) {
+  if (chain_ == nullptr) {
+    return Status::FailedPrecondition("no blockchain attached");
+  }
+  Transaction tx;
+  tx.from = key_.address();
+  tx.to = punishment_address_;
+  tx.method = "invokePunishmentForest";
+  PutU64(tx.calldata, response.proof.log_id);
+  Append(tx.calldata, HashToBytes(response.proof.mroot));
+  PutBytes(tx.calldata, response.proof.merkle_proof.Serialize());
+  PutBytes(tx.calldata, response.entry);
+  PutBytes(tx.calldata, response.offchain_signature.Serialize());
+  PutBytes(tx.calldata, agg.Serialize());
   WEDGE_ASSIGN_OR_RETURN(TxId id, chain_->Submit(tx));
   return chain_->WaitForReceipt(id);
 }

@@ -1,6 +1,7 @@
 #ifndef WEDGEBLOCK_CORE_CLIENT_H_
 #define WEDGEBLOCK_CORE_CLIENT_H_
 
+#include "contracts/forest_record.h"
 #include "core/offchain_node.h"
 
 namespace wedge {
@@ -29,6 +30,20 @@ class ClientBase {
   /// (link #4 in Figure 2).
   Result<CommitCheck> CheckBlockchainCommit(
       const Stage1Response& response) const;
+
+  /// Second level of a two-level verification (sharded deployments): the
+  /// aggregation proof must bind exactly this response's (log_id, MRoot)
+  /// into its forest root, be signed by the Offchain Node's key, and
+  /// carry a valid batch-root -> forest-root path.
+  bool VerifyAggregation(const Stage1Response& response,
+                         const AggregationProof& agg) const;
+
+  /// Compares an aggregation proof's forest root against the Root Record
+  /// contract's forest records — the sharded counterpart of
+  /// CheckBlockchainCommit. A verification result of kMismatch (or a
+  /// VerifyAggregation failure on a signed proof) feeds the forest
+  /// punishment path; see PublisherClient::TriggerForestPunishment.
+  Result<CommitCheck> CheckForestCommit(const AggregationProof& agg) const;
 
   /// Fetches the recorded roots for positions [first, last] with chunked
   /// getRootsInRange calls (one eth_call per 4096 positions). Entries are
@@ -75,6 +90,14 @@ class PublisherClient : public ClientBase {
   /// waits for the transaction. The receipt's success flag says whether
   /// the escrow was seized.
   Result<Receipt> TriggerPunishment(const Stage1Response& response);
+
+  /// Two-level variant: submits the signed stage-1 response together
+  /// with the engine-signed aggregation proof as evidence
+  /// (invokePunishmentForest). Punishes on any signed inconsistency —
+  /// equivocation between the two levels, a corrupt signed proof, or a
+  /// forest root differing from the recorded one.
+  Result<Receipt> TriggerForestPunishment(const Stage1Response& response,
+                                          const AggregationProof& agg);
 
   /// Files an on-chain omission claim for a log position whose digest
   /// never appeared (starts the Punishment contract's grace clock).

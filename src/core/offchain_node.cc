@@ -493,6 +493,11 @@ Result<uint32_t> OffchainNode::PositionEntryCount(uint64_t log_id) const {
   return static_cast<uint32_t>(pos.data_list.size());
 }
 
+Result<Hash256> OffchainNode::PositionRoot(uint64_t log_id) const {
+  WEDGE_ASSIGN_OR_RETURN(LogPosition pos, store_->Get(log_id));
+  return pos.mroot;
+}
+
 OffchainNodeStats OffchainNode::stats() const {
   OffchainNodeStats s;
   s.entries_ingested = entries_ingested_counter_->Value();
@@ -500,6 +505,8 @@ OffchainNodeStats OffchainNode::stats() const {
   s.invalid_signatures_rejected = invalid_sig_counter_->Value();
   s.reads_served = reads_counter_->Value();
   s.stage2_txs_submitted = submitter_.stats().txs_submitted;
+  s.tree_cache_hits = tree_cache_hits_counter_->Value();
+  s.tree_cache_misses = tree_cache_misses_counter_->Value();
   return s;
 }
 

@@ -59,15 +59,19 @@ struct OffchainNodeConfig {
   Stage2SubmitterConfig stage2;
 };
 
-/// Running counters exposed for experiments. Backed by the node's
-/// MetricsRegistry (`wedge.node.*` counters); this struct is a
-/// convenience snapshot.
+/// Convenience snapshot of the node's `wedge.node.*` counters. This
+/// struct is DERIVED from the telemetry registry (the registry is the
+/// source of truth; see OffchainNode::stats()): any counter the node
+/// registers must also be snapshotted here, or callers relying on the
+/// struct silently lose it.
 struct OffchainNodeStats {
   uint64_t entries_ingested = 0;
   uint64_t batches_created = 0;
   uint64_t invalid_signatures_rejected = 0;
   uint64_t stage2_txs_submitted = 0;
   uint64_t reads_served = 0;
+  uint64_t tree_cache_hits = 0;
+  uint64_t tree_cache_misses = 0;
 };
 
 /// The Offchain Node (paper §4.3): ingests append requests in batches,
@@ -173,6 +177,10 @@ class OffchainNode {
   uint64_t LogPositions() const { return store_->Size(); }
   /// Number of entries stored at a log position.
   Result<uint32_t> PositionEntryCount(uint64_t log_id) const;
+  /// Sealed Merkle root at a log position (the MRoot the store persisted).
+  /// Used by the epoch aggregator to collect shard roots without going
+  /// through the stage-2 journal.
+  Result<Hash256> PositionRoot(uint64_t log_id) const;
   OffchainNodeStats stats() const;
   const OffchainNodeConfig& config() const { return config_; }
   /// The node's metrics/trace sink (injected or privately owned).

@@ -113,7 +113,9 @@ Result<Bytes> RemoteNodeClient::Call(std::string_view op, const Bytes& body) {
     }
   }
   if (!pending_.ok) {
-    return Status::Unavailable("remote error: " + pending_.error);
+    // Same typed-error transport as the TCP client: the error string is
+    // a status encoding, not free text.
+    return Status::FromWireString(pending_.error);
   }
   return pending_.body;
 }

@@ -27,6 +27,36 @@ Bytes EncodeReadBatchBody(uint64_t log_id,
   return body;
 }
 
+Bytes EncodeTenantAppendBody(TenantId tenant,
+                             const std::vector<AppendRequest>& requests) {
+  Bytes body;
+  PutU64(body, tenant);
+  Append(body, EncodeAppendBody(requests));
+  return body;
+}
+
+Bytes EncodeTenantReadBody(TenantId tenant, const EntryIndex& index) {
+  Bytes body;
+  PutU64(body, tenant);
+  Append(body, EncodeReadBody(index));
+  return body;
+}
+
+Bytes EncodeTenantReadBatchBody(TenantId tenant, uint64_t log_id,
+                                const std::vector<uint32_t>& offsets) {
+  Bytes body;
+  PutU64(body, tenant);
+  Append(body, EncodeReadBatchBody(log_id, offsets));
+  return body;
+}
+
+Bytes EncodeAggProofBody(TenantId tenant, uint64_t log_id) {
+  Bytes body;
+  PutU64(body, tenant);
+  PutU64(body, log_id);
+  return body;
+}
+
 Result<std::vector<Stage1Response>> DecodeAppendReply(const Bytes& reply) {
   ByteReader reader(reply);
   WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
@@ -47,6 +77,10 @@ Result<Stage1Response> DecodeReadReply(const Bytes& reply) {
 
 Result<BatchReadResponse> DecodeReadBatchReply(const Bytes& reply) {
   return BatchReadResponse::Deserialize(reply);
+}
+
+Result<AggregationProof> DecodeAggProofReply(const Bytes& reply) {
+  return AggregationProof::Deserialize(reply);
 }
 
 Result<Bytes> DispatchNodeRpc(OffchainNode& node, std::string_view op,

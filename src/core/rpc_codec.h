@@ -4,6 +4,7 @@
 #include <string_view>
 #include <vector>
 
+#include "contracts/forest_record.h"
 #include "core/batch_read.h"
 #include "core/data_model.h"
 #include "net/wire.h"
@@ -11,6 +12,11 @@
 namespace wedge {
 
 class OffchainNode;
+
+/// Tenant identity carried by the multi-tenant ops below. Tenants are an
+/// engine-level routing/quota concept (src/shard/); the codec only moves
+/// the id across the wire.
+using TenantId = uint64_t;
 
 /// Op-level codec for the Offchain Node RPC surface, shared by the sim
 /// transport (core/remote) and the TCP transport (rpc/). Keeping the body
@@ -29,16 +35,35 @@ inline constexpr std::string_view kOpAppend = "append";
 inline constexpr std::string_view kOpRead = "read";
 inline constexpr std::string_view kOpReadBatch = "readBatch";
 
+/// Tenant-scoped ops served by the sharded engine (src/shard/). Each is
+/// the matching single-node body prefixed with [u64 tenant_id]; replies
+/// are identical. "aggProof" has no single-node counterpart:
+///   "aggProof"   body = u64 tenant_id + u64 log_id
+///                reply = serialized AggregationProof
+/// Quota rejections come back as error responses carrying a typed
+/// ResourceExhausted status string (see Status::FromWireString).
+inline constexpr std::string_view kOpAppendTenant = "appendT";
+inline constexpr std::string_view kOpReadTenant = "readT";
+inline constexpr std::string_view kOpReadBatchTenant = "readBatchT";
+inline constexpr std::string_view kOpAggProof = "aggProof";
+
 /// Client-side body builders.
 Bytes EncodeAppendBody(const std::vector<AppendRequest>& requests);
 Bytes EncodeReadBody(const EntryIndex& index);
 Bytes EncodeReadBatchBody(uint64_t log_id,
                           const std::vector<uint32_t>& offsets);
+Bytes EncodeTenantAppendBody(TenantId tenant,
+                             const std::vector<AppendRequest>& requests);
+Bytes EncodeTenantReadBody(TenantId tenant, const EntryIndex& index);
+Bytes EncodeTenantReadBatchBody(TenantId tenant, uint64_t log_id,
+                                const std::vector<uint32_t>& offsets);
+Bytes EncodeAggProofBody(TenantId tenant, uint64_t log_id);
 
 /// Client-side reply decoders (typed errors on truncated/garbage input).
 Result<std::vector<Stage1Response>> DecodeAppendReply(const Bytes& reply);
 Result<Stage1Response> DecodeReadReply(const Bytes& reply);
 Result<BatchReadResponse> DecodeReadBatchReply(const Bytes& reply);
+Result<AggregationProof> DecodeAggProofReply(const Bytes& reply);
 
 /// Server-side dispatch: decodes `body` for `op`, calls into `node`, and
 /// encodes the reply body. Unknown ops and malformed bodies come back as

@@ -29,7 +29,15 @@ bool SetNonBlocking(int fd) {
 
 RpcServer::RpcServer(OffchainNode* node, KeyPair transport_key,
                      RpcServerConfig config, Telemetry* telemetry)
-    : node_(node),
+    : RpcServer(
+          [node](std::string_view op, const Bytes& body) {
+            return DispatchNodeRpc(*node, op, body);
+          },
+          std::move(transport_key), std::move(config), telemetry) {}
+
+RpcServer::RpcServer(Handler handler, KeyPair transport_key,
+                     RpcServerConfig config, Telemetry* telemetry)
+    : handler_(std::move(handler)),
       key_(std::move(transport_key)),
       config_(std::move(config)),
       owned_telemetry_(telemetry == nullptr ? std::make_unique<Telemetry>()
@@ -309,13 +317,15 @@ bool RpcServer::ServePayload(Connection& conn, const Bytes& payload) {
 
   requests_counter_->Add(1);
   Micros start = RealClock::Global()->NowMicros();
-  Result<Bytes> result = DispatchNodeRpc(*node_, request->op, request->body);
+  Result<Bytes> result = handler_(request->op, request->body);
   Micros elapsed = RealClock::Global()->NowMicros() - start;
-  if (request->op == kOpAppend) {
+  if (request->op == kOpAppend || request->op == kOpAppendTenant) {
     append_hist_->Record(elapsed);
-  } else if (request->op == kOpRead) {
+  } else if (request->op == kOpRead || request->op == kOpReadTenant ||
+             request->op == kOpAggProof) {
     read_hist_->Record(elapsed);
-  } else if (request->op == kOpReadBatch) {
+  } else if (request->op == kOpReadBatch ||
+             request->op == kOpReadBatchTenant) {
     read_batch_hist_->Record(elapsed);
   }
 

@@ -2,6 +2,7 @@
 #define WEDGEBLOCK_RPC_RPC_SERVER_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -58,7 +59,18 @@ struct RpcServerConfig {
 /// read_batch_us) measured on the real clock around dispatch.
 class RpcServer {
  public:
+  /// Decodes an op body and produces a reply body (or a typed error the
+  /// server encodes into the error response). DispatchNodeRpc bound to a
+  /// node and DispatchEngineRpc bound to a sharded engine are the two
+  /// handlers in the tree; any Result-returning dispatcher works. Must be
+  /// thread-safe — every worker calls it concurrently.
+  using Handler =
+      std::function<Result<Bytes>(std::string_view op, const Bytes& body)>;
+
   RpcServer(OffchainNode* node, KeyPair transport_key, RpcServerConfig config,
+            Telemetry* telemetry = nullptr);
+  /// Serves an arbitrary dispatch handler (e.g. a ShardedLogEngine).
+  RpcServer(Handler handler, KeyPair transport_key, RpcServerConfig config,
             Telemetry* telemetry = nullptr);
   ~RpcServer();
 
@@ -119,7 +131,7 @@ class RpcServer {
   void CloseConnection(Worker& worker, int fd);
   void DrainAndCloseAll(Worker& worker);
 
-  OffchainNode* const node_;
+  const Handler handler_;
   const KeyPair key_;
   const RpcServerConfig config_;
   std::unique_ptr<Telemetry> owned_telemetry_;

@@ -289,7 +289,10 @@ Result<Bytes> TcpNodeClient::Call(std::string_view op, const Bytes& body) {
     }
     if (!waiter->error.ok()) return waiter->error;
     if (!waiter->response.ok) {
-      return Status::Unavailable("remote error: " + waiter->response.error);
+      // Error responses carry a "<CodeName>: <message>" status string, so
+      // typed server-side failures (e.g. quota kResourceExhausted) stay
+      // typed across the wire instead of collapsing into kUnavailable.
+      return Status::FromWireString(waiter->response.error);
     }
     return std::move(waiter->response.body);
   }
@@ -313,6 +316,36 @@ Result<BatchReadResponse> TcpNodeClient::ReadBatch(
   WEDGE_ASSIGN_OR_RETURN(
       Bytes reply, Call(kOpReadBatch, EncodeReadBatchBody(log_id, offsets)));
   return DecodeReadBatchReply(reply);
+}
+
+Result<std::vector<Stage1Response>> TcpNodeClient::AppendForTenant(
+    TenantId tenant, const std::vector<AppendRequest>& requests) {
+  WEDGE_ASSIGN_OR_RETURN(
+      Bytes reply,
+      Call(kOpAppendTenant, EncodeTenantAppendBody(tenant, requests)));
+  return DecodeAppendReply(reply);
+}
+
+Result<Stage1Response> TcpNodeClient::ReadOneForTenant(
+    TenantId tenant, const EntryIndex& index) {
+  WEDGE_ASSIGN_OR_RETURN(
+      Bytes reply, Call(kOpReadTenant, EncodeTenantReadBody(tenant, index)));
+  return DecodeReadReply(reply);
+}
+
+Result<BatchReadResponse> TcpNodeClient::ReadBatchForTenant(
+    TenantId tenant, uint64_t log_id, const std::vector<uint32_t>& offsets) {
+  WEDGE_ASSIGN_OR_RETURN(
+      Bytes reply, Call(kOpReadBatchTenant,
+                        EncodeTenantReadBatchBody(tenant, log_id, offsets)));
+  return DecodeReadBatchReply(reply);
+}
+
+Result<AggregationProof> TcpNodeClient::FetchAggregationProof(
+    TenantId tenant, uint64_t log_id) {
+  WEDGE_ASSIGN_OR_RETURN(
+      Bytes reply, Call(kOpAggProof, EncodeAggProofBody(tenant, log_id)));
+  return DecodeAggProofReply(reply);
 }
 
 }  // namespace wedge

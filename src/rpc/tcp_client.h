@@ -70,6 +70,22 @@ class TcpNodeClient {
   Result<BatchReadResponse> ReadBatch(uint64_t log_id,
                                       const std::vector<uint32_t>& offsets);
 
+  /// Tenant-scoped variants against a sharded daemon (core/rpc_codec.h
+  /// "appendT"/"readT"/"readBatchT"). Server-side quota rejections come
+  /// back as typed Code::kResourceExhausted statuses, not transport
+  /// errors — the connection stays usable.
+  Result<std::vector<Stage1Response>> AppendForTenant(
+      TenantId tenant, const std::vector<AppendRequest>& requests);
+  Result<Stage1Response> ReadOneForTenant(TenantId tenant,
+                                          const EntryIndex& index);
+  Result<BatchReadResponse> ReadBatchForTenant(
+      TenantId tenant, uint64_t log_id,
+      const std::vector<uint32_t>& offsets);
+  /// Fetches the engine-signed batch-root -> forest-root proof for a
+  /// sealed batch ("aggProof").
+  Result<AggregationProof> FetchAggregationProof(TenantId tenant,
+                                                 uint64_t log_id);
+
   uint64_t reconnects() const { return reconnects_.load(); }
   /// Responses dropped because no waiter matched their rpc_id.
   uint64_t discarded_responses() const { return discarded_.load(); }

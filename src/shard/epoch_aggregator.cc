@@ -1,0 +1,195 @@
+#include "shard/epoch_aggregator.h"
+
+#include <algorithm>
+
+#include "contracts/root_record.h"
+
+namespace wedge {
+
+namespace {
+
+uint64_t PositionKey(uint32_t shard_id, uint64_t log_id) {
+  // Shard counts are tiny; log ids never plausibly reach 2^56.
+  return (log_id << 8) | (shard_id & 0xFF);
+}
+
+}  // namespace
+
+EpochRootAggregator::EpochRootAggregator(std::vector<OffchainNode*> shards,
+                                         KeyPair engine_key,
+                                         Blockchain* chain,
+                                         const Address& root_record_address,
+                                         Telemetry* telemetry)
+    : shards_(std::move(shards)),
+      key_(std::move(engine_key)),
+      chain_(chain),
+      root_record_address_(root_record_address),
+      roots_staged_counter_(
+          telemetry->metrics.GetCounter("wedge.engine.roots_staged")),
+      epochs_closed_counter_(
+          telemetry->metrics.GetCounter("wedge.engine.epochs_closed")),
+      forest_txs_counter_(
+          telemetry->metrics.GetCounter("wedge.engine.forest_txs")),
+      forest_tx_retries_counter_(
+          telemetry->metrics.GetCounter("wedge.engine.forest_tx_retries")),
+      agg_lag_hist_(
+          telemetry->metrics.GetHistogram("wedge.engine.agg_lag_us")),
+      epoch_leaves_hist_(
+          telemetry->metrics.GetHistogram("wedge.engine.epoch_leaves")),
+      cursor_(shards_.size(), 0) {}
+
+Micros EpochRootAggregator::Now() const {
+  return chain_ != nullptr ? chain_->clock()->NowMicros()
+                           : RealClock::Global()->NowMicros();
+}
+
+void EpochRootAggregator::PollShards() {
+  Micros now = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    uint64_t sealed = shards_[s]->LogPositions();
+    for (uint64_t id = cursor_[s]; id < sealed; ++id) {
+      auto root = shards_[s]->PositionRoot(id);
+      if (!root.ok()) break;  // Torn tail; retry next poll.
+      staged_.push_back(StagedRoot{static_cast<uint32_t>(s), id,
+                                   root.value(), now});
+      roots_staged_counter_->Add(1);
+      cursor_[s] = id + 1;
+    }
+  }
+}
+
+Result<TxId> EpochRootAggregator::CloseEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (staged_.empty()) {
+    return Status::NotFound("no batch roots staged for this epoch");
+  }
+  size_t take = std::min<size_t>(
+      staged_.size(), RootRecordContract::kMaxRootsPerCall);
+
+  EpochRecord record;
+  record.leaves.assign(staged_.begin(), staged_.begin() + take);
+  staged_.erase(staged_.begin(), staged_.begin() + take);
+
+  bool equivocate = byzantine_mode_.load(std::memory_order_relaxed) ==
+                    AggByzantineMode::kEquivocateBatchRoot;
+  std::vector<Bytes> leaf_bytes;
+  leaf_bytes.reserve(record.leaves.size());
+  Micros now = Now();
+  for (StagedRoot& leaf : record.leaves) {
+    if (equivocate) leaf.mroot[0] ^= 0xFF;  // Lie at the forest level.
+    leaf_bytes.push_back(
+        ForestLeafBytes(leaf.shard_id, leaf.log_id, leaf.mroot));
+    agg_lag_hist_->Record(now - leaf.staged_at);
+  }
+  WEDGE_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::Build(leaf_bytes));
+  record.root = tree.Root();
+  record.tree = std::make_shared<const MerkleTree>(std::move(tree));
+
+  uint64_t epoch = epochs_.size();
+  for (size_t i = 0; i < record.leaves.size(); ++i) {
+    index_[PositionKey(record.leaves[i].shard_id,
+                       record.leaves[i].log_id)] = {epoch, i};
+  }
+  epochs_.push_back(std::move(record));
+  epochs_closed_counter_->Add(1);
+  epoch_leaves_hist_->Record(static_cast<int64_t>(take));
+
+  if (chain_ == nullptr) {
+    epochs_.back().confirmed = true;
+    return TxId(0);
+  }
+  return SubmitEpochLocked(epoch);
+}
+
+Result<TxId> EpochRootAggregator::SubmitEpochLocked(uint64_t epoch) {
+  EpochRecord& record = epochs_[epoch];
+  Transaction tx;
+  tx.from = key_.address();
+  tx.to = root_record_address_;
+  tx.method = "updateForestRoot";
+  PutU64(tx.calldata, epoch);
+  PutU32(tx.calldata, static_cast<uint32_t>(record.leaves.size()));
+  Append(tx.calldata, HashToBytes(record.root));
+  WEDGE_ASSIGN_OR_RETURN(TxId id, chain_->Submit(tx));
+  record.tx = id;
+  record.submitted_block = chain_->HeadNumber();
+  forest_txs_counter_->Add(1);
+  all_tx_ids_.push_back(id);
+  return id;
+}
+
+void EpochRootAggregator::Tick() {
+  if (chain_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t epoch = 0; epoch < epochs_.size(); ++epoch) {
+    EpochRecord& record = epochs_[epoch];
+    if (record.confirmed || record.tx == 0) continue;
+    auto receipt = chain_->GetReceipt(record.tx);
+    if (receipt.ok()) {
+      if (receipt.value().success) {
+        record.confirmed = true;
+        continue;
+      }
+      // Reverted. An "epoch != forestTail" revert after a retry race
+      // means an earlier attempt actually landed; the next GetReceipt
+      // poll of that attempt resolves it. Anything else is retried.
+      forest_tx_retries_counter_->Add(1);
+      auto resubmitted = SubmitEpochLocked(epoch);
+      if (!resubmitted.ok()) return;  // Chain unavailable; retry next tick.
+      continue;
+    }
+    // No receipt yet: presume lost once the deadline passes.
+    if (chain_->HeadNumber() >=
+        record.submitted_block + kConfirmationDeadlineBlocks) {
+      forest_tx_retries_counter_->Add(1);
+      auto resubmitted = SubmitEpochLocked(epoch);
+      if (!resubmitted.ok()) return;
+    }
+  }
+}
+
+Result<AggregationProof> EpochRootAggregator::Prove(uint32_t shard_id,
+                                                    uint64_t log_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(PositionKey(shard_id, log_id));
+  if (it == index_.end()) {
+    return Status::NotFound("batch root not aggregated yet");
+  }
+  const auto [epoch, leaf_idx] = it->second;
+  const EpochRecord& record = epochs_[epoch];
+
+  AggregationProof proof;
+  proof.epoch = epoch;
+  proof.shard_id = shard_id;
+  proof.log_id = log_id;
+  proof.mroot = record.leaves[leaf_idx].mroot;
+  proof.forest_root = record.root;
+  WEDGE_ASSIGN_OR_RETURN(proof.forest_path, record.tree->Prove(leaf_idx));
+  if (byzantine_mode_.load(std::memory_order_relaxed) ==
+          AggByzantineMode::kCorruptAggProof &&
+      !proof.forest_path.path.empty()) {
+    // Corrupt BEFORE signing: the statement stays attributable to the
+    // engine's key, which is exactly what makes it punishable.
+    proof.forest_path.path[0].sibling[0] ^= 0xFF;
+  }
+  proof.engine_signature = EcdsaSign(key_.private_key(), proof.SignedHash());
+  return proof;
+}
+
+uint64_t EpochRootAggregator::epochs_closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_.size();
+}
+
+uint64_t EpochRootAggregator::staged_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return staged_.size();
+}
+
+std::vector<TxId> EpochRootAggregator::ForestTxIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return all_tx_ids_;
+}
+
+}  // namespace wedge

@@ -1,0 +1,123 @@
+#ifndef WEDGEBLOCK_SHARD_EPOCH_AGGREGATOR_H_
+#define WEDGEBLOCK_SHARD_EPOCH_AGGREGATOR_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "contracts/forest_record.h"
+#include "core/offchain_node.h"
+
+namespace wedge {
+
+/// How the aggregator misbehaves (test hooks, mirroring the node-level
+/// ByzantineMode).
+enum class AggByzantineMode {
+  kHonest = 0,
+  /// Prove() flips a byte of the Merkle path and signs the corrupted
+  /// statement: attributable evidence for the forest punishment path.
+  kCorruptAggProof,
+  /// CloseEpoch() aggregates (and files on-chain) flipped batch roots:
+  /// the aggregation-level root disagrees with what stage 1 signed.
+  kEquivocateBatchRoot,
+};
+
+/// Replaces N per-shard stage-2 streams with one: every epoch the
+/// aggregator collects each shard's newly sealed batch roots, builds a
+/// second-level Merkle tree over (shard_id, log_id, MRoot) leaves, and
+/// submits the single forest root on-chain via
+/// RootRecord::updateForestRoot — one transaction per epoch instead of
+/// one updateRecords call per shard-batch group, amortizing the 21k base
+/// cost and the SSTOREs across all shards.
+///
+/// Clients fetch an engine-signed AggregationProof (batch root -> forest
+/// root) to complete their two-level verification; see
+/// contracts/forest_record.h for its punishment semantics.
+///
+/// Thread-safe. `shards` and `chain` must outlive the aggregator;
+/// `chain` may be null (aggregation without submission, for benches).
+class EpochRootAggregator {
+ public:
+  EpochRootAggregator(std::vector<OffchainNode*> shards, KeyPair engine_key,
+                      Blockchain* chain, const Address& root_record_address,
+                      Telemetry* telemetry);
+
+  /// Scans every shard's store for batch roots sealed since the last
+  /// poll and stages them for the next epoch, stamping each with the
+  /// poll time (the start of its aggregation-lag measurement).
+  void PollShards();
+
+  /// Builds the forest tree over everything staged and submits one
+  /// updateForestRoot transaction. Returns NotFound when nothing is
+  /// staged (no transaction wasted on empty epochs), the TxId otherwise
+  /// (0 without a chain).
+  Result<TxId> CloseEpoch();
+
+  /// Receipt bookkeeping for submitted epochs: resubmits the forest root
+  /// when the transaction reverted or has been pending past the
+  /// confirmation deadline. Call once per block.
+  void Tick();
+
+  /// Engine-signed two-level proof for a sealed batch. Fails with
+  /// NotFound until the batch's epoch has been closed.
+  Result<AggregationProof> Prove(uint32_t shard_id, uint64_t log_id);
+
+  uint64_t epochs_closed() const;
+  uint64_t staged_count() const;
+  std::vector<TxId> ForestTxIds() const;
+
+  void set_byzantine_mode(AggByzantineMode mode) {
+    byzantine_mode_.store(mode, std::memory_order_relaxed);
+  }
+
+  /// Blocks an epoch may stay unconfirmed before its root is resubmitted.
+  static constexpr uint64_t kConfirmationDeadlineBlocks = 8;
+
+ private:
+  struct StagedRoot {
+    uint32_t shard_id = 0;
+    uint64_t log_id = 0;
+    Hash256 mroot{};
+    Micros staged_at = 0;
+  };
+  struct EpochRecord {
+    std::vector<StagedRoot> leaves;
+    Hash256 root{};
+    std::shared_ptr<const MerkleTree> tree;
+    TxId tx = 0;
+    uint64_t submitted_block = 0;
+    bool confirmed = false;
+  };
+
+  Micros Now() const;
+  Result<TxId> SubmitEpochLocked(uint64_t epoch);
+
+  std::vector<OffchainNode*> shards_;
+  const KeyPair key_;
+  Blockchain* const chain_;
+  const Address root_record_address_;
+  std::atomic<AggByzantineMode> byzantine_mode_{AggByzantineMode::kHonest};
+
+  Counter* roots_staged_counter_;
+  Counter* epochs_closed_counter_;
+  Counter* forest_txs_counter_;
+  Counter* forest_tx_retries_counter_;
+  Histogram* agg_lag_hist_;
+  Histogram* epoch_leaves_hist_;
+
+  mutable std::mutex mu_;
+  std::vector<uint64_t> cursor_;  ///< Per-shard next unpolled log id.
+  std::vector<StagedRoot> staged_;
+  std::vector<EpochRecord> epochs_;  ///< Indexed by epoch number.
+  /// (shard, log) -> (epoch, leaf index). Shard counts are far below
+  /// 256, so the key packs the shard into the log id's low byte.
+  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> index_;
+  std::vector<TxId> all_tx_ids_;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_SHARD_EPOCH_AGGREGATOR_H_

@@ -1,0 +1,59 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace wedge {
+
+namespace {
+
+uint64_t RingPoint(const char* domain, size_t domain_len, uint64_t a,
+                   uint64_t b) {
+  Bytes msg;
+  msg.reserve(domain_len + 16);
+  msg.insert(msg.end(), domain, domain + domain_len);
+  PutU64(msg, a);
+  PutU64(msg, b);
+  Hash256 digest = Sha256::Digest(msg);
+  uint64_t point = 0;
+  for (int i = 0; i < 8; ++i) point = (point << 8) | digest[i];
+  return point;
+}
+
+constexpr char kShardDomain[] = "wedge.ring.shard";
+constexpr char kTenantDomain[] = "wedge.ring.tenant";
+
+}  // namespace
+
+ShardRouter::ShardRouter(uint32_t num_shards, uint32_t vnodes_per_shard)
+    : num_shards_(num_shards == 0 ? 1 : num_shards) {
+  ring_.reserve(static_cast<size_t>(num_shards_) * vnodes_per_shard);
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    for (uint32_t vnode = 0; vnode < vnodes_per_shard; ++vnode) {
+      ring_.emplace_back(RingPoint(kShardDomain, sizeof(kShardDomain) - 1,
+                                   shard, vnode),
+                         shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+uint64_t ShardRouter::TenantPoint(uint64_t tenant) {
+  return RingPoint(kTenantDomain, sizeof(kTenantDomain) - 1, tenant, 0);
+}
+
+uint32_t ShardRouter::ShardFor(uint64_t tenant) const {
+  if (num_shards_ == 1) return 0;
+  uint64_t point = TenantPoint(tenant);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const std::pair<uint64_t, uint32_t>& e, uint64_t p) {
+        return e.first < p;
+      });
+  if (it == ring_.end()) it = ring_.begin();  // Wrap around the ring.
+  return it->second;
+}
+
+}  // namespace wedge

@@ -1,0 +1,41 @@
+#ifndef WEDGEBLOCK_SHARD_ROUTER_H_
+#define WEDGEBLOCK_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wedge {
+
+/// Consistent-hash tenant -> shard router. Each shard projects
+/// `vnodes_per_shard` points onto a 64-bit SHA-256-derived ring; a tenant
+/// maps to the shard owning the first ring point at or after the tenant's
+/// own hash point.
+///
+/// The ring is a pure function of (num_shards, vnodes_per_shard): two
+/// processes — or one process across a restart — build byte-identical
+/// rings, so routing is stable without any persisted state. Consistent
+/// hashing (rather than `tenant % N`) keeps most tenants pinned to their
+/// shard when the shard count changes, which is what makes file-backed
+/// shard stores reusable across resizes.
+///
+/// Immutable after construction, hence freely shared across RPC workers.
+class ShardRouter {
+ public:
+  explicit ShardRouter(uint32_t num_shards, uint32_t vnodes_per_shard = 64);
+
+  uint32_t ShardFor(uint64_t tenant) const;
+  uint32_t num_shards() const { return num_shards_; }
+
+  /// The ring point a tenant hashes to (exposed for tests).
+  static uint64_t TenantPoint(uint64_t tenant);
+
+ private:
+  uint32_t num_shards_;
+  /// Sorted (point, shard) pairs.
+  std::vector<std::pair<uint64_t, uint32_t>> ring_;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_SHARD_ROUTER_H_

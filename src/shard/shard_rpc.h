@@ -1,0 +1,22 @@
+#ifndef WEDGEBLOCK_SHARD_SHARD_RPC_H_
+#define WEDGEBLOCK_SHARD_SHARD_RPC_H_
+
+#include "core/rpc_codec.h"
+#include "shard/sharded_engine.h"
+
+namespace wedge {
+
+/// Server-side dispatch for the sharded engine: the tenant-scoped ops
+/// ("appendT"/"readT"/"readBatchT"/"aggProof", see core/rpc_codec.h) plus
+/// the legacy single-node ops, which are served as tenant 0 — so a
+/// pre-sharding client keeps working against a sharded daemon.
+///
+/// Quota rejections propagate as typed ResourceExhausted errors; the RPC
+/// server encodes them into the error response via Status::ToString and
+/// Status::FromWireString recovers them client-side.
+Result<Bytes> DispatchEngineRpc(ShardedLogEngine& engine,
+                                std::string_view op, const Bytes& body);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_SHARD_SHARD_RPC_H_

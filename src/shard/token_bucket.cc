@@ -1,0 +1,86 @@
+#include "shard/token_bucket.h"
+
+#include <algorithm>
+#include <string>
+
+namespace wedge {
+
+bool TokenBucket::TryTake(double n, Micros now) {
+  if (now > last_refill_) {
+    double elapsed =
+        static_cast<double>(now - last_refill_) / kMicrosPerSecond;
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    last_refill_ = now;
+  }
+  if (tokens_ < n) return false;
+  tokens_ -= n;
+  return true;
+}
+
+AdmissionController::AdmissionController(const TenantQuotaConfig& config,
+                                         const Clock* clock,
+                                         MetricsRegistry* metrics)
+    : config_(config),
+      effective_burst_(config.burst_entries > 0
+                           ? config.burst_entries
+                           : 2.0 * config.entries_per_second),
+      clock_(clock),
+      rate_rejections_(
+          metrics->GetCounter("wedge.engine.quota_rejections_rate")),
+      inflight_rejections_(
+          metrics->GetCounter("wedge.engine.quota_rejections_inflight")),
+      tenant_rejections_(
+          metrics->GetCounter("wedge.engine.quota_rejections_tenant")) {}
+
+AdmissionController::TenantState& AdmissionController::StateForLocked(
+    uint64_t tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(tenant,
+                      TenantState{TokenBucket(config_.entries_per_second,
+                                              effective_burst_,
+                                              clock_->NowMicros()),
+                                  0})
+             .first;
+  }
+  return it->second;
+}
+
+Status AdmissionController::AdmitAppend(uint64_t tenant, size_t entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.max_tenants > 0 && tenants_.count(tenant) == 0 &&
+      tenants_.size() >= config_.max_tenants) {
+    tenant_rejections_->Add(1);
+    return Status::ResourceExhausted(
+        "tenant " + std::to_string(tenant) + " over the " +
+        std::to_string(config_.max_tenants) + "-tenant cap");
+  }
+  TenantState& state = StateForLocked(tenant);
+  if (config_.max_inflight_appends > 0 &&
+      state.inflight >= config_.max_inflight_appends) {
+    inflight_rejections_->Add(1);
+    return Status::ResourceExhausted(
+        "tenant " + std::to_string(tenant) +
+        " has too many in-flight appends");
+  }
+  if (config_.entries_per_second > 0 &&
+      !state.bucket.TryTake(static_cast<double>(entries),
+                            clock_->NowMicros())) {
+    rate_rejections_->Add(1);
+    return Status::ResourceExhausted(
+        "tenant " + std::to_string(tenant) + " exceeded its append rate");
+  }
+  ++state.inflight;
+  return Status::Ok();
+}
+
+void AdmissionController::EndAppend(uint64_t tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.inflight > 0) {
+    --it->second.inflight;
+  }
+}
+
+}  // namespace wedge

@@ -1,0 +1,92 @@
+#ifndef WEDGEBLOCK_SHARD_TOKEN_BUCKET_H_
+#define WEDGEBLOCK_SHARD_TOKEN_BUCKET_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "telemetry/telemetry.h"
+
+namespace wedge {
+
+/// Per-tenant admission limits. Zero means "unlimited" for every knob, so
+/// a default-constructed config admits everything (the degenerate
+/// single-tenant engine must behave exactly like a bare OffchainNode).
+struct TenantQuotaConfig {
+  /// Sustained entries/second each tenant may append.
+  double entries_per_second = 0;
+  /// Bucket capacity: how many entries a tenant may burst above the
+  /// sustained rate. Defaults to 2 seconds worth of rate when 0.
+  double burst_entries = 0;
+  /// Concurrent in-flight append RPCs per tenant.
+  uint32_t max_inflight_appends = 0;
+  /// Hard cap on the number of distinct tenants admitted (0 = unlimited).
+  uint64_t max_tenants = 0;
+};
+
+/// Classic token bucket: refills at `rate` tokens/second up to `burst`,
+/// TryTake succeeds while tokens remain. Not thread-safe on its own — the
+/// AdmissionController serializes access per tenant.
+class TokenBucket {
+ public:
+  TokenBucket(double rate, double burst, Micros now)
+      : rate_(rate), burst_(burst), tokens_(burst), last_refill_(now) {}
+
+  bool TryTake(double n, Micros now);
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  Micros last_refill_;
+};
+
+/// Tenant-keyed admission control for the sharded engine: a token bucket
+/// (rate + burst) plus an in-flight cap per tenant. Rejections are typed
+/// Status::ResourceExhausted so the RPC layer can surface them to clients
+/// as quota errors rather than transport failures.
+///
+/// Thread-safe; every shard's RPC workers go through one controller.
+class AdmissionController {
+ public:
+  AdmissionController(const TenantQuotaConfig& config, const Clock* clock,
+                      MetricsRegistry* metrics);
+
+  /// Gate for an append of `entries` entries: checks the tenant cap, the
+  /// rate quota, and the in-flight cap; on success the in-flight slot is
+  /// held until EndAppend. Returns kResourceExhausted on any quota hit.
+  Status AdmitAppend(uint64_t tenant, size_t entries);
+  /// Releases the in-flight slot taken by a successful AdmitAppend.
+  void EndAppend(uint64_t tenant);
+
+  uint64_t rate_rejections() const { return rate_rejections_->Value(); }
+  uint64_t inflight_rejections() const {
+    return inflight_rejections_->Value();
+  }
+  uint64_t tenant_rejections() const { return tenant_rejections_->Value(); }
+
+ private:
+  struct TenantState {
+    TokenBucket bucket;
+    uint32_t inflight = 0;
+  };
+
+  TenantState& StateForLocked(uint64_t tenant);
+
+  const TenantQuotaConfig config_;
+  const double effective_burst_;
+  const Clock* const clock_;
+  Counter* rate_rejections_;
+  Counter* inflight_rejections_;
+  Counter* tenant_rejections_;
+
+  std::mutex mu_;
+  std::unordered_map<uint64_t, TenantState> tenants_;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_SHARD_TOKEN_BUCKET_H_

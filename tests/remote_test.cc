@@ -64,7 +64,8 @@ TEST_F(RemoteTest, ReadOverTheWire) {
   EXPECT_TRUE(read->Verify(deployment_->node().address()));
   auto missing = client_->ReadOne(EntryIndex{9, 0});
   EXPECT_FALSE(missing.ok());
-  EXPECT_EQ(missing.status().code(), Code::kUnavailable);  // Remote error.
+  // Remote errors arrive typed (Status::FromWireString round-trip).
+  EXPECT_EQ(missing.status().code(), Code::kNotFound);
 }
 
 TEST_F(RemoteTest, BatchReadOverTheWire) {
@@ -183,7 +184,8 @@ TEST_F(RemoteTest, OversizeRequestRejectedByServerWithTypedError) {
                                       Bytes(2048, 0x55)));
   auto result = client.Append(batch);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), Code::kUnavailable);  // Remote error.
+  // The server's OutOfRange rejection arrives typed over the wire.
+  EXPECT_EQ(result.status().code(), Code::kOutOfRange);
   EXPECT_EQ(deployment_->node().LogPositions(), 0u);
 }
 

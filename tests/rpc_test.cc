@@ -151,7 +151,8 @@ TEST_F(RpcTest, AppendReadAndBatchReadOverLoopback) {
 
   auto missing = client->ReadOne(EntryIndex{9, 0});
   ASSERT_FALSE(missing.ok());
-  EXPECT_EQ(missing.status().code(), Code::kUnavailable);  // Remote error.
+  // Remote errors arrive typed (Status::FromWireString round-trip).
+  EXPECT_EQ(missing.status().code(), Code::kNotFound);
 
   auto batch = client->ReadBatch(0, {0, 3});
   ASSERT_TRUE(batch.ok());

@@ -29,8 +29,10 @@ done
 
 # The heavily multi-threaded subsystems get a dedicated ThreadSanitizer
 # pass even in the default run: the telemetry registry and tracer (sharded
-# histograms, concurrent Append workers) and the TCP RPC stack (epoll
-# workers, pipelined client reader threads, wire_test/rpc_test). A
+# histograms, concurrent Append workers), the TCP RPC stack (epoll
+# workers, pipelined client reader threads, wire_test/rpc_test), and the
+# sharded multi-tenant engine (admission controller + epoch aggregator
+# hit from concurrent RPC workers, shard_test/shard_rpc_test). A
 # full-suite TSan run can still be requested explicitly with
 # `tools/check.sh thread`.
 if [[ ! " ${sanitizers[*]} " =~ " thread " ]]; then
@@ -41,7 +43,7 @@ if [[ ! " ${sanitizers[*]} " =~ " thread " ]]; then
   cmake --build "$build_dir" -j "$(nproc)" >/dev/null
   echo "==> [thread] running concurrent-subsystem tests"
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-    -R 'telemetry|stage2_submitter|chain_test|integration|wire_test|rpc_test'
+    -R 'telemetry|stage2_submitter|chain_test|integration|wire_test|rpc_test|shard'
   echo "==> [thread] OK"
 fi
 

@@ -10,6 +10,11 @@
 #   - BM_MerkleBuild/2000 >= 2.0x over seed with the dispatched backend
 #   - BM_MerkleBuild/2000 >= 1.5x over seed with hardware crypto disabled
 #
+# Also runs the sharded-engine scaling bench (bench/shard_scaling), which
+# writes BENCH_shard.json and enforces its own criteria: exactly one
+# forest tx per epoch (always), and >= 2x 4-shard ingest speedup when the
+# machine has >= 4 cores.
+#
 # Usage: tools/perf_smoke.sh [build_dir]   (default: build-perf)
 set -euo pipefail
 
@@ -18,8 +23,9 @@ build_dir="${1:-$repo_root/build-perf}"
 
 echo "==> [perf] configuring $build_dir (Release)"
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
-echo "==> [perf] building microbench"
-cmake --build "$build_dir" -j "$(nproc)" --target microbench >/dev/null
+echo "==> [perf] building microbench + shard_scaling"
+cmake --build "$build_dir" -j "$(nproc)" --target microbench shard_scaling \
+  >/dev/null
 
 filter='BM_Sha256/1088|BM_Sha256Many/2000|BM_MerkleBuild/2000|BM_MerkleBuildParallel/2000|BM_SealBatch/2000'
 tmp_dispatched="$(mktemp)"
@@ -102,5 +108,10 @@ if failures:
     print("==> [perf] FAILED: " + "; ".join(failures))
     sys.exit(1)
 PY
+
+echo "==> [perf] running sharded-engine scaling bench"
+"$build_dir/bench/shard_scaling" --entries 40000 \
+  --json-out "$repo_root/BENCH_shard.json"
+echo "==> [perf] wrote $repo_root/BENCH_shard.json"
 
 echo "==> [perf] OK"

@@ -10,6 +10,8 @@
 //   wedgeblockd [--port N] [--bind ADDR] [--workers N] [--batch N]
 //               [--node-threads N] [--max-frame-mb N] [--no-verify-sigs]
 //               [--mine-ms N] [--duration-s N] [--telemetry-out PATH]
+//               [--shards N] [--tenants N] [--epoch-blocks N]
+//               [--tenant-rate N] [--tenant-burst N] [--tenant-inflight N]
 //
 //   --port 0 (default) picks an ephemeral port; the daemon prints
 //   "LISTENING <port>" on stdout either way, so scripts can scrape it.
@@ -19,6 +21,17 @@
 //   On shutdown the server drains in-flight replies, then the telemetry
 //   registry (wedge.rpc.* + wedge.node.* + chain metrics) is dumped to
 //   --telemetry-out when given.
+//
+//   --shards N runs the sharded multi-tenant engine (shard/) instead of
+//   a bare OffchainNode: N shards behind the consistent-hash tenant
+//   router, per-tenant admission quotas, and — for N > 1 — one epoch
+//   forest root on chain per --epoch-blocks blocks instead of a stage-2
+//   tx stream per shard. Shard clients use the tenant-scoped ops
+//   (TcpNodeClient::AppendForTenant et al.); the legacy ops keep working
+//   as tenant 0. --tenants caps the number of distinct tenants admitted
+//   (0 = unlimited); --tenant-rate/--tenant-burst/--tenant-inflight set
+//   the per-tenant token-bucket append quota (0 = unlimited). Quota
+//   rejections surface to clients as typed ResourceExhausted errors.
 
 #include <signal.h>
 #include <unistd.h>
@@ -31,6 +44,8 @@
 
 #include "core/wedgeblock.h"
 #include "rpc/rpc_server.h"
+#include "shard/shard_rpc.h"
+#include "shard/sharded_engine.h"
 #include "telemetry/export.h"
 
 namespace wedge {
@@ -51,6 +66,13 @@ struct Options {
   int64_t mine_ms = 200;
   int64_t duration_s = 0;
   std::string telemetry_out;
+  /// 0 = classic single-node daemon; >= 1 = sharded engine.
+  uint32_t shards = 0;
+  uint64_t tenants = 0;          ///< Max distinct tenants (0 = unlimited).
+  uint32_t epoch_blocks = 4;     ///< Blocks per aggregation epoch.
+  uint64_t tenant_rate = 0;      ///< Entries/second per tenant (0 = off).
+  uint64_t tenant_burst = 0;     ///< Token-bucket burst (0 = 2x rate).
+  uint64_t tenant_inflight = 0;  ///< In-flight appends per tenant (0 = off).
 };
 
 int Usage(const char* argv0) {
@@ -59,7 +81,10 @@ int Usage(const char* argv0) {
                "          [--node-threads N] [--max-frame-mb N] "
                "[--no-verify-sigs]\n"
                "          [--mine-ms N] [--duration-s N] "
-               "[--telemetry-out PATH]\n",
+               "[--telemetry-out PATH]\n"
+               "          [--shards N] [--tenants N] [--epoch-blocks N]\n"
+               "          [--tenant-rate N] [--tenant-burst N] "
+               "[--tenant-inflight N]\n",
                argv0);
   return 2;
 }
@@ -101,14 +126,129 @@ Result<Options> Parse(int argc, char** argv) {
       opts.duration_s = std::atoll(v.c_str());
     } else if (flag == "--telemetry-out") {
       WEDGE_ASSIGN_OR_RETURN(opts.telemetry_out, next());
+    } else if (flag == "--shards") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.shards = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+      if (opts.shards == 0) {
+        return Status::InvalidArgument("--shards needs a value >= 1");
+      }
+    } else if (flag == "--tenants") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.tenants = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--epoch-blocks") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.epoch_blocks =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (flag == "--tenant-rate") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.tenant_rate = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--tenant-burst") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.tenant_burst = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--tenant-inflight") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.tenant_inflight = std::strtoull(v.c_str(), nullptr, 10);
     } else {
       return Status::InvalidArgument("unknown flag " + flag);
     }
   }
-  if (opts.batch == 0 || opts.workers < 1 || opts.max_frame_mb == 0) {
+  if (opts.batch == 0 || opts.workers < 1 || opts.max_frame_mb == 0 ||
+      opts.epoch_blocks == 0) {
     return Status::InvalidArgument("bad flag value");
   }
   return opts;
+}
+
+/// Blocks until SIGINT/SIGTERM or --duration-s, advancing the simulated
+/// chain one block per --mine-ms via `advance`.
+template <typename AdvanceFn>
+void ServeLoop(const Options& opts, AdvanceFn advance) {
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  Micros started_at = RealClock::Global()->NowMicros();
+  Micros last_mine = started_at;
+  while (!g_stop.load()) {
+    usleep(20 * 1000);
+    Micros now = RealClock::Global()->NowMicros();
+    if (opts.mine_ms > 0 && now - last_mine >= opts.mine_ms * 1000) {
+      // One simulated block per interval: confirms pending stage-2 /
+      // forest submissions and drives the retry pipeline.
+      advance();
+      last_mine = now;
+    }
+    if (opts.duration_s > 0 &&
+        now - started_at >= opts.duration_s * kMicrosPerSecond) {
+      break;
+    }
+  }
+}
+
+int RunSharded(const Options& opts) {
+  ShardedDeploymentConfig config;
+  config.engine.num_shards = opts.shards;
+  config.engine.node.batch_size = opts.batch;
+  config.engine.node.worker_threads = opts.node_threads;
+  config.engine.node.verify_client_signatures = opts.verify_sigs;
+  config.engine.epoch_ticks = opts.epoch_blocks;
+  // A single shard keeps the classic per-batch stage-2 stream (the
+  // degenerate configuration, byte-identical to the bare node); two or
+  // more shards aggregate into one forest root per epoch.
+  config.engine.forest_stage2 = opts.shards > 1;
+  config.engine.quota.entries_per_second = opts.tenant_rate;
+  config.engine.quota.burst_entries = opts.tenant_burst;
+  config.engine.quota.max_inflight_appends = opts.tenant_inflight;
+  config.engine.quota.max_tenants = opts.tenants;
+  auto deployment = ShardedDeployment::Create(config);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "sharded deployment failed: %s\n",
+                 deployment.status().ToString().c_str());
+    return 1;
+  }
+  ShardedDeployment& d = **deployment;
+
+  RpcServerConfig server_config;
+  server_config.bind_address = opts.bind;
+  server_config.port = opts.port;
+  server_config.num_workers = opts.workers;
+  server_config.max_frame_bytes = opts.max_frame_mb << 20;
+  KeyPair transport_key = KeyPair::FromSeed(config.engine_key_seed);
+  ShardedLogEngine& engine = d.engine();
+  RpcServer server(
+      [&engine](std::string_view op, const Bytes& body) {
+        return DispatchEngineRpc(engine, op, body);
+      },
+      transport_key, server_config, &d.telemetry());
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", server.port());
+  std::printf(
+      "engine address %s, %u shards, epoch every %u blocks, batch %u, "
+      "%d rpc workers\n",
+      engine.address().ToHex().c_str(), engine.num_shards(),
+      opts.epoch_blocks, opts.batch, opts.workers);
+  std::fflush(stdout);
+
+  ServeLoop(opts, [&d] { d.AdvanceBlocks(1); });
+
+  std::printf("shutting down (served %llu requests)\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  server.Shutdown();
+  if (!opts.telemetry_out.empty()) {
+    Status s = WriteTelemetryFile(opts.telemetry_out, d.telemetry(),
+                                  /*append=*/false);
+    if (!s.ok()) {
+      std::fprintf(stderr, "telemetry write failed: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+  return 0;
 }
 
 int Run(const Options& opts) {
@@ -144,27 +284,7 @@ int Run(const Options& opts) {
               d.node().address().ToHex().c_str(), opts.batch, opts.workers);
   std::fflush(stdout);
 
-  struct sigaction sa{};
-  sa.sa_handler = HandleSignal;
-  sigaction(SIGINT, &sa, nullptr);
-  sigaction(SIGTERM, &sa, nullptr);
-
-  Micros started_at = RealClock::Global()->NowMicros();
-  Micros last_mine = started_at;
-  while (!g_stop.load()) {
-    usleep(20 * 1000);
-    Micros now = RealClock::Global()->NowMicros();
-    if (opts.mine_ms > 0 && now - last_mine >= opts.mine_ms * 1000) {
-      // One simulated block per interval: confirms pending stage-2
-      // submissions and drives the retry pipeline.
-      d.AdvanceBlocks(1);
-      last_mine = now;
-    }
-    if (opts.duration_s > 0 &&
-        now - started_at >= opts.duration_s * kMicrosPerSecond) {
-      break;
-    }
-  }
+  ServeLoop(opts, [&d] { d.AdvanceBlocks(1); });
 
   std::printf("shutting down (served %llu requests)\n",
               static_cast<unsigned long long>(server.requests_served()));
@@ -189,5 +309,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", opts.status().ToString().c_str());
     return wedge::Usage(argv[0]);
   }
-  return wedge::Run(*opts);
+  return opts->shards > 0 ? wedge::RunSharded(*opts) : wedge::Run(*opts);
 }
