@@ -48,8 +48,12 @@ Result<Bytes> PunishmentContract::InvokePunishment(CallContext& ctx,
                          EcdsaSignature::Deserialize(sig_raw));
 
   // Algorithm 2, lines 1-4: the response must carry the Offchain Node's
-  // signature, otherwise anyone could fabricate "evidence".
-  Hash256 msg_hash = Stage1MessageHash(index, claimed_root, proof, raw_data);
+  // signature, otherwise anyone could fabricate "evidence". The classic
+  // path serves the single-node (shard 0) per-index record stream, so the
+  // recomputed statement pins shard 0: a sharded engine's shard-k (k > 0)
+  // signatures never recover here and must go through the forest path.
+  Hash256 msg_hash =
+      Stage1MessageHash(/*shard_id=*/0, index, claimed_root, proof, raw_data);
   ctx.gas().Charge(gas::kEcrecover + gas::Sha256Gas(raw_data.size()));
   if (RecoverSigner(msg_hash, signature) != offchain_address_) {
     return Status::Reverted(
@@ -130,13 +134,21 @@ Result<Bytes> PunishmentContract::InvokePunishmentForest(CallContext& ctx,
 
   // Both statements must be attributable to the Offchain Node's key —
   // otherwise anyone could fabricate a "corrupt" aggregation proof and
-  // drain an honest node's escrow.
-  Hash256 msg_hash = Stage1MessageHash(index, claimed_root, proof, raw_data);
+  // drain an honest node's escrow. The stage-1 statement is recomputed
+  // under the AGGREGATION PROOF'S shard id: stage-1 signatures commit to
+  // the shard that sealed the batch (contracts/stage1_message.h), so a
+  // signature produced by any other shard — e.g. shard A's honest
+  // response for its own log `index`, replayed against shard B's
+  // aggregation of a same-numbered log — fails recovery here instead of
+  // masquerading as equivocation. Both statements are therefore bound to
+  // the same (shard, log) position before any root comparison.
+  Hash256 msg_hash = Stage1MessageHash(agg.shard_id, index, claimed_root,
+                                       proof, raw_data);
   ctx.gas().Charge(2 * gas::kEcrecover + gas::Sha256Gas(raw_data.size()));
   if (RecoverSigner(msg_hash, signature) != offchain_address_) {
     return Status::Reverted(
         "InvokePunishmentForest: stage-1 signature is not from the "
-        "Offchain Node");
+        "Offchain Node (or not from the aggregation proof's shard)");
   }
   if (RecoverSigner(agg.SignedHash(), agg.engine_signature) !=
       offchain_address_) {

@@ -39,12 +39,18 @@ namespace wedge {
 ///     as above, plus an engine-signed AggregationProof (see
 ///     contracts/forest_record.h) binding the batch root into an epoch's
 ///     forest root. Both signatures must recover to offchain_address —
-///     unattributable evidence always reverts. Punishes when the signed
-///     statements are inconsistent with each other (aggregation mroot vs
-///     stage-1 root — equivocation), internally (either proof fails to
-///     reconstruct its signed root), or with the chain (recorded forest
-///     root at the epoch differs). A missing forest record falls back to
-///     the same omission-claim / grace-period flow, keyed by log index.
+///     unattributable evidence always reverts — and the stage-1 hash is
+///     recomputed under the aggregation proof's shard id, so both
+///     statements provably refer to the same (shard, log) position: log
+///     ids are shard-local, and without the binding two shards' honest
+///     artifacts for a same-numbered log would fake equivocation.
+///     Punishes when the signed statements are inconsistent with each
+///     other (aggregation mroot vs stage-1 root — equivocation),
+///     internally (either proof fails to reconstruct its signed root), or
+///     with the chain (recorded forest root at the epoch differs). A
+///     missing forest record falls back to the same omission-claim /
+///     grace-period flow, keyed by log index. The classic
+///     "invokePunishment" path pins shard 0 (the single-node stream).
 class PunishmentContract : public Contract {
  public:
   PunishmentContract(const Address& client_address,

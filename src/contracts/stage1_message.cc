@@ -2,10 +2,12 @@
 
 namespace wedge {
 
-Bytes EncodeStage1Message(uint64_t log_index, const Hash256& merkle_root,
+Bytes EncodeStage1Message(uint32_t shard_id, uint64_t log_index,
+                          const Hash256& merkle_root,
                           const MerkleProof& proof, const Bytes& raw_data) {
   Bytes out;
-  PutString(out, "wedgeblock-stage1-v1");  // Domain separation.
+  PutString(out, "wedgeblock-stage1-v2");  // Domain separation (v2: shard).
+  PutU32(out, shard_id);
   PutU64(out, log_index);
   Append(out, HashToBytes(merkle_root));
   PutBytes(out, proof.Serialize());
@@ -13,10 +15,11 @@ Bytes EncodeStage1Message(uint64_t log_index, const Hash256& merkle_root,
   return out;
 }
 
-Hash256 Stage1MessageHash(uint64_t log_index, const Hash256& merkle_root,
+Hash256 Stage1MessageHash(uint32_t shard_id, uint64_t log_index,
+                          const Hash256& merkle_root,
                           const MerkleProof& proof, const Bytes& raw_data) {
   return Sha256::Digest(
-      EncodeStage1Message(log_index, merkle_root, proof, raw_data));
+      EncodeStage1Message(shard_id, log_index, merkle_root, proof, raw_data));
 }
 
 }  // namespace wedge

@@ -6,17 +6,27 @@
 namespace wedge {
 
 /// Canonical encoding of the tuple the Offchain Node signs in a stage-1
-/// response: (log index i, merkle root R_f, merkle proof P, raw data X).
+/// response: (shard s, log index i, merkle root R_f, merkle proof P, raw
+/// data X).
+///
+/// The shard id is part of the signed statement because sharded engines
+/// sign with ONE key and number log ids densely per shard: without the
+/// binding, shard A's honest signature over (log 5, root X) and shard B's
+/// honest aggregation proof for its own log 5 (root Y) would look like
+/// equivocation to the Punishment contract and drain an honest escrow. A
+/// bare (single-node) deployment is shard 0.
 ///
 /// The same byte string is hashed by the Punishment contract's
 /// recoverSigner step (Algorithm 2, line 1), so the encoding lives here —
 /// next to the on-chain verifier — and is shared by the Offchain Node and
 /// all clients.
-Bytes EncodeStage1Message(uint64_t log_index, const Hash256& merkle_root,
+Bytes EncodeStage1Message(uint32_t shard_id, uint64_t log_index,
+                          const Hash256& merkle_root,
                           const MerkleProof& proof, const Bytes& raw_data);
 
 /// SHA-256 digest of the canonical stage-1 message.
-Hash256 Stage1MessageHash(uint64_t log_index, const Hash256& merkle_root,
+Hash256 Stage1MessageHash(uint32_t shard_id, uint64_t log_index,
+                          const Hash256& merkle_root,
                           const MerkleProof& proof, const Bytes& raw_data);
 
 }  // namespace wedge

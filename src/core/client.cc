@@ -39,7 +39,11 @@ Result<CommitCheck> ClientBase::CheckBlockchainCommit(
 
 bool ClientBase::VerifyAggregation(const Stage1Response& response,
                                    const AggregationProof& agg) const {
-  if (agg.log_id != response.proof.log_id ||
+  // Log ids are shard-local: the proof must bind the response's shard as
+  // well as its log id, mirroring the Punishment contract's same-shard
+  // rule.
+  if (agg.shard_id != response.proof.shard_id ||
+      agg.log_id != response.proof.log_id ||
       agg.mroot != response.proof.mroot) {
     return false;
   }

@@ -32,9 +32,11 @@ class ClientBase {
       const Stage1Response& response) const;
 
   /// Second level of a two-level verification (sharded deployments): the
-  /// aggregation proof must bind exactly this response's (log_id, MRoot)
-  /// into its forest root, be signed by the Offchain Node's key, and
-  /// carry a valid batch-root -> forest-root path.
+  /// aggregation proof must bind exactly this response's
+  /// (shard_id, log_id, MRoot) into its forest root, be signed by the
+  /// Offchain Node's key, and carry a valid batch-root -> forest-root
+  /// path. Log ids are shard-local, so the shard binding is what keeps
+  /// same-numbered logs on different shards apart.
   bool VerifyAggregation(const Stage1Response& response,
                          const AggregationProof& agg) const;
 

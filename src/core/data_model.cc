@@ -60,8 +60,8 @@ Result<AppendRequest> AppendRequest::Deserialize(const Bytes& b) {
 }
 
 Hash256 Stage1Response::SignedHash() const {
-  return Stage1MessageHash(proof.log_id, proof.mroot, proof.merkle_proof,
-                           entry);
+  return Stage1MessageHash(proof.shard_id, proof.log_id, proof.mroot,
+                           proof.merkle_proof, entry);
 }
 
 bool Stage1Response::Verify(const Address& offchain_address) const {
@@ -76,6 +76,7 @@ bool Stage1Response::Verify(const Address& offchain_address) const {
 Bytes Stage1Response::Serialize() const {
   Bytes out;
   PutBytes(out, entry);
+  PutU32(out, proof.shard_id);
   PutU64(out, proof.log_id);
   Append(out, HashToBytes(proof.mroot));
   PutBytes(out, proof.merkle_proof.Serialize());
@@ -89,6 +90,7 @@ Result<Stage1Response> Stage1Response::Deserialize(const Bytes& b) {
   ByteReader reader(b);
   Stage1Response resp;
   WEDGE_ASSIGN_OR_RETURN(resp.entry, reader.ReadBytes());
+  WEDGE_ASSIGN_OR_RETURN(resp.proof.shard_id, reader.ReadU32());
   WEDGE_ASSIGN_OR_RETURN(resp.proof.log_id, reader.ReadU64());
   WEDGE_ASSIGN_OR_RETURN(Bytes root_raw, reader.ReadRaw(32));
   WEDGE_ASSIGN_OR_RETURN(resp.proof.mroot, HashFromBytes(root_raw));

@@ -37,8 +37,13 @@ struct AppendRequest {
 };
 
 /// The stage-1 proof P for a data object: the log position's Merkle root
-/// plus the authentication path of this entry.
+/// plus the authentication path of this entry. `shard_id` names the
+/// engine shard that sealed the position (0 for a bare single node); it
+/// is part of the signed statement because log ids are shard-local while
+/// all shards sign with the same engine key (see
+/// contracts/stage1_message.h).
 struct Stage1Proof {
+  uint32_t shard_id = 0;
   uint64_t log_id = 0;
   Hash256 mroot{};
   MerkleProof merkle_proof;

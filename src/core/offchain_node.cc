@@ -225,6 +225,7 @@ Result<std::vector<Stage1Response>> OffchainNode::SealBatch(
     Stage1Response resp;
     resp.entry = leaves[i];
     resp.index = EntryIndex{log_id, static_cast<uint32_t>(i)};
+    resp.proof.shard_id = config_.shard_id;
     resp.proof.log_id = log_id;
     resp.proof.mroot = shared_tree->Root();
     if (!shared_tree->ProveInto(i, &resp.proof.merkle_proof).ok()) {
@@ -362,6 +363,7 @@ Stage1Response OffchainNode::MakeResponse(const SharedBytes& leaf,
   Stage1Response resp;
   resp.entry = leaf;
   resp.index = EntryIndex{log_id, offset};
+  resp.proof.shard_id = config_.shard_id;
   resp.proof.log_id = log_id;
   resp.proof.mroot = tree.Root();
   (void)tree.ProveInto(offset, &resp.proof.merkle_proof);

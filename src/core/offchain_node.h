@@ -54,6 +54,11 @@ struct OffchainNodeConfig {
   bool sign_stage1_responses = true;
   /// Positions whose Merkle trees stay cached for read serving.
   size_t tree_cache_capacity = 4096;
+  /// Shard identity baked into every stage-1 signature (see
+  /// contracts/stage1_message.h). A bare node is shard 0; the sharded
+  /// engine assigns each shard its index so signatures from different
+  /// shards can never be confused for each other.
+  uint32_t shard_id = 0;
   ByzantineMode byzantine_mode = ByzantineMode::kHonest;
   /// Resilient stage-2 pipeline knobs (timeout, backoff, gas bumping).
   Stage2SubmitterConfig stage2;

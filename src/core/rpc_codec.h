@@ -18,6 +18,20 @@ class OffchainNode;
 /// the id across the wire.
 using TenantId = uint64_t;
 
+/// Canonical tenant id derived from a publisher address: the first 8
+/// address bytes, big-endian. The wire tenant id is otherwise
+/// client-asserted; with ShardedEngineConfig::authenticate_tenants the
+/// engine requires every append's tenant to equal the PublisherTenant of
+/// its publisher — whose signature the node verifies — so quota budgets
+/// bind to keys, not to whatever u64 a client chooses to claim.
+inline TenantId PublisherTenant(const Address& publisher) {
+  TenantId id = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    id = (id << 8) | publisher.bytes[i];
+  }
+  return id;
+}
+
 /// Op-level codec for the Offchain Node RPC surface, shared by the sim
 /// transport (core/remote) and the TCP transport (rpc/). Keeping the body
 /// encodings and the server-side dispatch in one place is what guarantees

@@ -119,33 +119,51 @@ Result<TxId> EpochRootAggregator::SubmitEpochLocked(uint64_t epoch) {
   return id;
 }
 
+bool EpochRootAggregator::EpochRecordedOnChainLocked(uint64_t epoch) const {
+  Bytes query;
+  PutU64(query, epoch);
+  auto raw = chain_->Call(root_record_address_, "getForestRoot", query);
+  if (!raw.ok() || raw.value().empty()) return false;
+  return raw.value()[0] != 0;
+}
+
 void EpochRootAggregator::Tick() {
   if (chain_ == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
   for (uint64_t epoch = 0; epoch < epochs_.size(); ++epoch) {
     EpochRecord& record = epochs_[epoch];
-    if (record.confirmed || record.tx == 0) continue;
-    auto receipt = chain_->GetReceipt(record.tx);
-    if (receipt.ok()) {
-      if (receipt.value().success) {
+    if (record.confirmed) continue;
+    if (record.tx != 0) {
+      auto receipt = chain_->GetReceipt(record.tx);
+      if (receipt.ok() && receipt.value().success) {
         record.confirmed = true;
         continue;
       }
-      // Reverted. An "epoch != forestTail" revert after a retry race
-      // means an earlier attempt actually landed; the next GetReceipt
-      // poll of that attempt resolves it. Anything else is retried.
-      forest_tx_retries_counter_->Add(1);
-      auto resubmitted = SubmitEpochLocked(epoch);
-      if (!resubmitted.ok()) return;  // Chain unavailable; retry next tick.
+      if (!receipt.ok() &&
+          chain_->HeadNumber() <
+              record.submitted_block + kConfirmationDeadlineBlocks) {
+        continue;  // Still pending within the deadline: keep waiting.
+      }
+      // Reverted, or presumed lost past the deadline: fall through to
+      // recovery instead of blindly resubmitting.
+    }
+    // Recovery for an epoch with no confirmed transaction — because the
+    // attempt reverted, vanished past the deadline, or the initial
+    // CloseEpoch submission itself failed (tx == 0). A revert here is
+    // usually "epoch != forestTail" from a retry race: some EARLIER
+    // attempt (whose id we may no longer hold) actually landed, so check
+    // the chain before spending another transaction — resubmitting a
+    // recorded epoch can only revert, forever.
+    if (EpochRecordedOnChainLocked(epoch)) {
+      // The forest slot is filled. Only this engine's key may write it,
+      // and every attempt for an epoch carries the same root, so the
+      // recorded root is ours: the epoch is committed.
+      record.confirmed = true;
       continue;
     }
-    // No receipt yet: presume lost once the deadline passes.
-    if (chain_->HeadNumber() >=
-        record.submitted_block + kConfirmationDeadlineBlocks) {
-      forest_tx_retries_counter_->Add(1);
-      auto resubmitted = SubmitEpochLocked(epoch);
-      if (!resubmitted.ok()) return;
-    }
+    forest_tx_retries_counter_->Add(1);
+    auto resubmitted = SubmitEpochLocked(epoch);
+    if (!resubmitted.ok()) return;  // Chain unavailable; retry next tick.
   }
 }
 

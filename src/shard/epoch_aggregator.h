@@ -57,8 +57,12 @@ class EpochRootAggregator {
   Result<TxId> CloseEpoch();
 
   /// Receipt bookkeeping for submitted epochs: resubmits the forest root
-  /// when the transaction reverted or has been pending past the
-  /// confirmation deadline. Call once per block.
+  /// when the transaction reverted, has been pending past the
+  /// confirmation deadline, or the initial CloseEpoch submission failed
+  /// outright. Before every resubmission the chain's forest record is
+  /// consulted — an epoch already recorded there (e.g. an earlier attempt
+  /// landed after we had given up on it) is marked confirmed instead of
+  /// being resubmitted into a guaranteed revert. Call once per block.
   void Tick();
 
   /// Engine-signed two-level proof for a sealed batch. Fails with
@@ -94,6 +98,9 @@ class EpochRootAggregator {
 
   Micros Now() const;
   Result<TxId> SubmitEpochLocked(uint64_t epoch);
+  /// True when the Root Record contract already holds a forest root for
+  /// `epoch` (only this engine's key can have written it).
+  bool EpochRecordedOnChainLocked(uint64_t epoch) const;
 
   std::vector<OffchainNode*> shards_;
   const KeyPair key_;

@@ -72,6 +72,11 @@ Result<Bytes> DispatchEngineRpc(ShardedLogEngine& engine,
   ByteReader reader(body);
   if (op == kOpAppendTenant || op == kOpReadTenant ||
       op == kOpReadBatchTenant || op == kOpAggProof) {
+    // The wire tenant id is client-asserted. For appends the engine can
+    // bind it to the request's publisher key
+    // (ShardedEngineConfig::authenticate_tenants, typed PermissionDenied
+    // on mismatch); without that flag, per-tenant quotas assume
+    // cooperative clients.
     WEDGE_ASSIGN_OR_RETURN(TenantId tenant, reader.ReadU64());
     if (op == kOpAppendTenant) return DispatchAppend(engine, tenant, reader);
     if (op == kOpReadTenant) return DispatchRead(engine, tenant, reader);

@@ -31,6 +31,11 @@ Result<std::unique_ptr<ShardedLogEngine>> ShardedLogEngine::Create(
   if (!stores.empty() && stores.size() != config.num_shards) {
     return Status::InvalidArgument("store count != num_shards");
   }
+  if (config.authenticate_tenants && !config.node.verify_client_signatures) {
+    return Status::InvalidArgument(
+        "authenticate_tenants binds tenant ids to publisher keys, which "
+        "is meaningless without verify_client_signatures");
+  }
 
   std::unique_ptr<ShardedLogEngine> e(
       new ShardedLogEngine(config, std::move(engine_key), telemetry));
@@ -42,6 +47,11 @@ Result<std::unique_ptr<ShardedLogEngine>> ShardedLogEngine::Create(
 
   for (uint32_t i = 0; i < config.num_shards; ++i) {
     OffchainNodeConfig node_config = config.node;
+    // Every shard signs with the same engine key, so the shard identity
+    // must live inside the signed stage-1 statement — otherwise two
+    // shards' dense log-id namespaces collide and honest signatures can
+    // be replayed across shards as fake "equivocation" evidence.
+    node_config.shard_id = i;
     Blockchain* shard_chain = chain;
     if (config.forest_stage2) {
       // Forest mode: the aggregator owns stage 2; shards never submit.
@@ -75,14 +85,34 @@ Result<std::unique_ptr<ShardedLogEngine>> ShardedLogEngine::Create(
 
 Result<std::vector<Stage1Response>> ShardedLogEngine::Append(
     TenantId tenant, std::vector<AppendRequest> requests) {
+  if (config_.authenticate_tenants) {
+    // Before any quota is charged: the claimed tenant must be the one
+    // derived from the publisher key of every request. The shard then
+    // verifies those publishers' signatures, so a spoofer would need the
+    // victim's key — checked here, a mismatched id can neither spend a
+    // victim's budget nor register junk tenants.
+    for (const AppendRequest& req : requests) {
+      if (PublisherTenant(req.publisher) != tenant) {
+        return Status::PermissionDenied(
+            "append under tenant " + std::to_string(tenant) +
+            " carries a request from publisher " + req.publisher.ToHex() +
+            " (tenant " + std::to_string(PublisherTenant(req.publisher)) +
+            ")");
+      }
+    }
+  }
   WEDGE_RETURN_IF_ERROR(admission_->AdmitAppend(tenant, requests.size()));
   uint32_t s = router_.ShardFor(tenant);
   size_t entries = requests.size();
   auto result = shards_[s]->Append(std::move(requests));
-  admission_->EndAppend(tenant);
+  // Refund rate tokens for entries the shard dropped (forged signatures,
+  // whole-call failure): junk submitted under a tenant's name must not
+  // drain the budget of appends that never landed.
+  size_t appended = result.ok() ? result.value().size() : 0;
+  admission_->EndAppend(tenant, entries - appended);
   if (result.ok()) {
     shard_counters_[s].appends->Add(1);
-    shard_counters_[s].entries->Add(entries);
+    shard_counters_[s].entries->Add(appended);
   }
   return result;
 }

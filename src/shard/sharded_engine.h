@@ -34,6 +34,14 @@ struct ShardedEngineConfig {
   bool forest_stage2 = true;
   /// Virtual nodes per shard on the consistent-hash ring.
   uint32_t router_vnodes = 64;
+  /// Require every append's wire tenant id to equal
+  /// PublisherTenant(request.publisher) — the id derived from the key the
+  /// node verifies signatures against — so quotas bind to keys instead of
+  /// client-asserted u64s (spoofing a victim's id or cycling fresh ids to
+  /// evade/exhaust quotas then needs forging signatures). Needs
+  /// node.verify_client_signatures; off by default because the wire id is
+  /// free-form for cooperative deployments (see AdmissionController).
+  bool authenticate_tenants = false;
 };
 
 /// N independent OffchainNode shards behind a consistent-hash
@@ -44,10 +52,12 @@ struct ShardedEngineConfig {
 /// client needs no per-shard trust setup.
 ///
 /// Log ids are SHARD-LOCAL (each shard's store numbers its positions
-/// densely from 0, which stage-1 signatures already commit to); a reader
-/// therefore addresses an entry by (tenant, log_id, offset) and the
-/// engine routes by tenant. Thread-safe to the same degree OffchainNode
-/// is: Append/Read may be called from many RPC workers concurrently.
+/// densely from 0; stage-1 signatures commit to the (shard_id, log_id)
+/// pair — see contracts/stage1_message.h — so the dense namespaces can
+/// never be confused for each other); a reader therefore addresses an
+/// entry by (tenant, log_id, offset) and the engine routes by tenant.
+/// Thread-safe to the same degree OffchainNode is: Append/Read may be
+/// called from many RPC workers concurrently.
 class ShardedLogEngine {
  public:
   /// `stores` must be empty (memory stores) or have exactly

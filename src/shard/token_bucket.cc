@@ -32,31 +32,62 @@ AdmissionController::AdmissionController(const TenantQuotaConfig& config,
       tenant_rejections_(
           metrics->GetCounter("wedge.engine.quota_rejections_tenant")) {}
 
-AdmissionController::TenantState& AdmissionController::StateForLocked(
-    uint64_t tenant) {
-  auto it = tenants_.find(tenant);
-  if (it == tenants_.end()) {
-    it = tenants_
-             .emplace(tenant,
-                      TenantState{TokenBucket(config_.entries_per_second,
-                                              effective_burst_,
-                                              clock_->NowMicros()),
-                                  0})
-             .first;
+void AdmissionController::EvictIdleLocked(Micros now) {
+  if (config_.idle_tenant_seconds <= 0) return;
+  const Micros horizon =
+      static_cast<Micros>(config_.idle_tenant_seconds) * kMicrosPerSecond;
+  for (auto it = tenants_.begin(); it != tenants_.end();) {
+    if (it->second.inflight == 0 && now - it->second.last_active >= horizon) {
+      it = tenants_.erase(it);
+    } else {
+      ++it;
+    }
   }
-  return it->second;
 }
 
 Status AdmissionController::AdmitAppend(uint64_t tenant, size_t entries) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (config_.max_tenants > 0 && tenants_.count(tenant) == 0 &&
-      tenants_.size() >= config_.max_tenants) {
-    tenant_rejections_->Add(1);
-    return Status::ResourceExhausted(
-        "tenant " + std::to_string(tenant) + " over the " +
-        std::to_string(config_.max_tenants) + "-tenant cap");
+  if (config_.entries_per_second <= 0 && config_.max_inflight_appends == 0 &&
+      config_.max_tenants == 0) {
+    // No per-tenant quota configured: admit without materializing any
+    // state, so the no-quota engine holds zero per-tenant memory no
+    // matter how many ids it sees.
+    return Status::Ok();
   }
-  TenantState& state = StateForLocked(tenant);
+  std::lock_guard<std::mutex> lock(mu_);
+  const Micros now = clock_->NowMicros();
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    // A new tenant id must pass every check BEFORE any state is created:
+    // a rejected request may not consume a cap slot or a map entry
+    // (otherwise junk ids exhaust max_tenants, or — with no cap — grow
+    // the map without bound).
+    if (config_.max_tenants > 0) {
+      if (tenants_.size() >= config_.max_tenants) EvictIdleLocked(now);
+      if (tenants_.size() >= config_.max_tenants) {
+        tenant_rejections_->Add(1);
+        return Status::ResourceExhausted(
+            "tenant " + std::to_string(tenant) + " over the " +
+            std::to_string(config_.max_tenants) + "-tenant cap");
+      }
+    } else if (tenants_.size() >= kIdleSweepSize) {
+      EvictIdleLocked(now);
+    }
+    if (config_.entries_per_second > 0 &&
+        static_cast<double>(entries) > effective_burst_) {
+      // A fresh bucket holds exactly `effective_burst_` tokens, so this
+      // request cannot be admitted — reject it statelessly.
+      rate_rejections_->Add(1);
+      return Status::ResourceExhausted(
+          "tenant " + std::to_string(tenant) + " exceeded its append rate");
+    }
+    it = tenants_
+             .emplace(tenant,
+                      TenantState{TokenBucket(config_.entries_per_second,
+                                              effective_burst_, now),
+                                  0, now})
+             .first;
+  }
+  TenantState& state = it->second;
   if (config_.max_inflight_appends > 0 &&
       state.inflight >= config_.max_inflight_appends) {
     inflight_rejections_->Add(1);
@@ -65,22 +96,30 @@ Status AdmissionController::AdmitAppend(uint64_t tenant, size_t entries) {
         " has too many in-flight appends");
   }
   if (config_.entries_per_second > 0 &&
-      !state.bucket.TryTake(static_cast<double>(entries),
-                            clock_->NowMicros())) {
+      !state.bucket.TryTake(static_cast<double>(entries), now)) {
     rate_rejections_->Add(1);
     return Status::ResourceExhausted(
         "tenant " + std::to_string(tenant) + " exceeded its append rate");
   }
   ++state.inflight;
+  state.last_active = now;
   return Status::Ok();
 }
 
-void AdmissionController::EndAppend(uint64_t tenant) {
+void AdmissionController::EndAppend(uint64_t tenant, size_t unused_entries) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tenants_.find(tenant);
-  if (it != tenants_.end() && it->second.inflight > 0) {
-    --it->second.inflight;
+  if (it == tenants_.end()) return;
+  if (it->second.inflight > 0) --it->second.inflight;
+  if (unused_entries > 0 && config_.entries_per_second > 0) {
+    it->second.bucket.Refund(static_cast<double>(unused_entries));
   }
+  it->second.last_active = clock_->NowMicros();
+}
+
+size_t AdmissionController::tracked_tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
 }
 
 }  // namespace wedge

@@ -24,6 +24,12 @@ struct TenantQuotaConfig {
   uint32_t max_inflight_appends = 0;
   /// Hard cap on the number of distinct tenants admitted (0 = unlimited).
   uint64_t max_tenants = 0;
+  /// Seconds a tenant with no in-flight appends may sit idle before its
+  /// admission state (token bucket + cap slot) is evicted. Eviction runs
+  /// opportunistically when new tenants register, so dead ids neither
+  /// hold cap slots forever nor grow the state map without bound.
+  /// 0 disables eviction.
+  int64_t idle_tenant_seconds = 300;
 };
 
 /// Classic token bucket: refills at `rate` tokens/second up to `burst`,
@@ -35,6 +41,9 @@ class TokenBucket {
       : rate_(rate), burst_(burst), tokens_(burst), last_refill_(now) {}
 
   bool TryTake(double n, Micros now);
+  /// Returns tokens taken for work that was never performed (capped at
+  /// burst, so a refund can never mint capacity).
+  void Refund(double n) { tokens_ = std::min(burst_, tokens_ + n); }
   double tokens() const { return tokens_; }
 
  private:
@@ -49,6 +58,14 @@ class TokenBucket {
 /// Status::ResourceExhausted so the RPC layer can surface them to clients
 /// as quota errors rather than transport failures.
 ///
+/// Tenant state is only materialized for ADMITTED requests — a rejected
+/// id never consumes a cap slot or map entry — and idle tenants are
+/// evicted (TenantQuotaConfig::idle_tenant_seconds), so hostile or
+/// misconfigured clients cycling through ids cannot pin memory. Note the
+/// tenant id itself is a wire field: unless the engine authenticates it
+/// against the publisher key (ShardedEngineConfig::authenticate_tenants),
+/// these quotas assume cooperative clients.
+///
 /// Thread-safe; every shard's RPC workers go through one controller.
 class AdmissionController {
  public:
@@ -59,22 +76,34 @@ class AdmissionController {
   /// rate quota, and the in-flight cap; on success the in-flight slot is
   /// held until EndAppend. Returns kResourceExhausted on any quota hit.
   Status AdmitAppend(uint64_t tenant, size_t entries);
-  /// Releases the in-flight slot taken by a successful AdmitAppend.
-  void EndAppend(uint64_t tenant);
+  /// Releases the in-flight slot taken by a successful AdmitAppend and
+  /// refunds `unused_entries` rate tokens — the entries the node dropped
+  /// (e.g. forged signatures), so junk sent under a tenant's name cannot
+  /// drain that tenant's rate budget.
+  void EndAppend(uint64_t tenant, size_t unused_entries = 0);
 
   uint64_t rate_rejections() const { return rate_rejections_->Value(); }
   uint64_t inflight_rejections() const {
     return inflight_rejections_->Value();
   }
   uint64_t tenant_rejections() const { return tenant_rejections_->Value(); }
+  /// Tenants currently holding admission state (for tests/introspection).
+  size_t tracked_tenants() const;
+
+  /// Tenants the idle sweep considers in one pass, and the map size that
+  /// triggers a sweep even without a tenant cap.
+  static constexpr size_t kIdleSweepSize = 4096;
 
  private:
   struct TenantState {
     TokenBucket bucket;
     uint32_t inflight = 0;
+    Micros last_active = 0;
   };
 
-  TenantState& StateForLocked(uint64_t tenant);
+  /// Erases tenants with no in-flight appends that have been idle past
+  /// config_.idle_tenant_seconds. Caller holds mu_.
+  void EvictIdleLocked(Micros now);
 
   const TenantQuotaConfig config_;
   const double effective_burst_;
@@ -83,7 +112,7 @@ class AdmissionController {
   Counter* inflight_rejections_;
   Counter* tenant_rejections_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, TenantState> tenants_;
 };
 

@@ -16,26 +16,30 @@ TEST(Stage1MessageTest, EncodingIsCanonicalAndDomainSeparated) {
   Hash256 root = Sha256::Digest("root");
   Bytes data = ToBytes("payload");
 
-  Bytes a = EncodeStage1Message(7, root, proof, data);
-  Bytes b = EncodeStage1Message(7, root, proof, data);
+  Bytes a = EncodeStage1Message(0, 7, root, proof, data);
+  Bytes b = EncodeStage1Message(0, 7, root, proof, data);
   EXPECT_EQ(a, b);  // Deterministic.
 
   // Every field matters.
-  EXPECT_NE(Stage1MessageHash(7, root, proof, data),
-            Stage1MessageHash(8, root, proof, data));
-  EXPECT_NE(Stage1MessageHash(7, root, proof, data),
-            Stage1MessageHash(7, Sha256::Digest("other"), proof, data));
-  EXPECT_NE(Stage1MessageHash(7, root, proof, data),
-            Stage1MessageHash(7, root, proof, ToBytes("other")));
+  EXPECT_NE(Stage1MessageHash(0, 7, root, proof, data),
+            Stage1MessageHash(0, 8, root, proof, data));
+  // Shard identity is part of the statement: the same log id on two
+  // shards must never hash alike (log ids are shard-local).
+  EXPECT_NE(Stage1MessageHash(0, 7, root, proof, data),
+            Stage1MessageHash(1, 7, root, proof, data));
+  EXPECT_NE(Stage1MessageHash(0, 7, root, proof, data),
+            Stage1MessageHash(0, 7, Sha256::Digest("other"), proof, data));
+  EXPECT_NE(Stage1MessageHash(0, 7, root, proof, data),
+            Stage1MessageHash(0, 7, root, proof, ToBytes("other")));
   MerkleProof other_proof = proof;
   other_proof.leaf_index = 4;
-  EXPECT_NE(Stage1MessageHash(7, root, proof, data),
-            Stage1MessageHash(7, root, other_proof, data));
+  EXPECT_NE(Stage1MessageHash(0, 7, root, proof, data),
+            Stage1MessageHash(0, 7, root, other_proof, data));
 
   // Length-prefixing prevents field-boundary ambiguity: moving a byte
   // from the end of one field to the start of the next changes the hash.
-  EXPECT_NE(Stage1MessageHash(7, root, proof, ToBytes("ab")),
-            Stage1MessageHash(7, root, proof, ToBytes("a")));
+  EXPECT_NE(Stage1MessageHash(0, 7, root, proof, ToBytes("ab")),
+            Stage1MessageHash(0, 7, root, proof, ToBytes("a")));
 }
 
 /// Guard-behaviour probe contract.

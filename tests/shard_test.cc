@@ -127,6 +127,111 @@ TEST(AdmissionControllerTest, ZeroConfigAdmitsEverything) {
     EXPECT_TRUE(admission.AdmitAppend(tenant, 1'000'000).ok());
     admission.EndAppend(tenant);
   }
+  // With no quota configured there is nothing to enforce, so no amount of
+  // distinct ids may accumulate per-tenant state.
+  EXPECT_EQ(admission.tracked_tenants(), 0u);
+}
+
+TEST(AdmissionControllerTest, RejectedRequestsLeaveNoTenantState) {
+  SimClock clock(0);
+  MetricsRegistry metrics;
+  TenantQuotaConfig quota;
+  quota.entries_per_second = 1;
+  quota.burst_entries = 4;
+  quota.max_tenants = 2;
+  AdmissionController admission(quota, &clock, &metrics);
+  ASSERT_TRUE(admission.AdmitAppend(1, 1).ok());
+  admission.EndAppend(1);
+  ASSERT_TRUE(admission.AdmitAppend(2, 1).ok());
+  admission.EndAppend(2);
+  ASSERT_EQ(admission.tracked_tenants(), 2u);
+  // An over-cap tenant is rejected WITHOUT being recorded — otherwise a
+  // client cycling fresh ids could pin map entries it was never granted.
+  EXPECT_EQ(admission.AdmitAppend(3, 1).code(), Code::kResourceExhausted);
+  EXPECT_EQ(admission.tracked_tenants(), 2u);
+
+  // Same for the rate check: a fresh tenant asking for more than the
+  // burst can never be admitted, so it must be rejected statelessly.
+  TenantQuotaConfig rate_only;
+  rate_only.entries_per_second = 1;
+  rate_only.burst_entries = 4;
+  AdmissionController rate_admission(rate_only, &clock, &metrics);
+  EXPECT_EQ(rate_admission.AdmitAppend(9, 100).code(),
+            Code::kResourceExhausted);
+  EXPECT_EQ(rate_admission.tracked_tenants(), 0u);
+}
+
+TEST(AdmissionControllerTest, IdleTenantsAreEvictedForNewOnes) {
+  SimClock clock(0);
+  MetricsRegistry metrics;
+  TenantQuotaConfig quota;
+  quota.max_inflight_appends = 4;
+  quota.max_tenants = 2;
+  quota.idle_tenant_seconds = 10;
+  AdmissionController admission(quota, &clock, &metrics);
+  ASSERT_TRUE(admission.AdmitAppend(1, 1).ok());
+  admission.EndAppend(1);
+  ASSERT_TRUE(admission.AdmitAppend(2, 1).ok());  // Stays in flight.
+  // Cap full, nobody idle long enough: the third tenant is refused.
+  EXPECT_EQ(admission.AdmitAppend(3, 1).code(), Code::kResourceExhausted);
+  clock.AdvanceSeconds(11);
+  // Tenant 1 idled past the horizon and its slot is reclaimed; tenant 2
+  // still has an append in flight and must survive the sweep.
+  EXPECT_TRUE(admission.AdmitAppend(3, 1).ok());
+  EXPECT_EQ(admission.tracked_tenants(), 2u);
+  admission.EndAppend(2);
+  admission.EndAppend(3);
+}
+
+TEST(AdmissionControllerTest, EndAppendRefundsUnusedEntries) {
+  SimClock clock(0);
+  MetricsRegistry metrics;
+  TenantQuotaConfig quota;
+  quota.entries_per_second = 1;
+  quota.burst_entries = 4;
+  AdmissionController admission(quota, &clock, &metrics);
+  ASSERT_TRUE(admission.AdmitAppend(1, 4).ok());
+  // The whole call was dropped by the node (e.g. forged signatures sent
+  // under this tenant's name): the refund restores the budget in full.
+  admission.EndAppend(1, 4);
+  EXPECT_TRUE(admission.AdmitAppend(1, 4).ok());
+  admission.EndAppend(1);  // This one landed: tokens stay spent.
+  EXPECT_EQ(admission.AdmitAppend(1, 1).code(), Code::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------
+// Tenant authentication (tenant id <-> publisher key binding)
+
+TEST(TenantAuthTest, MismatchedTenantIsPermissionDenied) {
+  ShardedEngineConfig config;
+  config.num_shards = 2;
+  config.node.batch_size = 4;
+  config.node.worker_threads = 1;
+  config.authenticate_tenants = true;
+  Telemetry telemetry;
+  auto engine = ShardedLogEngine::Create(config, KeyPair::FromSeed(1), {},
+                                         nullptr, Address{}, &telemetry);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  KeyPair publisher = KeyPair::FromSeed(0xC11E);
+  TenantId own = PublisherTenant(publisher.address());
+  uint64_t seq = 0;
+  EXPECT_TRUE((*engine)->Append(own, MakeBatch(publisher, &seq, 4)).ok());
+  // Appending the same (validly signed) requests under any other tenant
+  // id is an identity mismatch, refused before any quota is charged.
+  auto spoofed = (*engine)->Append(own + 1, MakeBatch(publisher, &seq, 4));
+  ASSERT_FALSE(spoofed.ok());
+  EXPECT_EQ(spoofed.status().code(), Code::kPermissionDenied);
+}
+
+TEST(TenantAuthTest, RequiresSignatureVerification) {
+  ShardedEngineConfig config;
+  config.authenticate_tenants = true;
+  config.node.verify_client_signatures = false;
+  Telemetry telemetry;
+  auto engine = ShardedLogEngine::Create(config, KeyPair::FromSeed(1), {},
+                                         nullptr, Address{}, &telemetry);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), Code::kInvalidArgument);
 }
 
 // ---------------------------------------------------------------------
@@ -339,6 +444,42 @@ TEST_F(ShardedEngineTest, EquivocatedForestRootIsPunishable) {
   EXPECT_TRUE(receipt->success) << "equivocation must punish";
 }
 
+TEST_F(ShardedEngineTest, CrossShardEvidenceCannotPunishHonestEngine) {
+  Build(4);
+  ShardedLogEngine& e = deployment_->engine();
+  // Two tenants on DIFFERENT shards. Both shards number their logs
+  // densely from 0, so each tenant's first batch is "log 0" — the
+  // collision a cross-shard evidence splice needs.
+  TenantId a = 0, b = 1;
+  while (e.ShardFor(b) == e.ShardFor(a)) ++b;
+  auto resp_a = AppendBatch(a);
+  auto resp_b = AppendBatch(b);
+  ASSERT_FALSE(resp_a.empty());
+  ASSERT_FALSE(resp_b.empty());
+  ASSERT_EQ(resp_a.front().index.log_id, resp_b.front().index.log_id)
+      << "the attack needs colliding shard-local log ids";
+  ASSERT_NE(resp_a.front().proof.mroot, resp_b.front().proof.mroot);
+  // Stage-1 responses carry (and sign) their shard of origin.
+  EXPECT_EQ(resp_a.front().proof.shard_id, e.ShardFor(a));
+  EXPECT_EQ(resp_b.front().proof.shard_id, e.ShardFor(b));
+  deployment_->AdvanceBlocks(2);
+
+  auto agg_b = e.ProveAggregation(b, resp_b.front().index.log_id);
+  ASSERT_TRUE(agg_b.ok()) << agg_b.status().ToString();
+  PublisherClient client = deployment_->MakePublisher(a);
+  // Shard A's honest stage-1 response spliced with shard B's honest
+  // aggregation proof for the same log id but a different root: both
+  // pieces are genuinely engine-signed, yet together they "show" an
+  // mroot mismatch. The stage-1 statement's shard id is what exposes the
+  // splice — the client rejects it and the contract must refuse to
+  // punish (the stage-1 signature does not verify under shard B's id).
+  EXPECT_FALSE(client.VerifyAggregation(resp_a.front(), *agg_b));
+  auto receipt = client.TriggerForestPunishment(resp_a.front(), *agg_b);
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  EXPECT_FALSE(receipt->success)
+      << "honest engine's escrow seized by cross-shard evidence splice";
+}
+
 TEST_F(ShardedEngineTest, HonestProofDoesNotPunish) {
   Build(4);
   TenantId tenant = 6;
@@ -353,6 +494,75 @@ TEST_F(ShardedEngineTest, HonestProofDoesNotPunish) {
   if (receipt.ok()) {
     EXPECT_FALSE(receipt->success) << "honest engine must not be punishable";
   }
+}
+
+TEST_F(ShardedEngineTest, LostForestTxIsResubmittedAndConfirms) {
+  Build(2);
+  // The epoch-0 forest submission is acknowledged but never reaches the
+  // mempool (dishonest/crashing RPC node).
+  deployment_->chain().fault_injector()->Schedule(FaultType::kDropTx, 1);
+  auto responses = AppendBatch(/*tenant=*/3);
+  ASSERT_FALSE(responses.empty());
+  deployment_->AdvanceBlocks(1);  // Poll + close epoch 0; tx dropped.
+  // Past the resubmission deadline, plus enough blocks for the retry to
+  // mine and reach chain confirmation depth.
+  deployment_->AdvanceBlocks(
+      static_cast<int>(EpochRootAggregator::kConfirmationDeadlineBlocks) + 6);
+
+  EpochRootAggregator* agg = deployment_->engine().aggregator();
+  ASSERT_NE(agg, nullptr);
+  // Exactly one resubmission once the deadline passed — and it landed.
+  ASSERT_EQ(agg->ForestTxIds().size(), 2u);
+  EXPECT_FALSE(deployment_->chain().IsConfirmed(agg->ForestTxIds().front()));
+  EXPECT_TRUE(deployment_->chain().IsConfirmed(agg->ForestTxIds().back()));
+  MetricsSnapshot snap = deployment_->telemetry().metrics.Snapshot();
+  EXPECT_EQ(snap.CounterValue("wedge.engine.forest_tx_retries"), 1u);
+
+  auto proof = deployment_->engine().ProveAggregation(
+      3, responses.front().index.log_id);
+  ASSERT_TRUE(proof.ok());
+  PublisherClient client = deployment_->MakePublisher(3);
+  auto check = client.CheckForestCommit(*proof);
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_EQ(*check, CommitCheck::kBlockchainCommitted);
+}
+
+TEST_F(ShardedEngineTest, AlreadyRecordedEpochConfirmsWithoutResubmit) {
+  Build(2);
+  deployment_->chain().fault_injector()->Schedule(FaultType::kDropTx, 1);
+  auto responses = AppendBatch(/*tenant=*/3);
+  ASSERT_FALSE(responses.empty());
+  deployment_->AdvanceBlocks(1);  // Close epoch 0; the submission is lost.
+
+  // The "lost" transaction actually made it through another path (say a
+  // second RPC node): the identical root lands under the engine's key.
+  // Blindly resubmitting would now revert with epoch != forestTail on
+  // every tick, forever.
+  auto proof = deployment_->engine().ProveAggregation(
+      3, responses.front().index.log_id);
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+  Transaction tx;
+  tx.from = deployment_->engine().address();
+  tx.to = deployment_->root_record_address();
+  tx.method = "updateForestRoot";
+  PutU64(tx.calldata, proof->epoch);
+  PutU32(tx.calldata, 1);  // One batch root staged in this epoch.
+  Append(tx.calldata, HashToBytes(proof->forest_root));
+  ASSERT_TRUE(deployment_->chain().Submit(tx).ok());
+
+  deployment_->AdvanceBlocks(
+      static_cast<int>(EpochRootAggregator::kConfirmationDeadlineBlocks) + 2);
+  EpochRootAggregator* agg = deployment_->engine().aggregator();
+  ASSERT_NE(agg, nullptr);
+  // Recovery consulted the chain, found the epoch recorded, and marked
+  // it confirmed: no retry transaction, no revert loop.
+  EXPECT_EQ(agg->ForestTxIds().size(), 1u);
+  MetricsSnapshot snap = deployment_->telemetry().metrics.Snapshot();
+  EXPECT_EQ(snap.CounterValue("wedge.engine.forest_tx_retries"), 0u);
+  PublisherClient client = deployment_->MakePublisher(3);
+  auto check = client.CheckForestCommit(*proof);
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_EQ(*check, CommitCheck::kBlockchainCommitted);
 }
 
 TEST_F(ShardedEngineTest, RoutingIsStableAcrossRestartWithFileStores) {

@@ -12,6 +12,7 @@
 //               [--mine-ms N] [--duration-s N] [--telemetry-out PATH]
 //               [--shards N] [--tenants N] [--epoch-blocks N]
 //               [--tenant-rate N] [--tenant-burst N] [--tenant-inflight N]
+//               [--tenant-auth]
 //
 //   --port 0 (default) picks an ephemeral port; the daemon prints
 //   "LISTENING <port>" on stdout either way, so scripts can scrape it.
@@ -32,6 +33,11 @@
 //   (0 = unlimited); --tenant-rate/--tenant-burst/--tenant-inflight set
 //   the per-tenant token-bucket append quota (0 = unlimited). Quota
 //   rejections surface to clients as typed ResourceExhausted errors.
+//   --tenant-auth requires every append's tenant id to match the id
+//   derived from its publisher key (PublisherTenant), so quotas bind to
+//   authenticated identities; without it the wire tenant id is trusted
+//   and quotas assume cooperative clients. Incompatible with
+//   --no-verify-sigs.
 
 #include <signal.h>
 #include <unistd.h>
@@ -73,6 +79,7 @@ struct Options {
   uint64_t tenant_rate = 0;      ///< Entries/second per tenant (0 = off).
   uint64_t tenant_burst = 0;     ///< Token-bucket burst (0 = 2x rate).
   uint64_t tenant_inflight = 0;  ///< In-flight appends per tenant (0 = off).
+  bool tenant_auth = false;      ///< Bind tenant ids to publisher keys.
 };
 
 int Usage(const char* argv0) {
@@ -84,7 +91,7 @@ int Usage(const char* argv0) {
                "[--telemetry-out PATH]\n"
                "          [--shards N] [--tenants N] [--epoch-blocks N]\n"
                "          [--tenant-rate N] [--tenant-burst N] "
-               "[--tenant-inflight N]\n",
+               "[--tenant-inflight N] [--tenant-auth]\n",
                argv0);
   return 2;
 }
@@ -148,6 +155,8 @@ Result<Options> Parse(int argc, char** argv) {
     } else if (flag == "--tenant-inflight") {
       WEDGE_ASSIGN_OR_RETURN(std::string v, next());
       opts.tenant_inflight = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--tenant-auth") {
+      opts.tenant_auth = true;
     } else {
       return Status::InvalidArgument("unknown flag " + flag);
     }
@@ -201,6 +210,7 @@ int RunSharded(const Options& opts) {
   config.engine.quota.burst_entries = opts.tenant_burst;
   config.engine.quota.max_inflight_appends = opts.tenant_inflight;
   config.engine.quota.max_tenants = opts.tenants;
+  config.engine.authenticate_tenants = opts.tenant_auth;
   auto deployment = ShardedDeployment::Create(config);
   if (!deployment.ok()) {
     std::fprintf(stderr, "sharded deployment failed: %s\n",
