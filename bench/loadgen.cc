@@ -44,6 +44,7 @@
 #include "bench/bench_util.h"
 #include "rpc/rpc_server.h"
 #include "rpc/tcp_client.h"
+#include "shard/router.h"
 #include "shard/shard_rpc.h"
 #include "shard/sharded_engine.h"
 
@@ -225,6 +226,17 @@ struct RunState {
   Counter* errors;
   Counter* quota_rejections;
   Counter* sched_lagged;
+  /// Client-side tenant->shard map (same consistent-hash ring the sharded
+  /// engine uses), so failures are attributable to the shard that died
+  /// rather than vanishing into one aggregate counter. Null when the
+  /// target is single-shard.
+  std::unique_ptr<ShardRouter> ring;
+  std::vector<Counter*> shard_errors;
+
+  void CountError(uint64_t tenant) {
+    errors->Add(1);
+    if (ring != nullptr) shard_errors[ring->ShardFor(tenant)]->Add(1);
+  }
 };
 
 void DoOne(const Options& opts, RunState& state, TcpNodeClient& client,
@@ -253,7 +265,7 @@ void DoOne(const Options& opts, RunState& state, TcpNodeClient& client,
       if (response.ok()) {
         state.read_ops->Add(1);
       } else {
-        state.errors->Add(1);
+        state.CountError(tenant);
       }
       return;
     }
@@ -271,7 +283,7 @@ void DoOne(const Options& opts, RunState& state, TcpNodeClient& client,
       ten.quota_rejections->Add(1);
       state.quota_rejections->Add(1);
     } else {
-      state.errors->Add(1);
+      state.CountError(tenant);
     }
     return;
   }
@@ -413,6 +425,15 @@ int Run(const Options& opts) {
   state.sched_lagged =
       state.telemetry.metrics.GetCounter("wedge.loadgen.sched_lagged");
   state.zipf = std::make_unique<ZipfSampler>(opts.tenants, opts.tenant_skew);
+  // --server-shards doubles as the ring size for remote daemons, so
+  // per-shard error attribution works against a fleet we did not spawn.
+  if (opts.tenants > 1 && opts.server_shards > 1) {
+    state.ring = std::make_unique<ShardRouter>(opts.server_shards);
+    for (uint32_t s = 0; s < opts.server_shards; ++s) {
+      state.shard_errors.push_back(state.telemetry.metrics.GetCounter(
+          "wedge.loadgen.s" + std::to_string(s) + ".errors"));
+    }
+  }
   // Fewer pre-signed batches per tenant as the tenant count grows, so a
   // 1024-tenant run does not sign a million requests up front.
   size_t batches_per_tenant = opts.tenants > 1 ? 4 : 8;
@@ -488,7 +509,15 @@ int Run(const Options& opts) {
       .Field("rpc_per_s", rpc_per_s)
       .Field("appends_per_s", appends * opts.batch / elapsed_s)
       .Field("client_reconnects", client.reconnects())
+      .Field("client_retries", client.retries())
       .Field("discarded_responses", client.discarded_responses());
+  if (state.ring != nullptr) {
+    for (uint32_t s = 0; s < state.ring->num_shards(); ++s) {
+      row.Field("s" + std::to_string(s) + "_errors",
+                snap.CounterValue("wedge.loadgen.s" + std::to_string(s) +
+                                  ".errors"));
+    }
+  }
   if (opts.mode == "open") {
     row.Field("target_rate", opts.rate)
         .Field("sched_lagged", snap.CounterValue("wedge.loadgen.sched_lagged"));
@@ -544,7 +573,17 @@ int Run(const Options& opts) {
   if (sharded != nullptr) {
     bench::MaybeWriteTelemetry(opts.telemetry_out, sharded->telemetry());
   }
-  return errors > 0 && appends + reads == 0 ? 1 : 0;
+  // Any failed request is a loud failure: a dead shard or unreachable
+  // daemon mid-run must not exit 0 just because other requests landed.
+  if (errors > 0) {
+    std::fprintf(stderr,
+                 "loadgen: %llu request(s) failed (shard down or daemon "
+                 "unreachable mid-run); see errors / s<i>_errors in the "
+                 "JSONL row\n",
+                 static_cast<unsigned long long>(errors));
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace

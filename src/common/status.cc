@@ -34,6 +34,8 @@ std::string_view CodeName(Code code) {
       return "Timeout";
     case Code::kResourceExhausted:
       return "ResourceExhausted";
+    case Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -47,7 +49,7 @@ bool CodeFromName(std::string_view name, Code* out) {
       Code::kUnavailable,  Code::kCorruption,
       Code::kInsufficientFunds, Code::kReverted,
       Code::kVerification, Code::kTimeout,
-      Code::kResourceExhausted,
+      Code::kResourceExhausted, Code::kDeadlineExceeded,
   };
   for (Code c : kAll) {
     if (CodeName(c) == name) {

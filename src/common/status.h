@@ -25,6 +25,11 @@ enum class Code {
   kVerification,   ///< A cryptographic proof or signature failed to verify.
   kTimeout,
   kResourceExhausted,  ///< A quota (rate, in-flight, tenancy) was exceeded.
+  /// An RPC deadline elapsed with no reply. Distinct from kTimeout (the
+  /// sim-bus omission surface) and from kUnavailable (refused/reset before
+  /// any work): a kDeadlineExceeded call MAY have executed server-side, so
+  /// blind retries of non-idempotent ops are the caller's decision.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -95,6 +100,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   /// Inverse of ToString(): reconstructs a typed Status from a

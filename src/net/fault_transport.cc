@@ -1,0 +1,74 @@
+#include "net/fault_transport.h"
+
+namespace wedge {
+
+FaultyTransport::FaultyTransport(FaultSpec spec)
+    : spec_(spec), rng_(spec.seed) {}
+
+bool FaultyTransport::PartitionedLocked(const std::string& endpoint) const {
+  return partitioned_.count("*") > 0 || partitioned_.count(endpoint) > 0;
+}
+
+bool FaultyTransport::AllowConnect(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (PartitionedLocked(endpoint) || rng_.Bernoulli(spec_.connect_refuse_rate)) {
+    ++counters_.refused_connects;
+    return false;
+  }
+  return true;
+}
+
+FaultyTransport::SendDecision FaultyTransport::OnSend(
+    const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SendDecision decision;
+  if (PartitionedLocked(endpoint)) {
+    ++counters_.dropped_sends;
+    decision.action = SendAction::kDrop;
+    return decision;
+  }
+  // Fixed draw order (delay, drop, duplicate) keeps the schedule a pure
+  // function of the seed and the send sequence.
+  if (rng_.Bernoulli(spec_.send_delay_rate) &&
+      spec_.send_delay_max >= spec_.send_delay_min) {
+    decision.delay = rng_.Range(spec_.send_delay_min, spec_.send_delay_max);
+    if (decision.delay > 0) ++counters_.delayed_sends;
+  }
+  if (rng_.Bernoulli(spec_.send_drop_rate)) {
+    ++counters_.dropped_sends;
+    decision.action = SendAction::kDrop;
+    return decision;
+  }
+  if (rng_.Bernoulli(spec_.send_duplicate_rate)) {
+    ++counters_.duplicated_sends;
+    decision.action = SendAction::kDuplicate;
+  }
+  return decision;
+}
+
+void FaultyTransport::Partition(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_.insert(endpoint);
+}
+
+void FaultyTransport::Heal(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_.erase(endpoint);
+}
+
+void FaultyTransport::HealAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_.clear();
+}
+
+bool FaultyTransport::IsPartitioned(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PartitionedLocked(endpoint);
+}
+
+FaultyTransport::Counters FaultyTransport::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace wedge

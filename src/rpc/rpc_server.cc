@@ -254,7 +254,16 @@ bool RpcServer::HandleReadable(Worker& worker, Connection& conn) {
   for (;;) {
     if (conn.paused) break;  // Backpressure: stop consuming input.
     ssize_t n = read(conn.fd, buf, sizeof(buf));
-    if (n == 0) return false;  // Peer closed.
+    if (n == 0) {
+      // Peer EOF — but a pipelining client may have half-closed after
+      // sending requests whose replies are still queued (or not yet
+      // produced). Serve and flush them before the close, otherwise the
+      // server acks at the TCP level and then drops the responses.
+      DrainConnection(worker, conn,
+                      RealClock::Global()->NowMicros() +
+                          config_.drain_timeout);
+      return false;
+    }
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
@@ -393,17 +402,36 @@ void RpcServer::CloseConnection(Worker& worker, int fd) {
   connections_gauge_->Add(-1);
 }
 
+void RpcServer::DrainConnection(Worker& worker, Connection& conn,
+                                Micros deadline) {
+  // Loop because ProcessFrames may re-pause under the write high
+  // watermark: serve, flush hard, repeat until the decoder is empty, the
+  // socket dies, or the budget runs out.
+  for (;;) {
+    conn.paused = false;
+    bool ok = ProcessFrames(worker, conn);
+    while (ok && conn.unflushed() > 0 &&
+           RealClock::Global()->NowMicros() < deadline) {
+      if (!FlushWrites(conn)) {
+        ok = false;
+        break;
+      }
+      if (conn.unflushed() > 0) usleep(1000);
+    }
+    if (!ok || !conn.paused ||
+        RealClock::Global()->NowMicros() >= deadline) {
+      break;
+    }
+  }
+}
+
 void RpcServer::DrainAndCloseAll(Worker& worker) {
-  // Best-effort flush of already-queued replies within the drain budget,
-  // so a graceful shutdown never swallows a response the node already
-  // produced and signed.
+  // Graceful shutdown must not swallow work the server already took in:
+  // every decoded request is served and every queued (signed) reply is
+  // flushed within the drain budget before the sockets close.
   Micros deadline = RealClock::Global()->NowMicros() + config_.drain_timeout;
   for (auto& [fd, conn] : worker.conns) {
-    while (conn->unflushed() > 0 &&
-           RealClock::Global()->NowMicros() < deadline) {
-      if (!FlushWrites(*conn)) break;
-      if (conn->unflushed() > 0) usleep(1000);
-    }
+    DrainConnection(worker, *conn, deadline);
     epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
     close(fd);
     open_connections_.fetch_sub(1, std::memory_order_relaxed);

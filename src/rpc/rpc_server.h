@@ -127,6 +127,11 @@ class RpcServer {
   void QueueReply(Connection& conn, const RpcResponse& response);
   /// Flushes write_buf until EAGAIN; returns false on socket error.
   bool FlushWrites(Connection& conn);
+  /// Serves every frame already decoded off `conn` and pushes the queued
+  /// replies out (bounded blocking, until `deadline`). Used on peer EOF
+  /// and on shutdown, where the connection is about to close: a request
+  /// the server already read must never lose its produced response.
+  void DrainConnection(Worker& worker, Connection& conn, Micros deadline);
   void UpdateInterest(Worker& worker, Connection& conn);
   void CloseConnection(Worker& worker, int fd);
   void DrainAndCloseAll(Worker& worker);

@@ -8,7 +8,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace wedge {
 
@@ -16,7 +18,9 @@ TcpNodeClient::TcpNodeClient(KeyPair key, const Address& server_address,
                              TcpClientConfig config)
     : key_(std::move(key)),
       server_address_(server_address),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      endpoint_(config_.host + ":" + std::to_string(config_.port)),
+      jitter_rng_(config_.retry_jitter_seed) {
   int n = config_.pool_size < 1 ? 1 : config_.pool_size;
   for (int i = 0; i < n; ++i) pool_.push_back(std::make_unique<Conn>());
 }
@@ -74,6 +78,17 @@ Status TcpNodeClient::EnsureConnected(Conn& conn) {
   // The old reader has observed the dead socket (connected was false);
   // join it outside conn.mu — its exit path takes that mutex.
   if (conn.reader.joinable()) conn.reader.join();
+
+  if (config_.faults != nullptr && !config_.faults->AllowConnect(endpoint_)) {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    conn.backoff = conn.backoff == 0
+                       ? config_.reconnect_backoff_min
+                       : std::min(conn.backoff * 2,
+                                  config_.reconnect_backoff_max);
+    conn.next_attempt_at = RealClock::Global()->NowMicros() + conn.backoff;
+    return Status::Unavailable("connect " + endpoint_ +
+                               ": refused (injected fault)");
+  }
 
   int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Status::Internal("socket: " + std::string(strerror(errno)));
@@ -211,25 +226,44 @@ Status TcpNodeClient::WriteFrame(Conn& conn, const Bytes& frame) {
     if (!conn.connected) return Status::Unavailable("connection lost");
     fd = conn.fd;
   }
-  size_t sent = 0;
-  while (sent < frame.size()) {
-    // MSG_NOSIGNAL: a server that closed on us must fail this call with
-    // EPIPE instead of delivering SIGPIPE to the process.
-    ssize_t n = send(fd, frame.data() + sent, frame.size() - sent,
-                     MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      // Wake the reader so in-flight calls fail fast, not at timeout.
-      shutdown(fd, SHUT_RDWR);
-      return Status::Unavailable("write failed: " +
-                                 std::string(strerror(errno)));
+  int copies = 1;
+  if (config_.faults != nullptr) {
+    FaultyTransport::SendDecision decision = config_.faults->OnSend(endpoint_);
+    if (decision.delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(decision.delay));
     }
-    sent += static_cast<size_t>(n);
+    if (decision.action == FaultyTransport::SendAction::kDrop) {
+      // Kill the whole connection, as a mid-stream RST would: the reader
+      // fails every in-flight call and the socket is redialed with backoff.
+      shutdown(fd, SHUT_RDWR);
+      return Status::Unavailable("write failed: dropped (injected fault)");
+    }
+    if (decision.action == FaultyTransport::SendAction::kDuplicate) {
+      copies = 2;
+    }
+  }
+  for (int copy = 0; copy < copies; ++copy) {
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      // MSG_NOSIGNAL: a server that closed on us must fail this call with
+      // EPIPE instead of delivering SIGPIPE to the process.
+      ssize_t n = send(fd, frame.data() + sent, frame.size() - sent,
+                       MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        // Wake the reader so in-flight calls fail fast, not at timeout.
+        shutdown(fd, SHUT_RDWR);
+        return Status::Unavailable("write failed: " +
+                                   std::string(strerror(errno)));
+      }
+      sent += static_cast<size_t>(n);
+    }
   }
   return Status::Ok();
 }
 
-Result<Bytes> TcpNodeClient::Call(std::string_view op, const Bytes& body) {
+Result<Bytes> TcpNodeClient::Call(std::string_view op, const Bytes& body,
+                                  bool idempotent) {
   if (closed_.load()) return Status::FailedPrecondition("client closed");
   RpcRequest request;
   request.rpc_id = next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
@@ -245,6 +279,40 @@ Result<Bytes> TcpNodeClient::Call(std::string_view op, const Bytes& body) {
   }
   Bytes frame = EncodeFrame(payload);
 
+  int attempts = std::max(1, config_.max_call_attempts);
+  Micros backoff = config_.retry_backoff_min;
+  Result<Bytes> result = Status::Unavailable("no call attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      Micros jitter;
+      {
+        std::lock_guard<std::mutex> lock(jitter_mu_);
+        jitter = backoff > 1 ? jitter_rng_.Uniform(backoff / 2) : 0;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(backoff + jitter));
+      backoff = std::min(backoff * 2, config_.retry_backoff_max);
+      if (closed_.load()) return Status::FailedPrecondition("client closed");
+    }
+    bool request_sent = false;
+    result = CallAttempt(request.rpc_id, frame, &request_sent);
+    if (result.ok()) return result;
+    // Only kUnavailable is retry-safe: the peer never replied. A sent
+    // non-idempotent request (append) may still have executed before the
+    // connection died, so it must surface the failure instead of risking
+    // a duplicate entry. kDeadlineExceeded is never retried here for the
+    // same reason.
+    bool retryable =
+        result.status().code() == Code::kUnavailable &&
+        (idempotent || !request_sent);
+    if (!retryable) return result;
+  }
+  return result;
+}
+
+Result<Bytes> TcpNodeClient::CallAttempt(uint64_t rpc_id, const Bytes& frame,
+                                         bool* request_sent) {
   Status last = Status::Unavailable("connection pool exhausted");
   size_t start = next_conn_.fetch_add(1, std::memory_order_relaxed);
   for (size_t i = 0; i < pool_.size(); ++i) {
@@ -258,12 +326,13 @@ Result<Bytes> TcpNodeClient::Call(std::string_view op, const Bytes& body) {
     {
       std::lock_guard<std::mutex> lock(conn.mu);
       if (!conn.connected) continue;
-      conn.waiters.emplace(request.rpc_id, waiter);
+      conn.waiters.emplace(rpc_id, waiter);
     }
+    *request_sent = true;  // Bytes may hit the wire from here on.
     st = WriteFrame(conn, frame);
     if (!st.ok()) {
       std::lock_guard<std::mutex> lock(conn.mu);
-      conn.waiters.erase(request.rpc_id);
+      conn.waiters.erase(rpc_id);
       last = st;
       continue;
     }
@@ -277,10 +346,10 @@ Result<Bytes> TcpNodeClient::Call(std::string_view op, const Bytes& body) {
       bool deregistered;
       {
         std::lock_guard<std::mutex> lock(conn.mu);
-        deregistered = conn.waiters.erase(request.rpc_id) == 1;
+        deregistered = conn.waiters.erase(rpc_id) == 1;
       }
       if (deregistered) {
-        return Status::Timeout("rpc timed out (omission or loss)");
+        return Status::DeadlineExceeded("rpc timed out (omission or loss)");
       }
       // The reader claimed the waiter between our timeout and the
       // deregistration — the response is a moment away; take it.
@@ -301,20 +370,23 @@ Result<Bytes> TcpNodeClient::Call(std::string_view op, const Bytes& body) {
 
 Result<std::vector<Stage1Response>> TcpNodeClient::Append(
     const std::vector<AppendRequest>& requests) {
-  WEDGE_ASSIGN_OR_RETURN(Bytes reply,
-                         Call(kOpAppend, EncodeAppendBody(requests)));
+  WEDGE_ASSIGN_OR_RETURN(
+      Bytes reply,
+      Call(kOpAppend, EncodeAppendBody(requests), /*idempotent=*/false));
   return DecodeAppendReply(reply);
 }
 
 Result<Stage1Response> TcpNodeClient::ReadOne(const EntryIndex& index) {
-  WEDGE_ASSIGN_OR_RETURN(Bytes reply, Call(kOpRead, EncodeReadBody(index)));
+  WEDGE_ASSIGN_OR_RETURN(
+      Bytes reply, Call(kOpRead, EncodeReadBody(index), /*idempotent=*/true));
   return DecodeReadReply(reply);
 }
 
 Result<BatchReadResponse> TcpNodeClient::ReadBatch(
     uint64_t log_id, const std::vector<uint32_t>& offsets) {
   WEDGE_ASSIGN_OR_RETURN(
-      Bytes reply, Call(kOpReadBatch, EncodeReadBatchBody(log_id, offsets)));
+      Bytes reply, Call(kOpReadBatch, EncodeReadBatchBody(log_id, offsets),
+                        /*idempotent=*/true));
   return DecodeReadBatchReply(reply);
 }
 
@@ -322,29 +394,34 @@ Result<std::vector<Stage1Response>> TcpNodeClient::AppendForTenant(
     TenantId tenant, const std::vector<AppendRequest>& requests) {
   WEDGE_ASSIGN_OR_RETURN(
       Bytes reply,
-      Call(kOpAppendTenant, EncodeTenantAppendBody(tenant, requests)));
+      Call(kOpAppendTenant, EncodeTenantAppendBody(tenant, requests),
+           /*idempotent=*/false));
   return DecodeAppendReply(reply);
 }
 
 Result<Stage1Response> TcpNodeClient::ReadOneForTenant(
     TenantId tenant, const EntryIndex& index) {
   WEDGE_ASSIGN_OR_RETURN(
-      Bytes reply, Call(kOpReadTenant, EncodeTenantReadBody(tenant, index)));
+      Bytes reply, Call(kOpReadTenant, EncodeTenantReadBody(tenant, index),
+                        /*idempotent=*/true));
   return DecodeReadReply(reply);
 }
 
 Result<BatchReadResponse> TcpNodeClient::ReadBatchForTenant(
     TenantId tenant, uint64_t log_id, const std::vector<uint32_t>& offsets) {
   WEDGE_ASSIGN_OR_RETURN(
-      Bytes reply, Call(kOpReadBatchTenant,
-                        EncodeTenantReadBatchBody(tenant, log_id, offsets)));
+      Bytes reply,
+      Call(kOpReadBatchTenant,
+           EncodeTenantReadBatchBody(tenant, log_id, offsets),
+           /*idempotent=*/true));
   return DecodeReadBatchReply(reply);
 }
 
 Result<AggregationProof> TcpNodeClient::FetchAggregationProof(
     TenantId tenant, uint64_t log_id) {
   WEDGE_ASSIGN_OR_RETURN(
-      Bytes reply, Call(kOpAggProof, EncodeAggProofBody(tenant, log_id)));
+      Bytes reply, Call(kOpAggProof, EncodeAggProofBody(tenant, log_id),
+                        /*idempotent=*/true));
   return DecodeAggProofReply(reply);
 }
 

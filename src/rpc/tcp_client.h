@@ -10,7 +10,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/random.h"
 #include "core/rpc_codec.h"
+#include "net/fault_transport.h"
 #include "net/sim_network.h"
 #include "net/wire.h"
 
@@ -27,6 +29,18 @@ struct TcpClientConfig {
   /// Exponential reconnect backoff bounds for broken connections.
   Micros reconnect_backoff_min = 50 * kMicrosPerMilli;
   Micros reconnect_backoff_max = 2 * kMicrosPerSecond;
+  /// Total attempts per call when the failure is retry-safe (see Call's
+  /// retry rules). 1 disables retries entirely.
+  int max_call_attempts = 3;
+  /// Exponential backoff between retry attempts, plus a deterministic
+  /// jitter draw of up to half the current backoff (seeded, so runs
+  /// replay exactly).
+  Micros retry_backoff_min = 20 * kMicrosPerMilli;
+  Micros retry_backoff_max = 500 * kMicrosPerMilli;
+  uint64_t retry_jitter_seed = 0x7E7B;
+  /// Optional deterministic fault injection on this client's dials and
+  /// frame sends (shared across clients to script fleet-wide partitions).
+  std::shared_ptr<FaultyTransport> faults;
 };
 
 /// Real-socket counterpart of RemoteNodeClient (core/remote.h): same
@@ -41,8 +55,12 @@ struct TcpClientConfig {
 /// Failure behaviour: a broken socket fails all of its in-flight calls
 /// with kUnavailable and is redialed lazily with exponential backoff;
 /// calls spill over to the other pool connections meanwhile. A call that
-/// sees no reply within rpc_timeout returns kTimeout (the omission-attack
-/// surface, §4.7).
+/// sees no reply within rpc_timeout returns kDeadlineExceeded (the
+/// omission-attack surface, §4.7) — the request may have executed
+/// server-side, so it is never blindly retried here. kUnavailable
+/// failures are retried up to max_call_attempts times with exponential
+/// backoff + seeded jitter, but for non-idempotent ops (appends) only
+/// while the request provably never reached the wire.
 ///
 /// Thread-safe: any number of threads may call Append/ReadOne/ReadBatch
 /// concurrently.
@@ -89,6 +107,8 @@ class TcpNodeClient {
   uint64_t reconnects() const { return reconnects_.load(); }
   /// Responses dropped because no waiter matched their rpc_id.
   uint64_t discarded_responses() const { return discarded_.load(); }
+  /// Retry attempts made after kUnavailable failures (not first attempts).
+  uint64_t retries() const { return retries_.load(); }
 
  private:
   struct Waiter {
@@ -110,10 +130,14 @@ class TcpNodeClient {
     std::mutex write_mu;  ///< Serializes frame writes from pipelined callers.
   };
 
-  Result<Bytes> Call(std::string_view op, const Bytes& body);
-  /// Returns a usable connection index or an error when the whole pool is
-  /// down/backing off.
-  Result<size_t> PickConnection();
+  /// `idempotent` ops (reads, proof fetches) retry on any kUnavailable;
+  /// non-idempotent ops (appends) retry only when the attempt failed
+  /// before any byte of the request was written.
+  Result<Bytes> Call(std::string_view op, const Bytes& body, bool idempotent);
+  /// One pass over the pool. Sets *request_sent once any attempt started
+  /// writing the request to a socket.
+  Result<Bytes> CallAttempt(uint64_t rpc_id, const Bytes& frame,
+                            bool* request_sent);
   Status EnsureConnected(Conn& conn);
   void ReaderLoop(Conn& conn);
   void HandlePayload(Conn& conn, const Bytes& payload);
@@ -124,12 +148,16 @@ class TcpNodeClient {
   const KeyPair key_;
   const Address server_address_;
   const TcpClientConfig config_;
+  const std::string endpoint_;  ///< "host:port" key for fault injection.
   std::vector<std::unique_ptr<Conn>> pool_;
   std::atomic<uint64_t> next_rpc_id_{1};
   std::atomic<uint64_t> next_conn_{0};
   std::atomic<uint64_t> reconnects_{0};
   std::atomic<uint64_t> discarded_{0};
+  std::atomic<uint64_t> retries_{0};
   std::atomic<bool> closed_{false};
+  std::mutex jitter_mu_;
+  Rng jitter_rng_;
 };
 
 }  // namespace wedge

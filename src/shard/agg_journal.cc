@@ -1,0 +1,178 @@
+#include "shard/agg_journal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+namespace wedge {
+
+namespace {
+
+constexpr uint8_t kRecordEpochClosed = 1;
+constexpr uint8_t kRecordEpochConfirmed = 2;
+
+Bytes EncodeEpochClosed(uint64_t epoch, const Hash256& root,
+                        const std::vector<JournalLeaf>& leaves) {
+  Bytes payload;
+  payload.push_back(kRecordEpochClosed);
+  PutU64(payload, epoch);
+  Append(payload, HashToBytes(root));
+  PutU32(payload, static_cast<uint32_t>(leaves.size()));
+  for (const JournalLeaf& leaf : leaves) {
+    PutU32(payload, leaf.shard_id);
+    PutU64(payload, leaf.log_id);
+    Append(payload, HashToBytes(leaf.mroot));
+  }
+  return payload;
+}
+
+Bytes EncodeEpochConfirmed(uint64_t epoch) {
+  Bytes payload;
+  payload.push_back(kRecordEpochConfirmed);
+  PutU64(payload, epoch);
+  return payload;
+}
+
+/// Applies one replayed payload to `epochs`. False = record is well-formed
+/// bytes but semantically out of sequence (treated like a torn tail).
+bool ApplyPayload(const Bytes& payload, std::vector<JournaledEpoch>* epochs) {
+  ByteReader reader(payload);
+  auto type_raw = reader.ReadRaw(1);
+  if (!type_raw.ok()) return false;
+  uint8_t type = type_raw.value()[0];
+  if (type == kRecordEpochClosed) {
+    JournaledEpoch entry;
+    auto epoch = reader.ReadU64();
+    if (!epoch.ok() || epoch.value() != epochs->size()) return false;
+    entry.epoch = epoch.value();
+    auto root_raw = reader.ReadRaw(32);
+    if (!root_raw.ok()) return false;
+    auto root = HashFromBytes(root_raw.value());
+    if (!root.ok()) return false;
+    entry.root = root.value();
+    auto count = reader.ReadU32();
+    if (!count.ok()) return false;
+    entry.leaves.reserve(count.value());
+    for (uint32_t i = 0; i < count.value(); ++i) {
+      JournalLeaf leaf;
+      auto shard = reader.ReadU32();
+      auto log_id = reader.ReadU64();
+      auto mroot_raw = reader.ReadRaw(32);
+      if (!shard.ok() || !log_id.ok() || !mroot_raw.ok()) return false;
+      auto mroot = HashFromBytes(mroot_raw.value());
+      if (!mroot.ok()) return false;
+      leaf.shard_id = shard.value();
+      leaf.log_id = log_id.value();
+      leaf.mroot = mroot.value();
+      entry.leaves.push_back(leaf);
+    }
+    if (!reader.AtEnd()) return false;
+    epochs->push_back(std::move(entry));
+    return true;
+  }
+  if (type == kRecordEpochConfirmed) {
+    auto epoch = reader.ReadU64();
+    if (!epoch.ok() || !reader.AtEnd()) return false;
+    if (epoch.value() >= epochs->size()) return false;
+    (*epochs)[epoch.value()].confirmed = true;
+    return true;
+  }
+  return false;  // Unknown record type: stop, like a torn tail.
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AggregatorJournal>> AggregatorJournal::Open(
+    const std::string& path, const Options& options) {
+  std::unique_ptr<AggregatorJournal> journal(
+      new AggregatorJournal(path, options));
+
+  FILE* replay = std::fopen(path.c_str(), "rb");
+  long valid_end = 0;
+  if (replay != nullptr) {
+    for (;;) {
+      uint8_t len_raw[4];
+      if (std::fread(len_raw, 1, 4, replay) != 4) break;
+      uint32_t len = (static_cast<uint32_t>(len_raw[0]) << 24) |
+                     (static_cast<uint32_t>(len_raw[1]) << 16) |
+                     (static_cast<uint32_t>(len_raw[2]) << 8) |
+                     static_cast<uint32_t>(len_raw[3]);
+      Bytes payload(len);
+      if (len > 0 && std::fread(payload.data(), 1, len, replay) != len) break;
+      uint8_t checksum[32];
+      if (std::fread(checksum, 1, 32, replay) != 32) break;
+      Hash256 expect = Sha256::Digest(payload);
+      if (std::memcmp(checksum, expect.data(), 32) != 0) break;  // Corrupt.
+      if (!ApplyPayload(payload, &journal->epochs_)) break;
+      valid_end = std::ftell(replay);
+    }
+    std::fclose(replay);
+  }
+
+  FILE* f = std::fopen(path.c_str(), replay != nullptr ? "rb+" : "wb+");
+  if (f == nullptr) {
+    return Status::Internal("cannot open aggregator journal: " + path);
+  }
+  if (replay != nullptr) {
+    if (std::fseek(f, 0, SEEK_END) == 0 && std::ftell(f) > valid_end) {
+      (void)!ftruncate(fileno(f), valid_end);
+    }
+    std::fseek(f, valid_end, SEEK_SET);
+  }
+  journal->file_ = f;
+  return journal;
+}
+
+AggregatorJournal::~AggregatorJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status AggregatorJournal::AppendRecordLocked(const Bytes& payload) {
+  Bytes record;
+  PutU32(record, static_cast<uint32_t>(payload.size()));
+  wedge::Append(record, payload);
+  Hash256 checksum = Sha256::Digest(payload);
+  wedge::Append(record, HashToBytes(checksum));
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::Internal("short write to aggregator journal");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("fflush failed on aggregator journal");
+  }
+  if (options_.fsync_on_append && fsync(fileno(file_)) != 0) {
+    return Status::Internal("fsync failed on aggregator journal");
+  }
+  return Status::Ok();
+}
+
+Status AggregatorJournal::AppendEpoch(uint64_t epoch, const Hash256& root,
+                                      const std::vector<JournalLeaf>& leaves) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != epochs_.size()) {
+    return Status::FailedPrecondition(
+        "journal epochs must be consecutive (got " + std::to_string(epoch) +
+        ", expected " + std::to_string(epochs_.size()) + ")");
+  }
+  WEDGE_RETURN_IF_ERROR(AppendRecordLocked(EncodeEpochClosed(epoch, root,
+                                                             leaves)));
+  JournaledEpoch entry;
+  entry.epoch = epoch;
+  entry.root = root;
+  entry.leaves = leaves;
+  epochs_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+Status AggregatorJournal::AppendConfirmed(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch >= epochs_.size()) {
+    return Status::FailedPrecondition("confirm for unknown epoch " +
+                                      std::to_string(epoch));
+  }
+  if (epochs_[epoch].confirmed) return Status::Ok();  // Idempotent.
+  WEDGE_RETURN_IF_ERROR(AppendRecordLocked(EncodeEpochConfirmed(epoch)));
+  epochs_[epoch].confirmed = true;
+  return Status::Ok();
+}
+
+}  // namespace wedge

@@ -43,6 +43,81 @@ Micros EpochRootAggregator::Now() const {
                            : RealClock::Global()->NowMicros();
 }
 
+Status EpochRootAggregator::AttachJournal(AggregatorJournal* journal) {
+  Micros now = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (journal_ != nullptr) {
+    return Status::FailedPrecondition("journal already attached");
+  }
+  if (!epochs_.empty() || !staged_.empty()) {
+    return Status::FailedPrecondition(
+        "journal must be attached before the aggregator does any work");
+  }
+  for (const JournaledEpoch& entry : journal->epochs()) {
+    EpochRecord record;
+    std::vector<Bytes> leaf_bytes;
+    leaf_bytes.reserve(entry.leaves.size());
+    for (const JournalLeaf& leaf : entry.leaves) {
+      record.leaves.push_back(StagedRoot{leaf.shard_id, leaf.log_id,
+                                         leaf.mroot, now});
+      leaf_bytes.push_back(
+          ForestLeafBytes(leaf.shard_id, leaf.log_id, leaf.mroot));
+      if (leaf.shard_id < cursor_.size()) {
+        cursor_[leaf.shard_id] =
+            std::max(cursor_[leaf.shard_id], leaf.log_id + 1);
+      }
+    }
+    WEDGE_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::Build(leaf_bytes));
+    if (tree.Root() != entry.root) {
+      return Status::Corruption(
+          "journaled forest root for epoch " + std::to_string(entry.epoch) +
+          " does not match its journaled leaves");
+    }
+    record.root = entry.root;
+    record.tree = std::make_shared<const MerkleTree>(std::move(tree));
+    record.confirmed = entry.confirmed;
+    uint64_t epoch = epochs_.size();
+    for (size_t i = 0; i < record.leaves.size(); ++i) {
+      index_[PositionKey(record.leaves[i].shard_id,
+                         record.leaves[i].log_id)] = {epoch, i};
+    }
+    epochs_.push_back(std::move(record));
+  }
+  journal_ = journal;
+  return Status::Ok();
+}
+
+Status EpochRootAggregator::RecoverEpochs(uint64_t* resubmitted,
+                                          uint64_t* confirmed) {
+  uint64_t resubmit_count = 0;
+  uint64_t confirm_count = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t epoch = 0; epoch < epochs_.size(); ++epoch) {
+    EpochRecord& record = epochs_[epoch];
+    // tx != 0 means a transaction from THIS process lifetime is in
+    // flight; its receipt is Tick()'s business. Recovery only touches
+    // epochs that have nothing pending — the journal-replayed ones and
+    // those whose submission failed outright.
+    if (record.confirmed || record.tx != 0) continue;
+    if (chain_ != nullptr && EpochRecordedOnChainLocked(epoch)) {
+      MarkConfirmedLocked(epoch);
+      ++confirm_count;
+      continue;
+    }
+    if (chain_ == nullptr) {
+      MarkConfirmedLocked(epoch);  // Nothing to submit to (benches).
+      ++confirm_count;
+      continue;
+    }
+    forest_tx_retries_counter_->Add(1);
+    WEDGE_RETURN_IF_ERROR(SubmitEpochLocked(epoch).status());
+    ++resubmit_count;
+  }
+  if (resubmitted != nullptr) *resubmitted = resubmit_count;
+  if (confirmed != nullptr) *confirmed = confirm_count;
+  return Status::Ok();
+}
+
 void EpochRootAggregator::PollShards() {
   Micros now = Now();
   std::lock_guard<std::mutex> lock(mu_);
@@ -87,6 +162,27 @@ Result<TxId> EpochRootAggregator::CloseEpoch() {
   record.tree = std::make_shared<const MerkleTree>(std::move(tree));
 
   uint64_t epoch = epochs_.size();
+  if (journal_ != nullptr) {
+    // Journal BEFORE the transaction: a crash between the two leaves a
+    // journaled-but-unsubmitted epoch, which Recover resubmits. The
+    // reverse order could strand an on-chain root the restarted
+    // aggregator knows nothing about.
+    std::vector<JournalLeaf> journal_leaves;
+    journal_leaves.reserve(record.leaves.size());
+    for (const StagedRoot& leaf : record.leaves) {
+      journal_leaves.push_back(JournalLeaf{leaf.shard_id, leaf.log_id,
+                                           leaf.mroot});
+    }
+    Status journaled = journal_->AppendEpoch(epoch, record.root,
+                                             journal_leaves);
+    if (!journaled.ok()) {
+      // Un-stage: put the leaves back where PollShards left them so the
+      // next CloseEpoch retries the same epoch.
+      staged_.insert(staged_.begin(), record.leaves.begin(),
+                     record.leaves.end());
+      return journaled;
+    }
+  }
   for (size_t i = 0; i < record.leaves.size(); ++i) {
     index_[PositionKey(record.leaves[i].shard_id,
                        record.leaves[i].log_id)] = {epoch, i};
@@ -96,10 +192,19 @@ Result<TxId> EpochRootAggregator::CloseEpoch() {
   epoch_leaves_hist_->Record(static_cast<int64_t>(take));
 
   if (chain_ == nullptr) {
-    epochs_.back().confirmed = true;
+    MarkConfirmedLocked(epoch);
     return TxId(0);
   }
   return SubmitEpochLocked(epoch);
+}
+
+void EpochRootAggregator::MarkConfirmedLocked(uint64_t epoch) {
+  epochs_[epoch].confirmed = true;
+  if (journal_ != nullptr) {
+    // Best effort: losing a confirm record only costs one redundant
+    // chain lookup on the next recovery, never correctness.
+    (void)journal_->AppendConfirmed(epoch);
+  }
 }
 
 Result<TxId> EpochRootAggregator::SubmitEpochLocked(uint64_t epoch) {
@@ -136,7 +241,7 @@ void EpochRootAggregator::Tick() {
     if (record.tx != 0) {
       auto receipt = chain_->GetReceipt(record.tx);
       if (receipt.ok() && receipt.value().success) {
-        record.confirmed = true;
+        MarkConfirmedLocked(epoch);
         continue;
       }
       if (!receipt.ok() &&
@@ -158,7 +263,7 @@ void EpochRootAggregator::Tick() {
       // The forest slot is filled. Only this engine's key may write it,
       // and every attempt for an epoch carries the same root, so the
       // recorded root is ours: the epoch is committed.
-      record.confirmed = true;
+      MarkConfirmedLocked(epoch);
       continue;
     }
     forest_tx_retries_counter_->Add(1);

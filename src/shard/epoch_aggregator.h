@@ -10,6 +10,7 @@
 #include "chain/blockchain.h"
 #include "contracts/forest_record.h"
 #include "core/offchain_node.h"
+#include "shard/agg_journal.h"
 
 namespace wedge {
 
@@ -65,6 +66,25 @@ class EpochRootAggregator {
   /// being resubmitted into a guaranteed revert. Call once per block.
   void Tick();
 
+  /// Attaches a durable journal and replays its state: every journaled
+  /// epoch is rebuilt in memory (leaves, forest tree, proof index), the
+  /// per-shard poll cursors advance past every journaled leaf, and
+  /// journal-confirmed epochs are marked confirmed. Must be called before
+  /// any PollShards/CloseEpoch, on a freshly constructed aggregator.
+  /// `journal` must outlive the aggregator; with one attached, CloseEpoch
+  /// journals the epoch before submitting its transaction and every
+  /// confirmation is journaled too.
+  Status AttachJournal(AggregatorJournal* journal);
+
+  /// Crash-recovery pass over epochs with no in-flight transaction
+  /// (replayed from the journal, or whose submission failed): each is
+  /// marked confirmed when the chain's forest record already holds its
+  /// root, resubmitted otherwise. Epochs with an in-flight transaction
+  /// are left to Tick(), which makes a second Recover call (or a
+  /// Recover after a clean shutdown) a no-op. Returns counts through the
+  /// out-params (either may be null).
+  Status RecoverEpochs(uint64_t* resubmitted, uint64_t* confirmed);
+
   /// Engine-signed two-level proof for a sealed batch. Fails with
   /// NotFound until the batch's epoch has been closed.
   Result<AggregationProof> Prove(uint32_t shard_id, uint64_t log_id);
@@ -101,11 +121,16 @@ class EpochRootAggregator {
   /// True when the Root Record contract already holds a forest root for
   /// `epoch` (only this engine's key can have written it).
   bool EpochRecordedOnChainLocked(uint64_t epoch) const;
+  /// Flips the confirmed bit and journals it (journal failure is logged
+  /// into the status but never un-confirms: the chain already holds the
+  /// root, which is the durable source of truth).
+  void MarkConfirmedLocked(uint64_t epoch);
 
   std::vector<OffchainNode*> shards_;
   const KeyPair key_;
   Blockchain* const chain_;
   const Address root_record_address_;
+  AggregatorJournal* journal_ = nullptr;  ///< Optional; not owned.
   std::atomic<AggByzantineMode> byzantine_mode_{AggByzantineMode::kHonest};
 
   Counter* roots_staged_counter_;

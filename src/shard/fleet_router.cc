@@ -1,0 +1,176 @@
+#include "shard/fleet_router.h"
+
+namespace wedge {
+
+FleetRouter::FleetRouter(KeyPair client_key, const Address& engine_address,
+                         FleetRouterConfig config, Telemetry* telemetry)
+    : config_(std::move(config)),
+      ring_(static_cast<uint32_t>(config_.endpoints.size()),
+            config_.vnodes_per_shard),
+      telemetry_(telemetry) {
+  if (telemetry_ == nullptr) {
+    owned_telemetry_ = std::make_unique<Telemetry>();
+    telemetry_ = owned_telemetry_.get();
+  }
+  requests_ = telemetry_->metrics.GetCounter("wedge.router.requests");
+  fast_fails_ = telemetry_->metrics.GetCounter("wedge.router.fast_fails");
+  probes_ = telemetry_->metrics.GetCounter("wedge.router.probes");
+  trips_ = telemetry_->metrics.GetCounter("wedge.router.trips");
+  open_breakers_ = telemetry_->metrics.GetGauge("wedge.router.open_breakers");
+
+  for (const FleetEndpoint& endpoint : config_.endpoints) {
+    TcpClientConfig client_config = config_.client;
+    client_config.host = endpoint.host;
+    client_config.port = endpoint.port;
+    auto shard = std::make_unique<Shard>();
+    shard->client = std::make_unique<TcpNodeClient>(
+        client_key, engine_address, std::move(client_config));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+FleetRouter::~FleetRouter() { Close(); }
+
+Status FleetRouter::Connect() {
+  Status last = Status::Ok();
+  int up = 0;
+  for (auto& shard : shards_) {
+    Status s = shard->client->Connect();
+    if (s.ok()) {
+      ++up;
+    } else {
+      last = s;
+    }
+  }
+  if (up == 0) {
+    return Status::Unavailable("no fleet endpoint reachable (" +
+                               last.ToString() + ")");
+  }
+  return Status::Ok();
+}
+
+void FleetRouter::Close() {
+  for (auto& shard : shards_) shard->client->Close();
+}
+
+Status FleetRouter::Admit(Shard& shard, bool* is_probe) {
+  *is_probe = false;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  switch (shard.health) {
+    case ShardHealth::kClosed:
+      return Status::Ok();
+    case ShardHealth::kOpen: {
+      Micros now = RealClock::Global()->NowMicros();
+      if (now < shard.opened_at + config_.breaker_open_duration) {
+        fast_fails_->Add(1);
+        return Status::Unavailable("shard circuit open");
+      }
+      shard.health = ShardHealth::kHalfOpen;
+      shard.probe_in_flight = true;
+      *is_probe = true;
+      probes_->Add(1);
+      return Status::Ok();
+    }
+    case ShardHealth::kHalfOpen:
+      if (shard.probe_in_flight) {
+        // One probe at a time; everyone else keeps fast-failing until it
+        // resolves.
+        fast_fails_->Add(1);
+        return Status::Unavailable("shard circuit half-open, probing");
+      }
+      shard.probe_in_flight = true;
+      *is_probe = true;
+      probes_->Add(1);
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+void FleetRouter::OnOutcome(Shard& shard, bool is_probe,
+                            const Status& status) {
+  // Only transport-level silence counts against the breaker: a typed
+  // application error (NotFound, ResourceExhausted, ...) proves the
+  // shard answered.
+  bool transport_failure = status.code() == Code::kUnavailable ||
+                           status.code() == Code::kDeadlineExceeded;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (is_probe) shard.probe_in_flight = false;
+  if (!transport_failure) {
+    if (shard.health != ShardHealth::kClosed) open_breakers_->Add(-1);
+    shard.health = ShardHealth::kClosed;
+    shard.consecutive_failures = 0;
+    return;
+  }
+  if (shard.health == ShardHealth::kHalfOpen) {
+    // Failed probe: back to a full open interval.
+    shard.health = ShardHealth::kOpen;
+    shard.opened_at = RealClock::Global()->NowMicros();
+    return;
+  }
+  if (shard.health == ShardHealth::kClosed) {
+    if (++shard.consecutive_failures >= config_.breaker_failure_threshold) {
+      shard.health = ShardHealth::kOpen;
+      shard.opened_at = RealClock::Global()->NowMicros();
+      trips_->Add(1);
+      open_breakers_->Add(1);
+    }
+  }
+}
+
+template <typename Fn>
+auto FleetRouter::Routed(TenantId tenant, Fn&& fn)
+    -> decltype(fn(std::declval<TcpNodeClient&>())) {
+  uint32_t s = ring_.ShardFor(tenant);
+  Shard& shard = *shards_[s];
+  requests_->Add(1);
+  bool is_probe = false;
+  Status admitted = Admit(shard, &is_probe);
+  if (!admitted.ok()) {
+    return Status(admitted.code(),
+                  admitted.message() + " (shard " + std::to_string(s) + ")");
+  }
+  auto result = fn(*shard.client);
+  OnOutcome(shard, is_probe, result.status());
+  return result;
+}
+
+Result<std::vector<Stage1Response>> FleetRouter::Append(
+    TenantId tenant, const std::vector<AppendRequest>& requests) {
+  return Routed(tenant, [&](TcpNodeClient& client) {
+    return client.AppendForTenant(tenant, requests);
+  });
+}
+
+Result<Stage1Response> FleetRouter::ReadOne(TenantId tenant,
+                                            const EntryIndex& index) {
+  return Routed(tenant, [&](TcpNodeClient& client) {
+    return client.ReadOneForTenant(tenant, index);
+  });
+}
+
+Result<BatchReadResponse> FleetRouter::ReadBatch(
+    TenantId tenant, uint64_t log_id, const std::vector<uint32_t>& offsets) {
+  return Routed(tenant, [&](TcpNodeClient& client) {
+    return client.ReadBatchForTenant(tenant, log_id, offsets);
+  });
+}
+
+Result<AggregationProof> FleetRouter::FetchAggregationProof(
+    TenantId tenant, uint64_t log_id) {
+  return Routed(tenant, [&](TcpNodeClient& client) {
+    return client.FetchAggregationProof(tenant, log_id);
+  });
+}
+
+FleetRouter::ShardHealth FleetRouter::Health(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->health;
+}
+
+uint64_t FleetRouter::retries() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->client->retries();
+  return total;
+}
+
+}  // namespace wedge

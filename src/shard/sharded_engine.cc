@@ -19,9 +19,14 @@ ShardedLogEngine::ShardedLogEngine(const ShardedEngineConfig& config,
 Result<std::unique_ptr<ShardedLogEngine>> ShardedLogEngine::Create(
     const ShardedEngineConfig& config, KeyPair engine_key,
     std::vector<std::unique_ptr<LogStore>> stores, Blockchain* chain,
-    const Address& root_record_address, Telemetry* telemetry) {
+    const Address& root_record_address, Telemetry* telemetry,
+    std::unique_ptr<AggregatorJournal> journal) {
   if (config.num_shards == 0 || config.num_shards > 256) {
     return Status::InvalidArgument("num_shards must be in [1, 256]");
+  }
+  if (journal != nullptr && !config.forest_stage2) {
+    return Status::InvalidArgument(
+        "the aggregator journal is meaningless without forest_stage2");
   }
   if (!config.forest_stage2 && config.num_shards != 1) {
     return Status::InvalidArgument(
@@ -79,8 +84,43 @@ Result<std::unique_ptr<ShardedLogEngine>> ShardedLogEngine::Create(
     e->aggregator_ = std::make_unique<EpochRootAggregator>(
         std::move(shard_ptrs), e->key_, chain, root_record_address,
         e->telemetry_);
+    if (journal != nullptr) {
+      e->journal_ = std::move(journal);
+      WEDGE_RETURN_IF_ERROR(e->aggregator_->AttachJournal(e->journal_.get()));
+    }
   }
   return e;
+}
+
+Result<ShardedLogEngine::RecoveryReport> ShardedLogEngine::Recover() {
+  if (aggregator_ == nullptr) {
+    return Status::FailedPrecondition("recovery needs forest_stage2");
+  }
+  RecoveryReport report;
+  report.journaled_epochs = aggregator_->epochs_closed();
+
+  // Shard-tail reconciliation: the file stores already replayed every
+  // sealed (hence acked) batch; anything past the journal's per-shard
+  // cursors was sealed but never epoch-assigned, so stage it now and
+  // close it into fresh epochs (journaled, then submitted).
+  aggregator_->PollShards();
+  report.restaged_roots = aggregator_->staged_count();
+  while (aggregator_->staged_count() > 0) {
+    WEDGE_RETURN_IF_ERROR(aggregator_->CloseEpoch().status());
+    ++report.recovered_epochs;
+  }
+
+  // Chain reconciliation for everything replayed from the journal.
+  WEDGE_RETURN_IF_ERROR(aggregator_->RecoverEpochs(
+      &report.resubmitted_epochs, &report.confirmed_epochs));
+
+  Counter* restaged =
+      telemetry_->metrics.GetCounter("wedge.engine.recover_restaged");
+  Counter* resubmits =
+      telemetry_->metrics.GetCounter("wedge.engine.recover_resubmits");
+  restaged->Add(report.restaged_roots);
+  resubmits->Add(report.resubmitted_epochs);
+  return report;
 }
 
 Result<std::vector<Stage1Response>> ShardedLogEngine::Append(
@@ -202,6 +242,7 @@ Result<std::unique_ptr<ShardedDeployment>> ShardedDeployment::Create(
           config.escrow));
 
   std::vector<std::unique_ptr<LogStore>> stores;
+  std::unique_ptr<AggregatorJournal> journal;
   if (!config.log_dir.empty()) {
     for (uint32_t i = 0; i < config.engine.num_shards; ++i) {
       FileLogStore::Options file_options;
@@ -214,12 +255,20 @@ Result<std::unique_ptr<ShardedDeployment>> ShardedDeployment::Create(
               file_options));
       stores.push_back(std::move(store));
     }
+    if (config.engine.forest_stage2) {
+      AggregatorJournal::Options journal_options;
+      journal_options.fsync_on_append = config.log_fsync;
+      WEDGE_ASSIGN_OR_RETURN(
+          journal, AggregatorJournal::Open(
+                       config.log_dir + "/aggregator.journal",
+                       journal_options));
+    }
   }
   WEDGE_ASSIGN_OR_RETURN(
       d->engine_,
       ShardedLogEngine::Create(config.engine, engine_key, std::move(stores),
                                d->chain_.get(), d->root_record_address_,
-                               d->telemetry_.get()));
+                               d->telemetry_.get(), std::move(journal)));
   return d;
 }
 

@@ -62,10 +62,35 @@ class ShardedLogEngine {
  public:
   /// `stores` must be empty (memory stores) or have exactly
   /// config.num_shards entries. `chain` may be null (benches).
+  /// `journal` (optional, forest mode only) is attached to the
+  /// aggregator and replayed before the engine serves anything, so a
+  /// restarted engine resumes its epoch numbering and proof index where
+  /// the journal left off; call Recover() afterwards to reconcile the
+  /// replayed state with the shard tails and the chain.
   static Result<std::unique_ptr<ShardedLogEngine>> Create(
       const ShardedEngineConfig& config, KeyPair engine_key,
       std::vector<std::unique_ptr<LogStore>> stores, Blockchain* chain,
-      const Address& root_record_address, Telemetry* telemetry);
+      const Address& root_record_address, Telemetry* telemetry,
+      std::unique_ptr<AggregatorJournal> journal = nullptr);
+
+  /// What one Recover() pass did.
+  struct RecoveryReport {
+    uint64_t journaled_epochs = 0;   ///< Epochs replayed from the journal.
+    uint64_t restaged_roots = 0;     ///< Sealed roots no journaled epoch held.
+    uint64_t recovered_epochs = 0;   ///< New epochs closed over those roots.
+    uint64_t resubmitted_epochs = 0; ///< Journaled epochs resubmitted on chain.
+    uint64_t confirmed_epochs = 0;   ///< Epochs found already recorded.
+  };
+
+  /// One-pass crash recovery (forest mode): reconciles every shard's
+  /// recovered log tail against the journal — any batch root sealed
+  /// before the crash but never assigned to an epoch is staged and closed
+  /// into fresh epochs — then checks every epoch with no in-flight
+  /// transaction against the chain's forest record, resubmitting the
+  /// ones whose root never landed. Idempotent: a second call (or a call
+  /// after a clean shutdown) finds nothing to do. Generalizes
+  /// OffchainNode::Recover to the sharded topology.
+  Result<RecoveryReport> Recover();
 
   /// Routed, admission-controlled append. Quota rejections are typed
   /// Status::ResourceExhausted, which the RPC layer forwards verbatim.
@@ -116,6 +141,7 @@ class ShardedLogEngine {
   std::unique_ptr<Telemetry> owned_telemetry_;
   std::unique_ptr<AdmissionController> admission_;
   std::vector<std::unique_ptr<OffchainNode>> shards_;
+  std::unique_ptr<AggregatorJournal> journal_;
   std::unique_ptr<EpochRootAggregator> aggregator_;
   uint64_t ticks_ = 0;
 
@@ -141,7 +167,8 @@ struct ShardedDeploymentConfig {
   int64_t escrow_lock_seconds = 30 * 24 * 3600;
   int64_t omission_grace_seconds = 600;
   /// Per-shard file-backed stores at `<log_dir>/shard-<i>.log`
-  /// ("" = in-memory).
+  /// ("" = in-memory). Forest mode also keeps the aggregator journal at
+  /// `<log_dir>/aggregator.journal`.
   std::string log_dir;
   bool log_fsync = false;
 };

@@ -150,9 +150,17 @@ Status FileLogStore::Append(const LogPosition& position) {
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     return Status::Internal("short write to log file");
   }
+  // Always push the record into the page cache before acking: a record
+  // left in the stdio buffer dies with the process, and a SIGKILL would
+  // then silently reuse this log_id for a different batch after replay.
+  // fsync (power-loss durability) stays optional; process-crash
+  // durability is not.
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("fflush failed on append");
+  }
   if (options_.fsync_on_append) {
     Stopwatch fsync_watch(RealClock::Global());
-    if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
+    if (fsync(fileno(file_)) != 0) {
       return Status::Internal("fsync failed on append");
     }
     if (fsync_hist_ != nullptr) {

@@ -1,0 +1,130 @@
+// FaultyTransport is the seed of every chaos run's determinism: same
+// (seed, call sequence) must mean the same fault schedule, and scripted
+// partitions must override the probabilistic spec absolutely.
+
+#include "net/fault_transport.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wedge {
+namespace {
+
+TEST(FaultyTransportTest, SameSeedSameSchedule) {
+  FaultSpec spec;
+  spec.seed = 42;
+  spec.connect_refuse_rate = 0.3;
+  spec.send_drop_rate = 0.2;
+  spec.send_delay_rate = 0.25;
+  spec.send_delay_min = 10;
+  spec.send_delay_max = 500;
+  spec.send_duplicate_rate = 0.1;
+
+  auto run = [&spec]() {
+    FaultyTransport transport(spec);
+    std::vector<int> trace;
+    for (int i = 0; i < 200; ++i) {
+      trace.push_back(transport.AllowConnect("a:1") ? 1 : 0);
+      auto d = transport.OnSend("a:1");
+      trace.push_back(static_cast<int>(d.action));
+      trace.push_back(static_cast<int>(d.delay));
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+
+  FaultSpec other = spec;
+  other.seed = 43;
+  FaultyTransport transport(other);
+  std::vector<int> trace;
+  for (int i = 0; i < 200; ++i) {
+    trace.push_back(transport.AllowConnect("a:1") ? 1 : 0);
+    auto d = transport.OnSend("a:1");
+    trace.push_back(static_cast<int>(d.action));
+    trace.push_back(static_cast<int>(d.delay));
+  }
+  EXPECT_NE(run(), trace);
+}
+
+TEST(FaultyTransportTest, ZeroRatesNeverInterfere) {
+  FaultyTransport transport(FaultSpec{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(transport.AllowConnect("a:1"));
+    auto d = transport.OnSend("a:1");
+    EXPECT_EQ(d.action, FaultyTransport::SendAction::kDeliver);
+    EXPECT_EQ(d.delay, 0);
+  }
+  auto c = transport.counters();
+  EXPECT_EQ(c.refused_connects, 0u);
+  EXPECT_EQ(c.dropped_sends, 0u);
+  EXPECT_EQ(c.delayed_sends, 0u);
+  EXPECT_EQ(c.duplicated_sends, 0u);
+}
+
+TEST(FaultyTransportTest, FullRatesAlwaysFire) {
+  FaultSpec spec;
+  spec.connect_refuse_rate = 1.0;
+  spec.send_drop_rate = 1.0;
+  FaultyTransport transport(spec);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(transport.AllowConnect("a:1"));
+    EXPECT_EQ(transport.OnSend("a:1").action,
+              FaultyTransport::SendAction::kDrop);
+  }
+  auto c = transport.counters();
+  EXPECT_EQ(c.refused_connects, 50u);
+  EXPECT_EQ(c.dropped_sends, 50u);
+}
+
+TEST(FaultyTransportTest, DelayBoundsRespected) {
+  FaultSpec spec;
+  spec.send_delay_rate = 1.0;
+  spec.send_delay_min = 100;
+  spec.send_delay_max = 200;
+  FaultyTransport transport(spec);
+  for (int i = 0; i < 100; ++i) {
+    auto d = transport.OnSend("a:1");
+    EXPECT_GE(d.delay, 100);
+    EXPECT_LE(d.delay, 200);
+  }
+  EXPECT_EQ(transport.counters().delayed_sends, 100u);
+}
+
+TEST(FaultyTransportTest, PartitionOverridesCleanSpec) {
+  FaultyTransport transport(FaultSpec{});
+  EXPECT_FALSE(transport.IsPartitioned("a:1"));
+  transport.Partition("a:1");
+  EXPECT_TRUE(transport.IsPartitioned("a:1"));
+  // Inside the partition: every dial refused, every send dropped —
+  // deterministically, regardless of the zero-rate spec.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(transport.AllowConnect("a:1"));
+    EXPECT_EQ(transport.OnSend("a:1").action,
+              FaultyTransport::SendAction::kDrop);
+  }
+  // Other endpoints are untouched.
+  EXPECT_TRUE(transport.AllowConnect("b:2"));
+  EXPECT_EQ(transport.OnSend("b:2").action,
+            FaultyTransport::SendAction::kDeliver);
+
+  transport.Heal("a:1");
+  EXPECT_FALSE(transport.IsPartitioned("a:1"));
+  EXPECT_TRUE(transport.AllowConnect("a:1"));
+}
+
+TEST(FaultyTransportTest, WildcardFreezesEverything) {
+  FaultyTransport transport(FaultSpec{});
+  transport.Partition("*");
+  EXPECT_TRUE(transport.IsPartitioned("a:1"));
+  EXPECT_TRUE(transport.IsPartitioned("anything"));
+  EXPECT_FALSE(transport.AllowConnect("b:2"));
+  EXPECT_EQ(transport.OnSend("c:3").action,
+            FaultyTransport::SendAction::kDrop);
+  transport.HealAll();
+  EXPECT_FALSE(transport.IsPartitioned("a:1"));
+  EXPECT_TRUE(transport.AllowConnect("b:2"));
+}
+
+}  // namespace
+}  // namespace wedge

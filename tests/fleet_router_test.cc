@@ -1,0 +1,210 @@
+// FleetRouter failover tests against one live sharded RpcServer plus one
+// deliberately dead endpoint: the dead shard's breaker must trip and
+// convert hangs into immediate typed kUnavailable fast-fails, the healthy
+// shard must keep serving at full speed, and a healed shard must be
+// readmitted through the half-open probe.
+//
+// Set WEDGE_SKIP_SOCKET_TESTS=1 to skip at runtime.
+
+#include "shard/fleet_router.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "net/fault_transport.h"
+#include "rpc/rpc_server.h"
+#include "shard/shard_rpc.h"
+#include "shard/sharded_engine.h"
+
+namespace wedge {
+namespace {
+
+bool SocketTestsDisabled() {
+  const char* skip = std::getenv("WEDGE_SKIP_SOCKET_TESTS");
+  return skip != nullptr && skip[0] == '1';
+}
+
+/// A port that refuses connections: bound but never listened on. Holding
+/// the fd keeps the port reserved for the test's lifetime.
+class DeadPort {
+ public:
+  DeadPort() {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      socklen_t len = sizeof(addr);
+      getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+      port_ = ntohs(addr.sin_port);
+    }
+  }
+  ~DeadPort() {
+    if (fd_ >= 0) close(fd_);
+  }
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+class FleetRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (SocketTestsDisabled()) {
+      GTEST_SKIP() << "WEDGE_SKIP_SOCKET_TESTS=1";
+    }
+    ShardedDeploymentConfig config;
+    config.engine.num_shards = 1;
+    config.engine.node.batch_size = 4;
+    config.engine.node.worker_threads = 1;
+    config.engine.forest_stage2 = true;
+    auto d = ShardedDeployment::Create(config);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    deployment_ = std::move(d).value();
+    server_key_ = std::make_unique<KeyPair>(
+        KeyPair::FromSeed(config.engine_key_seed));
+    ShardedLogEngine& engine = deployment_->engine();
+    server_ = std::make_unique<RpcServer>(
+        RpcServer::Handler([&engine](std::string_view op, const Bytes& body) {
+          return DispatchEngineRpc(engine, op, body);
+        }),
+        *server_key_, RpcServerConfig{}, &deployment_->telemetry());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+  }
+
+  FleetRouterConfig BaseConfig() {
+    FleetRouterConfig config;
+    config.client.rpc_timeout = 2 * kMicrosPerSecond;
+    config.client.max_call_attempts = 2;
+    config.client.retry_backoff_min = 5 * kMicrosPerMilli;
+    config.client.retry_backoff_max = 20 * kMicrosPerMilli;
+    config.breaker_failure_threshold = 2;
+    config.breaker_open_duration = 200 * kMicrosPerMilli;
+    return config;
+  }
+
+  /// First tenant in [0, 64) that the router maps to `shard`.
+  static TenantId TenantOn(const FleetRouter& router, uint32_t shard) {
+    for (TenantId t = 0; t < 64; ++t) {
+      if (router.ShardFor(t) == shard) return t;
+    }
+    ADD_FAILURE() << "no tenant maps to shard " << shard;
+    return 0;
+  }
+
+  std::vector<AppendRequest> MakeBatch(int n) {
+    std::vector<AppendRequest> out;
+    for (int i = 0; i < n; ++i) {
+      out.push_back(AppendRequest::Make(publisher_, seq_++,
+                                        ToBytes("k" + std::to_string(i)),
+                                        ToBytes("v")));
+    }
+    return out;
+  }
+
+  std::unique_ptr<ShardedDeployment> deployment_;
+  std::unique_ptr<KeyPair> server_key_;
+  std::unique_ptr<RpcServer> server_;
+  KeyPair publisher_ = KeyPair::FromSeed(0xC11E);
+  uint64_t seq_ = 0;
+};
+
+TEST_F(FleetRouterTest, BreakerIsolatesDeadShardHealthyShardUnaffected) {
+  DeadPort dead;
+  ASSERT_NE(dead.port(), 0);
+  FleetRouterConfig config = BaseConfig();
+  config.endpoints = {{"127.0.0.1", server_->port()},
+                      {"127.0.0.1", dead.port()}};
+  FleetRouter router(KeyPair::FromSeed(0xC11E), server_key_->address(),
+                     config);
+  // Connect succeeds with one of two shards reachable.
+  ASSERT_TRUE(router.Connect().ok());
+
+  TenantId live_tenant = TenantOn(router, 0);
+  TenantId dead_tenant = TenantOn(router, 1);
+
+  // Trip the dead shard's breaker: each failed call (kUnavailable after
+  // the client's own retries) counts one strike.
+  for (int i = 0; i < config.breaker_failure_threshold; ++i) {
+    auto r = router.Append(dead_tenant, MakeBatch(2));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), Code::kUnavailable)
+        << r.status().ToString();
+  }
+  EXPECT_EQ(router.Health(1), FleetRouter::ShardHealth::kOpen);
+  EXPECT_GE(router.breaker_trips(), 1u);
+  EXPECT_GE(router.retries(), 1u);
+
+  // While open: immediate typed fast-fail naming the shard, no dialing.
+  uint64_t fast_fails_before = router.fast_fails();
+  auto fast = router.Append(dead_tenant, MakeBatch(2));
+  ASSERT_FALSE(fast.ok());
+  EXPECT_EQ(fast.status().code(), Code::kUnavailable);
+  EXPECT_NE(fast.status().message().find("shard"), std::string::npos)
+      << fast.status().ToString();
+  EXPECT_GT(router.fast_fails(), fast_fails_before);
+
+  // The healthy shard is untouched by its neighbour's breaker.
+  auto ok = router.Append(live_tenant, MakeBatch(4));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ASSERT_EQ(ok->size(), 4u);
+  for (const auto& r : *ok) {
+    EXPECT_TRUE(r.Verify(server_key_->address()));
+  }
+  EXPECT_EQ(router.Health(0), FleetRouter::ShardHealth::kClosed);
+  router.Close();
+}
+
+TEST_F(FleetRouterTest, HalfOpenProbeReclosesAfterHeal) {
+  auto faults = std::make_shared<FaultyTransport>(FaultSpec{});
+  FleetRouterConfig config = BaseConfig();
+  config.endpoints = {{"127.0.0.1", server_->port()}};
+  config.client.faults = faults;
+  FleetRouter router(KeyPair::FromSeed(0xC11E), server_key_->address(),
+                     config);
+  ASSERT_TRUE(router.Connect().ok());
+  TenantId tenant = TenantOn(router, 0);
+  ASSERT_TRUE(router.Append(tenant, MakeBatch(2)).ok());
+
+  // Partition the only shard until its breaker opens.
+  std::string endpoint =
+      "127.0.0.1:" + std::to_string(server_->port());
+  faults->Partition(endpoint);
+  for (int i = 0; i < config.breaker_failure_threshold; ++i) {
+    auto r = router.Append(tenant, MakeBatch(2));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), Code::kUnavailable);
+  }
+  EXPECT_EQ(router.Health(0), FleetRouter::ShardHealth::kOpen);
+
+  // Heal, wait out the open interval: the next call is admitted as the
+  // half-open probe, succeeds, and re-closes the breaker.
+  faults->HealAll();
+  usleep(static_cast<useconds_t>(config.breaker_open_duration +
+                                 50 * kMicrosPerMilli));
+  uint64_t probes_before = router.probes();
+  auto probe = router.Append(tenant, MakeBatch(2));
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_GT(router.probes(), probes_before);
+  EXPECT_EQ(router.Health(0), FleetRouter::ShardHealth::kClosed);
+
+  // And service continues normally afterwards.
+  EXPECT_TRUE(router.Append(tenant, MakeBatch(2)).ok());
+  router.Close();
+}
+
+}  // namespace
+}  // namespace wedge

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <set>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -430,6 +431,101 @@ TEST_F(RpcTest, ClientReconnectsAfterServerRestart) {
   EXPECT_TRUE(recovered);
   EXPECT_GE(client.reconnects(), 1u);
   client.Close();
+  revived.Shutdown();
+}
+
+TEST_F(RpcTest, DrainServesPipelinedRequestsAcrossHalfCloseAndRestart) {
+  // A client pipelines requests and half-closes its write side before
+  // reading any reply. The server has already TCP-acked those requests;
+  // dropping the produced responses on EOF (or on shutdown) would be
+  // acks-then-drops, which a restarting shard must never do. Big replies
+  // make sure the write buffers cannot be flushed in one pass, so the
+  // drain path itself is on the hook.
+  KeyPair publisher = KeyPair::FromSeed(0xC11E);
+  uint64_t seq = 0;
+  std::vector<AppendRequest> big;
+  std::vector<uint32_t> offsets;
+  // One full batch (batch_size=4) of fat entries: every readBatch reply
+  // below is ~1MB, so six pipelined replies cannot hide in the kernel
+  // socket buffers while the peer is not reading.
+  for (int i = 0; i < 4; ++i) {
+    big.push_back(AppendRequest::Make(publisher, seq++, ToBytes("big"),
+                                      Bytes(256 * 1024, 0xAB)));
+    offsets.push_back(static_cast<uint32_t>(i));
+  }
+  {
+    auto setup_client = MakeClient();
+    ASSERT_TRUE(setup_client->Connect().ok());
+    ASSERT_TRUE(setup_client->Append(big).ok());
+    setup_client->Close();
+  }
+
+  constexpr int kPipelined = 6;
+  Bytes wire;
+  for (int i = 0; i < kPipelined; ++i) {
+    RpcRequest request;
+    request.rpc_id = 100 + static_cast<uint64_t>(i);
+    request.op = std::string(kOpReadBatch);
+    request.body = EncodeReadBatchBody(0, offsets);
+    SignedEnvelope envelope =
+        SignedEnvelope::Create(publisher, request.Encode());
+    Bytes frame = EncodeFrame(envelope.Serialize());
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  int fd = DialLoopback(server_->port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(WriteAll(fd, wire));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);  // Server sees EOF immediately.
+
+  // One decoder across all replies: back-to-back frames straddle read
+  // chunks, so per-call decoders (ReadOneFrame) would drop the tail.
+  FrameDecoder decoder;
+  uint8_t rbuf[64 * 1024];
+  auto read_next_frame = [&]() -> Result<Bytes> {
+    while (true) {
+      Bytes payload;
+      auto got = decoder.Next(&payload);
+      if (!got.ok()) return got.status();
+      if (*got) return payload;
+      ssize_t n = ::read(fd, rbuf, sizeof(rbuf));
+      if (n == 0) return Status::Unavailable("peer closed");
+      if (n < 0) return Status::Timeout("read timed out");
+      decoder.Feed(rbuf, static_cast<size_t>(n));
+    }
+  };
+  std::set<uint64_t> rpc_ids;
+  for (int i = 0; i < kPipelined; ++i) {
+    auto reply = read_next_frame();
+    ASSERT_TRUE(reply.ok())
+        << "reply " << i << " lost: " << reply.status().ToString();
+    auto envelope = SignedEnvelope::Deserialize(*reply);
+    ASSERT_TRUE(envelope.ok());
+    EXPECT_TRUE(envelope->Verify());
+    auto response = RpcResponse::Decode(envelope->payload);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->ok) << response->error;
+    rpc_ids.insert(response->rpc_id);
+  }
+  EXPECT_EQ(rpc_ids.size(), static_cast<size_t>(kPipelined));
+  ::close(fd);
+
+  // Restart path: graceful shutdown, then revive on the same port. The
+  // drained node must come back serving the same log.
+  uint16_t port = server_->port();
+  server_->Shutdown();
+  RpcServerConfig server_config;
+  server_config.port = port;
+  RpcServer revived(&deployment_->node(), *server_key_, server_config);
+  ASSERT_TRUE(revived.Start().ok());
+  auto client = MakeClient();
+  bool recovered = false;
+  for (int attempt = 0; attempt < 100 && !recovered; ++attempt) {
+    auto read = client->ReadOne(EntryIndex{0, 0});
+    recovered = read.ok() && read->Verify(deployment_->node().address());
+    if (!recovered) ::usleep(50'000);
+  }
+  EXPECT_TRUE(recovered);
+  client->Close();
   revived.Shutdown();
 }
 

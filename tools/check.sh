@@ -43,7 +43,7 @@ if [[ ! " ${sanitizers[*]} " =~ " thread " ]]; then
   cmake --build "$build_dir" -j "$(nproc)" >/dev/null
   echo "==> [thread] running concurrent-subsystem tests"
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-    -R 'telemetry|stage2_submitter|chain_test|integration|wire_test|rpc_test|shard'
+    -R 'telemetry|stage2_submitter|chain_test|integration|wire_test|rpc_test|shard|fault_transport|fleet_router|agg_journal|chaos_test'
   echo "==> [thread] OK"
 fi
 
@@ -60,3 +60,14 @@ echo "==> [scalar] OK"
 
 echo "==> running hot-path perf smoke"
 "$repo_root/tools/perf_smoke.sh"
+
+# Chaos smoke: a short scripted kill + partition + recover run against
+# real wedgeblockd processes (see tools/chaos.sh). Fails the check if any
+# client-acked entry is lost or flunks two-level verification. Reuses the
+# first sanitizer build, so the daemons run instrumented.
+echo "==> running chaos smoke"
+chaos_work="$(mktemp -d /tmp/wedge-chaos-check-XXXXXX)"
+BUILD_DIR="$repo_root/build-${sanitizers[0]}" "$repo_root/tools/chaos.sh" \
+  --work-dir "$chaos_work" --batches 4 --tenants 4 --audit-timeout-s 90
+rm -rf "$chaos_work"
+echo "==> chaos smoke OK"

@@ -12,7 +12,8 @@
 //               [--mine-ms N] [--duration-s N] [--telemetry-out PATH]
 //               [--shards N] [--tenants N] [--epoch-blocks N]
 //               [--tenant-rate N] [--tenant-burst N] [--tenant-inflight N]
-//               [--tenant-auth]
+//               [--tenant-auth] [--forest] [--log-dir PATH] [--fsync]
+//               [--recover]
 //
 //   --port 0 (default) picks an ephemeral port; the daemon prints
 //   "LISTENING <port>" on stdout either way, so scripts can scrape it.
@@ -38,6 +39,21 @@
 //   authenticated identities; without it the wire tenant id is trusted
 //   and quotas assume cooperative clients. Incompatible with
 //   --no-verify-sigs.
+//
+//   Crash-resilience flags (sharded mode; see DESIGN.md "Sharded failure
+//   model & recovery"):
+//   --forest forces the epoch forest-root pipeline even at --shards 1,
+//   so a fleet of single-shard processes (tools/chaos) gets the same
+//   journal + recovery machinery a multi-shard engine does.
+//   --log-dir PATH puts every shard log at PATH/shard-<i>.log and — in
+//   forest mode — the aggregator journal at PATH/aggregator.journal, so
+//   a SIGKILL'd daemon can be restarted over the same directory.
+//   --fsync fsyncs both after every record (durability over throughput).
+//   --recover replays the journal, reconciles shard tails and the chain,
+//   and resubmits unconfirmed epochs before serving; the daemon prints
+//   "RECOVERED journaled=N restaged=N closed=N resubmitted=N confirmed=N"
+//   for scripts to scrape. Recovery on a fresh --log-dir is a no-op, so
+//   restart scripts can pass it unconditionally.
 
 #include <signal.h>
 #include <unistd.h>
@@ -80,6 +96,10 @@ struct Options {
   uint64_t tenant_burst = 0;     ///< Token-bucket burst (0 = 2x rate).
   uint64_t tenant_inflight = 0;  ///< In-flight appends per tenant (0 = off).
   bool tenant_auth = false;      ///< Bind tenant ids to publisher keys.
+  bool forest = false;           ///< Force forest stage-2 at any shard count.
+  std::string log_dir;           ///< Durable shard logs + aggregator journal.
+  bool fsync = false;            ///< fsync after every durable record.
+  bool recover = false;          ///< Run engine recovery before serving.
 };
 
 int Usage(const char* argv0) {
@@ -91,7 +111,8 @@ int Usage(const char* argv0) {
                "[--telemetry-out PATH]\n"
                "          [--shards N] [--tenants N] [--epoch-blocks N]\n"
                "          [--tenant-rate N] [--tenant-burst N] "
-               "[--tenant-inflight N] [--tenant-auth]\n",
+               "[--tenant-inflight N] [--tenant-auth]\n"
+               "          [--forest] [--log-dir PATH] [--fsync] [--recover]\n",
                argv0);
   return 2;
 }
@@ -157,6 +178,14 @@ Result<Options> Parse(int argc, char** argv) {
       opts.tenant_inflight = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag == "--tenant-auth") {
       opts.tenant_auth = true;
+    } else if (flag == "--forest") {
+      opts.forest = true;
+    } else if (flag == "--log-dir") {
+      WEDGE_ASSIGN_OR_RETURN(opts.log_dir, next());
+    } else if (flag == "--fsync") {
+      opts.fsync = true;
+    } else if (flag == "--recover") {
+      opts.recover = true;
     } else {
       return Status::InvalidArgument("unknown flag " + flag);
     }
@@ -204,13 +233,17 @@ int RunSharded(const Options& opts) {
   config.engine.epoch_ticks = opts.epoch_blocks;
   // A single shard keeps the classic per-batch stage-2 stream (the
   // degenerate configuration, byte-identical to the bare node); two or
-  // more shards aggregate into one forest root per epoch.
-  config.engine.forest_stage2 = opts.shards > 1;
+  // more shards aggregate into one forest root per epoch. --forest opts
+  // a single-shard process into the forest pipeline anyway, which is how
+  // a chaos fleet of one-shard daemons gets journaled recovery.
+  config.engine.forest_stage2 = opts.shards > 1 || opts.forest;
   config.engine.quota.entries_per_second = opts.tenant_rate;
   config.engine.quota.burst_entries = opts.tenant_burst;
   config.engine.quota.max_inflight_appends = opts.tenant_inflight;
   config.engine.quota.max_tenants = opts.tenants;
   config.engine.authenticate_tenants = opts.tenant_auth;
+  config.log_dir = opts.log_dir;
+  config.log_fsync = opts.fsync;
   auto deployment = ShardedDeployment::Create(config);
   if (!deployment.ok()) {
     std::fprintf(stderr, "sharded deployment failed: %s\n",
@@ -218,6 +251,23 @@ int RunSharded(const Options& opts) {
     return 1;
   }
   ShardedDeployment& d = **deployment;
+
+  if (opts.recover) {
+    auto report = d.engine().Recover();
+    if (!report.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("RECOVERED journaled=%llu restaged=%llu closed=%llu "
+                "resubmitted=%llu confirmed=%llu\n",
+                static_cast<unsigned long long>(report->journaled_epochs),
+                static_cast<unsigned long long>(report->restaged_roots),
+                static_cast<unsigned long long>(report->recovered_epochs),
+                static_cast<unsigned long long>(report->resubmitted_epochs),
+                static_cast<unsigned long long>(report->confirmed_epochs));
+    std::fflush(stdout);
+  }
 
   RpcServerConfig server_config;
   server_config.bind_address = opts.bind;
