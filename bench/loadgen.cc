@@ -33,6 +33,17 @@
 // a typed ResourceExhausted status from admission control, counted
 // separately from transport errors. --tenant-rate/--tenant-burst/
 // --tenant-inflight set the spawned server's admission quotas.
+//
+// Fleet mode (--fleet h:p,h:p,...): drives a FleetRouter over one
+// wedgeblockd process per endpoint instead of a single connection pool —
+// every op is tenant-routed on the client-side consistent-hash ring and
+// per-shard breakers convert dead processes into typed fast-fails.
+//
+// Trace sampling (--trace-every N): every Nth append runs under a fresh
+// propagated trace context — the client stamps client_enqueue /
+// client_acked spans locally and the trace_id rides the RPC frame so the
+// serving daemon's spans (rpc_recv, ingest, seal, ...) carry the same id.
+// Dump with --telemetry-out and stitch with tools/trace_summary.py.
 
 #include <algorithm>
 #include <atomic>
@@ -44,9 +55,11 @@
 #include "bench/bench_util.h"
 #include "rpc/rpc_server.h"
 #include "rpc/tcp_client.h"
+#include "shard/fleet_router.h"
 #include "shard/router.h"
 #include "shard/shard_rpc.h"
 #include "shard/sharded_engine.h"
+#include "telemetry/tracer.h"
 
 namespace wedge {
 namespace {
@@ -73,6 +86,8 @@ struct Options {
   uint64_t tenant_rate = 0;
   uint64_t tenant_burst = 0;
   uint64_t tenant_inflight = 0;
+  std::string fleet;        ///< Comma-separated host:port shard endpoints.
+  uint64_t trace_every = 0; ///< Trace every Nth append (0 = off).
 };
 
 int Usage(const char* argv0) {
@@ -84,7 +99,8 @@ int Usage(const char* argv0) {
       "          [--value-bytes N] [--read-fraction F] [--server-workers N]\n"
       "          [--verify-sigs] [--seed N] [--telemetry-out PATH]\n"
       "          [--tenants N] [--tenant-skew S] [--server-shards N]\n"
-      "          [--tenant-rate N] [--tenant-burst N] [--tenant-inflight N]\n",
+      "          [--tenant-rate N] [--tenant-burst N] [--tenant-inflight N]\n"
+      "          [--fleet H:P,H:P,...] [--trace-every N]\n",
       argv0);
   return 2;
 }
@@ -161,12 +177,22 @@ Result<Options> Parse(int argc, char** argv) {
     } else if (flag == "--tenant-inflight") {
       WEDGE_ASSIGN_OR_RETURN(std::string v, next());
       opts.tenant_inflight = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--fleet") {
+      WEDGE_ASSIGN_OR_RETURN(opts.fleet, next());
+    } else if (flag == "--trace-every") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.trace_every = std::strtoull(v.c_str(), nullptr, 10);
     } else {
       return Status::InvalidArgument("unknown flag " + flag);
     }
   }
-  if (!opts.spawn_server && opts.port == 0) {
-    return Status::InvalidArgument("need --spawn-server or --host/--port");
+  if (!opts.fleet.empty() && opts.spawn_server) {
+    return Status::InvalidArgument("--fleet drives external daemons; drop "
+                                   "--spawn-server");
+  }
+  if (!opts.spawn_server && opts.port == 0 && opts.fleet.empty()) {
+    return Status::InvalidArgument(
+        "need --spawn-server, --host/--port, or --fleet");
   }
   if (opts.threads < 1 || opts.connections < 1 || opts.batch == 0 ||
       opts.duration_s < 1 || opts.rate <= 0 || opts.read_fraction < 0 ||
@@ -202,6 +228,62 @@ class ZipfSampler {
   std::vector<double> cdf_;
 };
 
+/// "h:p,h:p,..." -> endpoints, with the permissive parsing a shell
+/// one-liner deserves (spaces trimmed, empty items rejected).
+Result<std::vector<FleetEndpoint>> ParseFleet(const std::string& spec) {
+  std::vector<FleetEndpoint> endpoints;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    while (!item.empty() && item.front() == ' ') item.erase(item.begin());
+    while (!item.empty() && item.back() == ' ') item.pop_back();
+    size_t colon = item.rfind(':');
+    if (item.empty() || colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("--fleet item must be host:port: '" +
+                                     item + "'");
+    }
+    unsigned long p = std::strtoul(item.c_str() + colon + 1, nullptr, 10);
+    if (p == 0 || p > 65535) {
+      return Status::InvalidArgument("--fleet bad port in '" + item + "'");
+    }
+    FleetEndpoint ep;
+    ep.host = item.substr(0, colon);
+    ep.port = static_cast<uint16_t>(p);
+    endpoints.push_back(std::move(ep));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return endpoints;
+}
+
+/// Uniform client surface over the two transports loadgen can drive: a
+/// single pooled TcpNodeClient or a FleetRouter fanning out to one TCP
+/// endpoint per shard process (--fleet). The fleet path is always
+/// tenant-routed (that is what a fleet is); the direct path picks the
+/// tenant-scoped ops only in multi-tenant runs so the single-tenant
+/// smoke keeps exercising the original RPCs.
+struct ClientAdapter {
+  TcpNodeClient* direct = nullptr;
+  FleetRouter* fleet = nullptr;
+
+  Result<std::vector<Stage1Response>> Append(
+      uint64_t tenant, bool tenant_ops,
+      const std::vector<AppendRequest>& batch) {
+    if (fleet != nullptr) return fleet->Append(tenant, batch);
+    return tenant_ops ? direct->AppendForTenant(tenant, batch)
+                      : direct->Append(batch);
+  }
+
+  Result<Stage1Response> ReadOne(uint64_t tenant, bool tenant_ops,
+                                 const EntryIndex& index) {
+    if (fleet != nullptr) return fleet->ReadOne(tenant, index);
+    return tenant_ops ? direct->ReadOneForTenant(tenant, index)
+                      : direct->ReadOne(index);
+  }
+};
+
 /// Per-tenant slice of the workload: its own publisher keypair (signed
 /// corpus), its own readable-index sample (log ids are tenant-routed in
 /// sharded mode), and per-tenant latency/rejection metrics.
@@ -226,6 +308,10 @@ struct RunState {
   Counter* errors;
   Counter* quota_rejections;
   Counter* sched_lagged;
+  Counter* traces;
+  /// Monotone op number driving --trace-every sampling (shared across
+  /// workers so "every Nth append" means fleet-wide, not per-thread).
+  std::atomic<uint64_t> append_seq{0};
   /// Client-side tenant->shard map (same consistent-hash ring the sharded
   /// engine uses), so failures are attributable to the shard that died
   /// rather than vanishing into one aggregate counter. Null when the
@@ -239,7 +325,7 @@ struct RunState {
   }
 };
 
-void DoOne(const Options& opts, RunState& state, TcpNodeClient& client,
+void DoOne(const Options& opts, RunState& state, ClientAdapter& client,
            Rng& rng) {
   // Tenant 0 is the only tenant (and gets the legacy ops) when --tenants
   // is 1, so the single-tenant smoke run exercises the original path.
@@ -259,8 +345,7 @@ void DoOne(const Options& opts, RunState& state, TcpNodeClient& client,
     }
     if (do_read) {
       Micros start = RealClock::Global()->NowMicros();
-      auto response = tenant_ops ? client.ReadOneForTenant(tenant, target)
-                                 : client.ReadOne(target);
+      auto response = client.ReadOne(tenant, tenant_ops, target);
       state.read_hist->Record(RealClock::Global()->NowMicros() - start);
       if (response.ok()) {
         state.read_ops->Add(1);
@@ -270,11 +355,37 @@ void DoOne(const Options& opts, RunState& state, TcpNodeClient& client,
       return;
     }
   }
+  // Every --trace-every'th append runs under a fresh propagated trace
+  // context: the id is stamped onto the wire frame by TcpNodeClient, so
+  // the daemon's spans join ours. Ids are derived from (seed, op number)
+  // — unique within a run, reproducible across runs of the same seed.
+  uint64_t trace_id = 0;
+  if (opts.trace_every > 0) {
+    uint64_t n = state.append_seq.fetch_add(1);
+    if (n % opts.trace_every == 0) {
+      trace_id = (opts.seed << 24) + n + 1;
+      if (trace_id == 0) trace_id = n + 1;
+      state.traces->Add(1);
+    }
+  }
+  ScopedTrace scope(trace_id, trace_id != 0 ? "loadgen" : "");
   uint64_t i = ten.next_batch.fetch_add(1) % ten.corpus.size();
+  if (trace_id != 0) {
+    state.telemetry.tracer.Event(0, trace_stage::kClientEnqueue, opts.batch,
+                                 "tenant=" + std::to_string(tenant));
+  }
   Micros start = RealClock::Global()->NowMicros();
-  auto responses = tenant_ops ? client.AppendForTenant(tenant, ten.corpus[i])
-                              : client.Append(ten.corpus[i]);
+  auto responses = client.Append(tenant, tenant_ops, ten.corpus[i]);
   Micros took = RealClock::Global()->NowMicros() - start;
+  if (trace_id != 0) {
+    uint64_t log_id =
+        responses.ok() && !responses->empty() ? responses->front().index.log_id
+                                              : 0;
+    state.telemetry.tracer.Event(
+        log_id, trace_stage::kClientAcked, opts.batch,
+        std::string("us=") + std::to_string(took) +
+            (responses.ok() ? "" : " err=1"));
+  }
   state.append_hist->Record(took);
   ten.append_hist->Record(took);
   if (!responses.ok()) {
@@ -295,7 +406,7 @@ void DoOne(const Options& opts, RunState& state, TcpNodeClient& client,
   }
 }
 
-void WorkerLoop(const Options& opts, RunState& state, TcpNodeClient& client,
+void WorkerLoop(const Options& opts, RunState& state, ClientAdapter& client,
                 int worker_id, Micros deadline) {
   Rng rng(opts.seed * 7919 + worker_id);
   if (opts.mode == "closed") {
@@ -424,12 +535,26 @@ int Run(const Options& opts) {
       state.telemetry.metrics.GetCounter("wedge.loadgen.quota_rejections");
   state.sched_lagged =
       state.telemetry.metrics.GetCounter("wedge.loadgen.sched_lagged");
+  state.traces = state.telemetry.metrics.GetCounter("wedge.loadgen.traces");
   state.zipf = std::make_unique<ZipfSampler>(opts.tenants, opts.tenant_skew);
+  std::vector<FleetEndpoint> fleet_endpoints;
+  if (!opts.fleet.empty()) {
+    auto parsed = ParseFleet(opts.fleet);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    fleet_endpoints = std::move(parsed).value();
+  }
   // --server-shards doubles as the ring size for remote daemons, so
   // per-shard error attribution works against a fleet we did not spawn.
-  if (opts.tenants > 1 && opts.server_shards > 1) {
-    state.ring = std::make_unique<ShardRouter>(opts.server_shards);
-    for (uint32_t s = 0; s < opts.server_shards; ++s) {
+  // In --fleet mode the ring is simply one slot per endpoint.
+  uint32_t ring_shards = !fleet_endpoints.empty()
+                             ? static_cast<uint32_t>(fleet_endpoints.size())
+                             : opts.server_shards;
+  if (ring_shards > 1 && (opts.tenants > 1 || !fleet_endpoints.empty())) {
+    state.ring = std::make_unique<ShardRouter>(ring_shards);
+    for (uint32_t s = 0; s < ring_shards; ++s) {
       state.shard_errors.push_back(state.telemetry.metrics.GetCounter(
           "wedge.loadgen.s" + std::to_string(s) + ".errors"));
     }
@@ -467,29 +592,54 @@ int Run(const Options& opts) {
   client_config.host = host;
   client_config.port = port;
   client_config.pool_size = opts.connections;
+  client_config.telemetry = &state.telemetry;
   KeyPair client_key = KeyPair::FromSeed(opts.seed ^ 0xC11E);
-  TcpNodeClient client(client_key, KeyPair::FromSeed(0xED6E).address(),
-                       client_config);
-  Status connected = client.Connect();
-  if (!connected.ok()) {
-    std::fprintf(stderr, "connect failed: %s\n", connected.ToString().c_str());
-    return 1;
+  const Address engine_address = KeyPair::FromSeed(0xED6E).address();
+  ClientAdapter adapter;
+  std::unique_ptr<TcpNodeClient> direct;
+  std::unique_ptr<FleetRouter> fleet;
+  std::string target_label = host + ":" + std::to_string(port);
+  if (!fleet_endpoints.empty()) {
+    FleetRouterConfig fleet_config;
+    fleet_config.endpoints = fleet_endpoints;
+    fleet_config.client = client_config;  // host/port overridden per shard.
+    fleet = std::make_unique<FleetRouter>(client_key, engine_address,
+                                          fleet_config, &state.telemetry);
+    Status connected = fleet->Connect();
+    if (!connected.ok()) {
+      std::fprintf(stderr, "fleet connect failed: %s\n",
+                   connected.ToString().c_str());
+      return 1;
+    }
+    adapter.fleet = fleet.get();
+    target_label = "fleet of " + std::to_string(fleet_endpoints.size());
+  } else {
+    direct = std::make_unique<TcpNodeClient>(client_key, engine_address,
+                                             client_config);
+    Status connected = direct->Connect();
+    if (!connected.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   connected.ToString().c_str());
+      return 1;
+    }
+    adapter.direct = direct.get();
   }
 
-  bench::PrintHeader("loadgen (" + opts.mode + " loop, " + host + ":" +
-                     std::to_string(port) + ")");
+  bench::PrintHeader("loadgen (" + opts.mode + " loop, " + target_label + ")");
   Micros start = RealClock::Global()->NowMicros();
   Micros deadline = start + opts.duration_s * kMicrosPerSecond;
   std::vector<std::thread> workers;
   workers.reserve(opts.threads);
   for (int t = 0; t < opts.threads; ++t) {
-    workers.emplace_back([&, t] { WorkerLoop(opts, state, client, t, deadline); });
+    workers.emplace_back(
+        [&, t] { WorkerLoop(opts, state, adapter, t, deadline); });
   }
   for (auto& w : workers) w.join();
   double elapsed_s =
       static_cast<double>(RealClock::Global()->NowMicros() - start) /
       kMicrosPerSecond;
-  client.Close();
+  if (direct != nullptr) direct->Close();
+  if (fleet != nullptr) fleet->Close();
   if (server != nullptr) server->Shutdown();
 
   MetricsSnapshot snap = state.telemetry.metrics.Snapshot();
@@ -507,10 +657,21 @@ int Run(const Options& opts) {
       .Field("read_rpcs", reads)
       .Field("errors", errors)
       .Field("rpc_per_s", rpc_per_s)
-      .Field("appends_per_s", appends * opts.batch / elapsed_s)
-      .Field("client_reconnects", client.reconnects())
-      .Field("client_retries", client.retries())
-      .Field("discarded_responses", client.discarded_responses());
+      .Field("appends_per_s", appends * opts.batch / elapsed_s);
+  if (direct != nullptr) {
+    row.Field("client_reconnects", direct->reconnects())
+        .Field("client_retries", direct->retries())
+        .Field("discarded_responses", direct->discarded_responses());
+  }
+  if (fleet != nullptr) {
+    row.Field("fleet_shards", static_cast<uint64_t>(fleet->num_shards()))
+        .Field("client_retries", fleet->retries())
+        .Field("router_fast_fails", fleet->fast_fails())
+        .Field("breaker_trips", fleet->breaker_trips());
+  }
+  if (opts.trace_every > 0) {
+    row.Field("traces", snap.CounterValue("wedge.loadgen.traces"));
+  }
   if (state.ring != nullptr) {
     for (uint32_t s = 0; s < state.ring->num_shards(); ++s) {
       row.Field("s" + std::to_string(s) + "_errors",

@@ -1,0 +1,139 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace wedge {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+int RemainingMs(Micros deadline) {
+  Micros now = RealClock::Global()->NowMicros();
+  if (now >= deadline) return 0;
+  Micros left = deadline - now;
+  return static_cast<int>(left / kMicrosPerMilli) + 1;
+}
+
+}  // namespace
+
+Result<HttpResponse> HttpGet(const std::string& host, uint16_t port,
+                             const std::string& path, Micros timeout) {
+  const Micros deadline = RealClock::Global()->NowMicros() + timeout;
+
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host address " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    Status s = Errno("connect " + host + ":" + std::to_string(port));
+    close(fd);
+    return s;
+  }
+  pollfd pfd{fd, POLLOUT, 0};
+  if (poll(&pfd, 1, RemainingMs(deadline)) <= 0) {
+    close(fd);
+    return Status::DeadlineExceeded("connect timeout to " + host + ":" +
+                                    std::to_string(port));
+  }
+  int err = 0;
+  socklen_t errlen = sizeof(err);
+  getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen);
+  if (err != 0) {
+    close(fd);
+    return Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(err));
+  }
+
+  std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = send(fd, request.data() + sent, request.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pfd.events = POLLOUT;
+        if (poll(&pfd, 1, RemainingMs(deadline)) <= 0) {
+          close(fd);
+          return Status::DeadlineExceeded("send timeout");
+        }
+        continue;
+      }
+      if (errno == EINTR) continue;
+      Status s = Errno("send");
+      close(fd);
+      return s;
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string raw;
+  char buf[16 * 1024];
+  for (;;) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n == 0) break;  // EOF: HTTP/1.0 close delimits the body.
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pfd.events = POLLIN;
+        if (poll(&pfd, 1, RemainingMs(deadline)) <= 0) {
+          close(fd);
+          return Status::DeadlineExceeded("read timeout");
+        }
+        continue;
+      }
+      if (errno == EINTR) continue;
+      Status s = Errno("read");
+      close(fd);
+      return s;
+    }
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+
+  // Status line: "HTTP/1.x NNN reason".
+  size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::Corruption("malformed http response");
+  }
+  size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > line_end) {
+    return Status::Corruption("malformed http status line");
+  }
+  int status = 0;
+  for (size_t i = sp + 1; i < sp + 4; ++i) {
+    if (raw[i] < '0' || raw[i] > '9') {
+      return Status::Corruption("malformed http status code");
+    }
+    status = status * 10 + (raw[i] - '0');
+  }
+  size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Corruption("http response missing header terminator");
+  }
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = raw.substr(header_end + 4);
+  return resp;
+}
+
+}  // namespace wedge

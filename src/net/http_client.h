@@ -1,0 +1,30 @@
+#ifndef WEDGEBLOCK_NET_HTTP_CLIENT_H_
+#define WEDGEBLOCK_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace wedge {
+
+/// Response to one HttpGet: parsed status line plus the raw body.
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.0 GET against an admin endpoint — one
+/// request, read to EOF, parse the status line, return the body. This is
+/// the scrape side of the observability plane (fleetmon, the chaos
+/// harness, tests); it deliberately supports nothing beyond what the
+/// AdminHttpServer emits: no redirects, no chunked encoding, no
+/// keep-alive. Transport failures and timeouts return typed errors.
+Result<HttpResponse> HttpGet(const std::string& host, uint16_t port,
+                             const std::string& path,
+                             Micros timeout = 5 * kMicrosPerSecond);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_NET_HTTP_CLIENT_H_

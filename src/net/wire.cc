@@ -54,6 +54,11 @@ Bytes RpcRequest::Encode() const {
   PutU64(out, rpc_id);
   PutString(out, op);
   PutBytes(out, body);
+  if (trace_id != 0) {
+    PutU32(out, kTraceExtMagic);
+    PutU64(out, trace_id);
+    PutString(out, origin);
+  }
   return out;
 }
 
@@ -66,6 +71,19 @@ Result<RpcRequest> RpcRequest::Decode(const Bytes& payload) {
     return Status::OutOfRange("rpc op name too long");
   }
   WEDGE_ASSIGN_OR_RETURN(req.body, reader.ReadBytes());
+  if (reader.AtEnd()) return req;  // Legacy frame: untraced.
+  WEDGE_ASSIGN_OR_RETURN(uint32_t ext_magic, reader.ReadU32());
+  if (ext_magic != kTraceExtMagic) {
+    return Status::InvalidArgument("trailing bytes after rpc request");
+  }
+  WEDGE_ASSIGN_OR_RETURN(req.trace_id, reader.ReadU64());
+  WEDGE_ASSIGN_OR_RETURN(req.origin, reader.ReadString());
+  if (req.origin.size() > kMaxTraceOriginBytes) {
+    return Status::OutOfRange("trace origin too long");
+  }
+  if (req.trace_id == 0) {
+    return Status::InvalidArgument("trace extension with zero trace_id");
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after rpc request");
   }

@@ -37,6 +37,17 @@ constexpr size_t kDefaultMaxFrameBytes = 32u << 20;
 /// Hard cap on the RPC op-name length; ops are short identifiers.
 constexpr size_t kMaxOpBytes = 64;
 
+/// Tag opening the optional trace-context extension appended after a
+/// request body ("TRAC"). Old decoders rejected any trailing bytes, so a
+/// tag (rather than a version bump) keeps the extension self-describing:
+/// an extension-less encoding is byte-identical to the legacy format and
+/// a frame with trailing garbage still fails with a typed error.
+constexpr uint32_t kTraceExtMagic = 0x54524143;  // "TRAC"
+
+/// Hard cap on the trace-origin annotation; origins are short labels
+/// ("loadgen", "fleetmon", "chaos").
+constexpr size_t kMaxTraceOriginBytes = 64;
+
 /// Wraps `payload` in a frame header for a byte-stream transport.
 Bytes EncodeFrame(const Bytes& payload);
 
@@ -70,10 +81,18 @@ class FrameDecoder {
 };
 
 /// One RPC request as carried inside a SignedEnvelope payload.
+///
+/// Wire layout: [u64 rpc_id][string op][bytes body] plus an optional
+/// trace-context extension [u32 "TRAC"][u64 trace_id][string origin].
+/// The extension is emitted only when trace_id != 0, so untraced
+/// requests encode byte-identically to the pre-extension format and old
+/// frames decode unchanged (trace_id defaults to 0 = untraced).
 struct RpcRequest {
   uint64_t rpc_id = 0;
   std::string op;
   Bytes body;
+  uint64_t trace_id = 0;  ///< Cross-process trace id (0 = untraced).
+  std::string origin;     ///< Trace origin label; carried iff traced.
 
   Bytes Encode() const;
   /// Rejects truncated input, oversized op names and trailing bytes.

@@ -1,0 +1,301 @@
+#include "rpc/admin_http.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "telemetry/export.h"
+
+namespace wedge {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string MakeResponse(int status, const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " +
+                    ReasonPhrase(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+AdminHttpServer::AdminHttpServer(Telemetry* telemetry, AdminHttpConfig config,
+                                 HealthFn health)
+    : telemetry_(telemetry),
+      config_(std::move(config)),
+      health_(std::move(health)) {}
+
+AdminHttpServer::~AdminHttpServer() { Shutdown(); }
+
+Status AdminHttpServer::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already started");
+  stop_.store(false);
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address " + config_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Errno("bind admin " + config_.bind_address + ":" +
+                     std::to_string(config_.port));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (listen(listen_fd_, 64) < 0) {
+    Status s = Errno("listen admin");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (!SetNonBlocking(listen_fd_)) return Errno("fcntl(admin listen)");
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) return Errno("admin epoll setup");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void AdminHttpServer::Shutdown() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  (void)!write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+  for (auto& [fd, conn] : conns_) close(fd);
+  conns_.clear();
+  if (wake_fd_ >= 0) close(wake_fd_);
+  wake_fd_ = -1;
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  epoll_fd_ = -1;
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void AdminHttpServer::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    epoll_event events[32];
+    int n = epoll_wait(epoll_fd_, events, 32, 500);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t v;
+        (void)!read(wake_fd_, &v, sizeof(v));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        for (;;) {
+          int cfd = accept4(listen_fd_, nullptr, nullptr,
+                            SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (cfd < 0) break;
+          int one = 1;
+          setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          auto conn = std::make_unique<Connection>();
+          conn->fd = cfd;
+          epoll_event cev{};
+          cev.events = EPOLLIN | EPOLLRDHUP;
+          cev.data.fd = cfd;
+          if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &cev) < 0) {
+            close(cfd);
+            continue;
+          }
+          conns_.emplace(cfd, std::move(conn));
+        }
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Connection& conn = *it->second;
+      bool alive = true;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) alive = false;
+      if (alive && (events[i].events & EPOLLOUT)) {
+        alive = FlushOut(conn);
+        if (alive && conn.responding && conn.out_pos == conn.out.size()) {
+          alive = false;  // Reply fully flushed: HTTP/1.0 close.
+        }
+      }
+      if (alive && (events[i].events & (EPOLLIN | EPOLLRDHUP)) &&
+          !conn.responding) {
+        char buf[4096];
+        for (;;) {
+          ssize_t r = read(fd, buf, sizeof(buf));
+          if (r == 0) {
+            alive = false;  // EOF before a full request head.
+            break;
+          }
+          if (r < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            alive = false;
+            break;
+          }
+          conn.in.append(buf, static_cast<size_t>(r));
+          if (conn.in.size() > config_.max_request_bytes) {
+            alive = false;  // Oversized head: drop without a reply.
+            break;
+          }
+          if (MaybeRespond(conn)) {
+            alive = FlushOut(conn);
+            if (alive && conn.out_pos == conn.out.size()) alive = false;
+            break;
+          }
+        }
+      }
+      if (alive) {
+        epoll_event cev{};
+        cev.events = EPOLLRDHUP |
+                     (conn.responding ? EPOLLOUT : EPOLLIN);
+        cev.data.fd = fd;
+        epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &cev);
+      } else {
+        CloseConn(fd);
+      }
+    }
+  }
+}
+
+bool AdminHttpServer::MaybeRespond(Connection& conn) {
+  size_t head_end = conn.in.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    // Tolerate bare-LF clients for the terminator too.
+    head_end = conn.in.find("\n\n");
+    if (head_end == std::string::npos) return false;
+  }
+  conn.out = Render(conn.in.substr(0, head_end));
+  conn.out_pos = 0;
+  conn.responding = true;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::string AdminHttpServer::Render(const std::string& request_head) {
+  // Request line: METHOD SP PATH SP HTTP/x.y
+  size_t line_end = request_head.find("\r\n");
+  if (line_end == std::string::npos) line_end = request_head.find('\n');
+  if (line_end == std::string::npos) line_end = request_head.size();
+  const std::string line = request_head.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    return MakeResponse(400, "text/plain", "bad request\n");
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  if (method != "GET") {
+    return MakeResponse(405, "text/plain", "only GET is served\n");
+  }
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body = Body(path, &status, &content_type);
+  return MakeResponse(status, content_type, body);
+}
+
+std::string AdminHttpServer::Body(const std::string& path, int* status,
+                                  std::string* content_type) {
+  if (path == "/metrics") {
+    return MetricsToPrometheus(telemetry_->metrics.Snapshot());
+  }
+  if (path == "/metrics.json") {
+    *content_type = "application/json";
+    return MetricsToJsonLines(telemetry_->metrics.Snapshot());
+  }
+  if (path == "/tracez") {
+    *content_type = "application/json";
+    return TraceToJsonLines(telemetry_->tracer.Recent(config_.tracez_spans));
+  }
+  if (path == "/healthz") {
+    AdminHealth health;
+    if (health_) {
+      health = health_();
+    } else {
+      health.ready = true;
+    }
+    if (!health.ready) *status = 503;
+    *content_type = "application/json";
+    return std::string("{\"ready\": ") + (health.ready ? "true" : "false") +
+           ", \"detail\": " + health.detail + "}\n";
+  }
+  *status = 404;
+  return "unknown path " + path + "\n";
+}
+
+bool AdminHttpServer::FlushOut(Connection& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    ssize_t n = send(conn.fd, conn.out.data() + conn.out_pos,
+                     conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.out_pos += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void AdminHttpServer::CloseConn(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  auto it = conns_.find(fd);
+  if (it != conns_.end()) conns_.erase(it);
+  close(fd);
+}
+
+}  // namespace wedge

@@ -1,0 +1,109 @@
+#ifndef WEDGEBLOCK_RPC_ADMIN_HTTP_H_
+#define WEDGEBLOCK_RPC_ADMIN_HTTP_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "telemetry/telemetry.h"
+
+namespace wedge {
+
+struct AdminHttpConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// A request whose header section exceeds this closes the connection.
+  size_t max_request_bytes = 8192;
+  /// Spans served by /tracez (the newest ones from the tracer ring).
+  size_t tracez_spans = 256;
+};
+
+/// Readiness answer for /healthz: `ready` selects 200 vs 503, `detail`
+/// is a rendered JSON object appended to the response body (per-shard
+/// recovery state, aggregator backlog, ...). Must be thread-safe.
+struct AdminHealth {
+  bool ready = false;
+  std::string detail = "{}";
+};
+
+/// Live observability endpoint for a wedgeblockd process: a minimal
+/// HTTP/1.0 listener (GET only, Connection: close) on its own epoll-run
+/// thread, serving the process's Telemetry without touching the RPC data
+/// plane:
+///
+///   /metrics       Prometheus text exposition (MetricsToPrometheus)
+///   /metrics.json  JSONL metrics snapshot (MetricsToJsonLines — the
+///                  lossless, bucket-carrying format fleetmon merges)
+///   /healthz       200/503 readiness from the health callback
+///   /tracez        newest spans from the tracer ring, as JSONL
+///
+/// Robustness: garbage input gets a clean 400 and close; unknown paths
+/// 404; non-GET methods 405; oversized headers close the connection. No
+/// request can block the loop — reads and writes are nonblocking with
+/// per-connection buffers, and response bodies are rendered up front.
+class AdminHttpServer {
+ public:
+  using HealthFn = std::function<AdminHealth()>;
+
+  /// `telemetry` must outlive the server. `health` may be null (then
+  /// /healthz always reports ready once the server is up).
+  AdminHttpServer(Telemetry* telemetry, AdminHttpConfig config,
+                  HealthFn health = nullptr);
+  ~AdminHttpServer();
+
+  AdminHttpServer(const AdminHttpServer&) = delete;
+  AdminHttpServer& operator=(const AdminHttpServer&) = delete;
+
+  Status Start();
+  void Shutdown();  ///< Idempotent; the destructor calls it.
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;    ///< Request bytes until the blank line.
+    std::string out;   ///< Rendered response awaiting the socket.
+    size_t out_pos = 0;
+    bool responding = false;  ///< Request parsed; draining the reply.
+  };
+
+  void Loop();
+  /// True once a full request head is buffered; renders the response.
+  bool MaybeRespond(Connection& conn);
+  std::string Render(const std::string& request_head);
+  std::string Body(const std::string& path, int* status,
+                   std::string* content_type);
+  bool FlushOut(Connection& conn);
+  void CloseConn(int fd);
+
+  Telemetry* const telemetry_;
+  const AdminHttpConfig config_;
+  const HealthFn health_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_RPC_ADMIN_HTTP_H_

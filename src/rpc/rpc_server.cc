@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
 
 namespace wedge {
@@ -55,6 +56,17 @@ RpcServer::RpcServer(Handler handler, KeyPair transport_key,
   append_hist_ = m.GetHistogram("wedge.rpc.append_us");
   read_hist_ = m.GetHistogram("wedge.rpc.read_us");
   read_batch_hist_ = m.GetHistogram("wedge.rpc.read_batch_us");
+  slow_requests_counter_ = m.GetCounter("wedge.rpc.slow_requests");
+}
+
+Histogram* RpcServer::OpHistogram(const std::string& op) {
+  std::lock_guard<std::mutex> lock(op_hist_mu_);
+  auto it = op_hists_.find(op);
+  if (it != op_hists_.end()) return it->second;
+  Histogram* h =
+      telemetry_->metrics.GetHistogram("wedge.rpc.op_us{op=" + op + "}");
+  op_hists_.emplace(op, h);
+  return h;
 }
 
 RpcServer::~RpcServer() { Shutdown(); }
@@ -326,7 +338,19 @@ bool RpcServer::ServePayload(Connection& conn, const Bytes& payload) {
 
   requests_counter_->Add(1);
   Micros start = RealClock::Global()->NowMicros();
-  Result<Bytes> result = handler_(request->op, request->body);
+  Result<Bytes> result = Status::Internal("handler not invoked");
+  {
+    // Install the frame's trace context for the duration of the dispatch:
+    // every tracer span the node emits on this thread (ingest, seal,
+    // stage1_signed, ...) is stamped with the client's trace_id, which is
+    // what stitches the cross-process timeline together.
+    ScopedTrace scope(request->trace_id, request->origin);
+    if (request->trace_id != 0) {
+      telemetry_->tracer.Event(0, trace_stage::kRpcRecv, 0,
+                               "op=" + request->op);
+    }
+    result = handler_(request->op, request->body);
+  }
   Micros elapsed = RealClock::Global()->NowMicros() - start;
   if (request->op == kOpAppend || request->op == kOpAppendTenant) {
     append_hist_->Record(elapsed);
@@ -336,6 +360,31 @@ bool RpcServer::ServePayload(Connection& conn, const Bytes& payload) {
   } else if (request->op == kOpReadBatch ||
              request->op == kOpReadBatchTenant) {
     read_batch_hist_->Record(elapsed);
+  }
+  OpHistogram(request->op)->Record(elapsed);
+  if (config_.slow_request_micros > 0 &&
+      elapsed >= config_.slow_request_micros) {
+    slow_requests_counter_->Add(1);
+    // Tenant ops carry the tenant id as the leading u64 of the body;
+    // legacy single-tenant ops serve tenant 0.
+    uint64_t tenant = 0;
+    if (request->op == kOpAppendTenant || request->op == kOpReadTenant ||
+        request->op == kOpReadBatchTenant) {
+      ByteReader body_reader(request->body);
+      auto t = body_reader.ReadU64();
+      if (t.ok()) tenant = t.value();
+    }
+    int shard = config_.shard_for_tenant ? config_.shard_for_tenant(tenant)
+                                         : -1;
+    std::fprintf(stderr,
+                 "{\"kind\": \"slow_request\", \"op\": \"%s\", "
+                 "\"tenant\": %llu, \"shard\": %d, \"trace_id\": %llu, "
+                 "\"us\": %lld, \"ok\": %s}\n",
+                 request->op.c_str(),
+                 static_cast<unsigned long long>(tenant), shard,
+                 static_cast<unsigned long long>(request->trace_id),
+                 static_cast<long long>(elapsed),
+                 result.ok() ? "true" : "false");
   }
 
   if (result.ok()) {

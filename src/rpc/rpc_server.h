@@ -37,6 +37,13 @@ struct RpcServerConfig {
   int max_connections = 1024;
   /// Graceful-shutdown budget for flushing already-queued replies.
   Micros drain_timeout = 2 * kMicrosPerSecond;
+  /// Requests slower than this (wall clock around dispatch) emit one
+  /// structured JSONL line on stderr with op, tenant, shard, trace_id
+  /// and duration, and bump wedge.rpc.slow_requests. 0 disables.
+  Micros slow_request_micros = 0;
+  /// Resolves the shard serving a tenant for the slow-request log (the
+  /// sharded daemon binds its engine's router); -1 when unset/unknown.
+  std::function<int(uint64_t tenant)> shard_for_tenant;
 };
 
 /// Epoll-based TCP RPC server fronting one OffchainNode: the real-transport
@@ -153,6 +160,14 @@ class RpcServer {
   Histogram* append_hist_ = nullptr;
   Histogram* read_hist_ = nullptr;
   Histogram* read_batch_hist_ = nullptr;
+  Counter* slow_requests_counter_ = nullptr;
+
+  /// Lazily-resolved per-op latency histograms
+  /// (`wedge.rpc.op_us{op=<op>}`). Ops are a small fixed set, so the map
+  /// stays tiny; resolved pointers are stable for the registry lifetime.
+  Histogram* OpHistogram(const std::string& op);
+  mutable std::mutex op_hist_mu_;
+  std::unordered_map<std::string, Histogram*> op_hists_;
 
   int listen_fd_ = -1;
   int accept_wake_fd_ = -1;

@@ -262,13 +262,40 @@ Status TcpNodeClient::WriteFrame(Conn& conn, const Bytes& frame) {
   return Status::Ok();
 }
 
+Histogram* TcpNodeClient::OpHistogram(std::string_view op) {
+  if (config_.telemetry == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(op_hist_mu_);
+  std::string key(op);
+  auto it = op_hists_.find(key);
+  if (it != op_hists_.end()) return it->second;
+  Histogram* h = config_.telemetry->metrics.GetHistogram(
+      "wedge.client.rpc_us{op=" + key + "}");
+  op_hists_.emplace(std::move(key), h);
+  return h;
+}
+
 Result<Bytes> TcpNodeClient::Call(std::string_view op, const Bytes& body,
                                   bool idempotent) {
   if (closed_.load()) return Status::FailedPrecondition("client closed");
+  // Records the whole call (retries included) into
+  // wedge.client.rpc_us{op=...} on every exit path.
+  struct LatencyRecorder {
+    Histogram* hist;
+    Micros start;
+    ~LatencyRecorder() {
+      if (hist != nullptr) {
+        hist->Record(RealClock::Global()->NowMicros() - start);
+      }
+    }
+  } recorder{OpHistogram(op), RealClock::Global()->NowMicros()};
   RpcRequest request;
   request.rpc_id = next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
   request.op = std::string(op);
   request.body = body;
+  // Propagate the calling thread's trace context (ScopedTrace) onto the
+  // wire; untraced calls encode byte-identically to the legacy format.
+  request.trace_id = CurrentTraceId();
+  if (request.trace_id != 0) request.origin = CurrentTraceOrigin();
   SignedEnvelope envelope = SignedEnvelope::Create(key_, request.Encode());
   Bytes payload = envelope.Serialize();
   if (payload.size() > config_.max_frame_bytes) {

@@ -15,6 +15,7 @@
 #include "net/fault_transport.h"
 #include "net/sim_network.h"
 #include "net/wire.h"
+#include "telemetry/telemetry.h"
 
 namespace wedge {
 
@@ -41,6 +42,10 @@ struct TcpClientConfig {
   /// Optional deterministic fault injection on this client's dials and
   /// frame sends (shared across clients to script fleet-wide partitions).
   std::shared_ptr<FaultyTransport> faults;
+  /// Optional client-side telemetry sink: per-op RPC latency histograms
+  /// (`wedge.client.rpc_us{op=<op>}`, wall clock around the whole call
+  /// including retries). Must outlive the client; null disables.
+  Telemetry* telemetry = nullptr;
 };
 
 /// Real-socket counterpart of RemoteNodeClient (core/remote.h): same
@@ -138,6 +143,9 @@ class TcpNodeClient {
   /// writing the request to a socket.
   Result<Bytes> CallAttempt(uint64_t rpc_id, const Bytes& frame,
                             bool* request_sent);
+  /// Lazily-resolved `wedge.client.rpc_us{op=<op>}` histogram (null when
+  /// the config carries no telemetry).
+  Histogram* OpHistogram(std::string_view op);
   Status EnsureConnected(Conn& conn);
   void ReaderLoop(Conn& conn);
   void HandlePayload(Conn& conn, const Bytes& payload);
@@ -158,6 +166,8 @@ class TcpNodeClient {
   std::atomic<bool> closed_{false};
   std::mutex jitter_mu_;
   Rng jitter_rng_;
+  std::mutex op_hist_mu_;
+  std::unordered_map<std::string, Histogram*> op_hists_;
 };
 
 }  // namespace wedge

@@ -24,6 +24,7 @@ EpochRootAggregator::EpochRootAggregator(std::vector<OffchainNode*> shards,
       key_(std::move(engine_key)),
       chain_(chain),
       root_record_address_(root_record_address),
+      telemetry_(telemetry),
       roots_staged_counter_(
           telemetry->metrics.GetCounter("wedge.engine.roots_staged")),
       epochs_closed_counter_(
@@ -190,6 +191,17 @@ Result<TxId> EpochRootAggregator::CloseEpoch() {
   epochs_.push_back(std::move(record));
   epochs_closed_counter_->Add(1);
   epoch_leaves_hist_->Record(static_cast<int64_t>(take));
+  if (telemetry_ != nullptr) {
+    // One span per folded leaf, keyed by the batch's log id: the trace
+    // tool joins these to the (traced) ingest span of the same log id in
+    // this process's dump, extending a client trace into the aggregator.
+    const EpochRecord& closed = epochs_[epoch];
+    for (const StagedRoot& leaf : closed.leaves) {
+      telemetry_->tracer.Event(leaf.log_id, trace_stage::kAggEpoch, 1,
+                               "epoch=" + std::to_string(epoch) +
+                                   " shard=" + std::to_string(leaf.shard_id));
+    }
+  }
 
   if (chain_ == nullptr) {
     MarkConfirmedLocked(epoch);
@@ -200,6 +212,13 @@ Result<TxId> EpochRootAggregator::CloseEpoch() {
 
 void EpochRootAggregator::MarkConfirmedLocked(uint64_t epoch) {
   epochs_[epoch].confirmed = true;
+  if (telemetry_ != nullptr) {
+    for (const StagedRoot& leaf : epochs_[epoch].leaves) {
+      telemetry_->tracer.Event(leaf.log_id, trace_stage::kAggConfirmed, 1,
+                               "epoch=" + std::to_string(epoch) +
+                                   " shard=" + std::to_string(leaf.shard_id));
+    }
+  }
   if (journal_ != nullptr) {
     // Best effort: losing a confirm record only costs one redundant
     // chain lookup on the next recovery, never correctness.
@@ -308,6 +327,24 @@ uint64_t EpochRootAggregator::epochs_closed() const {
 uint64_t EpochRootAggregator::staged_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return staged_.size();
+}
+
+uint64_t EpochRootAggregator::epochs_confirmed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const EpochRecord& record : epochs_) {
+    if (record.confirmed) ++n;
+  }
+  return n;
+}
+
+uint64_t EpochRootAggregator::epochs_unconfirmed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const EpochRecord& record : epochs_) {
+    if (!record.confirmed) ++n;
+  }
+  return n;
 }
 
 std::vector<TxId> EpochRootAggregator::ForestTxIds() const {

@@ -91,6 +91,12 @@ class EpochRootAggregator {
 
   uint64_t epochs_closed() const;
   uint64_t staged_count() const;
+  /// Closed epochs whose forest root is confirmed on chain.
+  uint64_t epochs_confirmed() const;
+  /// Closed-but-unconfirmed epochs (>0 is normal while a tx is in
+  /// flight; a value that keeps growing means the aggregator is wedged —
+  /// the /healthz readiness signal).
+  uint64_t epochs_unconfirmed() const;
   std::vector<TxId> ForestTxIds() const;
 
   void set_byzantine_mode(AggByzantineMode mode) {
@@ -130,6 +136,7 @@ class EpochRootAggregator {
   const KeyPair key_;
   Blockchain* const chain_;
   const Address root_record_address_;
+  Telemetry* telemetry_ = nullptr;  ///< Span sink; may be null.
   AggregatorJournal* journal_ = nullptr;  ///< Optional; not owned.
   std::atomic<AggByzantineMode> byzantine_mode_{AggByzantineMode::kHonest};
 

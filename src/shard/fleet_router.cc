@@ -22,6 +22,11 @@ FleetRouter::FleetRouter(KeyPair client_key, const Address& engine_address,
     TcpClientConfig client_config = config_.client;
     client_config.host = endpoint.host;
     client_config.port = endpoint.port;
+    // Per-endpoint clients report wedge.client.rpc_us{op=...} into the
+    // router's registry unless the template already names a sink.
+    if (client_config.telemetry == nullptr) {
+      client_config.telemetry = telemetry_;
+    }
     auto shard = std::make_unique<Shard>();
     shard->client = std::make_unique<TcpNodeClient>(
         client_key, engine_address, std::move(client_config));
@@ -123,6 +128,13 @@ auto FleetRouter::Routed(TenantId tenant, Fn&& fn)
   uint32_t s = ring_.ShardFor(tenant);
   Shard& shard = *shards_[s];
   requests_->Add(1);
+  if (CurrentTraceId() != 0) {
+    // Traced call: record which shard the ring chose so the merged
+    // timeline shows client -> router -> shard under one trace_id.
+    telemetry_->tracer.Event(0, trace_stage::kRouterPick, 0,
+                             "shard=" + std::to_string(s) +
+                                 " tenant=" + std::to_string(tenant));
+  }
   bool is_probe = false;
   Status admitted = Admit(shard, &is_probe);
   if (!admitted.ok()) {

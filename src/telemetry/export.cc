@@ -14,6 +14,38 @@ std::string Sanitize(const std::string& name) {
   return out;
 }
 
+/// Splits a registry name with an optional `{key=value}` suffix (the
+/// convention for labeled metrics, e.g. `wedge.rpc.op_us{op=append}`)
+/// into a sanitized Prometheus metric name and a rendered label list
+/// (`op="append"`, empty when the name carries no labels).
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  labels->clear();
+  size_t open = name.find('{');
+  if (open == std::string::npos || name.back() != '}') {
+    *base = Sanitize(name);
+    return;
+  }
+  *base = Sanitize(name.substr(0, open));
+  std::string inner = name.substr(open + 1, name.size() - open - 2);
+  // key=value[,key=value...] -> key="value"[,key="value"...]
+  size_t pos = 0;
+  while (pos < inner.size()) {
+    size_t comma = inner.find(',', pos);
+    if (comma == std::string::npos) comma = inner.size();
+    std::string part = inner.substr(pos, comma - pos);
+    size_t eq = part.find('=');
+    if (!labels->empty()) *labels += ",";
+    if (eq == std::string::npos) {
+      *labels += Sanitize(part) + "=\"\"";
+    } else {
+      *labels += Sanitize(part.substr(0, eq)) + "=\"" + part.substr(eq + 1) +
+                 "\"";
+    }
+    pos = comma + 1;
+  }
+}
+
 void AppendHistogramJson(std::string& out, const std::string& name,
                          const HistogramSnapshot& h) {
   out += "{\"kind\": \"histogram\", \"name\": \"" + name +
@@ -24,7 +56,21 @@ void AppendHistogramJson(std::string& out, const std::string& name,
          ", \"p50\": " + std::to_string(h.ValueAtQuantile(0.50)) +
          ", \"p90\": " + std::to_string(h.ValueAtQuantile(0.90)) +
          ", \"p95\": " + std::to_string(h.ValueAtQuantile(0.95)) +
-         ", \"p99\": " + std::to_string(h.ValueAtQuantile(0.99)) + "}\n";
+         ", \"p99\": " + std::to_string(h.ValueAtQuantile(0.99));
+  // Raw (bucket index, count) pairs make the line losslessly mergeable
+  // across processes (fleetmon sums bucket-wise; quantiles of the merged
+  // distribution are then recomputed, not averaged).
+  if (!h.buckets.empty()) {
+    out += ", \"buckets\": [";
+    bool first = true;
+    for (const auto& [bucket, count] : h.buckets) {
+      if (!first) out += ", ";
+      first = false;
+      out += "[" + std::to_string(bucket) + ", " + std::to_string(count) + "]";
+    }
+    out += "]";
+  }
+  out += "}\n";
 }
 
 }  // namespace
@@ -49,29 +95,46 @@ std::string MetricsToJsonLines(const MetricsSnapshot& snap) {
 
 std::string MetricsToPrometheus(const MetricsSnapshot& snap) {
   std::string out;
+  // Labeled variants of one base metric (`wedge.rpc.op_us{op=append}`,
+  // `...{op=read}`) must share a single # TYPE line; snapshot names are
+  // sorted, so same-base entries are adjacent and one look-back suffices.
+  std::string last_typed;
   for (const auto& [name, value] : snap.counters) {
-    std::string n = Sanitize(name);
-    out += "# TYPE " + n + " counter\n";
-    out += n + " " + std::to_string(value) + "\n";
+    std::string n, labels;
+    SplitLabels(name, &n, &labels);
+    if (n != last_typed) out += "# TYPE " + n + " counter\n";
+    last_typed = n;
+    out += n + (labels.empty() ? "" : "{" + labels + "}") + " " +
+           std::to_string(value) + "\n";
   }
+  last_typed.clear();
   for (const auto& [name, value] : snap.gauges) {
-    std::string n = Sanitize(name);
-    out += "# TYPE " + n + " gauge\n";
-    out += n + " " + std::to_string(value) + "\n";
+    std::string n, labels;
+    SplitLabels(name, &n, &labels);
+    if (n != last_typed) out += "# TYPE " + n + " gauge\n";
+    last_typed = n;
+    out += n + (labels.empty() ? "" : "{" + labels + "}") + " " +
+           std::to_string(value) + "\n";
   }
+  last_typed.clear();
   for (const auto& [name, h] : snap.histograms) {
-    std::string n = Sanitize(name);
-    out += "# TYPE " + n + " histogram\n";
+    std::string n, labels;
+    SplitLabels(name, &n, &labels);
+    const std::string prefix = labels.empty() ? "" : labels + ",";
+    const std::string suffix = labels.empty() ? "" : "{" + labels + "}";
+    if (n != last_typed) out += "# TYPE " + n + " histogram\n";
+    last_typed = n;
     uint64_t cumulative = 0;
     for (const auto& [bucket, count] : h.buckets) {
       cumulative += count;
-      out += n + "_bucket{le=\"" +
+      out += n + "_bucket{" + prefix + "le=\"" +
              std::to_string(Histogram::BucketUpperBound(bucket)) + "\"} " +
              std::to_string(cumulative) + "\n";
     }
-    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
-    out += n + "_sum " + std::to_string(h.sum) + "\n";
-    out += n + "_count " + std::to_string(h.count) + "\n";
+    out += n + "_bucket{" + prefix + "le=\"+Inf\"} " +
+           std::to_string(h.count) + "\n";
+    out += n + "_sum" + suffix + " " + std::to_string(h.sum) + "\n";
+    out += n + "_count" + suffix + " " + std::to_string(h.count) + "\n";
   }
   return out;
 }

@@ -1,0 +1,184 @@
+#include "telemetry/fleet_merge.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wedge {
+
+namespace {
+
+// Minimal field extraction for the fixed JSONL shapes this repo itself
+// emits (MetricsToJsonLines). Not a general JSON parser: values are
+// unescaped identifiers and integers, which is all the exporter writes.
+
+bool FindStringField(std::string_view line, std::string_view key,
+                     std::string* out) {
+  std::string needle = "\"" + std::string(key) + "\": \"";
+  size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  pos += needle.size();
+  size_t end = line.find('"', pos);
+  if (end == std::string_view::npos) return false;
+  out->assign(line.substr(pos, end - pos));
+  return true;
+}
+
+bool FindIntField(std::string_view line, std::string_view key, int64_t* out) {
+  std::string needle = "\"" + std::string(key) + "\": ";
+  size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  pos += needle.size();
+  bool negative = false;
+  if (pos < line.size() && line[pos] == '-') {
+    negative = true;
+    ++pos;
+  }
+  if (pos >= line.size() || line[pos] < '0' || line[pos] > '9') return false;
+  int64_t v = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    v = v * 10 + (line[pos] - '0');
+    ++pos;
+  }
+  *out = negative ? -v : v;
+  return true;
+}
+
+// Parses the `"buckets": [[i, c], ...]` array (absent when empty).
+bool ParseBuckets(std::string_view line,
+                  std::vector<std::pair<uint32_t, uint64_t>>* out) {
+  constexpr std::string_view kKey = "\"buckets\": [";
+  size_t pos = line.find(kKey);
+  if (pos == std::string_view::npos) return true;  // No buckets: fine.
+  pos += kKey.size();
+  while (pos < line.size() && line[pos] != ']') {
+    if (line[pos] != '[') return false;
+    ++pos;
+    uint64_t vals[2] = {0, 0};
+    for (int i = 0; i < 2; ++i) {
+      while (pos < line.size() && (line[pos] == ' ' || line[pos] == ',')) ++pos;
+      if (pos >= line.size() || line[pos] < '0' || line[pos] > '9') {
+        return false;
+      }
+      while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+        vals[i] = vals[i] * 10 + (line[pos] - '0');
+        ++pos;
+      }
+    }
+    if (pos >= line.size() || line[pos] != ']') return false;
+    ++pos;  // Closing bracket of the pair.
+    while (pos < line.size() && (line[pos] == ',' || line[pos] == ' ')) ++pos;
+    out->emplace_back(static_cast<uint32_t>(vals[0]), vals[1]);
+  }
+  return pos < line.size();  // Must have stopped on the array's ']'.
+}
+
+void MergeHistogramInto(HistogramSnapshot* dst, const HistogramSnapshot& src) {
+  if (src.count == 0) return;
+  if (dst->count == 0) {
+    *dst = src;
+    return;
+  }
+  dst->min = std::min(dst->min, src.min);
+  dst->max = std::max(dst->max, src.max);
+  dst->count += src.count;
+  dst->sum += src.sum;
+  std::map<uint32_t, uint64_t> merged(dst->buckets.begin(),
+                                      dst->buckets.end());
+  for (const auto& [bucket, count] : src.buckets) merged[bucket] += count;
+  dst->buckets.assign(merged.begin(), merged.end());
+}
+
+}  // namespace
+
+Result<MetricsSnapshot> ParseMetricsJsonLines(std::string_view text) {
+  MetricsSnapshot snap;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    std::string kind;
+    if (!FindStringField(line, "kind", &kind)) continue;
+    if (kind == "snapshot") {
+      int64_t at = 0;
+      if (FindIntField(line, "t_us", &at)) snap.at = at;
+      continue;
+    }
+    if (kind == "counter" || kind == "gauge") {
+      std::string name;
+      int64_t value = 0;
+      if (!FindStringField(line, "name", &name) ||
+          !FindIntField(line, "value", &value)) {
+        return Status::Corruption("malformed metric line: " +
+                                  std::string(line));
+      }
+      if (kind == "counter") {
+        snap.counters.emplace_back(name, static_cast<uint64_t>(value));
+      } else {
+        snap.gauges.emplace_back(name, value);
+      }
+      continue;
+    }
+    if (kind == "histogram") {
+      std::string name;
+      HistogramSnapshot h;
+      int64_t count = 0, sum = 0, min = 0, max = 0;
+      if (!FindStringField(line, "name", &name) ||
+          !FindIntField(line, "count", &count) ||
+          !FindIntField(line, "sum", &sum) ||
+          !FindIntField(line, "min", &min) ||
+          !FindIntField(line, "max", &max) ||
+          !ParseBuckets(line, &h.buckets)) {
+        return Status::Corruption("malformed histogram line: " +
+                                  std::string(line));
+      }
+      h.count = static_cast<uint64_t>(count);
+      h.sum = sum;
+      h.min = min;
+      h.max = max;
+      snap.histograms.emplace_back(name, std::move(h));
+      continue;
+    }
+    // Span lines and future kinds are not metrics; skip them.
+  }
+  return snap;
+}
+
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& snaps) {
+  MetricsSnapshot out;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  for (const MetricsSnapshot& snap : snaps) {
+    out.at = std::max(out.at, snap.at);
+    for (const auto& [name, value] : snap.counters) counters[name] += value;
+    for (const auto& [name, value] : snap.gauges) gauges[name] += value;
+    for (const auto& [name, h] : snap.histograms) {
+      MergeHistogramInto(&histograms[name], h);
+    }
+  }
+  out.counters.assign(counters.begin(), counters.end());
+  out.gauges.assign(gauges.begin(), gauges.end());
+  for (auto& [name, h] : histograms) {
+    out.histograms.emplace_back(name, std::move(h));
+  }
+  return out;
+}
+
+double CounterSkew(const std::vector<MetricsSnapshot>& snaps,
+                   const std::string& counter) {
+  if (snaps.empty()) return 0.0;
+  uint64_t total = 0, peak = 0;
+  for (const MetricsSnapshot& snap : snaps) {
+    uint64_t v = snap.CounterValue(counter);
+    total += v;
+    peak = std::max(peak, v);
+  }
+  if (total == 0) return 0.0;
+  double mean = static_cast<double>(total) / snaps.size();
+  return static_cast<double>(peak) / mean;
+}
+
+}  // namespace wedge

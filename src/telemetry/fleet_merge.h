@@ -1,0 +1,43 @@
+#ifndef WEDGEBLOCK_TELEMETRY_FLEET_MERGE_H_
+#define WEDGEBLOCK_TELEMETRY_FLEET_MERGE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "telemetry/metrics.h"
+
+namespace wedge {
+
+/// Fleet-wide metrics aggregation: parse the JSONL snapshots scraped
+/// from N `wedgeblockd` admin endpoints back into MetricsSnapshot form
+/// and merge them losslessly. The shard-merge rules mirror what
+/// Histogram::Snapshot() already does across its internal shards —
+/// counters and bucket counts add, min/max fold, and quantiles of the
+/// merged distribution are recomputed from the merged buckets (never
+/// averaged across processes, which would be meaningless).
+
+/// Parses one JSONL metrics document as produced by MetricsToJsonLines
+/// (and served by the admin endpoint's /metrics.json). Span lines and
+/// unknown kinds are skipped; a structurally broken metric line is a
+/// typed error (the scraper treats that target as down for the round).
+Result<MetricsSnapshot> ParseMetricsJsonLines(std::string_view text);
+
+/// Merges per-process snapshots into one fleet view: counters and
+/// gauges sum name-wise, histograms merge bucket-wise (count/sum add,
+/// min/max fold). `at` is the max of the inputs' timestamps — inputs
+/// come from different clock domains, so it is a label, not a time.
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& snaps);
+
+/// Imbalance of one counter across the fleet: max over per-process
+/// values divided by their mean. 1.0 = perfectly even; 0 when the
+/// counter is zero or absent everywhere. The skew of
+/// `wedge.node.entries_appended` across shards is the router-balance
+/// health signal fleetmon reports.
+double CounterSkew(const std::vector<MetricsSnapshot>& snaps,
+                   const std::string& counter);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_TELEMETRY_FLEET_MERGE_H_

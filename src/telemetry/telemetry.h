@@ -13,8 +13,12 @@ namespace wedge {
 /// components accept a null pointer and fall back to a private instance
 /// or no-op.
 struct Telemetry {
-  Telemetry() : metrics(nullptr), tracer(nullptr) {}
-  explicit Telemetry(const Clock* clock) : metrics(clock), tracer(clock) {}
+  Telemetry() : metrics(nullptr), tracer(nullptr) {
+    tracer.SetDropCounter(metrics.GetCounter("wedge.trace.dropped"));
+  }
+  explicit Telemetry(const Clock* clock) : metrics(clock), tracer(clock) {
+    tracer.SetDropCounter(metrics.GetCounter("wedge.trace.dropped"));
+  }
 
   MetricsRegistry metrics;
   Tracer tracer;

@@ -1,6 +1,32 @@
 #include "telemetry/tracer.h"
 
+#include "telemetry/metrics.h"
+
 namespace wedge {
+
+namespace {
+
+// Thread-local trace context installed by ScopedTrace. Plain globals
+// (not function-local statics) so reads stay a TLS load on the hot path.
+thread_local uint64_t g_trace_id = 0;
+thread_local std::string g_trace_origin;
+
+}  // namespace
+
+ScopedTrace::ScopedTrace(uint64_t trace_id, std::string origin)
+    : saved_id_(g_trace_id), saved_origin_(std::move(g_trace_origin)) {
+  g_trace_id = trace_id;
+  g_trace_origin = std::move(origin);
+}
+
+ScopedTrace::~ScopedTrace() {
+  g_trace_id = saved_id_;
+  g_trace_origin = std::move(saved_origin_);
+}
+
+uint64_t CurrentTraceId() { return g_trace_id; }
+
+std::string CurrentTraceOrigin() { return g_trace_origin; }
 
 std::string TraceEvent::ToJson() const {
   std::string out = "{\"kind\": \"span\", \"seq\": " + std::to_string(seq) +
@@ -9,6 +35,10 @@ std::string TraceEvent::ToJson() const {
                     ", \"stage\": \"" + stage + "\"";
   if (count > 0) out += ", \"count\": " + std::to_string(count);
   if (!note.empty()) out += ", \"note\": \"" + note + "\"";
+  if (trace_id != 0) {
+    out += ", \"trace_id\": " + std::to_string(trace_id);
+    if (!origin.empty()) out += ", \"origin\": \"" + origin + "\"";
+  }
   out += "}";
   return out;
 }
@@ -21,14 +51,41 @@ void Tracer::Event(uint64_t log_id, const char* stage, uint64_t count,
   ev.stage = stage;
   ev.count = count;
   ev.note = std::move(note);
+  ev.trace_id = g_trace_id;
+  if (ev.trace_id != 0) ev.origin = g_trace_origin;
   std::lock_guard<std::mutex> lock(mu_);
   ev.seq = next_seq_++;
   events_.push_back(std::move(ev));
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+    if (drop_counter_ != nullptr) drop_counter_->Add(1);
+  }
+}
+
+void Tracer::SetDropCounter(Counter* counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_counter_ = counter;
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+    if (drop_counter_ != nullptr) drop_counter_->Add(1);
+  }
+}
+
+size_t Tracer::Capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
 }
 
 std::vector<TraceEvent> Tracer::Events() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  return std::vector<TraceEvent>(events_.begin(), events_.end());
 }
 
 std::vector<TraceEvent> Tracer::EventsFor(uint64_t log_id) const {
@@ -38,6 +95,12 @@ std::vector<TraceEvent> Tracer::EventsFor(uint64_t log_id) const {
     if (ev.log_id == log_id) out.push_back(ev);
   }
   return out;
+}
+
+std::vector<TraceEvent> Tracer::Recent(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t take = n < events_.size() ? n : events_.size();
+  return std::vector<TraceEvent>(events_.end() - take, events_.end());
 }
 
 bool Tracer::ChainEndsConfirmed(uint64_t log_id) const {
@@ -52,6 +115,11 @@ bool Tracer::ChainEndsConfirmed(uint64_t log_id) const {
 size_t Tracer::EventCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
+}
+
+uint64_t Tracer::DroppedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 std::string Tracer::ToJsonLines() const {

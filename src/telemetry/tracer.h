@@ -2,6 +2,7 @@
 #define WEDGEBLOCK_TELEMETRY_TRACER_H_
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -10,6 +11,8 @@
 
 namespace wedge {
 
+class Counter;
+
 /// Canonical lifecycle stages of a log entry, in pipeline order (the
 /// order the Offchain Node actually executes: the batch digest is
 /// journaled for stage 2 when the position seals, before the per-entry
@@ -17,6 +20,14 @@ namespace wedge {
 ///   ingest -> seal -> stage2_enqueued -> stage1_signed
 ///     -> tx_submitted (xN attempts) -> confirmed
 /// `tx_retry` and `fault` are annotations, not lifecycle stages.
+///
+/// The distributed stages extend the chain across process boundaries
+/// (DESIGN.md "Distributed observability"): a client stamps
+/// client_enqueue/client_acked around an RPC, the router stamps
+/// router_pick when it chooses a shard, the serving process stamps
+/// rpc_recv when a traced frame arrives, and the aggregator stamps
+/// agg_epoch/agg_confirmed when a shard root is folded into a forest
+/// epoch and that epoch lands on chain.
 namespace trace_stage {
 inline constexpr const char* kIngest = "ingest";
 inline constexpr const char* kSeal = "seal";
@@ -26,11 +37,20 @@ inline constexpr const char* kTxSubmitted = "tx_submitted";
 inline constexpr const char* kTxRetry = "tx_retry";
 inline constexpr const char* kConfirmed = "confirmed";
 inline constexpr const char* kFault = "fault";
+// Distributed stages (cross-process trace propagation).
+inline constexpr const char* kClientEnqueue = "client_enqueue";
+inline constexpr const char* kClientAcked = "client_acked";
+inline constexpr const char* kRouterPick = "router_pick";
+inline constexpr const char* kRpcRecv = "rpc_recv";
+inline constexpr const char* kAggEpoch = "agg_epoch";
+inline constexpr const char* kAggConfirmed = "agg_confirmed";
 }  // namespace trace_stage
 
 /// One structured span event. `at` comes from the tracer's clock — a
 /// SimClock in every deployment, so traces are deterministic for a given
-/// seed; `seq` totally orders events that share a timestamp.
+/// seed; `seq` totally orders events that share a timestamp. `trace_id`
+/// is nonzero when the event was emitted under a propagated trace
+/// context (ScopedTrace below) and stitches spans across processes.
 struct TraceEvent {
   uint64_t seq = 0;
   Micros at = 0;
@@ -38,19 +58,56 @@ struct TraceEvent {
   std::string stage;
   uint64_t count = 0;    ///< Entries covered (0 when not meaningful).
   std::string note;      ///< Annotations, e.g. "attempt=2 cause=timeout".
+  uint64_t trace_id = 0; ///< Cross-process trace id (0 = untraced).
+  std::string origin;    ///< Where the trace was born, e.g. "loadgen".
 
   /// One JSON object, schema {"kind":"span",...}. Fields must not need
   /// escaping (stages and notes are plain identifiers/key=value pairs).
   std::string ToJson() const;
 };
 
+/// Installs a trace context on the current thread for its lifetime;
+/// every Tracer::Event emitted on this thread while the scope is live is
+/// stamped with the context's trace_id/origin. Scopes nest (the inner
+/// scope wins, the outer one is restored on destruction), so an RPC
+/// worker can install the frame's context around the dispatch without
+/// caring what was there before. A trace_id of 0 means "untraced" and
+/// is what threads outside any scope see.
+class ScopedTrace {
+ public:
+  ScopedTrace(uint64_t trace_id, std::string origin);
+  ~ScopedTrace();
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  uint64_t saved_id_;
+  std::string saved_origin_;
+};
+
+/// Trace context of the calling thread (0 / empty outside any scope).
+uint64_t CurrentTraceId();
+std::string CurrentTraceOrigin();
+
 /// Appends structured lifecycle events; thread-safe. The Offchain Node,
 /// Stage2Submitter, and FaultInjector all write here so a single dump
 /// shows every entry's path from ingest to on-chain confirmation.
+///
+/// Storage is a bounded ring: once `capacity` events are held the oldest
+/// are dropped (and counted via SetDropCounter) so a long-running daemon
+/// serving /tracez cannot grow without bound. `seq` keeps increasing
+/// across drops, so consumers can detect gaps.
 class Tracer {
  public:
+  /// Default ring capacity; large enough that every deterministic test
+  /// and bench trace fits without drops.
+  static constexpr size_t kDefaultCapacity = 65536;
+
   /// `clock` may be null (timestamps 0, sequence still orders events).
-  explicit Tracer(const Clock* clock = nullptr) : clock_(clock) {}
+  explicit Tracer(const Clock* clock = nullptr,
+                  size_t capacity = kDefaultCapacity)
+      : clock_(clock), capacity_(capacity == 0 ? 1 : capacity) {}
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -58,21 +115,35 @@ class Tracer {
   void Event(uint64_t log_id, const char* stage, uint64_t count = 0,
              std::string note = {});
 
+  /// Counter bumped once per dropped-oldest event (wedge.trace.dropped).
+  /// May be null; pointer must outlive the tracer.
+  void SetDropCounter(Counter* counter);
+  /// Resizes the ring (drops oldest immediately if shrinking).
+  void SetCapacity(size_t capacity);
+  size_t Capacity() const;
+
   std::vector<TraceEvent> Events() const;
   /// Events for one log position, in seq order.
   std::vector<TraceEvent> EventsFor(uint64_t log_id) const;
+  /// The most recent `n` events, in seq order (for /tracez).
+  std::vector<TraceEvent> Recent(size_t n) const;
   /// True iff the position has events and its last one is `confirmed`.
   bool ChainEndsConfirmed(uint64_t log_id) const;
   size_t EventCount() const;
+  /// Total events dropped from the ring since construction.
+  uint64_t DroppedCount() const;
 
-  /// JSON Lines dump of every event, in seq order.
+  /// JSON Lines dump of every retained event, in seq order.
   std::string ToJsonLines() const;
 
  private:
   const Clock* const clock_;
   mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  std::deque<TraceEvent> events_;
+  size_t capacity_;
   uint64_t next_seq_ = 0;
+  uint64_t dropped_ = 0;
+  Counter* drop_counter_ = nullptr;
 };
 
 }  // namespace wedge

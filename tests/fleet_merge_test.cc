@@ -1,0 +1,154 @@
+// Fleet-merge determinism tests: the JSONL metrics parser and the
+// cross-process snapshot merge fleetmon is built on. The merge rules are
+// pinned against hand-built snapshots — counters/gauges sum name-wise,
+// histogram buckets add with min/max folding, quantiles of the merged
+// distribution are recomputed from the merged buckets (never averaged) —
+// and merging must be order-independent and lossless through the
+// export -> parse round trip.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/export.h"
+#include "telemetry/fleet_merge.h"
+#include "telemetry/metrics.h"
+
+namespace wedge {
+namespace {
+
+MetricsSnapshot RoundTrip(const MetricsRegistry& registry) {
+  auto parsed = ParseMetricsJsonLines(MetricsToJsonLines(registry.Snapshot()));
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? *parsed : MetricsSnapshot{};
+}
+
+TEST(FleetMergeTest, ParseRoundTripsCountersGaugesHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("wedge.rpc.requests")->Add(11);
+  registry.GetGauge("wedge.chain.mempool")->Set(-3);
+  Histogram* h = registry.GetHistogram("wedge.rpc.append_us");
+  h->Record(5);
+  h->Record(700);
+  h->Record(700);
+
+  MetricsSnapshot parsed = RoundTrip(registry);
+  EXPECT_EQ(parsed.CounterValue("wedge.rpc.requests"), 11u);
+  ASSERT_EQ(parsed.gauges.size(), 1u);
+  EXPECT_EQ(parsed.gauges[0].second, -3);
+  const HistogramSnapshot* hist = parsed.FindHistogram("wedge.rpc.append_us");
+  ASSERT_NE(hist, nullptr);
+  HistogramSnapshot direct = h->Snapshot();
+  EXPECT_EQ(hist->count, direct.count);
+  EXPECT_EQ(hist->sum, direct.sum);
+  EXPECT_EQ(hist->min, direct.min);
+  EXPECT_EQ(hist->max, direct.max);
+  EXPECT_EQ(hist->buckets, direct.buckets);  // Lossless: exact buckets.
+}
+
+TEST(FleetMergeTest, SpanAndProseLinesAreSkipped) {
+  std::string text =
+      "{\"kind\": \"span\", \"seq\": 0, \"t_us\": 1, \"log_id\": 2, "
+      "\"stage\": \"ingest\"}\n"
+      "not json at all\n"
+      "{\"kind\": \"counter\", \"name\": \"wedge.x\", \"value\": 4}\n";
+  auto snap = ParseMetricsJsonLines(text);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->CounterValue("wedge.x"), 4u);
+}
+
+TEST(FleetMergeTest, StructurallyBrokenMetricLineIsTyped) {
+  auto snap =
+      ParseMetricsJsonLines("{\"kind\": \"counter\", \"name\": \"wedge.x\"}\n");
+  EXPECT_FALSE(snap.ok());  // Counter without a value: corrupt scrape.
+}
+
+TEST(FleetMergeTest, MergeMatchesHandBuiltSnapshot) {
+  MetricsRegistry a, b;
+  a.GetCounter("wedge.rpc.requests")->Add(30);
+  b.GetCounter("wedge.rpc.requests")->Add(10);
+  b.GetCounter("wedge.rpc.responses_error")->Add(2);  // Only on b.
+  a.GetGauge("wedge.chain.mempool")->Set(5);
+  b.GetGauge("wedge.chain.mempool")->Set(7);
+  Histogram* ha = a.GetHistogram("wedge.rpc.append_us");
+  Histogram* hb = b.GetHistogram("wedge.rpc.append_us");
+  ha->Record(10);
+  ha->Record(100);
+  hb->Record(1000);
+
+  // The reference: one histogram fed every observation from both sides.
+  MetricsRegistry reference;
+  Histogram* href = reference.GetHistogram("wedge.rpc.append_us");
+  href->Record(10);
+  href->Record(100);
+  href->Record(1000);
+
+  MetricsSnapshot merged = MergeSnapshots({RoundTrip(a), RoundTrip(b)});
+  EXPECT_EQ(merged.CounterValue("wedge.rpc.requests"), 40u);
+  EXPECT_EQ(merged.CounterValue("wedge.rpc.responses_error"), 2u);
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_EQ(merged.gauges[0].second, 12);  // Gauges sum across the fleet.
+
+  const HistogramSnapshot* h = merged.FindHistogram("wedge.rpc.append_us");
+  ASSERT_NE(h, nullptr);
+  HistogramSnapshot expect = href->Snapshot();
+  EXPECT_EQ(h->count, expect.count);
+  EXPECT_EQ(h->sum, expect.sum);
+  EXPECT_EQ(h->min, expect.min);
+  EXPECT_EQ(h->max, expect.max);
+  EXPECT_EQ(h->buckets, expect.buckets);
+  // Quantiles recomputed from merged buckets equal single-histogram ones.
+  EXPECT_EQ(h->ValueAtQuantile(0.5), expect.ValueAtQuantile(0.5));
+  EXPECT_EQ(h->ValueAtQuantile(0.99), expect.ValueAtQuantile(0.99));
+}
+
+TEST(FleetMergeTest, MergeIsOrderIndependent) {
+  MetricsRegistry a, b, c;
+  a.GetCounter("wedge.node.entries_ingested")->Add(100);
+  b.GetCounter("wedge.node.entries_ingested")->Add(50);
+  c.GetCounter("wedge.node.entries_ingested")->Add(25);
+  a.GetHistogram("wedge.rpc.read_us")->Record(10);
+  b.GetHistogram("wedge.rpc.read_us")->Record(20);
+  c.GetHistogram("wedge.rpc.read_us")->Record(10000);
+
+  MetricsSnapshot abc =
+      MergeSnapshots({RoundTrip(a), RoundTrip(b), RoundTrip(c)});
+  MetricsSnapshot cba =
+      MergeSnapshots({RoundTrip(c), RoundTrip(b), RoundTrip(a)});
+  EXPECT_EQ(abc.counters, cba.counters);
+  ASSERT_EQ(abc.histograms.size(), cba.histograms.size());
+  for (size_t i = 0; i < abc.histograms.size(); ++i) {
+    EXPECT_EQ(abc.histograms[i].first, cba.histograms[i].first);
+    EXPECT_EQ(abc.histograms[i].second.buckets,
+              cba.histograms[i].second.buckets);
+    EXPECT_EQ(abc.histograms[i].second.sum, cba.histograms[i].second.sum);
+  }
+}
+
+TEST(FleetMergeTest, MergeOfNothingIsEmpty) {
+  MetricsSnapshot merged = MergeSnapshots({});
+  EXPECT_TRUE(merged.counters.empty());
+  EXPECT_TRUE(merged.histograms.empty());
+}
+
+TEST(FleetMergeTest, CounterSkewMeasuresImbalance) {
+  MetricsRegistry a, b;
+  a.GetCounter("wedge.node.entries_ingested")->Add(30);
+  b.GetCounter("wedge.node.entries_ingested")->Add(10);
+  std::vector<MetricsSnapshot> snaps = {RoundTrip(a), RoundTrip(b)};
+  // Peak 30 over mean 20.
+  EXPECT_DOUBLE_EQ(CounterSkew(snaps, "wedge.node.entries_ingested"), 1.5);
+  // Absent counter: no signal, not a division by zero.
+  EXPECT_DOUBLE_EQ(CounterSkew(snaps, "wedge.no.such"), 0.0);
+
+  MetricsRegistry even1, even2;
+  even1.GetCounter("wedge.x")->Add(10);
+  even2.GetCounter("wedge.x")->Add(10);
+  EXPECT_DOUBLE_EQ(CounterSkew({RoundTrip(even1), RoundTrip(even2)},
+                               "wedge.x"),
+                   1.0);
+}
+
+}  // namespace
+}  // namespace wedge

@@ -227,6 +227,55 @@ TEST(Tracer, LifecycleQueriesAndDeterministicDump) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(Tracer, RingDropsOldestAtCapacity) {
+  Tracer tracer(nullptr, 4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    tracer.Event(i, trace_stage::kIngest);
+  }
+  EXPECT_EQ(tracer.EventCount(), 4u);
+  EXPECT_EQ(tracer.DroppedCount(), 6u);
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest gone, newest retained, seq monotone across the drops so a
+  // consumer can detect the gap.
+  EXPECT_EQ(events.front().log_id, 6u);
+  EXPECT_EQ(events.front().seq, 6u);
+  EXPECT_EQ(events.back().log_id, 9u);
+  EXPECT_EQ(events.back().seq, 9u);
+}
+
+TEST(Tracer, DropCounterBumpsPerDroppedEvent) {
+  MetricsRegistry reg;
+  Counter* dropped = reg.GetCounter("wedge.trace.dropped");
+  Tracer tracer(nullptr, 2);
+  tracer.SetDropCounter(dropped);
+  for (uint64_t i = 0; i < 5; ++i) tracer.Event(i, trace_stage::kSeal);
+  EXPECT_EQ(reg.Snapshot().CounterValue("wedge.trace.dropped"), 3u);
+  EXPECT_EQ(tracer.DroppedCount(), 3u);
+}
+
+TEST(Tracer, ShrinkingCapacityEvictsOldestImmediately) {
+  Tracer tracer;
+  for (uint64_t i = 0; i < 8; ++i) tracer.Event(i, trace_stage::kIngest);
+  tracer.SetCapacity(3);
+  EXPECT_EQ(tracer.Capacity(), 3u);
+  EXPECT_EQ(tracer.EventCount(), 3u);
+  EXPECT_EQ(tracer.DroppedCount(), 5u);
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().log_id, 5u);
+}
+
+TEST(Tracer, RecentReturnsTailInSeqOrder) {
+  Tracer tracer;
+  for (uint64_t i = 0; i < 6; ++i) tracer.Event(i, trace_stage::kIngest);
+  auto tail = tracer.Recent(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].log_id, 4u);
+  EXPECT_EQ(tail[1].log_id, 5u);
+  EXPECT_EQ(tracer.Recent(100).size(), 6u);  // Clamped to what's held.
+}
+
 TEST(Tracer, JsonShape) {
   Tracer tracer;  // Null clock: timestamps 0.
   tracer.Event(3, trace_stage::kTxRetry, 0, "cause=timeout attempt=2");

@@ -202,7 +202,10 @@ TEST(RpcCodecTest, ResponseTruncationAtEveryPrefixRejected) {
 }
 
 TEST(RpcCodecTest, TrailingBytesRejected) {
-  Bytes request = RpcRequest{.rpc_id = 1, .op = "read", .body = {}}.Encode();
+  RpcRequest traced;
+  traced.rpc_id = 1;
+  traced.op = "read";
+  Bytes request = traced.Encode();
   request.push_back(0);
   EXPECT_FALSE(RpcRequest::Decode(request).ok());
 

@@ -162,6 +162,10 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(report->audit.lost),
       static_cast<long long>(report->recovery_micros / kMicrosPerMilli));
 
+  if (!report->snapshot_path.empty()) {
+    std::printf("fleet metrics snapshot (failed audit): %s\n",
+                report->snapshot_path.c_str());
+  }
   std::string json = ReportJson(options, *report);
   std::printf("CHAOS_RESULT %s\n", json.c_str());
   if (!json_out.empty()) {

@@ -12,6 +12,8 @@
 #include <map>
 #include <utility>
 
+#include "net/http_client.h"
+
 namespace wedge {
 namespace {
 
@@ -72,6 +74,9 @@ Status ChaosFleet::Spawn(Proc& proc, bool recover) {
       "--workers", "1",
       // A restart must land on the port clients already dialed.
       "--port", std::to_string(proc.port),
+      // Observability endpoint on an ephemeral port (scraped below);
+      // a restart may land anywhere, fleetmon re-resolves per round.
+      "--admin-port", "0",
   };
   if (options_.fsync) args.push_back("--fsync");
   if (recover) args.push_back("--recover");
@@ -98,20 +103,27 @@ Status ChaosFleet::Spawn(Proc& proc, bool recover) {
   proc.pid = pid;
   proc.out_fd = fds[0];
 
-  // Scrape "LISTENING <port>" (printed after recovery, before serving).
+  // Scrape "LISTENING <port>" (printed after recovery, before serving)
+  // and "ADMIN <port>" (printed right after it — the daemon is spawned
+  // with --admin-port 0, so the observability port is ephemeral).
   std::string scraped;
+  proc.admin_port = 0;
   Micros deadline = RealClock::Global()->NowMicros() + options_.spawn_timeout;
   while (true) {
     size_t at = scraped.find("LISTENING ");
-    if (at != std::string::npos) {
+    size_t admin_at = scraped.find("ADMIN ");
+    if (at != std::string::npos && admin_at != std::string::npos) {
       size_t eol = scraped.find('\n', at);
-      if (eol != std::string::npos) {
+      size_t admin_eol = scraped.find('\n', admin_at);
+      if (eol != std::string::npos && admin_eol != std::string::npos) {
         long port = std::strtol(scraped.c_str() + at + 10, nullptr, 10);
-        if (port <= 0 || port > 65535) {
+        long admin = std::strtol(scraped.c_str() + admin_at + 6, nullptr, 10);
+        if (port <= 0 || port > 65535 || admin <= 0 || admin > 65535) {
           (void)Kill(static_cast<uint32_t>(&proc - procs_.data()), SIGKILL);
           return Status::Internal("daemon printed a bad port");
         }
         proc.port = static_cast<uint16_t>(port);
+        proc.admin_port = static_cast<uint16_t>(admin);
         return Status::Ok();
       }
     }
@@ -146,6 +158,7 @@ Status ChaosFleet::Kill(uint32_t i, int sig) {
   int status = 0;
   waitpid(proc.pid, &status, 0);
   proc.pid = -1;
+  proc.admin_port = 0;
   if (proc.out_fd >= 0) {
     close(proc.out_fd);
     proc.out_fd = -1;
@@ -173,6 +186,37 @@ std::vector<FleetEndpoint> ChaosFleet::Endpoints() const {
     out.push_back(FleetEndpoint{"127.0.0.1", proc.port});
   }
   return out;
+}
+
+Status ChaosFleet::DumpFleetSnapshot(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot write " + path + ": " +
+                            std::strerror(errno));
+  }
+  for (uint32_t i = 0; i < size(); ++i) {
+    bool up = false;
+    std::string body;
+    if (Alive(i) && procs_[i].admin_port != 0) {
+      auto resp = HttpGet("127.0.0.1", procs_[i].admin_port, "/metrics.json",
+                          3 * kMicrosPerSecond);
+      if (resp.ok() && resp->status == 200) {
+        up = true;
+        body = std::move(resp->body);
+      }
+    }
+    std::fprintf(f,
+                 "{\"kind\": \"scrape_target\", \"proc\": %u, \"port\": %u, "
+                 "\"admin_port\": %u, \"up\": %s}\n",
+                 i, procs_[i].port, procs_[i].admin_port,
+                 up ? "true" : "false");
+    if (up) {
+      std::fwrite(body.data(), 1, body.size(), f);
+      if (!body.empty() && body.back() != '\n') std::fputc('\n', f);
+    }
+  }
+  std::fclose(f);
+  return Status::Ok();
 }
 
 ChaosWorkloadStats RunChaosWorkload(FleetRouter& router,
@@ -366,6 +410,15 @@ Result<ChaosRunReport> RunChaosScenario(const ChaosRunOptions& options) {
   }
   report.audit = AuditAckedEntries(router, fleet.engine_address(), ledger,
                                    options.audit_timeout);
+  if (!report.audit.zero_loss()) {
+    // Post-mortem: freeze the fleet's metrics before tearing it down so
+    // a failed audit leaves per-process counters (ingest totals, error
+    // responses, aggregator progress) next to the work dir's logs.
+    std::string snapshot = options.fleet.work_dir + "/fleet_snapshot.jsonl";
+    if (fleet.DumpFleetSnapshot(snapshot).ok()) {
+      report.snapshot_path = snapshot;
+    }
+  }
   report.recovery_micros =
       RealClock::Global()->NowMicros() - recover_started;
   report.client_retries = router.retries();

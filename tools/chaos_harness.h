@@ -53,9 +53,19 @@ class ChaosFleet {
   bool Alive(uint32_t i);
 
   uint16_t port(uint32_t i) const { return procs_[i].port; }
+  /// Ephemeral admin (observability) port of process `i` — every daemon
+  /// is spawned with `--admin-port 0` and the scraped port is refreshed
+  /// on each (re)start. 0 while the process is down.
+  uint16_t admin_port(uint32_t i) const { return procs_[i].admin_port; }
   /// "host:port", the key FaultyTransport partitions are scoped by.
   std::string EndpointKey(uint32_t i) const;
   std::vector<FleetEndpoint> Endpoints() const;
+  /// Scrapes /metrics.json from every live process's admin endpoint and
+  /// writes one JSONL file at `path`: a {"kind": "scrape_target"} header
+  /// line per process followed by its raw metric lines. Dead or
+  /// unresponsive processes get an up=false header. This is the
+  /// post-mortem a failed audit leaves behind.
+  Status DumpFleetSnapshot(const std::string& path);
   /// The transport/proof address every process signs with (the fleet
   /// shares one engine key seed).
   const Address& engine_address() const { return engine_address_; }
@@ -65,6 +75,7 @@ class ChaosFleet {
   struct Proc {
     pid_t pid = -1;
     uint16_t port = 0;  ///< 0 until first scrape; stable afterwards.
+    uint16_t admin_port = 0;  ///< Ephemeral; rescraped on every spawn.
     std::string log_dir;
     int out_fd = -1;  ///< Read end of the child's stdout pipe.
   };
@@ -159,6 +170,9 @@ struct ChaosRunReport {
   uint64_t client_retries = 0;
   uint64_t breaker_trips = 0;
   uint64_t fast_fails = 0;
+  /// Where the failed-audit fleet snapshot was written (empty when the
+  /// audit passed or the dump itself failed).
+  std::string snapshot_path;
 };
 
 /// The scripted scenario the acceptance gate names: healthy warm-up,

@@ -43,7 +43,7 @@ if [[ ! " ${sanitizers[*]} " =~ " thread " ]]; then
   cmake --build "$build_dir" -j "$(nproc)" >/dev/null
   echo "==> [thread] running concurrent-subsystem tests"
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-    -R 'telemetry|stage2_submitter|chain_test|integration|wire_test|rpc_test|shard|fault_transport|fleet_router|agg_journal|chaos_test'
+    -R 'telemetry|stage2_submitter|chain_test|integration|wire_test|rpc_test|shard|fault_transport|fleet_router|agg_journal|chaos_test|trace_propagation|admin_http|fleet_merge'
   echo "==> [thread] OK"
 fi
 
@@ -71,3 +71,10 @@ BUILD_DIR="$repo_root/build-${sanitizers[0]}" "$repo_root/tools/chaos.sh" \
   --work-dir "$chaos_work" --batches 4 --tenants 4 --audit-timeout-s 90
 rm -rf "$chaos_work"
 echo "==> chaos smoke OK"
+
+# Observability smoke: 2-process fleet with live admin endpoints — merged
+# fleetmon counters must equal the loadgen ground truth and at least one
+# trace must stitch client + daemon spans end to end (tools/obs_smoke.sh).
+echo "==> running observability smoke"
+BUILD_DIR="$repo_root/build-${sanitizers[0]}" "$repo_root/tools/obs_smoke.sh"
+echo "==> observability smoke OK"

@@ -23,9 +23,9 @@ build_dir="${1:-$repo_root/build-perf}"
 
 echo "==> [perf] configuring $build_dir (Release)"
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
-echo "==> [perf] building microbench + shard_scaling"
-cmake --build "$build_dir" -j "$(nproc)" --target microbench shard_scaling \
-  >/dev/null
+echo "==> [perf] building microbench + shard_scaling + obs_overhead"
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target microbench shard_scaling obs_overhead >/dev/null
 
 filter='BM_Sha256/1088|BM_Sha256Many/2000|BM_MerkleBuild/2000|BM_MerkleBuildParallel/2000|BM_SealBatch/2000'
 tmp_dispatched="$(mktemp)"
@@ -113,5 +113,11 @@ echo "==> [perf] running sharded-engine scaling bench"
 "$build_dir/bench/shard_scaling" --entries 40000 \
   --json-out "$repo_root/BENCH_shard.json"
 echo "==> [perf] wrote $repo_root/BENCH_shard.json"
+
+# Observability overhead: full tracing + a live admin scraper must cost
+# < 3% append throughput versus the same run with both disabled.
+echo "==> [perf] running observability overhead bench"
+"$build_dir/bench/obs_overhead" --json-out "$repo_root/BENCH_obs.json"
+echo "==> [perf] wrote $repo_root/BENCH_obs.json"
 
 echo "==> [perf] OK"

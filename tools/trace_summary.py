@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
-"""Summarize a WedgeBlock telemetry trace dump as a per-stage latency table.
+"""Summarize WedgeBlock telemetry trace dumps.
 
-Reads the JSON Lines produced by `--telemetry-out` (wedgeblock_sim or any
-bench binary), keeps the `span` records, groups them by log position, and
-prints the latency of each lifecycle transition:
+Reads the JSON Lines produced by `--telemetry-out` (wedgeblock_sim, any
+bench binary, or a SIGTERM'd wedgeblockd) and keeps the `span` records.
+Accepts MULTIPLE dump files — e.g. the client dump from loadgen plus one
+dump per fleet daemon — and two modes:
+
+Table mode (default): groups spans by log position and prints the latency
+of each lifecycle transition:
 
     ingest -> seal -> stage2_enqueued -> stage1_signed
       -> tx_submitted -> confirmed
@@ -11,8 +15,18 @@ prints the latency of each lifecycle transition:
 plus counts of retry and fault annotations. Timestamps are simulated
 microseconds (SimClock), so the table is deterministic for a given seed.
 
+Trace mode (--traces): stitches cross-process traces into per-trace
+timelines. Spans carrying the same nonzero trace_id are one trace no
+matter which dump they came from (the id rides the RPC frame); spans a
+process emitted asynchronously without the trace context (signing
+fan-out, epoch aggregation) are joined in via the (file, log_id) binding
+established by that process's traced spans. Because each process runs
+its own clock domain, offsets are printed RELATIVE to the first event of
+the trace in that same file — never across files.
+
 Usage:
     tools/trace_summary.py run.jsonl
+    tools/trace_summary.py --traces client.jsonl shard0.jsonl shard1.jsonl
     wedgeblock_sim --telemetry-out /dev/stdout | tools/trace_summary.py -
 
 Stdlib only; no third-party dependencies.
@@ -35,6 +49,9 @@ LIFECYCLE = [
 ]
 ANNOTATIONS = ["tx_retry", "fault"]
 
+# Stages that only ever carry a trace context (no log_id binding needed).
+CLIENT_STAGES = {"client_enqueue", "client_acked", "router_pick"}
+
 
 def percentile(sorted_values, q):
     """Nearest-rank percentile of a pre-sorted non-empty list."""
@@ -42,7 +59,7 @@ def percentile(sorted_values, q):
     return sorted_values[idx]
 
 
-def load_spans(stream):
+def load_spans(stream, label):
     spans = []
     for line in stream:
         line = line.strip()
@@ -53,37 +70,40 @@ def load_spans(stream):
         except json.JSONDecodeError:
             continue  # Metrics lines / prose are fine to skip.
         if record.get("kind") == "span":
+            record["file"] = label
             spans.append(record)
     return spans
 
 
 def summarize(spans):
-    # First occurrence of each lifecycle stage per log position, plus the
-    # LAST tx_submitted (the attempt that actually confirmed).
+    # First occurrence of each lifecycle stage per (process, log
+    # position) — log ids are process-local, so dumps from different
+    # processes must not collide — plus the LAST tx_submitted (the
+    # attempt that actually confirmed).
     first = defaultdict(dict)
     last_submit = {}
     annotation_counts = defaultdict(int)
     for span in spans:
         stage = span["stage"]
-        log_id = span.get("log_id", 0)
+        key = (span["file"], span.get("log_id", 0))
         t = span.get("t_us", 0)
         if stage in ANNOTATIONS:
             annotation_counts[stage] += 1
             continue
         if stage == "tx_submitted":
-            last_submit[log_id] = max(last_submit.get(log_id, 0), t)
-        if stage not in first[log_id]:
-            first[log_id][stage] = t
+            last_submit[key] = max(last_submit.get(key, 0), t)
+        if stage not in first[key]:
+            first[key][stage] = t
 
     transitions = []
     for a, b in zip(LIFECYCLE, LIFECYCLE[1:]):
         deltas = []
-        for log_id, stages in first.items():
+        for key, stages in first.items():
             src = stages.get(a)
             # Confirmation lag is measured from the attempt that landed,
             # not the first (possibly dropped) one.
-            if a == "tx_submitted" and log_id in last_submit:
-                src = last_submit[log_id]
+            if a == "tx_submitted" and key in last_submit:
+                src = last_submit[key]
             dst = stages.get(b)
             if src is not None and dst is not None and dst >= src:
                 deltas.append(dst - src)
@@ -120,19 +140,92 @@ def print_table(first, transitions, end_to_end, annotation_counts):
               f"{deltas[-1]:>12}")
 
 
+def collect_traces(spans):
+    """trace_id -> list of spans, including the untraced async spans a
+    process emitted for a log position its traced spans bound."""
+    traces = defaultdict(list)
+    # (file, log_id) -> trace_id bindings from traced server-side spans.
+    bindings = {}
+    for span in spans:
+        tid = span.get("trace_id", 0)
+        if tid:
+            traces[tid].append(span)
+            log_id = span.get("log_id", 0)
+            if log_id and span["stage"] not in CLIENT_STAGES:
+                bindings.setdefault((span["file"], log_id), tid)
+    for span in spans:
+        if span.get("trace_id", 0):
+            continue
+        tid = bindings.get((span["file"], span.get("log_id", 0)))
+        if tid is not None:
+            traces[tid].append(span)
+    return traces
+
+
+def print_traces(spans):
+    traces = collect_traces(spans)
+    if not traces:
+        print("no traced spans found (client ran without --trace-every, "
+              "or dumps predate trace propagation)", file=sys.stderr)
+        return 1
+    print(f"traces: {len(traces)}")
+    for tid in sorted(traces):
+        events = traces[tid]
+        by_file = defaultdict(list)
+        origin = ""
+        for span in events:
+            by_file[span["file"]].append(span)
+            origin = origin or span.get("origin", "")
+        stages = {s["stage"] for s in events}
+        end_to_end = " -> ".join(s for s in (
+            "client_enqueue", "router_pick", "rpc_recv", "ingest", "seal",
+            "stage1_signed", "client_acked", "agg_epoch", "agg_confirmed",
+            "confirmed") if s in stages)
+        print()
+        print(f"trace {tid:#x} (origin {origin or '?'}, "
+              f"{len(by_file)} process(es), {len(events)} spans)")
+        print(f"  path: {end_to_end}")
+        for label in sorted(by_file):
+            file_events = sorted(
+                by_file[label], key=lambda s: (s.get("t_us", 0), s.get("seq", 0)))
+            # Offsets are per-process: each dump has its own clock domain
+            # (SimClock in the daemons, wall micros in the client).
+            t0 = file_events[0].get("t_us", 0)
+            print(f"  [{label}]")
+            for span in file_events:
+                dt = span.get("t_us", 0) - t0
+                note = span.get("note", "")
+                log_id = span.get("log_id", 0)
+                detail = " ".join(x for x in (
+                    f"log={log_id}" if log_id else "", note) if x)
+                joined = "" if span.get("trace_id", 0) else "  (joined by log)"
+                print(f"    +{dt:>8}us  {span['stage']:<16} {detail}{joined}")
+    return 0
+
+
 def main(argv):
-    if len(argv) != 2 or argv[1] in ("-h", "--help"):
+    args = [a for a in argv[1:] if a not in ("-h", "--help")]
+    if len(args) != len(argv) - 1 or not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    if argv[1] == "-":
-        spans = load_spans(sys.stdin)
-    else:
-        with open(argv[1], "r", encoding="utf-8") as f:
-            spans = load_spans(f)
+    trace_mode = "--traces" in args
+    paths = [a for a in args if a != "--traces"]
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    spans = []
+    for path in paths:
+        if path == "-":
+            spans.extend(load_spans(sys.stdin, "stdin"))
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                spans.extend(load_spans(f, path.rsplit("/", 1)[-1]))
     if not spans:
         print("no span records found (is this a --telemetry-out dump?)",
               file=sys.stderr)
         return 1
+    if trace_mode:
+        return print_traces(spans)
     print_table(*summarize(spans))
     return 0
 

@@ -65,6 +65,7 @@
 #include <string>
 
 #include "core/wedgeblock.h"
+#include "rpc/admin_http.h"
 #include "rpc/rpc_server.h"
 #include "shard/shard_rpc.h"
 #include "shard/sharded_engine.h"
@@ -100,6 +101,10 @@ struct Options {
   std::string log_dir;           ///< Durable shard logs + aggregator journal.
   bool fsync = false;            ///< fsync after every durable record.
   bool recover = false;          ///< Run engine recovery before serving.
+  /// Admin HTTP port: -1 disables the endpoint, 0 picks an ephemeral
+  /// port. The daemon prints "ADMIN <port>" when enabled.
+  int admin_port = -1;
+  int64_t slow_request_ms = 0;   ///< Slow-request log threshold (0 = off).
 };
 
 int Usage(const char* argv0) {
@@ -112,7 +117,8 @@ int Usage(const char* argv0) {
                "          [--shards N] [--tenants N] [--epoch-blocks N]\n"
                "          [--tenant-rate N] [--tenant-burst N] "
                "[--tenant-inflight N] [--tenant-auth]\n"
-               "          [--forest] [--log-dir PATH] [--fsync] [--recover]\n",
+               "          [--forest] [--log-dir PATH] [--fsync] [--recover]\n"
+               "          [--admin-port N] [--slow-request-ms N]\n",
                argv0);
   return 2;
 }
@@ -186,6 +192,15 @@ Result<Options> Parse(int argc, char** argv) {
       opts.fsync = true;
     } else if (flag == "--recover") {
       opts.recover = true;
+    } else if (flag == "--admin-port") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.admin_port = std::atoi(v.c_str());
+      if (opts.admin_port < 0 || opts.admin_port > 65535) {
+        return Status::InvalidArgument("--admin-port needs 0..65535");
+      }
+    } else if (flag == "--slow-request-ms") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.slow_request_ms = std::atoll(v.c_str());
     } else {
       return Status::InvalidArgument("unknown flag " + flag);
     }
@@ -195,6 +210,33 @@ Result<Options> Parse(int argc, char** argv) {
     return Status::InvalidArgument("bad flag value");
   }
   return opts;
+}
+
+/// Closed-but-unconfirmed forest epochs the daemon tolerates before
+/// /healthz reports the aggregator wedged. One or two in flight is the
+/// normal pipeline; a backlog this deep means confirmations stopped.
+constexpr uint64_t kWedgedUnconfirmedEpochs = 3;
+
+/// Starts the admin HTTP endpoint when --admin-port was given and prints
+/// "ADMIN <port>" for scripts to scrape (mirroring "LISTENING <port>").
+std::unique_ptr<AdminHttpServer> StartAdmin(const Options& opts,
+                                            Telemetry* telemetry,
+                                            AdminHttpServer::HealthFn health) {
+  if (opts.admin_port < 0) return nullptr;
+  AdminHttpConfig config;
+  config.bind_address = opts.bind;
+  config.port = static_cast<uint16_t>(opts.admin_port);
+  auto admin = std::make_unique<AdminHttpServer>(telemetry, config,
+                                                 std::move(health));
+  Status started = admin->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "admin endpoint failed: %s\n",
+                 started.ToString().c_str());
+    return nullptr;
+  }
+  std::printf("ADMIN %u\n", admin->port());
+  std::fflush(stdout);
+  return admin;
 }
 
 /// Blocks until SIGINT/SIGTERM or --duration-s, advancing the simulated
@@ -274,8 +316,12 @@ int RunSharded(const Options& opts) {
   server_config.port = opts.port;
   server_config.num_workers = opts.workers;
   server_config.max_frame_bytes = opts.max_frame_mb << 20;
+  server_config.slow_request_micros = opts.slow_request_ms * kMicrosPerMilli;
   KeyPair transport_key = KeyPair::FromSeed(config.engine_key_seed);
   ShardedLogEngine& engine = d.engine();
+  server_config.shard_for_tenant = [&engine](uint64_t tenant) {
+    return static_cast<int>(engine.ShardFor(tenant));
+  };
   RpcServer server(
       [&engine](std::string_view op, const Bytes& body) {
         return DispatchEngineRpc(engine, op, body);
@@ -295,7 +341,43 @@ int RunSharded(const Options& opts) {
       opts.epoch_blocks, opts.batch, opts.workers);
   std::fflush(stdout);
 
+  // Readiness: recovery (when requested) has succeeded by this point,
+  // the RPC server is listening, and the aggregator is not sitting on a
+  // backlog of unconfirmable epochs.
+  const bool recovered = opts.recover;
+  auto health = [&server, &engine, recovered]() {
+    AdminHealth h;
+    EpochRootAggregator* agg = engine.aggregator();
+    const uint64_t unconfirmed =
+        agg == nullptr ? 0 : agg->epochs_unconfirmed();
+    const bool wedged = unconfirmed >= kWedgedUnconfirmedEpochs;
+    h.ready = server.running() && !wedged;
+    std::string detail = "{\"listening\": ";
+    detail += server.running() ? "true" : "false";
+    detail += ", \"recovery_ran\": ";
+    detail += recovered ? "true" : "false";
+    detail += ", \"aggregator\": {\"present\": ";
+    detail += agg != nullptr ? "true" : "false";
+    detail += ", \"epochs_closed\": " +
+              std::to_string(agg == nullptr ? 0 : agg->epochs_closed());
+    detail += ", \"epochs_unconfirmed\": " + std::to_string(unconfirmed);
+    detail += ", \"wedged\": ";
+    detail += wedged ? "true" : "false";
+    detail += "}, \"shards\": [";
+    for (uint32_t s = 0; s < engine.num_shards(); ++s) {
+      if (s > 0) detail += ", ";
+      detail += "{\"shard\": " + std::to_string(s) + ", \"positions\": " +
+                std::to_string(engine.shard(s).LogPositions()) + "}";
+    }
+    detail += "]}";
+    h.detail = std::move(detail);
+    return h;
+  };
+  std::unique_ptr<AdminHttpServer> admin =
+      StartAdmin(opts, &d.telemetry(), health);
+
   ServeLoop(opts, [&d] { d.AdvanceBlocks(1); });
+  if (admin != nullptr) admin->Shutdown();
 
   std::printf("shutting down (served %llu requests)\n",
               static_cast<unsigned long long>(server.requests_served()));
@@ -329,6 +411,9 @@ int Run(const Options& opts) {
   server_config.port = opts.port;
   server_config.num_workers = opts.workers;
   server_config.max_frame_bytes = opts.max_frame_mb << 20;
+  server_config.slow_request_micros = opts.slow_request_ms * kMicrosPerMilli;
+  // The classic daemon serves one node: every tenant maps to shard 0.
+  server_config.shard_for_tenant = [](uint64_t) { return 0; };
   // The daemon signs transport replies with the node's own operator key,
   // so clients can pin one address for both proofs and transport.
   KeyPair transport_key = KeyPair::FromSeed(config.offchain_key_seed);
@@ -344,7 +429,20 @@ int Run(const Options& opts) {
               d.node().address().ToHex().c_str(), opts.batch, opts.workers);
   std::fflush(stdout);
 
+  auto health = [&server, &d]() {
+    AdminHealth h;
+    h.ready = server.running();
+    h.detail = "{\"listening\": " +
+               std::string(server.running() ? "true" : "false") +
+               ", \"positions\": " + std::to_string(d.node().LogPositions()) +
+               "}";
+    return h;
+  };
+  std::unique_ptr<AdminHttpServer> admin =
+      StartAdmin(opts, &d.telemetry(), health);
+
   ServeLoop(opts, [&d] { d.AdvanceBlocks(1); });
+  if (admin != nullptr) admin->Shutdown();
 
   std::printf("shutting down (served %llu requests)\n",
               static_cast<unsigned long long>(server.requests_served()));
