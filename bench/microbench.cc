@@ -85,6 +85,40 @@ void BM_EcdsaRecover(benchmark::State& state) {
 }
 BENCHMARK(BM_EcdsaRecover);
 
+// A full sealing batch of signatures through the batched-inversion path;
+// per-signature cost is this divided by the arg — compare against
+// BM_EcdsaSign to see the amortization win.
+void BM_EcdsaSignMany(benchmark::State& state) {
+  KeyPair kp = KeyPair::FromSeed(1);
+  std::vector<Hash256> hashes(state.range(0));
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    hashes[i] = Sha256::Digest("entry-" + std::to_string(i));
+  }
+  std::vector<EcdsaSignature> sigs(hashes.size());
+  for (auto _ : state) {
+    EcdsaSignMany(kp.private_key(), hashes.data(), hashes.size(),
+                  sigs.data());
+    benchmark::DoNotOptimize(sigs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EcdsaSignMany)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_EcdsaVerifyMany(benchmark::State& state) {
+  KeyPair kp = KeyPair::FromSeed(1);
+  std::vector<Hash256> hashes(state.range(0));
+  std::vector<EcdsaSignature> sigs(hashes.size());
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    hashes[i] = Sha256::Digest("entry-" + std::to_string(i));
+    sigs[i] = EcdsaSign(kp.private_key(), hashes[i]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EcdsaVerifyMany(kp.public_key(), hashes, sigs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EcdsaVerifyMany)->Arg(256)->Unit(benchmark::kMillisecond);
+
 void BM_MerkleBuild(benchmark::State& state) {
   Rng rng(1);
   std::vector<Bytes> leaves;

@@ -7,6 +7,12 @@
 // is pure stage-1 seal throughput. Shards run independent worker pools,
 // so on a multi-core host the N-shard engine should scale.
 //
+// Phase 1b (sign throughput): per-shard stage-1 signing in isolation —
+// scalar EcdsaSign vs one-thread EcdsaSignMany vs pool-fanned chunks —
+// so the signer-pool core-scaling claim is visible in BENCH_shard.json
+// rather than only end-to-end (informational, never enforced: the ratio
+// is core-count dependent).
+//
 // Phase 2 (stage-2 txs): a full sharded deployment over the simulated
 // chain; appends entries while mining, then drains. Counts one forest
 // transaction per closed epoch versus the classic per-batch stage-2
@@ -21,6 +27,7 @@
 // Usage: shard_scaling [--shards N] [--entries N] [--batch N]
 //                      [--threads N] [--json-out PATH] [--seed N]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -28,6 +35,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "crypto/ecdsa.h"
 #include "shard/sharded_engine.h"
 
 namespace wedge {
@@ -134,6 +143,55 @@ double MeasureThroughput(const Options& opts, uint32_t num_shards) {
   return static_cast<double>(batches_total * opts.batch) / elapsed_s;
 }
 
+struct SignThroughput {
+  double single_per_s = 0;  ///< One EcdsaSign per entry, one thread.
+  double batch_per_s = 0;   ///< One-thread EcdsaSignMany (batched inversions).
+  double pooled_per_s = 0;  ///< Chunked EcdsaSignMany fanned over the pool.
+};
+
+/// Phase 1b: per-shard stage-1 sign throughput, isolating the signer
+/// pool from the rest of sealing. The single->batch ratio shows the
+/// batched-inversion win; batch->pooled shows core scaling (expect ~1x
+/// on a 1-core host — the JSON records cores so readers can judge).
+SignThroughput MeasureSignThroughput(const Options& opts) {
+  constexpr size_t kCount = 4096;
+  constexpr size_t kChunk = 128;  // Matches OffchainNode::SignResponsesPooled.
+  KeyPair kp = KeyPair::FromSeed(0x5161);
+  std::vector<Hash256> hashes(kCount);
+  for (size_t i = 0; i < kCount; ++i) {
+    hashes[i] = Sha256::Digest("sign-bench-" + std::to_string(i));
+  }
+  std::vector<EcdsaSignature> sigs(kCount);
+  RealClock* clock = RealClock::Global();
+  SignThroughput out;
+
+  Micros t0 = clock->NowMicros();
+  for (size_t i = 0; i < kCount; ++i) {
+    sigs[i] = EcdsaSign(kp.private_key(), hashes[i]);
+  }
+  out.single_per_s =
+      kCount * kMicrosPerSecond /
+      static_cast<double>(clock->NowMicros() - t0);
+
+  t0 = clock->NowMicros();
+  EcdsaSignMany(kp.private_key(), hashes.data(), kCount, sigs.data());
+  out.batch_per_s = kCount * kMicrosPerSecond /
+                    static_cast<double>(clock->NowMicros() - t0);
+
+  ThreadPool pool(opts.threads);
+  const size_t chunks = (kCount + kChunk - 1) / kChunk;
+  t0 = clock->NowMicros();
+  pool.ParallelFor(chunks, [&](size_t c) {
+    const size_t begin = c * kChunk;
+    const size_t count = std::min(kChunk, kCount - begin);
+    EcdsaSignMany(kp.private_key(), hashes.data() + begin, count,
+                  sigs.data() + begin);
+  });
+  out.pooled_per_s = kCount * kMicrosPerSecond /
+                     static_cast<double>(clock->NowMicros() - t0);
+  return out;
+}
+
 struct Stage2Result {
   uint64_t entries = 0;
   uint64_t epochs = 0;
@@ -213,6 +271,16 @@ int Run(const Options& opts) {
   std::printf("  %u shards: %.0f entries/s (%.2fx)\n", opts.shards, sharded,
               speedup);
 
+  SignThroughput sign = MeasureSignThroughput(opts);
+  double sign_batch_speedup =
+      sign.single_per_s > 0 ? sign.batch_per_s / sign.single_per_s : 0;
+  double sign_pool_speedup =
+      sign.batch_per_s > 0 ? sign.pooled_per_s / sign.batch_per_s : 0;
+  std::printf("  sign    : %.0f/s single, %.0f/s batched (%.2fx), "
+              "%.0f/s pooled x%d (%.2fx)\n",
+              sign.single_per_s, sign.batch_per_s, sign_batch_speedup,
+              sign.pooled_per_s, opts.threads, sign_pool_speedup);
+
   auto stage2 = MeasureStage2(opts);
   if (!stage2.ok()) {
     std::fprintf(stderr, "stage-2 phase failed: %s\n",
@@ -253,6 +321,9 @@ int Run(const Options& opts) {
       .Field("single_entries_per_s", single)
       .Field("sharded_entries_per_s", sharded)
       .Field("speedup", speedup)
+      .Field("sign_single_per_s", sign.single_per_s)
+      .Field("sign_batch_per_s", sign.batch_per_s)
+      .Field("sign_pooled_per_s", sign.pooled_per_s)
       .Field("speedup_enforced", std::string(enforce_speedup ? "yes" : "no"))
       .Field("stage2_entries", stage2->entries)
       .Field("epochs", stage2->epochs)
@@ -283,6 +354,14 @@ int Run(const Options& opts) {
       << "  \"speedup\": " << speedup << ",\n"
       << "  \"speedup_enforced\": " << (enforce_speedup ? "true" : "false")
       << ",\n"
+      << "  \"sign_single_per_s\": " << static_cast<uint64_t>(sign.single_per_s)
+      << ",\n"
+      << "  \"sign_batch_per_s\": " << static_cast<uint64_t>(sign.batch_per_s)
+      << ",\n"
+      << "  \"sign_pooled_per_s\": " << static_cast<uint64_t>(sign.pooled_per_s)
+      << ",\n"
+      << "  \"sign_batch_speedup\": " << sign_batch_speedup << ",\n"
+      << "  \"sign_pool_speedup\": " << sign_pool_speedup << ",\n"
       << "  \"stage2_entries\": " << stage2->entries << ",\n"
       << "  \"epochs\": " << stage2->epochs << ",\n"
       << "  \"forest_txs\": " << stage2->forest_txs << ",\n"

@@ -206,8 +206,18 @@ class OffchainNode {
   /// Inserts (or touches) `tree` in the LRU cache. Caller holds mu_.
   void CacheTreeLocked(uint64_t log_id, std::shared_ptr<MerkleTree> tree);
 
+  /// Builds a stage-1 response; signs it inline (timed into
+  /// wedge.node.sign_us) unless `sign` is false, in which case the
+  /// caller batch-signs via SignResponsesPooled.
   Stage1Response MakeResponse(const SharedBytes& leaf, uint64_t log_id,
-                              uint32_t offset, const MerkleTree& tree) const;
+                              uint32_t offset, const MerkleTree& tree,
+                              bool sign = true) const;
+
+  /// Signs `responses[0..n)` with the node key: hashes in parallel, then
+  /// fans fixed-size EcdsaSignMany chunks across the worker pool so the
+  /// batched-inversion savings and core scaling compose. Records
+  /// wedge.node.sign_us once for the whole batch.
+  void SignResponsesPooled(Stage1Response* responses, size_t n) const;
 
   /// Byzantine read path: forge an internally consistent response over
   /// tampered data.
@@ -232,6 +242,7 @@ class OffchainNode {
   Histogram* append_hist_ = nullptr;
   Histogram* seal_hist_ = nullptr;
   Histogram* read_hist_ = nullptr;
+  Histogram* sign_hist_ = nullptr;
   Stage2Submitter submitter_;
 
   mutable std::mutex mu_;

@@ -1,0 +1,65 @@
+#include "crypto/ec_backend.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace wedge {
+namespace secp256k1 {
+
+namespace {
+
+bool EnvTruthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+EcBackend DetectBackend() {
+#if defined(WEDGE_DISABLE_ECPRECOMP)
+  return EcBackend::kReference;
+#else
+  if (EnvTruthy("WEDGE_DISABLE_ECPRECOMP")) return EcBackend::kReference;
+  if (const char* pick = std::getenv("WEDGE_EC_BACKEND")) {
+    if (std::strcmp(pick, "reference") == 0) return EcBackend::kReference;
+    if (std::strcmp(pick, "fast") == 0) return EcBackend::kFast;
+    // Unknown request: fall through to the default.
+  }
+  return EcBackend::kFast;
+#endif
+}
+
+EcBackend& ActiveBackendSlot() {
+  static EcBackend backend = DetectBackend();
+  return backend;
+}
+
+}  // namespace
+
+EcBackend ActiveEcBackend() { return ActiveBackendSlot(); }
+
+std::string_view EcBackendName(EcBackend backend) {
+  switch (backend) {
+    case EcBackend::kReference:
+      return "reference";
+    case EcBackend::kFast:
+      return "fast";
+  }
+  return "unknown";
+}
+
+bool EcBackendSupported(EcBackend backend) {
+#if defined(WEDGE_DISABLE_ECPRECOMP)
+  return backend == EcBackend::kReference;
+#else
+  (void)backend;
+  return true;
+#endif
+}
+
+bool SetEcBackendForTest(EcBackend backend) {
+  if (!EcBackendSupported(backend)) return false;
+  ActiveBackendSlot() = backend;
+  return true;
+}
+
+}  // namespace secp256k1
+}  // namespace wedge

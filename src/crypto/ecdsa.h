@@ -3,6 +3,7 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "crypto/secp256k1.h"
 #include "crypto/sha256.h"
@@ -79,6 +80,33 @@ EcdsaSignature EcdsaSign(const U256& private_key, const Hash256& msg_hash);
 /// Verifies a signature against a public key.
 bool EcdsaVerify(const secp256k1::AffinePoint& public_key,
                  const Hash256& msg_hash, const EcdsaSignature& sig);
+
+/// Batch signing, mirroring the Sha256Many shape: out[i] is
+/// byte-identical to EcdsaSign(private_key, hashes[i]) (RFC 6979 pins
+/// every nonce, so this is exactly testable). Amortizes the expensive
+/// per-signature inversions across the batch: one Montgomery
+/// simultaneous inversion for all nonces and one for all k*G
+/// normalizations, instead of two field inversions per signature. The
+/// astronomically rare r == 0 / s == 0 retry falls back to the per-call
+/// path for that entry.
+void EcdsaSignMany(const U256& private_key, const Hash256* hashes, size_t n,
+                   EcdsaSignature* out);
+std::vector<EcdsaSignature> EcdsaSignMany(const U256& private_key,
+                                          const std::vector<Hash256>& hashes);
+
+/// Batch verification: ok[i] = EcdsaVerify(public_keys[i], hashes[i],
+/// sigs[i]) ? 1 : 0, with the per-signature s-inversions batched into
+/// one simultaneous inversion. This is plain per-item verification with
+/// shared inversions — NOT probabilistic batch validation; each result
+/// is exactly what the scalar call returns.
+void EcdsaVerifyMany(const secp256k1::AffinePoint* public_keys,
+                     const Hash256* hashes, const EcdsaSignature* sigs,
+                     size_t n, uint8_t* ok);
+/// Convenience for the common one-signer case (e.g. a client checking a
+/// batch of stage-1 responses from one node).
+std::vector<uint8_t> EcdsaVerifyMany(const secp256k1::AffinePoint& public_key,
+                                     const std::vector<Hash256>& hashes,
+                                     const std::vector<EcdsaSignature>& sigs);
 
 /// Recovers the signing public key from (hash, signature). This mirrors
 /// Ethereum's ecrecover precompile.

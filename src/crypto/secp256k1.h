@@ -26,8 +26,14 @@ U256 FpMul(const U256& a, const U256& b);
 U256 FpSqr(const U256& a);
 /// a^e mod p (square-and-multiply over the fast multiplier).
 U256 FpPow(const U256& a, const U256& e);
-/// Inverse mod p; requires a != 0.
+/// Inverse mod p (variable-time binary extended gcd). Zero has no
+/// inverse: a zero input aborts the process (it is always a caller bug,
+/// never data-dependent — see DESIGN.md "EC fast path").
 U256 FpInv(const U256& a);
+/// Batch inversion mod p: out[i] = xs[i]^-1 via Montgomery's
+/// simultaneous-inversion trick (one FpInv + 3 muls per element).
+/// `out` may alias `xs`. Aborts on any zero input, like FpInv.
+void FpInvMany(const U256* xs, size_t n, U256* out);
 /// Square root mod p (p = 3 mod 4). Returns error if no root exists.
 Result<U256> FpSqrt(const U256& a);
 
@@ -35,7 +41,10 @@ Result<U256> FpSqrt(const U256& a);
 U256 FnAdd(const U256& a, const U256& b);
 U256 FnSub(const U256& a, const U256& b);
 U256 FnMul(const U256& a, const U256& b);
+/// Inverse mod n; aborts on zero input (see FpInv).
 U256 FnInv(const U256& a);
+/// Batch inversion mod n (see FpInvMany). `out` may alias `xs`.
+void FnInvMany(const U256* xs, size_t n, U256* out);
 /// Reduces an arbitrary 256-bit value mod n.
 U256 FnReduce(const U256& a);
 
@@ -64,16 +73,53 @@ AffinePoint Add(const AffinePoint& a, const AffinePoint& b);
 AffinePoint Double(const AffinePoint& a);
 AffinePoint Negate(const AffinePoint& a);
 
-/// k * P. `k` is taken mod n. Constant-time is NOT a goal of this
-/// simulation-oriented implementation.
+/// k * P (width-5 wNAF on the fast backend). `k` is ALWAYS reduced mod n
+/// first, so ScalarMul(P, n + 5) == ScalarMul(P, 5) — callers comparing
+/// scalars for equality must compare them mod n, not as raw 256-bit
+/// values (pinned by tests/ec_equiv_test.cc). Constant-time is NOT a
+/// goal of this simulation-oriented implementation.
 AffinePoint ScalarMul(const AffinePoint& p, const U256& k);
 
-/// k * G using a precomputed window table for the generator.
+/// k * G via a precomputed 8-bit comb table for the generator (lazily
+/// built, batch-normalized to affine). `k` is reduced mod n like
+/// ScalarMul.
 AffinePoint ScalarMulBase(const U256& k);
 
-/// u1*G + u2*P in one pass (Shamir's trick); used by ECDSA verification.
+/// Batch fixed-base multiplication: out[i] = ks[i] * G, amortizing the
+/// Jacobian->affine normalization across the batch (one field inversion
+/// total instead of one per point). Mirrors the Sha256Many batch shape.
+void ScalarMulBaseMany(const U256* ks, size_t n, AffinePoint* out);
+
+/// u1*G + u2*P in one interleaved pass (Shamir's trick); the fast
+/// backend splits u2 via the GLV endomorphism into two half-width
+/// scalars and u1 into 128-bit halves against a 2^128*G table, so only
+/// ~130 doublings are needed. Used by ECDSA verification and recovery.
 AffinePoint DoubleScalarMulBase(const U256& u1, const AffinePoint& p,
                                 const U256& u2);
+
+/// Naive double-and-add implementations with no precomputation: the
+/// equivalence oracles for the fast paths above, and the code the
+/// reference backend (WEDGE_EC_BACKEND=reference or
+/// -DWEDGE_DISABLE_ECPRECOMP=ON) routes every public entry point to.
+namespace reference {
+AffinePoint ScalarMul(const AffinePoint& p, const U256& k);
+AffinePoint ScalarMulBase(const U256& k);
+AffinePoint DoubleScalarMulBase(const U256& u1, const AffinePoint& p,
+                                const U256& u2);
+}  // namespace reference
+
+/// Test hooks for the GLV decomposition (see DESIGN.md "EC fast path").
+namespace internal {
+/// Splits FnReduce(k) as k1 + k2*lambda (mod n) where the returned
+/// magnitudes are < 2^129 and neg1/neg2 carry the component signs:
+/// k == (neg1 ? -k1 : k1) + (neg2 ? -k2 : k2) * lambda (mod n).
+void SplitScalarGlv(const U256& k, U256* k1, bool* neg1, U256* k2,
+                    bool* neg2);
+/// lambda: the cube root of unity mod n with phi(x, y) = (beta*x, y)
+/// satisfying phi(P) = lambda*P.
+const U256& GlvLambda();
+const U256& GlvBeta();
+}  // namespace internal
 
 /// Lifts an x-coordinate to a point with the requested y parity.
 Result<AffinePoint> LiftX(const U256& x, bool odd_y);

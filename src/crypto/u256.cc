@@ -108,6 +108,15 @@ int U256::BitLength() const {
   return 0;
 }
 
+int U256::TrailingZeros() const {
+  for (int i = 0; i < 4; ++i) {
+    if (limb[i] != 0) {
+      return i * 64 + __builtin_ctzll(limb[i]);
+    }
+  }
+  return 256;
+}
+
 int U256::Compare(const U256& a, const U256& b) {
   for (int i = 3; i >= 0; --i) {
     if (a.limb[i] < b.limb[i]) return -1;

@@ -55,6 +55,9 @@ struct U256 {
   }
   /// Index of the highest set bit plus one; 0 when the value is zero.
   int BitLength() const;
+  /// Number of trailing zero bits; 256 when the value is zero. Lets the
+  /// wNAF recoder and gcd-style loops skip runs of zeros in one shift.
+  int TrailingZeros() const;
 
   /// Truncates to the low 64 bits.
   uint64_t ToU64() const { return limb[0]; }

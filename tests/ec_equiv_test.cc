@@ -1,0 +1,275 @@
+// Cross-backend equivalence suite for the secp256k1 fast path: every
+// table/wNAF/GLV shortcut must be point-identical to the naive
+// double-and-add reference, and the batch ECDSA APIs byte-identical to
+// their scalar counterparts (RFC 6979 pins every nonce, so equality is
+// exact, not statistical). Runs regardless of which backend the
+// dispatcher picked; check.sh reruns it with WEDGE_EC_BACKEND=reference
+// and CI also builds with -DWEDGE_DISABLE_ECPRECOMP=ON.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "crypto/ec_backend.h"
+#include "crypto/ecdsa.h"
+#include "crypto/secp256k1.h"
+
+namespace wedge {
+namespace secp256k1 {
+namespace {
+
+/// Pins the fast backend for a test body when it is compiled in;
+/// restores the previous backend on destruction.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(EcBackend backend)
+      : previous_(ActiveEcBackend()),
+        active_(SetEcBackendForTest(backend)) {}
+  ~ScopedBackend() { SetEcBackendForTest(previous_); }
+  bool active() const { return active_; }
+
+ private:
+  EcBackend previous_;
+  bool active_;
+};
+
+std::vector<U256> SeededCorpus(size_t count, uint64_t seed) {
+  const U256& n = GroupOrder();
+  std::vector<U256> out;
+  out.reserve(count + 16);
+  // Edge cases first: identity-adjacent scalars, order boundaries, and
+  // values exercising the mod-n reduction documented on ScalarMul.
+  out.push_back(U256::Zero());
+  out.push_back(U256::One());
+  out.push_back(U256(2));
+  out.push_back(n - U256::One());   // n - 1
+  out.push_back(n);                 // == 0 after reduction
+  out.push_back(n + U256::One());   // == 1 after reduction
+  out.push_back(U256::One().Shl(255));  // 2^255
+  out.push_back(U256::Max());       // 2^256 - 1
+  out.push_back(U256::One().Shl(128));  // GLV split boundary region
+  out.push_back(n.Shr(1));
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(U256(rng.Next(), rng.Next(), rng.Next(), rng.Next()));
+  }
+  return out;
+}
+
+TEST(EcEquivTest, ScalarMulBaseMatchesReferenceAcrossCorpus) {
+  ScopedBackend fast(EcBackend::kFast);
+  if (!fast.active()) GTEST_SKIP() << "fast backend compiled out";
+  // 10k scalars: the comb covers every window/digit combination many
+  // times over, and the edge cases pin reduction semantics.
+  for (const U256& k : SeededCorpus(10000, 0xEC0FFEE)) {
+    ASSERT_EQ(ScalarMulBase(k), reference::ScalarMulBase(k))
+        << "k = " << k.ToHex();
+  }
+}
+
+TEST(EcEquivTest, ScalarMulMatchesReference) {
+  ScopedBackend fast(EcBackend::kFast);
+  if (!fast.active()) GTEST_SKIP() << "fast backend compiled out";
+  AffinePoint p = reference::ScalarMulBase(U256(0xABCDEF));
+  for (const U256& k : SeededCorpus(300, 0xBEEF)) {
+    ASSERT_EQ(ScalarMul(p, k), reference::ScalarMul(p, k))
+        << "k = " << k.ToHex();
+  }
+  // Infinity in, infinity out.
+  EXPECT_TRUE(ScalarMul(AffinePoint::Infinity(), U256(7)).infinity);
+}
+
+TEST(EcEquivTest, ScalarMulReducesScalarModN) {
+  // Documented on ScalarMul: k is ALWAYS reduced mod n first.
+  AffinePoint p = ScalarMulBase(U256(0x1234));
+  EXPECT_EQ(ScalarMul(p, GroupOrder() + U256(5)), ScalarMul(p, U256(5)));
+  EXPECT_TRUE(ScalarMul(p, GroupOrder()).infinity);
+  EXPECT_EQ(ScalarMulBase(GroupOrder() + U256(5)), ScalarMulBase(U256(5)));
+}
+
+TEST(EcEquivTest, DoubleScalarMulBaseMatchesReference) {
+  ScopedBackend fast(EcBackend::kFast);
+  if (!fast.active()) GTEST_SKIP() << "fast backend compiled out";
+  AffinePoint p = reference::ScalarMulBase(U256(0x5EED));
+  std::vector<U256> corpus = SeededCorpus(200, 0xD00D);
+  for (size_t i = 0; i + 1 < corpus.size(); i += 2) {
+    const U256& u1 = corpus[i];
+    const U256& u2 = corpus[i + 1];
+    ASSERT_EQ(DoubleScalarMulBase(u1, p, u2),
+              reference::DoubleScalarMulBase(u1, p, u2))
+        << "u1 = " << u1.ToHex() << " u2 = " << u2.ToHex();
+  }
+}
+
+TEST(EcEquivTest, GlvSplitReassemblesAndIsHalfWidth) {
+  const U256& n = GroupOrder();
+  const U256& lambda = internal::GlvLambda();
+  for (const U256& k : SeededCorpus(2000, 0x617F)) {
+    U256 k1, k2;
+    bool neg1 = false, neg2 = false;
+    internal::SplitScalarGlv(k, &k1, &neg1, &k2, &neg2);
+    // Magnitudes are genuinely half-width.
+    EXPECT_LE(k1.BitLength(), 132) << "k = " << k.ToHex();
+    EXPECT_LE(k2.BitLength(), 132) << "k = " << k.ToHex();
+    // (±k1) + (±k2)*lambda == k (mod n).
+    U256 t1 = neg1 ? FnSub(U256::Zero(), k1) : k1;
+    U256 t2 = neg2 ? FnSub(U256::Zero(), k2) : k2;
+    EXPECT_EQ(FnAdd(t1, FnMul(t2, lambda)), FnReduce(k))
+        << "k = " << k.ToHex();
+  }
+}
+
+TEST(EcEquivTest, GlvEndomorphismActsAsLambda) {
+  // phi(P) = (beta*x, y) must equal lambda*P — the identity the verify
+  // loop's phi-table relies on.
+  AffinePoint p = ScalarMulBase(U256(0xFEED));
+  AffinePoint phi;
+  phi.x = FpMul(p.x, internal::GlvBeta());
+  phi.y = p.y;
+  phi.infinity = false;
+  EXPECT_TRUE(IsOnCurve(phi));
+  EXPECT_EQ(phi, ScalarMul(p, internal::GlvLambda()));
+}
+
+TEST(EcEquivTest, ScalarMulBaseManyMatchesSingles) {
+  std::vector<U256> ks = SeededCorpus(500, 0xBA7C4);
+  std::vector<AffinePoint> batch(ks.size());
+  ScalarMulBaseMany(ks.data(), ks.size(), batch.data());
+  for (size_t i = 0; i < ks.size(); ++i) {
+    ASSERT_EQ(batch[i], ScalarMulBase(ks[i])) << "i = " << i;
+  }
+}
+
+TEST(EcEquivTest, BatchInversionMatchesSingles) {
+  Rng rng(0x1412);
+  std::vector<U256> xs;
+  for (int i = 0; i < 300; ++i) {
+    U256 x = U256::Mod(U256(rng.Next(), rng.Next(), rng.Next(), rng.Next()),
+                       FieldPrime());
+    if (!x.IsZero()) xs.push_back(x);
+  }
+  std::vector<U256> inv(xs.size());
+  FpInvMany(xs.data(), xs.size(), inv.data());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(inv[i], FpInv(xs[i])) << "i = " << i;
+  }
+  // Aliasing form (out == xs) must give the same answers.
+  std::vector<U256> aliased = xs;
+  FpInvMany(aliased.data(), aliased.size(), aliased.data());
+  EXPECT_EQ(aliased, inv);
+
+  std::vector<U256> ninv(xs.size());
+  FnInvMany(xs.data(), xs.size(), ninv.data());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(ninv[i], FnInv(xs[i])) << "i = " << i;
+  }
+}
+
+TEST(EcEquivDeathTest, ZeroInversionAborts) {
+  // FnInv/FpInv on zero is always a caller bug: the contract is a hard
+  // abort, never a garbage inverse.
+  EXPECT_DEATH(FpInv(U256::Zero()), "zero input");
+  EXPECT_DEATH(FnInv(U256::Zero()), "zero input");
+  EXPECT_DEATH(FnInv(GroupOrder()), "zero input");
+  U256 xs[2] = {U256(3), U256::Zero()};
+  U256 out[2];
+  EXPECT_DEATH(FpInvMany(xs, 2, out), "zero input");
+}
+
+TEST(EcEquivTest, SignManyByteIdenticalToSingles) {
+  KeyPair kp = KeyPair::FromSeed(77);
+  std::vector<Hash256> hashes;
+  Rng rng(0x51671);
+  for (int i = 0; i < 512; ++i) {
+    Hash256 h;
+    for (auto& b : h) b = static_cast<uint8_t>(rng.Next());
+    hashes.push_back(h);
+  }
+  std::vector<EcdsaSignature> batch =
+      EcdsaSignMany(kp.private_key(), hashes);
+  ASSERT_EQ(batch.size(), hashes.size());
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    EcdsaSignature single = EcdsaSign(kp.private_key(), hashes[i]);
+    ASSERT_EQ(batch[i].Serialize(), single.Serialize()) << "i = " << i;
+  }
+}
+
+TEST(EcEquivTest, SignManyMatchesAcrossBackends) {
+  ScopedBackend fast(EcBackend::kFast);
+  if (!fast.active()) GTEST_SKIP() << "fast backend compiled out";
+  KeyPair kp = KeyPair::FromSeed(99);
+  std::vector<Hash256> hashes;
+  for (int i = 0; i < 32; ++i) {
+    Hash256 h{};
+    h[0] = static_cast<uint8_t>(i);
+    h[31] = 0xA5;
+    hashes.push_back(h);
+  }
+  std::vector<EcdsaSignature> fast_sigs =
+      EcdsaSignMany(kp.private_key(), hashes);
+  {
+    ScopedBackend ref(EcBackend::kReference);
+    std::vector<EcdsaSignature> ref_sigs =
+        EcdsaSignMany(kp.private_key(), hashes);
+    for (size_t i = 0; i < hashes.size(); ++i) {
+      ASSERT_EQ(fast_sigs[i].Serialize(), ref_sigs[i].Serialize())
+          << "i = " << i;
+    }
+  }
+}
+
+TEST(EcEquivTest, VerifyManyMatchesSingles) {
+  KeyPair kp = KeyPair::FromSeed(123);
+  KeyPair other = KeyPair::FromSeed(124);
+  std::vector<Hash256> hashes;
+  std::vector<EcdsaSignature> sigs;
+  for (int i = 0; i < 64; ++i) {
+    Hash256 h{};
+    h[0] = static_cast<uint8_t>(i);
+    hashes.push_back(h);
+    sigs.push_back(EcdsaSign(kp.private_key(), h));
+  }
+  // Poison a spread of entries so the batch path proves it fails
+  // per-item, not per-batch: flipped s, swapped hash, r out of range,
+  // zero scalars.
+  sigs[3].s = FnAdd(sigs[3].s, U256::One());
+  sigs[10] = EcdsaSign(other.private_key(), hashes[10]);  // wrong key
+  sigs[17].r = GroupOrder();
+  sigs[21].r = U256::Zero();
+  sigs[40].s = U256::Zero();
+
+  std::vector<uint8_t> ok = EcdsaVerifyMany(kp.public_key(), hashes, sigs);
+  ASSERT_EQ(ok.size(), sigs.size());
+  for (size_t i = 0; i < sigs.size(); ++i) {
+    EXPECT_EQ(ok[i] != 0, EcdsaVerify(kp.public_key(), hashes[i], sigs[i]))
+        << "i = " << i;
+  }
+  EXPECT_EQ(ok[3], 0);
+  EXPECT_EQ(ok[10], 0);
+  EXPECT_EQ(ok[17], 0);
+  EXPECT_EQ(ok[21], 0);
+  EXPECT_EQ(ok[40], 0);
+  EXPECT_EQ(ok[0], 1);
+}
+
+TEST(EcEquivTest, RecoverConsistentAcrossBackends) {
+  ScopedBackend fast(EcBackend::kFast);
+  if (!fast.active()) GTEST_SKIP() << "fast backend compiled out";
+  KeyPair kp = KeyPair::FromSeed(321);
+  Hash256 h{};
+  h[5] = 0x42;
+  EcdsaSignature sig = EcdsaSign(kp.private_key(), h);
+  auto fast_pub = EcdsaRecover(h, sig);
+  ASSERT_TRUE(fast_pub.ok());
+  {
+    ScopedBackend ref(EcBackend::kReference);
+    auto ref_pub = EcdsaRecover(h, sig);
+    ASSERT_TRUE(ref_pub.ok());
+    EXPECT_EQ(fast_pub.value(), ref_pub.value());
+  }
+  EXPECT_EQ(fast_pub.value(), kp.public_key());
+}
+
+}  // namespace
+}  // namespace secp256k1
+}  // namespace wedge

@@ -101,6 +101,32 @@ TEST(Secp256k1Test, FixedBaseMatchesGeneric) {
   EXPECT_TRUE(ScalarMulBase(GroupOrder()).infinity);
 }
 
+TEST(Secp256k1Test, ScalarMulReducesModOrder) {
+  // Documented contract on ScalarMul/ScalarMulBase: the scalar is
+  // ALWAYS reduced mod n first, so callers must never compare raw
+  // 256-bit scalars for point equality. (The full cross-backend corpus
+  // lives in ec_equiv_test.cc.)
+  AffinePoint p = ScalarMulBase(U256(9));
+  EXPECT_EQ(ScalarMul(p, GroupOrder() + U256(5)), ScalarMul(p, U256(5)));
+  EXPECT_EQ(ScalarMulBase(GroupOrder() + U256(1)), Generator());
+}
+
+TEST(Secp256k1Test, BatchInversionRoundTrip) {
+  Rng rng(77);
+  U256 xs[16];
+  for (auto& x : xs) {
+    do {
+      x = U256::Mod(U256(rng.Next(), rng.Next(), rng.Next(), rng.Next()),
+                    FieldPrime());
+    } while (x.IsZero());
+  }
+  U256 inv[16];
+  FpInvMany(xs, 16, inv);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(FpMul(xs[i], inv[i]), U256::One()) << "i = " << i;
+  }
+}
+
 TEST(Secp256k1Test, ScalarMulDistributesOverAddition) {
   Rng rng(15);
   U256 k1 = FnReduce(U256(rng.Next(), rng.Next(), rng.Next(), rng.Next()));

@@ -43,7 +43,7 @@ if [[ ! " ${sanitizers[*]} " =~ " thread " ]]; then
   cmake --build "$build_dir" -j "$(nproc)" >/dev/null
   echo "==> [thread] running concurrent-subsystem tests"
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-    -R 'telemetry|stage2_submitter|chain_test|integration|wire_test|rpc_test|shard|fault_transport|fleet_router|agg_journal|chaos_test|trace_propagation|admin_http|fleet_merge'
+    -R 'telemetry|stage2_submitter|chain_test|integration|wire_test|rpc_test|shard|fault_transport|fleet_router|agg_journal|chaos_test|trace_propagation|admin_http|fleet_merge|core_test'
   echo "==> [thread] OK"
 fi
 
@@ -57,6 +57,16 @@ echo "==> [scalar] re-running crypto/merkle tests with WEDGE_DISABLE_HWCRYPTO=1"
 WEDGE_DISABLE_HWCRYPTO=1 ctest --test-dir "$scalar_build" \
   --output-on-failure -R 'crypto_test|merkle_test'
 echo "==> [scalar] OK"
+
+# EC equivalence with the precomputed tables forced off: every public
+# scalar-multiplication entry point routes to the naive double-and-add
+# reference, so secp256k1/ecdsa/equivalence tests prove the slow path
+# still produces byte-identical signatures (and core_test exercises the
+# signer pool on top of it).
+echo "==> [ec-reference] re-running EC tests with WEDGE_EC_BACKEND=reference"
+WEDGE_EC_BACKEND=reference ctest --test-dir "$scalar_build" \
+  --output-on-failure -R 'crypto_test|ec_equiv_test|core_test'
+echo "==> [ec-reference] OK"
 
 echo "==> running hot-path perf smoke"
 "$repo_root/tools/perf_smoke.sh"

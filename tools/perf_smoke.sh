@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Hot-path performance smoke test: builds the Release microbenchmarks,
 # runs the sealing hot path (SHA-256 singles + batch, Merkle build,
-# full-batch seal) with the dispatched backend AND with hardware crypto
-# disabled (WEDGE_DISABLE_HWCRYPTO=1), and writes BENCH_hotpath.json at
-# the repo root with before/after rows against the recorded seed
-# baselines.
+# ECDSA sign/verify/recover singles + batch, full-batch seal) with the
+# dispatched backends AND with every acceleration forced off
+# (WEDGE_DISABLE_HWCRYPTO=1 WEDGE_DISABLE_ECPRECOMP=1), and writes
+# BENCH_hotpath.json at the repo root with before/after rows against the
+# recorded seed baselines.
 #
 # Exits non-zero when the tracked speedup criteria regress:
 #   - BM_MerkleBuild/2000 >= 2.0x over seed with the dispatched backend
 #   - BM_MerkleBuild/2000 >= 1.5x over seed with hardware crypto disabled
+#   - BM_SealBatch/2000 >= 5.0x over seed with the dispatched backend
+#     (the ISSUE 9 secp256k1 fast-path gate; stretch target is 10x)
+#   - BM_EcdsaVerify >= 3.0x over seed with the dispatched backend
 #
 # Also runs the sharded-engine scaling bench (bench/shard_scaling), which
 # writes BENCH_shard.json and enforces its own criteria: exactly one
@@ -27,7 +31,7 @@ echo "==> [perf] building microbench + shard_scaling + obs_overhead"
 cmake --build "$build_dir" -j "$(nproc)" \
   --target microbench shard_scaling obs_overhead >/dev/null
 
-filter='BM_Sha256/1088|BM_Sha256Many/2000|BM_MerkleBuild/2000|BM_MerkleBuildParallel/2000|BM_SealBatch/2000'
+filter='BM_Sha256/1088|BM_Sha256Many/2000|BM_MerkleBuild/2000|BM_MerkleBuildParallel/2000|BM_SealBatch/2000|BM_EcdsaSign$|BM_EcdsaVerify$|BM_EcdsaRecover$|BM_EcdsaSignMany/2000|BM_EcdsaVerifyMany/256'
 tmp_dispatched="$(mktemp)"
 tmp_scalar="$(mktemp)"
 trap 'rm -f "$tmp_dispatched" "$tmp_scalar"' EXIT
@@ -36,8 +40,8 @@ echo "==> [perf] running hot-path benchmarks (dispatched backend)"
 "$build_dir/bench/microbench" --benchmark_filter="$filter" \
   --benchmark_min_time=0.2 --benchmark_format=json >"$tmp_dispatched"
 
-echo "==> [perf] running hot-path benchmarks (WEDGE_DISABLE_HWCRYPTO=1)"
-WEDGE_DISABLE_HWCRYPTO=1 "$build_dir/bench/microbench" \
+echo "==> [perf] running hot-path benchmarks (all accelerations forced off)"
+WEDGE_DISABLE_HWCRYPTO=1 WEDGE_DISABLE_ECPRECOMP=1 "$build_dir/bench/microbench" \
   --benchmark_filter="$filter" --benchmark_min_time=0.2 \
   --benchmark_format=json >"$tmp_scalar"
 
@@ -45,15 +49,24 @@ python3 - "$tmp_dispatched" "$tmp_scalar" "$repo_root/BENCH_hotpath.json" <<'PY'
 import json, sys
 
 # Seed (pre-optimization) Release-build baselines, recorded before the
-# dispatched backends / batch hashing / copy-free sealing landed.
+# dispatched backends / batch hashing / copy-free sealing landed. The
+# ECDSA rows were measured immediately before the secp256k1 fast path
+# (comb tables, GLV, batch inversion) replaced the generic 4-bit-window
+# scalar multiplication.
 SEED_NS = {
     "BM_Sha256/1088": 6114,
     "BM_MerkleBuild/2000": 14429974,
+    "BM_SealBatch/2000": 317576157,
+    "BM_EcdsaSign": 131076,
+    "BM_EcdsaVerify": 400679,
+    "BM_EcdsaRecover": 459626,
 }
 CRITERIA = [
     # (benchmark, run, minimum speedup over seed)
     ("BM_MerkleBuild/2000", "dispatched", 2.0),
     ("BM_MerkleBuild/2000", "scalar_forced", 1.5),
+    ("BM_SealBatch/2000", "dispatched", 5.0),
+    ("BM_EcdsaVerify", "dispatched", 3.0),
 ]
 
 def rows(path):
