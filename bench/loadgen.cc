@@ -19,7 +19,15 @@
 //           [--seed N] [--telemetry-out PATH]
 //           [--tenants N] [--tenant-skew S] [--server-shards N]
 //           [--tenant-rate N] [--tenant-burst N] [--tenant-inflight N]
+//           [--store memory|file|segment] [--log-dir PATH] [--fsync]
 //   loadgen --host H --port P ...   # against an external wedgeblockd
+//
+// --store picks the spawned sharded server's shard store (default
+// memory, the historical behaviour). file/segment need a --log-dir
+// (auto-created under /tmp when omitted); --fsync makes acks durable —
+// per-record fsync on file, group commit on segment — so closed-loop
+// runs across the three backends measure the real durability cost. The
+// JSONL row stamps `store` and payload `bytes_per_s` either way.
 //
 // With --spawn-server the server runs in-process on an ephemeral loopback
 // port (the ctest smoke run uses this); traffic still crosses real TCP.
@@ -88,6 +96,9 @@ struct Options {
   uint64_t tenant_inflight = 0;
   std::string fleet;        ///< Comma-separated host:port shard endpoints.
   uint64_t trace_every = 0; ///< Trace every Nth append (0 = off).
+  StoreBackend store = StoreBackend::kMemory;  ///< Spawned server store.
+  std::string log_dir;      ///< Spawned server durable dir ("" = temp).
+  bool fsync = false;       ///< Durable acks on the spawned server.
 };
 
 int Usage(const char* argv0) {
@@ -100,7 +111,8 @@ int Usage(const char* argv0) {
       "          [--verify-sigs] [--seed N] [--telemetry-out PATH]\n"
       "          [--tenants N] [--tenant-skew S] [--server-shards N]\n"
       "          [--tenant-rate N] [--tenant-burst N] [--tenant-inflight N]\n"
-      "          [--fleet H:P,H:P,...] [--trace-every N]\n",
+      "          [--fleet H:P,H:P,...] [--trace-every N]\n"
+      "          [--store memory|file|segment] [--log-dir PATH] [--fsync]\n",
       argv0);
   return 2;
 }
@@ -179,6 +191,13 @@ Result<Options> Parse(int argc, char** argv) {
       opts.tenant_inflight = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag == "--fleet") {
       WEDGE_ASSIGN_OR_RETURN(opts.fleet, next());
+    } else if (flag == "--store") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      WEDGE_ASSIGN_OR_RETURN(opts.store, ParseStoreBackend(v));
+    } else if (flag == "--log-dir") {
+      WEDGE_ASSIGN_OR_RETURN(opts.log_dir, next());
+    } else if (flag == "--fsync") {
+      opts.fsync = true;
     } else if (flag == "--trace-every") {
       WEDGE_ASSIGN_OR_RETURN(std::string v, next());
       opts.trace_every = std::strtoull(v.c_str(), nullptr, 10);
@@ -199,6 +218,12 @@ Result<Options> Parse(int argc, char** argv) {
       opts.read_fraction > 1 || opts.tenants < 1 || opts.tenant_skew < 0 ||
       opts.server_shards < 1 || opts.tenants > 4096) {
     return Status::InvalidArgument("bad flag value");
+  }
+  if (opts.store != StoreBackend::kMemory &&
+      (!opts.spawn_server || opts.tenants < 2)) {
+    return Status::InvalidArgument(
+        "--store file|segment needs --spawn-server with --tenants >= 2 "
+        "(the sharded engine owns the durable stores)");
   }
   return opts;
 }
@@ -468,6 +493,20 @@ int Run(const Options& opts) {
     config.engine.quota.entries_per_second = opts.tenant_rate;
     config.engine.quota.burst_entries = opts.tenant_burst;
     config.engine.quota.max_inflight_appends = opts.tenant_inflight;
+    if (opts.store != StoreBackend::kMemory) {
+      config.store_backend = opts.store;
+      config.log_fsync = opts.fsync;
+      config.log_dir = opts.log_dir;
+      if (config.log_dir.empty()) {
+        char tmpl[] = "/tmp/wedge-loadgen-XXXXXX";
+        if (mkdtemp(tmpl) == nullptr) {
+          std::fprintf(stderr, "mkdtemp failed for --store %s\n",
+                       std::string(StoreBackendName(opts.store)).c_str());
+          return 1;
+        }
+        config.log_dir = tmpl;
+      }
+    }
     auto d = ShardedDeployment::Create(config);
     if (!d.ok()) {
       std::fprintf(stderr, "sharded deployment failed: %s\n",
@@ -657,7 +696,15 @@ int Run(const Options& opts) {
       .Field("read_rpcs", reads)
       .Field("errors", errors)
       .Field("rpc_per_s", rpc_per_s)
-      .Field("appends_per_s", appends * opts.batch / elapsed_s);
+      .Field("appends_per_s", appends * opts.batch / elapsed_s)
+      // Acked payload bytes (key + value per entry) per second, plus the
+      // store backend serving them, so durability-cost runs across
+      // memory/file/segment are comparable from the row alone.
+      .Field("value_bytes", static_cast<uint64_t>(opts.value_bytes))
+      .Field("bytes_per_s",
+             appends * opts.batch *
+                 (opts.value_bytes + bench::kDefaultKeySize) / elapsed_s)
+      .Field("store", std::string(StoreBackendName(opts.store)));
   if (direct != nullptr) {
     row.Field("client_reconnects", direct->reconnects())
         .Field("client_retries", direct->retries())

@@ -36,6 +36,8 @@ std::string_view CodeName(Code code) {
       return "ResourceExhausted";
     case Code::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case Code::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }
@@ -50,6 +52,7 @@ bool CodeFromName(std::string_view name, Code* out) {
       Code::kInsufficientFunds, Code::kReverted,
       Code::kVerification, Code::kTimeout,
       Code::kResourceExhausted, Code::kDeadlineExceeded,
+      Code::kIoError,
   };
   for (Code c : kAll) {
     if (CodeName(c) == name) {

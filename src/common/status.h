@@ -30,6 +30,11 @@ enum class Code {
   /// any work): a kDeadlineExceeded call MAY have executed server-side, so
   /// blind retries of non-idempotent ops are the caller's decision.
   kDeadlineExceeded,
+  /// A filesystem write/flush/sync failed (ENOSPC, short write, I/O
+  /// error). Distinct from kCorruption (bad bytes read back) and from
+  /// kInternal: the store rolled the failed record back, nothing was
+  /// acked, and the caller may retry once space/media recovers.
+  kIoError,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -103,6 +108,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
   }
 
   /// Inverse of ToString(): reconstructs a typed Status from a

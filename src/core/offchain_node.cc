@@ -41,6 +41,7 @@ OffchainNode::OffchainNode(const OffchainNodeConfig& config, KeyPair key,
   // A store reopened from disk resumes its id sequence.
   next_log_id_ = store_->Size();
   next_commit_id_ = next_log_id_;
+  next_enqueue_id_ = next_log_id_;
 }
 
 Result<std::vector<Stage1Response>> OffchainNode::Append(
@@ -186,15 +187,41 @@ Result<std::vector<Stage1Response>> OffchainNode::SealBatch(
   position.log_id = log_id;
   telemetry_->tracer.Event(log_id, trace_stage::kIngest, batch.size());
 
-  // The store requires consecutive ids and the stage-2 journal must see
-  // roots in log order, so sealers commit in ticket order: wait until
-  // every earlier id has appended. The ticket always advances — even on
-  // failure — so a failed append never deadlocks later sealers.
+  // The store requires consecutive ids, so sealers stage their append in
+  // ticket order: wait until every earlier id has prepared. Only the
+  // PREPARE — a buffered WAL write, no sync — runs under the ticket; the
+  // ticket always advances (even on failure) so a failed append never
+  // deadlocks later sealers.
   Status commit_status = Status::Ok();
+  uint64_t durable_token = 0;
   {
     std::unique_lock<std::mutex> lock(seal_mu_);
     seal_cv_.wait(lock, [&] { return next_commit_id_ == log_id; });
-    commit_status = store_->Append(position);
+    Result<uint64_t> prepared = store_->AppendPrepare(position);
+    if (prepared.ok()) {
+      durable_token = prepared.value();
+    } else {
+      commit_status = prepared.status();
+    }
+    ++next_commit_id_;
+    seal_cv_.notify_all();
+  }
+  // Durability wait OUTSIDE the ticket: every concurrent sealer parks
+  // here and a group-commit store amortizes one sync across all of them.
+  // Nothing downstream — the stage-2 enqueue below, the client ack, the
+  // epoch aggregator (which only sees durable positions via Size()) —
+  // happens before this returns: a root the chain commits must never be
+  // one a crash can still revoke, or a restart would reuse the log id
+  // for a different batch and hand out punishable "equivocation".
+  if (commit_status.ok()) {
+    commit_status = store_->WaitDurable(durable_token);
+  }
+  {
+    // The submitter must see roots in log order; the seal ticket is long
+    // gone, so enqueueing holds a ticket of its own. Advances on failure
+    // for the same no-deadlock reason.
+    std::unique_lock<std::mutex> lock(enqueue_mu_);
+    enqueue_cv_.wait(lock, [&] { return next_enqueue_id_ == log_id; });
     if (commit_status.ok()) {
       Hash256 stage2_root = shared_tree->Root();
       if (byzantine_mode_.load(std::memory_order_relaxed) ==
@@ -205,8 +232,8 @@ Result<std::vector<Stage1Response>> OffchainNode::SealBatch(
       }
       commit_status = submitter_.Enqueue(log_id, stage2_root);
     }
-    ++next_commit_id_;
-    seal_cv_.notify_all();
+    ++next_enqueue_id_;
+    enqueue_cv_.notify_all();
   }
   WEDGE_RETURN_IF_ERROR(commit_status);
   telemetry_->tracer.Event(log_id, trace_stage::kSeal, batch.size());
@@ -315,8 +342,8 @@ Result<uint64_t> OffchainNode::Recover() {
   // Re-journal every position sealed before the crash that the chain has
   // not committed; the normal pipeline resubmits and confirms them.
   for (uint64_t id = tail; id < local_tail; ++id) {
-    WEDGE_ASSIGN_OR_RETURN(LogPosition pos, store_->Get(id));
-    WEDGE_RETURN_IF_ERROR(submitter_.Enqueue(id, pos.mroot));
+    WEDGE_ASSIGN_OR_RETURN(Hash256 root, store_->GetRoot(id));
+    WEDGE_RETURN_IF_ERROR(submitter_.Enqueue(id, root));
   }
   return local_tail - tail;
 }
@@ -533,13 +560,15 @@ Result<Stage1Response> OffchainNode::ForgeTamperedRead(
 }
 
 Result<uint32_t> OffchainNode::PositionEntryCount(uint64_t log_id) const {
-  WEDGE_ASSIGN_OR_RETURN(LogPosition pos, store_->Get(log_id));
-  return static_cast<uint32_t>(pos.data_list.size());
+  // Index-backed (LogStore::GetEntryCount), so a garbage-collected
+  // position still answers and aggregation never stalls on GC.
+  return store_->GetEntryCount(log_id);
 }
 
 Result<Hash256> OffchainNode::PositionRoot(uint64_t log_id) const {
-  WEDGE_ASSIGN_OR_RETURN(LogPosition pos, store_->Get(log_id));
-  return pos.mroot;
+  // Index-backed for the same reason — and the epoch aggregator polls
+  // this for every new position, so skipping the payload read matters.
+  return store_->GetRoot(log_id);
 }
 
 OffchainNodeStats OffchainNode::stats() const {

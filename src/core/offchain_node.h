@@ -180,6 +180,8 @@ class OffchainNode {
 
   const Address& address() const { return key_.address(); }
   uint64_t LogPositions() const { return store_->Size(); }
+  /// The backing store (e.g. for engine-level recovery/GC plumbing).
+  LogStore& store() { return *store_; }
   /// Number of entries stored at a log position.
   Result<uint32_t> PositionEntryCount(uint64_t log_id) const;
   /// Sealed Merkle root at a log position (the MRoot the store persisted).
@@ -262,12 +264,23 @@ class OffchainNode {
   std::atomic<ByzantineMode> byzantine_mode_;
   ResponseCallback response_callback_;
 
-  /// Seal-ordering ticket: store appends (and stage-2 enqueues) must
-  /// happen in log-id order even when batches finish hashing out of
-  /// order. A sealer waits until next_commit_id_ equals its ticket.
+  /// Seal-ordering ticket: store append PREPARES must happen in log-id
+  /// order even when batches finish hashing out of order. A sealer waits
+  /// until next_commit_id_ equals its ticket, stages its position
+  /// (LogStore::AppendPrepare — a buffered write, no sync), and releases
+  /// the ticket BEFORE waiting for durability, so concurrent sealers
+  /// coalesce into one group commit instead of serializing a sync each.
   std::mutex seal_mu_;
   std::condition_variable seal_cv_;
   uint64_t next_commit_id_ = 0;
+
+  /// Stage-2 ordering ticket: the submitter must see roots in log order,
+  /// and enqueueing happens after the durability wait (a root the chain
+  /// commits must never be one a crash can revoke), i.e. outside the
+  /// seal ticket — so the enqueue order needs a ticket of its own.
+  std::mutex enqueue_mu_;
+  std::condition_variable enqueue_cv_;
+  uint64_t next_enqueue_id_ = 0;
 };
 
 }  // namespace wedge

@@ -1,6 +1,7 @@
 #include "shard/sharded_engine.h"
 
 #include "storage/log_store.h"
+#include "storage/segstore/segment_store.h"
 
 namespace wedge {
 
@@ -98,6 +99,21 @@ Result<ShardedLogEngine::RecoveryReport> ShardedLogEngine::Recover() {
   }
   RecoveryReport report;
   report.journaled_epochs = aggregator_->epochs_closed();
+
+  // Storage-tier reconciliation happened when each shard's store was
+  // opened (segment backend: O(segments) trailer reads + WAL-tail
+  // replay, stray .tmp cleanup); fold what it found into the one report
+  // so a single Recover() call accounts for all three layers — segment
+  // store, aggregator journal, on-chain forest roots.
+  for (auto& shard : shards_) {
+    if (auto* seg = dynamic_cast<SegmentLogStore*>(&shard->store())) {
+      const SegmentLogStore::RecoveryInfo& info = seg->recovery();
+      report.store_segments += info.segments;
+      report.store_wal_positions += info.wal_positions;
+      report.store_wal_truncated_bytes += info.wal_truncated_bytes;
+      report.store_tmp_files_removed += info.tmp_files_removed;
+    }
+  }
 
   // Shard-tail reconciliation: the file stores already replayed every
   // sealed (hence acked) batch; anything past the journal's per-shard
@@ -211,6 +227,28 @@ Result<TxId> ShardedLogEngine::AggregateNow() {
   return aggregator_->CloseEpoch();
 }
 
+Status ShardedLogEngine::RetireTenant(TenantId tenant) {
+  OffchainNode& shard = *shards_[router_.ShardFor(tenant)];
+  auto* seg = dynamic_cast<SegmentLogStore*>(&shard.store());
+  if (seg == nullptr) {
+    return Status::FailedPrecondition(
+        "tenant retirement needs the segment store backend");
+  }
+  return seg->RetireTenant(tenant);
+}
+
+Result<uint64_t> ShardedLogEngine::CompactStorage() {
+  uint64_t reclaimed = 0;
+  for (auto& shard : shards_) {
+    auto* seg = dynamic_cast<SegmentLogStore*>(&shard->store());
+    if (seg == nullptr) continue;
+    WEDGE_ASSIGN_OR_RETURN(SegmentLogStore::CompactionStats stats,
+                           seg->Compact());
+    reclaimed += stats.bytes_reclaimed;
+  }
+  return reclaimed;
+}
+
 Result<std::unique_ptr<ShardedDeployment>> ShardedDeployment::Create(
     const ShardedDeploymentConfig& config, uint64_t publisher_seed) {
   std::unique_ptr<ShardedDeployment> d(new ShardedDeployment());
@@ -244,15 +282,18 @@ Result<std::unique_ptr<ShardedDeployment>> ShardedDeployment::Create(
   std::vector<std::unique_ptr<LogStore>> stores;
   std::unique_ptr<AggregatorJournal> journal;
   if (!config.log_dir.empty()) {
+    StoreBackendOptions store_options;
+    store_options.fsync = config.log_fsync;
+    store_options.segment_positions = config.store_segment_positions;
+    store_options.metrics = &d->telemetry_->metrics;
     for (uint32_t i = 0; i < config.engine.num_shards; ++i) {
-      FileLogStore::Options file_options;
-      file_options.fsync_on_append = config.log_fsync;
-      file_options.metrics = &d->telemetry_->metrics;
+      const std::string base =
+          config.log_dir + "/shard-" + std::to_string(i);
+      const std::string path =
+          config.store_backend == StoreBackend::kSegment ? base + ".seg"
+                                                         : base + ".log";
       WEDGE_ASSIGN_OR_RETURN(
-          auto store,
-          FileLogStore::Open(
-              config.log_dir + "/shard-" + std::to_string(i) + ".log",
-              file_options));
+          auto store, OpenLogStore(config.store_backend, path, store_options));
       stores.push_back(std::move(store));
     }
     if (config.engine.forest_stage2) {

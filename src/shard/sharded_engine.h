@@ -12,6 +12,7 @@
 #include "shard/epoch_aggregator.h"
 #include "shard/router.h"
 #include "shard/token_bucket.h"
+#include "storage/backend.h"
 
 namespace wedge {
 
@@ -80,6 +81,11 @@ class ShardedLogEngine {
     uint64_t recovered_epochs = 0;   ///< New epochs closed over those roots.
     uint64_t resubmitted_epochs = 0; ///< Journaled epochs resubmitted on chain.
     uint64_t confirmed_epochs = 0;   ///< Epochs found already recorded.
+    // Storage-tier recovery (segment backend; zero on other backends).
+    uint64_t store_segments = 0;       ///< Sealed segments across all shards.
+    uint64_t store_wal_positions = 0;  ///< Live WAL-tail positions replayed.
+    uint64_t store_wal_truncated_bytes = 0;  ///< Torn WAL bytes dropped.
+    uint64_t store_tmp_files_removed = 0;    ///< Interrupted seal scratch.
   };
 
   /// One-pass crash recovery (forest mode): reconciles every shard's
@@ -116,6 +122,15 @@ class ShardedLogEngine {
   /// OffchainNode::FlushStagedBatch), then force-closes an epoch over
   /// everything sealed so far. For tests and draining.
   Result<TxId> AggregateNow();
+
+  /// Marks a tenant's stored payloads as garbage on its shard's store
+  /// (segment backend only — FailedPrecondition otherwise). Space is
+  /// reclaimed by CompactStorage() or the store's background thread;
+  /// log-id density and every other tenant's proofs are preserved.
+  Status RetireTenant(TenantId tenant);
+  /// Runs compaction on every shard store that supports it. Returns the
+  /// total bytes reclaimed.
+  Result<uint64_t> CompactStorage();
 
   uint32_t ShardFor(TenantId tenant) const {
     return router_.ShardFor(tenant);
@@ -166,10 +181,16 @@ struct ShardedDeploymentConfig {
   uint64_t engine_key_seed = 0xED6E;
   int64_t escrow_lock_seconds = 30 * 24 * 3600;
   int64_t omission_grace_seconds = 600;
-  /// Per-shard file-backed stores at `<log_dir>/shard-<i>.log`
-  /// ("" = in-memory). Forest mode also keeps the aggregator journal at
-  /// `<log_dir>/aggregator.journal`.
+  /// Per-shard durable stores under `log_dir` ("" = in-memory
+  /// regardless of `store_backend`). Forest mode also keeps the
+  /// aggregator journal at `<log_dir>/aggregator.journal`.
   std::string log_dir;
+  /// Which LogStore implementation backs each shard when log_dir is
+  /// set: kFile -> `<log_dir>/shard-<i>.log`, kSegment ->
+  /// `<log_dir>/shard-<i>.seg/` (WAL + sealed segments).
+  StoreBackend store_backend = StoreBackend::kFile;
+  /// Segment backend: positions per sealed segment (0 = store default).
+  uint64_t store_segment_positions = 0;
   bool log_fsync = false;
 };
 

@@ -1,0 +1,59 @@
+#include "storage/backend.h"
+
+#include "storage/segstore/segment_store.h"
+
+namespace wedge {
+
+std::string_view StoreBackendName(StoreBackend backend) {
+  switch (backend) {
+    case StoreBackend::kMemory:
+      return "memory";
+    case StoreBackend::kFile:
+      return "file";
+    case StoreBackend::kSegment:
+      return "segment";
+  }
+  return "unknown";
+}
+
+Result<StoreBackend> ParseStoreBackend(std::string_view name) {
+  if (name == "memory") return StoreBackend::kMemory;
+  if (name == "file") return StoreBackend::kFile;
+  if (name == "segment") return StoreBackend::kSegment;
+  return Status::InvalidArgument("unknown store backend: " +
+                                 std::string(name) +
+                                 " (expected memory|file|segment)");
+}
+
+Result<std::unique_ptr<LogStore>> OpenLogStore(
+    const StoreBackend backend, const std::string& path,
+    const StoreBackendOptions& options) {
+  switch (backend) {
+    case StoreBackend::kMemory:
+      return std::unique_ptr<LogStore>(std::make_unique<MemoryLogStore>());
+    case StoreBackend::kFile: {
+      FileLogStore::Options file_options;
+      file_options.fsync_on_append = options.fsync;
+      file_options.metrics = options.metrics;
+      WEDGE_ASSIGN_OR_RETURN(auto store,
+                             FileLogStore::Open(path, file_options));
+      return std::unique_ptr<LogStore>(std::move(store));
+    }
+    case StoreBackend::kSegment: {
+      SegmentLogStore::Options seg_options;
+      seg_options.durability = options.fsync
+                                   ? SegmentLogStore::Durability::kGroupCommit
+                                   : SegmentLogStore::Durability::kNone;
+      if (options.segment_positions > 0) {
+        seg_options.segment_positions = options.segment_positions;
+      }
+      seg_options.metrics = options.metrics;
+      WEDGE_ASSIGN_OR_RETURN(auto store,
+                             SegmentLogStore::Open(path, seg_options));
+      return std::unique_ptr<LogStore>(std::move(store));
+    }
+  }
+  return Status::InvalidArgument("unknown store backend");
+}
+
+}  // namespace wedge

@@ -1,0 +1,46 @@
+#ifndef WEDGEBLOCK_STORAGE_BACKEND_H_
+#define WEDGEBLOCK_STORAGE_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "storage/log_store.h"
+
+namespace wedge {
+
+/// Selectable LogStore implementation behind one factory, so every layer
+/// that persists positions (deployments, wedgeblockd --store=, benches,
+/// the chaos harness) names backends the same way.
+enum class StoreBackend {
+  kMemory,   ///< MemoryLogStore: no persistence (benches, tests).
+  kFile,     ///< FileLogStore: one append-only file, replayed O(entries).
+  kSegment,  ///< SegmentLogStore: WAL group-commit + sealed segments,
+             ///< recovered O(segments) (src/storage/segstore/).
+};
+
+/// "memory" | "file" | "segment".
+std::string_view StoreBackendName(StoreBackend backend);
+Result<StoreBackend> ParseStoreBackend(std::string_view name);
+
+struct StoreBackendOptions {
+  /// Power-loss durability before ack. file: fsync per append; segment:
+  /// group-commit fdatasync (one sync per batch window). Off, both are
+  /// still process-crash durable (flushed past stdio before ack).
+  bool fsync = false;
+  /// Segment backend only: seal a segment every N positions (0 = the
+  /// store's default). Small values make tests and chaos runs cross
+  /// seal boundaries with tiny workloads.
+  uint64_t segment_positions = 0;
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Opens a store at `path` — a file path for kFile, a directory for
+/// kSegment, ignored for kMemory.
+Result<std::unique_ptr<LogStore>> OpenLogStore(StoreBackend backend,
+                                               const std::string& path,
+                                               const StoreBackendOptions& options);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_STORAGE_BACKEND_H_

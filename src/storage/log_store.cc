@@ -128,6 +128,7 @@ Result<std::unique_ptr<FileLogStore>> FileLogStore::Open(
     std::fseek(f, valid_end, SEEK_SET);
   }
   store->file_ = f;
+  store->acked_bytes_ = static_cast<uint64_t>(valid_end);
   return store;
 }
 
@@ -138,6 +139,7 @@ FileLogStore::~FileLogStore() {
 Status FileLogStore::Append(const LogPosition& position) {
   Stopwatch watch(RealClock::Global());
   std::lock_guard<std::mutex> lock(mu_);
+  WEDGE_RETURN_IF_ERROR(poison_);
   if (position.log_id != positions_.size()) {
     return Status::FailedPrecondition("log positions must be consecutive");
   }
@@ -147,29 +149,63 @@ Status FileLogStore::Append(const LogPosition& position) {
   wedge::Append(record, payload);  // Qualified: Append is shadowed here.
   Hash256 checksum = Sha256::Digest(payload);
   wedge::Append(record, HashToBytes(checksum));
-  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
-    return Status::Internal("short write to log file");
+
+  // Fault injection: a full disk writes part of the record, then fails.
+  size_t allowed = record.size();
+  bool injected = false;
+  if (options_.fail_after_bytes != 0 &&
+      acked_bytes_ + record.size() > options_.fail_after_bytes) {
+    allowed = options_.fail_after_bytes > acked_bytes_
+                  ? static_cast<size_t>(options_.fail_after_bytes -
+                                        acked_bytes_)
+                  : 0;
+    injected = true;
   }
-  // Always push the record into the page cache before acking: a record
-  // left in the stdio buffer dies with the process, and a SIGKILL would
-  // then silently reuse this log_id for a different batch after replay.
-  // fsync (power-loss durability) stays optional; process-crash
-  // durability is not.
-  if (std::fflush(file_) != 0) {
-    return Status::Internal("fflush failed on append");
-  }
-  if (options_.fsync_on_append) {
+
+  std::string error;
+  if (std::fwrite(record.data(), 1, allowed, file_) != record.size() ||
+      injected) {
+    error = "short write to log file";
+  } else if (std::fflush(file_) != 0) {
+    // Always push the record into the page cache before acking: a record
+    // left in the stdio buffer dies with the process, and a SIGKILL would
+    // then silently reuse this log_id for a different batch after replay.
+    // fsync (power-loss durability) stays optional; process-crash
+    // durability is not.
+    error = "fflush failed on append";
+  } else if (options_.fsync_on_append) {
     Stopwatch fsync_watch(RealClock::Global());
     if (fsync(fileno(file_)) != 0) {
-      return Status::Internal("fsync failed on append");
-    }
-    if (fsync_hist_ != nullptr) {
+      error = "fsync failed on append";
+    } else if (fsync_hist_ != nullptr) {
       fsync_hist_->Record(fsync_watch.ElapsedMicros());
     }
   }
+  if (!error.empty()) return RollbackAppendLocked(error);
+
   positions_.push_back(position);
+  acked_bytes_ += record.size();
   if (append_hist_ != nullptr) append_hist_->Record(watch.ElapsedMicros());
   return Status::Ok();
+}
+
+Status FileLogStore::RollbackAppendLocked(const std::string& error) {
+  // Roll the file back to the last acked record so the failed (possibly
+  // torn) frame can never sit in front of a later, acked one. Flush
+  // first (best effort) so buffered partial bytes reach the fd before
+  // the truncate; clear stdio's sticky error either way.
+  std::fflush(file_);
+  std::clearerr(file_);
+  if (ftruncate(fileno(file_), static_cast<off_t>(acked_bytes_)) != 0 ||
+      std::fseek(file_, static_cast<long>(acked_bytes_), SEEK_SET) != 0) {
+    // Even the rollback failed: a torn frame may survive ahead of the
+    // write cursor. Fail every later operation instead of risking an
+    // acked record landing behind a torn one (recovery would drop it).
+    poison_ = Status::IoError(
+        error + "; rollback failed, store is read-only: " + path_);
+    return poison_;
+  }
+  return Status::IoError(error + ": " + path_);
 }
 
 Result<LogPosition> FileLogStore::Get(uint64_t log_id) const {
@@ -214,11 +250,12 @@ Status FileLogStore::Scan(
 
 Status FileLogStore::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
+  WEDGE_RETURN_IF_ERROR(poison_);
   if (std::fflush(file_) != 0) {
-    return Status::Internal("fflush failed");
+    return Status::IoError("fflush failed: " + path_);
   }
   if (options_.fsync_on_append && fsync(fileno(file_)) != 0) {
-    return Status::Internal("fsync failed");
+    return Status::IoError("fsync failed: " + path_);
   }
   return Status::Ok();
 }

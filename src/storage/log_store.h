@@ -46,8 +46,44 @@ class LogStore {
   virtual ~LogStore() = default;
 
   /// Appends a position. Positions must arrive with consecutive log_ids
-  /// starting at 0; anything else fails with FailedPrecondition.
+  /// starting at 0; anything else fails with FailedPrecondition. When
+  /// Append returns OK the position is durable (to the store's
+  /// configured durability level) and visible to readers.
   virtual Status Append(const LogPosition& position) = 0;
+
+  /// Two-phase append for stores with delayed durability (group commit).
+  /// AppendPrepare stages the position — subject to the same consecutive
+  /// log_id rule — and returns a durability token; the position MUST NOT
+  /// be acked (or exposed to aggregation) until WaitDurable(token)
+  /// returns OK. The split lets the caller release its sealing-order
+  /// ticket between the two calls, so concurrent sealers coalesce into
+  /// one group commit instead of serializing a sync each.
+  ///
+  /// Default: Append() is already durable on return, so prepare == append
+  /// and the wait is a no-op.
+  virtual Result<uint64_t> AppendPrepare(const LogPosition& position) {
+    Status s = Append(position);
+    if (!s.ok()) return s;
+    return position.log_id;
+  }
+  /// Blocks until every position up to the token's is durable (or the
+  /// store failed — the typed error is returned to every waiter).
+  virtual Status WaitDurable(uint64_t /*token*/) { return Status::Ok(); }
+
+  /// Merkle root of a position. Stores that garbage-collect payloads
+  /// override this to answer from index metadata, so a GC'd position
+  /// still serves the root that live aggregation proofs commit to.
+  virtual Result<Hash256> GetRoot(uint64_t log_id) const {
+    auto pos = Get(log_id);
+    if (!pos.ok()) return pos.status();
+    return pos.value().mroot;
+  }
+  /// Entry count of a position (same GC rationale as GetRoot).
+  virtual Result<uint32_t> GetEntryCount(uint64_t log_id) const {
+    auto pos = Get(log_id);
+    if (!pos.ok()) return pos.status();
+    return static_cast<uint32_t>(pos.value().data_list.size());
+  }
 
   /// Fetches a whole position.
   virtual Result<LogPosition> Get(uint64_t log_id) const = 0;
@@ -98,6 +134,12 @@ class FileLogStore : public LogStore {
     /// store records wall-clock `wedge.store.append_us`,
     /// `wedge.store.fsync_us` and `wedge.store.read_us` histograms.
     MetricsRegistry* metrics = nullptr;
+    /// Fault injection (tests): when non-zero, any append that would
+    /// grow the file past this many bytes fails the same way a full
+    /// disk does — the record is written SHORT (torn), the append
+    /// returns kIoError, and nothing is acked. Recovery must truncate
+    /// the torn tail and lose no acked record.
+    uint64_t fail_after_bytes = 0;
   };
 
   /// Opens (creating if needed) the store at `path` and recovers its
@@ -124,6 +166,11 @@ class FileLogStore : public LogStore {
   const Options& options() const { return options_; }
 
  private:
+  /// Restores the file to the last acked record after a failed append;
+  /// poisons the store when the rollback itself fails. Returns the typed
+  /// kIoError the append surfaces.
+  Status RollbackAppendLocked(const std::string& error);
+
   FileLogStore(std::string path, const Options& options)
       : path_(std::move(path)), options_(options) {
     if (options_.metrics != nullptr) {
@@ -143,6 +190,12 @@ class FileLogStore : public LogStore {
   // file is the durable copy replayed on Open().
   std::vector<LogPosition> positions_;
   FILE* file_ = nullptr;
+  /// File offset after the last fully acked record. A failed append is
+  /// rolled back to this watermark (or the store is poisoned when even
+  /// the rollback fails), so there is no acked-then-lost window.
+  uint64_t acked_bytes_ = 0;
+  /// First unrecoverable I/O failure; all later ops fail with it.
+  Status poison_;
 };
 
 /// Primary + follower replication (the "replicated" curves in Figures 3

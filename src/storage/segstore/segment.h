@@ -1,0 +1,148 @@
+#ifndef WEDGEBLOCK_STORAGE_SEGSTORE_SEGMENT_H_
+#define WEDGEBLOCK_STORAGE_SEGSTORE_SEGMENT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "storage/log_store.h"
+
+namespace wedge {
+
+/// On-disk formats of the segmented store (src/storage/segstore/).
+///
+/// Everything durable is built from one framed-record primitive (the same
+/// framing FileLogStore uses, so torn-tail recovery logic is shared by
+/// inspection):
+///
+///   record  := [u32 payload_len BE][payload][32B sha256(payload)]
+///
+/// Record payloads are kind-prefixed:
+///
+///   payload := [u8 kind][body]
+///     kind 0 (position):  body = LogPosition::Serialize()
+///     kind 1 (tombstone): body = [u64 log_id][u32 entry_count]
+///                                [u64 owner_tenant][32B mroot]
+///
+/// The WAL (`wal.log`) holds only kind-0 records. A sealed segment
+/// (`seg-<seq>.seg`) holds one record per position (kind 0, or kind 1
+/// after compaction dropped a retired tenant's payload), followed by a
+/// footer index and a fixed-size trailer:
+///
+///   footer  := [u32 count]
+///              count * [u64 offset][u32 record_len][u8 kind]
+///                      [u64 owner_tenant][u32 entry_count][32B mroot]
+///              [u32 n_extents]
+///              n_extents * [u64 tenant][u64 first_id][u64 last_id]
+///   trailer := [4B "WSGF"][u32 version][u64 base_id][u32 count]
+///              [u64 footer_off][u32 footer_len][32B sha256(footer)]
+///
+/// The trailer is exactly kSegmentTrailerBytes long and always the last
+/// bytes of the file, so startup recovery learns a segment's id range
+/// with a single pread — O(segments) startup, not O(entries). The footer
+/// (checksummed by the trailer) is loaded lazily on first read access.
+
+inline constexpr char kSegmentMagic[4] = {'W', 'S', 'G', 'F'};
+inline constexpr uint32_t kSegmentVersion = 1;
+inline constexpr size_t kSegmentTrailerBytes = 4 + 4 + 8 + 4 + 8 + 4 + 32;
+/// Frame overhead around a record payload: length prefix + checksum.
+inline constexpr size_t kRecordFrameBytes = 4 + 32;
+
+/// Record payload kinds.
+inline constexpr uint8_t kRecordPosition = 0;
+inline constexpr uint8_t kRecordTombstone = 1;
+
+/// Owner tenant of a position whose entries span multiple tenants (or
+/// whose entries are too short to carry a publisher address). Mixed
+/// positions are never garbage-collected.
+inline constexpr uint64_t kMixedOwnerTenant = ~0ull;
+
+/// Tenant that owns a serialized AppendRequest: the first 8 bytes of the
+/// publisher address, which AppendRequest::Serialize places at offset 0.
+/// Mirrors PublisherTenant (core/rpc_codec.h) without a core dependency;
+/// tests pin the two together.
+uint64_t EntryOwnerTenant(const SharedBytes& entry);
+/// Owner of a whole position: the common owner of every entry, or
+/// kMixedOwnerTenant when entries disagree / are malformed / absent.
+uint64_t PositionOwnerTenant(const LogPosition& position);
+
+/// One footer row: everything needed to read (or skip) a record without
+/// touching the records region.
+struct SegmentIndexEntry {
+  uint64_t offset = 0;       ///< Byte offset of the record frame.
+  uint32_t record_len = 0;   ///< Whole frame length (incl. framing).
+  uint8_t kind = kRecordPosition;
+  uint64_t owner = kMixedOwnerTenant;
+  uint32_t entry_count = 0;
+  Hash256 mroot{};
+};
+
+/// Contiguous run of positions owned by one tenant (footer metadata used
+/// by compaction to decide cheaply whether a segment holds GC-able data).
+struct TenantExtent {
+  uint64_t tenant = 0;
+  uint64_t first_id = 0;
+  uint64_t last_id = 0;
+};
+
+/// Trailer contents (the O(1)-readable identity of a sealed segment).
+struct SegmentTrailer {
+  uint64_t base_id = 0;
+  uint32_t count = 0;
+  uint64_t footer_off = 0;
+  uint32_t footer_len = 0;
+  Hash256 footer_sha{};
+};
+
+/// Frames `payload` into `out` ([len][payload][sha256]).
+void AppendFramedRecord(Bytes& out, const Bytes& payload);
+
+/// Encodes a kind-0 record payload for `position`.
+Bytes EncodePositionPayload(const LogPosition& position);
+/// Encodes a kind-1 tombstone payload.
+Bytes EncodeTombstonePayload(uint64_t log_id, uint32_t entry_count,
+                             uint64_t owner, const Hash256& mroot);
+
+/// Decoded record payload (either kind).
+struct DecodedRecord {
+  uint8_t kind = kRecordPosition;
+  LogPosition position;      ///< Valid when kind == kRecordPosition.
+  uint64_t log_id = 0;       ///< Valid for both kinds.
+  uint32_t entry_count = 0;  ///< Valid for both kinds.
+  uint64_t owner = kMixedOwnerTenant;  ///< Tombstones only (else derived).
+  Hash256 mroot{};           ///< Valid for both kinds.
+};
+Result<DecodedRecord> DecodeRecordPayload(const Bytes& payload);
+
+/// Serializes the footer + trailer for a sealed segment.
+Bytes EncodeFooter(const std::vector<SegmentIndexEntry>& entries,
+                   const std::vector<TenantExtent>& extents);
+Result<std::pair<std::vector<SegmentIndexEntry>, std::vector<TenantExtent>>>
+DecodeFooter(const Bytes& footer, uint32_t expect_count);
+Bytes EncodeTrailer(const SegmentTrailer& trailer);
+Result<SegmentTrailer> DecodeTrailer(const Bytes& raw);
+
+/// Computes the per-tenant extents of an index (consecutive same-owner
+/// runs; kMixedOwnerTenant runs are excluded).
+std::vector<TenantExtent> BuildExtents(
+    const std::vector<SegmentIndexEntry>& entries, uint64_t base_id);
+
+/// Writes a complete sealed segment file (records + footer + trailer) at
+/// `path` and fsyncs it. `payloads[i]` is the unframed record payload for
+/// `(*entries)[i]`, whose kind/owner/entry_count/mroot the caller filled
+/// in; the writer frames each payload and fills in offset/record_len.
+/// Returns typed kIoError on any write/sync failure.
+Status WriteSegmentFile(const std::string& path, uint64_t base_id,
+                        const std::vector<Bytes>& payloads,
+                        std::vector<SegmentIndexEntry>* entries);
+
+/// Reads and validates the fixed trailer of a sealed segment.
+Result<SegmentTrailer> ReadSegmentTrailer(const std::string& path);
+
+/// fsyncs the directory containing `path` so a rename into it is durable.
+Status SyncParentDir(const std::string& path);
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_STORAGE_SEGSTORE_SEGMENT_H_

@@ -1,0 +1,895 @@
+#include "storage/segstore/segment_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace wedge {
+
+namespace {
+
+constexpr char kWalName[] = "wal.log";
+constexpr char kRetiredName[] = "retired.tenants";
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IoError("cannot stat: " + path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+/// seg-<seq>.seg -> seq, or nullopt-ish failure via bool.
+bool ParseSegmentName(const std::string& name, uint64_t* seq) {
+  if (name.size() < 9 || name.compare(0, 4, "seg-") != 0 ||
+      name.compare(name.size() - 4, 4, ".seg") != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = 4; i < name.size() - 4; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+bool HasSuffix(const std::string& name, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+SegmentLogStore::Segment::~Segment() {
+  if (fd >= 0) ::close(fd);
+}
+
+SegmentLogStore::SegmentLogStore(std::string dir, const Options& options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.metrics != nullptr) {
+    batch_hist_ =
+        options_.metrics->GetHistogram("wedge.store.group_commit_batch");
+    wait_hist_ =
+        options_.metrics->GetHistogram("wedge.store.group_commit_wait_us");
+    sync_hist_ =
+        options_.metrics->GetHistogram("wedge.store.group_commit_sync_us");
+    seals_counter_ = options_.metrics->GetCounter("wedge.store.seals");
+    compactions_counter_ =
+        options_.metrics->GetCounter("wedge.store.compactions");
+    reclaimed_counter_ =
+        options_.metrics->GetCounter("wedge.store.gc_reclaimed_bytes");
+  }
+}
+
+SegmentLogStore::~SegmentLogStore() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  compaction_cv_.notify_all();
+  if (compaction_thread_.joinable()) compaction_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_file_ != nullptr) {
+    std::fflush(wal_file_);
+    if (options_.durability == Durability::kGroupCommit) {
+      ::fdatasync(fileno(wal_file_));
+    }
+    std::fclose(wal_file_);
+  }
+}
+
+std::string SegmentLogStore::SegmentPath(size_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06zu.seg", seq);
+  return dir_ + "/" + name;
+}
+
+Result<std::unique_ptr<SegmentLogStore>> SegmentLogStore::Open(
+    const std::string& dir, const Options& options) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("cannot create store directory: " + dir);
+  }
+  std::unique_ptr<SegmentLogStore> store(new SegmentLogStore(dir, options));
+  {
+    std::unique_lock<std::mutex> lock(store->mu_);
+    WEDGE_RETURN_IF_ERROR(store->RecoverLocked());
+  }
+  if (options.background_compaction) {
+    store->compaction_thread_ =
+        std::thread([s = store.get()] { s->CompactionThreadMain(); });
+  }
+  return store;
+}
+
+Status SegmentLogStore::RecoverLocked() {
+  // Pass 1: directory listing. Interrupted seal/compaction scratch
+  // (*.tmp) is deleted — a .tmp was never renamed into place, so the WAL
+  // (seal) or the original segment (compaction) still holds every byte.
+  std::vector<std::pair<uint64_t, std::string>> seg_names;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) {
+    return Status::IoError("cannot open store directory: " + dir_);
+  }
+  while (struct dirent* ent = ::readdir(d)) {
+    std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    if (HasSuffix(name, ".tmp")) {
+      ::unlink((dir_ + "/" + name).c_str());
+      ++recovery_.tmp_files_removed;
+      continue;
+    }
+    uint64_t seq = 0;
+    if (ParseSegmentName(name, &seq)) {
+      seg_names.emplace_back(seq, dir_ + "/" + name);
+    }
+  }
+  ::closedir(d);
+
+  // Pass 2: one trailer pread per segment — O(segments), no entry replay.
+  std::sort(seg_names.begin(), seg_names.end());
+  uint64_t next_base = 0;
+  for (size_t i = 0; i < seg_names.size(); ++i) {
+    if (seg_names[i].first != i) {
+      return Status::Corruption("segment sequence gap at " +
+                                seg_names[i].second);
+    }
+    WEDGE_ASSIGN_OR_RETURN(SegmentTrailer trailer,
+                           ReadSegmentTrailer(seg_names[i].second));
+    if (trailer.base_id != next_base) {
+      return Status::Corruption("segment id gap at " + seg_names[i].second);
+    }
+    auto seg = std::make_shared<Segment>();
+    seg->path = seg_names[i].second;
+    seg->base_id = trailer.base_id;
+    seg->count = trailer.count;
+    seg->footer_off = trailer.footer_off;
+    seg->footer_len = trailer.footer_len;
+    seg->footer_sha = trailer.footer_sha;
+    WEDGE_ASSIGN_OR_RETURN(seg->file_bytes, FileSize(seg->path));
+    next_base = trailer.base_id + trailer.count;
+    segments_.push_back(std::move(seg));
+  }
+  recovery_.segments = segments_.size();
+  recovery_.sealed_positions = next_base;
+
+  // Pass 3: replay the (bounded) WAL tail past the sealed range.
+  wal_base_id_ = next_base;
+  WEDGE_RETURN_IF_ERROR(ReplayWalLocked(next_base));
+  prepared_count_ = next_base + wal_positions_.size();
+  durable_count_ = prepared_count_;
+  recovery_.wal_positions = wal_positions_.size();
+
+  return LoadRetiredLocked();
+}
+
+Status SegmentLogStore::ReplayWalLocked(uint64_t sealed_end) {
+  const std::string path = dir_ + "/" + kWalName;
+  FILE* replay = std::fopen(path.c_str(), "rb");
+  long valid_end = 0;
+  if (replay != nullptr) {
+    for (;;) {
+      uint8_t len_raw[4];
+      if (std::fread(len_raw, 1, 4, replay) != 4) break;
+      uint32_t len = (static_cast<uint32_t>(len_raw[0]) << 24) |
+                     (static_cast<uint32_t>(len_raw[1]) << 16) |
+                     (static_cast<uint32_t>(len_raw[2]) << 8) |
+                     static_cast<uint32_t>(len_raw[3]);
+      Bytes payload(len);
+      if (len > 0 && std::fread(payload.data(), 1, len, replay) != len) break;
+      uint8_t checksum[32];
+      if (std::fread(checksum, 1, 32, replay) != 32) break;
+      Hash256 expect = Sha256::Digest(payload);
+      if (std::memcmp(checksum, expect.data(), 32) != 0) break;  // Torn.
+      auto decoded = DecodeRecordPayload(payload);
+      if (!decoded.ok() || decoded.value().kind != kRecordPosition) break;
+      uint64_t id = decoded.value().log_id;
+      if (id < sealed_end) {
+        // A crash between segment rename and WAL truncation leaves the
+        // sealed prefix in the WAL; the segment is authoritative.
+        ++recovery_.wal_skipped;
+        valid_end = std::ftell(replay);
+        continue;
+      }
+      if (id != sealed_end + wal_positions_.size()) break;  // Torn/corrupt.
+      wal_positions_.push_back(std::move(decoded).value().position);
+      valid_end = std::ftell(replay);
+    }
+    std::fseek(replay, 0, SEEK_END);
+    long file_end = std::ftell(replay);
+    if (file_end > valid_end) {
+      recovery_.wal_truncated_bytes =
+          static_cast<uint64_t>(file_end - valid_end);
+    }
+    std::fclose(replay);
+  }
+
+  if (recovery_.wal_skipped > 0) {
+    // Drop the already-sealed prefix so "the WAL holds only unsealed
+    // positions" is an invariant, not just a steady state.
+    return RewriteWalLocked();
+  }
+
+  FILE* f = std::fopen(path.c_str(), replay != nullptr ? "rb+" : "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open WAL: " + path);
+  }
+  std::setvbuf(f, nullptr, _IOFBF, 1 << 20);
+  if (replay != nullptr) {
+    if (std::fseek(f, 0, SEEK_END) == 0 && std::ftell(f) > valid_end) {
+      (void)!::ftruncate(fileno(f), valid_end);
+    }
+    std::fseek(f, valid_end, SEEK_SET);
+  }
+  wal_file_ = f;
+  wal_bytes_ = static_cast<uint64_t>(valid_end);
+  return Status::Ok();
+}
+
+Status SegmentLogStore::RewriteWalLocked() {
+  const std::string path = dir_ + "/" + kWalName;
+  const std::string tmp = path + ".tmp";
+  if (wal_file_ != nullptr) {
+    std::fclose(wal_file_);
+    wal_file_ = nullptr;
+  }
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create WAL rewrite: " + tmp);
+  }
+  Bytes out;
+  for (const LogPosition& pos : wal_positions_) {
+    AppendFramedRecord(out, EncodePositionPayload(pos));
+  }
+  if (!out.empty() && std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
+    std::fclose(f);
+    return Status::IoError("short write rewriting WAL");
+  }
+  if (std::fflush(f) != 0 || ::fdatasync(fileno(f)) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot sync WAL rewrite");
+  }
+  std::fclose(f);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename WAL rewrite into place");
+  }
+  WEDGE_RETURN_IF_ERROR(SyncParentDir(path));
+  f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IoError("cannot reopen WAL: " + path);
+  }
+  std::setvbuf(f, nullptr, _IOFBF, 1 << 20);
+  std::fseek(f, 0, SEEK_END);
+  wal_file_ = f;
+  wal_bytes_ = out.size();
+  return Status::Ok();
+}
+
+Status SegmentLogStore::LoadRetiredLocked() {
+  const std::string path = dir_ + "/" + kRetiredName;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::Ok();  // Nothing retired yet.
+  uint8_t len_raw[4];
+  Status bad = Status::Corruption("retired-tenant file is corrupt: " + path);
+  if (std::fread(len_raw, 1, 4, f) != 4) {
+    std::fclose(f);
+    return bad;
+  }
+  uint32_t len = (static_cast<uint32_t>(len_raw[0]) << 24) |
+                 (static_cast<uint32_t>(len_raw[1]) << 16) |
+                 (static_cast<uint32_t>(len_raw[2]) << 8) |
+                 static_cast<uint32_t>(len_raw[3]);
+  Bytes payload(len);
+  uint8_t checksum[32];
+  if ((len > 0 && std::fread(payload.data(), 1, len, f) != len) ||
+      std::fread(checksum, 1, 32, f) != 32) {
+    std::fclose(f);
+    return bad;
+  }
+  std::fclose(f);
+  Hash256 expect = Sha256::Digest(payload);
+  if (std::memcmp(checksum, expect.data(), 32) != 0) return bad;
+  ByteReader reader(payload);
+  WEDGE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    WEDGE_ASSIGN_OR_RETURN(uint64_t tenant, reader.ReadU64());
+    retired_.insert(tenant);
+  }
+  return Status::Ok();
+}
+
+Status SegmentLogStore::PersistRetiredLocked() {
+  const std::string path = dir_ + "/" + kRetiredName;
+  const std::string tmp = path + ".tmp";
+  Bytes payload;
+  PutU32(payload, static_cast<uint32_t>(retired_.size()));
+  for (uint64_t tenant : retired_) PutU64(payload, tenant);
+  Bytes record;
+  AppendFramedRecord(record, payload);
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create retired-tenant file: " + tmp);
+  }
+  if (std::fwrite(record.data(), 1, record.size(), f) != record.size() ||
+      std::fflush(f) != 0 || ::fdatasync(fileno(f)) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot write retired-tenant file: " + tmp);
+  }
+  std::fclose(f);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename retired-tenant file into place");
+  }
+  return SyncParentDir(path);
+}
+
+Status SegmentLogStore::WalWriteLocked(const Bytes& payload) {
+  Bytes record;
+  AppendFramedRecord(record, payload);
+  if (std::fwrite(record.data(), 1, record.size(), wal_file_) !=
+      record.size()) {
+    // A partial frame may now sit in the stdio buffer where later appends
+    // would land behind it; there is no clean rollback through stdio, so
+    // fail the store (crash-equivalent: recovery truncates the torn tail,
+    // and nothing unacked was ever exposed).
+    poison_ = Status::IoError("short write to WAL; store is read-only");
+    commit_cv_.notify_all();
+    return poison_;
+  }
+  wal_bytes_ += record.size();
+  return Status::Ok();
+}
+
+Result<uint64_t> SegmentLogStore::AppendPrepare(const LogPosition& position) {
+  std::unique_lock<std::mutex> lock(mu_);
+  WEDGE_RETURN_IF_ERROR(poison_);
+  if (position.log_id != prepared_count_) {
+    return Status::FailedPrecondition("log positions must be consecutive");
+  }
+  WEDGE_RETURN_IF_ERROR(WalWriteLocked(EncodePositionPayload(position)));
+  wal_positions_.push_back(position);
+  ++prepared_count_;
+
+  if (options_.durability == Durability::kSyncEachAppend) {
+    if (std::fflush(wal_file_) != 0 || ::fsync(fileno(wal_file_)) != 0) {
+      poison_ = Status::IoError("WAL sync failed; store is read-only");
+      commit_cv_.notify_all();
+      return poison_;
+    }
+    durable_count_ = prepared_count_;
+  }
+
+  if (wal_positions_.size() >= options_.segment_positions ||
+      wal_bytes_ >= options_.segment_bytes) {
+    WEDGE_RETURN_IF_ERROR(SealLocked(lock));
+  }
+  return position.log_id;
+}
+
+Status SegmentLogStore::WaitDurable(uint64_t token) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return WaitDurableLocked(token, lock);
+}
+
+Status SegmentLogStore::WaitDurableLocked(uint64_t token,
+                                          std::unique_lock<std::mutex>& lock) {
+  if (token >= prepared_count_) {
+    return Status::InvalidArgument("WaitDurable token was never prepared");
+  }
+  Stopwatch wait_watch(RealClock::Global());
+  while (durable_count_ <= token) {
+    WEDGE_RETURN_IF_ERROR(poison_);
+    if (!sync_in_flight_) {
+      // Leader: one flush (+ fdatasync) covers every append prepared so
+      // far; the whole cohort's acks release together below. When the
+      // store is seeing concurrent appenders (a cohort formed last
+      // window, or more than our own append is already outstanding), the
+      // leader lingers briefly first so the rest of the cohort — threads
+      // released by the previous sync that haven't re-prepared yet —
+      // lands in this window instead of splitting it in half. A solo
+      // synchronous appender never observes a cohort, so it skips the
+      // linger and keeps bare per-append sync latency.
+      sync_in_flight_ = true;
+      const bool cohort_active =
+          last_commit_batch_ > 1 || prepared_count_ - durable_count_ > 1;
+      if (options_.durability == Durability::kGroupCommit &&
+          options_.group_commit_linger_us > 0 && cohort_active) {
+        lock.unlock();
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.group_commit_linger_us));
+        lock.lock();
+        if (!poison_.ok()) {
+          sync_in_flight_ = false;
+          commit_cv_.notify_all();
+          return poison_;
+        }
+      }
+      const uint64_t target = prepared_count_;
+      const uint64_t prev_durable = durable_count_;
+      FILE* f = wal_file_;
+      lock.unlock();
+      Stopwatch sync_watch(RealClock::Global());
+      bool ok = std::fflush(f) == 0;
+      if (ok && options_.durability == Durability::kGroupCommit) {
+        ok = ::fdatasync(fileno(f)) == 0;
+      }
+      const int64_t sync_us = sync_watch.ElapsedMicros();
+      lock.lock();
+      sync_in_flight_ = false;
+      if (!ok) {
+        poison_ = Status::IoError("group commit sync failed; store is "
+                                  "read-only");
+        commit_cv_.notify_all();
+        return poison_;
+      }
+      durable_count_ = std::max(durable_count_, target);
+      if (durable_count_ > prev_durable) {
+        last_commit_batch_ = durable_count_ - prev_durable;
+        if (batch_hist_ != nullptr) {
+          batch_hist_->Record(static_cast<int64_t>(last_commit_batch_));
+        }
+      }
+      if (sync_hist_ != nullptr) sync_hist_->Record(sync_us);
+      commit_cv_.notify_all();
+    } else {
+      commit_cv_.wait(lock);
+    }
+  }
+  if (wait_hist_ != nullptr) wait_hist_->Record(wait_watch.ElapsedMicros());
+  return Status::Ok();
+}
+
+Status SegmentLogStore::Append(const LogPosition& position) {
+  std::unique_lock<std::mutex> lock(mu_);
+  WEDGE_RETURN_IF_ERROR(poison_);
+  if (position.log_id != prepared_count_) {
+    return Status::FailedPrecondition("log positions must be consecutive");
+  }
+  WEDGE_RETURN_IF_ERROR(WalWriteLocked(EncodePositionPayload(position)));
+  wal_positions_.push_back(position);
+  ++prepared_count_;
+  if (options_.durability == Durability::kSyncEachAppend) {
+    if (std::fflush(wal_file_) != 0 || ::fsync(fileno(wal_file_)) != 0) {
+      poison_ = Status::IoError("WAL sync failed; store is read-only");
+      commit_cv_.notify_all();
+      return poison_;
+    }
+    durable_count_ = prepared_count_;
+  }
+  if (wal_positions_.size() >= options_.segment_positions ||
+      wal_bytes_ >= options_.segment_bytes) {
+    WEDGE_RETURN_IF_ERROR(SealLocked(lock));
+  }
+  return WaitDurableLocked(position.log_id, lock);
+}
+
+Status SegmentLogStore::SealLocked(std::unique_lock<std::mutex>& lock) {
+  // A sync in flight is reading the WAL stream concurrently; wait it out
+  // (syncs are bounded, and nothing new can start while we hold mu_).
+  commit_cv_.wait(lock, [this] { return !sync_in_flight_; });
+  WEDGE_RETURN_IF_ERROR(poison_);
+  if (wal_positions_.empty()) return Status::Ok();
+
+  const uint64_t base_id = wal_base_id_;
+  const size_t seq = segments_.size();
+  const std::string final_path = SegmentPath(seq);
+  const std::string tmp_path = final_path + ".tmp";
+
+  std::vector<Bytes> payloads;
+  std::vector<SegmentIndexEntry> entries;
+  payloads.reserve(wal_positions_.size());
+  entries.reserve(wal_positions_.size());
+  for (const LogPosition& pos : wal_positions_) {
+    SegmentIndexEntry e;
+    e.kind = kRecordPosition;
+    e.owner = PositionOwnerTenant(pos);
+    e.entry_count = static_cast<uint32_t>(pos.data_list.size());
+    e.mroot = pos.mroot;
+    entries.push_back(e);
+    payloads.push_back(EncodePositionPayload(pos));
+  }
+  Status written = WriteSegmentFile(tmp_path, base_id, payloads, &entries);
+  if (!written.ok()) {
+    poison_ = written;
+    commit_cv_.notify_all();
+    return poison_;
+  }
+  if (options_.crash_point == CrashPoint::kSealAfterTempWrite) {
+    poison_ = Status::Internal("simulated crash after segment temp write");
+    commit_cv_.notify_all();
+    return poison_;
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    poison_ = Status::IoError("cannot rename sealed segment into place");
+    commit_cv_.notify_all();
+    return poison_;
+  }
+  Status dir_sync = SyncParentDir(final_path);
+  if (!dir_sync.ok()) {
+    poison_ = dir_sync;
+    commit_cv_.notify_all();
+    return poison_;
+  }
+
+  auto seg = std::make_shared<Segment>();
+  seg->path = final_path;
+  seg->base_id = base_id;
+  seg->count = static_cast<uint32_t>(entries.size());
+  Bytes footer = EncodeFooter(entries, BuildExtents(entries, base_id));
+  seg->footer_off = entries.back().offset + entries.back().record_len;
+  seg->footer_len = static_cast<uint32_t>(footer.size());
+  seg->footer_sha = Sha256::Digest(footer);
+  seg->file_bytes = seg->footer_off + footer.size() + kSegmentTrailerBytes;
+  seg->index_loaded = true;
+  seg->entries = std::move(entries);
+  seg->extents = BuildExtents(seg->entries, base_id);
+  segments_.push_back(std::move(seg));
+  if (seals_counter_ != nullptr) seals_counter_->Add(1);
+
+  // The segment now owns [base_id, base_id + count); everything in it is
+  // fsynced, so any group-commit waiter in that range is satisfied.
+  durable_count_ =
+      std::max(durable_count_, base_id + wal_positions_.size());
+
+  if (options_.crash_point == CrashPoint::kSealBeforeWalTruncate) {
+    poison_ = Status::Internal("simulated crash before WAL truncation");
+    commit_cv_.notify_all();
+    return poison_;
+  }
+
+  // Reset the WAL (fclose flushes any buffered bytes first; their
+  // contents are already in the sealed segment, and "wb" truncates).
+  std::fclose(wal_file_);
+  wal_file_ = nullptr;
+  FILE* f = std::fopen((dir_ + "/" + kWalName).c_str(), "wb");
+  if (f == nullptr) {
+    poison_ = Status::IoError("cannot reset WAL after seal");
+    commit_cv_.notify_all();
+    return poison_;
+  }
+  std::setvbuf(f, nullptr, _IOFBF, 1 << 20);
+  wal_file_ = f;
+  wal_base_id_ += wal_positions_.size();
+  wal_positions_.clear();
+  wal_bytes_ = 0;
+  commit_cv_.notify_all();
+
+  if (options_.background_compaction && !retired_.empty()) {
+    compaction_pending_ = true;
+    compaction_cv_.notify_all();
+  }
+  return Status::Ok();
+}
+
+Status SegmentLogStore::SealNow() {
+  std::unique_lock<std::mutex> lock(mu_);
+  WEDGE_RETURN_IF_ERROR(poison_);
+  return SealLocked(lock);
+}
+
+SegmentLogStore::Segment* SegmentLogStore::FindSegmentLocked(
+    uint64_t log_id) const {
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), log_id,
+      [](uint64_t id, const std::shared_ptr<Segment>& s) {
+        return id < s->base_id;
+      });
+  if (it == segments_.begin()) return nullptr;
+  Segment* seg = std::prev(it)->get();
+  if (log_id >= seg->base_id + seg->count) return nullptr;
+  return seg;
+}
+
+Status SegmentLogStore::EnsureIndexLoadedLocked(Segment* segment) const {
+  if (segment->index_loaded) return Status::Ok();
+  if (segment->fd < 0) {
+    segment->fd = ::open(segment->path.c_str(), O_RDONLY);
+    if (segment->fd < 0) {
+      return Status::IoError("cannot open segment: " + segment->path);
+    }
+  }
+  Bytes footer(segment->footer_len);
+  ssize_t n = ::pread(segment->fd, footer.data(), footer.size(),
+                      static_cast<off_t>(segment->footer_off));
+  if (n != static_cast<ssize_t>(footer.size())) {
+    return Status::IoError("cannot read segment footer: " + segment->path);
+  }
+  if (Sha256::Digest(footer) != segment->footer_sha) {
+    return Status::Corruption("segment footer checksum mismatch: " +
+                              segment->path);
+  }
+  WEDGE_ASSIGN_OR_RETURN(auto decoded, DecodeFooter(footer, segment->count));
+  segment->entries = std::move(decoded.first);
+  segment->extents = std::move(decoded.second);
+  segment->index_loaded = true;
+  return Status::Ok();
+}
+
+Result<Bytes> SegmentLogStore::ReadPayloadLocked(Segment* segment,
+                                                 uint64_t log_id) const {
+  WEDGE_RETURN_IF_ERROR(EnsureIndexLoadedLocked(segment));
+  if (segment->fd < 0) {
+    segment->fd = ::open(segment->path.c_str(), O_RDONLY);
+    if (segment->fd < 0) {
+      return Status::IoError("cannot open segment: " + segment->path);
+    }
+  }
+  const SegmentIndexEntry& e = segment->entries[log_id - segment->base_id];
+  Bytes frame(e.record_len);
+  ssize_t n = ::pread(segment->fd, frame.data(), frame.size(),
+                      static_cast<off_t>(e.offset));
+  if (n != static_cast<ssize_t>(frame.size())) {
+    return Status::IoError("cannot read segment record: " + segment->path);
+  }
+  if (frame.size() < kRecordFrameBytes) {
+    return Status::Corruption("segment record frame too small");
+  }
+  uint32_t len = (static_cast<uint32_t>(frame[0]) << 24) |
+                 (static_cast<uint32_t>(frame[1]) << 16) |
+                 (static_cast<uint32_t>(frame[2]) << 8) |
+                 static_cast<uint32_t>(frame[3]);
+  if (len + kRecordFrameBytes != frame.size()) {
+    return Status::Corruption("segment record length mismatch");
+  }
+  Bytes payload(frame.begin() + 4, frame.begin() + 4 + len);
+  Hash256 expect = Sha256::Digest(payload);
+  if (std::memcmp(frame.data() + 4 + len, expect.data(), 32) != 0) {
+    return Status::Corruption("segment record checksum mismatch: " +
+                              segment->path);
+  }
+  return payload;
+}
+
+Result<DecodedRecord> SegmentLogStore::ReadRecordLocked(
+    Segment* segment, uint64_t log_id) const {
+  WEDGE_ASSIGN_OR_RETURN(Bytes payload, ReadPayloadLocked(segment, log_id));
+  WEDGE_ASSIGN_OR_RETURN(DecodedRecord record, DecodeRecordPayload(payload));
+  if (record.log_id != log_id) {
+    return Status::Corruption("segment record id mismatch");
+  }
+  return record;
+}
+
+Result<LogPosition> SegmentLogStore::Get(uint64_t log_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_id >= durable_count_) {
+    return Status::NotFound("log position does not exist");
+  }
+  if (log_id >= wal_base_id_) {
+    return wal_positions_[log_id - wal_base_id_];
+  }
+  Segment* seg = FindSegmentLocked(log_id);
+  if (seg == nullptr) {
+    return Status::NotFound("log position does not exist");
+  }
+  WEDGE_ASSIGN_OR_RETURN(DecodedRecord record,
+                         ReadRecordLocked(seg, log_id));
+  if (record.kind == kRecordTombstone) {
+    return Status::NotFound("log position was garbage-collected");
+  }
+  return std::move(record.position);
+}
+
+Result<SharedBytes> SegmentLogStore::GetEntry(const EntryIndex& index) const {
+  WEDGE_ASSIGN_OR_RETURN(LogPosition pos, Get(index.log_id));
+  if (index.offset >= pos.data_list.size()) {
+    return Status::NotFound("entry offset out of range");
+  }
+  return pos.data_list[index.offset];
+}
+
+uint64_t SegmentLogStore::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_count_;
+}
+
+Status SegmentLogStore::Scan(
+    uint64_t first, uint64_t last,
+    const std::function<bool(const LogPosition&)>& callback) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first > last || last >= durable_count_) {
+      return Status::OutOfRange("scan range outside the log");
+    }
+  }
+  for (uint64_t id = first; id <= last; ++id) {
+    auto pos = Get(id);
+    if (!pos.ok()) {
+      // GC'd positions are simply absent from a scan.
+      if (pos.status().code() == Code::kNotFound) continue;
+      return pos.status();
+    }
+    if (!callback(pos.value())) break;
+  }
+  return Status::Ok();
+}
+
+Result<Hash256> SegmentLogStore::GetRoot(uint64_t log_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_id >= durable_count_) {
+    return Status::NotFound("log position does not exist");
+  }
+  if (log_id >= wal_base_id_) {
+    return wal_positions_[log_id - wal_base_id_].mroot;
+  }
+  Segment* seg = FindSegmentLocked(log_id);
+  if (seg == nullptr) {
+    return Status::NotFound("log position does not exist");
+  }
+  // Footer-only: no payload read, and tombstones still answer (live
+  // aggregation proofs over GC'd neighbors must keep verifying).
+  WEDGE_RETURN_IF_ERROR(EnsureIndexLoadedLocked(seg));
+  return seg->entries[log_id - seg->base_id].mroot;
+}
+
+Result<uint32_t> SegmentLogStore::GetEntryCount(uint64_t log_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_id >= durable_count_) {
+    return Status::NotFound("log position does not exist");
+  }
+  if (log_id >= wal_base_id_) {
+    return static_cast<uint32_t>(
+        wal_positions_[log_id - wal_base_id_].data_list.size());
+  }
+  Segment* seg = FindSegmentLocked(log_id);
+  if (seg == nullptr) {
+    return Status::NotFound("log position does not exist");
+  }
+  WEDGE_RETURN_IF_ERROR(EnsureIndexLoadedLocked(seg));
+  return seg->entries[log_id - seg->base_id].entry_count;
+}
+
+uint64_t SegmentLogStore::SegmentCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+std::set<uint64_t> SegmentLogStore::RetiredTenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_;
+}
+
+Status SegmentLogStore::RetireTenant(uint64_t tenant) {
+  if (tenant == kMixedOwnerTenant) {
+    return Status::InvalidArgument("cannot retire the mixed-owner tenant");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    WEDGE_RETURN_IF_ERROR(poison_);
+    if (!retired_.insert(tenant).second) return Status::Ok();
+    WEDGE_RETURN_IF_ERROR(PersistRetiredLocked());
+    if (options_.background_compaction) compaction_pending_ = true;
+  }
+  if (options_.background_compaction) compaction_cv_.notify_all();
+  return Status::Ok();
+}
+
+Status SegmentLogStore::CompactSegmentLocked(
+    std::unique_lock<std::mutex>& lock, size_t seg_index,
+    CompactionStats* stats) {
+  std::shared_ptr<Segment> old_seg = segments_[seg_index];
+  WEDGE_RETURN_IF_ERROR(EnsureIndexLoadedLocked(old_seg.get()));
+
+  // Does this segment hold any live (kind-0) position of a retired
+  // tenant? Extents answer without scanning when no owner matches.
+  bool needs = false;
+  for (const TenantExtent& x : old_seg->extents) {
+    if (retired_.count(x.tenant) == 0) continue;
+    for (uint64_t id = x.first_id; id <= x.last_id; ++id) {
+      if (old_seg->entries[id - old_seg->base_id].kind == kRecordPosition) {
+        needs = true;
+        break;
+      }
+    }
+    if (needs) break;
+  }
+  if (!needs) return Status::Ok();
+
+  // Build the rewritten contents: live records copied byte-identically
+  // (raw payload bytes, no re-serialization), retired positions replaced
+  // by tombstones that keep id/root/count for proof continuity.
+  std::vector<Bytes> payloads;
+  std::vector<SegmentIndexEntry> entries;
+  payloads.reserve(old_seg->count);
+  entries.reserve(old_seg->count);
+  uint64_t dropped = 0;
+  for (uint32_t i = 0; i < old_seg->count; ++i) {
+    SegmentIndexEntry e = old_seg->entries[i];
+    const uint64_t id = old_seg->base_id + i;
+    if (e.kind == kRecordPosition && retired_.count(e.owner) != 0) {
+      e.kind = kRecordTombstone;
+      payloads.push_back(
+          EncodeTombstonePayload(id, e.entry_count, e.owner, e.mroot));
+      ++dropped;
+    } else {
+      WEDGE_ASSIGN_OR_RETURN(Bytes payload,
+                             ReadPayloadLocked(old_seg.get(), id));
+      payloads.push_back(std::move(payload));
+    }
+    entries.push_back(e);
+  }
+
+  // Rewrite with mu_ released: the source segment is immutable, readers
+  // keep using its still-open fd even after the rename replaces the
+  // directory entry, and compact_mu_ keeps other passes out.
+  const std::string tmp_path = old_seg->path + ".tmp";
+  const std::string final_path = old_seg->path;
+  const uint64_t base_id = old_seg->base_id;
+  lock.unlock();
+  Status written = WriteSegmentFile(tmp_path, base_id, payloads, &entries);
+  if (written.ok() && ::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    written = Status::IoError("cannot rename compacted segment into place");
+  }
+  if (written.ok()) written = SyncParentDir(final_path);
+  auto new_bytes = written.ok() ? FileSize(final_path) : Result<uint64_t>(written);
+  lock.lock();
+  if (!written.ok()) {
+    ::unlink(tmp_path.c_str());
+    return written;
+  }
+  WEDGE_RETURN_IF_ERROR(new_bytes.status());
+
+  Bytes footer = EncodeFooter(entries, BuildExtents(entries, base_id));
+  auto seg = std::make_shared<Segment>();
+  seg->path = final_path;
+  seg->base_id = base_id;
+  seg->count = static_cast<uint32_t>(entries.size());
+  seg->footer_off = entries.back().offset + entries.back().record_len;
+  seg->footer_len = static_cast<uint32_t>(footer.size());
+  seg->footer_sha = Sha256::Digest(footer);
+  seg->file_bytes = new_bytes.value();
+  seg->index_loaded = true;
+  seg->extents = BuildExtents(entries, base_id);
+  seg->entries = std::move(entries);
+
+  stats->segments_rewritten += 1;
+  stats->positions_dropped += dropped;
+  if (old_seg->file_bytes > seg->file_bytes) {
+    stats->bytes_reclaimed += old_seg->file_bytes - seg->file_bytes;
+  }
+  segments_[seg_index] = std::move(seg);
+  return Status::Ok();
+}
+
+Result<SegmentLogStore::CompactionStats> SegmentLogStore::Compact() {
+  std::lock_guard<std::mutex> serialize(compact_mu_);
+  CompactionStats stats;
+  std::unique_lock<std::mutex> lock(mu_);
+  WEDGE_RETURN_IF_ERROR(poison_);
+  if (retired_.empty()) return stats;
+  // segments_ only grows at the tail (seals) while mu_ is dropped inside
+  // CompactSegmentLocked, and compact_mu_ excludes concurrent passes, so
+  // a stable index walk visits every pre-existing segment exactly once.
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    WEDGE_RETURN_IF_ERROR(CompactSegmentLocked(lock, i, &stats));
+  }
+  if (compactions_counter_ != nullptr && stats.segments_rewritten > 0) {
+    compactions_counter_->Add(1);
+  }
+  if (reclaimed_counter_ != nullptr) {
+    reclaimed_counter_->Add(static_cast<int64_t>(stats.bytes_reclaimed));
+  }
+  return stats;
+}
+
+void SegmentLogStore::CompactionThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    compaction_cv_.wait(
+        lock, [this] { return compaction_pending_ || shutting_down_; });
+    if (shutting_down_) return;
+    compaction_pending_ = false;
+    lock.unlock();
+    (void)Compact();  // Failures poison the store; nothing to do here.
+    lock.lock();
+  }
+}
+
+}  // namespace wedge

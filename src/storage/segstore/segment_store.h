@@ -1,0 +1,243 @@
+#ifndef WEDGEBLOCK_STORAGE_SEGSTORE_SEGMENT_STORE_H_
+#define WEDGEBLOCK_STORAGE_SEGSTORE_SEGMENT_STORE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/segstore/segment.h"
+
+namespace wedge {
+
+/// Segmented durable log store: an active write-ahead log with
+/// group-commit, sealed immutable segments with a footer index, and
+/// tenant-granularity compaction/GC (see segment.h for on-disk formats
+/// and DESIGN.md "Durable storage engine" for the recovery state
+/// machine).
+///
+/// Directory layout:
+///   <dir>/wal.log          active WAL (framed kind-0 records)
+///   <dir>/seg-<seq>.seg    sealed segments, seq dense from 0
+///   <dir>/retired.tenants  persisted GC set (framed u64 list)
+///   <dir>/*.tmp            in-flight seal/compaction scratch (removed
+///                          on recovery)
+///
+/// Write path: AppendPrepare buffers the framed record into the WAL's
+/// stdio stream under the store mutex (cheap — no syscall past the
+/// buffer) and returns a durability token. WaitDurable(token) runs the
+/// group commit: the first waiter becomes leader, flushes + fdatasyncs
+/// everything prepared so far in ONE sync, and releases every waiter it
+/// covered together; late waiters piggyback on the in-flight sync or
+/// lead the next one. `wedge.store.group_commit_batch` records how many
+/// appends each sync amortized and `wedge.store.group_commit_wait_us`
+/// the per-append wait. The plain Append() is prepare + wait (the
+/// durable-synchronous degenerate case).
+///
+/// Visibility: Size()/Get()/Scan() expose only DURABLE positions. A
+/// prepared-but-unsynced position is invisible so nothing downstream
+/// (epoch aggregation, read proofs) can commit to a root that a crash
+/// could still revoke — the caller acks only after WaitDurable returns.
+///
+/// When the WAL reaches segment_positions/segment_bytes it is sealed:
+/// records + footer + trailer are written to seg-<seq>.seg.tmp, fsynced,
+/// renamed into place, the directory fsynced, and only then is the WAL
+/// truncated. Every crash window in that sequence is recoverable (stray
+/// .tmp removed; WAL records already covered by a sealed segment are
+/// skipped on replay).
+///
+/// Startup is O(segments + WAL tail): one trailer pread per segment plus
+/// a replay of the (bounded) active WAL; segment footers are loaded
+/// lazily on first read and verified against the trailer checksum.
+class SegmentLogStore : public LogStore {
+ public:
+  enum class Durability {
+    /// Group-flush only (no fsync): durable against process crash, like
+    /// FileLogStore's default. The group leader still batches the
+    /// fflush, so acks release together.
+    kNone,
+    /// Group-commit fdatasync: power-loss durable, one sync per batch
+    /// window. The default.
+    kGroupCommit,
+    /// fflush + fsync inline in every AppendPrepare (no coalescing).
+    /// The per-append-fsync baseline the storage bench compares against.
+    kSyncEachAppend,
+  };
+
+  /// Simulated crash points for recovery tests: the store completes the
+  /// seal up to the chosen point, then poisons itself (as if the process
+  /// died there); the test reopens the directory to exercise recovery.
+  enum class CrashPoint {
+    kNone,
+    kSealAfterTempWrite,    ///< Segment .tmp written, never renamed.
+    kSealBeforeWalTruncate, ///< Segment renamed, WAL left un-truncated.
+  };
+
+  struct Options {
+    Durability durability = Durability::kGroupCommit;
+    /// How long a group-commit leader lingers before issuing the sync,
+    /// letting the rest of a concurrent cohort land in the same window.
+    /// Adaptive: the linger is skipped while the store observes no
+    /// concurrency (solo synchronous appenders keep per-append sync
+    /// latency), and turns on once cohorts form — without it a leader
+    /// elected right after the previous release syncs a half-formed
+    /// cohort (~half the concurrent appenders per window).
+    uint32_t group_commit_linger_us = 200;
+    /// Seal the WAL into a segment after this many positions...
+    uint32_t segment_positions = 256;
+    /// ...or this many payload bytes, whichever comes first.
+    uint64_t segment_bytes = 64ull << 20;
+    /// Run Compact() on a background thread whenever a tenant is
+    /// retired (off: the caller compacts explicitly).
+    bool background_compaction = false;
+    MetricsRegistry* metrics = nullptr;
+    CrashPoint crash_point = CrashPoint::kNone;
+  };
+
+  /// What recovery found when the directory was opened.
+  struct RecoveryInfo {
+    uint64_t segments = 0;            ///< Sealed segments discovered.
+    uint64_t sealed_positions = 0;    ///< Positions covered by segments.
+    uint64_t wal_positions = 0;       ///< Live WAL tail replayed.
+    uint64_t wal_skipped = 0;         ///< WAL records a segment already held.
+    uint64_t wal_truncated_bytes = 0; ///< Torn tail dropped from the WAL.
+    uint64_t tmp_files_removed = 0;   ///< Interrupted seal/compaction scratch.
+  };
+
+  struct CompactionStats {
+    uint64_t segments_rewritten = 0;
+    uint64_t positions_dropped = 0;
+    uint64_t bytes_reclaimed = 0;
+  };
+
+  /// Opens (creating if needed) the store at directory `dir` and runs
+  /// O(segments) recovery.
+  static Result<std::unique_ptr<SegmentLogStore>> Open(const std::string& dir,
+                                                       const Options& options);
+
+  ~SegmentLogStore() override;
+
+  // LogStore interface. Append == AppendPrepare + WaitDurable.
+  Status Append(const LogPosition& position) override;
+  Result<uint64_t> AppendPrepare(const LogPosition& position) override;
+  Status WaitDurable(uint64_t token) override;
+  Result<LogPosition> Get(uint64_t log_id) const override;
+  Result<SharedBytes> GetEntry(const EntryIndex& index) const override;
+  uint64_t Size() const override;
+  Status Scan(uint64_t first, uint64_t last,
+              const std::function<bool(const LogPosition&)>& callback)
+      const override;
+  /// Served from the footer index (or tombstone) without touching the
+  /// record payload — a GC'd position still answers, so live
+  /// aggregation proofs over retired neighbors keep verifying.
+  Result<Hash256> GetRoot(uint64_t log_id) const override;
+  Result<uint32_t> GetEntryCount(uint64_t log_id) const override;
+
+  /// Marks every position owned by `tenant` as garbage. Persisted (the
+  /// set survives restarts); reclamation happens at the next Compact().
+  Status RetireTenant(uint64_t tenant);
+  /// Rewrites every sealed segment holding retired tenants' data,
+  /// replacing their positions with tombstones (log-id density and all
+  /// live records preserved byte-identically). Safe concurrently with
+  /// appends and reads.
+  Result<CompactionStats> Compact();
+
+  /// Seals the current WAL tail (if non-empty) into a segment now.
+  Status SealNow();
+
+  const RecoveryInfo& recovery() const { return recovery_; }
+  const Options& options() const { return options_; }
+  uint64_t SegmentCount() const;
+  std::set<uint64_t> RetiredTenants() const;
+
+ private:
+  struct Segment {
+    std::string path;
+    uint64_t base_id = 0;
+    uint32_t count = 0;
+    uint64_t footer_off = 0;
+    uint32_t footer_len = 0;
+    Hash256 footer_sha{};
+    uint64_t file_bytes = 0;
+    /// Lazily populated by EnsureIndexLoadedLocked().
+    bool index_loaded = false;
+    std::vector<SegmentIndexEntry> entries;
+    std::vector<TenantExtent> extents;
+    int fd = -1;
+
+    ~Segment();
+  };
+
+  explicit SegmentLogStore(std::string dir, const Options& options);
+
+  Status RecoverLocked();
+  Status ReplayWalLocked(uint64_t sealed_end);
+  Status RewriteWalLocked();
+  Status LoadRetiredLocked();
+  Status PersistRetiredLocked();
+
+  /// Writes one framed record to the WAL stream; no flush. Rolls the
+  /// stream back (poisoning on failure) so a failed append never leaves
+  /// a half-record ahead of later appends.
+  Status WalWriteLocked(const Bytes& payload);
+  /// Seals wal_positions_ into a new segment. Requires no sync in
+  /// flight. On success the WAL is empty and durable_count_ covers the
+  /// sealed range.
+  Status SealLocked(std::unique_lock<std::mutex>& lock);
+  /// Group-commit: returns once log ids <= token are durable (or the
+  /// store failed). See class comment.
+  Status WaitDurableLocked(uint64_t token, std::unique_lock<std::mutex>& lock);
+
+  Segment* FindSegmentLocked(uint64_t log_id) const;
+  Status EnsureIndexLoadedLocked(Segment* segment) const;
+  /// Unframed payload bytes of one record (checksum-verified).
+  Result<Bytes> ReadPayloadLocked(Segment* segment, uint64_t log_id) const;
+  Result<DecodedRecord> ReadRecordLocked(Segment* segment,
+                                         uint64_t log_id) const;
+
+  Status CompactSegmentLocked(std::unique_lock<std::mutex>& lock,
+                              size_t seg_index, CompactionStats* stats);
+
+  void CompactionThreadMain();
+
+  std::string SegmentPath(size_t seq) const;
+
+  const std::string dir_;
+  const Options options_;
+
+  Histogram* batch_hist_ = nullptr;
+  Histogram* wait_hist_ = nullptr;
+  Histogram* sync_hist_ = nullptr;
+  Counter* seals_counter_ = nullptr;
+  Counter* compactions_counter_ = nullptr;
+  Counter* reclaimed_counter_ = nullptr;
+
+  /// Serializes whole compaction passes (mu_ still guards the state the
+  /// pass snapshots and swaps; segment rewrites run with mu_ released).
+  std::mutex compact_mu_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable commit_cv_;
+  Status poison_;                 ///< First unrecoverable I/O failure.
+  FILE* wal_file_ = nullptr;
+  uint64_t wal_bytes_ = 0;        ///< Bytes written to the current WAL.
+  uint64_t wal_base_id_ = 0;      ///< Log id of wal_positions_[0].
+  std::vector<LogPosition> wal_positions_;
+  uint64_t prepared_count_ = 0;   ///< Ids < this are written (maybe buffered).
+  uint64_t durable_count_ = 0;    ///< Ids < this are durable & visible.
+  bool sync_in_flight_ = false;
+  uint64_t last_commit_batch_ = 1;  ///< Cohort size of the previous sync.
+  std::vector<std::shared_ptr<Segment>> segments_;
+  std::set<uint64_t> retired_;
+  RecoveryInfo recovery_;
+
+  std::thread compaction_thread_;
+  std::condition_variable compaction_cv_;
+  bool compaction_pending_ = false;
+  bool shutting_down_ = false;
+};
+
+}  // namespace wedge
+
+#endif  // WEDGEBLOCK_STORAGE_SEGSTORE_SEGMENT_STORE_H_

@@ -79,6 +79,14 @@ Status TieredLogStore::Scan(
   return Status::Ok();
 }
 
+Result<Hash256> TieredLogStore::GetRoot(uint64_t log_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_id >= roots_.size()) {
+    return Status::NotFound("log position does not exist");
+  }
+  return roots_[log_id];
+}
+
 size_t TieredLogStore::HotCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return hot_.size();

@@ -31,6 +31,9 @@ class TieredLogStore : public LogStore {
   Status Scan(uint64_t first, uint64_t last,
               const std::function<bool(const LogPosition&)>& callback)
       const override;
+  /// Served from the local root index: a root lookup for a cold
+  /// position must not cost (or depend on) an archive round trip.
+  Result<Hash256> GetRoot(uint64_t log_id) const override;
 
   /// Positions currently held in the hot tier.
   size_t HotCount() const;

@@ -102,5 +102,58 @@ TEST(ChaosScenarioTest, SeededFaultScheduleLosesNothing) {
   std::filesystem::remove_all(options.fleet.work_dir);
 }
 
+TEST(ChaosScenarioTest, SegmentStoreFleetLosesNothing) {
+  if (SocketTestsDisabled()) {
+    GTEST_SKIP() << "WEDGE_SKIP_SOCKET_TESTS=1";
+  }
+  // Same scenario on the segmented store engine, with segments sealed
+  // every 4 positions so the SIGKILL victim dies holding both sealed
+  // segments and a live WAL tail — recovery then exercises the
+  // O(segments) trailer scan, the WAL replay, and dedup of records a
+  // sealed segment already covers.
+  ChaosRunOptions options;
+  options.fleet.daemon_binary = WEDGE_WEDGEBLOCKD_PATH;
+  options.fleet.work_dir =
+      (std::filesystem::temp_directory_path() /
+       ("wedge_chaos_seg_test_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(options.fleet.work_dir);
+  std::filesystem::create_directories(options.fleet.work_dir);
+  options.fleet.num_procs = 3;
+  options.fleet.store = StoreBackend::kSegment;
+  options.fleet.segment_positions = 4;
+  options.seed = 0x5E65;
+  options.tenants = 6;
+  options.batches_per_round = 6;
+  options.entries_per_batch = 4;
+  options.value_bytes = 48;
+  options.audit_timeout = 90 * kMicrosPerSecond;
+
+  auto report = RunChaosScenario(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_GT(report->workload.entries_acked, 0u);
+  ASSERT_EQ(report->acked_per_shard.size(), 3u);
+  EXPECT_GT(report->acked_per_shard[report->schedule.kill_victim], 0u);
+
+  EXPECT_EQ(report->audit.acked, report->workload.entries_acked);
+  EXPECT_EQ(report->audit.readable, report->audit.acked);
+  EXPECT_EQ(report->audit.stage1_ok, report->audit.acked);
+  EXPECT_EQ(report->audit.proof_ok, report->audit.proof_total);
+  EXPECT_EQ(report->audit.lost, 0u);
+  EXPECT_TRUE(report->audit.zero_loss());
+
+  // The kill victim's directory really is segmented: at least one
+  // sealed segment file exists beside the WAL.
+  bool saw_segment = false;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(
+           options.fleet.work_dir)) {
+    if (entry.path().extension() == ".seg") saw_segment = true;
+  }
+  EXPECT_TRUE(saw_segment);
+
+  std::filesystem::remove_all(options.fleet.work_dir);
+}
+
 }  // namespace
 }  // namespace wedge

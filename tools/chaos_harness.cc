@@ -78,6 +78,13 @@ Status ChaosFleet::Spawn(Proc& proc, bool recover) {
       // a restart may land anywhere, fleetmon re-resolves per round.
       "--admin-port", "0",
   };
+  args.push_back("--store");
+  args.push_back(std::string(StoreBackendName(options_.store)));
+  if (options_.store == StoreBackend::kSegment &&
+      options_.segment_positions > 0) {
+    args.push_back("--segment-positions");
+    args.push_back(std::to_string(options_.segment_positions));
+  }
   if (options_.fsync) args.push_back("--fsync");
   if (recover) args.push_back("--recover");
 

@@ -32,9 +32,10 @@ done
 # histograms, concurrent Append workers), the TCP RPC stack (epoll
 # workers, pipelined client reader threads, wire_test/rpc_test), and the
 # sharded multi-tenant engine (admission controller + epoch aggregator
-# hit from concurrent RPC workers, shard_test/shard_rpc_test). A
-# full-suite TSan run can still be requested explicitly with
-# `tools/check.sh thread`.
+# hit from concurrent RPC workers, shard_test/shard_rpc_test), and the
+# segmented store's leader-based group commit (concurrent
+# AppendPrepare/WaitDurable cohorts, segstore_test). A full-suite TSan
+# run can still be requested explicitly with `tools/check.sh thread`.
 if [[ ! " ${sanitizers[*]} " =~ " thread " ]]; then
   build_dir="$repo_root/build-thread"
   echo "==> [thread] configuring $build_dir (concurrent-subsystem tests only)"
@@ -43,7 +44,7 @@ if [[ ! " ${sanitizers[*]} " =~ " thread " ]]; then
   cmake --build "$build_dir" -j "$(nproc)" >/dev/null
   echo "==> [thread] running concurrent-subsystem tests"
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-    -R 'telemetry|stage2_submitter|chain_test|integration|wire_test|rpc_test|shard|fault_transport|fleet_router|agg_journal|chaos_test|trace_propagation|admin_http|fleet_merge|core_test'
+    -R 'telemetry|stage2_submitter|chain_test|integration|wire_test|rpc_test|shard|fault_transport|fleet_router|agg_journal|chaos_test|trace_propagation|admin_http|fleet_merge|core_test|segstore'
   echo "==> [thread] OK"
 fi
 

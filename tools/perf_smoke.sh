@@ -27,9 +27,9 @@ build_dir="${1:-$repo_root/build-perf}"
 
 echo "==> [perf] configuring $build_dir (Release)"
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
-echo "==> [perf] building microbench + shard_scaling + obs_overhead"
+echo "==> [perf] building microbench + shard_scaling + obs_overhead + storage_sweep"
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target microbench shard_scaling obs_overhead >/dev/null
+  --target microbench shard_scaling obs_overhead storage_sweep >/dev/null
 
 filter='BM_Sha256/1088|BM_Sha256Many/2000|BM_MerkleBuild/2000|BM_MerkleBuildParallel/2000|BM_SealBatch/2000|BM_EcdsaSign$|BM_EcdsaVerify$|BM_EcdsaRecover$|BM_EcdsaSignMany/2000|BM_EcdsaVerifyMany/256'
 tmp_dispatched="$(mktemp)"
@@ -132,5 +132,18 @@ echo "==> [perf] wrote $repo_root/BENCH_shard.json"
 echo "==> [perf] running observability overhead bench"
 "$build_dir/bench/obs_overhead" --json-out "$repo_root/BENCH_obs.json"
 echo "==> [perf] wrote $repo_root/BENCH_obs.json"
+
+# Segmented-store durability sweep: group-commit must amortize syncs to
+# >= 10x the per-append-fsync arm's durable throughput, and segment
+# recovery must stay under the 2s-per-1M-entries bound (storage_sweep
+# scales the bound to the entry count it actually ran; --quick keeps the
+# smoke fast while a full multi-GB sweep can be run by hand with the
+# same binary and no flags). Scratch lives under the build dir on a real
+# filesystem so the fsync costs being measured are real.
+echo "==> [perf] running storage durability sweep (quick)"
+"$build_dir/bench/storage_sweep" --quick \
+  --dir "$build_dir/storage-sweep-scratch" \
+  --json-out "$repo_root/BENCH_storage.json"
+echo "==> [perf] wrote $repo_root/BENCH_storage.json"
 
 echo "==> [perf] OK"

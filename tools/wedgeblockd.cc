@@ -13,7 +13,7 @@
 //               [--shards N] [--tenants N] [--epoch-blocks N]
 //               [--tenant-rate N] [--tenant-burst N] [--tenant-inflight N]
 //               [--tenant-auth] [--forest] [--log-dir PATH] [--fsync]
-//               [--recover]
+//               [--store memory|file|segment] [--recover]
 //
 //   --port 0 (default) picks an ephemeral port; the daemon prints
 //   "LISTENING <port>" on stdout either way, so scripts can scrape it.
@@ -48,7 +48,13 @@
 //   --log-dir PATH puts every shard log at PATH/shard-<i>.log and — in
 //   forest mode — the aggregator journal at PATH/aggregator.journal, so
 //   a SIGKILL'd daemon can be restarted over the same directory.
-//   --fsync fsyncs both after every record (durability over throughput).
+//   --store picks the shard store implementation under --log-dir:
+//   "file" (default) is the flat append-only FileLogStore; "segment" is
+//   the segmented engine (storage/segstore/) — group-committed WAL +
+//   sealed immutable segments at PATH/shard-<i>.seg/ with O(segments)
+//   recovery and tenant GC; "memory" ignores --log-dir entirely.
+//   --fsync makes acks durable: per-record fsync on the file backend,
+//   coalesced group commit (one fdatasync per batch window) on segment.
 //   --recover replays the journal, reconciles shard tails and the chain,
 //   and resubmits unconfirmed epochs before serving; the daemon prints
 //   "RECOVERED journaled=N restaged=N closed=N resubmitted=N confirmed=N"
@@ -99,7 +105,9 @@ struct Options {
   bool tenant_auth = false;      ///< Bind tenant ids to publisher keys.
   bool forest = false;           ///< Force forest stage-2 at any shard count.
   std::string log_dir;           ///< Durable shard logs + aggregator journal.
-  bool fsync = false;            ///< fsync after every durable record.
+  StoreBackend store = StoreBackend::kFile;  ///< Shard store implementation.
+  uint64_t segment_positions = 0;  ///< Segment seal threshold (0 = default).
+  bool fsync = false;            ///< Durable acks (see --store above).
   bool recover = false;          ///< Run engine recovery before serving.
   /// Admin HTTP port: -1 disables the endpoint, 0 picks an ephemeral
   /// port. The daemon prints "ADMIN <port>" when enabled.
@@ -117,7 +125,9 @@ int Usage(const char* argv0) {
                "          [--shards N] [--tenants N] [--epoch-blocks N]\n"
                "          [--tenant-rate N] [--tenant-burst N] "
                "[--tenant-inflight N] [--tenant-auth]\n"
-               "          [--forest] [--log-dir PATH] [--fsync] [--recover]\n"
+               "          [--forest] [--log-dir PATH] "
+               "[--store memory|file|segment] [--segment-positions N]\n"
+               "          [--fsync] [--recover]\n"
                "          [--admin-port N] [--slow-request-ms N]\n",
                argv0);
   return 2;
@@ -188,6 +198,12 @@ Result<Options> Parse(int argc, char** argv) {
       opts.forest = true;
     } else if (flag == "--log-dir") {
       WEDGE_ASSIGN_OR_RETURN(opts.log_dir, next());
+    } else if (flag == "--store") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      WEDGE_ASSIGN_OR_RETURN(opts.store, ParseStoreBackend(v));
+    } else if (flag == "--segment-positions") {
+      WEDGE_ASSIGN_OR_RETURN(std::string v, next());
+      opts.segment_positions = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag == "--fsync") {
       opts.fsync = true;
     } else if (flag == "--recover") {
@@ -285,6 +301,10 @@ int RunSharded(const Options& opts) {
   config.engine.quota.max_tenants = opts.tenants;
   config.engine.authenticate_tenants = opts.tenant_auth;
   config.log_dir = opts.log_dir;
+  config.store_backend =
+      opts.store == StoreBackend::kMemory ? StoreBackend::kFile : opts.store;
+  if (opts.store == StoreBackend::kMemory) config.log_dir.clear();
+  config.store_segment_positions = opts.segment_positions;
   config.log_fsync = opts.fsync;
   auto deployment = ShardedDeployment::Create(config);
   if (!deployment.ok()) {
@@ -302,12 +322,19 @@ int RunSharded(const Options& opts) {
       return 1;
     }
     std::printf("RECOVERED journaled=%llu restaged=%llu closed=%llu "
-                "resubmitted=%llu confirmed=%llu\n",
+                "resubmitted=%llu confirmed=%llu segments=%llu "
+                "wal_tail=%llu wal_torn_bytes=%llu tmp_removed=%llu\n",
                 static_cast<unsigned long long>(report->journaled_epochs),
                 static_cast<unsigned long long>(report->restaged_roots),
                 static_cast<unsigned long long>(report->recovered_epochs),
                 static_cast<unsigned long long>(report->resubmitted_epochs),
-                static_cast<unsigned long long>(report->confirmed_epochs));
+                static_cast<unsigned long long>(report->confirmed_epochs),
+                static_cast<unsigned long long>(report->store_segments),
+                static_cast<unsigned long long>(report->store_wal_positions),
+                static_cast<unsigned long long>(
+                    report->store_wal_truncated_bytes),
+                static_cast<unsigned long long>(
+                    report->store_tmp_files_removed));
     std::fflush(stdout);
   }
 
